@@ -1,0 +1,91 @@
+// Ablation A3: MQI vs FlowImprove — shrink-only vs bidirectional flow
+// improvement (§3.2/§3.3; refs [3] and the Metis+MQI pipeline of
+// Figure 1).
+//
+// MQI only ever removes nodes from its input set; FlowImprove can also
+// absorb nodes. Seeded with *half* of a planted community, the
+// difference is stark: MQI sharpens the half (good conductance, poor
+// recall of the true community), FlowImprove grows back to the whole
+// community. Seeded with a sloppy superset, both do well. This is the
+// design reason the library ships both.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+namespace {
+
+struct Row {
+  const char* scenario;
+  const char* method;
+  std::size_t size;
+  double phi;
+  int recall_num;
+  int truth_size;
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(91);
+  SocialGraphParams params;
+  params.core_nodes = 4000;
+  params.num_communities = 5;
+  params.min_community_size = 120;
+  params.max_community_size = 160;
+  params.num_whiskers = 30;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  const Graph& g = sg.graph;
+  const auto& truth = sg.communities[3];
+  std::vector<char> in_truth(g.NumNodes(), 0);
+  for (NodeId u : truth) in_truth[u] = 1;
+  auto recall = [&](const std::vector<NodeId>& set) {
+    int count = 0;
+    for (NodeId u : set) count += in_truth[u];
+    return count;
+  };
+
+  std::printf("== A3: MQI (shrink-only) vs FlowImprove (bidirectional) ==\n");
+  std::printf("# planted community: %zu nodes, phi = %.4f\n\n", truth.size(),
+              Conductance(g, truth));
+
+  Table table({"seed_set", "method", "|S|", "phi", "recall"});
+  auto report = [&](const char* scenario, const char* method,
+                    const std::vector<NodeId>& set) {
+    table.AddRow({scenario, method, std::to_string(set.size()),
+                  FormatG(Conductance(g, set), 4),
+                  std::to_string(recall(set)) + "/" +
+                      std::to_string(truth.size())});
+  };
+
+  {  // Scenario 1: half the community.
+    const std::vector<NodeId> half(truth.begin(),
+                                   truth.begin() + truth.size() / 2);
+    report("half-community", "input", half);
+    report("half-community", "MQI", Mqi(g, half).set);
+    report("half-community", "FlowImprove", FlowImprove(g, half).set);
+  }
+  {  // Scenario 2: the community plus random noise nodes.
+    std::vector<NodeId> sloppy = truth;
+    Rng noise(5);
+    for (int i = 0; i < 60; ++i) {
+      const NodeId u = static_cast<NodeId>(noise.NextBounded(sg.core_size));
+      if (!in_truth[u] &&
+          std::find(sloppy.begin(), sloppy.end(), u) == sloppy.end()) {
+        sloppy.push_back(u);
+      }
+    }
+    report("community+noise", "input", sloppy);
+    report("community+noise", "MQI", Mqi(g, sloppy).set);
+    report("community+noise", "FlowImprove", FlowImprove(g, sloppy).set);
+  }
+  table.Print();
+  std::printf("\ndesign takeaway: from a partial seed set, only the "
+              "bidirectional method can\nrecover the full community (MQI's "
+              "recall is capped by its input); from a\nnoisy superset both "
+              "clean up, with MQI slightly sharper on pure "
+              "conductance.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation A2: the lazy walk's holding probability α.
+//
+// §3.1 presents W_α = αI + (1−α)M with α as part of the dynamics, and
+// the Mahoney–Orecchia correspondence requires α ≥ 1/2 (so W_α ⪰ 0,
+// matching the p-norm SDP's PSD cone). This ablation shows why α = 1/2
+// is the canonical choice operationally too: smaller α lets the
+// periodic (negative-eigenvalue) modes survive, making the step count
+// behave erratically on near-bipartite structure; α ≥ 1/2 gives clean
+// monotone equilibration at a cost in speed as α → 1.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+namespace {
+
+// Steps until the walk from a single seed is within 1e-3 (ℓ1) of the
+// stationary distribution, capped.
+int StepsToMix(const Graph& g, double alpha, int cap = 100000) {
+  const Vector pi = StationaryDistribution(g);
+  const LazyWalkOperator walk(g, alpha);
+  Vector current(g.NumNodes(), 0.0);
+  current[0] = 1.0;
+  Vector next;
+  for (int step = 1; step <= cap; ++step) {
+    walk.Apply(current, next);
+    current.swap(next);
+    if (DistanceL1(current, pi) < 1e-3) return step;
+  }
+  return cap;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== A2: lazy-walk holding probability alpha ==\n");
+  Table table({"graph", "alpha", "steps_to_mix", "W_psd"});
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  Rng rng(31);
+  std::vector<Workload> workloads;
+  workloads.push_back({"bipartite K(12,12)", [] {
+                         // Exactly bipartite: the walk's periodic mode
+                         // has eigenvalue 1-(1-a)*2 = 2a-1.
+                         GraphBuilder b(24);
+                         for (NodeId i = 0; i < 12; ++i) {
+                           for (NodeId j = 12; j < 24; ++j) b.AddEdge(i, j);
+                         }
+                         return b.Build();
+                       }()});
+  workloads.push_back({"expander(d=8)", RandomRegular(256, 8, rng)});
+  workloads.push_back({"caveman(4x8)", CavemanGraph(4, 8)});
+
+  for (const Workload& w : workloads) {
+    const SymmetricEigen eigen =
+        SymmetricEigendecomposition(DenseNormalizedLaplacian(w.graph));
+    for (double alpha : {0.05, 0.25, 0.5, 0.75, 0.9}) {
+      // W_α similar to I − (1−α)ℒ: PSD iff 1 − (1−α)λ_max ≥ 0.
+      const bool psd = 1.0 - (1.0 - alpha) * eigen.eigenvalues.back() >=
+                       -1e-12;
+      table.AddRow({w.name, FormatG(alpha, 3),
+                    std::to_string(StepsToMix(w.graph, alpha)),
+                    psd ? "yes" : "no"});
+    }
+  }
+  table.Print();
+  std::printf("\ndesign takeaway: alpha = 1/2 is the smallest holding "
+              "probability that keeps\nW_alpha PSD on every graph — the SDP "
+              "correspondence of Section 3.1 needs\nexactly that. Lower "
+              "alpha usually mixes faster, EXCEPT on bipartite\nstructure, "
+              "where the periodic mode decays like |2a-1| and alpha -> 0 "
+              "stops\nmixing entirely; alpha = 1/2 kills it in one step. "
+              "Among the PSD choices,\nalpha = 1/2 is also the fastest.\n");
+  return 0;
+}

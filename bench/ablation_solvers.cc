@@ -1,0 +1,75 @@
+// Ablation A4: solvers for the "exact" Personalized PageRank system.
+//
+// The paper's §3.1/§3.3 contrast approximate diffusions with exact
+// solves; this ablation measures the exact-solve side itself. The
+// system (γI + (1−γ)ℒ) has condition number ≈ (2−γ)/γ, so:
+//   Richardson (the vanilla power-style iteration): Θ(1/γ) iterations;
+//   CG and Chebyshev: Θ(1/√γ) — with Chebyshev needing no inner
+//   products (cheaper per step, embarrassingly distributable).
+// Push is included as the strongly local comparison point: its work is
+// bounded by 1/(ε·α), independent of both n and the condition number.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  Rng rng(11);
+  SocialGraphParams params;
+  params.core_nodes = 8000;
+  params.num_communities = 5;
+  params.num_whiskers = 60;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  const Graph& g = sg.graph;
+  const Vector seed = SingleNodeSeed(g, sg.communities[0][0]);
+  std::printf("== A4: PPR solver comparison (n=%d, m=%lld, tol=1e-10) ==\n",
+              g.NumNodes(), static_cast<long long>(g.NumEdges()));
+
+  Table table({"gamma", "solver", "iterations", "ms", "l1_vs_cg"});
+  Timer timer;
+  for (double gamma : {0.2, 0.05, 0.01, 0.002}) {
+    PageRankOptions options;
+    options.gamma = gamma;
+    options.tolerance = 1e-10;
+    options.max_iterations = 200000;
+
+    timer.Reset();
+    const PageRankResult cg = PersonalizedPageRankExact(g, seed, options);
+    table.AddRow({FormatG(gamma, 3), "CG", std::to_string(cg.iterations),
+                  FormatG(timer.Millis(), 3), "0"});
+
+    timer.Reset();
+    const PageRankResult cheb =
+        PersonalizedPageRankChebyshev(g, seed, options);
+    table.AddRow({FormatG(gamma, 3), "Chebyshev",
+                  std::to_string(cheb.iterations),
+                  FormatG(timer.Millis(), 3),
+                  FormatG(DistanceL1(cheb.scores, cg.scores), 2)});
+
+    timer.Reset();
+    const PageRankResult rich = PersonalizedPageRank(g, seed, options);
+    table.AddRow({FormatG(gamma, 3), "Richardson",
+                  std::to_string(rich.iterations),
+                  FormatG(timer.Millis(), 3),
+                  FormatG(DistanceL1(rich.scores, cg.scores), 2)});
+
+    timer.Reset();
+    PushOptions push;
+    push.alpha = LazyTeleportFromStandard(gamma);
+    push.epsilon = 1e-8;
+    const PushResult local = ApproximatePageRank(g, seed, push);
+    table.AddRow({FormatG(gamma, 3), "push(eps=1e-8)",
+                  std::to_string(local.pushes),
+                  FormatG(timer.Millis(), 3),
+                  FormatG(DistanceL1(local.p, cg.scores), 2)});
+  }
+  table.Print();
+  std::printf("\ndesign takeaway: Richardson iterations scale like 1/gamma, "
+              "CG/Chebyshev like\n1/sqrt(gamma) (Chebyshev within ~2x of CG "
+              "without inner products); push's work\nis set by epsilon "
+              "alone. The library defaults to CG for oracles and push for\n"
+              "everything interactive.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation A1: the sweep-cut ordering convention.
+//
+// DESIGN.md calls out a quiet design choice inside every spectral-
+// family method: the key that orders nodes before the sweep. The three
+// candidates — raw values, value/degree, value/√degree — correspond to
+// reading the diffusion vector in different geometries (§2.3's
+// "implicitly-imposed geometry" made concrete). This ablation measures
+// the choice on both method families and both graph regimes.
+//
+// Expected outcome (and the reason the library's defaults are what they
+// are): probability-space vectors (PPR/push) need /degree; hat-space
+// eigenvectors need /√degree; using the wrong convention costs real
+// conductance on degree-heterogeneous graphs and nothing on regular
+// ones.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+namespace {
+
+double SweepWith(const Graph& g, const Vector& values, SweepScaling scaling) {
+  SweepOptions options;
+  options.scaling = scaling;
+  return SweepCut(g, values, options).stats.conductance;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== A1: sweep ordering convention vs conductance found ==\n");
+  Table table({"graph", "vector", "raw", "value/deg", "value/sqrt(deg)"});
+
+  struct Workload {
+    const char* name;
+    Graph graph;
+  };
+  Rng rng(21);
+  SocialGraphParams params;
+  params.core_nodes = 3000;
+  params.num_communities = 6;
+  params.num_whiskers = 40;
+  std::vector<Workload> workloads;
+  workloads.push_back({"social(hetero)",
+                       MakeWhiskeredSocialGraph(params, rng).graph});
+  workloads.push_back({"torus(regular)", TorusGraph(40, 40)});
+
+  for (const Workload& w : workloads) {
+    // Hat-space eigenvector from Lanczos.
+    SpectralPartitionOptions spectral;
+    spectral.lanczos.max_iterations = 500;
+    const SpectralPartitionResult eig = SpectralPartition(w.graph, spectral);
+    table.AddRow({w.name, "eigenvector(hat)",
+                  FormatG(SweepWith(w.graph, eig.v2, SweepScaling::kRaw), 4),
+                  FormatG(SweepWith(w.graph, eig.v2,
+                                    SweepScaling::kDegreeNormalized),
+                          4),
+                  FormatG(SweepWith(w.graph, eig.v2,
+                                    SweepScaling::kSqrtDegreeNormalized),
+                          4)});
+
+    // Probability-space PPR vector from a well-placed seed.
+    PushOptions push;
+    push.alpha = 0.05;
+    push.epsilon = 1e-6;
+    const PushResult ppr = ApproximatePageRank(
+        w.graph, SingleNodeSeed(w.graph, w.graph.NumNodes() / 2), push);
+    table.AddRow(
+        {w.name, "PPR(probability)",
+         FormatG(SweepWith(w.graph, ppr.p, SweepScaling::kRaw), 4),
+         FormatG(SweepWith(w.graph, ppr.p, SweepScaling::kDegreeNormalized),
+                 4),
+         FormatG(SweepWith(w.graph, ppr.p,
+                           SweepScaling::kSqrtDegreeNormalized),
+                 4)});
+  }
+  table.Print();
+  std::printf("\ndesign takeaway: /deg for probability vectors and /sqrt(deg) "
+              "for hat vectors\nare at or near the best column in their rows; "
+              "on the regular torus the choice\nis (correctly) immaterial.\n");
+  return 0;
+}

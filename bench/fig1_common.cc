@@ -1,0 +1,96 @@
+#include "fig1_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace impreg::bench {
+
+namespace {
+
+std::vector<Fig1Point> Reduce(const Graph& graph,
+                              const std::vector<NcpCluster>& clusters,
+                              int num_bins) {
+  const std::vector<NcpPoint> best =
+      BestPerSizeBin(clusters, num_bins, graph.NumNodes() / 2);
+  std::vector<Fig1Point> points;
+  for (const NcpPoint& point : best) {
+    Fig1Point out;
+    out.size = point.size;
+    out.conductance = point.conductance;
+    out.niceness = ComputeNiceness(graph, point.cluster.nodes);
+    out.method = point.cluster.method;
+    points.push_back(std::move(out));
+  }
+  return points;
+}
+
+}  // namespace
+
+Fig1Data RunFigure1(std::uint64_t seed, NodeId core_nodes) {
+  Rng rng(seed);
+  SocialGraphParams params;
+  params.core_nodes = core_nodes;
+  params.num_communities = 20;
+  params.min_community_size = 12;
+  params.max_community_size = 400;
+  params.num_whiskers = core_nodes / 80;
+  const SocialGraph social = MakeWhiskeredSocialGraph(params, rng);
+
+  Fig1Data data;
+  data.graph = social.graph;
+  std::printf("# AtP-DBLP stand-in: n=%d m=%lld (core %d, %zu communities, "
+              "%zu whiskers)\n",
+              data.graph.NumNodes(),
+              static_cast<long long>(data.graph.NumEdges()), core_nodes,
+              social.communities.size(), social.whiskers.size());
+
+  SpectralFamilyOptions spectral_options;
+  spectral_options.num_seeds = 48;
+  spectral_options.alphas = {0.1, 0.05, 0.02};
+  spectral_options.epsilons = {3e-3, 1e-3, 1e-4, 3e-5, 1e-5};
+  const auto spectral_clusters =
+      SpectralFamilyClusters(data.graph, spectral_options);
+  const auto flow_clusters = FlowFamilyClusters(data.graph);
+  std::printf("# spectral portfolio: %zu clusters; flow portfolio: %zu "
+              "clusters\n",
+              spectral_clusters.size(), flow_clusters.size());
+
+  const int kBins = 12;
+  data.spectral = Reduce(data.graph, spectral_clusters, kBins);
+  data.flow = Reduce(data.graph, flow_clusters, kBins);
+  return data;
+}
+
+void PrintPanel(const Fig1Data& data, const char* panel,
+                const char* value_name) {
+  auto value_of = [&](const Fig1Point& p) {
+    if (std::strcmp(value_name, "conductance") == 0) return p.conductance;
+    if (std::strcmp(value_name, "avg_path") == 0) {
+      return p.niceness.avg_shortest_path;
+    }
+    return p.niceness.conductance_ratio;
+  };
+  std::printf("\n== Figure 1(%s): size-resolved %s "
+              "(lower is better) ==\n",
+              panel, value_name);
+  const bool is_conductance_panel =
+      std::strcmp(value_name, "conductance") == 0;
+  std::vector<std::string> header = {"family", "size", value_name};
+  if (!is_conductance_panel) header.push_back("conductance");
+  header.push_back("method");
+  Table table(std::move(header));
+  const std::pair<const std::vector<Fig1Point>*, const char*> families[] = {
+      {&data.spectral, "spectral"}, {&data.flow, "flow"}};
+  for (const auto& family : families) {
+    for (const Fig1Point& p : *family.first) {
+      std::vector<std::string> row = {family.second, std::to_string(p.size),
+                                      FormatG(value_of(p), 4)};
+      if (!is_conductance_panel) row.push_back(FormatG(p.conductance, 4));
+      row.push_back(p.method);
+      table.AddRow(std::move(row));
+    }
+  }
+  table.Print();
+}
+
+}  // namespace impreg::bench

@@ -1,0 +1,39 @@
+#ifndef IMPREG_BENCH_FIG1_COMMON_H_
+#define IMPREG_BENCH_FIG1_COMMON_H_
+
+#include <vector>
+
+#include "core/impreg.h"
+
+/// \file
+/// Shared machinery for the three panels of Figure 1: generate the
+/// AtP-DBLP stand-in graph, run the spectral (LocalSpectral-style) and
+/// flow (Metis+MQI) portfolios once, and reduce to per-size-bin
+/// winners with niceness measurements attached.
+
+namespace impreg::bench {
+
+struct Fig1Point {
+  std::int64_t size = 0;
+  double conductance = 1.0;
+  NicenessReport niceness;
+  std::string method;
+};
+
+struct Fig1Data {
+  Graph graph;
+  std::vector<Fig1Point> spectral;
+  std::vector<Fig1Point> flow;
+};
+
+/// Runs the full Figure-1 experiment. Deterministic given the seed.
+Fig1Data RunFigure1(std::uint64_t seed = 2012, NodeId core_nodes = 12000);
+
+/// Prints one panel: `value_name` selects which niceness column to show
+/// next to conductance.
+void PrintPanel(const Fig1Data& data, const char* panel,
+                const char* value_name);
+
+}  // namespace impreg::bench
+
+#endif  // IMPREG_BENCH_FIG1_COMMON_H_

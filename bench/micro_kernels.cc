@@ -1,0 +1,183 @@
+// Microbenchmarks (google-benchmark) for the computational kernels
+// under every experiment: sparse matvec, diffusion steps, push, sweep,
+// max-flow, and the eigensolvers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/impreg.h"
+
+namespace impreg {
+namespace {
+
+const Graph& BenchGraph(std::int64_t n) {
+  static std::map<std::int64_t, Graph>* cache = new std::map<std::int64_t, Graph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    Rng rng(42 + static_cast<std::uint64_t>(n));
+    it = cache->emplace(n, ErdosRenyi(static_cast<NodeId>(n), 8.0 / n, rng))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_NormalizedLaplacianMatvec(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  const NormalizedLaplacianOperator lap(g);
+  Rng rng(1);
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  Vector y(g.NumNodes());
+  for (auto _ : state) {
+    lap.Apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+}
+BENCHMARK(BM_NormalizedLaplacianMatvec)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_LazyWalkStep(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  const LazyWalkOperator walk(g, 0.5);
+  Vector p(g.NumNodes(), 1.0 / g.NumNodes());
+  Vector q(g.NumNodes());
+  for (auto _ : state) {
+    walk.Apply(p, q);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_LazyWalkStep)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_PushClustering(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 15);
+  PushOptions options;
+  options.alpha = 0.1;
+  options.epsilon = 1.0 / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const PushResult r = ApproximatePageRank(g, SingleNodeSeed(g, 7), options);
+    benchmark::DoNotOptimize(r.p.data());
+  }
+}
+BENCHMARK(BM_PushClustering)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SweepCut(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  Rng rng(3);
+  Vector values(g.NumNodes());
+  for (double& v : values) v = rng.NextGaussian();
+  for (auto _ : state) {
+    const SweepResult r = SweepCut(g, values);
+    benchmark::DoNotOptimize(r.stats.conductance);
+  }
+}
+BENCHMARK(BM_SweepCut)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_Lanczos(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  const NormalizedLaplacianOperator lap(g);
+  for (auto _ : state) {
+    LanczosOptions options;
+    options.deflate.push_back(lap.TrivialEigenvector());
+    options.max_iterations = 80;
+    const LanczosResult r = LanczosSmallest(lap, 1, options);
+    benchmark::DoNotOptimize(r.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_Lanczos)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_Dinic(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(4);
+  const Graph g = ErdosRenyi(n, 8.0 / n, rng);
+  for (auto _ : state) {
+    FlowNetwork net(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Arc& arc : g.Neighbors(u)) {
+        if (arc.head > u) net.AddEdge(u, arc.head, arc.weight, arc.weight);
+      }
+    }
+    benchmark::DoNotOptimize(net.MaxFlow(0, n - 1));
+  }
+}
+BENCHMARK(BM_Dinic)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(5);
+  Graph g = ErdosRenyi(n, 0.2, rng);
+  const DenseMatrix lap = DenseNormalizedLaplacian(g);
+  for (auto _ : state) {
+    const SymmetricEigen eigen = SymmetricEigendecomposition(lap);
+    benchmark::DoNotOptimize(eigen.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MultilevelBisection(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    const MultilevelResult r = MultilevelBisection(g);
+    benchmark::DoNotOptimize(r.cut);
+  }
+}
+BENCHMARK(BM_MultilevelBisection)->Arg(1 << 12)->Arg(1 << 14);
+
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    const std::vector<int> core = CoreNumbers(g);
+    benchmark::DoNotOptimize(core.data());
+  }
+}
+BENCHMARK(BM_CoreDecomposition)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_TriangleCounting(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+}
+BENCHMARK(BM_TriangleCounting)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_FindWhiskers(benchmark::State& state) {
+  Rng rng(9);
+  SocialGraphParams params;
+  params.core_nodes = static_cast<NodeId>(state.range(0));
+  params.num_whiskers = static_cast<int>(state.range(0) / 80);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  for (auto _ : state) {
+    const auto whiskers = FindWhiskers(sg.graph);
+    benchmark::DoNotOptimize(whiskers.size());
+  }
+}
+BENCHMARK(BM_FindWhiskers)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_FastDenseEigen(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(6);
+  Graph g = ErdosRenyi(n, 0.2, rng);
+  const DenseMatrix lap = DenseNormalizedLaplacian(g);
+  for (auto _ : state) {
+    const SymmetricEigen eigen = SymmetricEigendecompositionFast(lap);
+    benchmark::DoNotOptimize(eigen.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_FastDenseEigen)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ChebyshevPpr(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 14);
+  PageRankOptions options;
+  options.gamma = 0.05;
+  options.tolerance = 1e-8;
+  for (auto _ : state) {
+    const PageRankResult r =
+        PersonalizedPageRankChebyshev(g, SingleNodeSeed(g, 3), options);
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+}
+BENCHMARK(BM_ChebyshevPpr);
+
+}  // namespace
+}  // namespace impreg
+
+BENCHMARK_MAIN();

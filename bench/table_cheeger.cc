@@ -1,0 +1,63 @@
+// Table T3 (§3.2): the Cheeger inequality and where its quadratic
+// factor is real.
+//
+// For stringy graphs (paths, ladders, cockroaches) the sweep cut sits
+// near the UPPER bound √(2λ₂): the certificate λ₂/2 is quadratically
+// loose, which is exactly the worst case the paper attributes to
+// "long stringy pieces". For expander-like graphs (complete, random
+// regular) the LOWER bound λ₂/2 is tight. Columns report both ratios;
+// watch `phi/lower` grow with size on the stringy families while it
+// stays Θ(1) on the expanders.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+namespace {
+
+void AddRow(Table& table, const char* family, const Graph& g) {
+  SpectralPartitionOptions options;
+  // Stringy graphs have tiny spectral gaps; give Lanczos enough room.
+  options.lanczos.max_iterations = 800;
+  options.lanczos.tolerance = 1e-12;
+  const SpectralPartitionResult r = SpectralPartition(g, options);
+  table.AddRow({family, std::to_string(g.NumNodes()),
+                FormatG(r.lambda2, 4), FormatG(r.stats.conductance, 4),
+                FormatG(r.stats.conductance / std::max(r.cheeger_lower, 1e-300),
+                        4),
+                FormatG(r.stats.conductance / std::max(r.cheeger_upper, 1e-300),
+                        4)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== T3: Cheeger bounds — lambda2/2 <= phi(sweep) <= "
+              "sqrt(2*lambda2) ==\n");
+  Table table(
+      {"family", "n", "lambda2", "phi_sweep", "phi/lower", "phi/upper"});
+  for (NodeId n : {64, 256, 1024}) {
+    AddRow(table, "path", PathGraph(n));
+  }
+  for (NodeId n : {64, 256, 1024}) {
+    AddRow(table, "ladder", LadderGraph(n / 2));
+  }
+  for (NodeId k : {16, 64, 256}) {
+    AddRow(table, "cockroach", CockroachGraph(k));
+  }
+  for (NodeId n : {64, 128, 256}) {
+    AddRow(table, "complete", CompleteGraph(n));
+  }
+  Rng rng(5);
+  for (NodeId n : {64, 256, 1024}) {
+    AddRow(table, "regular(d=8)", RandomRegular(n, 8, rng));
+  }
+  table.Print();
+  std::printf("\npaper's shape: phi/lower grows ~ 1/sqrt(lambda2) ~ n on the "
+              "stringy families\n(the quadratic factor is achieved); it "
+              "stays O(1) on the expander families.\n");
+  return 0;
+}

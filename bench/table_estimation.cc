@@ -1,0 +1,64 @@
+// Table T7 (extension; paper footnote 17 / ref [36], Perry–Mahoney):
+// regularized Laplacian estimation — the Bayesian face of implicit
+// regularization.
+//
+// Population: a clean planted bipartition. Observation: each edge kept
+// independently with probability q (a sparse, noisy sample). Task:
+// recover the planted labels from the sample. Estimators: heat-kernel-
+// regularized eigenvectors across a grid of diffusion times t (small t
+// = strong regularization), plus the exact v₂ of the sample.
+//
+// Paper's shape: on dense samples the exact eigenvector is fine; on
+// sparse samples it localizes on sampling artifacts (dangling trees,
+// near-disconnected fragments) and a *finite* t — i.e. genuine
+// regularization — maximizes accuracy.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  Rng rng(77);
+  const NodeId block = 200;
+  const Graph population = PlantedPartition(2, block, 0.25, 0.02, rng);
+  std::vector<int> labels(population.NumNodes());
+  for (NodeId u = 0; u < population.NumNodes(); ++u) {
+    labels[u] = u < block ? 1 : 0;
+  }
+  std::printf("== T7: regularized estimation from edge-sampled graphs ==\n");
+  std::printf("# population: planted 2x%d bipartition, m=%lld\n", block,
+              static_cast<long long>(population.NumEdges()));
+
+  const std::vector<double> times = {0.5, 1.0, 2.0, 4.0, 8.0,
+                                     16.0, 32.0, 64.0};
+  Table table({"keep_q", "sample_m", "estimator", "t", "accuracy",
+               "rayleigh(sample)"});
+  for (double keep : {1.0, 0.30, 0.10, 0.06}) {
+    Rng sample_rng(123);
+    const Graph sample = SubsampleEdges(population, keep, sample_rng);
+    EstimationOptions options;
+    options.trials = 7;
+    const auto path = HeatKernelEstimationPath(sample, labels, times,
+                                               options);
+    for (const EstimationPoint& point : path) {
+      table.AddRow({FormatG(keep, 3),
+                    std::to_string(sample.NumEdges()), "heat-kernel",
+                    FormatG(point.t, 4), FormatG(point.accuracy, 4),
+                    FormatG(point.rayleigh, 4)});
+    }
+    const EstimationPoint exact =
+        ExactEigenvectorEstimate(sample, labels, options);
+    table.AddRow({FormatG(keep, 3), std::to_string(sample.NumEdges()),
+                  "exact v2", "inf", FormatG(exact.accuracy, 4),
+                  FormatG(exact.rayleigh, 4)});
+  }
+  table.Print();
+  std::printf("\npaper's shape: with dense samples (q=1) accuracy is high "
+              "for every estimator;\nas the sample thins the exact "
+              "eigenvector degrades and the best accuracy moves\nto an "
+              "interior t — explicit evidence that the approximation is a "
+              "statistically\nbeneficial regularizer (footnote 17 / [36]).\n");
+  return 0;
+}

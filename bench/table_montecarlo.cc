@@ -1,0 +1,54 @@
+// Table T9 (extension; §3.3's closing paragraph, ref [37]): Monte Carlo
+// PageRank on (stream-like) access models, and the walk budget as a
+// regularization knob.
+//
+// The terminated-walk estimator is unbiased for R_γ s; its error decays
+// as 1/√R. A small walk budget is a cheap, coarse, implicitly
+// regularized estimate — and, as with every other approximation in the
+// paper, it is already good enough for the downstream task (ranking the
+// top nodes) long before it is accurate in norm.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  Rng rng(66);
+  const Graph g = BarabasiAlbert(5000, 4, rng);
+  std::printf("== T9: Monte Carlo PageRank — walks vs error vs ranking "
+              "quality ==\n");
+  std::printf("# web-like graph n=%d m=%lld, gamma=0.15\n", g.NumNodes(),
+              static_cast<long long>(g.NumEdges()));
+
+  PageRankOptions exact_options;
+  exact_options.gamma = 0.15;
+  exact_options.tolerance = 1e-12;
+  const Vector exact = GlobalPageRank(g, exact_options).scores;
+
+  Table table({"walks/node", "l1_error", "err*sqrt(R)", "top50_overlap",
+               "kendall_tau", "ms"});
+  Timer timer;
+  for (int walks : {1, 4, 16, 64, 256}) {
+    MonteCarloOptions options;
+    options.gamma = 0.15;
+    options.walks_per_node = walks;
+    timer.Reset();
+    const Vector estimate = MonteCarloPageRank(g, options);
+    const double ms = timer.Millis();
+    const double error = DistanceL1(estimate, exact);
+    table.AddRow({std::to_string(walks), FormatG(error, 4),
+                  FormatG(error * std::sqrt(static_cast<double>(walks)), 4),
+                  FormatG(TopKOverlap(estimate, exact, 50), 3),
+                  FormatG(KendallTau(estimate, exact), 3),
+                  FormatG(ms, 3)});
+  }
+  table.Print();
+  std::printf("\npaper's shape: l1 error decays ~ 1/sqrt(R) (the third "
+              "column is ~constant),\nwhile the top-50 ranking is already "
+              "nearly correct at tiny budgets — coarse\napproximation, "
+              "useful inference.\n");
+  return 0;
+}

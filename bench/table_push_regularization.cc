@@ -1,0 +1,70 @@
+// Table T6 (§3.3): the push algorithm's truncation IS ℓ1-style
+// regularization.
+//
+// Sweep the push tolerance ε on a planted-community graph and report:
+// support size of the output (sparsity), ℓ1 distance to the exact PPR
+// vector (bias introduced), pushes performed (work), and the quality of
+// the sweep cut. The paper's shape: as ε grows the output gets sparser
+// and more biased — yet the cluster quality holds over orders of
+// magnitude of ε, because the truncation regularizes *toward the seed's
+// community* rather than away from it.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  Rng rng(31);
+  SocialGraphParams params;
+  params.core_nodes = 12000;
+  params.num_communities = 6;
+  params.min_community_size = 80;
+  params.max_community_size = 120;
+  params.num_whiskers = 100;
+  const SocialGraph social = MakeWhiskeredSocialGraph(params, rng);
+  const Graph& g = social.graph;
+  const auto& community = social.communities[2];
+  const NodeId seed = community[0];
+
+  const double alpha = 0.05;
+  PageRankOptions exact_options;
+  exact_options.gamma = StandardTeleportFromLazy(alpha);
+  exact_options.tolerance = 1e-13;
+  const Vector exact =
+      PersonalizedPageRankExact(g, SingleNodeSeed(g, seed), exact_options)
+          .scores;
+
+  std::vector<char> truth(g.NumNodes(), 0);
+  for (NodeId u : community) truth[u] = 1;
+
+  std::printf("== T6: push tolerance sweep (n=%d, planted community of "
+              "%zu) ==\n",
+              g.NumNodes(), community.size());
+  Table table({"epsilon", "support", "pushes", "l1_error", "phi", "|S|",
+               "overlap"});
+  for (double eps : {1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5, 1e-6}) {
+    PushOptions options;
+    options.alpha = alpha;
+    options.epsilon = eps;
+    const PushResult push =
+        ApproximatePageRank(g, SingleNodeSeed(g, seed), options);
+    SweepOptions sweep;
+    sweep.scaling = SweepScaling::kDegreeNormalized;
+    const SweepResult cut = SweepCutOverSupport(g, push.p, sweep);
+    int overlap = 0;
+    for (NodeId u : cut.set) overlap += truth[u];
+    table.AddRow({FormatG(eps, 3), std::to_string(push.support),
+                  std::to_string(push.pushes),
+                  FormatG(DistanceL1(push.p, exact), 3),
+                  FormatG(cut.stats.conductance, 3),
+                  std::to_string(cut.set.size()), std::to_string(overlap)});
+  }
+  table.Print();
+  std::printf("\npaper's shape: support and l1 bias shrink/grow smoothly "
+              "with epsilon while the\ncluster (phi, overlap) stays stable "
+              "across orders of magnitude — truncation\nregularizes without "
+              "destroying the inference target.\n");
+  return 0;
+}

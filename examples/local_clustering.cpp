@@ -1,0 +1,126 @@
+// Locally-biased graph partitioning (§3.3): the optimization approach
+// vs the operational approach, side by side.
+//
+// On a large social graph with a planted community, compare:
+//   * the "exact" Personalized PageRank (CG solve touching the whole
+//     graph) + sweep,
+//   * the MOV locally-biased spectral program (Problem (8)),
+//   * the strongly local methods: ACL push, Spielman–Teng Nibble, and
+//     heat-kernel relax — whose work is independent of graph size, and
+//     whose truncation is the implicit regularizer.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  Rng rng(33);
+  SocialGraphParams params;
+  params.core_nodes = 20000;
+  params.num_communities = 8;
+  params.min_community_size = 60;
+  params.max_community_size = 120;
+  params.num_whiskers = 150;
+  const SocialGraph social = MakeWhiskeredSocialGraph(params, rng);
+  const Graph& graph = social.graph;
+  const auto& community = social.communities[3];
+  const NodeId seed = community.front();
+  std::printf("graph: n=%d m=%lld; seed node %d inside a %zu-node planted "
+              "community\n\n",
+              graph.NumNodes(), static_cast<long long>(graph.NumEdges()),
+              seed, community.size());
+
+  std::vector<char> truth(graph.NumNodes(), 0);
+  for (NodeId u : community) truth[u] = 1;
+  auto overlap = [&](const std::vector<NodeId>& set) {
+    int count = 0;
+    for (NodeId u : set) count += truth[u];
+    return count;
+  };
+
+  Table table({"method", "|S|", "phi", "overlap", "touched", "ms"});
+  Timer timer;
+
+  {  // Exact PPR (global solve) + sweep.
+    timer.Reset();
+    PageRankOptions pr;
+    pr.gamma = StandardTeleportFromLazy(0.05);
+    const PageRankResult exact =
+        PersonalizedPageRankExact(graph, SingleNodeSeed(graph, seed), pr);
+    SweepOptions sweep;
+    sweep.scaling = SweepScaling::kDegreeNormalized;
+    const SweepResult cut = SweepCutOverSupport(graph, exact.scores, sweep,
+                                                1e-12);
+    table.AddRow({"exact PPR + sweep", std::to_string(cut.set.size()),
+                  FormatG(cut.stats.conductance, 4),
+                  std::to_string(overlap(cut.set)),
+                  std::to_string(graph.NumNodes()),  // Touches everything.
+                  FormatG(timer.Millis(), 3)});
+  }
+
+  {  // MOV (Problem (8)).
+    timer.Reset();
+    const std::vector<NodeId> seeds(community.begin(),
+                                    community.begin() + 3);
+    const MovResult mov = MovSolveAtSigma(graph, seeds, -0.05);
+    table.AddRow({"MOV local spectral", std::to_string(mov.set.size()),
+                  FormatG(mov.stats.conductance, 4),
+                  std::to_string(overlap(mov.set)),
+                  std::to_string(graph.NumNodes()),  // Global solves.
+                  FormatG(timer.Millis(), 3)});
+  }
+
+  {  // ACL push.
+    timer.Reset();
+    PushOptions push;
+    push.alpha = 0.05;
+    push.epsilon = 2e-5;
+    const LocalClusterResult acl = PushLocalCluster(graph, seed, push);
+    table.AddRow({"ACL push", std::to_string(acl.set.size()),
+                  FormatG(acl.stats.conductance, 4),
+                  std::to_string(overlap(acl.set)),
+                  std::to_string(acl.push.support),
+                  FormatG(timer.Millis(), 3)});
+  }
+
+  {  // Spielman–Teng Nibble.
+    timer.Reset();
+    NibbleOptions nibble;
+    nibble.steps = 60;
+    nibble.epsilon = 2e-5;
+    const NibbleResult st = Nibble(graph, seed, nibble);
+    std::int64_t touched = 0;
+    for (double v : st.distribution) {
+      if (v > 0.0) ++touched;
+    }
+    table.AddRow({"ST Nibble", std::to_string(st.set.size()),
+                  FormatG(st.stats.conductance, 4),
+                  std::to_string(overlap(st.set)), std::to_string(touched),
+                  FormatG(timer.Millis(), 3)});
+  }
+
+  {  // Heat-kernel relax.
+    timer.Reset();
+    HkRelaxOptions hk;
+    hk.t = 12.0;
+    hk.delta = 1e-5;
+    const HkRelaxResult chung = HeatKernelRelax(graph, seed, hk);
+    std::int64_t touched = 0;
+    for (double v : chung.rho) {
+      if (v > 0.0) ++touched;
+    }
+    table.AddRow({"heat-kernel relax", std::to_string(chung.set.size()),
+                  FormatG(chung.stats.conductance, 4),
+                  std::to_string(overlap(chung.set)),
+                  std::to_string(touched), FormatG(timer.Millis(), 3)});
+  }
+
+  table.Print();
+  std::printf("\nThe strongly local methods touch a few hundred nodes of a "
+              "%d-node graph;\ntheir truncation steps are the implicit "
+              "regularization of Section 3.3.\n",
+              graph.NumNodes());
+  return 0;
+}

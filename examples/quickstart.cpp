@@ -1,0 +1,79 @@
+// Quickstart: approximate computation IS implicit regularization.
+//
+// Builds a small noisy graph, computes the leading nontrivial
+// eigenvector of its normalized Laplacian exactly and by the paper's
+// three diffusion dynamics, and prints — for each approximation — the
+// regularized SDP (Problem (5)) that it *exactly* solves, verified
+// numerically via the Mahoney–Orecchia correspondence.
+
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  // A two-community graph with noise: the kind of input where the
+  // exact answer is brittle and regularized answers are useful.
+  Rng rng(7);
+  const Graph graph = PlantedPartition(/*blocks=*/2, /*block_size=*/40,
+                                       /*p_in=*/0.25, /*p_out=*/0.02, rng);
+  std::printf("graph: n=%d, m=%lld, connected=%s\n\n", graph.NumNodes(),
+              static_cast<long long>(graph.NumEdges()),
+              IsConnected(graph) ? "yes" : "no");
+
+  // 1) The exact eigenvector (Lanczos to machine precision).
+  ApproxEigenvectorOptions exact;
+  exact.method = EigenvectorMethod::kExact;
+  const ApproxEigenvectorResult v2 =
+      ApproximateSecondEigenvector(graph, exact);
+  std::printf("exact v2:        Rayleigh quotient = %.6f  (= lambda_2)\n\n",
+              v2.rayleigh);
+
+  // 2) The three diffusions of Section 3.1, each with its implicit
+  //    regularizer.
+  struct Setup {
+    const char* name;
+    EigenvectorMethod method;
+  };
+  const Setup setups[] = {
+      {"heat kernel (t=8)", EigenvectorMethod::kHeatKernel},
+      {"PageRank (gamma=0.1)", EigenvectorMethod::kPageRank},
+      {"lazy walk (k=20)", EigenvectorMethod::kLazyWalk},
+      {"power method (5 iters)", EigenvectorMethod::kPowerMethod},
+  };
+  for (const Setup& setup : setups) {
+    ApproxEigenvectorOptions options;
+    options.method = setup.method;
+    options.t = 8.0;
+    options.gamma = 0.1;
+    options.steps = 20;
+    options.power_iterations = 5;
+    const ApproxEigenvectorResult result =
+        ApproximateSecondEigenvector(graph, options);
+    std::printf("%-24s Rayleigh = %.6f (excess %.2e)\n", setup.name,
+                result.rayleigh, result.rayleigh - v2.rayleigh);
+    std::printf("%-24s implicitly solves: %s\n\n", "",
+                result.implicit_regularizer.c_str());
+  }
+
+  // 3) Verify the correspondence exactly (density-matrix level).
+  std::printf("Mahoney–Orecchia correspondence (trace distance between the\n"
+              "diffusion density and the regularized SDP optimum; theory says"
+              " 0):\n");
+  const EquivalenceReport hk = VerifyHeatKernelEquivalence(graph, 8.0);
+  std::printf("  heat kernel <-> entropy SDP:  %.3e\n", hk.trace_distance);
+  const EquivalenceReport pr = VerifyPageRankEquivalence(graph, 0.1);
+  std::printf("  PageRank    <-> log-det SDP:  %.3e\n", pr.trace_distance);
+  const EquivalenceReport lw = VerifyLazyWalkEquivalence(graph, 0.5, 20);
+  std::printf("  lazy walk   <-> p-norm SDP:   %.3e  (p = %.3f)\n",
+              lw.trace_distance, lw.implied.p);
+
+  // 4) And the payoff: the regularized vectors still partition well.
+  const SpectralPartitionResult cut = SpectralPartition(graph);
+  std::printf("\nsweep cut of v2: |S| = %zu, conductance = %.4f "
+              "(Cheeger: [%.4f, %.4f])\n",
+              cut.set.size(), cut.stats.conductance, cut.cheeger_lower,
+              cut.cheeger_upper);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The regularization path, traced explicitly.
+//
+// The paper frames regularization as a tradeoff between "solution
+// quality" (the objective Tr(ℒX)) and "solution niceness" (here: the
+// entropy of the density — how spread-out / stable the answer is).
+// Sweeping the aggressiveness knob of each diffusion traces that
+// tradeoff curve — this example prints all three curves on one grid so
+// you can see the three dynamics are three *parameterizations of the
+// same path* between the maximally-mixed density and the rank-one
+// exact answer.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+int main() {
+  const Graph graph = LollipopGraph(16, 12);  // Clique + stringy tail.
+  std::printf("graph: lollipop(16,12), n=%d m=%lld\n", graph.NumNodes(),
+              static_cast<long long>(graph.NumEdges()));
+  const RegularizedSdpSolution exact = SolveUnregularizedSdp(graph);
+  std::printf("unregularized optimum: Tr(LX) = lambda2 = %.6f, entropy = 0 "
+              "(rank one)\n\n",
+              exact.rayleigh);
+
+  Table table({"dynamic", "knob", "eta", "Tr(LX)", "entropy(X)",
+               "dist_to_exact"});
+
+  for (double t : {0.25, 1.0, 4.0, 16.0, 64.0, 256.0}) {
+    const DenseMatrix x = HeatKernelDensity(graph, t);
+    table.AddRow({"heat", "t=" + FormatG(t, 4), FormatG(t, 4),
+                  FormatG(TraceOfProduct(DenseNormalizedLaplacian(graph), x),
+                          4),
+                  FormatG(VonNeumannEntropy(x), 4),
+                  FormatG(TraceDistance(x, exact.x), 3)});
+  }
+  for (double gamma : {0.8, 0.5, 0.2, 0.05, 0.01, 0.001}) {
+    const DenseMatrix x = PageRankDensity(graph, gamma);
+    const ImpliedParameters imp = ImpliedForPageRank(graph, gamma);
+    table.AddRow({"pagerank", "g=" + FormatG(gamma, 4),
+                  FormatG(imp.eta, 4),
+                  FormatG(TraceOfProduct(DenseNormalizedLaplacian(graph), x),
+                          4),
+                  FormatG(VonNeumannEntropy(x), 4),
+                  FormatG(TraceDistance(x, exact.x), 3)});
+  }
+  for (int steps : {1, 4, 16, 64, 256, 1024}) {
+    const DenseMatrix x = LazyWalkDensity(graph, 0.5, steps);
+    const ImpliedParameters imp = ImpliedForLazyWalk(graph, 0.5, steps);
+    table.AddRow({"lazy", "k=" + std::to_string(steps),
+                  FormatG(imp.eta, 4),
+                  FormatG(TraceOfProduct(DenseNormalizedLaplacian(graph), x),
+                          4),
+                  FormatG(VonNeumannEntropy(x), 4),
+                  FormatG(TraceDistance(x, exact.x), 3)});
+  }
+  table.Print();
+
+  std::printf("\nreading the path: every dynamic starts near the maximally "
+              "mixed density\n(entropy ~ log(n-1) = %.3f) and converges to "
+              "the rank-one exact answer\n(entropy 0) as its aggressiveness "
+              "knob is cranked; quality Tr(LX) falls\nmonotonically along "
+              "the way. That curve IS the quality/niceness tradeoff\nof "
+              "Section 2.3 — no explicit regularizer was ever written "
+              "down.\n",
+              std::log(static_cast<double>(graph.NumNodes() - 1)));
+  return 0;
+}

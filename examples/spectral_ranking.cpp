@@ -1,0 +1,99 @@
+// Spectral ranking at "Web scale" in miniature (§3.1): PageRank as a
+// regularized eigenvector computation.
+//
+// Builds a preferential-attachment graph (a web-like degree
+// distribution), computes global PageRank across teleportation values,
+// and shows the regularization knob at work: large gamma keeps the
+// ranking close to the seed (uniform) distribution, small gamma
+// approaches the walk's stationary distribution (pure degree ranking).
+// Also demonstrates early stopping of the Power Method as implicit
+// regularization on the induced ranking.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/impreg.h"
+
+using namespace impreg;
+
+namespace {
+
+std::vector<int> TopK(const Vector& scores, int k) {
+  std::vector<int> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                    [&](int a, int b) { return scores[a] > scores[b]; });
+  ids.resize(k);
+  return ids;
+}
+
+double SpearmanTop(const Vector& a, const Vector& b, int k) {
+  // Fraction of the top-k of `a` that also appears in the top-k of `b`.
+  const std::vector<int> ta = TopK(a, k);
+  const std::vector<int> tb = TopK(b, k);
+  int hits = 0;
+  for (int u : ta) {
+    if (std::find(tb.begin(), tb.end(), u) != tb.end()) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  const Graph graph = BarabasiAlbert(20000, 4, rng);
+  std::printf("web-like graph: n=%d m=%lld, max degree %.0f\n\n",
+              graph.NumNodes(), static_cast<long long>(graph.NumEdges()),
+              ComputeDegreeStats(graph).max);
+
+  // Degree ranking = the stationary distribution of the walk.
+  const Vector degree_rank = StationaryDistribution(graph);
+
+  Table table({"gamma", "iters", "top20_vs_degree", "mass_on_top20"});
+  for (double gamma : {0.5, 0.3, 0.15, 0.05, 0.01}) {
+    PageRankOptions options;
+    options.gamma = gamma;
+    options.tolerance = 1e-10;
+    const PageRankResult result = GlobalPageRank(graph, options);
+    double top_mass = 0.0;
+    for (int u : TopK(result.scores, 20)) top_mass += result.scores[u];
+    table.AddRow({FormatG(gamma, 3), std::to_string(result.iterations),
+                  FormatG(SpearmanTop(result.scores, degree_rank, 20), 3),
+                  FormatG(top_mass, 3)});
+  }
+  table.Print();
+  std::printf("\nsmall gamma -> ranking converges to the degree ranking "
+              "(less regularization\ntoward the uniform seed); large gamma "
+              "-> flatter, seed-biased ranking.\n\n");
+
+  // Early stopping of the power method, measured on the ranking it
+  // induces: few iterations give a smoother ranking that mixes in the
+  // start vector; many iterations converge to |v2|-based scores.
+  const NormalizedLaplacianOperator lap(graph);
+  Vector start(graph.NumNodes());
+  Rng rng2(5);
+  for (double& v : start) v = rng2.NextGaussian();
+  PowerMethodOptions exact_options;
+  exact_options.max_iterations = 10000;
+  exact_options.tolerance = 1e-12;
+  const PowerMethodResult exact =
+      SecondEigenpairPowerMethod(graph, start, exact_options);
+
+  Table early({"power_iters", "rayleigh", "excess_over_lambda2"});
+  for (int iters : {1, 2, 5, 10, 50, 200}) {
+    PowerMethodOptions options;
+    options.max_iterations = iters;
+    options.tolerance = 0.0;
+    const PowerMethodResult run =
+        SecondEigenpairPowerMethod(graph, start, options);
+    early.AddRow({std::to_string(iters), FormatG(run.eigenvalue, 6),
+                  FormatG(run.eigenvalue - exact.eigenvalue, 3)});
+  }
+  early.Print();
+  std::printf("\nearly stopping leaves a controlled excess in the Rayleigh "
+              "quotient — the\nforward-error cost of the implicit "
+              "regularization (Section 2.3).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "core/approx_eigenvector.h"
+
+#include <cmath>
+
+#include "diffusion/heat_kernel.h"
+#include "diffusion/pagerank.h"
+#include "diffusion/seed.h"
+#include "linalg/graph_operators.h"
+#include "linalg/lanczos.h"
+#include "linalg/power_method.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Projects off the trivial direction and normalizes; checks the result
+// is usable.
+void FinalizeHatVector(const Vector& trivial, Vector& x) {
+  ProjectOut(trivial, x);
+  IMPREG_CHECK_MSG(Normalize(x) > 1e-12,
+                   "diffusion output collapsed onto the trivial direction");
+}
+
+}  // namespace
+
+ApproxEigenvectorResult ApproximateSecondEigenvector(
+    const Graph& g, const ApproxEigenvectorOptions& options) {
+  IMPREG_CHECK_MSG(g.NumEdges() > 0, "graph has no edges");
+  const NormalizedLaplacianOperator lap(g);
+  const Vector& trivial = lap.TrivialEigenvector();
+  Rng rng(options.rng_seed);
+
+  ApproxEigenvectorResult result;
+  switch (options.method) {
+    case EigenvectorMethod::kExact: {
+      LanczosOptions lanczos;
+      lanczos.seed = options.rng_seed;
+      lanczos.deflate.push_back(trivial);
+      const LanczosResult eig = LanczosSmallest(lap, 1, lanczos);
+      result.x = eig.eigenvectors.front();
+      break;
+    }
+    case EigenvectorMethod::kPowerMethod: {
+      PowerMethodOptions pm;
+      pm.max_iterations = options.power_iterations;
+      pm.tolerance = 0.0;  // Run the full budget: early stopping is the
+                           // regularizer here.
+      const PowerMethodResult run =
+          SecondEigenpairPowerMethod(g, RandomSignSeed(g, rng), pm);
+      result.x = run.eigenvector;
+      result.implicit_regularizer =
+          "early stopping after " + std::to_string(options.power_iterations) +
+          " power iterations (no closed-form G; see §2.3)";
+      break;
+    }
+    case EigenvectorMethod::kHeatKernel: {
+      HeatKernelOptions hk;
+      hk.t = options.t;
+      result.x = HeatKernelNormalized(g, RandomSignSeed(g, rng), hk);
+      FinalizeHatVector(trivial, result.x);
+      result.implicit_regularizer =
+          "generalized entropy G(X) = Tr(X log X), eta = t";
+      result.eta = options.t;
+      break;
+    }
+    case EigenvectorMethod::kPageRank: {
+      // Diffuse a random-sign hat vector through the symmetrized
+      // PageRank operator γ(γI + (1−γ)ℒ)^{-1}: positive and negative
+      // charge, as in footnote 16.
+      const Vector seed_hat = RandomSignSeed(g, rng);
+      // Split into positive/negative parts in probability space and
+      // run the linear (seed-superposable) PPR on the difference.
+      Vector prob = FromHatSpace(g, seed_hat);
+      Vector pos(prob.size(), 0.0), neg(prob.size(), 0.0);
+      for (std::size_t i = 0; i < prob.size(); ++i) {
+        if (prob[i] >= 0.0) {
+          pos[i] = prob[i];
+        } else {
+          neg[i] = -prob[i];
+        }
+      }
+      PageRankOptions pr;
+      pr.gamma = options.gamma;
+      const Vector p_pos = PersonalizedPageRankExact(g, pos, pr).scores;
+      const Vector p_neg = PersonalizedPageRankExact(g, neg, pr).scores;
+      Vector diff(prob.size());
+      for (std::size_t i = 0; i < prob.size(); ++i) {
+        diff[i] = p_pos[i] - p_neg[i];
+      }
+      result.x = ToHatSpace(g, diff);
+      FinalizeHatVector(trivial, result.x);
+      result.implicit_regularizer =
+          "log-determinant G(X) = -log det X, mu = gamma/(1-gamma)";
+      result.eta = options.gamma / (1.0 - options.gamma);
+      break;
+    }
+    case EigenvectorMethod::kLazyWalk: {
+      IMPREG_CHECK(options.steps >= 1);
+      const Vector seed_hat = RandomSignSeed(g, rng);
+      // Apply the symmetric lazy operator I − (1−α)ℒ directly in hat
+      // space (it shares eigenvectors with ℒ).
+      const ShiftedOperator lazy_hat(lap, -(1.0 - options.alpha), 1.0);
+      Vector current = seed_hat;
+      Vector next;
+      for (int step = 0; step < options.steps; ++step) {
+        lazy_hat.Apply(current, next);
+        current.swap(next);
+        // Only the direction matters; renormalize so thousands of steps
+        // cannot underflow the iterate to zero.
+        IMPREG_CHECK_MSG(Normalize(current) > 0.0,
+                         "lazy walk annihilated the seed");
+      }
+      result.x = std::move(current);
+      FinalizeHatVector(trivial, result.x);
+      result.implicit_regularizer =
+          "matrix p-norm G(X) = (1/p)||X||_p^p, p = 1 + 1/k";
+      result.eta = 1.0 + 1.0 / static_cast<double>(options.steps);
+      break;
+    }
+  }
+  result.rayleigh = lap.RayleighQuotient(result.x);
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,76 @@
+#ifndef IMPREG_CORE_APPROX_EIGENVECTOR_H_
+#define IMPREG_CORE_APPROX_EIGENVECTOR_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+/// \file
+/// The library's headline facade: "compute (an approximation to) the
+/// leading nontrivial eigenvector of the Laplacian" with the method —
+/// and therefore the *implicit regularizer* — as an explicit choice.
+///
+/// This is §3.1 of the paper as an API. Every approximate method
+/// returns, alongside the vector, a statement of which regularized SDP
+/// (Problem (5)) it is the exact solution of: approximate computation
+/// IS regularized computation, and the API says so.
+
+namespace impreg {
+
+/// Which dynamics to run.
+enum class EigenvectorMethod {
+  /// Lanczos to machine precision — the "exact" answer.
+  kExact,
+  /// Power method with a fixed iteration budget (early stopping).
+  kPowerMethod,
+  /// Heat-kernel diffusion exp(−tℒ) of a seed (implicit regularizer:
+  /// generalized entropy, η = t).
+  kHeatKernel,
+  /// Personalized PageRank (implicit regularizer: log-det,
+  /// μ = γ/(1−γ)).
+  kPageRank,
+  /// k steps of the α-lazy walk (implicit regularizer: p-norm with
+  /// p = 1 + 1/k).
+  kLazyWalk,
+};
+
+/// Options for ApproximateSecondEigenvector.
+struct ApproxEigenvectorOptions {
+  EigenvectorMethod method = EigenvectorMethod::kExact;
+  /// kHeatKernel: diffusion time.
+  double t = 10.0;
+  /// kPageRank: teleportation γ.
+  double gamma = 0.1;
+  /// kLazyWalk: holding probability and number of steps.
+  double alpha = 0.5;
+  int steps = 50;
+  /// kPowerMethod: iteration budget.
+  int power_iterations = 50;
+  /// Seed for the random start / seed distribution.
+  std::uint64_t rng_seed = 0x5eedULL;
+};
+
+/// Result of an (approximate) eigenvector computation.
+struct ApproxEigenvectorResult {
+  /// Unit hat-space vector, orthogonal to D^{1/2}1.
+  Vector x;
+  /// Rayleigh quotient xᵀℒx — the forward-error lens on the output.
+  double rayleigh = 0.0;
+  /// Human-readable description of the regularized problem this method
+  /// solves exactly (empty for kExact).
+  std::string implicit_regularizer;
+  /// The implied regularization strength η (0 for kExact/kPowerMethod).
+  double eta = 0.0;
+};
+
+/// Computes v₂ of ℒ (or a regularized approximation of it) on a
+/// connected graph with ≥ 1 edge. Diffusion methods start from a
+/// random-sign seed (footnote 16 of the paper), projected appropriately.
+ApproxEigenvectorResult ApproximateSecondEigenvector(
+    const Graph& g, const ApproxEigenvectorOptions& options = {});
+
+}  // namespace impreg
+
+#endif  // IMPREG_CORE_APPROX_EIGENVECTOR_H_

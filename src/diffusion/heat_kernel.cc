@@ -1,0 +1,77 @@
+#include "diffusion/heat_kernel.h"
+
+#include <cmath>
+
+#include "diffusion/seed.h"
+#include "linalg/graph_operators.h"
+#include "linalg/lanczos.h"
+#include "util/check.h"
+
+namespace impreg {
+
+Vector HeatKernelNormalized(const Graph& g, const Vector& x,
+                            const HeatKernelOptions& options) {
+  IMPREG_CHECK(x.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.t >= 0.0);
+  const NormalizedLaplacianOperator lap(g);
+  return KrylovExpMultiply(lap, -options.t, x, options.krylov_dim);
+}
+
+Vector HeatKernelWalk(const Graph& g, const Vector& seed,
+                      const HeatKernelOptions& options) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.t >= 0.0);
+  // exp(−t(I−M)) = D^{1/2} exp(−tℒ) D^{-1/2} on supported nodes;
+  // isolated nodes are fixed points of the dynamics.
+  Vector hat = ToHatSpace(g, seed);
+  hat = HeatKernelNormalized(g, hat, options);
+  Vector out = FromHatSpace(g, hat);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) == 0.0) out[u] = seed[u];
+  }
+  return out;
+}
+
+Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
+                            double tail_tolerance) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(t >= 0.0);
+  IMPREG_CHECK(tail_tolerance > 0.0);
+  const RandomWalkOperator walk(g);
+
+  // exp(−t(I−M)) s = e^{−t} Σ_k (t^k / k!) M^k s. All terms are
+  // nonnegative for a distribution seed, so there is no cancellation and
+  // the truncation error is bounded by the remaining Poisson tail.
+  Vector term = seed;            // (t^k/k!) M^k s, starting at k = 0.
+  Vector accum = seed;           // Partial sum.
+  Vector next(g.NumNodes());
+  double poisson = 1.0;          // t^k / k!.
+  double tail = std::exp(t) - 1.0;  // Σ_{j>k} t^j/j!, exact at k = 0.
+  // Isolated-node mass is handled exactly by the k = 0 term plus the
+  // e^{−t} weight below *only if* we freeze it; M annihilates it
+  // otherwise. Track it separately.
+  Vector frozen(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) == 0.0 && seed[u] != 0.0) {
+      frozen[u] = seed[u];
+      term[u] = 0.0;
+      accum[u] = 0.0;
+    }
+  }
+  for (int k = 1; k <= 4 * (static_cast<int>(t) + 25); ++k) {
+    walk.Apply(term, next);
+    poisson *= t / static_cast<double>(k);
+    tail -= poisson;
+    term.swap(next);
+    Scale(t / static_cast<double>(k), term);
+    // term now equals (t^k/k!) M^k s because walk.Apply used the
+    // previous term which already carried t^{k-1}/(k-1)!.
+    Axpy(1.0, term, accum);
+    if (tail * std::exp(-t) <= tail_tolerance) break;
+  }
+  Scale(std::exp(-t), accum);
+  Axpy(1.0, frozen, accum);
+  return accum;
+}
+
+}  // namespace impreg

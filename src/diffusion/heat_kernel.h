@@ -1,0 +1,52 @@
+#ifndef IMPREG_DIFFUSION_HEAT_KERNEL_H_
+#define IMPREG_DIFFUSION_HEAT_KERNEL_H_
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Heat-kernel dynamics — the first diffusion of §3.1:
+///
+///   H_t = exp(−t L) = Σ_k (−t)^k/k! · L^k,   t ≥ 0,
+///
+/// applied to a seed vector. Two coordinate systems are provided:
+///
+///  * the symmetric hat space, exp(−t ℒ) x, which is the object that
+///    appears in the regularized SDP correspondence (Problem (5)); and
+///  * probability space, exp(−t (I − M)) s with M = A D^{-1}, the
+///    heat-kernel PageRank of Chung [15] used for local clustering.
+///
+/// They are conjugate: exp(−t(I−M)) = D^{1/2} exp(−t ℒ) D^{-1/2} on the
+/// support of the degree vector, which is how the probability-space
+/// version is computed here (via a symmetric Krylov approximation).
+
+namespace impreg {
+
+/// Options for the heat-kernel solvers.
+struct HeatKernelOptions {
+  /// Diffusion time t ≥ 0.
+  double t = 5.0;
+  /// Krylov dimension for the Lanczos exp-multiply.
+  int krylov_dim = 60;
+};
+
+/// y = exp(−t ℒ) x (hat space, symmetric).
+Vector HeatKernelNormalized(const Graph& g, const Vector& x,
+                            const HeatKernelOptions& options = {});
+
+/// ρ = exp(−t (I − M)) s (probability space). Preserves total mass on
+/// graphs without isolated nodes; mass seeded on isolated nodes stays
+/// put (exp(0) = 1 on their diagonal).
+Vector HeatKernelWalk(const Graph& g, const Vector& seed,
+                      const HeatKernelOptions& options = {});
+
+/// Reference implementation of exp(−t(I−M)) s by the scaled Taylor
+/// series e^{-t} Σ_k t^k/k! M^k s, truncated when the remaining tail
+/// mass is below `tail_tolerance`. Used to cross-check the Krylov path
+/// in tests and as the engine for small t.
+Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
+                            double tail_tolerance = 1e-14);
+
+}  // namespace impreg
+
+#endif  // IMPREG_DIFFUSION_HEAT_KERNEL_H_

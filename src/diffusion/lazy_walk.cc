@@ -1,0 +1,32 @@
+#include "diffusion/lazy_walk.h"
+
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+Vector LazyWalk(const Graph& g, const Vector& seed,
+                const LazyWalkOptions& options) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.steps >= 0);
+  const LazyWalkOperator walk(g, options.alpha);
+  Vector current = seed;
+  Vector next(g.NumNodes());
+  for (int step = 1; step <= options.steps; ++step) {
+    walk.Apply(current, next);
+    current.swap(next);
+    if (options.on_step) options.on_step(step, current);
+  }
+  return current;
+}
+
+Vector StationaryDistribution(const Graph& g) {
+  IMPREG_CHECK_MSG(g.TotalVolume() > 0.0, "graph has no edges");
+  Vector pi(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    pi[u] = g.Degree(u) / g.TotalVolume();
+  }
+  return pi;
+}
+
+}  // namespace impreg

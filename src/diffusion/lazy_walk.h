@@ -1,0 +1,43 @@
+#ifndef IMPREG_DIFFUSION_LAZY_WALK_H_
+#define IMPREG_DIFFUSION_LAZY_WALK_H_
+
+#include <functional>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Lazy random walk — the third diffusion of §3.1:
+///
+///   W_α = α I + (1−α) M,   M = A D^{-1},  α ∈ (0, 1),
+///
+/// iterated for a finite number of steps on a seed distribution. The
+/// number of steps is the "aggressiveness" knob: few steps keep the
+/// charge near the seed (strong implicit regularization); infinitely
+/// many steps equilibrate to the degree-proportional stationary
+/// distribution regardless of the seed.
+
+namespace impreg {
+
+/// Options for the lazy-walk dynamics.
+struct LazyWalkOptions {
+  /// Holding probability α ∈ [0, 1]. α = 1/2 is the classical choice
+  /// that makes W_α positive semidefinite (spectrum ⊂ [0, 1]).
+  double alpha = 0.5;
+  /// Number of steps k ≥ 0.
+  int steps = 10;
+  /// If set, called after each step with (step, current distribution).
+  std::function<void(int, const Vector&)> on_step;
+};
+
+/// Returns W_α^k · seed.
+Vector LazyWalk(const Graph& g, const Vector& seed,
+                const LazyWalkOptions& options = {});
+
+/// The stationary distribution of the walk on a graph with positive
+/// total volume: π(u) = d(u) / vol(G).
+Vector StationaryDistribution(const Graph& g);
+
+}  // namespace impreg
+
+#endif  // IMPREG_DIFFUSION_LAZY_WALK_H_

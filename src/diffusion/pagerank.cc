@@ -1,0 +1,127 @@
+#include "diffusion/pagerank.h"
+
+#include <cmath>
+
+#include "linalg/cg.h"
+#include "linalg/chebyshev.h"
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+void ValidateSeed(const Graph& g, const Vector& seed) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  for (double v : seed) IMPREG_CHECK_MSG(v >= 0.0, "seed must be nonnegative");
+}
+
+}  // namespace
+
+PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
+                                    const PageRankOptions& options) {
+  ValidateSeed(g, seed);
+  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+
+  const RandomWalkOperator walk(g);
+  PageRankResult result;
+  result.scores = seed;
+  Scale(options.gamma, result.scores);
+
+  Vector walked(g.NumNodes());
+  Vector next(g.NumNodes());
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    walk.Apply(result.scores, walked);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      next[u] = options.gamma * seed[u] + (1.0 - options.gamma) * walked[u];
+    }
+    const double delta = DistanceL1(next, result.scores);
+    result.scores.swap(next);
+    result.iterations = iter;
+    if (delta <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+PageRankResult GlobalPageRank(const Graph& g, const PageRankOptions& options) {
+  IMPREG_CHECK(g.NumNodes() > 0);
+  const Vector uniform(g.NumNodes(), 1.0 / static_cast<double>(g.NumNodes()));
+  return PersonalizedPageRank(g, uniform, options);
+}
+
+PageRankResult PersonalizedPageRankExact(const Graph& g, const Vector& seed,
+                                         const PageRankOptions& options) {
+  ValidateSeed(g, seed);
+  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+
+  // Operator q ↦ (I − (1−γ) S) q with S = D^{-1/2} A D^{-1/2} = I − ℒ.
+  // Note I − (1−γ)S = γI + (1−γ)ℒ, symmetric positive definite with
+  // spectrum ⊂ [γ, γ + 2(1−γ)].
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator system(lap, 1.0 - options.gamma, options.gamma);
+
+  Vector rhs(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0.0) {
+      rhs[u] = options.gamma * seed[u] / std::sqrt(g.Degree(u));
+    }
+  }
+  CgOptions cg_options;
+  cg_options.relative_tolerance = options.tolerance;
+  cg_options.max_iterations = options.max_iterations;
+  const CgResult cg = ConjugateGradient(system, rhs, cg_options);
+
+  PageRankResult result;
+  result.scores.assign(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0.0) {
+      result.scores[u] = cg.x[u] * std::sqrt(g.Degree(u));
+    } else {
+      // Isolated seeds keep their teleport mass.
+      result.scores[u] = options.gamma * seed[u];
+    }
+  }
+  result.iterations = cg.iterations;
+  result.converged = cg.converged;
+  return result;
+}
+
+PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
+                                             const Vector& seed,
+                                             const PageRankOptions& options) {
+  ValidateSeed(g, seed);
+  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator system(lap, 1.0 - options.gamma, options.gamma);
+  Vector rhs(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0.0) {
+      rhs[u] = options.gamma * seed[u] / std::sqrt(g.Degree(u));
+    }
+  }
+  // Spectrum of γI + (1−γ)ℒ: ℒ ∈ [0, 2] ⇒ [γ, 2 − γ].
+  ChebyshevOptions cheb;
+  cheb.relative_tolerance = options.tolerance;
+  cheb.max_iterations = options.max_iterations;
+  const ChebyshevResult solve =
+      ChebyshevSolve(system, rhs, options.gamma, 2.0 - options.gamma, cheb);
+
+  PageRankResult result;
+  result.scores.assign(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0.0) {
+      result.scores[u] = solve.x[u] * std::sqrt(g.Degree(u));
+    } else {
+      result.scores[u] = options.gamma * seed[u];
+    }
+  }
+  result.iterations = solve.iterations;
+  result.converged = solve.converged;
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,75 @@
+#include "diffusion/seed.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+Vector SingleNodeSeed(const Graph& g, NodeId node) {
+  IMPREG_CHECK(g.IsValidNode(node));
+  Vector s(g.NumNodes(), 0.0);
+  s[node] = 1.0;
+  return s;
+}
+
+Vector SeedSetDistribution(const Graph& g, const std::vector<NodeId>& nodes) {
+  IMPREG_CHECK(!nodes.empty());
+  Vector s(g.NumNodes(), 0.0);
+  const double mass = 1.0 / static_cast<double>(nodes.size());
+  for (NodeId u : nodes) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    IMPREG_CHECK_MSG(s[u] == 0.0, "seed nodes must be distinct");
+    s[u] = mass;
+  }
+  return s;
+}
+
+Vector DegreeWeightedSeed(const Graph& g, const std::vector<NodeId>& nodes) {
+  IMPREG_CHECK(!nodes.empty());
+  Vector s(g.NumNodes(), 0.0);
+  double total = 0.0;
+  for (NodeId u : nodes) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    IMPREG_CHECK_MSG(s[u] == 0.0, "seed nodes must be distinct");
+    s[u] = g.Degree(u);
+    total += g.Degree(u);
+  }
+  IMPREG_CHECK_MSG(total > 0.0, "seed set has zero volume");
+  for (NodeId u : nodes) s[u] /= total;
+  return s;
+}
+
+Vector RandomSignSeed(const Graph& g, Rng& rng) {
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextBernoulli(0.5) ? 1.0 : -1.0;
+  // Orthogonalize against the trivial direction D^{1/2}1.
+  Vector trivial(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    trivial[u] = std::sqrt(g.Degree(u));
+  }
+  ProjectOut(trivial, x);
+  IMPREG_CHECK_MSG(Normalize(x) > 1e-12,
+                   "random sign seed vanished (degenerate graph)");
+  return x;
+}
+
+Vector ToHatSpace(const Graph& g, const Vector& p) {
+  IMPREG_CHECK(p.size() == static_cast<std::size_t>(g.NumNodes()));
+  Vector x(p.size(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (g.Degree(u) > 0.0) x[u] = p[u] / std::sqrt(g.Degree(u));
+  }
+  return x;
+}
+
+Vector FromHatSpace(const Graph& g, const Vector& x) {
+  IMPREG_CHECK(x.size() == static_cast<std::size_t>(g.NumNodes()));
+  Vector p(x.size(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    p[u] = x[u] * std::sqrt(g.Degree(u));
+  }
+  return p;
+}
+
+}  // namespace impreg

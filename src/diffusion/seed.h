@@ -1,0 +1,44 @@
+#ifndef IMPREG_DIFFUSION_SEED_H_
+#define IMPREG_DIFFUSION_SEED_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+/// \file
+/// Seed distributions for the diffusion dynamics of §3.1.
+///
+/// Footnote 16 of the paper: for *global* spectral partitioning the seed
+/// is random (±1 entries or random signs), while for *local* methods it
+/// is the indicator of a small seed set. Both are provided here, in the
+/// two natural coordinate systems: probability space (charge vectors fed
+/// to M-based dynamics) and the symmetric "hat" space of ℒ.
+
+namespace impreg {
+
+/// Probability distribution concentrated on one node.
+Vector SingleNodeSeed(const Graph& g, NodeId node);
+
+/// Uniform probability distribution over `nodes` (distinct, valid ids).
+Vector SeedSetDistribution(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Degree-weighted distribution over `nodes`: p(u) ∝ d(u) on the set.
+Vector DegreeWeightedSeed(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Random ±1 vector, then projected orthogonal to D^{1/2}1 and
+/// normalized — the global-partitioning seed of footnote 16, living in
+/// the hat space of ℒ.
+Vector RandomSignSeed(const Graph& g, Rng& rng);
+
+/// Maps a probability-space vector p to the hat space: x = D^{-1/2} p.
+/// (Isolated nodes map to 0.)
+Vector ToHatSpace(const Graph& g, const Vector& p);
+
+/// Maps a hat-space vector x back to probability space: p = D^{1/2} x.
+Vector FromHatSpace(const Graph& g, const Vector& x);
+
+}  // namespace impreg
+
+#endif  // IMPREG_DIFFUSION_SEED_H_

@@ -1,0 +1,90 @@
+#include "flow/flow_improve.h"
+
+#include <algorithm>
+
+#include "flow/maxflow.h"
+#include "util/check.h"
+
+namespace impreg {
+
+FlowImproveResult FlowImprove(const Graph& g,
+                              const std::vector<NodeId>& ref_in,
+                              int max_rounds) {
+  IMPREG_CHECK(!ref_in.empty());
+  IMPREG_CHECK(static_cast<NodeId>(ref_in.size()) < g.NumNodes());
+  IMPREG_CHECK(max_rounds >= 1);
+
+  std::vector<NodeId> ref = ref_in;
+  CutStats ref_stats = ComputeCutStats(g, ref);
+  if (ref_stats.volume > ref_stats.complement_volume) {
+    ref = ComplementSet(g, ref);
+    ref_stats = ComputeCutStats(g, ref);
+  }
+  IMPREG_CHECK_MSG(ref_stats.volume > 0.0, "reference set has zero volume");
+  const double f = ref_stats.volume / ref_stats.complement_volume;
+
+  std::vector<char> in_ref = NodesToMask(g, ref);
+
+  FlowImproveResult result;
+  result.set = ref;
+  result.stats = ref_stats;
+  result.quotient = ref_stats.conductance;  // Q(R) = φ(R).
+
+  double alpha = result.quotient;
+  if (alpha <= 0.0) return result;  // Already a perfect cut.
+
+  const NodeId n = g.NumNodes();
+  for (int round = 1; round <= max_rounds; ++round) {
+    result.rounds = round;
+    const int source = n;
+    const int sink = n + 1;
+    FlowNetwork network(n + 2);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Arc& arc : g.Neighbors(u)) {
+        if (arc.head > u) {
+          network.AddEdge(u, arc.head, arc.weight, arc.weight);
+        }
+      }
+      if (in_ref[u]) {
+        network.AddEdge(source, u, alpha * g.Degree(u));
+      } else {
+        network.AddEdge(u, sink, alpha * f * g.Degree(u));
+      }
+    }
+    const double flow = network.MaxFlow(source, sink);
+    if (flow >= alpha * ref_stats.volume * (1.0 - 1e-9)) {
+      break;  // No S with Q(S) < α exists.
+    }
+    const std::vector<char> side = network.MinCutSourceSide();
+    std::vector<NodeId> candidate;
+    double vol_in_ref = 0.0;
+    double vol_out_ref = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (side[u]) {
+        candidate.push_back(u);
+        if (in_ref[u]) {
+          vol_in_ref += g.Degree(u);
+        } else {
+          vol_out_ref += g.Degree(u);
+        }
+      }
+    }
+    if (candidate.empty() ||
+        static_cast<NodeId>(candidate.size()) >= n) {
+      break;
+    }
+    const CutStats stats = ComputeCutStats(g, candidate);
+    const double denom = vol_in_ref - f * vol_out_ref;
+    if (denom <= 0.0) break;  // Numerically degenerate.
+    const double quotient = stats.cut / denom;
+    if (quotient >= alpha * (1.0 - 1e-12)) break;  // No real progress.
+    alpha = quotient;
+    result.set = std::move(candidate);
+    result.stats = stats;
+    result.quotient = quotient;
+  }
+  std::sort(result.set.begin(), result.set.end());
+  return result;
+}
+
+}  // namespace impreg

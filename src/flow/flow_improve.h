@@ -1,0 +1,43 @@
+#ifndef IMPREG_FLOW_FLOW_IMPROVE_H_
+#define IMPREG_FLOW_FLOW_IMPROVE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/conductance.h"
+
+/// \file
+/// FlowImprove (Andersen–Lang, SODA'08 [3]): flow-based improvement that
+/// — unlike MQI — may move nodes *into* the set as well as out of it.
+///
+/// Given a reference set R with vol(R) ≤ vol(G)/2, define for any S
+///
+///   Q(S) = cut(S) / (vol(S∩R) − f·vol(S∖R)),   f = vol(R)/vol(R̄),
+///
+/// (Q(R) = φ(R)). Each round solves a max-flow whose min cut finds S
+/// with Q(S) < α if one exists (α = current quotient): s → u with
+/// capacity α·d(u) for u ∈ R, u → t with capacity α·f·d(u) for u ∉ R,
+/// internal edges at their weight. Iterating to a fixpoint gives a set
+/// whose conductance is ≤ φ(R) and that overlaps R — the locally-biased
+/// flow method the paper cites as the counterpart of locally-biased
+/// spectral methods (§3.3, footnote 26).
+
+namespace impreg {
+
+/// Result of FlowImprove.
+struct FlowImproveResult {
+  std::vector<NodeId> set;
+  CutStats stats;
+  int rounds = 0;
+  /// Final quotient value Q(S).
+  double quotient = 0.0;
+};
+
+/// Improves the reference set. Requires a nonempty proper subset of the
+/// nodes; if vol(R) exceeds half, the complement is used as reference.
+FlowImproveResult FlowImprove(const Graph& g, const std::vector<NodeId>& ref,
+                              int max_rounds = 32);
+
+}  // namespace impreg
+
+#endif  // IMPREG_FLOW_FLOW_IMPROVE_H_

@@ -1,0 +1,111 @@
+#include "flow/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+FlowNetwork::FlowNetwork(int num_nodes) {
+  IMPREG_CHECK(num_nodes >= 0);
+  adjacency_.resize(num_nodes);
+}
+
+void FlowNetwork::AddEdge(int from, int to, double capacity,
+                          double reverse_capacity) {
+  IMPREG_CHECK(from >= 0 && from < NumNodes());
+  IMPREG_CHECK(to >= 0 && to < NumNodes());
+  IMPREG_CHECK(capacity >= 0.0 && reverse_capacity >= 0.0);
+  adjacency_[from].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back({to, capacity, capacity});
+  adjacency_[to].push_back(static_cast<int>(edges_.size()));
+  edges_.push_back({from, reverse_capacity, reverse_capacity});
+}
+
+bool FlowNetwork::BuildLevels(int source, int sink) {
+  level_.assign(NumNodes(), -1);
+  std::queue<int> frontier;
+  level_[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int id : adjacency_[u]) {
+      const Edge& e = edges_[id];
+      if (e.cap > kEps && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double FlowNetwork::PushBlocking(int u, int sink, double limit) {
+  if (u == sink) return limit;
+  for (std::size_t& i = iter_[u]; i < adjacency_[u].size(); ++i) {
+    const int id = adjacency_[u][i];
+    Edge& e = edges_[id];
+    if (e.cap > kEps && level_[e.to] == level_[u] + 1) {
+      const double pushed =
+          PushBlocking(e.to, sink, std::min(limit, e.cap));
+      if (pushed > kEps) {
+        e.cap -= pushed;
+        edges_[id ^ 1].cap += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double FlowNetwork::MaxFlow(int source, int sink) {
+  IMPREG_CHECK(source >= 0 && source < NumNodes());
+  IMPREG_CHECK(sink >= 0 && sink < NumNodes());
+  IMPREG_CHECK(source != sink);
+  last_source_ = source;
+  double total = 0.0;
+  while (BuildLevels(source, sink)) {
+    iter_.assign(NumNodes(), 0);
+    while (true) {
+      const double pushed =
+          PushBlocking(source, sink, std::numeric_limits<double>::max());
+      if (pushed <= kEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+std::vector<char> FlowNetwork::MinCutSourceSide() const {
+  IMPREG_CHECK_MSG(last_source_ >= 0, "call MaxFlow first");
+  std::vector<char> side(NumNodes(), 0);
+  std::queue<int> frontier;
+  side[last_source_] = 1;
+  frontier.push(last_source_);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (int id : adjacency_[u]) {
+      const Edge& e = edges_[id];
+      if (e.cap > kEps && !side[e.to]) {
+        side[e.to] = 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return side;
+}
+
+void FlowNetwork::Reset() {
+  for (Edge& e : edges_) e.cap = e.original_cap;
+  last_source_ = -1;
+}
+
+}  // namespace impreg

@@ -1,0 +1,66 @@
+#ifndef IMPREG_FLOW_MAXFLOW_H_
+#define IMPREG_FLOW_MAXFLOW_H_
+
+#include <vector>
+
+/// \file
+/// Max-flow / min-cut on directed networks with real capacities
+/// (Dinic's algorithm). This is the flow primitive under the paper's
+/// flow-based partitioning family (§3.2): MQI and FlowImprove both
+/// reduce conductance improvement to a sequence of s–t max-flows.
+
+namespace impreg {
+
+/// A directed flow network with real capacities.
+///
+/// Usage: AddEdge all arcs, call MaxFlow(s, t), then (optionally)
+/// MinCutSourceSide(). Reset() restores the original capacities so the
+/// same topology can be re-solved.
+class FlowNetwork {
+ public:
+  /// Creates a network on `num_nodes` nodes (0-based ids).
+  explicit FlowNetwork(int num_nodes);
+
+  FlowNetwork(const FlowNetwork&) = default;
+  FlowNetwork& operator=(const FlowNetwork&) = default;
+
+  int NumNodes() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Adds a directed arc `from → to` with the given capacity plus the
+  /// paired reverse arc with `reverse_capacity` (0 for a one-way arc;
+  /// equal values model an undirected edge). Capacities must be ≥ 0.
+  void AddEdge(int from, int to, double capacity,
+               double reverse_capacity = 0.0);
+
+  /// Computes the maximum s–t flow value (Dinic). Residual capacities
+  /// below 1e-12 are treated as saturated, which keeps the algorithm
+  /// robust with floating-point capacities.
+  double MaxFlow(int source, int sink);
+
+  /// After MaxFlow: mask of nodes reachable from the source in the
+  /// residual network — the source side of a minimum cut.
+  std::vector<char> MinCutSourceSide() const;
+
+  /// Restores all capacities to their construction-time values.
+  void Reset();
+
+ private:
+  struct Edge {
+    int to;
+    double cap;
+    double original_cap;
+  };
+
+  bool BuildLevels(int source, int sink);
+  double PushBlocking(int u, int sink, double limit);
+
+  std::vector<Edge> edges_;  // Edge 2k and 2k+1 are mutual reverses.
+  std::vector<std::vector<int>> adjacency_;  // Outgoing edge ids.
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  int last_source_ = -1;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_FLOW_MAXFLOW_H_

@@ -1,0 +1,298 @@
+#include "flow/multilevel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace impreg {
+
+namespace {
+
+// One level of the multilevel hierarchy.
+struct Level {
+  Graph graph;
+  std::vector<std::int64_t> node_weight;  // Original node counts.
+  std::vector<NodeId> coarse_of;          // Finer node → coarse node.
+};
+
+// Heavy-edge matching contraction. Returns false if it made no
+// progress (graph cannot shrink further). Pairs whose combined weight
+// would exceed `max_weight` are not matched — without this cap the
+// power-law cores of social graphs collapse into one giant supernode,
+// which destroys the granularity the initial partition needs.
+bool Coarsen(const Graph& fine, const std::vector<std::int64_t>& fine_weight,
+             std::int64_t max_weight, Rng& rng, Level& out) {
+  const NodeId n = fine.NumNodes();
+  std::vector<NodeId> match(n, -1);
+  const std::vector<int> order = rng.Permutation(n);
+  NodeId coarse_count = 0;
+  std::vector<NodeId> coarse_id(n, -1);
+  for (int idx : order) {
+    const NodeId u = static_cast<NodeId>(idx);
+    if (match[u] >= 0) continue;
+    // Match with the unmatched neighbor of maximal edge weight whose
+    // merged weight stays under the cap.
+    NodeId best = -1;
+    double best_weight = -1.0;
+    for (const Arc& arc : fine.Neighbors(u)) {
+      if (arc.head != u && match[arc.head] < 0 && arc.weight > best_weight &&
+          fine_weight[u] + fine_weight[arc.head] <= max_weight) {
+        best = arc.head;
+        best_weight = arc.weight;
+      }
+    }
+    if (best >= 0) {
+      match[u] = best;
+      match[best] = u;
+      coarse_id[u] = coarse_id[best] = coarse_count++;
+    } else {
+      match[u] = u;
+      coarse_id[u] = coarse_count++;
+    }
+  }
+  if (coarse_count >= n) return false;
+
+  GraphBuilder builder(coarse_count);
+  out.node_weight.assign(coarse_count, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    out.node_weight[coarse_id[u]] += fine_weight[u];
+    for (const Arc& arc : fine.Neighbors(u)) {
+      // Keep each fine edge once; drop edges internal to a merged pair.
+      if (arc.head <= u) continue;
+      if (coarse_id[arc.head] == coarse_id[u]) continue;
+      builder.AddEdge(coarse_id[u], coarse_id[arc.head], arc.weight);
+    }
+  }
+  out.graph = builder.Build();
+  out.coarse_of = std::move(coarse_id);
+  return true;
+}
+
+double CutOfSides(const Graph& g, const std::vector<char>& side) {
+  double cut = 0.0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head > u && side[arc.head] != side[u]) cut += arc.weight;
+    }
+  }
+  return cut;
+}
+
+// Greedy region growing: BFS-like growth that always absorbs the
+// frontier node with the best cut-delta until the target weight is hit.
+std::vector<char> GrowInitial(const Graph& g,
+                              const std::vector<std::int64_t>& weight,
+                              std::int64_t target, Rng& rng) {
+  const NodeId n = g.NumNodes();
+  std::vector<char> side(n, 0);
+  const NodeId start = static_cast<NodeId>(rng.NextBounded(n));
+  // Priority queue on gain = (weight to S) − (weight to S̄); larger is
+  // better (absorbing it removes more cut than it adds).
+  std::priority_queue<std::pair<double, NodeId>> frontier;
+  std::vector<char> seen(n, 0);
+  side[start] = 1;
+  seen[start] = 1;
+  std::int64_t grown = weight[start];
+  for (const Arc& arc : g.Neighbors(start)) {
+    if (arc.head != start && !seen[arc.head]) {
+      seen[arc.head] = 1;
+      frontier.push({arc.weight, arc.head});
+    }
+  }
+  while (grown < target && !frontier.empty()) {
+    const auto [stale_gain, u] = frontier.top();
+    frontier.pop();
+    if (side[u]) continue;
+    // Recompute the gain lazily; push back if stale and worse.
+    double to_s = 0.0, to_rest = 0.0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head == u) continue;
+      (side[arc.head] ? to_s : to_rest) += arc.weight;
+    }
+    const double gain = to_s - to_rest;
+    if (gain < stale_gain - 1e-12 && !frontier.empty()) {
+      frontier.push({gain, u});
+      continue;
+    }
+    side[u] = 1;
+    grown += weight[u];
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head != u && !side[arc.head]) {
+        frontier.push({arc.weight, arc.head});  // Lazy: recomputed above.
+      }
+    }
+  }
+  return side;
+}
+
+// One FM-style refinement pass: greedy single-node moves with exact
+// gain recomputation, respecting the node-count balance window.
+void RefinePass(const Graph& g, const std::vector<std::int64_t>& weight,
+                std::int64_t target, std::int64_t tolerance,
+                std::vector<char>& side) {
+  const NodeId n = g.NumNodes();
+  std::int64_t side_weight = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (side[u]) side_weight += weight[u];
+  }
+  // Gains: moving u across reduces the cut by (external − internal).
+  auto gain_of = [&](NodeId u) {
+    double external = 0.0, internal = 0.0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head == u) continue;
+      (side[arc.head] == side[u] ? internal : external) += arc.weight;
+    }
+    return external - internal;
+  };
+  std::priority_queue<std::pair<double, NodeId>> moves;
+  for (NodeId u = 0; u < n; ++u) moves.push({gain_of(u), u});
+  std::vector<char> moved(n, 0);
+  while (!moves.empty()) {
+    const auto [stale_gain, u] = moves.top();
+    moves.pop();
+    if (moved[u]) continue;
+    const double gain = gain_of(u);
+    if (gain < stale_gain - 1e-12) {
+      moves.push({gain, u});
+      continue;
+    }
+    if (gain <= 0.0) break;  // No further strictly-improving move.
+    // Balance check: a move is allowed if it lands inside the balance
+    // window, or strictly improves the distance to the target while
+    // still outside it. In particular a move can never *exit* the
+    // window.
+    const std::int64_t new_weight =
+        side[u] ? side_weight - weight[u] : side_weight + weight[u];
+    const std::int64_t new_dist = std::llabs(new_weight - target);
+    const std::int64_t old_dist = std::llabs(side_weight - target);
+    if (new_dist > tolerance &&
+        (old_dist <= tolerance || new_dist >= old_dist)) {
+      continue;
+    }
+    side[u] = side[u] ? 0 : 1;
+    side_weight = new_weight;
+    moved[u] = 1;
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head != u && !moved[arc.head]) {
+        moves.push({gain_of(arc.head), arc.head});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MultilevelResult MultilevelBisection(const Graph& g,
+                                     const MultilevelOptions& options) {
+  IMPREG_CHECK(g.NumNodes() >= 2);
+  IMPREG_CHECK(options.target_fraction > 0.0 &&
+               options.target_fraction <= 0.5);
+  IMPREG_CHECK(options.balance_tolerance >= 0.0);
+  Rng rng(options.seed);
+
+  // Build the hierarchy.
+  std::vector<Level> levels;
+  {
+    Level base;
+    base.graph = g;
+    base.node_weight.assign(g.NumNodes(), 1);
+    levels.push_back(std::move(base));
+  }
+  const std::int64_t total_weight_for_cap = g.NumNodes();
+  const std::int64_t max_supernode_weight = std::max<std::int64_t>(
+      1, std::min(total_weight_for_cap / (2 * options.coarsest_size) + 1,
+                  static_cast<std::int64_t>(std::llround(
+                      0.5 * options.target_fraction *
+                      static_cast<double>(total_weight_for_cap))) +
+                      1));
+  while (levels.back().graph.NumNodes() > options.coarsest_size) {
+    Level next;
+    if (!Coarsen(levels.back().graph, levels.back().node_weight,
+                 max_supernode_weight, rng, next)) {
+      break;
+    }
+    // Require ≥ 5% shrinkage to continue (heavy parallel-edge graphs
+    // can stall).
+    if (next.graph.NumNodes() >
+        levels.back().graph.NumNodes() * 0.95) {
+      break;
+    }
+    levels.push_back(std::move(next));
+  }
+
+  const std::int64_t total_weight = g.NumNodes();
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(options.target_fraction * total_weight)));
+  const std::int64_t tolerance = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::llround(options.balance_tolerance * target)));
+
+  // Initial partition on the coarsest level: best of several growths.
+  // Selection is balance-first: candidates inside the balance window
+  // compete on cut; a candidate outside the window (e.g. a degenerate
+  // low-cut sliver) only wins if nothing balanced exists.
+  const Level& coarsest = levels.back();
+  std::vector<char> side;
+  auto score = [&](const std::vector<char>& candidate, double cut) {
+    std::int64_t weight = 0;
+    for (NodeId u = 0; u < coarsest.graph.NumNodes(); ++u) {
+      if (candidate[u]) weight += coarsest.node_weight[u];
+    }
+    const std::int64_t distance = std::llabs(weight - target);
+    return distance <= tolerance
+               ? std::pair<double, double>(0.0, cut)
+               : std::pair<double, double>(1.0,
+                                           static_cast<double>(distance));
+  };
+  std::pair<double, double> best_score = {2.0, 0.0};
+  for (int trial = 0; trial < std::max(1, options.initial_trials); ++trial) {
+    std::vector<char> candidate =
+        GrowInitial(coarsest.graph, coarsest.node_weight, target, rng);
+    for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      RefinePass(coarsest.graph, coarsest.node_weight, target, tolerance,
+                 candidate);
+    }
+    const double cut = CutOfSides(coarsest.graph, candidate);
+    const std::pair<double, double> candidate_score = score(candidate, cut);
+    if (candidate_score < best_score) {
+      best_score = candidate_score;
+      side = std::move(candidate);
+    }
+  }
+
+  // Uncoarsen with refinement at every level.
+  for (int level = static_cast<int>(levels.size()) - 1; level > 0; --level) {
+    const Level& coarse = levels[level];
+    const Level& fine = levels[level - 1];
+    std::vector<char> fine_side(fine.graph.NumNodes(), 0);
+    for (NodeId u = 0; u < fine.graph.NumNodes(); ++u) {
+      fine_side[u] = side[coarse.coarse_of[u]];
+    }
+    side = std::move(fine_side);
+    for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      RefinePass(fine.graph, fine.node_weight, target, tolerance, side);
+    }
+  }
+
+  MultilevelResult result;
+  result.levels = static_cast<int>(levels.size());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (side[u]) result.set.push_back(u);
+  }
+  // Guard against degenerate empty/full sides (can happen on tiny
+  // graphs): fall back to a single node.
+  if (result.set.empty()) result.set.push_back(0);
+  if (static_cast<NodeId>(result.set.size()) == g.NumNodes()) {
+    result.set.pop_back();
+  }
+  result.stats = ComputeCutStats(g, result.set);
+  result.cut = result.stats.cut;
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,84 @@
+#include "flow/recursive_partition.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Recursively partitions `nodes` (original ids) into blocks
+// [first_block, first_block + k), writing labels into `part`.
+void Recurse(const Graph& g, const std::vector<NodeId>& nodes, int k,
+             int first_block, const KwayOptions& options,
+             std::vector<int>& part) {
+  if (k == 1 || nodes.size() <= 1) {
+    for (NodeId u : nodes) part[u] = first_block;
+    return;
+  }
+  // Split k into k_left + k_right and target the proportional share of
+  // nodes on the left side.
+  const int k_left = k / 2;
+  const int k_right = k - k_left;
+  const Subgraph sub = InducedSubgraph(g, nodes);
+
+  MultilevelOptions bisection = options.bisection;
+  bisection.target_fraction =
+      static_cast<double>(k_left) / static_cast<double>(k);
+  // Nudge the seed so sibling calls explore different matchings.
+  bisection.seed ^= static_cast<std::uint64_t>(first_block) * 0x9e3779b9ULL +
+                    nodes.size();
+  const MultilevelResult result = MultilevelBisection(sub.graph, bisection);
+
+  std::vector<char> in_left(sub.graph.NumNodes(), 0);
+  for (NodeId local : result.set) in_left[local] = 1;
+  std::vector<NodeId> left, right;
+  for (NodeId local = 0; local < sub.graph.NumNodes(); ++local) {
+    (in_left[local] ? left : right).push_back(sub.original_of[local]);
+  }
+  // Each side must be able to host its share of blocks (k_left and
+  // k_right nonempty blocks respectively); rebalance degenerate splits
+  // by moving arbitrary nodes.
+  while (static_cast<int>(left.size()) < k_left && !right.empty()) {
+    left.push_back(right.back());
+    right.pop_back();
+  }
+  while (static_cast<int>(right.size()) < k_right && !left.empty()) {
+    right.push_back(left.back());
+    left.pop_back();
+  }
+  Recurse(g, left, k_left, first_block, options, part);
+  Recurse(g, right, k_right, first_block + k_left, options, part);
+}
+
+}  // namespace
+
+KwayResult KwayPartition(const Graph& g, int k, const KwayOptions& options) {
+  IMPREG_CHECK(k >= 1);
+  IMPREG_CHECK(k <= g.NumNodes());
+  KwayResult result;
+  result.part.assign(g.NumNodes(), 0);
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) all[u] = u;
+  Recurse(g, all, k, 0, options, result.part);
+
+  result.sizes.assign(k, 0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) ++result.sizes[result.part[u]];
+  result.cut = KwayCut(g, result.part);
+  return result;
+}
+
+double KwayCut(const Graph& g, const std::vector<int>& part) {
+  IMPREG_CHECK(part.size() == static_cast<std::size_t>(g.NumNodes()));
+  double cut = 0.0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head > u && part[arc.head] != part[u]) cut += arc.weight;
+    }
+  }
+  return cut;
+}
+
+}  // namespace impreg

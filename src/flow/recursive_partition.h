@@ -1,0 +1,45 @@
+#ifndef IMPREG_FLOW_RECURSIVE_PARTITION_H_
+#define IMPREG_FLOW_RECURSIVE_PARTITION_H_
+
+#include <vector>
+
+#include "flow/multilevel.h"
+#include "graph/graph.h"
+
+/// \file
+/// k-way partitioning by recursive multilevel bisection — the classic
+/// scientific-computing use of graph partitioning the paper's §3.2
+/// opens with (load balancing in parallel computing). Also the standard
+/// divide-and-conquer primitive of the TCS perspective.
+
+namespace impreg {
+
+/// Options for the k-way partitioner.
+struct KwayOptions {
+  /// Forwarded to each bisection.
+  MultilevelOptions bisection;
+};
+
+/// Result of a k-way partition.
+struct KwayResult {
+  /// part[u] ∈ [0, k): the block of node u.
+  std::vector<int> part;
+  /// Block sizes (node counts), length k.
+  std::vector<std::int64_t> sizes;
+  /// Total weight of edges crossing between different blocks.
+  double cut = 0.0;
+};
+
+/// Partitions the graph into k ≥ 1 blocks of (approximately) equal node
+/// counts via recursive bisection with proportional size targets (so
+/// non-power-of-two k works). Requires k ≤ n.
+KwayResult KwayPartition(const Graph& g, int k,
+                         const KwayOptions& options = {});
+
+/// The edge cut of an arbitrary assignment (blocks need not be
+/// contiguous ids).
+double KwayCut(const Graph& g, const std::vector<int>& part);
+
+}  // namespace impreg
+
+#endif  // IMPREG_FLOW_RECURSIVE_PARTITION_H_

@@ -1,0 +1,197 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace impreg {
+
+std::vector<int> BfsDistances(const Graph& g, NodeId source) {
+  IMPREG_CHECK(g.IsValidNode(source));
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (dist[arc.head] < 0) {
+        dist[arc.head] = dist[u] + 1;
+        frontier.push(arc.head);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> BfsDistancesWithin(const Graph& g, NodeId source,
+                                    const std::vector<char>& members) {
+  IMPREG_CHECK(g.IsValidNode(source));
+  IMPREG_CHECK(members.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK_MSG(members[source], "source must belong to the subgraph");
+  std::vector<int> dist(g.NumNodes(), -1);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (members[arc.head] && dist[arc.head] < 0) {
+        dist[arc.head] = dist[u] + 1;
+        frontier.push(arc.head);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<int> component(n, -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (component[s] >= 0) continue;
+    component[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Arc& arc : g.Neighbors(u)) {
+        if (component[arc.head] < 0) {
+          component[arc.head] = next;
+          stack.push_back(arc.head);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+int CountComponents(const Graph& g) {
+  const std::vector<int> comp = ConnectedComponents(g);
+  int count = 0;
+  for (int c : comp) count = std::max(count, c + 1);
+  return count;
+}
+
+bool IsConnected(const Graph& g) { return CountComponents(g) <= 1; }
+
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  Subgraph sub;
+  sub.new_of.assign(g.NumNodes(), -1);
+  sub.original_of = nodes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    IMPREG_CHECK(g.IsValidNode(nodes[i]));
+    IMPREG_CHECK_MSG(sub.new_of[nodes[i]] < 0, "duplicate node in subset");
+    sub.new_of[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (NodeId u : nodes) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      const NodeId v = arc.head;
+      if (sub.new_of[v] < 0) continue;
+      // Emit each edge once: from the endpoint with smaller original id
+      // (self-loops from their single arc).
+      if (u < v || u == v) {
+        builder.AddEdge(sub.new_of[u], sub.new_of[v], arc.weight);
+      }
+    }
+  }
+  sub.graph = builder.Build();
+  return sub;
+}
+
+Subgraph LargestComponent(const Graph& g) {
+  const std::vector<int> comp = ConnectedComponents(g);
+  int num_components = 0;
+  for (int c : comp) num_components = std::max(num_components, c + 1);
+  if (num_components == 0) return Subgraph{};
+  std::vector<std::int64_t> sizes(num_components, 0);
+  for (int c : comp) ++sizes[c];
+  const int best = static_cast<int>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(sizes[best]));
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (comp[u] == best) nodes.push_back(u);
+  }
+  return InducedSubgraph(g, nodes);
+}
+
+int EstimateDiameter(const Graph& g, NodeId start, int sweeps) {
+  if (g.NumNodes() < 2) return 0;
+  IMPREG_CHECK(g.IsValidNode(start));
+  NodeId frontier = start;
+  int best = 0;
+  for (int round = 0; round < sweeps; ++round) {
+    const std::vector<int> dist = BfsDistances(g, frontier);
+    int far_dist = 0;
+    NodeId far_node = frontier;
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      if (dist[u] > far_dist) {
+        far_dist = dist[u];
+        far_node = u;
+      }
+    }
+    if (far_dist <= best && round > 0) break;
+    best = std::max(best, far_dist);
+    frontier = far_node;
+  }
+  return best;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  if (g.NumNodes() == 0) return stats;
+  const Summary s = Summarize(g.Degrees());
+  stats.min = s.min;
+  stats.max = s.max;
+  stats.mean = s.mean;
+  stats.median = s.median;
+  return stats;
+}
+
+double AverageShortestPathWithin(const Graph& g,
+                                 const std::vector<NodeId>& nodes) {
+  if (nodes.size() < 2) return 0.0;
+  std::vector<char> members(g.NumNodes(), 0);
+  for (NodeId u : nodes) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    members[u] = 1;
+  }
+  double total = 0.0;
+  std::int64_t pairs = 0;
+  for (NodeId u : nodes) {
+    const std::vector<int> dist = BfsDistancesWithin(g, u, members);
+    for (NodeId v : nodes) {
+      if (v != u && dist[v] > 0) {
+        total += dist[v];
+        ++pairs;
+      }
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+int DiameterWithin(const Graph& g, const std::vector<NodeId>& nodes) {
+  if (nodes.size() < 2) return 0;
+  std::vector<char> members(g.NumNodes(), 0);
+  for (NodeId u : nodes) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    members[u] = 1;
+  }
+  int best = 0;
+  for (NodeId u : nodes) {
+    const std::vector<int> dist = BfsDistancesWithin(g, u, members);
+    for (NodeId v : nodes) best = std::max(best, dist[v]);
+  }
+  return best;
+}
+
+}  // namespace impreg

@@ -1,0 +1,79 @@
+#ifndef IMPREG_GRAPH_ALGORITHMS_H_
+#define IMPREG_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// Basic graph algorithms: traversal, components, induced subgraphs and
+/// structural statistics. These are the "relational-model-free"
+/// operations Section 2.1 of the paper contrasts with flat tables.
+
+namespace impreg {
+
+/// Unweighted (hop-count) BFS distances from `source`; unreachable nodes
+/// get -1.
+std::vector<int> BfsDistances(const Graph& g, NodeId source);
+
+/// BFS distances from `source` restricted to the induced subgraph on
+/// `members` (a 0/1 mask of length n). `source` must be a member.
+std::vector<int> BfsDistancesWithin(const Graph& g, NodeId source,
+                                    const std::vector<char>& members);
+
+/// Connected component id (0-based, in order of discovery) per node.
+std::vector<int> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+int CountComponents(const Graph& g);
+
+/// True if the graph is connected (the empty graph counts as connected).
+bool IsConnected(const Graph& g);
+
+/// The induced subgraph on `nodes` together with the mapping used.
+struct Subgraph {
+  Graph graph;
+  /// original_of[i] is the original id of subgraph node i.
+  std::vector<NodeId> original_of;
+  /// new_of[u] is the subgraph id of original node u, or -1 if dropped.
+  std::vector<NodeId> new_of;
+};
+
+/// Extracts the subgraph induced by `nodes` (need not be sorted; ids must
+/// be valid and distinct).
+Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Extracts the largest connected component (ties broken by smallest
+/// component id). Returns an empty subgraph for an empty graph.
+Subgraph LargestComponent(const Graph& g);
+
+/// Lower bound on the diameter via `sweeps` rounds of double-BFS
+/// (each round: BFS from the farthest node found so far). Deterministic
+/// given `start`. Returns 0 for graphs with < 2 nodes; only the component
+/// of `start` is explored.
+int EstimateDiameter(const Graph& g, NodeId start = 0, int sweeps = 4);
+
+/// Degree distribution statistics.
+struct DegreeStats {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Average shortest-path (hop) length over all connected ordered pairs in
+/// the subgraph induced by `nodes`; pairs in different components of the
+/// induced subgraph are skipped. Returns 0 if no connected pair exists.
+/// O(|nodes| * (edges within)) — intended for small clusters.
+double AverageShortestPathWithin(const Graph& g,
+                                 const std::vector<NodeId>& nodes);
+
+/// Exact diameter (max hop distance) of the subgraph induced by `nodes`,
+/// ignoring disconnected pairs. O(|nodes| * edges-within).
+int DiameterWithin(const Graph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace impreg
+
+#endif  // IMPREG_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,170 @@
+#include "graph/bridges.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace impreg {
+
+std::vector<Bridge> FindBridges(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<int> disc(n, -1);
+  std::vector<int> low(n, 0);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<Bridge> bridges;
+  int timer = 0;
+
+  // Iterative DFS; each frame remembers its position in the adjacency.
+  struct Frame {
+    NodeId node;
+    std::size_t next_arc;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] >= 0) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId u = frame.node;
+      const auto nbrs = g.Neighbors(u);
+      if (frame.next_arc < nbrs.size()) {
+        const NodeId v = nbrs[frame.next_arc].head;
+        ++frame.next_arc;
+        if (v == u || v == parent[u]) continue;  // Loop or tree edge back.
+        if (disc[v] >= 0) {
+          low[u] = std::min(low[u], disc[v]);  // Back edge.
+        } else {
+          parent[v] = u;
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, 0});
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          const NodeId p = stack.back().node;
+          low[p] = std::min(low[p], low[u]);
+          if (low[u] > disc[p]) {
+            bridges.push_back({std::min(p, u), std::max(p, u)});
+          }
+        }
+      }
+    }
+  }
+  return bridges;
+}
+
+std::vector<Whisker> FindWhiskers(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  const std::vector<Bridge> bridges = FindBridges(g);
+  // Mark bridge endpoints for O(1) lookup during the piece DFS.
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  std::vector<std::uint64_t> bridge_keys;
+  bridge_keys.reserve(bridges.size());
+  for (const Bridge& b : bridges) bridge_keys.push_back(key(b.u, b.v));
+  std::sort(bridge_keys.begin(), bridge_keys.end());
+  auto is_bridge = [&](NodeId a, NodeId b) {
+    return std::binary_search(bridge_keys.begin(), bridge_keys.end(),
+                              key(a, b));
+  };
+
+  // 2-edge-connected pieces: components of G minus its bridges.
+  std::vector<int> piece(n, -1);
+  int num_pieces = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (piece[s] >= 0) continue;
+    piece[s] = num_pieces;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Arc& arc : g.Neighbors(u)) {
+        if (arc.head == u || piece[arc.head] >= 0) continue;
+        if (is_bridge(u, arc.head)) continue;
+        piece[arc.head] = num_pieces;
+        stack.push_back(arc.head);
+      }
+    }
+    ++num_pieces;
+  }
+
+  // Piece volumes and the bridge forest over pieces.
+  std::vector<double> piece_volume(num_pieces, 0.0);
+  for (NodeId u = 0; u < n; ++u) piece_volume[piece[u]] += g.Degree(u);
+  std::vector<std::vector<int>> piece_adj(num_pieces);
+  for (const Bridge& b : bridges) {
+    piece_adj[piece[b.u]].push_back(piece[b.v]);
+    piece_adj[piece[b.v]].push_back(piece[b.u]);
+  }
+
+  // Per original connected component (= tree of the bridge forest),
+  // root at the max-volume piece; each child subtree is a whisker.
+  std::vector<char> visited(num_pieces, 0);
+  std::vector<Whisker> whiskers;
+  std::vector<int> tree;
+  for (int start = 0; start < num_pieces; ++start) {
+    if (visited[start]) continue;
+    // Collect this bridge-forest tree.
+    tree.clear();
+    std::vector<int> frontier = {start};
+    visited[start] = 1;
+    while (!frontier.empty()) {
+      const int p = frontier.back();
+      frontier.pop_back();
+      tree.push_back(p);
+      for (int q : piece_adj[p]) {
+        if (!visited[q]) {
+          visited[q] = 1;
+          frontier.push_back(q);
+        }
+      }
+    }
+    if (tree.size() <= 1) continue;  // No bridges here: no whiskers.
+    const int core = *std::max_element(
+        tree.begin(), tree.end(),
+        [&](int a, int b) { return piece_volume[a] < piece_volume[b]; });
+    // Each neighbor subtree of the core is one whisker. Label pieces
+    // with their whisker index, then collect nodes in one pass.
+    std::vector<int> whisker_of(num_pieces, -1);
+    std::vector<char> seen(num_pieces, 0);
+    seen[core] = 1;
+    const int first_whisker = static_cast<int>(whiskers.size());
+    for (int child : piece_adj[core]) {
+      if (seen[child]) continue;  // Parallel bridge to same piece.
+      const int index = static_cast<int>(whiskers.size());
+      whiskers.emplace_back();
+      std::vector<int> sub = {child};
+      seen[child] = 1;
+      while (!sub.empty()) {
+        const int p = sub.back();
+        sub.pop_back();
+        whisker_of[p] = index;
+        whiskers[index].volume += piece_volume[p];
+        for (int q : piece_adj[p]) {
+          if (!seen[q]) {
+            seen[q] = 1;
+            sub.push_back(q);
+          }
+        }
+      }
+    }
+    if (static_cast<int>(whiskers.size()) > first_whisker) {
+      for (NodeId u = 0; u < n; ++u) {
+        const int w = whisker_of[piece[u]];
+        if (w >= 0) whiskers[w].nodes.push_back(u);
+      }
+    }
+  }
+  std::sort(whiskers.begin(), whiskers.end(),
+            [](const Whisker& a, const Whisker& b) {
+              return a.volume > b.volume;
+            });
+  return whiskers;
+}
+
+}  // namespace impreg

@@ -1,0 +1,161 @@
+#include "graph/generators.h"
+
+#include "util/check.h"
+
+namespace impreg {
+
+Graph PathGraph(NodeId n) {
+  IMPREG_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+Graph CycleGraph(NodeId n) {
+  IMPREG_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) b.AddEdge(i, (i + 1) % n);
+  return b.Build();
+}
+
+Graph CompleteGraph(NodeId n) {
+  IMPREG_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) b.AddEdge(i, j);
+  }
+  return b.Build();
+}
+
+Graph StarGraph(NodeId n) {
+  IMPREG_CHECK(n >= 2);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.AddEdge(0, i);
+  return b.Build();
+}
+
+Graph GridGraph(NodeId rows, NodeId cols) {
+  IMPREG_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.Build();
+}
+
+Graph TorusGraph(NodeId rows, NodeId cols) {
+  IMPREG_CHECK(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      b.AddEdge(id(r, c), id(r, (c + 1) % cols));
+      b.AddEdge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.Build();
+}
+
+Graph HypercubeGraph(int dim) {
+  IMPREG_CHECK(dim >= 1 && dim <= 20);
+  const NodeId n = static_cast<NodeId>(1) << dim;
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const NodeId v = u ^ (static_cast<NodeId>(1) << bit);
+      if (u < v) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+Graph CompleteBinaryTree(NodeId n) {
+  IMPREG_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) b.AddEdge(i, (i - 1) / 2);
+  return b.Build();
+}
+
+Graph LadderGraph(NodeId rungs) {
+  IMPREG_CHECK(rungs >= 2);
+  GraphBuilder b(2 * rungs);
+  for (NodeId i = 0; i < rungs; ++i) {
+    b.AddEdge(i, rungs + i);  // Rung.
+    if (i + 1 < rungs) {
+      b.AddEdge(i, i + 1);
+      b.AddEdge(rungs + i, rungs + i + 1);
+    }
+  }
+  return b.Build();
+}
+
+Graph LollipopGraph(NodeId clique, NodeId tail) {
+  IMPREG_CHECK(clique >= 2 && tail >= 1);
+  GraphBuilder b(clique + tail);
+  for (NodeId i = 0; i < clique; ++i) {
+    for (NodeId j = i + 1; j < clique; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(0, clique);
+  for (NodeId i = 0; i + 1 < tail; ++i) b.AddEdge(clique + i, clique + i + 1);
+  return b.Build();
+}
+
+Graph DumbbellGraph(NodeId clique, NodeId bridge) {
+  IMPREG_CHECK(clique >= 2 && bridge >= 0);
+  const NodeId n = 2 * clique + bridge;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < clique; ++i) {
+    for (NodeId j = i + 1; j < clique; ++j) {
+      b.AddEdge(i, j);                    // Left clique: 0..clique-1.
+      b.AddEdge(clique + i, clique + j);  // Right clique.
+    }
+  }
+  // Bridge path from node 0 of the left clique to node 0 of the right,
+  // through `bridge` interior nodes 2*clique .. 2*clique+bridge-1.
+  NodeId prev = 0;
+  for (NodeId i = 0; i < bridge; ++i) {
+    b.AddEdge(prev, 2 * clique + i);
+    prev = 2 * clique + i;
+  }
+  b.AddEdge(prev, clique);
+  return b.Build();
+}
+
+Graph CockroachGraph(NodeId k) {
+  IMPREG_CHECK(k >= 2);
+  const NodeId two_k = 2 * k;
+  GraphBuilder b(4 * k);
+  // u_i = i, w_i = 2k + i.
+  for (NodeId i = 0; i + 1 < two_k; ++i) {
+    b.AddEdge(i, i + 1);
+    b.AddEdge(two_k + i, two_k + i + 1);
+  }
+  for (NodeId i = k; i < two_k; ++i) b.AddEdge(i, two_k + i);
+  return b.Build();
+}
+
+Graph CavemanGraph(NodeId cliques, NodeId size) {
+  IMPREG_CHECK(cliques >= 1 && size >= 2);
+  GraphBuilder b(cliques * size);
+  for (NodeId c = 0; c < cliques; ++c) {
+    const NodeId base = c * size;
+    for (NodeId i = 0; i < size; ++i) {
+      for (NodeId j = i + 1; j < size; ++j) b.AddEdge(base + i, base + j);
+    }
+  }
+  if (cliques >= 2) {
+    for (NodeId c = 0; c < cliques; ++c) {
+      const NodeId next = (c + 1) % cliques;
+      if (cliques == 2 && c == 1) break;  // Avoid a duplicate bridge.
+      // Connect the "last" node of clique c to the "first" of the next.
+      b.AddEdge(c * size + size - 1, next * size);
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace impreg

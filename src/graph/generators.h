@@ -1,0 +1,67 @@
+#ifndef IMPREG_GRAPH_GENERATORS_H_
+#define IMPREG_GRAPH_GENERATORS_H_
+
+#include "graph/graph.h"
+
+/// \file
+/// Deterministic graph families.
+///
+/// These include the structures the paper leans on: paths/ladders
+/// ("long stringy pieces" that saturate the spectral method's quadratic
+/// Cheeger factor, §3.2), the Guattery–Miller cockroach graph [21],
+/// lollipops/dumbbells (whisker-like attachments), and cliques/expander
+/// stand-ins. All are unweighted (weight 1.0) and connected for valid
+/// parameters.
+
+namespace impreg {
+
+/// Path on n ≥ 1 nodes: 0–1–…–(n−1).
+Graph PathGraph(NodeId n);
+
+/// Cycle on n ≥ 3 nodes.
+Graph CycleGraph(NodeId n);
+
+/// Complete graph K_n, n ≥ 1.
+Graph CompleteGraph(NodeId n);
+
+/// Star with one hub (node 0) and n−1 leaves; n ≥ 2.
+Graph StarGraph(NodeId n);
+
+/// rows × cols 4-neighbor grid; rows, cols ≥ 1.
+Graph GridGraph(NodeId rows, NodeId cols);
+
+/// rows × cols torus (grid with wraparound); rows, cols ≥ 3.
+Graph TorusGraph(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube on 2^d nodes; 1 ≤ d ≤ 20.
+Graph HypercubeGraph(int dim);
+
+/// Complete binary tree on n ≥ 1 nodes (heap indexing).
+Graph CompleteBinaryTree(NodeId n);
+
+/// Ladder: two paths of length `rungs` joined by all rungs; rungs ≥ 2.
+Graph LadderGraph(NodeId rungs);
+
+/// Lollipop: K_clique with a path of `tail` extra nodes hanging off node
+/// 0; clique ≥ 2, tail ≥ 1.
+Graph LollipopGraph(NodeId clique, NodeId tail);
+
+/// Dumbbell: two K_clique joined by a path with `bridge` interior nodes
+/// (bridge may be 0 → single edge); clique ≥ 2.
+Graph DumbbellGraph(NodeId clique, NodeId bridge);
+
+/// Guattery–Miller cockroach graph on 4k nodes (k ≥ 2): two paths
+/// u_0..u_{2k−1} and w_0..w_{2k−1} with rungs u_i–w_i for i ≥ k.
+/// The optimal conductance cut (the two "antennae" halves) cuts 2 edges,
+/// but the spectral sweep cut prefers a Θ(k)-edge cut — the canonical
+/// example where the quadratic Cheeger factor is real (§3.2).
+Graph CockroachGraph(NodeId k);
+
+/// Connected caveman: `cliques` copies of K_size arranged in a ring, with
+/// one edge between consecutive cliques; cliques ≥ 2 (or 1 for a single
+/// clique), size ≥ 2.
+Graph CavemanGraph(NodeId cliques, NodeId size);
+
+}  // namespace impreg
+
+#endif  // IMPREG_GRAPH_GENERATORS_H_

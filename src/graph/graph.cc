@@ -1,0 +1,91 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace impreg {
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  IMPREG_DCHECK(IsValidNode(u) && IsValidNode(v));
+  const auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Arc& arc, NodeId target) { return arc.head < target; });
+  if (it != nbrs.end() && it->head == v) return it->weight;
+  return 0.0;
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  IMPREG_CHECK(num_nodes >= 0);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  IMPREG_CHECK_MSG(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_,
+                   "edge endpoint out of range");
+  IMPREG_CHECK_MSG(weight > 0.0, "edge weights must be strictly positive");
+  edges_.push_back({u, v, weight});
+}
+
+Graph GraphBuilder::Build() const {
+  const NodeId n = num_nodes_;
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.degrees_.assign(static_cast<std::size_t>(n), 0.0);
+
+  // Count arcs per node (self-loops contribute one arc).
+  for (const auto& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    if (e.u != e.v) ++g.offsets_[e.v + 1];
+  }
+  for (NodeId u = 0; u < n; ++u) g.offsets_[u + 1] += g.offsets_[u];
+
+  // Scatter arcs.
+  g.arcs_.resize(static_cast<std::size_t>(g.offsets_[n]));
+  std::vector<ArcIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : edges_) {
+    g.arcs_[cursor[e.u]++] = {e.v, e.weight};
+    if (e.u != e.v) g.arcs_[cursor[e.v]++] = {e.u, e.weight};
+  }
+
+  // Sort each adjacency list and merge parallel edges in place.
+  ArcIndex write = 0;
+  std::vector<ArcIndex> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    const ArcIndex begin = g.offsets_[u];
+    const ArcIndex end = g.offsets_[u + 1];
+    std::sort(g.arcs_.begin() + begin, g.arcs_.begin() + end,
+              [](const Arc& a, const Arc& b) { return a.head < b.head; });
+    new_offsets[u] = write;
+    for (ArcIndex i = begin; i < end;) {
+      Arc merged = g.arcs_[i];
+      ArcIndex j = i + 1;
+      while (j < end && g.arcs_[j].head == merged.head) {
+        merged.weight += g.arcs_[j].weight;
+        ++j;
+      }
+      g.arcs_[write++] = merged;
+      i = j;
+    }
+  }
+  new_offsets[n] = write;
+  g.arcs_.resize(static_cast<std::size_t>(write));
+  g.arcs_.shrink_to_fit();
+  g.offsets_ = std::move(new_offsets);
+
+  // Degrees, edge count, volume.
+  g.num_edges_ = 0;
+  g.total_volume_ = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    double deg = 0.0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      deg += arc.weight;
+      if (arc.head >= u) ++g.num_edges_;  // Count each undirected edge once.
+    }
+    g.degrees_[u] = deg;
+    g.total_volume_ += deg;
+  }
+  return g;
+}
+
+}  // namespace impreg

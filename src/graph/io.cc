@@ -1,0 +1,204 @@
+#include "graph/io.h"
+
+#include "util/check.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace impreg {
+
+namespace {
+
+struct ParsedEdge {
+  NodeId u;
+  NodeId v;
+  double weight;
+};
+
+}  // namespace
+
+std::optional<Graph> ParseEdgeList(const std::string& text) {
+  std::vector<ParsedEdge> edges;
+  NodeId max_node = -1;
+  NodeId declared_nodes = -1;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim leading whitespace.
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    if (start == line.size()) continue;
+    if (line[start] == '#' || line[start] == '%') {
+      long long n = 0;
+      if (std::sscanf(line.c_str() + start, "# nodes %lld", &n) == 1 ||
+          std::sscanf(line.c_str() + start, "%% nodes %lld", &n) == 1) {
+        if (n < 0) return std::nullopt;
+        declared_nodes = static_cast<NodeId>(n);
+      }
+      continue;
+    }
+    long long u = 0, v = 0;
+    double w = 1.0;
+    char trailing = '\0';
+    const int fields = std::sscanf(line.c_str() + start, "%lld %lld %lf %c",
+                                   &u, &v, &w, &trailing);
+    if (fields < 2 || fields > 3) return std::nullopt;
+    if (fields == 2) w = 1.0;
+    if (u < 0 || v < 0 || w <= 0.0) return std::nullopt;
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    max_node = std::max(max_node, static_cast<NodeId>(std::max(u, v)));
+  }
+  NodeId n = max_node + 1;
+  if (declared_nodes >= 0) {
+    if (declared_nodes < n) return std::nullopt;
+    n = declared_nodes;
+  }
+  GraphBuilder builder(n);
+  for (const ParsedEdge& e : edges) builder.AddEdge(e.u, e.v, e.weight);
+  return builder.Build();
+}
+
+std::optional<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseEdgeList(buffer.str());
+}
+
+std::string WriteEdgeListString(const Graph& g) {
+  std::string out = "# nodes " + std::to_string(g.NumNodes()) + "\n";
+  char buf[96];
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head < u) continue;  // Each undirected edge once.
+      if (arc.weight == 1.0) {
+        std::snprintf(buf, sizeof(buf), "%d %d\n", u, arc.head);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%d %d %.17g\n", u, arc.head,
+                      arc.weight);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << WriteEdgeListString(g);
+  return static_cast<bool>(file);
+}
+
+std::optional<Graph> ParseMetis(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  // Header: n m [fmt], skipping comments.
+  long long n = 0, m = 0;
+  std::string fmt = "0";
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '%') continue;
+    std::istringstream header(line.substr(start));
+    if (!(header >> n >> m)) return std::nullopt;
+    header >> fmt;  // Optional.
+    have_header = true;
+    break;
+  }
+  if (!have_header || n < 0 || m < 0) return std::nullopt;
+  const bool edge_weights = !fmt.empty() && fmt.back() == '1' &&
+                            (fmt == "1" || fmt == "001" || fmt == "01");
+  if (fmt != "0" && fmt != "00" && fmt != "000" && !edge_weights) {
+    return std::nullopt;  // Vertex weights/sizes not supported.
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(n));
+  long long arcs_seen = 0;
+  NodeId node = 0;
+  while (node < n && std::getline(in, line)) {
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    if (start < line.size() && line[start] == '%') continue;
+    std::istringstream fields(line);
+    long long neighbor;
+    while (fields >> neighbor) {
+      double weight = 1.0;
+      if (edge_weights && !(fields >> weight)) return std::nullopt;
+      if (neighbor < 1 || neighbor > n || weight <= 0.0) {
+        return std::nullopt;
+      }
+      const NodeId head = static_cast<NodeId>(neighbor - 1);
+      if (head == node) return std::nullopt;  // No self-loops in METIS.
+      ++arcs_seen;
+      // Each undirected edge appears in both endpoint lines; add once.
+      if (head > node) builder.AddEdge(node, head, weight);
+    }
+    ++node;
+  }
+  if (node != n || arcs_seen != 2 * m) return std::nullopt;
+  Graph g = builder.Build();
+  if (g.NumEdges() != m) return std::nullopt;  // Asymmetric adjacency.
+  return g;
+}
+
+std::optional<Graph> ReadMetis(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseMetis(buffer.str());
+}
+
+std::string WriteMetisString(const Graph& g) {
+  bool weighted = false;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      IMPREG_CHECK_MSG(arc.head != u,
+                       "METIS format cannot express self-loops");
+      if (arc.weight != 1.0) weighted = true;
+    }
+  }
+  std::string out = std::to_string(g.NumNodes()) + " " +
+                    std::to_string(g.NumEdges()) +
+                    (weighted ? " 001" : "") + "\n";
+  char buf[64];
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    bool first = true;
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (!first) out += ' ';
+      first = false;
+      out += std::to_string(arc.head + 1);
+      if (weighted) {
+        std::snprintf(buf, sizeof(buf), " %.17g", arc.weight);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteMetis(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << WriteMetisString(g);
+  return static_cast<bool>(file);
+}
+
+}  // namespace impreg

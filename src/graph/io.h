@@ -1,0 +1,55 @@
+#ifndef IMPREG_GRAPH_IO_H_
+#define IMPREG_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+/// \file
+/// Plain-text edge-list serialization.
+///
+/// Format: one edge per line, `u v [weight]` with 0-based node ids;
+/// blank lines and lines starting with '#' or '%' are ignored. The node
+/// count is 1 + the largest id seen (or the optional header line
+/// `# nodes N` if present, which allows trailing isolated nodes).
+
+namespace impreg {
+
+/// Parses an edge list from a string. Returns std::nullopt on malformed
+/// input (negative ids, non-numeric fields, non-positive weights).
+std::optional<Graph> ParseEdgeList(const std::string& text);
+
+/// Reads an edge list from a file. Returns std::nullopt if the file
+/// cannot be read or is malformed.
+std::optional<Graph> ReadEdgeList(const std::string& path);
+
+/// Serializes the graph as an edge list (each undirected edge once,
+/// weights printed only when != 1).
+std::string WriteEdgeListString(const Graph& g);
+
+/// Writes the edge list to a file. Returns false on I/O failure.
+bool WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Parses a graph in METIS .graph format: a header line `n m [fmt]`
+/// followed by one line per node listing its (1-based) neighbors —
+/// with interleaved edge weights when fmt is "1" or "001". Comment
+/// lines start with '%'. Self-loops are not representable in METIS
+/// format. Returns std::nullopt on malformed input (bad counts,
+/// asymmetric adjacency, out-of-range ids).
+std::optional<Graph> ParseMetis(const std::string& text);
+
+/// Reads a METIS .graph file.
+std::optional<Graph> ReadMetis(const std::string& path);
+
+/// Serializes to METIS format (fmt 001 with edge weights when any
+/// weight differs from 1). Requires a graph without self-loops; METIS
+/// cannot express them.
+std::string WriteMetisString(const Graph& g);
+
+/// Writes METIS format to a file. Returns false on I/O failure.
+bool WriteMetis(const Graph& g, const std::string& path);
+
+}  // namespace impreg
+
+#endif  // IMPREG_GRAPH_IO_H_

@@ -1,0 +1,320 @@
+#include "graph/random_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+std::uint64_t PairKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+// Geometric skip length for success probability p in (0, 1): the number
+// of failures before the next success.
+std::int64_t GeometricSkip(double p, Rng& rng) {
+  const double r = rng.NextDouble();
+  if (r == 0.0) return 0;
+  return static_cast<std::int64_t>(std::floor(std::log(r) / std::log1p(-p)));
+}
+
+}  // namespace
+
+Graph ErdosRenyi(NodeId n, double p, Rng& rng) {
+  IMPREG_CHECK(n >= 0);
+  IMPREG_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p > 0.0 && n > 1) {
+    if (p >= 1.0) {
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+      }
+    } else {
+      // Batagelj–Brandes skipping over the lexicographic pair order.
+      std::int64_t v = 1;
+      std::int64_t w = -1;
+      while (v < n) {
+        w += 1 + GeometricSkip(p, rng);
+        while (w >= v && v < n) {
+          w -= v;
+          ++v;
+        }
+        if (v < n) {
+          b.AddEdge(static_cast<NodeId>(w), static_cast<NodeId>(v));
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+Graph GnmRandom(NodeId n, std::int64_t m, Rng& rng) {
+  IMPREG_CHECK(n >= 0 && m >= 0);
+  const std::int64_t max_edges =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  IMPREG_CHECK_MSG(m <= max_edges, "too many edges requested");
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  while (static_cast<std::int64_t>(chosen.size()) < m) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (chosen.insert(PairKey(u, v)).second) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+Graph ChungLu(const std::vector<double>& weights, Rng& rng) {
+  const NodeId n = static_cast<NodeId>(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    IMPREG_CHECK_MSG(w >= 0.0, "Chung–Lu weights must be nonnegative");
+    total += w;
+  }
+  GraphBuilder b(n);
+  if (n <= 1 || total <= 0.0) return b.Build();
+
+  // Sort by weight descending so p is monotonically non-increasing in j,
+  // as the Miller–Hagberg skip algorithm requires.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int c) { return weights[a] > weights[c]; });
+
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    const double wi = weights[order[i]];
+    if (wi <= 0.0) break;
+    std::int64_t j = i + 1;
+    double p = std::min(wi * weights[order[j]] / total, 1.0);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) j += GeometricSkip(p, rng);
+      if (j < n) {
+        const double q = std::min(wi * weights[order[j]] / total, 1.0);
+        if (rng.NextDouble() < q / p) {
+          b.AddEdge(static_cast<NodeId>(order[i]),
+                    static_cast<NodeId>(order[j]));
+        }
+        p = q;
+        ++j;
+      }
+    }
+  }
+  return b.Build();
+}
+
+std::vector<double> PowerLawWeights(NodeId n, double gamma,
+                                    double avg_degree) {
+  IMPREG_CHECK(n >= 1);
+  IMPREG_CHECK_MSG(gamma > 2.0, "power-law exponent must exceed 2");
+  IMPREG_CHECK(avg_degree > 0.0);
+  std::vector<double> weights(n);
+  const double exponent = -1.0 / (gamma - 1.0);
+  // Offset i0 keeps the maximum expected degree O(n^{1/(γ−1)}) and the
+  // distribution tail ∝ w^{−γ}.
+  const double i0 = 10.0;
+  double sum = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i) + i0, exponent);
+    sum += weights[i];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / sum;
+  for (double& w : weights) w *= scale;
+  return weights;
+}
+
+Graph BarabasiAlbert(NodeId n, int m_attach, Rng& rng) {
+  IMPREG_CHECK(m_attach >= 1);
+  IMPREG_CHECK(n > m_attach);
+  GraphBuilder b(n);
+  // Degree-proportional sampling via the repeated-endpoints list.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * m_attach);
+  // Seed: a star on m_attach+1 nodes (connected, every node has degree).
+  for (NodeId v = 1; v <= m_attach; ++v) {
+    b.AddEdge(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  std::vector<NodeId> targets;
+  for (NodeId u = m_attach + 1; u < n; ++u) {
+    targets.clear();
+    while (static_cast<int>(targets.size()) < m_attach) {
+      const NodeId t = endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      b.AddEdge(u, t);
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return b.Build();
+}
+
+Graph WattsStrogatz(NodeId n, int k, double beta, Rng& rng) {
+  IMPREG_CHECK(k >= 2 && k % 2 == 0);
+  IMPREG_CHECK(n > k);
+  IMPREG_CHECK(beta >= 0.0 && beta <= 1.0);
+  std::unordered_set<std::uint64_t> edges;
+  edges.reserve(static_cast<std::size_t>(n) * k);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int off = 1; off <= k / 2; ++off) {
+      edges.insert(PairKey(u, (u + off) % n));
+    }
+  }
+  // Rewire the "right-going" lattice edges of each node.
+  for (NodeId u = 0; u < n; ++u) {
+    for (int off = 1; off <= k / 2; ++off) {
+      const NodeId v = (u + off) % n;
+      if (!edges.count(PairKey(u, v))) continue;  // Already rewired away.
+      if (!rng.NextBernoulli(beta)) continue;
+      // Try a few times to find a fresh endpoint; keep the edge if the
+      // node is saturated.
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        const NodeId w = static_cast<NodeId>(rng.NextBounded(n));
+        if (w == u || edges.count(PairKey(u, w))) continue;
+        edges.erase(PairKey(u, v));
+        edges.insert(PairKey(u, w));
+        break;
+      }
+    }
+  }
+  GraphBuilder b(n);
+  for (std::uint64_t key : edges) {
+    b.AddEdge(static_cast<NodeId>(key >> 32),
+              static_cast<NodeId>(key & 0xffffffffULL));
+  }
+  return b.Build();
+}
+
+Graph RandomRegular(NodeId n, int d, Rng& rng) {
+  IMPREG_CHECK(d >= 1 && d < n);
+  IMPREG_CHECK_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                   "n*d must be even");
+  // Pairing model followed by double-edge-swap repair of loops and
+  // parallel edges — practical for any d where rejection would stall.
+  std::vector<NodeId> stubs(static_cast<std::size_t>(n) * d);
+  for (NodeId u = 0; u < n; ++u) {
+    for (int i = 0; i < d; ++i) stubs[static_cast<std::size_t>(u) * d + i] = u;
+  }
+  rng.Shuffle(stubs);
+  const std::size_t m = stubs.size() / 2;
+  std::vector<std::pair<NodeId, NodeId>> pairs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    pairs[i] = {stubs[2 * i], stubs[2 * i + 1]};
+  }
+  // Repair loop: recompute the multiset of conflicts and swap them out.
+  for (int round = 0; round < 200; ++round) {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(m * 2);
+    std::vector<std::size_t> bad;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto [u, v] = pairs[i];
+      if (u == v || !seen.insert(PairKey(u, v)).second) bad.push_back(i);
+    }
+    if (bad.empty()) break;
+    IMPREG_CHECK_MSG(round < 199, "random regular repair did not converge");
+    for (std::size_t i : bad) {
+      // Swap with a uniformly random partner pair.
+      const std::size_t j = rng.NextBounded(m);
+      if (j == i) continue;
+      if (rng.NextBernoulli(0.5)) std::swap(pairs[j].first, pairs[j].second);
+      std::swap(pairs[i].second, pairs[j].second);
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : pairs) b.AddEdge(u, v);
+  return b.Build();
+}
+
+Graph PlantedPartition(NodeId blocks, NodeId block_size, double p_in,
+                       double p_out, Rng& rng) {
+  IMPREG_CHECK(blocks >= 1 && block_size >= 1);
+  IMPREG_CHECK(p_in >= 0.0 && p_in <= 1.0 && p_out >= 0.0 && p_out <= 1.0);
+  const NodeId n = blocks * block_size;
+  GraphBuilder b(n);
+  // Within-block edges.
+  for (NodeId blk = 0; blk < blocks; ++blk) {
+    const NodeId base = blk * block_size;
+    if (p_in <= 0.0) continue;
+    for (NodeId i = 0; i < block_size; ++i) {
+      for (NodeId j = i + 1; j < block_size; ++j) {
+        if (rng.NextBernoulli(p_in)) b.AddEdge(base + i, base + j);
+      }
+    }
+  }
+  // Across-block edges (geometric skipping over the bipartite pair grid).
+  if (p_out > 0.0) {
+    for (NodeId a = 0; a < blocks; ++a) {
+      for (NodeId c = a + 1; c < blocks; ++c) {
+        const NodeId base_a = a * block_size;
+        const NodeId base_c = c * block_size;
+        const std::int64_t total =
+            static_cast<std::int64_t>(block_size) * block_size;
+        std::int64_t idx = -1;
+        while (true) {
+          idx += 1 + (p_out < 1.0 ? GeometricSkip(p_out, rng) : 0);
+          if (idx >= total) break;
+          b.AddEdge(base_a + static_cast<NodeId>(idx / block_size),
+                    base_c + static_cast<NodeId>(idx % block_size));
+        }
+      }
+    }
+  }
+  return b.Build();
+}
+
+Graph ForestFire(NodeId n, double p, Rng& rng) {
+  IMPREG_CHECK(n >= 1);
+  IMPREG_CHECK(p >= 0.0 && p < 1.0);
+  // Adjacency grown incrementally (needed to burn through it).
+  std::vector<std::vector<NodeId>> adjacency(n);
+  GraphBuilder builder(n);
+  std::vector<int> last_burned(n, -1);  // Visit stamp per arrival.
+  auto link = [&](NodeId a, NodeId b) {
+    builder.AddEdge(a, b);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  };
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId ambassador = static_cast<NodeId>(rng.NextBounded(v));
+    // Burn outward from the ambassador.
+    std::vector<NodeId> frontier = {ambassador};
+    last_burned[ambassador] = v;
+    std::vector<NodeId> burned = {ambassador};
+    while (!frontier.empty()) {
+      const NodeId u = frontier.back();
+      frontier.pop_back();
+      // Burn Geometric(1-p) unburned neighbors of u (mean p/(1-p)).
+      std::int64_t budget = 0;
+      while (rng.NextBernoulli(p)) ++budget;
+      if (budget == 0) continue;
+      // Deterministic order with a random rotation, to avoid bias.
+      const auto& nbrs = adjacency[u];
+      if (nbrs.empty()) continue;
+      const std::size_t offset = rng.NextBounded(nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size() && budget > 0; ++i) {
+        const NodeId w = nbrs[(i + offset) % nbrs.size()];
+        if (last_burned[w] == v) continue;
+        last_burned[w] = v;
+        burned.push_back(w);
+        frontier.push_back(w);
+        --budget;
+      }
+    }
+    for (NodeId w : burned) link(v, w);
+  }
+  return builder.Build();
+}
+
+}  // namespace impreg

@@ -1,0 +1,69 @@
+#ifndef IMPREG_GRAPH_RANDOM_GRAPHS_H_
+#define IMPREG_GRAPH_RANDOM_GRAPHS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+/// \file
+/// Random graph models.
+///
+/// These supply the workloads the paper's evaluation logic needs:
+/// random d-regular graphs are constant-degree expanders (the inputs
+/// that saturate the flow method's O(log n) factor, §3.2), planted
+/// partitions give ground-truth cuts for the inference experiments
+/// (§2.3/§3.1 early stopping), and Chung–Lu power-law graphs are the
+/// degree-heterogeneous substrate of the social-network model (§3.2).
+///
+/// All generators are deterministic functions of (parameters, rng state).
+/// Simple graphs only: no self-loops, no parallel edges.
+
+namespace impreg {
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping; O(n + m) expected.
+Graph ErdosRenyi(NodeId n, double p, Rng& rng);
+
+/// Uniform G(n, m): m distinct edges sampled without replacement.
+/// Requires m ≤ n(n−1)/2.
+Graph GnmRandom(NodeId n, std::int64_t m, Rng& rng);
+
+/// Chung–Lu graph with expected degrees `weights` (all ≥ 0): edge {i,j}
+/// appears independently with probability min(1, w_i w_j / Σw).
+/// Implemented with the Miller–Hagberg skip algorithm; O(n + m) expected.
+Graph ChungLu(const std::vector<double>& weights, Rng& rng);
+
+/// Expected-degree sequence for a power law with exponent `gamma` > 2:
+/// w_i ∝ (i + i0)^(−1/(γ−1)), scaled so the average equals `avg_degree`.
+std::vector<double> PowerLawWeights(NodeId n, double gamma, double avg_degree);
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_attach` ≥ 1 existing nodes, degree-proportionally. n > m_attach.
+Graph BarabasiAlbert(NodeId n, int m_attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with k/2 neighbors per side
+/// (k even, k < n), each edge rewired with probability beta.
+Graph WattsStrogatz(NodeId n, int k, double beta, Rng& rng);
+
+/// Random d-regular simple graph via the pairing model with restarts.
+/// Requires n·d even, d < n. For d ≥ 3 these are expanders with high
+/// probability.
+Graph RandomRegular(NodeId n, int d, Rng& rng);
+
+/// Planted partition (symmetric SBM): `blocks` groups of `block_size`
+/// nodes; within-group edges with probability p_in, across with p_out.
+/// Ground truth: node u belongs to block u / block_size.
+Graph PlantedPartition(NodeId blocks, NodeId block_size, double p_in,
+                       double p_out, Rng& rng);
+
+/// Forest-fire model (Leskovec et al.) — the generative process behind
+/// the whisker-rich, locally-dense structure of [27, 28]: each arriving
+/// node picks a random "ambassador", links to it, then recursively
+/// "burns" a Geometric(1−p)-sized subset of each burned node's
+/// neighbors and links to everything burned. p = forward burning
+/// probability in [0, 1); larger p ⇒ denser, more community-like.
+Graph ForestFire(NodeId n, double p, Rng& rng);
+
+}  // namespace impreg
+
+#endif  // IMPREG_GRAPH_RANDOM_GRAPHS_H_

@@ -1,0 +1,137 @@
+#include "graph/social.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/random_graphs.h"
+#include "util/check.h"
+
+namespace impreg {
+
+SocialGraph MakeWhiskeredSocialGraph(const SocialGraphParams& params,
+                                     Rng& rng) {
+  IMPREG_CHECK(params.core_nodes >= 10);
+  IMPREG_CHECK(params.num_communities >= 0);
+  IMPREG_CHECK(params.min_community_size >= 3);
+  IMPREG_CHECK(params.max_community_size >= params.min_community_size);
+  IMPREG_CHECK(params.community_boundary_edges >= 1);
+  IMPREG_CHECK(params.num_whiskers >= 0);
+  IMPREG_CHECK(params.min_whisker_size >= 1);
+  IMPREG_CHECK(params.max_whisker_size >= params.min_whisker_size);
+
+  SocialGraph out;
+  out.core_size = params.core_nodes;
+
+  // Total node budget: core + communities + whiskers.
+  std::vector<NodeId> community_sizes;
+  for (int c = 0; c < params.num_communities; ++c) {
+    // Log-spaced sizes between min and max.
+    const double frac = params.num_communities > 1
+                            ? static_cast<double>(c) /
+                                  (params.num_communities - 1)
+                            : 0.0;
+    const double size =
+        std::exp(std::log(static_cast<double>(params.min_community_size)) +
+                 frac * (std::log(static_cast<double>(
+                             params.max_community_size)) -
+                         std::log(static_cast<double>(
+                             params.min_community_size))));
+    community_sizes.push_back(
+        std::max<NodeId>(params.min_community_size,
+                         static_cast<NodeId>(std::lround(size))));
+  }
+  std::vector<NodeId> whisker_sizes;
+  for (int w = 0; w < params.num_whiskers; ++w) {
+    whisker_sizes.push_back(static_cast<NodeId>(rng.NextInt(
+        params.min_whisker_size, params.max_whisker_size)));
+  }
+  NodeId total = params.core_nodes;
+  for (NodeId s : community_sizes) total += s;
+  for (NodeId s : whisker_sizes) total += s;
+
+  GraphBuilder builder(total);
+
+  // 1) Power-law core via Chung–Lu on nodes [0, core_nodes).
+  {
+    const std::vector<double> weights = PowerLawWeights(
+        params.core_nodes, params.core_gamma, params.core_avg_degree);
+    const Graph core = ChungLu(weights, rng);
+    for (NodeId u = 0; u < core.NumNodes(); ++u) {
+      for (const Arc& arc : core.Neighbors(u)) {
+        if (arc.head > u) builder.AddEdge(u, arc.head, arc.weight);
+      }
+    }
+    // Tie stray core components to the giant one with single edges so the
+    // final graph is connected.
+    const std::vector<int> comp = ConnectedComponents(core);
+    int num_comp = 0;
+    for (int c : comp) num_comp = std::max(num_comp, c + 1);
+    if (num_comp > 1) {
+      std::vector<std::int64_t> sizes(num_comp, 0);
+      for (int c : comp) ++sizes[c];
+      const int giant = static_cast<int>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      std::vector<NodeId> giant_nodes;
+      std::vector<char> linked(num_comp, 0);
+      for (NodeId u = 0; u < core.NumNodes(); ++u) {
+        if (comp[u] == giant) giant_nodes.push_back(u);
+      }
+      for (NodeId u = 0; u < core.NumNodes(); ++u) {
+        const int c = comp[u];
+        if (c != giant && !linked[c]) {
+          builder.AddEdge(
+              u, giant_nodes[rng.NextBounded(giant_nodes.size())]);
+          linked[c] = 1;
+        }
+      }
+    }
+  }
+
+  NodeId next = params.core_nodes;
+
+  // 2) Planted communities: dense G(s, p_in) blobs with a few boundary
+  // edges into random core nodes.
+  for (NodeId size : community_sizes) {
+    std::vector<NodeId> members(size);
+    for (NodeId i = 0; i < size; ++i) members[i] = next + i;
+    const double p_in = std::min(
+        1.0, params.community_internal_degree / static_cast<double>(size - 1));
+    for (NodeId i = 0; i < size; ++i) {
+      for (NodeId j = i + 1; j < size; ++j) {
+        if (rng.NextBernoulli(p_in)) builder.AddEdge(members[i], members[j]);
+      }
+    }
+    // Spanning path so the community itself is connected even when the
+    // Bernoulli draws come out sparse.
+    for (NodeId i = 0; i + 1 < size; ++i) {
+      builder.AddEdge(members[i], members[i + 1]);
+    }
+    for (int e = 0; e < params.community_boundary_edges; ++e) {
+      builder.AddEdge(members[rng.NextBounded(size)],
+                      static_cast<NodeId>(rng.NextBounded(params.core_nodes)));
+    }
+    out.communities.push_back(std::move(members));
+    next += size;
+  }
+
+  // 3) Whiskers: paths hanging off random core nodes by a single edge.
+  for (NodeId size : whisker_sizes) {
+    std::vector<NodeId> members(size);
+    for (NodeId i = 0; i < size; ++i) members[i] = next + i;
+    const NodeId anchor =
+        static_cast<NodeId>(rng.NextBounded(params.core_nodes));
+    builder.AddEdge(anchor, members[0]);
+    for (NodeId i = 0; i + 1 < size; ++i) {
+      builder.AddEdge(members[i], members[i + 1]);
+    }
+    out.whiskers.push_back(std::move(members));
+    next += size;
+  }
+  IMPREG_CHECK(next == total);
+
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace impreg

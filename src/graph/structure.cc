@@ -1,0 +1,179 @@
+#include "graph/structure.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Number of distinct non-loop neighbors.
+int SimpleDegree(const Graph& g, NodeId u) {
+  int degree = 0;
+  for (const Arc& arc : g.Neighbors(u)) {
+    if (arc.head != u) ++degree;
+  }
+  return degree;
+}
+
+}  // namespace
+
+std::vector<int> CoreNumbers(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degree[u] = SimpleDegree(g, u);
+    max_degree = std::max(max_degree, degree[u]);
+  }
+  // Bucket sort nodes by degree (Matula–Beck).
+  std::vector<int> bucket_start(max_degree + 2, 0);
+  for (NodeId u = 0; u < n; ++u) ++bucket_start[degree[u] + 1];
+  for (int d = 1; d <= max_degree + 1; ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);
+  std::vector<int> position(n);
+  {
+    std::vector<int> cursor(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      position[u] = cursor[degree[u]];
+      order[position[u]] = u;
+      ++cursor[degree[u]];
+    }
+  }
+  std::vector<int> core(n, 0);
+  std::vector<int> current = degree;
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId u = order[i];
+    core[u] = current[u];
+    for (const Arc& arc : g.Neighbors(u)) {
+      const NodeId v = arc.head;
+      if (v == u || current[v] <= current[u]) continue;
+      // Move v one bucket down: swap it with the first node of its
+      // bucket, then shrink the bucket.
+      const int dv = current[v];
+      const int first_pos = bucket_start[dv];
+      const NodeId first_node = order[first_pos];
+      if (first_node != v) {
+        std::swap(order[position[v]], order[first_pos]);
+        std::swap(position[v], position[first_node]);
+      }
+      ++bucket_start[dv];
+      --current[v];
+    }
+  }
+  return core;
+}
+
+int Degeneracy(const Graph& g) {
+  if (g.NumNodes() == 0) return 0;
+  const std::vector<int> core = CoreNumbers(g);
+  return *std::max_element(core.begin(), core.end());
+}
+
+std::vector<NodeId> KCore(const Graph& g, int k) {
+  IMPREG_CHECK(k >= 0);
+  const std::vector<int> core = CoreNumbers(g);
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (core[u] >= k) nodes.push_back(u);
+  }
+  return nodes;
+}
+
+std::vector<std::int64_t> TriangleCounts(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<std::int64_t> counts(n, 0);
+  // Forward algorithm: order nodes by (degree, id); each triangle is
+  // found exactly once at its lowest-ranked vertex pair.
+  std::vector<int> rank(n);
+  {
+    std::vector<NodeId> order(n);
+    for (NodeId u = 0; u < n; ++u) order[u] = u;
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      const int da = SimpleDegree(g, a), db = SimpleDegree(g, b);
+      return da != db ? da < db : a < b;
+    });
+    for (NodeId i = 0; i < n; ++i) rank[order[i]] = i;
+  }
+  std::vector<std::vector<NodeId>> forward(n);  // Higher-rank neighbors.
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head != u && rank[arc.head] > rank[u]) {
+        forward[u].push_back(arc.head);
+      }
+    }
+    std::sort(forward[u].begin(), forward[u].end());
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : forward[u]) {
+      // Intersect forward[u] and forward[v].
+      std::size_t i = 0, j = 0;
+      while (i < forward[u].size() && j < forward[v].size()) {
+        if (forward[u][i] < forward[v][j]) {
+          ++i;
+        } else if (forward[u][i] > forward[v][j]) {
+          ++j;
+        } else {
+          const NodeId w = forward[u][i];
+          ++counts[u];
+          ++counts[v];
+          ++counts[w];
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+std::int64_t CountTriangles(const Graph& g) {
+  const std::vector<std::int64_t> counts = TriangleCounts(g);
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  return total / 3;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  const std::vector<std::int64_t> triangles = TriangleCounts(g);
+  std::vector<double> coefficients(g.NumNodes(), 0.0);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const int d = SimpleDegree(g, u);
+    if (d >= 2) {
+      coefficients[u] = 2.0 * static_cast<double>(triangles[u]) /
+                        (static_cast<double>(d) * (d - 1));
+    }
+  }
+  return coefficients;
+}
+
+double AverageClusteringCoefficient(const Graph& g) {
+  const std::vector<double> local = LocalClusteringCoefficients(g);
+  double total = 0.0;
+  std::int64_t counted = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (SimpleDegree(g, u) >= 2) {
+      total += local[u];
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  const std::int64_t triangles = CountTriangles(g);
+  std::int64_t wedges = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const std::int64_t d = SimpleDegree(g, u);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges > 0
+             ? 3.0 * static_cast<double>(triangles) /
+                   static_cast<double>(wedges)
+             : 0.0;
+}
+
+}  // namespace impreg

@@ -1,0 +1,51 @@
+#ifndef IMPREG_GRAPH_STRUCTURE_H_
+#define IMPREG_GRAPH_STRUCTURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// Structural statistics of large networks — the measures used in the
+/// paper's domain ([27, 28]) to characterize social/information graphs:
+/// k-core decomposition (whiskers are the 1-core periphery, communities
+/// live in deeper cores), triangle counts and clustering coefficients
+/// (the local density the "niceness" intuition tracks). All are
+/// unweighted (they count edges, not weights); self-loops are ignored.
+
+namespace impreg {
+
+/// Core number of every node (Matula–Beck peeling): the largest k such
+/// that the node survives in the k-core. O(n + m).
+std::vector<int> CoreNumbers(const Graph& g);
+
+/// The maximum core number (0 for edgeless graphs).
+int Degeneracy(const Graph& g);
+
+/// Nodes of the k-core (possibly empty).
+std::vector<NodeId> KCore(const Graph& g, int k);
+
+/// Number of triangles through each node (forward/edge-iterator
+/// algorithm, O(m^{3/2})).
+std::vector<std::int64_t> TriangleCounts(const Graph& g);
+
+/// Total number of triangles in the graph.
+std::int64_t CountTriangles(const Graph& g);
+
+/// Local clustering coefficient per node: triangles(u) /
+/// (deg(u) choose 2); 0 for nodes of degree < 2. Degree counts
+/// distinct non-loop neighbors.
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Average of the local clustering coefficients over nodes with
+/// degree ≥ 2 (the Watts–Strogatz "clustering coefficient").
+double AverageClusteringCoefficient(const Graph& g);
+
+/// Global (transitivity) coefficient: 3·triangles / open-or-closed
+/// wedges; 0 if the graph has no wedges.
+double GlobalClusteringCoefficient(const Graph& g);
+
+}  // namespace impreg
+
+#endif  // IMPREG_GRAPH_STRUCTURE_H_

@@ -1,0 +1,53 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
+                           const CgOptions& options) {
+  const int n = a.Dimension();
+  IMPREG_CHECK(static_cast<int>(b.size()) == n);
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+
+  Vector r = b;
+  if (options.project_out != nullptr) ProjectOut(*options.project_out, r);
+  const double b_norm = Norm2(r);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double threshold = options.relative_tolerance * b_norm;
+
+  Vector p = r;
+  Vector ap(n);
+  double rr = Dot(r, r);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    a.Apply(p, ap);
+    if (options.project_out != nullptr) ProjectOut(*options.project_out, ap);
+    const double pap = Dot(p, ap);
+    if (pap <= 0.0) break;  // Lost positive-definiteness numerically.
+    const double alpha = rr / pap;
+    Axpy(alpha, p, result.x);
+    Axpy(-alpha, ap, r);
+    if (options.project_out != nullptr) ProjectOut(*options.project_out, r);
+    const double rr_new = Dot(r, r);
+    result.iterations = iter;
+    if (std::sqrt(rr_new) <= threshold) {
+      result.converged = true;
+      rr = rr_new;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (int i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  result.residual_norm = std::sqrt(rr);
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,65 @@
+#include "linalg/chebyshev.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
+                               double lambda_min, double lambda_max,
+                               const ChebyshevOptions& options) {
+  IMPREG_CHECK(lambda_min > 0.0 && lambda_min <= lambda_max);
+  const int n = a.Dimension();
+  IMPREG_CHECK(static_cast<int>(b.size()) == n);
+
+  ChebyshevResult result;
+  result.x.assign(n, 0.0);
+  const double b_norm = Norm2(b);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double threshold = options.relative_tolerance * b_norm;
+
+  const double theta = 0.5 * (lambda_max + lambda_min);
+  const double delta = 0.5 * (lambda_max - lambda_min);
+
+  Vector r = b;  // r = b − A·0.
+  if (delta == 0.0) {
+    // A = θI exactly: one step solves.
+    result.x = b;
+    Scale(1.0 / theta, result.x);
+    a.Apply(result.x, r);
+    for (int i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    result.iterations = 1;
+    result.residual_norm = Norm2(r);
+    result.converged = result.residual_norm <= threshold;
+    return result;
+  }
+
+  const double sigma = theta / delta;
+  double rho = 1.0 / sigma;
+  Vector d = r;
+  Scale(1.0 / theta, d);
+  Vector ad(n);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    Axpy(1.0, d, result.x);
+    a.Apply(d, ad);
+    Axpy(-1.0, ad, r);
+    result.iterations = iter;
+    result.residual_norm = Norm2(r);
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+    const double rho_next = 1.0 / (2.0 * sigma - rho);
+    // d ← ρρ' d + (2ρ'/δ) r.
+    Scale(rho * rho_next, d);
+    Axpy(2.0 * rho_next / delta, r, d);
+    rho = rho_next;
+  }
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,323 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/tridiagonal.h"
+#include "util/check.h"
+
+namespace impreg {
+
+DenseMatrix::DenseMatrix(int rows, int cols, double init)
+    : rows_(rows), cols_(cols) {
+  IMPREG_CHECK(rows >= 0 && cols >= 0);
+  data_.assign(static_cast<std::size_t>(rows) * cols, init);
+}
+
+DenseMatrix DenseMatrix::Identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::OuterProduct(const Vector& v, double scale) {
+  const int n = static_cast<int>(v.size());
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) m.At(i, j) = scale * v[i] * v[j];
+  }
+  return m;
+}
+
+Vector DenseMatrix::Apply(const Vector& x) const {
+  IMPREG_CHECK(static_cast<int>(x.size()) == cols_);
+  Vector y(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < cols_; ++j) sum += At(i, j) * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  IMPREG_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (int j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out.At(j, i) = At(i, j);
+  }
+  return out;
+}
+
+DenseMatrix& DenseMatrix::AddScaled(const DenseMatrix& other, double s) {
+  IMPREG_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::ScaleBy(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double DenseMatrix::Trace() const {
+  IMPREG_CHECK(rows_ == cols_);
+  double sum = 0.0;
+  for (int i = 0; i < rows_; ++i) sum += At(i, i);
+  return sum;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double DenseMatrix::SymmetryDefect() const {
+  IMPREG_CHECK(rows_ == cols_);
+  double worst = 0.0;
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = i + 1; j < cols_; ++j) {
+      worst = std::max(worst, std::abs(At(i, j) - At(j, i)));
+    }
+  }
+  return worst;
+}
+
+Vector DenseMatrix::Column(int j) const {
+  IMPREG_CHECK(j >= 0 && j < cols_);
+  Vector col(rows_);
+  for (int i = 0; i < rows_; ++i) col[i] = At(i, j);
+  return col;
+}
+
+double TraceOfProduct(const DenseMatrix& a, const DenseMatrix& b) {
+  IMPREG_CHECK(a.Rows() == a.Cols() && b.Rows() == b.Cols());
+  IMPREG_CHECK(a.Rows() == b.Rows());
+  double sum = 0.0;
+  for (int i = 0; i < a.Rows(); ++i) {
+    for (int j = 0; j < a.Cols(); ++j) sum += a.At(i, j) * b.At(j, i);
+  }
+  return sum;
+}
+
+SymmetricEigen SymmetricEigendecomposition(const DenseMatrix& input) {
+  IMPREG_CHECK(input.Rows() == input.Cols());
+  IMPREG_CHECK_MSG(input.SymmetryDefect() <=
+                       1e-9 * (1.0 + input.FrobeniusNorm()),
+                   "matrix is not symmetric");
+  const int n = input.Rows();
+  DenseMatrix a = input;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  // Cyclic Jacobi: sweep all (p, q) pairs, rotating away off-diagonal
+  // entries, until the off-diagonal mass is negligible.
+  const int kMaxSweeps = 100;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += a.At(p, q) * a.At(p, q);
+    }
+    if (off <= 1e-30 * (1.0 + a.FrobeniusNorm())) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::abs(apq) <=
+            1e-18 * (std::abs(a.At(p, p)) + std::abs(a.At(q, q)))) {
+          continue;
+        }
+        const double theta = (a.At(q, q) - a.At(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // A ← JᵀAJ with the rotation in the (p, q) plane.
+        for (int k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v.At(k, p);
+          const double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending, permuting eigenvector columns along.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return a.At(i, i) < a.At(j, j); });
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = DenseMatrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    out.eigenvalues[j] = a.At(order[j], order[j]);
+    for (int i = 0; i < n; ++i) {
+      out.eigenvectors.At(i, j) = v.At(i, order[j]);
+    }
+  }
+  return out;
+}
+
+DenseMatrix ApplySpectralFunction(const SymmetricEigen& eigen,
+                                  const std::function<double(double)>& f) {
+  const int n = static_cast<int>(eigen.eigenvalues.size());
+  DenseMatrix out(n, n);
+  // out = Σ_k f(λ_k) v_k v_kᵀ.
+  for (int k = 0; k < n; ++k) {
+    const double fk = f(eigen.eigenvalues[k]);
+    if (fk == 0.0) continue;
+    for (int i = 0; i < n; ++i) {
+      const double vik = eigen.eigenvectors.At(i, k);
+      if (vik == 0.0) continue;
+      for (int j = 0; j < n; ++j) {
+        out.At(i, j) += fk * vik * eigen.eigenvectors.At(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+
+SymmetricEigen SymmetricEigendecompositionFast(const DenseMatrix& input) {
+  IMPREG_CHECK(input.Rows() == input.Cols());
+  IMPREG_CHECK_MSG(input.SymmetryDefect() <=
+                       1e-9 * (1.0 + input.FrobeniusNorm()),
+                   "matrix is not symmetric");
+  const int n = input.Rows();
+  if (n == 0) return SymmetricEigen{};
+  if (n == 1) {
+    SymmetricEigen out;
+    out.eigenvalues = {input.At(0, 0)};
+    out.eigenvectors = DenseMatrix::Identity(1);
+    return out;
+  }
+
+  // Householder reduction A -> Q^T A Q = tridiagonal(d, e).
+  DenseMatrix a = input;
+  DenseMatrix q = DenseMatrix::Identity(n);
+  Vector v(n), u(n), qv(n);
+  for (int k = 0; k + 2 < n; ++k) {
+    // Column below the subdiagonal.
+    double norm_sq = 0.0;
+    for (int i = k + 1; i < n; ++i) norm_sq += a.At(i, k) * a.At(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm <= 1e-300) continue;  // Already tridiagonal here.
+    const double x0 = a.At(k + 1, k);
+    const double alpha = x0 >= 0.0 ? -norm : norm;
+    // v = x - alpha*e1, normalized; supported on [k+1, n).
+    std::fill(v.begin(), v.end(), 0.0);
+    v[k + 1] = x0 - alpha;
+    for (int i = k + 2; i < n; ++i) v[i] = a.At(i, k);
+    double v_norm = 0.0;
+    for (int i = k + 1; i < n; ++i) v_norm += v[i] * v[i];
+    v_norm = std::sqrt(v_norm);
+    if (v_norm <= 1e-300) continue;
+    for (int i = k + 1; i < n; ++i) v[i] /= v_norm;
+
+    // Symmetric two-sided update of the trailing block:
+    // A <- A - 2 v u^T - 2 u v^T + 4 (v^T u) v v^T with u = A v.
+    for (int i = k; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = k + 1; j < n; ++j) sum += a.At(i, j) * v[j];
+      u[i] = sum;
+    }
+    double c = 0.0;
+    for (int i = k + 1; i < n; ++i) c += v[i] * u[i];
+    for (int i = k; i < n; ++i) {
+      const double vi = i >= k + 1 ? v[i] : 0.0;
+      for (int j = k; j < n; ++j) {
+        const double vj = j >= k + 1 ? v[j] : 0.0;
+        a.At(i, j) += -2.0 * vi * u[j] - 2.0 * u[i] * vj +
+                      4.0 * c * vi * vj;
+      }
+    }
+    // Accumulate Q <- Q H (H = I - 2 v v^T).
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = k + 1; j < n; ++j) sum += q.At(i, j) * v[j];
+      qv[i] = sum;
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = k + 1; j < n; ++j) {
+        q.At(i, j) -= 2.0 * qv[i] * v[j];
+      }
+    }
+  }
+
+  Vector diag(n), off(n - 1);
+  for (int i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  for (int i = 0; i + 1 < n; ++i) off[i] = a.At(i + 1, i);
+  const SymmetricEigen tri = TridiagonalEigendecomposition(diag, off);
+
+  SymmetricEigen out;
+  out.eigenvalues = tri.eigenvalues;
+  out.eigenvectors = q.Multiply(tri.eigenvectors);
+  return out;
+}
+
+DenseMatrix DenseAdjacency(const Graph& g) {
+  const int n = g.NumNodes();
+  DenseMatrix m(n, n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Arc& arc : g.Neighbors(u)) m.At(u, arc.head) += arc.weight;
+  }
+  return m;
+}
+
+DenseMatrix DenseCombinatorialLaplacian(const Graph& g) {
+  const int n = g.NumNodes();
+  DenseMatrix m(n, n);
+  for (NodeId u = 0; u < n; ++u) {
+    m.At(u, u) = g.Degree(u);
+    for (const Arc& arc : g.Neighbors(u)) m.At(u, arc.head) -= arc.weight;
+  }
+  return m;
+}
+
+DenseMatrix DenseNormalizedLaplacian(const Graph& g) {
+  const int n = g.NumNodes();
+  DenseMatrix m(n, n);
+  Vector inv_sqrt(n, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (g.Degree(u) > 0.0) inv_sqrt[u] = 1.0 / std::sqrt(g.Degree(u));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (inv_sqrt[u] == 0.0) continue;
+    m.At(u, u) = 1.0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      m.At(u, arc.head) -= arc.weight * inv_sqrt[u] * inv_sqrt[arc.head];
+    }
+  }
+  return m;
+}
+
+}  // namespace impreg

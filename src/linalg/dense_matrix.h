@@ -1,0 +1,124 @@
+#ifndef IMPREG_LINALG_DENSE_MATRIX_H_
+#define IMPREG_LINALG_DENSE_MATRIX_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Small dense matrices and a symmetric eigensolver.
+///
+/// The regularized SDPs of the paper's Problem (5) have closed-form
+/// optima that are spectral functions of the normalized Laplacian
+/// (Gibbs, inverse and power densities). Verifying the implicit-
+/// regularization correspondence therefore needs exact dense
+/// eigendecompositions on moderate graphs; cyclic Jacobi is simple,
+/// backward-stable and accurate to machine precision, which is what a
+/// ground-truth oracle should be.
+
+namespace impreg {
+
+/// Row-major dense real matrix.
+class DenseMatrix {
+ public:
+  /// rows × cols matrix filled with `init`.
+  DenseMatrix(int rows, int cols, double init = 0.0);
+
+  /// 0 × 0 matrix.
+  DenseMatrix() : rows_(0), cols_(0) {}
+
+  DenseMatrix(const DenseMatrix&) = default;
+  DenseMatrix& operator=(const DenseMatrix&) = default;
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  /// The n × n identity.
+  static DenseMatrix Identity(int n);
+
+  /// Builds a matrix from the outer product scale·v vᵀ.
+  static DenseMatrix OuterProduct(const Vector& v, double scale = 1.0);
+
+  int Rows() const { return rows_; }
+  int Cols() const { return cols_; }
+
+  double& At(int i, int j) { return data_[Index(i, j)]; }
+  double At(int i, int j) const { return data_[Index(i, j)]; }
+
+  /// y = M x.
+  Vector Apply(const Vector& x) const;
+
+  /// Returns M · other.
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Returns Mᵀ.
+  DenseMatrix Transposed() const;
+
+  /// In place: M ← M + s·other (same shape required).
+  DenseMatrix& AddScaled(const DenseMatrix& other, double s);
+
+  /// In place: M ← s·M.
+  DenseMatrix& ScaleBy(double s);
+
+  /// Σᵢ Mᵢᵢ (square matrices only).
+  double Trace() const;
+
+  /// √Σ Mᵢⱼ².
+  double FrobeniusNorm() const;
+
+  /// max |Mᵢⱼ − Mⱼᵢ| (square matrices only).
+  double SymmetryDefect() const;
+
+  /// Column j as a vector.
+  Vector Column(int j) const;
+
+ private:
+  std::size_t Index(int i, int j) const {
+    return static_cast<std::size_t>(i) * cols_ + j;
+  }
+
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+/// Tr(A·B) for same-shape square matrices, computed without forming the
+/// product (= Σᵢⱼ Aᵢⱼ Bⱼᵢ).
+double TraceOfProduct(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Eigendecomposition of a symmetric matrix: M = V diag(λ) Vᵀ with
+/// eigenvalues ascending and V's columns the corresponding orthonormal
+/// eigenvectors.
+struct SymmetricEigen {
+  Vector eigenvalues;
+  DenseMatrix eigenvectors;
+};
+
+/// Cyclic Jacobi eigensolver. Requires a square, (numerically) symmetric
+/// matrix; converges to machine precision.
+SymmetricEigen SymmetricEigendecomposition(const DenseMatrix& m);
+
+/// Householder-tridiagonalization + implicit-QL eigensolver: the
+/// standard O(n³) dense symmetric path (one reduction, then the
+/// tridiagonal solve) — markedly faster than cyclic Jacobi for n ≳ 60
+/// while matching it to ~1e-10. Same contract as
+/// SymmetricEigendecomposition.
+SymmetricEigen SymmetricEigendecompositionFast(const DenseMatrix& m);
+
+/// Builds f(M) = V diag(f(λ)) Vᵀ from a precomputed decomposition.
+DenseMatrix ApplySpectralFunction(const SymmetricEigen& eigen,
+                                  const std::function<double(double)>& f);
+
+/// Dense A of a graph.
+DenseMatrix DenseAdjacency(const Graph& g);
+
+/// Dense L = D − A.
+DenseMatrix DenseCombinatorialLaplacian(const Graph& g);
+
+/// Dense ℒ = I − D^{-1/2} A D^{-1/2} (isolated nodes: zero row/column).
+DenseMatrix DenseNormalizedLaplacian(const Graph& g);
+
+}  // namespace impreg
+
+#endif  // IMPREG_LINALG_DENSE_MATRIX_H_

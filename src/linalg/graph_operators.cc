@@ -1,0 +1,124 @@
+#include "linalg/graph_operators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+void AdjacencyOperator::Apply(const Vector& x, Vector& y) const {
+  IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
+  y.assign(x.size(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    double sum = 0.0;
+    for (const Arc& arc : graph_.Neighbors(u)) sum += arc.weight * x[arc.head];
+    y[u] = sum;
+  }
+}
+
+void CombinatorialLaplacianOperator::Apply(const Vector& x, Vector& y) const {
+  IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
+  y.assign(x.size(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    double sum = graph_.Degree(u) * x[u];
+    for (const Arc& arc : graph_.Neighbors(u)) sum -= arc.weight * x[arc.head];
+    y[u] = sum;
+  }
+}
+
+NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& graph)
+    : graph_(graph) {
+  const NodeId n = graph_.NumNodes();
+  inv_sqrt_deg_.assign(n, 0.0);
+  trivial_.assign(n, 0.0);
+  double norm_sq = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    const double d = graph_.Degree(u);
+    if (d > 0.0) {
+      inv_sqrt_deg_[u] = 1.0 / std::sqrt(d);
+      trivial_[u] = std::sqrt(d);
+      norm_sq += d;
+    }
+  }
+  if (norm_sq > 0.0) {
+    const double inv_norm = 1.0 / std::sqrt(norm_sq);
+    for (double& v : trivial_) v *= inv_norm;
+  }
+}
+
+void NormalizedLaplacianOperator::Apply(const Vector& x, Vector& y) const {
+  IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
+  y.assign(x.size(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    if (inv_sqrt_deg_[u] == 0.0) continue;  // Isolated: row is zero.
+    double sum = 0.0;
+    for (const Arc& arc : graph_.Neighbors(u)) {
+      sum += arc.weight * inv_sqrt_deg_[arc.head] * x[arc.head];
+    }
+    y[u] = x[u] - inv_sqrt_deg_[u] * sum;
+  }
+}
+
+RandomWalkOperator::RandomWalkOperator(const Graph& graph) : graph_(graph) {
+  inv_deg_.assign(graph_.NumNodes(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    const double d = graph_.Degree(u);
+    if (d > 0.0) inv_deg_[u] = 1.0 / d;
+  }
+}
+
+void RandomWalkOperator::Apply(const Vector& x, Vector& y) const {
+  IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
+  y.assign(x.size(), 0.0);
+  // y = A D^{-1} x: node v pushes x_v/d_v along each incident edge.
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    double sum = 0.0;
+    for (const Arc& arc : graph_.Neighbors(u)) {
+      sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
+    }
+    y[u] = sum;
+  }
+}
+
+LazyWalkOperator::LazyWalkOperator(const Graph& graph, double alpha)
+    : graph_(graph), alpha_(alpha) {
+  IMPREG_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  inv_deg_.assign(graph_.NumNodes(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    const double d = graph_.Degree(u);
+    if (d > 0.0) inv_deg_[u] = 1.0 / d;
+  }
+}
+
+void LazyWalkOperator::Apply(const Vector& x, Vector& y) const {
+  IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
+  y.assign(x.size(), 0.0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
+    double sum = 0.0;
+    for (const Arc& arc : graph_.Neighbors(u)) {
+      sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
+    }
+    // Isolated nodes (d=0) keep all their mass.
+    y[u] = graph_.Degree(u) > 0.0 ? alpha_ * x[u] + (1.0 - alpha_) * sum
+                                  : x[u];
+  }
+}
+
+Vector TrivialNormalizedEigenvector(const Graph& graph) {
+  Vector v(graph.NumNodes(), 0.0);
+  double norm_sq = 0.0;
+  for (NodeId u = 0; u < graph.NumNodes(); ++u) {
+    const double d = graph.Degree(u);
+    if (d > 0.0) {
+      v[u] = std::sqrt(d);
+      norm_sq += d;
+    }
+  }
+  if (norm_sq > 0.0) {
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (double& value : v) value *= inv;
+  }
+  return v;
+}
+
+}  // namespace impreg

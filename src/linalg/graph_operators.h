@@ -1,0 +1,109 @@
+#ifndef IMPREG_LINALG_GRAPH_OPERATORS_H_
+#define IMPREG_LINALG_GRAPH_OPERATORS_H_
+
+#include "graph/graph.h"
+#include "linalg/operator.h"
+
+/// \file
+/// The graph matrices of §3.1 of the paper, exposed as matrix-free
+/// operators over the CSR graph:
+///
+///   A        adjacency                       (AdjacencyOperator)
+///   L = D−A  combinatorial Laplacian         (CombinatorialLaplacianOperator)
+///   ℒ = I − D^{-1/2} A D^{-1/2}              (NormalizedLaplacianOperator)
+///   M = A D^{-1}  random-walk transition     (RandomWalkOperator)
+///   W_α = αI + (1−α)M  lazy walk             (LazyWalkOperator)
+///
+/// Conventions for isolated (zero-degree) nodes: ℒ and M act as zero on
+/// them (Chung's convention), L acts as zero, and W_α holds their mass
+/// in place (the walk has nowhere to go).
+///
+/// M is column-stochastic: applying it propagates a charge/probability
+/// vector one step, preserving its total mass on graphs with no isolated
+/// nodes.
+
+namespace impreg {
+
+/// y = A x.
+class AdjacencyOperator : public LinearOperator {
+ public:
+  /// `graph` must outlive the operator.
+  explicit AdjacencyOperator(const Graph& graph) : graph_(graph) {}
+
+  int Dimension() const override { return graph_.NumNodes(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+/// y = (D − A) x.
+class CombinatorialLaplacianOperator : public LinearOperator {
+ public:
+  explicit CombinatorialLaplacianOperator(const Graph& graph)
+      : graph_(graph) {}
+
+  int Dimension() const override { return graph_.NumNodes(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+ private:
+  const Graph& graph_;
+};
+
+/// y = (I − D^{-1/2} A D^{-1/2}) x; rows/columns of isolated nodes are 0.
+class NormalizedLaplacianOperator : public LinearOperator {
+ public:
+  explicit NormalizedLaplacianOperator(const Graph& graph);
+
+  int Dimension() const override { return graph_.NumNodes(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+  /// The trivial eigenvector D^{1/2}1 / ‖D^{1/2}1‖ (eigenvalue 0).
+  const Vector& TrivialEigenvector() const { return trivial_; }
+
+  /// d_u^{-1/2}, 0 for isolated nodes.
+  const Vector& InvSqrtDegrees() const { return inv_sqrt_deg_; }
+
+ private:
+  const Graph& graph_;
+  Vector inv_sqrt_deg_;
+  Vector trivial_;
+};
+
+/// y = A D^{-1} x (one step of the natural random walk on a charge
+/// vector). Mass on isolated nodes is annihilated.
+class RandomWalkOperator : public LinearOperator {
+ public:
+  explicit RandomWalkOperator(const Graph& graph);
+
+  int Dimension() const override { return graph_.NumNodes(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+ private:
+  const Graph& graph_;
+  Vector inv_deg_;
+};
+
+/// y = (αI + (1−α) A D^{-1}) x with holding probability α ∈ [0, 1].
+/// Isolated nodes hold all their mass.
+class LazyWalkOperator : public LinearOperator {
+ public:
+  LazyWalkOperator(const Graph& graph, double alpha);
+
+  int Dimension() const override { return graph_.NumNodes(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  const Graph& graph_;
+  Vector inv_deg_;
+  double alpha_;
+};
+
+/// D^{1/2}1 normalized to unit length — the trivial eigenvector of ℒ.
+Vector TrivialNormalizedEigenvector(const Graph& graph);
+
+}  // namespace impreg
+
+#endif  // IMPREG_LINALG_GRAPH_OPERATORS_H_

@@ -1,0 +1,226 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/tridiagonal.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace impreg {
+
+namespace {
+
+// Orthogonalizes x against every vector in `basis` (twice, for numerical
+// robustness — the classical "twice is enough" rule).
+void Reorthogonalize(const std::vector<Vector>& basis, Vector& x) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vector& q : basis) {
+      const double coeff = Dot(q, x);
+      if (coeff != 0.0) Axpy(-coeff, q, x);
+    }
+  }
+}
+
+LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
+                         const LanczosOptions& options) {
+  const int n = op.Dimension();
+  IMPREG_CHECK(k >= 1);
+  IMPREG_CHECK(n >= 1);
+  const int max_dim = std::min(options.max_iterations, n);
+  IMPREG_CHECK(max_dim >= 1);
+
+  // Normalized copies of the deflation vectors.
+  std::vector<Vector> deflate;
+  for (const Vector& d : options.deflate) {
+    IMPREG_CHECK(static_cast<int>(d.size()) == n);
+    Vector copy = d;
+    Reorthogonalize(deflate, copy);
+    if (Normalize(copy) > 1e-12) deflate.push_back(std::move(copy));
+  }
+
+  // Random start vector, deflated.
+  Rng rng(options.seed);
+  Vector q(n);
+  for (double& v : q) v = rng.NextGaussian();
+  Reorthogonalize(deflate, q);
+  IMPREG_CHECK_MSG(Normalize(q) > 1e-12,
+                   "start vector vanished under deflation");
+
+  std::vector<Vector> basis;
+  basis.reserve(max_dim);
+  Vector alpha, beta;  // Tridiagonal entries.
+  Vector w(n);
+
+  LanczosResult result;
+  SymmetricEigen tri_eigen;
+  int m = 0;
+  for (; m < max_dim; ++m) {
+    basis.push_back(q);
+    op.Apply(basis[m], w);
+    const double a = Dot(basis[m], w);
+    alpha.push_back(a);
+    // w ← w − a·q_m − b_{m-1}·q_{m-1}, then full reorthogonalization.
+    Axpy(-a, basis[m], w);
+    if (m > 0) Axpy(-beta[m - 1], basis[m - 1], w);
+    Reorthogonalize(deflate, w);
+    Reorthogonalize(basis, w);
+    const double b = Norm2(w);
+
+    // Convergence test every few steps once we have k Ritz values.
+    const bool last = (m + 1 == max_dim) || b <= 1e-13;
+    if (m + 1 >= k && ((m + 1) % 5 == 0 || last)) {
+      Vector off(beta.begin(), beta.end());
+      tri_eigen = TridiagonalEigendecomposition(alpha, off);
+      // Residual of Ritz pair i is |b · s_{m,i}| where s is the last row
+      // of the tridiagonal eigenvector.
+      bool all_ok = true;
+      for (int i = 0; i < k; ++i) {
+        const int col = smallest ? i : m - i;  // m+1 values, index m = top.
+        const double resid = std::abs(b * tri_eigen.eigenvectors.At(m, col));
+        if (resid > options.tolerance) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (all_ok || last) {
+        result.converged = all_ok;
+        break;
+      }
+    }
+    if (b <= 1e-13) {
+      // Invariant subspace found; recompute Ritz pairs and stop.
+      Vector off(beta.begin(), beta.end());
+      tri_eigen = TridiagonalEigendecomposition(alpha, off);
+      result.converged = (m + 1 >= k);
+      break;
+    }
+    beta.push_back(b);
+    q = w;
+    Scale(1.0 / b, q);
+  }
+  if (m == max_dim) --m;  // Loop exhausted without break.
+  const int dim = m + 1;
+  if (tri_eigen.eigenvalues.empty()) {
+    Vector off(beta.begin(), beta.begin() + (dim - 1));
+    Vector diag(alpha.begin(), alpha.begin() + dim);
+    tri_eigen = TridiagonalEigendecomposition(diag, off);
+  }
+
+  const int num_out = std::min(k, dim);
+  result.iterations = dim;
+  result.eigenvalues.resize(num_out);
+  result.eigenvectors.assign(num_out, Vector(n, 0.0));
+  for (int i = 0; i < num_out; ++i) {
+    const int col = smallest ? i : dim - 1 - i;
+    result.eigenvalues[i] = tri_eigen.eigenvalues[col];
+    Vector& ritz = result.eigenvectors[i];
+    for (int j = 0; j < dim; ++j) {
+      const double s = tri_eigen.eigenvectors.At(j, col);
+      if (s != 0.0) Axpy(s, basis[j], ritz);
+    }
+    Normalize(ritz);
+  }
+  return result;
+}
+
+// Computes k extreme eigenpairs by sequential single-pair runs with
+// deflation restarts. A single Krylov sequence can only ever produce
+// one Ritz vector per *distinct* eigenvalue (the start vector has one
+// component in each eigenspace), so multiplicities — ubiquitous in
+// graphs with symmetry, e.g. rings of cliques — require re-running with
+// the found vectors deflated.
+LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
+                          const LanczosOptions& options) {
+  LanczosResult total;
+  total.converged = true;
+  LanczosOptions current = options;
+  for (int i = 0; i < k; ++i) {
+    const LanczosResult one = RunLanczos(op, 1, smallest, current);
+    if (one.eigenvectors.empty()) break;
+    total.eigenvalues.push_back(one.eigenvalues.front());
+    total.eigenvectors.push_back(one.eigenvectors.front());
+    total.iterations += one.iterations;
+    total.converged = total.converged && one.converged;
+    current.deflate.push_back(one.eigenvectors.front());
+    current.seed += 0x9e3779b9ULL;  // Fresh start vector per pair.
+  }
+  // Near-degenerate pairs can come back marginally out of order.
+  std::vector<int> order(total.eigenvalues.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return smallest ? total.eigenvalues[a] < total.eigenvalues[b]
+                    : total.eigenvalues[a] > total.eigenvalues[b];
+  });
+  LanczosResult sorted;
+  sorted.iterations = total.iterations;
+  sorted.converged = total.converged;
+  for (int idx : order) {
+    sorted.eigenvalues.push_back(total.eigenvalues[idx]);
+    sorted.eigenvectors.push_back(std::move(total.eigenvectors[idx]));
+  }
+  return sorted;
+}
+
+}  // namespace
+
+LanczosResult LanczosSmallest(const LinearOperator& op, int k,
+                              const LanczosOptions& options) {
+  if (k == 1) return RunLanczos(op, 1, /*smallest=*/true, options);
+  return RunDeflated(op, k, /*smallest=*/true, options);
+}
+
+LanczosResult LanczosLargest(const LinearOperator& op, int k,
+                             const LanczosOptions& options) {
+  if (k == 1) return RunLanczos(op, 1, /*smallest=*/false, options);
+  return RunDeflated(op, k, /*smallest=*/false, options);
+}
+
+Vector KrylovExpMultiply(const LinearOperator& op, double scale,
+                         const Vector& v, int krylov_dim) {
+  const int n = op.Dimension();
+  IMPREG_CHECK(static_cast<int>(v.size()) == n);
+  IMPREG_CHECK(krylov_dim >= 1);
+  const double v_norm = Norm2(v);
+  if (v_norm == 0.0) return Vector(n, 0.0);
+
+  const int max_dim = std::min(krylov_dim, n);
+  std::vector<Vector> basis;
+  basis.reserve(max_dim);
+  Vector alpha, beta;
+  Vector q = v;
+  Scale(1.0 / v_norm, q);
+  Vector w(n);
+  for (int m = 0; m < max_dim; ++m) {
+    basis.push_back(q);
+    op.Apply(basis[m], w);
+    const double a = Dot(basis[m], w);
+    alpha.push_back(a);
+    Axpy(-a, basis[m], w);
+    if (m > 0) Axpy(-beta[m - 1], basis[m - 1], w);
+    Reorthogonalize(basis, w);
+    const double b = Norm2(w);
+    if (b <= 1e-14 || m + 1 == max_dim) break;
+    beta.push_back(b);
+    q = w;
+    Scale(1.0 / b, q);
+  }
+  const int dim = static_cast<int>(alpha.size());
+  Vector off(beta.begin(), beta.begin() + (dim - 1));
+  const SymmetricEigen tri = TridiagonalEigendecomposition(alpha, off);
+
+  // y = ‖v‖ · V · U exp(scale·Λ) Uᵀ e₁.
+  Vector coeffs(dim, 0.0);
+  for (int kk = 0; kk < dim; ++kk) {
+    const double weight =
+        std::exp(scale * tri.eigenvalues[kk]) * tri.eigenvectors.At(0, kk);
+    for (int j = 0; j < dim; ++j) {
+      coeffs[j] += weight * tri.eigenvectors.At(j, kk);
+    }
+  }
+  Vector y(n, 0.0);
+  for (int j = 0; j < dim; ++j) Axpy(v_norm * coeffs[j], basis[j], y);
+  return y;
+}
+
+}  // namespace impreg

@@ -1,0 +1,21 @@
+#include "linalg/operator.h"
+
+#include "util/check.h"
+
+namespace impreg {
+
+double LinearOperator::RayleighQuotient(const Vector& x) const {
+  IMPREG_CHECK(static_cast<int>(x.size()) == Dimension());
+  const double xx = Dot(x, x);
+  if (xx <= 0.0) return 0.0;
+  Vector ax;
+  Apply(x, ax);
+  return Dot(x, ax) / xx;
+}
+
+void ShiftedOperator::Apply(const Vector& x, Vector& y) const {
+  inner_.Apply(x, y);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = a_ * y[i] + b_ * x[i];
+}
+
+}  // namespace impreg

@@ -1,0 +1,57 @@
+#ifndef IMPREG_LINALG_OPERATOR_H_
+#define IMPREG_LINALG_OPERATOR_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Abstract linear operator: the interface every iterative method in the
+/// library (power method, Lanczos, CG, diffusions) is written against.
+/// An operator only ever has to provide y = Ax, which is what keeps the
+/// sparse graph matrices sparse — the paper's point about the Power
+/// Method at Web scale (§3.1).
+
+namespace impreg {
+
+/// A real square linear operator of fixed dimension.
+class LinearOperator {
+ public:
+  virtual ~LinearOperator() = default;
+
+  /// The dimension n (operator maps R^n → R^n).
+  virtual int Dimension() const = 0;
+
+  /// Computes y = A x. `y` is resized as needed; x and y must not alias.
+  virtual void Apply(const Vector& x, Vector& y) const = 0;
+
+  /// Convenience: returns A x by value.
+  Vector Apply(const Vector& x) const {
+    Vector y;
+    Apply(x, y);
+    return y;
+  }
+
+  /// The Rayleigh quotient xᵀAx / xᵀx (0 for the zero vector).
+  double RayleighQuotient(const Vector& x) const;
+};
+
+/// The operator a·A + b·I built from another operator (no copies).
+class ShiftedOperator : public LinearOperator {
+ public:
+  /// Represents a·inner + b·I. `inner` must outlive this object.
+  ShiftedOperator(const LinearOperator& inner, double a, double b)
+      : inner_(inner), a_(a), b_(b) {}
+
+  int Dimension() const override { return inner_.Dimension(); }
+  void Apply(const Vector& x, Vector& y) const override;
+
+ private:
+  const LinearOperator& inner_;
+  double a_;
+  double b_;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_LINALG_OPERATOR_H_

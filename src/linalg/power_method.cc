@@ -1,0 +1,70 @@
+#include "linalg/power_method.h"
+
+#include <cmath>
+
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+void Deflate(const std::vector<Vector>& deflate, Vector& x) {
+  for (const Vector& d : deflate) ProjectOut(d, x);
+}
+
+}  // namespace
+
+PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
+                              const PowerMethodOptions& options) {
+  const int n = op.Dimension();
+  IMPREG_CHECK(static_cast<int>(start.size()) == n);
+
+  PowerMethodResult result;
+  Vector current = std::move(start);
+  Deflate(options.deflate, current);
+  IMPREG_CHECK_MSG(Normalize(current) > 1e-14,
+                   "power method start vector vanished under deflation");
+
+  Vector next(n);
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    op.Apply(current, next);
+    Deflate(options.deflate, next);
+    const double norm = Normalize(next);
+    result.iterations = iter;
+    if (norm <= 1e-300) {
+      // A annihilated the iterate — it was (numerically) in the null
+      // space; report non-convergence with the last usable vector.
+      break;
+    }
+    // Align sign so the difference test is meaningful for negative
+    // dominant eigenvalues.
+    if (Dot(next, current) < 0.0) Scale(-1.0, next);
+    const double delta = DistanceL2(next, current);
+    current.swap(next);
+    if (options.on_iterate) options.on_iterate(iter, current);
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.eigenvalue = op.RayleighQuotient(current);
+  result.eigenvector = std::move(current);
+  return result;
+}
+
+PowerMethodResult SecondEigenpairPowerMethod(
+    const Graph& graph, Vector start, const PowerMethodOptions& options) {
+  const NormalizedLaplacianOperator lap(graph);
+  // ℒ has spectrum in [0, 2]; 2I − ℒ flips it so the smallest nontrivial
+  // eigenvalue becomes dominant once D^{1/2}1 is deflated.
+  const ShiftedOperator flipped(lap, -1.0, 2.0);
+  PowerMethodOptions opts = options;
+  opts.deflate.push_back(lap.TrivialEigenvector());
+  PowerMethodResult result = PowerMethod(flipped, std::move(start), opts);
+  // Convert the Rayleigh quotient back: λ(ℒ) = 2 − λ(2I−ℒ).
+  result.eigenvalue = 2.0 - result.eigenvalue;
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,93 @@
+#include "linalg/tridiagonal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+}  // namespace
+
+SymmetricEigen TridiagonalEigendecomposition(const Vector& diag,
+                                             const Vector& offdiag) {
+  const int n = static_cast<int>(diag.size());
+  IMPREG_CHECK(n >= 1);
+  IMPREG_CHECK(offdiag.size() == static_cast<std::size_t>(n) - 1);
+
+  Vector d = diag;
+  Vector e(n, 0.0);
+  for (int i = 0; i < n - 1; ++i) e[i] = offdiag[i];
+  DenseMatrix z = DenseMatrix::Identity(n);
+
+  // Implicit QL with Wilkinson shifts (tql2).
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        IMPREG_CHECK_MSG(iter++ < 50, "tql2 failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i = m - 1;
+        for (; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = Hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Underflow guard: deflate and restart this eigenvalue.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < n; ++k) {
+            f = z.At(k, i + 1);
+            z.At(k, i + 1) = s * z.At(k, i) + c * f;
+            z.At(k, i) = c * z.At(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  // Sort ascending with the eigenvector columns.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return d[i] < d[j]; });
+  SymmetricEigen out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = DenseMatrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    out.eigenvalues[j] = d[order[j]];
+    for (int i = 0; i < n; ++i) out.eigenvectors.At(i, j) = z.At(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace impreg

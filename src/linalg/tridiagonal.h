@@ -1,0 +1,23 @@
+#ifndef IMPREG_LINALG_TRIDIAGONAL_H_
+#define IMPREG_LINALG_TRIDIAGONAL_H_
+
+#include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Eigensolver for real symmetric tridiagonal matrices (the projected
+/// problems produced by the Lanczos process). Implicit QL with Wilkinson
+/// shifts — the classical tql2 algorithm.
+
+namespace impreg {
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `diag` (length m) and off-diagonal `offdiag` (length m−1).
+/// Returns ascending eigenvalues and an m×m orthonormal eigenvector
+/// matrix (column k ↔ eigenvalue k), exactly as SymmetricEigen.
+SymmetricEigen TridiagonalEigendecomposition(const Vector& diag,
+                                             const Vector& offdiag);
+
+}  // namespace impreg
+
+#endif  // IMPREG_LINALG_TRIDIAGONAL_H_

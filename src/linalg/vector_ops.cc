@@ -1,0 +1,93 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+double Dot(const Vector& x, const Vector& y) {
+  IMPREG_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Norm2(const Vector& x) { return std::sqrt(Dot(x, x)); }
+
+double Norm1(const Vector& x) {
+  double sum = 0.0;
+  for (double v : x) sum += std::abs(v);
+  return sum;
+}
+
+double NormInf(const Vector& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+void Axpy(double a, const Vector& x, Vector& y) {
+  IMPREG_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void Scale(double a, Vector& x) {
+  for (double& v : x) v *= a;
+}
+
+double Normalize(Vector& x) {
+  const double norm = Norm2(x);
+  if (norm > 0.0) Scale(1.0 / norm, x);
+  return norm;
+}
+
+void ProjectOut(const Vector& direction, Vector& x) {
+  IMPREG_DCHECK(direction.size() == x.size());
+  const double dd = Dot(direction, direction);
+  if (dd <= 0.0) return;
+  const double coeff = Dot(direction, x) / dd;
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] -= coeff * direction[i];
+}
+
+double Sum(const Vector& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  return sum;
+}
+
+double DistanceL2(const Vector& x, const Vector& y) {
+  IMPREG_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += (x[i] - y[i]) * (x[i] - y[i]);
+  }
+  return std::sqrt(sum);
+}
+
+double DistanceL1(const Vector& x, const Vector& y) {
+  IMPREG_DCHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += std::abs(x[i] - y[i]);
+  return sum;
+}
+
+double DistanceUpToSign(const Vector& x, const Vector& y) {
+  IMPREG_DCHECK(x.size() == y.size());
+  double plus = 0.0, minus = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    plus += (x[i] - y[i]) * (x[i] - y[i]);
+    minus += (x[i] + y[i]) * (x[i] + y[i]);
+  }
+  return std::sqrt(std::min(plus, minus));
+}
+
+double WeightedDot(const Vector& weights, const Vector& x, const Vector& y) {
+  IMPREG_DCHECK(weights.size() == x.size() && x.size() == y.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += weights[i] * x[i] * y[i];
+  return sum;
+}
+
+}  // namespace impreg

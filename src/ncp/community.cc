@@ -1,0 +1,95 @@
+#include "ncp/community.h"
+
+#include <algorithm>
+
+#include "diffusion/seed.h"
+#include "flow/flow_improve.h"
+#include "partition/hkrelax.h"
+#include "partition/push.h"
+#include "partition/sweep.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+int SeedsContained(const std::vector<NodeId>& set,
+                   const std::vector<char>& is_seed) {
+  int count = 0;
+  for (NodeId u : set) count += is_seed[u];
+  return count;
+}
+
+}  // namespace
+
+SeedExpansionResult ExpandSeedSet(const Graph& g,
+                                  const std::vector<NodeId>& seeds,
+                                  const SeedExpansionOptions& options) {
+  IMPREG_CHECK(!seeds.empty());
+  std::vector<char> is_seed(g.NumNodes(), 0);
+  for (NodeId u : seeds) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    is_seed[u] = 1;
+  }
+  const Vector seed_distribution = DegreeWeightedSeed(g, seeds);
+
+  SeedExpansionResult best;
+  best.stats.conductance = 2.0;  // Worse than any candidate.
+  auto consider = [&](std::vector<NodeId> set, const char* method) {
+    if (set.empty()) return;
+    const int contained = SeedsContained(set, is_seed);
+    if (contained == 0) return;  // Not locally biased: ineligible.
+    const CutStats stats = ComputeCutStats(g, set);
+    if (stats.conductance < best.stats.conductance) {
+      best.set = std::move(set);
+      best.stats = stats;
+      best.method = method;
+      best.seeds_contained = contained;
+    }
+  };
+
+  // Spectral side: push at a few ε scales.
+  for (double eps_scale : {1.0, 0.2, 5.0}) {
+    PushOptions push;
+    push.alpha = options.alpha;
+    push.epsilon = options.epsilon * eps_scale;
+    const PushResult diffusion =
+        ApproximatePageRank(g, seed_distribution, push);
+    SweepOptions sweep;
+    sweep.scaling = SweepScaling::kDegreeNormalized;
+    consider(SweepCutOverSupport(g, diffusion.p, sweep).set, "push+sweep");
+  }
+
+  // Spectral side: heat kernel.
+  {
+    HkRelaxOptions hk;
+    hk.t = options.hk_time;
+    hk.delta = options.epsilon;
+    const HkRelaxResult result =
+        HeatKernelRelaxFromDistribution(g, seed_distribution, hk);
+    consider(result.set, "hk-relax");
+  }
+
+  // Flow side: refine the best diffusion-grown set (or the raw seeds if
+  // nothing was eligible yet).
+  if (options.refine_with_flow) {
+    std::vector<NodeId> reference =
+        best.set.empty() ? seeds : best.set;
+    if (static_cast<NodeId>(reference.size()) < g.NumNodes()) {
+      const FlowImproveResult improved = FlowImprove(g, reference);
+      consider(improved.set, "FlowImprove");
+    }
+  }
+
+  // Last resort: the seeds themselves.
+  if (best.set.empty()) {
+    best.set = seeds;
+    std::sort(best.set.begin(), best.set.end());
+    best.stats = ComputeCutStats(g, best.set);
+    best.method = "seeds";
+    best.seeds_contained = static_cast<int>(seeds.size());
+  }
+  return best;
+}
+
+}  // namespace impreg

@@ -1,0 +1,54 @@
+#ifndef IMPREG_NCP_COMMUNITY_H_
+#define IMPREG_NCP_COMMUNITY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/conductance.h"
+
+/// \file
+/// Communities from seed sets (§3.3's semi-supervised scenario; the
+/// paper's reference [2], Andersen–Lang): given a handful of nodes known
+/// to belong together, find a good-conductance cluster containing them.
+///
+/// A portfolio of the library's locally-biased machinery is run and the
+/// best result returned: ACL push and heat-kernel diffusion from the
+/// seed-set distribution (the spectral, smoothly regularized side) and
+/// FlowImprove anchored on a diffusion-grown reference (the flow,
+/// objective-chasing side). The seeds are required to stay inside the
+/// returned set, keeping the answer locally biased.
+
+namespace impreg {
+
+/// Options for the seed-set expansion.
+struct SeedExpansionOptions {
+  /// Push parameters (several ε scales are tried around this value).
+  double alpha = 0.05;
+  double epsilon = 1e-5;
+  /// Heat-kernel time.
+  double hk_time = 12.0;
+  /// Run the FlowImprove refinement stage.
+  bool refine_with_flow = true;
+};
+
+/// The chosen community.
+struct SeedExpansionResult {
+  std::vector<NodeId> set;
+  CutStats stats;
+  /// Which portfolio member produced the winner.
+  std::string method;
+  /// How many of the seeds the set contains.
+  int seeds_contained = 0;
+};
+
+/// Expands a nonempty set of distinct seed nodes into a community.
+/// Only candidates containing at least one seed are eligible; ties and
+/// quality are decided by conductance.
+SeedExpansionResult ExpandSeedSet(const Graph& g,
+                                  const std::vector<NodeId>& seeds,
+                                  const SeedExpansionOptions& options = {});
+
+}  // namespace impreg
+
+#endif  // IMPREG_NCP_COMMUNITY_H_

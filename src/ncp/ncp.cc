@@ -1,0 +1,175 @@
+#include "ncp/ncp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/seed.h"
+#include "graph/bridges.h"
+#include "flow/mqi.h"
+#include "flow/multilevel.h"
+#include "partition/push.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace impreg {
+
+std::vector<NcpCluster> SpectralFamilyClusters(
+    const Graph& g, const SpectralFamilyOptions& options) {
+  IMPREG_CHECK(g.NumNodes() >= 2);
+  Rng rng(options.rng_seed);
+  std::vector<NcpCluster> clusters;
+
+  // Seeds biased toward distinct regions: uniform over nodes with
+  // positive degree.
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < options.num_seeds; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    for (int tries = 0; tries < 64 && g.Degree(u) <= 0.0; ++tries) {
+      u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    }
+    if (g.Degree(u) > 0.0) seeds.push_back(u);
+  }
+
+  for (NodeId seed : seeds) {
+    for (double alpha : options.alphas) {
+      for (double eps : options.epsilons) {
+        PushOptions push;
+        push.alpha = alpha;
+        push.epsilon = eps;
+        const PushResult diffusion =
+            ApproximatePageRank(g, SingleNodeSeed(g, seed), push);
+        SweepOptions sweep_options;
+        sweep_options.scaling = SweepScaling::kDegreeNormalized;
+        const SweepResult sweep =
+            SweepCutOverSupport(g, diffusion.p, sweep_options);
+        if (sweep.order.empty()) continue;
+        // Harvest the best prefix of every (doubling) size scale, not
+        // just the global winner — this is how NCP portfolios are run:
+        // one diffusion yields candidate clusters at all its scales.
+        const std::size_t support = sweep.order.size();
+        for (std::size_t lo = 1; lo <= support; lo *= 2) {
+          const std::size_t hi = std::min(lo * 2 - 1, support);
+          std::size_t best = lo - 1;
+          for (std::size_t k = lo - 1; k < hi; ++k) {
+            if (sweep.conductance_profile[k] <
+                sweep.conductance_profile[best]) {
+              best = k;
+            }
+          }
+          if (best + 1 >= static_cast<std::size_t>(g.NumNodes())) continue;
+          NcpCluster cluster;
+          cluster.nodes.assign(sweep.order.begin(),
+                               sweep.order.begin() + best + 1);
+          std::sort(cluster.nodes.begin(), cluster.nodes.end());
+          cluster.stats = ComputeCutStats(g, cluster.nodes);
+          cluster.method = "LocalSpectral(push)";
+          clusters.push_back(std::move(cluster));
+        }
+      }
+    }
+  }
+  return clusters;
+}
+
+std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
+                                           const FlowFamilyOptions& options) {
+  IMPREG_CHECK(g.NumNodes() >= 4);
+  std::vector<double> fractions = options.fractions;
+  if (fractions.empty()) {
+    // Log-spaced size targets from ~16 nodes up to n/2.
+    const double smallest =
+        std::max(16.0 / static_cast<double>(g.NumNodes()), 1e-4);
+    const int steps = 12;
+    for (int i = 0; i <= steps; ++i) {
+      const double frac =
+          std::exp(std::log(smallest) +
+                   (std::log(0.5) - std::log(smallest)) * i / steps);
+      fractions.push_back(std::min(frac, 0.5));
+    }
+  }
+
+  std::vector<NcpCluster> clusters;
+
+  if (options.include_whiskers) {
+    // Exact whiskers, and greedy volume-descending unions of them (the
+    // "bag of whiskers"): k whiskers cut exactly k bridges, so unions
+    // extend the low-conductance envelope to larger sizes.
+    const std::vector<Whisker> whiskers = FindWhiskers(g);
+    NcpCluster bag;
+    for (std::size_t k = 0; k < whiskers.size(); ++k) {
+      NcpCluster single;
+      single.nodes = whiskers[k].nodes;
+      single.stats = ComputeCutStats(g, single.nodes);
+      single.method = "whisker";
+      clusters.push_back(std::move(single));
+
+      bag.nodes.insert(bag.nodes.end(), whiskers[k].nodes.begin(),
+                       whiskers[k].nodes.end());
+      if (k > 0) {
+        NcpCluster united;
+        united.nodes = bag.nodes;
+        std::sort(united.nodes.begin(), united.nodes.end());
+        united.stats = ComputeCutStats(g, united.nodes);
+        united.method = "bag-of-whiskers";
+        clusters.push_back(std::move(united));
+      }
+    }
+  }
+
+  Rng rng(options.rng_seed);
+  for (double fraction : fractions) {
+    MultilevelOptions ml;
+    ml.target_fraction = fraction;
+    ml.seed = rng.Next();
+    const MultilevelResult bisect = MultilevelBisection(g, ml);
+    if (!bisect.set.empty() &&
+        static_cast<NodeId>(bisect.set.size()) < g.NumNodes()) {
+      NcpCluster cluster;
+      cluster.nodes = bisect.set;
+      cluster.stats = bisect.stats;
+      cluster.method = "Metis-like";
+      clusters.push_back(cluster);
+
+      if (options.run_mqi) {
+        const MqiResult improved = Mqi(g, bisect.set);
+        NcpCluster sharpened;
+        sharpened.nodes = improved.set;
+        sharpened.stats = improved.stats;
+        sharpened.method = "Metis+MQI";
+        clusters.push_back(std::move(sharpened));
+      }
+    }
+  }
+  return clusters;
+}
+
+std::vector<NcpPoint> BestPerSizeBin(const std::vector<NcpCluster>& clusters,
+                                     int num_bins, std::int64_t max_size) {
+  IMPREG_CHECK(num_bins >= 1);
+  IMPREG_CHECK(max_size >= 1);
+  const double log_max = std::log(static_cast<double>(max_size) + 1.0);
+  std::vector<int> best(num_bins, -1);
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const std::int64_t size = clusters[i].stats.size;
+    if (size < 1 || size > max_size) continue;
+    int bin = static_cast<int>(std::log(static_cast<double>(size)) /
+                               log_max * num_bins);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    if (best[bin] < 0 || clusters[i].stats.conductance <
+                             clusters[best[bin]].stats.conductance) {
+      best[bin] = static_cast<int>(i);
+    }
+  }
+  std::vector<NcpPoint> profile;
+  for (int bin = 0; bin < num_bins; ++bin) {
+    if (best[bin] < 0) continue;
+    NcpPoint point;
+    point.size = clusters[best[bin]].stats.size;
+    point.conductance = clusters[best[bin]].stats.conductance;
+    point.cluster = clusters[best[bin]];
+    profile.push_back(std::move(point));
+  }
+  return profile;
+}
+
+}  // namespace impreg

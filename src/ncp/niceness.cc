@@ -1,0 +1,48 @@
+#include "ncp/niceness.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "partition/conductance.h"
+#include "partition/spectral.h"
+#include "util/check.h"
+
+namespace impreg {
+
+NicenessReport ComputeNiceness(const Graph& g,
+                               const std::vector<NodeId>& cluster) {
+  IMPREG_CHECK(!cluster.empty());
+  NicenessReport report;
+  report.external_conductance = Conductance(g, cluster);
+  report.avg_shortest_path = AverageShortestPathWithin(g, cluster);
+  report.diameter = DiameterWithin(g, cluster);
+
+  const Subgraph sub = InducedSubgraph(g, cluster);
+  const NodeId s = sub.graph.NumNodes();
+  report.connected = IsConnected(sub.graph);
+  if (s >= 2) {
+    report.density = static_cast<double>(sub.graph.NumEdges()) /
+                     (0.5 * static_cast<double>(s) * (s - 1));
+  } else {
+    report.density = 1.0;
+  }
+
+  if (s == 1) {
+    report.internal_conductance = 1.0;
+  } else if (!report.connected || sub.graph.NumEdges() == 0) {
+    report.internal_conductance = 0.0;
+  } else if (s == 2) {
+    report.internal_conductance = 1.0;  // Single edge: only cut is it.
+  } else {
+    const SpectralPartitionResult internal = SpectralPartition(sub.graph);
+    report.internal_conductance = internal.stats.conductance;
+  }
+
+  report.conductance_ratio =
+      report.internal_conductance > 0.0
+          ? report.external_conductance / report.internal_conductance
+          : 1e9;
+  return report;
+}
+
+}  // namespace impreg

@@ -1,0 +1,48 @@
+#ifndef IMPREG_NCP_NICENESS_H_
+#define IMPREG_NCP_NICENESS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// Cluster "niceness" measures — the empirical regularization probes of
+/// Figure 1(b,c). The paper's point: without any explicit regularizer,
+/// the clusters found by spectral vs flow approximations differ
+/// systematically on measures *other than* the objective:
+///
+///   Fig 1(b): average shortest-path length inside the cluster (lower =
+///             more compact / nicer);
+///   Fig 1(c): ratio of external conductance to internal conductance
+///             (lower = better separated relative to internal cohesion).
+
+namespace impreg {
+
+/// All niceness measures of one cluster.
+struct NicenessReport {
+  /// Average hop distance over connected pairs inside the cluster.
+  double avg_shortest_path = 0.0;
+  /// φ(S) in the host graph.
+  double external_conductance = 1.0;
+  /// Conductance *of* the induced subgraph (its best internal cut);
+  /// 1 for singletons, 0 if the induced subgraph is disconnected.
+  double internal_conductance = 0.0;
+  /// external / internal; huge (1e9) when internal is 0.
+  double conductance_ratio = 0.0;
+  /// Internal edge density: internal edges / (s choose 2).
+  double density = 0.0;
+  /// Exact diameter of the induced subgraph (max over components).
+  int diameter = 0;
+  /// True if the induced subgraph is connected.
+  bool connected = false;
+};
+
+/// Computes all measures for `cluster` (distinct valid node ids).
+/// Intended for clusters up to a few thousand nodes (all-pairs BFS
+/// inside the cluster).
+NicenessReport ComputeNiceness(const Graph& g,
+                               const std::vector<NodeId>& cluster);
+
+}  // namespace impreg
+
+#endif  // IMPREG_NCP_NICENESS_H_

@@ -1,0 +1,89 @@
+#include "partition/hkrelax.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "diffusion/seed.h"
+#include "util/check.h"
+
+namespace impreg {
+
+HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
+                                              const Vector& seed,
+                                              const HkRelaxOptions& options) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.t > 0.0);
+  IMPREG_CHECK(options.delta >= 0.0);
+  IMPREG_CHECK(options.tail_tolerance > 0.0);
+
+  HkRelaxResult result;
+  result.stats.conductance = 1.0;
+  result.rho.assign(g.NumNodes(), 0.0);
+
+  const double t = options.t;
+  // Sparse current term (t^k/k!)·(truncated M)^k s.
+  std::unordered_map<NodeId, double> term;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (seed[u] > 0.0) term.emplace(u, seed[u]);
+  }
+  IMPREG_CHECK_MSG(!term.empty(), "seed distribution is empty");
+
+  // Accumulate k = 0 contribution.
+  for (const auto& [u, mass] : term) result.rho[u] += mass;
+
+  double poisson = 1.0;            // t^k / k!.
+  double tail = std::exp(t) - 1.0;  // Σ_{j>k} t^j/j!.
+  int k = 0;
+  while (tail * std::exp(-t) > options.tail_tolerance && !term.empty()) {
+    ++k;
+    std::unordered_map<NodeId, double> next;
+    next.reserve(term.size() * 2);
+    for (const auto& [u, mass] : term) {
+      const double d = g.Degree(u);
+      if (d <= 0.0) continue;  // M annihilates isolated mass.
+      const double spread = mass / d;
+      for (const Arc& arc : g.Neighbors(u)) {
+        next[arc.head] += spread * arc.weight;
+      }
+      result.work += g.OutDegree(u);
+    }
+    poisson *= t / static_cast<double>(k);
+    tail -= poisson;
+    // Scale into the k-th Taylor term and truncate small entries. The
+    // threshold scales with the term's Poisson weight t^k/k! so the
+    // truncation is uniform in *distribution* units across terms.
+    term.clear();
+    const double scale = t / static_cast<double>(k);
+    for (const auto& [u, mass] : next) {
+      const double value = mass * scale;
+      const double d = g.Degree(u);
+      if (d > 0.0 && value < options.delta * d * poisson) {
+        result.dropped_mass += value;  // In (t^k/k!)-weighted units.
+      } else if (value > 0.0) {
+        term.emplace(u, value);
+        result.rho[u] += value;
+      }
+    }
+    result.terms = k;
+  }
+  // Everything is still in Σ t^k/k! units; apply the e^{−t} prefactor.
+  // The discarded Poisson tail also counts as dropped mass.
+  for (double& v : result.rho) v *= std::exp(-t);
+  result.dropped_mass = result.dropped_mass * std::exp(-t) +
+                        std::max(tail, 0.0) * std::exp(-t);
+
+  SweepOptions sweep;
+  sweep.scaling = SweepScaling::kDegreeNormalized;
+  sweep.max_volume = options.max_volume;
+  const SweepResult swept = SweepCutOverSupport(g, result.rho, sweep);
+  result.set = swept.set;
+  result.stats = swept.stats;
+  return result;
+}
+
+HkRelaxResult HeatKernelRelax(const Graph& g, NodeId seed,
+                              const HkRelaxOptions& options) {
+  return HeatKernelRelaxFromDistribution(g, SingleNodeSeed(g, seed), options);
+}
+
+}  // namespace impreg

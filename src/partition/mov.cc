@@ -1,0 +1,96 @@
+#include "partition/mov.h"
+
+#include <cmath>
+
+#include "linalg/cg.h"
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Unit-norm hat-space seed: D^{1/2} 1_S, normalized.
+Vector HatSeed(const Graph& g, const std::vector<NodeId>& seed) {
+  IMPREG_CHECK(!seed.empty());
+  Vector s(g.NumNodes(), 0.0);
+  for (NodeId u : seed) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    s[u] = std::sqrt(g.Degree(u));
+  }
+  IMPREG_CHECK_MSG(Normalize(s) > 0.0, "seed set has zero volume");
+  return s;
+}
+
+}  // namespace
+
+MovResult MovSolveAtSigma(const Graph& g, const std::vector<NodeId>& seed,
+                          double sigma, const MovOptions& options) {
+  const NormalizedLaplacianOperator lap(g);
+  const Vector trivial = lap.TrivialEigenvector();
+  const Vector s_hat = HatSeed(g, seed);
+
+  // Right-hand side: the seed with the trivial direction removed.
+  Vector rhs = s_hat;
+  ProjectOut(trivial, rhs);
+  IMPREG_CHECK_MSG(Norm2(rhs) > 1e-12,
+                   "seed is parallel to the trivial eigenvector");
+
+  // Solve (ℒ − σI) x = rhs on the subspace ⟂ D^{1/2}1.
+  const ShiftedOperator system(lap, 1.0, -sigma);
+  CgOptions cg_options;
+  cg_options.relative_tolerance = options.cg_tolerance;
+  cg_options.max_iterations = options.cg_max_iterations;
+  cg_options.project_out = &trivial;
+  const CgResult cg = ConjugateGradient(system, rhs, cg_options);
+
+  MovResult result;
+  result.sigma = sigma;
+  result.x = cg.x;
+  IMPREG_CHECK_MSG(Normalize(result.x) > 0.0, "MOV solve returned zero");
+  // Fix the sign so the seed correlation is positive.
+  const double corr = Dot(result.x, s_hat);
+  if (corr < 0.0) Scale(-1.0, result.x);
+  result.correlation_sq = corr * corr;
+  result.rayleigh = lap.RayleighQuotient(result.x);
+
+  SweepOptions sweep;
+  sweep.scaling = SweepScaling::kSqrtDegreeNormalized;
+  const SweepResult swept = SweepCut(g, result.x, sweep);
+  result.set = swept.set;
+  result.stats = swept.stats;
+  return result;
+}
+
+MovResult MovSolveForCorrelation(const Graph& g,
+                                 const std::vector<NodeId>& seed,
+                                 double kappa, double lambda2,
+                                 const MovOptions& options) {
+  IMPREG_CHECK(kappa > 0.0 && kappa < 1.0);
+  IMPREG_CHECK(lambda2 > 0.0);
+
+  // σ → −∞ drives the correlation up toward its max; σ → λ₂ drives it
+  // down toward (v₂ᵀ s_hat)². The correlation is monotone in σ [33], so
+  // binary search.
+  double lo = lambda2 - 64.0;             // Very local.
+  double hi = lambda2 - 1e-6 * lambda2;   // Nearly global.
+  MovResult best = MovSolveAtSigma(g, seed, lo, options);
+  if (best.correlation_sq <= kappa) {
+    // Even the most local solve cannot reach κ — return it.
+    return best;
+  }
+  for (int iter = 0; iter < options.search_iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    MovResult candidate = MovSolveAtSigma(g, seed, mid, options);
+    if (candidate.correlation_sq >= kappa) {
+      best = std::move(candidate);  // Feasible: try to be less local.
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-9) break;
+  }
+  return best;
+}
+
+}  // namespace impreg

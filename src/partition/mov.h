@@ -1,0 +1,67 @@
+#ifndef IMPREG_PARTITION_MOV_H_
+#define IMPREG_PARTITION_MOV_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "partition/sweep.h"
+
+/// \file
+/// MOV locally-biased spectral partitioning [33] — Problem (8) of the
+/// paper: minimize the Rayleigh quotient xᵀℒx subject to xᵀx = 1,
+/// x ⟂ D^{1/2}1, and a seed-correlation constraint (xᵀD^{1/2}s)² ≥ κ.
+///
+/// The optimality conditions make the solution a Personalized-PageRank-
+/// type linear solve: x*(σ) ∝ (ℒ − σI)⁺ P s_hat for a shift σ < λ₂,
+/// where P projects off the trivial eigenvector and s_hat = D^{1/2}s.
+/// As σ → −∞ the solution collapses onto the seed (κ → 1); as σ → λ₂
+/// it sweeps out to the global eigenvector v₂ (κ → correlation of v₂
+/// with the seed). The shift (equivalently κ) is the locality knob; we
+/// expose both: solve at a given σ, or binary-search σ for a target κ.
+///
+/// This is the "optimization approach" of §3.3: it explicitly solves a
+/// well-defined program, but each solve touches the whole graph —
+/// the contrast with push/Nibble/hk-relax is the point of experiment T5.
+
+namespace impreg {
+
+/// Options for the MOV solver.
+struct MovOptions {
+  /// CG tolerance/iterations for each linear solve.
+  double cg_tolerance = 1e-10;
+  int cg_max_iterations = 4000;
+  /// Binary-search iterations for the correlation target.
+  int search_iterations = 40;
+};
+
+/// Result of a MOV solve.
+struct MovResult {
+  /// The optimal hat-space vector (unit length).
+  Vector x;
+  /// Its Rayleigh quotient with ℒ (≥ λ₂ − slack by construction).
+  double rayleigh = 0.0;
+  /// Achieved squared correlation (xᵀ s_hat)².
+  double correlation_sq = 0.0;
+  /// The shift σ used.
+  double sigma = 0.0;
+  /// Sweep cut of x.
+  std::vector<NodeId> set;
+  CutStats stats;
+};
+
+/// Solves Problem (8) at a given shift σ < λ₂ (the caller supplies
+/// lambda2; pass the value from SpectralPartition). Seed is a node set.
+MovResult MovSolveAtSigma(const Graph& g, const std::vector<NodeId>& seed,
+                          double sigma, const MovOptions& options = {});
+
+/// Solves Problem (8) for a target squared correlation κ ∈ (0, 1) by
+/// binary search on σ ∈ (sigma_min, λ₂). Larger κ ⇒ more local.
+MovResult MovSolveForCorrelation(const Graph& g,
+                                 const std::vector<NodeId>& seed,
+                                 double kappa, double lambda2,
+                                 const MovOptions& options = {});
+
+}  // namespace impreg
+
+#endif  // IMPREG_PARTITION_MOV_H_

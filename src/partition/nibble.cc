@@ -1,0 +1,95 @@
+#include "partition/nibble.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "diffusion/seed.h"
+#include "util/check.h"
+
+namespace impreg {
+
+NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
+                                    const NibbleOptions& options) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.steps >= 1);
+  IMPREG_CHECK(options.epsilon >= 0.0);
+  IMPREG_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
+
+  NibbleResult result;
+  result.stats.conductance = 1.0;
+
+  // Sparse representation: map node → mass, rebuilt each step. The
+  // truncation keeps the support bounded (≈ mass/(ε·d_min) entries), so
+  // per-step work is independent of n.
+  std::unordered_map<NodeId, double> current;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (seed[u] > 0.0) current.emplace(u, seed[u]);
+  }
+  IMPREG_CHECK_MSG(!current.empty(), "seed distribution is empty");
+
+  const double hold = options.alpha;
+  Vector dense(g.NumNodes(), 0.0);
+
+  for (int step = 1; step <= options.steps; ++step) {
+    // One lazy-walk step on the sparse vector.
+    std::unordered_map<NodeId, double> next;
+    next.reserve(current.size() * 2);
+    for (const auto& [u, mass] : current) {
+      const double d = g.Degree(u);
+      if (d <= 0.0) {
+        next[u] += mass;  // Isolated node holds its mass.
+        continue;
+      }
+      next[u] += hold * mass;
+      const double spread = (1.0 - hold) * mass / d;
+      for (const Arc& arc : g.Neighbors(u)) {
+        next[arc.head] += spread * arc.weight;
+      }
+      result.work += g.OutDegree(u);
+    }
+    // Truncate: q(u) < ε·d(u) → 0 (the implicit regularization step).
+    current.clear();
+    for (const auto& [u, mass] : next) {
+      const double d = g.Degree(u);
+      if (d > 0.0 && mass < options.epsilon * d) {
+        result.truncated_mass += mass;
+      } else if (mass > 0.0) {
+        current.emplace(u, mass);
+      }
+    }
+    if (current.empty()) break;  // Everything truncated away.
+
+    // Sweep the current support only: the dense scratch vector is
+    // written and cleared on the support alone, so the step stays
+    // strongly local.
+    std::vector<NodeId> support_nodes;
+    support_nodes.reserve(current.size());
+    for (const auto& [u, mass] : current) {
+      dense[u] = mass;
+      support_nodes.push_back(u);
+    }
+    SweepOptions sweep;
+    sweep.scaling = SweepScaling::kDegreeNormalized;
+    sweep.max_volume = options.max_volume;
+    const SweepResult swept =
+        SweepCutOverNodes(g, dense, std::move(support_nodes), sweep);
+    for (const auto& [u, mass] : current) dense[u] = 0.0;
+    if (!swept.set.empty() &&
+        swept.stats.conductance < result.stats.conductance) {
+      result.set = swept.set;
+      result.stats = swept.stats;
+      result.best_step = step;
+    }
+  }
+
+  result.distribution.assign(g.NumNodes(), 0.0);
+  for (const auto& [u, mass] : current) result.distribution[u] = mass;
+  return result;
+}
+
+NibbleResult Nibble(const Graph& g, NodeId seed,
+                    const NibbleOptions& options) {
+  return NibbleFromDistribution(g, SingleNodeSeed(g, seed), options);
+}
+
+}  // namespace impreg

@@ -1,0 +1,57 @@
+#ifndef IMPREG_PARTITION_NIBBLE_H_
+#define IMPREG_PARTITION_NIBBLE_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "partition/sweep.h"
+
+/// \file
+/// Spielman–Teng Nibble [39] (§3.3): truncated lazy random walks.
+/// After each lazy-walk step, every entry with q(u) < ε·d(u) is set to
+/// zero — "very small probabilities are truncated to zero", which is
+/// what makes the walk strongly local, and which implicitly regularizes
+/// its output exactly as the paper describes. A sweep cut is evaluated
+/// at every step and the best one over the walk is returned.
+
+namespace impreg {
+
+/// Options for Nibble.
+struct NibbleOptions {
+  /// Number of lazy-walk steps T.
+  int steps = 40;
+  /// Truncation threshold: entries with q(u) < ε·d(u) are zeroed.
+  double epsilon = 1e-4;
+  /// Holding probability of the lazy walk.
+  double alpha = 0.5;
+  /// Optional volume cap forwarded to the per-step sweeps (0 = none).
+  double max_volume = 0.0;
+};
+
+/// Result of a Nibble run.
+struct NibbleResult {
+  /// Best sweep cut over all steps.
+  std::vector<NodeId> set;
+  CutStats stats;
+  /// The step at which the best cut was found (1-based; 0 if none).
+  int best_step = 0;
+  /// Final truncated distribution.
+  Vector distribution;
+  /// Total probability mass removed by truncation over the whole run.
+  double truncated_mass = 0.0;
+  /// Σ over steps of (support size scanned) — the work measure.
+  std::int64_t work = 0;
+};
+
+/// Runs the truncated lazy walk from `seed`.
+NibbleResult Nibble(const Graph& g, NodeId seed,
+                    const NibbleOptions& options = {});
+
+/// Same, from an arbitrary nonnegative seed distribution.
+NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
+                                    const NibbleOptions& options = {});
+
+}  // namespace impreg
+
+#endif  // IMPREG_PARTITION_NIBBLE_H_

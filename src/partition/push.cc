@@ -1,0 +1,117 @@
+#include "partition/push.h"
+
+#include <cmath>
+#include <deque>
+
+#include "diffusion/seed.h"
+#include "util/check.h"
+
+namespace impreg {
+
+double StandardTeleportFromLazy(double alpha) {
+  IMPREG_CHECK(alpha > 0.0 && alpha < 1.0);
+  return 2.0 * alpha / (1.0 + alpha);
+}
+
+double LazyTeleportFromStandard(double gamma) {
+  IMPREG_CHECK(gamma > 0.0 && gamma < 1.0);
+  return gamma / (2.0 - gamma);
+}
+
+PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
+                               const PushOptions& options) {
+  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
+  IMPREG_CHECK(options.alpha > 0.0 && options.alpha < 1.0);
+  IMPREG_CHECK(options.epsilon > 0.0);
+
+  PushResult result;
+  result.p.assign(g.NumNodes(), 0.0);
+  result.residual = seed;
+
+  const double alpha = options.alpha;
+  const double eps = options.epsilon;
+  double seed_mass = 0.0;
+  for (double v : seed) {
+    IMPREG_CHECK_MSG(v >= 0.0, "seed must be nonnegative");
+    seed_mass += v;
+  }
+  // Theoretical push bound: total residual mass shrinks by at least
+  // α·ε·d(u) per push of node u, and each push moves ≥ ε·d(u) ≥ ε of
+  // residual onto p scaled by α ⇒ at most mass/(ε·α) pushes for
+  // unit-degree thresholds. Add slack for weighted degrees < 1.
+  const std::int64_t push_cap =
+      options.max_pushes > 0
+          ? options.max_pushes
+          : static_cast<std::int64_t>(64.0 + 4.0 * seed_mass / (eps * alpha));
+
+  std::deque<NodeId> queue;
+  std::vector<char> queued(g.NumNodes(), 0);
+  double residual_mass = 0.0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    residual_mass += result.residual[u];
+    if (g.Degree(u) > 0.0 && result.residual[u] >= eps * g.Degree(u)) {
+      queue.push_back(u);
+      queued[u] = 1;
+    }
+  }
+
+  while (!queue.empty() && result.pushes < push_cap) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = 0;
+    const double d = g.Degree(u);
+    const double r = result.residual[u];
+    if (d <= 0.0 || r < eps * d) continue;
+
+    // push(u): p gains α·r; half of the rest stays (lazy self-loop),
+    // half spreads to the neighbors proportionally to edge weight.
+    result.p[u] += alpha * r;
+    const double stay = (1.0 - alpha) * r / 2.0;
+    result.residual[u] = stay;
+    const double spread = stay;  // Same amount goes to the neighbors.
+    for (const Arc& arc : g.Neighbors(u)) {
+      const NodeId v = arc.head;
+      if (v == u) {
+        // Self-loop: the walk returns immediately.
+        result.residual[u] += spread * arc.weight / d;
+        continue;
+      }
+      result.residual[v] += spread * arc.weight / d;
+      if (!queued[v] && g.Degree(v) > 0.0 &&
+          result.residual[v] >= eps * g.Degree(v)) {
+        queue.push_back(v);
+        queued[v] = 1;
+      }
+    }
+    if (result.residual[u] >= eps * d && !queued[u]) {
+      queue.push_back(u);
+      queued[u] = 1;
+    }
+    ++result.pushes;
+    result.work += g.OutDegree(u);
+    if (options.on_push) {
+      residual_mass -= options.alpha * r;  // Exactly the mass moved to p.
+      options.on_push(result.pushes, u, residual_mass);
+    }
+  }
+  result.converged = queue.empty();
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (result.p[u] > 0.0) ++result.support;
+  }
+  return result;
+}
+
+LocalClusterResult PushLocalCluster(const Graph& g, NodeId seed,
+                                    const PushOptions& options,
+                                    const SweepOptions& sweep) {
+  LocalClusterResult result;
+  result.push = ApproximatePageRank(g, SingleNodeSeed(g, seed), options);
+  SweepOptions sweep_options = sweep;
+  sweep_options.scaling = SweepScaling::kDegreeNormalized;
+  SweepResult swept = SweepCutOverSupport(g, result.push.p, sweep_options);
+  result.set = std::move(swept.set);
+  result.stats = swept.stats;
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,48 @@
+#include "partition/spectral.h"
+
+#include <cmath>
+
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+SpectralPartitionResult SweepHatVector(
+    const Graph& g, const Vector& x,
+    const SpectralPartitionOptions& options) {
+  IMPREG_CHECK(x.size() == static_cast<std::size_t>(g.NumNodes()));
+  SpectralPartitionResult result;
+  result.v2 = x;
+  const NormalizedLaplacianOperator lap(g);
+  result.lambda2 = lap.RayleighQuotient(x);
+  result.cheeger_lower = result.lambda2 / 2.0;
+  result.cheeger_upper = std::sqrt(2.0 * std::max(result.lambda2, 0.0));
+
+  SweepOptions sweep;
+  sweep.scaling = SweepScaling::kSqrtDegreeNormalized;
+  sweep.min_size = options.min_size;
+  sweep.max_size = options.max_size;
+  SweepResult swept = SweepCut(g, x, sweep);
+  result.set = std::move(swept.set);
+  result.stats = swept.stats;
+  return result;
+}
+
+SpectralPartitionResult SpectralPartition(
+    const Graph& g, const SpectralPartitionOptions& options) {
+  IMPREG_CHECK_MSG(g.NumEdges() > 0, "graph has no edges");
+  const NormalizedLaplacianOperator lap(g);
+  LanczosOptions lanczos = options.lanczos;
+  lanczos.deflate.push_back(lap.TrivialEigenvector());
+  const LanczosResult eig = LanczosSmallest(lap, 1, lanczos);
+  IMPREG_CHECK(!eig.eigenvectors.empty());
+
+  SpectralPartitionResult result =
+      SweepHatVector(g, eig.eigenvectors.front(), options);
+  result.lambda2 = eig.eigenvalues.front();
+  result.cheeger_lower = result.lambda2 / 2.0;
+  result.cheeger_upper = std::sqrt(2.0 * std::max(result.lambda2, 0.0));
+  return result;
+}
+
+}  // namespace impreg

@@ -1,0 +1,163 @@
+#include "partition/spectral_kway.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace impreg {
+
+namespace {
+
+// Plain Lloyd k-means on row vectors with k-means++-style seeding.
+// Returns (labels, objective).
+std::pair<std::vector<int>, double> KMeans(
+    const std::vector<Vector>& points, int k, int iterations, Rng& rng) {
+  const int n = static_cast<int>(points.size());
+  const int dim = n > 0 ? static_cast<int>(points[0].size()) : 0;
+  std::vector<Vector> centers;
+  centers.reserve(k);
+
+  auto distance_sq = [&](const Vector& a, const Vector& b) {
+    double sum = 0.0;
+    for (int d = 0; d < dim; ++d) sum += (a[d] - b[d]) * (a[d] - b[d]);
+    return sum;
+  };
+
+  // k-means++ seeding.
+  centers.push_back(points[rng.NextBounded(n)]);
+  Vector best_dist(n, std::numeric_limits<double>::max());
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      best_dist[i] =
+          std::min(best_dist[i], distance_sq(points[i], centers.back()));
+      total += best_dist[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with centers; duplicate arbitrarily.
+      centers.push_back(points[rng.NextBounded(n)]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    int chosen = n - 1;
+    for (int i = 0; i < n; ++i) {
+      target -= best_dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+
+  std::vector<int> labels(n, 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (int i = 0; i < n; ++i) {
+      int best = labels[i];
+      double best_d = distance_sq(points[i], centers[best]);
+      for (int c = 0; c < k; ++c) {
+        const double d = distance_sq(points[i], centers[c]);
+        if (d < best_d - 1e-15) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (best != labels[i]) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute centers.
+    std::vector<Vector> sums(k, Vector(dim, 0.0));
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dim; ++d) sums[labels[i]][d] += points[i][d];
+      ++counts[labels[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        for (int d = 0; d < dim; ++d) {
+          centers[c][d] = sums[c][d] / counts[c];
+        }
+      } else {
+        centers[c] = points[rng.NextBounded(n)];  // Reseed empty cluster.
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  double objective = 0.0;
+  for (int i = 0; i < n; ++i) {
+    objective += distance_sq(points[i], centers[labels[i]]);
+  }
+  return {std::move(labels), objective};
+}
+
+}  // namespace
+
+SpectralClusteringResult SpectralClusterKway(
+    const Graph& g, int k, const SpectralClusteringOptions& options) {
+  IMPREG_CHECK(k >= 2);
+  IMPREG_CHECK(k <= g.NumNodes());
+  IMPREG_CHECK_MSG(g.NumEdges() > 0, "graph has no edges");
+
+  // k smallest eigenvectors of ℒ (the trivial one included: after row
+  // normalization it contributes the NJW constant direction).
+  const NormalizedLaplacianOperator lap(g);
+  LanczosOptions lanczos = options.lanczos;
+  lanczos.max_iterations =
+      std::max(lanczos.max_iterations, 20 * k + 100);
+  const LanczosResult eig = LanczosSmallest(lap, k, lanczos);
+  IMPREG_CHECK(static_cast<int>(eig.eigenvectors.size()) >= k);
+
+  // Embed: row u = (v₁(u), …, v_k(u)), row-normalized (NJW).
+  const int n = g.NumNodes();
+  std::vector<Vector> points(n, Vector(k, 0.0));
+  for (int c = 0; c < k; ++c) {
+    for (int u = 0; u < n; ++u) points[u][c] = eig.eigenvectors[c][u];
+  }
+  for (int u = 0; u < n; ++u) {
+    double norm = 0.0;
+    for (int c = 0; c < k; ++c) norm += points[u][c] * points[u][c];
+    norm = std::sqrt(norm);
+    if (norm > 1e-300) {
+      for (int c = 0; c < k; ++c) points[u][c] /= norm;
+    }
+  }
+
+  // Best k-means over restarts.
+  Rng rng(options.seed);
+  std::vector<int> best_labels;
+  double best_objective = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < std::max(1, options.kmeans_restarts);
+       ++restart) {
+    auto [labels, objective] =
+        KMeans(points, k, options.kmeans_iterations, rng);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_labels = std::move(labels);
+    }
+  }
+
+  SpectralClusteringResult result;
+  result.labels = std::move(best_labels);
+  result.sizes.assign(k, 0);
+  for (int u = 0; u < n; ++u) ++result.sizes[result.labels[u]];
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head > u && result.labels[arc.head] != result.labels[u]) {
+        result.cut += arc.weight;
+      }
+    }
+  }
+  result.eigenvalues.assign(eig.eigenvalues.begin(),
+                            eig.eigenvalues.begin() + k);
+  return result;
+}
+
+}  // namespace impreg

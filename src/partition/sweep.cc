@@ -1,0 +1,117 @@
+#include "partition/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+double Key(const Graph& g, const Vector& values, SweepScaling scaling,
+           NodeId u) {
+  const double d = g.Degree(u);
+  switch (scaling) {
+    case SweepScaling::kRaw:
+      return values[u];
+    case SweepScaling::kDegreeNormalized:
+      return d > 0.0 ? values[u] / d : -std::numeric_limits<double>::max();
+    case SweepScaling::kSqrtDegreeNormalized:
+      return d > 0.0 ? values[u] / std::sqrt(d)
+                     : -std::numeric_limits<double>::max();
+  }
+  return values[u];
+}
+
+SweepResult RunSweep(const Graph& g, const Vector& values,
+                     std::vector<NodeId> order, const SweepOptions& options) {
+  IMPREG_CHECK(values.size() == static_cast<std::size_t>(g.NumNodes()));
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return Key(g, values, options.scaling, a) >
+           Key(g, values, options.scaling, b);
+  });
+
+  SweepResult result;
+  result.order = std::move(order);
+  result.conductance_profile.reserve(result.order.size());
+
+  const double total_volume = g.TotalVolume();
+  std::vector<char> in_set(g.NumNodes(), 0);
+  double volume = 0.0;
+  double cut = 0.0;
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_prefix = 0;  // 0 = none yet; else prefix length.
+
+  for (std::size_t k = 0; k < result.order.size(); ++k) {
+    const NodeId u = result.order[k];
+    // Incremental cut update: edges to the existing set stop crossing,
+    // all other (non-loop) incident edges start crossing.
+    double to_set = 0.0;
+    double loops = 0.0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head == u) {
+        loops += arc.weight;
+      } else if (in_set[arc.head]) {
+        to_set += arc.weight;
+      }
+    }
+    in_set[u] = 1;
+    volume += g.Degree(u);
+    cut += g.Degree(u) - loops - 2.0 * to_set;
+    const double denom = std::min(volume, total_volume - volume);
+    const double phi = denom > 0.0 ? cut / denom : 1.0;
+    result.conductance_profile.push_back(phi);
+
+    const NodeId size = static_cast<NodeId>(k + 1);
+    const bool feasible =
+        size >= options.min_size &&
+        (options.max_size == 0 || size <= options.max_size) &&
+        (options.max_volume <= 0.0 || volume <= options.max_volume) &&
+        size < g.NumNodes() && denom > 0.0;
+    if (feasible && phi < best) {
+      best = phi;
+      best_prefix = k + 1;
+    }
+  }
+
+  if (best_prefix > 0) {
+    result.set.assign(result.order.begin(),
+                      result.order.begin() + best_prefix);
+    std::sort(result.set.begin(), result.set.end());
+    result.stats = ComputeCutStats(g, result.set);
+  } else {
+    result.stats.conductance = 1.0;
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepResult SweepCut(const Graph& g, const Vector& values,
+                     const SweepOptions& options) {
+  std::vector<NodeId> order(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) order[u] = u;
+  return RunSweep(g, values, std::move(order), options);
+}
+
+SweepResult SweepCutOverSupport(const Graph& g, const Vector& values,
+                                const SweepOptions& options,
+                                double threshold) {
+  IMPREG_CHECK(values.size() == static_cast<std::size_t>(g.NumNodes()));
+  std::vector<NodeId> support;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    if (values[u] > threshold) support.push_back(u);
+  }
+  return RunSweep(g, values, std::move(support), options);
+}
+
+SweepResult SweepCutOverNodes(const Graph& g, const Vector& values,
+                              std::vector<NodeId> nodes,
+                              const SweepOptions& options) {
+  for (NodeId u : nodes) IMPREG_CHECK(g.IsValidNode(u));
+  return RunSweep(g, values, std::move(nodes), options);
+}
+
+}  // namespace impreg

@@ -1,0 +1,89 @@
+#include "ranking/centrality.h"
+
+#include <cmath>
+
+#include "linalg/graph_operators.h"
+#include "linalg/power_method.h"
+#include "util/check.h"
+
+namespace impreg {
+
+Vector EigenvectorCentrality(const Graph& g,
+                             const CentralityOptions& options) {
+  IMPREG_CHECK_MSG(g.NumEdges() > 0, "graph has no edges");
+  const AdjacencyOperator adjacency(g);
+  // Iterate on A + I: bipartite graphs have the −λ_max eigenvalue tied
+  // in magnitude with λ_max, and the positive shift breaks the tie
+  // without changing the Perron vector.
+  const ShiftedOperator shifted(adjacency, 1.0, 1.0);
+  PowerMethodOptions pm;
+  pm.max_iterations = options.max_iterations;
+  pm.tolerance = options.tolerance;
+  // Nonnegative start: converges to the Perron vector.
+  const PowerMethodResult result =
+      PowerMethod(shifted, Vector(g.NumNodes(), 1.0), pm);
+  Vector scores = result.eigenvector;
+  // Perron vector has a sign; make it nonnegative.
+  double total = Sum(scores);
+  if (total < 0.0) Scale(-1.0, scores);
+  for (double& v : scores) v = std::max(v, 0.0);
+  total = Sum(scores);
+  IMPREG_CHECK(total > 0.0);
+  Scale(1.0 / total, scores);
+  return scores;
+}
+
+Vector KatzCentrality(const Graph& g, double beta,
+                      const CentralityOptions& options) {
+  IMPREG_CHECK(beta > 0.0);
+  const AdjacencyOperator adjacency(g);
+  Vector x(g.NumNodes(), 0.0);
+  Vector ones_plus_x(g.NumNodes(), 1.0);
+  Vector next(g.NumNodes());
+  bool converged = false;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // next = β A (1 + x).
+    adjacency.Apply(ones_plus_x, next);
+    Scale(beta, next);
+    const double delta = DistanceL1(next, x);
+    x = next;
+    for (std::size_t i = 0; i < x.size(); ++i) ones_plus_x[i] = 1.0 + x[i];
+    if (delta <= options.tolerance * (1.0 + Norm1(x))) {
+      converged = true;
+      break;
+    }
+    // Divergence guard: β ≥ 1/λ_max makes the series blow up.
+    IMPREG_CHECK_MSG(Norm1(x) < 1e12,
+                     "Katz series diverges: beta >= 1/lambda_max");
+  }
+  IMPREG_CHECK_MSG(converged, "Katz iteration did not converge");
+  const double total = Sum(x);
+  IMPREG_CHECK(total > 0.0);
+  Scale(1.0 / total, x);
+  return x;
+}
+
+double AdjacencySpectralRadius(const Graph& g,
+                               const CentralityOptions& options) {
+  IMPREG_CHECK_MSG(g.NumEdges() > 0, "graph has no edges");
+  const AdjacencyOperator adjacency(g);
+  // Same bipartite-tie shift as EigenvectorCentrality: λ_max(A + I) − 1.
+  const ShiftedOperator shifted(adjacency, 1.0, 1.0);
+  PowerMethodOptions pm;
+  pm.max_iterations = options.max_iterations;
+  pm.tolerance = options.tolerance;
+  const PowerMethodResult result =
+      PowerMethod(shifted, Vector(g.NumNodes(), 1.0), pm);
+  return result.eigenvalue - 1.0;
+}
+
+Vector DegreeCentrality(const Graph& g) {
+  IMPREG_CHECK_MSG(g.TotalVolume() > 0.0, "graph has no edges");
+  Vector scores(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    scores[u] = g.Degree(u) / g.TotalVolume();
+  }
+  return scores;
+}
+
+}  // namespace impreg

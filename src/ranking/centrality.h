@@ -1,0 +1,52 @@
+#ifndef IMPREG_RANKING_CENTRALITY_H_
+#define IMPREG_RANKING_CENTRALITY_H_
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Spectral ranking (§3.1 of the paper; Vigna [42], PageRank [35]).
+///
+/// Every centrality here is an (implicitly regularized) eigenvector
+/// computation, and each has a knob that interpolates between a
+/// "local"/uniform ranking and the pure spectral one:
+///
+///   PageRank:  γ → 1 gives the seed back, γ → 0 the stationary
+///              (degree) ranking — see diffusion/pagerank.h;
+///   Katz:      β → 0 gives (essentially) degree, β → 1/λ_max the
+///              eigenvector centrality;
+///   Eigenvector centrality: the un-regularized limit of both.
+///
+/// The interpolation IS the regularization path — these functions exist
+/// so the ranking experiments can show it quantitatively.
+
+namespace impreg {
+
+/// Options for the centrality solvers.
+struct CentralityOptions {
+  int max_iterations = 5000;
+  double tolerance = 1e-12;
+};
+
+/// Eigenvector centrality: the dominant eigenvector of A, normalized to
+/// unit ℓ1 norm (entries ≥ 0 on a connected graph by Perron–Frobenius).
+Vector EigenvectorCentrality(const Graph& g,
+                             const CentralityOptions& options = {});
+
+/// Katz centrality x = Σ_{k≥1} β^k (A^k 1): counts walks of every
+/// length, discounted by β per hop. Computed by the Richardson
+/// iteration x ← β A (1 + x); requires β < 1/λ_max(A) to converge.
+/// Normalized to unit ℓ1 norm.
+Vector KatzCentrality(const Graph& g, double beta,
+                      const CentralityOptions& options = {});
+
+/// The spectral radius λ_max(A) (power method), for choosing Katz β.
+double AdjacencySpectralRadius(const Graph& g,
+                               const CentralityOptions& options = {});
+
+/// Degree centrality d(u)/vol(G) — the γ→0 / β→0 end of the paths.
+Vector DegreeCentrality(const Graph& g);
+
+}  // namespace impreg
+
+#endif  // IMPREG_RANKING_CENTRALITY_H_

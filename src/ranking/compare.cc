@@ -1,0 +1,83 @@
+#include "ranking/compare.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Counts inversions in `values` by merge sort. Destroys the input.
+std::int64_t CountInversions(std::vector<int>& values,
+                             std::vector<int>& scratch, std::size_t lo,
+                             std::size_t hi) {
+  if (hi - lo <= 1) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::int64_t count = CountInversions(values, scratch, lo, mid) +
+                       CountInversions(values, scratch, mid, hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (values[i] <= values[j]) {
+      scratch[k++] = values[i++];
+    } else {
+      count += static_cast<std::int64_t>(mid - i);
+      scratch[k++] = values[j++];
+    }
+  }
+  while (i < mid) scratch[k++] = values[i++];
+  while (j < hi) scratch[k++] = values[j++];
+  std::copy(scratch.begin() + lo, scratch.begin() + hi, values.begin() + lo);
+  return count;
+}
+
+}  // namespace
+
+std::vector<int> RanksOf(const Vector& scores) {
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<int> ranks(n);
+  for (int r = 0; r < n; ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
+double KendallTau(const Vector& a, const Vector& b) {
+  IMPREG_CHECK(a.size() == b.size());
+  const int n = static_cast<int>(a.size());
+  if (n < 2) return 1.0;
+  // Order items by a; count inversions of b's ranks in that order.
+  const std::vector<int> ranks_a = RanksOf(a);
+  const std::vector<int> ranks_b = RanksOf(b);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return ranks_a[x] < ranks_a[y]; });
+  std::vector<int> sequence(n);
+  for (int i = 0; i < n; ++i) sequence[i] = ranks_b[order[i]];
+  std::vector<int> scratch(n);
+  const std::int64_t inversions =
+      CountInversions(sequence, scratch, 0, sequence.size());
+  const std::int64_t pairs = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  return 1.0 - 2.0 * static_cast<double>(inversions) /
+                   static_cast<double>(pairs);
+}
+
+double TopKOverlap(const Vector& a, const Vector& b, int k) {
+  IMPREG_CHECK(a.size() == b.size());
+  IMPREG_CHECK(k >= 1 && k <= static_cast<int>(a.size()));
+  const std::vector<int> ranks_a = RanksOf(a);
+  const std::vector<int> ranks_b = RanksOf(b);
+  int hits = 0;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (ranks_a[u] < k && ranks_b[u] < k) ++hits;
+  }
+  return static_cast<double>(hits) / k;
+}
+
+}  // namespace impreg

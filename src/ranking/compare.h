@@ -1,0 +1,28 @@
+#ifndef IMPREG_RANKING_COMPARE_H_
+#define IMPREG_RANKING_COMPARE_H_
+
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Rank-comparison utilities for the spectral-ranking experiments:
+/// Kendall correlation and top-k overlap between score vectors.
+
+namespace impreg {
+
+/// The rank of each item under descending score (0 = best). Ties are
+/// broken by index, deterministically.
+std::vector<int> RanksOf(const Vector& scores);
+
+/// Kendall rank correlation (τ-a) of two equal-length score vectors,
+/// in [−1, 1]. Ties are broken by index before counting inversions;
+/// computed in O(n log n) via merge-sort inversion counting.
+double KendallTau(const Vector& a, const Vector& b);
+
+/// |top-k(a) ∩ top-k(b)| / k, for 1 ≤ k ≤ n.
+double TopKOverlap(const Vector& a, const Vector& b, int k);
+
+}  // namespace impreg
+
+#endif  // IMPREG_RANKING_COMPARE_H_

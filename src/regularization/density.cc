@@ -1,0 +1,52 @@
+#include "regularization/density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+DensityDiagnostics CheckDensity(const Graph& g, const DenseMatrix& x) {
+  IMPREG_CHECK(x.Rows() == g.NumNodes() && x.Cols() == g.NumNodes());
+  DensityDiagnostics diag;
+  diag.symmetry_defect = x.SymmetryDefect();
+  diag.trace_defect = std::abs(x.Trace() - 1.0);
+
+  const SymmetricEigen eigen = SymmetricEigendecomposition(x);
+  diag.psd_defect = std::max(0.0, -eigen.eigenvalues.front());
+
+  const Vector trivial = TrivialNormalizedEigenvector(g);
+  const Vector image = x.Apply(trivial);
+  diag.orthogonality_defect = Norm2(image);
+  return diag;
+}
+
+DenseMatrix NormalizeTrace(DenseMatrix x) {
+  const double trace = x.Trace();
+  IMPREG_CHECK_MSG(std::abs(trace) > 1e-300, "matrix has zero trace");
+  x.ScaleBy(1.0 / trace);
+  return x;
+}
+
+double TraceDistance(const DenseMatrix& a, const DenseMatrix& b) {
+  IMPREG_CHECK(a.Rows() == b.Rows() && a.Cols() == b.Cols());
+  DenseMatrix diff = a;
+  diff.AddScaled(b, -1.0);
+  const SymmetricEigen eigen = SymmetricEigendecomposition(diff);
+  double sum = 0.0;
+  for (double lambda : eigen.eigenvalues) sum += std::abs(lambda);
+  return 0.5 * sum;
+}
+
+double VonNeumannEntropy(const DenseMatrix& x) {
+  const SymmetricEigen eigen = SymmetricEigendecomposition(x);
+  double entropy = 0.0;
+  for (double lambda : eigen.eigenvalues) {
+    if (lambda > 1e-15) entropy -= lambda * std::log(lambda);
+  }
+  return entropy;
+}
+
+}  // namespace impreg

@@ -1,0 +1,42 @@
+#ifndef IMPREG_REGULARIZATION_DENSITY_H_
+#define IMPREG_REGULARIZATION_DENSITY_H_
+
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+
+/// \file
+/// Density-matrix utilities for Problem (4)/(5) of the paper: the SDP
+/// relaxations optimize over distributions over unit vectors,
+/// represented by density matrices X ⪰ 0 with Tr(X) = 1 that are also
+/// orthogonal to the trivial direction D^{1/2}1.
+
+namespace impreg {
+
+/// How far a matrix is from being a feasible point of Problem (4)/(5).
+struct DensityDiagnostics {
+  /// Most negative eigenvalue (0 if PSD).
+  double psd_defect = 0.0;
+  /// |Tr(X) − 1|.
+  double trace_defect = 0.0;
+  /// ‖X D^{1/2}1‖₂ with the trivial vector normalized.
+  double orthogonality_defect = 0.0;
+  /// max |Xᵢⱼ − Xⱼᵢ|.
+  double symmetry_defect = 0.0;
+};
+
+/// Computes all feasibility diagnostics of `x` for the graph's SDP.
+DensityDiagnostics CheckDensity(const Graph& g, const DenseMatrix& x);
+
+/// Scales a nonzero-trace matrix to unit trace.
+DenseMatrix NormalizeTrace(DenseMatrix x);
+
+/// Trace distance ½‖A − B‖₁ = ½ Σ |λᵢ(A−B)| — the standard metric
+/// between density matrices, in [0, 1] for true densities.
+double TraceDistance(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Von Neumann entropy −Σ λᵢ log λᵢ of a PSD matrix (0·log 0 = 0).
+double VonNeumannEntropy(const DenseMatrix& x);
+
+}  // namespace impreg
+
+#endif  // IMPREG_REGULARIZATION_DENSITY_H_

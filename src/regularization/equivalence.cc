@@ -1,0 +1,184 @@
+#include "regularization/equivalence.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "linalg/graph_operators.h"
+#include "regularization/density.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Eigenvalues/eigenvectors of ℒ with the trivial index, shared by all
+// density constructions.
+struct Spectrum {
+  SymmetricEigen eigen;
+  int trivial_index = 0;
+  std::vector<int> active;  // All indices except the trivial one.
+};
+
+Spectrum ComputeSpectrum(const Graph& g) {
+  IMPREG_CHECK_MSG(g.NumNodes() >= 2, "need at least two nodes");
+  IMPREG_CHECK_MSG(IsConnected(g), "equivalence requires a connected graph");
+  Spectrum s;
+  s.eigen = SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  const Vector trivial = TrivialNormalizedEigenvector(g);
+  double best = -1.0;
+  for (int j = 0; j < s.eigen.eigenvectors.Cols(); ++j) {
+    const double overlap =
+        std::abs(Dot(s.eigen.eigenvectors.Column(j), trivial));
+    if (overlap > best) {
+      best = overlap;
+      s.trivial_index = j;
+    }
+  }
+  IMPREG_CHECK_MSG(best > 0.99, "failed to identify the trivial eigenvector");
+  for (int j = 0; j < static_cast<int>(s.eigen.eigenvalues.size()); ++j) {
+    if (j != s.trivial_index) s.active.push_back(j);
+  }
+  return s;
+}
+
+// X = Σ_{i active} f(λᵢ) vᵢ vᵢᵀ, normalized to unit trace.
+DenseMatrix SpectralDensity(const Spectrum& s,
+                            const std::function<double(double)>& f) {
+  const int n = static_cast<int>(s.eigen.eigenvalues.size());
+  Vector weights(n, 0.0);
+  double total = 0.0;
+  for (int k : s.active) {
+    const double w = f(s.eigen.eigenvalues[k]);
+    IMPREG_CHECK_MSG(w >= 0.0, "density weights must be nonnegative");
+    weights[k] = w;
+    total += w;
+  }
+  IMPREG_CHECK_MSG(total > 0.0, "density has zero trace");
+  DenseMatrix x(n, n);
+  for (int k : s.active) {
+    if (weights[k] == 0.0) continue;
+    const double w = weights[k] / total;
+    const Vector v = s.eigen.eigenvectors.Column(k);
+    for (int i = 0; i < n; ++i) {
+      if (v[i] == 0.0) continue;
+      const double wvi = w * v[i];
+      for (int j = 0; j < n; ++j) x.At(i, j) += wvi * v[j];
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+DenseMatrix HeatKernelDensity(const Graph& g, double t) {
+  IMPREG_CHECK(t > 0.0);
+  const Spectrum s = ComputeSpectrum(g);
+  // Stabilize by factoring out exp(−t·λ_min) — normalization removes it.
+  double lambda_min = s.eigen.eigenvalues[s.active.front()];
+  for (int k : s.active) {
+    lambda_min = std::min(lambda_min, s.eigen.eigenvalues[k]);
+  }
+  return SpectralDensity(
+      s, [&](double lam) { return std::exp(-t * (lam - lambda_min)); });
+}
+
+DenseMatrix PageRankDensity(const Graph& g, double gamma) {
+  IMPREG_CHECK(gamma > 0.0 && gamma < 1.0);
+  const Spectrum s = ComputeSpectrum(g);
+  const double mu = gamma / (1.0 - gamma);
+  return SpectralDensity(s, [&](double lam) { return 1.0 / (lam + mu); });
+}
+
+DenseMatrix LazyWalkDensity(const Graph& g, double alpha, int steps) {
+  IMPREG_CHECK_MSG(alpha >= 0.5 && alpha < 1.0,
+                   "lazy walk density requires alpha in [1/2, 1)");
+  IMPREG_CHECK(steps >= 1);
+  const Spectrum s = ComputeSpectrum(g);
+  return SpectralDensity(s, [&](double lam) {
+    const double base = 1.0 - (1.0 - alpha) * lam;
+    // base ≥ 0 when α ≥ 1/2 and λ ≤ 2; clamp tiny negatives from
+    // roundoff.
+    return std::pow(std::max(base, 0.0), steps);
+  });
+}
+
+ImpliedParameters ImpliedForHeatKernel(double t) {
+  IMPREG_CHECK(t > 0.0);
+  ImpliedParameters out;
+  out.eta = t;
+  return out;
+}
+
+ImpliedParameters ImpliedForPageRank(const Graph& g, double gamma) {
+  IMPREG_CHECK(gamma > 0.0 && gamma < 1.0);
+  const Spectrum s = ComputeSpectrum(g);
+  ImpliedParameters out;
+  out.mu = gamma / (1.0 - gamma);
+  double trace = 0.0;
+  for (int k : s.active) trace += 1.0 / (s.eigen.eigenvalues[k] + out.mu);
+  out.eta = trace;
+  return out;
+}
+
+ImpliedParameters ImpliedForLazyWalk(const Graph& g, double alpha,
+                                     int steps) {
+  IMPREG_CHECK(alpha >= 0.5 && alpha < 1.0);
+  IMPREG_CHECK(steps >= 1);
+  const Spectrum s = ComputeSpectrum(g);
+  ImpliedParameters out;
+  out.p = 1.0 + 1.0 / static_cast<double>(steps);
+  out.mu = 1.0 / (1.0 - alpha);
+  // The SDP optimum has eigenvalues [η(μ−λ)]^k; matching the normalized
+  // walk density ((1−α)(μ−λ))^k / Z, Z = Σ((1−α)(μ−λ))^k requires
+  // η = (1−α)/Z^{1/k}.
+  double z = 0.0;
+  for (int k : s.active) {
+    const double base = (1.0 - alpha) * (out.mu - s.eigen.eigenvalues[k]);
+    z += std::pow(std::max(base, 0.0), steps);
+  }
+  IMPREG_CHECK(z > 0.0);
+  out.eta = (1.0 - alpha) / std::pow(z, 1.0 / static_cast<double>(steps));
+  return out;
+}
+
+namespace {
+
+EquivalenceReport BuildReport(const Graph& g, const DenseMatrix& diffusion,
+                              Regularizer reg, const ImpliedParameters& imp,
+                              double p) {
+  const RegularizedSdpSolution sdp = SolveRegularizedSdp(g, reg, imp.eta, p);
+  EquivalenceReport report;
+  report.implied = imp;
+  report.trace_distance = TraceDistance(diffusion, sdp.x);
+  report.sdp_objective = sdp.objective;
+  report.diffusion_rayleigh =
+      TraceOfProduct(DenseNormalizedLaplacian(g), diffusion);
+  const double diffusion_objective =
+      RegularizedObjective(g, diffusion, reg, imp.eta, p);
+  report.objective_gap = diffusion_objective - sdp.objective;
+  return report;
+}
+
+}  // namespace
+
+EquivalenceReport VerifyHeatKernelEquivalence(const Graph& g, double t) {
+  const ImpliedParameters imp = ImpliedForHeatKernel(t);
+  return BuildReport(g, HeatKernelDensity(g, t), Regularizer::kEntropy, imp,
+                     2.0);
+}
+
+EquivalenceReport VerifyPageRankEquivalence(const Graph& g, double gamma) {
+  const ImpliedParameters imp = ImpliedForPageRank(g, gamma);
+  return BuildReport(g, PageRankDensity(g, gamma), Regularizer::kLogDet, imp,
+                     2.0);
+}
+
+EquivalenceReport VerifyLazyWalkEquivalence(const Graph& g, double alpha,
+                                            int steps) {
+  const ImpliedParameters imp = ImpliedForLazyWalk(g, alpha, steps);
+  return BuildReport(g, LazyWalkDensity(g, alpha, steps),
+                     Regularizer::kPNorm, imp, imp.p);
+}
+
+}  // namespace impreg

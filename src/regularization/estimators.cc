@@ -1,0 +1,90 @@
+#include "regularization/estimators.h"
+
+#include <algorithm>
+
+#include "diffusion/heat_kernel.h"
+#include "diffusion/seed.h"
+#include "linalg/graph_operators.h"
+#include "linalg/lanczos.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Best-over-label-swap sign accuracy, restricted to labeled nodes.
+double SignAccuracy(const Vector& x, const std::vector<int>& labels) {
+  std::int64_t agree = 0, total = 0;
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    if (labels[u] < 0) continue;
+    ++total;
+    const bool predicted = x[u] >= 0.0;
+    if (predicted == (labels[u] == 1)) ++agree;
+  }
+  if (total == 0) return 0.0;
+  const double frac = static_cast<double>(agree) / static_cast<double>(total);
+  return std::max(frac, 1.0 - frac);
+}
+
+}  // namespace
+
+std::vector<EstimationPoint> HeatKernelEstimationPath(
+    const Graph& sample, const std::vector<int>& labels,
+    const std::vector<double>& times, const EstimationOptions& options) {
+  IMPREG_CHECK(labels.size() == static_cast<std::size_t>(sample.NumNodes()));
+  IMPREG_CHECK(options.trials >= 1);
+  const NormalizedLaplacianOperator lap(sample);
+  std::vector<EstimationPoint> path;
+  for (double t : times) {
+    IMPREG_CHECK(t > 0.0);
+    EstimationPoint point;
+    point.t = t;
+    for (int trial = 0; trial < options.trials; ++trial) {
+      Rng rng(options.seed + static_cast<std::uint64_t>(trial) * 7919);
+      Vector x = RandomSignSeed(sample, rng);
+      HeatKernelOptions hk;
+      hk.t = t;
+      x = HeatKernelNormalized(sample, x, hk);
+      ProjectOut(lap.TrivialEigenvector(), x);
+      if (Normalize(x) <= 0.0) continue;  // Degenerate; counts as chance.
+      point.accuracy += SignAccuracy(x, labels);
+      point.rayleigh += lap.RayleighQuotient(x);
+    }
+    point.accuracy /= options.trials;
+    point.rayleigh /= options.trials;
+    path.push_back(point);
+  }
+  return path;
+}
+
+EstimationPoint ExactEigenvectorEstimate(const Graph& sample,
+                                         const std::vector<int>& labels,
+                                         const EstimationOptions& options) {
+  IMPREG_CHECK(labels.size() == static_cast<std::size_t>(sample.NumNodes()));
+  const NormalizedLaplacianOperator lap(sample);
+  LanczosOptions lanczos;
+  lanczos.seed = options.seed;
+  lanczos.max_iterations = 600;
+  lanczos.deflate.push_back(lap.TrivialEigenvector());
+  const LanczosResult eig = LanczosSmallest(lap, 1, lanczos);
+  EstimationPoint point;
+  point.t = 0.0;  // Sentinel: exact.
+  point.accuracy = SignAccuracy(eig.eigenvectors.front(), labels);
+  point.rayleigh = eig.eigenvalues.front();
+  return point;
+}
+
+Graph SubsampleEdges(const Graph& population, double keep, Rng& rng) {
+  IMPREG_CHECK(keep >= 0.0 && keep <= 1.0);
+  GraphBuilder builder(population.NumNodes());
+  for (NodeId u = 0; u < population.NumNodes(); ++u) {
+    for (const Arc& arc : population.Neighbors(u)) {
+      if (arc.head >= u && rng.NextBernoulli(keep)) {
+        builder.AddEdge(u, arc.head, arc.weight);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace impreg

@@ -1,0 +1,244 @@
+#include "regularization/sdp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "linalg/graph_operators.h"
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// Eigendecomposition of ℒ with the trivial eigenpair identified.
+struct RestrictedSpectrum {
+  SymmetricEigen eigen;
+  int trivial_index = 0;
+};
+
+RestrictedSpectrum ComputeSpectrum(const Graph& g) {
+  IMPREG_CHECK_MSG(g.NumNodes() >= 2, "need at least two nodes");
+  IMPREG_CHECK_MSG(IsConnected(g),
+                   "regularized SDP solver requires a connected graph");
+  RestrictedSpectrum out;
+  out.eigen = SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  const Vector trivial = TrivialNormalizedEigenvector(g);
+  double best = -1.0;
+  for (int j = 0; j < out.eigen.eigenvectors.Cols(); ++j) {
+    const double overlap = std::abs(Dot(out.eigen.eigenvectors.Column(j),
+                                        trivial));
+    if (overlap > best) {
+      best = overlap;
+      out.trivial_index = j;
+    }
+  }
+  IMPREG_CHECK_MSG(best > 0.99,
+                   "failed to identify the trivial eigenvector");
+  return out;
+}
+
+// Builds X = Σ_{i ≠ trivial} weight[i] · v_i v_iᵀ.
+DenseMatrix AssembleDensity(const RestrictedSpectrum& spectrum,
+                            const Vector& weights) {
+  const int n = static_cast<int>(spectrum.eigen.eigenvalues.size());
+  DenseMatrix x(n, n);
+  for (int k = 0; k < n; ++k) {
+    if (k == spectrum.trivial_index || weights[k] == 0.0) continue;
+    const Vector v = spectrum.eigen.eigenvectors.Column(k);
+    for (int i = 0; i < n; ++i) {
+      if (v[i] == 0.0) continue;
+      const double wvi = weights[k] * v[i];
+      for (int j = 0; j < n; ++j) x.At(i, j) += wvi * v[j];
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+RegularizedSdpSolution SolveRegularizedSdp(const Graph& g, Regularizer reg,
+                                           double eta, double p) {
+  IMPREG_CHECK_MSG(eta > 0.0, "eta must be positive");
+  const RestrictedSpectrum spectrum = ComputeSpectrum(g);
+  const int n = static_cast<int>(spectrum.eigen.eigenvalues.size());
+
+  // Restricted eigenvalues (excluding the trivial one).
+  std::vector<int> active;
+  for (int k = 0; k < n; ++k) {
+    if (k != spectrum.trivial_index) active.push_back(k);
+  }
+  const auto lambda = [&](int idx) {
+    return spectrum.eigen.eigenvalues[active[idx]];
+  };
+  const int m = static_cast<int>(active.size());
+
+  RegularizedSdpSolution solution;
+  solution.eta = eta;
+  Vector weights(n, 0.0);
+
+  switch (reg) {
+    case Regularizer::kEntropy: {
+      // X* eigenvalues ∝ exp(−η λᵢ); subtract λ_min before
+      // exponentiating for numerical stability.
+      double lambda_min = lambda(0);
+      for (int i = 1; i < m; ++i) lambda_min = std::min(lambda_min, lambda(i));
+      double total = 0.0;
+      for (int i = 0; i < m; ++i) {
+        total += std::exp(-eta * (lambda(i) - lambda_min));
+      }
+      double entropy = 0.0;  // G = Σ x log x.
+      for (int i = 0; i < m; ++i) {
+        const double x = std::exp(-eta * (lambda(i) - lambda_min)) / total;
+        weights[active[i]] = x;
+        if (x > 0.0) entropy += x * std::log(x);
+      }
+      solution.regularizer_value = entropy;
+      break;
+    }
+    case Regularizer::kLogDet: {
+      // X* eigenvalues 1/(η(λᵢ + μ)); μ > −λ_min from Tr(X*) = 1,
+      // where Σᵢ 1/(η(λᵢ + μ)) is strictly decreasing in μ.
+      double lambda_min = lambda(0);
+      for (int i = 1; i < m; ++i) lambda_min = std::min(lambda_min, lambda(i));
+      auto trace_at = [&](double mu) {
+        double total = 0.0;
+        for (int i = 0; i < m; ++i) total += 1.0 / (eta * (lambda(i) + mu));
+        return total;
+      };
+      double lo = -lambda_min + 1e-12;
+      while (trace_at(lo) < 1.0) lo = -lambda_min + (lo + lambda_min) / 2.0;
+      double hi = std::max(1.0, -lambda_min + 1.0);
+      while (trace_at(hi) > 1.0) hi *= 2.0;
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (trace_at(mid) > 1.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      solution.mu = 0.5 * (lo + hi);
+      double logdet = 0.0;
+      for (int i = 0; i < m; ++i) {
+        const double x = 1.0 / (eta * (lambda(i) + solution.mu));
+        weights[active[i]] = x;
+        logdet += std::log(x);
+      }
+      solution.regularizer_value = -logdet;
+      break;
+    }
+    case Regularizer::kPNorm: {
+      IMPREG_CHECK_MSG(p > 1.0, "p-norm regularizer requires p > 1");
+      // X* eigenvalues [η(μ − λᵢ)]₊^{1/(p−1)}; Σᵢ of that is strictly
+      // increasing in μ, root-find for Tr(X*) = 1.
+      const double inv_pm1 = 1.0 / (p - 1.0);
+      auto trace_at = [&](double mu) {
+        double total = 0.0;
+        for (int i = 0; i < m; ++i) {
+          const double base = eta * (mu - lambda(i));
+          if (base > 0.0) total += std::pow(base, inv_pm1);
+        }
+        return total;
+      };
+      double lambda_min = lambda(0), lambda_max = lambda(0);
+      for (int i = 1; i < m; ++i) {
+        lambda_min = std::min(lambda_min, lambda(i));
+        lambda_max = std::max(lambda_max, lambda(i));
+      }
+      double lo = lambda_min;  // trace_at(lo) = 0 < 1.
+      double hi = lambda_max + 1.0;
+      while (trace_at(hi) < 1.0) hi *= 2.0;
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (trace_at(mid) < 1.0) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      solution.mu = 0.5 * (lo + hi);
+      double pnorm = 0.0;
+      for (int i = 0; i < m; ++i) {
+        const double base = eta * (solution.mu - lambda(i));
+        const double x = base > 0.0 ? std::pow(base, inv_pm1) : 0.0;
+        weights[active[i]] = x;
+        pnorm += std::pow(x, p);
+      }
+      solution.regularizer_value = pnorm / p;
+      break;
+    }
+  }
+
+  solution.x = AssembleDensity(spectrum, weights);
+  solution.rayleigh = 0.0;
+  for (int i = 0; i < m; ++i) {
+    solution.rayleigh += weights[active[i]] * lambda(i);
+  }
+  solution.objective =
+      solution.rayleigh + solution.regularizer_value / eta;
+  return solution;
+}
+
+RegularizedSdpSolution SolveUnregularizedSdp(const Graph& g) {
+  const RestrictedSpectrum spectrum = ComputeSpectrum(g);
+  const int n = static_cast<int>(spectrum.eigen.eigenvalues.size());
+  // Smallest non-trivial eigenvalue.
+  int best = -1;
+  for (int k = 0; k < n; ++k) {
+    if (k == spectrum.trivial_index) continue;
+    if (best < 0 ||
+        spectrum.eigen.eigenvalues[k] < spectrum.eigen.eigenvalues[best]) {
+      best = k;
+    }
+  }
+  IMPREG_CHECK(best >= 0);
+  Vector weights(n, 0.0);
+  weights[best] = 1.0;
+
+  RegularizedSdpSolution solution;
+  solution.x = AssembleDensity(spectrum, weights);
+  solution.rayleigh = spectrum.eigen.eigenvalues[best];
+  solution.objective = solution.rayleigh;
+  return solution;
+}
+
+double RegularizedObjective(const Graph& g, const DenseMatrix& x,
+                            Regularizer reg, double eta, double p) {
+  IMPREG_CHECK(eta > 0.0);
+  IMPREG_CHECK(x.Rows() == g.NumNodes() && x.Cols() == g.NumNodes());
+  const double rayleigh = TraceOfProduct(DenseNormalizedLaplacian(g), x);
+  const SymmetricEigen eigen = SymmetricEigendecomposition(x);
+
+  // X is feasible on the (n−1)-dimensional subspace orthogonal to
+  // D^{1/2}1: exactly one eigenvalue is (numerically) zero. Drop the
+  // smallest-magnitude one and evaluate G on the rest.
+  int drop = 0;
+  for (int i = 1; i < static_cast<int>(eigen.eigenvalues.size()); ++i) {
+    if (std::abs(eigen.eigenvalues[i]) < std::abs(eigen.eigenvalues[drop])) {
+      drop = i;
+    }
+  }
+  double value = 0.0;
+  for (int i = 0; i < static_cast<int>(eigen.eigenvalues.size()); ++i) {
+    if (i == drop) continue;
+    const double lam = eigen.eigenvalues[i];
+    switch (reg) {
+      case Regularizer::kEntropy:
+        if (lam > 1e-300) value += lam * std::log(lam);
+        break;
+      case Regularizer::kLogDet:
+        if (lam <= 0.0) return std::numeric_limits<double>::infinity();
+        value -= std::log(lam);
+        break;
+      case Regularizer::kPNorm:
+        if (lam > 0.0) value += std::pow(lam, p) / p;
+        break;
+    }
+  }
+  return rayleigh + value / eta;
+}
+
+}  // namespace impreg

@@ -1,0 +1,70 @@
+#ifndef IMPREG_REGULARIZATION_SDP_H_
+#define IMPREG_REGULARIZATION_SDP_H_
+
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+
+/// \file
+/// Exact solvers for the paper's regularized SDP — Problem (5):
+///
+///   minimize   Tr(ℒ X) + (1/η) G(X)
+///   subject to X ⪰ 0, Tr(X) = 1, X D^{1/2}1 = 0,
+///
+/// for the three regularizers G identified by Mahoney–Orecchia [32]:
+///
+///   kEntropy: G(X) = Σ λᵢ(X) log λᵢ(X)      (negative von Neumann
+///             entropy) — optimum is the Gibbs density
+///             X* ∝ exp(−η ℒ) restricted to the feasible subspace;
+///   kLogDet:  G(X) = −log det(X) — optimum X* ∝ (ℒ + μI)^{-1} on the
+///             subspace, μ the dual variable fixing Tr(X*) = 1;
+///   kPNorm:   G(X) = (1/p)‖X‖ₚᵖ = (1/p) Σ λᵢ(X)ᵖ, p > 1 — optimum
+///             X* with eigenvalues [η(μ − λᵢ)]₊^{1/(p−1)}.
+///
+/// All optima are spectral functions of ℒ, so the solver works directly
+/// from a dense eigendecomposition: exact up to floating point, no
+/// iterative SDP machinery. Requires a connected graph (so the feasible
+/// subspace is exactly the complement of the single trivial
+/// eigenvector).
+
+namespace impreg {
+
+/// The regularizer G(·) in Problem (5).
+enum class Regularizer {
+  kEntropy,
+  kLogDet,
+  kPNorm,
+};
+
+/// Exact solution of Problem (5).
+struct RegularizedSdpSolution {
+  /// The optimal density matrix X*.
+  DenseMatrix x;
+  /// The η it was solved at.
+  double eta = 0.0;
+  /// Dual variable μ (log-det and p-norm only; 0 for entropy).
+  double mu = 0.0;
+  /// G(X*).
+  double regularizer_value = 0.0;
+  /// Tr(ℒX*) + (1/η)·G(X*).
+  double objective = 0.0;
+  /// Tr(ℒX*) alone — the relaxed Rayleigh quotient.
+  double rayleigh = 0.0;
+};
+
+/// Solves Problem (5) exactly. `p` is used only for kPNorm (must be
+/// > 1). Requires η > 0 and a connected graph with ≥ 2 nodes.
+RegularizedSdpSolution SolveRegularizedSdp(const Graph& g, Regularizer reg,
+                                           double eta, double p = 2.0);
+
+/// The *unregularized* SDP optimum of Problem (4): the rank-one density
+/// v₂ v₂ᵀ (computed by dense eigendecomposition). Its Tr(ℒX) is λ₂.
+RegularizedSdpSolution SolveUnregularizedSdp(const Graph& g);
+
+/// Evaluates the regularized objective Tr(ℒX) + (1/η) G(X) at an
+/// arbitrary feasible X (used to measure how suboptimal a candidate is).
+double RegularizedObjective(const Graph& g, const DenseMatrix& x,
+                            Regularizer reg, double eta, double p = 2.0);
+
+}  // namespace impreg
+
+#endif  // IMPREG_REGULARIZATION_SDP_H_

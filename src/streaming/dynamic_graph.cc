@@ -1,0 +1,57 @@
+#include "streaming/dynamic_graph.h"
+
+#include "util/check.h"
+
+namespace impreg {
+
+DynamicGraph::DynamicGraph(NodeId num_nodes) {
+  IMPREG_CHECK(num_nodes >= 0);
+  adjacency_.resize(num_nodes);
+  degrees_.assign(num_nodes, 0.0);
+}
+
+DynamicGraph DynamicGraph::FromGraph(const Graph& g) {
+  DynamicGraph dynamic(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (arc.head >= u) dynamic.AddEdge(u, arc.head, arc.weight);
+    }
+  }
+  return dynamic;
+}
+
+void DynamicGraph::AddEdge(NodeId u, NodeId v, double weight) {
+  IMPREG_CHECK(u >= 0 && u < NumNodes() && v >= 0 && v < NumNodes());
+  IMPREG_CHECK_MSG(weight > 0.0, "edge weights must be strictly positive");
+  auto bump = [&](NodeId from, NodeId to) {
+    for (Neighbor& n : adjacency_[from]) {
+      if (n.head == to) {
+        n.weight += weight;
+        return true;
+      }
+    }
+    adjacency_[from].push_back({to, weight});
+    return false;
+  };
+  const bool existed = bump(u, v);
+  if (u != v) bump(v, u);
+  if (!existed) ++num_edges_;
+  degrees_[u] += weight;
+  total_volume_ += weight;
+  if (u != v) {
+    degrees_[v] += weight;
+    total_volume_ += weight;
+  }
+}
+
+Graph DynamicGraph::ToGraph() const {
+  GraphBuilder builder(NumNodes());
+  for (NodeId u = 0; u < NumNodes(); ++u) {
+    for (const Neighbor& n : adjacency_[u]) {
+      if (n.head >= u) builder.AddEdge(u, n.head, n.weight);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace impreg

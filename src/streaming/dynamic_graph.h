@@ -1,0 +1,72 @@
+#ifndef IMPREG_STREAMING_DYNAMIC_GRAPH_H_
+#define IMPREG_STREAMING_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// A mutable undirected graph for the streaming/dynamic algorithms of
+/// §3.3's closing paragraph (PageRank on graph streams [37], incremental
+/// Personalized PageRank on evolving networks [6]). Insert-only:
+/// real social/information streams are dominated by arrivals, and the
+/// paper's cited algorithms are insert-driven.
+
+namespace impreg {
+
+/// Mutable adjacency-list graph; supports edge insertion and conversion
+/// to/from the immutable CSR Graph. Parallel insertions of the same
+/// edge accumulate weight. Deterministic iteration order (insertion
+/// order per node).
+class DynamicGraph {
+ public:
+  /// A neighbor entry.
+  struct Neighbor {
+    NodeId head;
+    double weight;
+  };
+
+  /// An edgeless graph on `num_nodes` nodes.
+  explicit DynamicGraph(NodeId num_nodes);
+
+  /// Copies the edges of an immutable graph.
+  static DynamicGraph FromGraph(const Graph& g);
+
+  DynamicGraph(const DynamicGraph&) = default;
+  DynamicGraph& operator=(const DynamicGraph&) = default;
+  DynamicGraph(DynamicGraph&&) = default;
+  DynamicGraph& operator=(DynamicGraph&&) = default;
+
+  NodeId NumNodes() const { return static_cast<NodeId>(adjacency_.size()); }
+
+  /// Number of distinct undirected edges.
+  std::int64_t NumEdges() const { return num_edges_; }
+
+  /// Weighted degree (self-loops once).
+  double Degree(NodeId u) const { return degrees_[u]; }
+
+  double TotalVolume() const { return total_volume_; }
+
+  /// The neighbor list of u (insertion order; no duplicates).
+  const std::vector<Neighbor>& Neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+
+  /// Inserts undirected edge {u, v} with weight w > 0 (accumulating
+  /// onto an existing edge). O(deg) per endpoint (linear duplicate
+  /// scan — degrees in our workloads are small).
+  void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Freezes into an immutable CSR Graph.
+  Graph ToGraph() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<double> degrees_;
+  std::int64_t num_edges_ = 0;
+  double total_volume_ = 0.0;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_STREAMING_DYNAMIC_GRAPH_H_

@@ -1,0 +1,108 @@
+#include "streaming/incremental_ppr.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace impreg {
+
+IncrementalPersonalizedPageRank::IncrementalPersonalizedPageRank(
+    const DynamicGraph& initial, Vector seed,
+    const IncrementalPprOptions& options)
+    : graph_(initial), seed_(std::move(seed)), options_(options) {
+  IMPREG_CHECK(options_.gamma > 0.0 && options_.gamma < 1.0);
+  IMPREG_CHECK(options_.epsilon > 0.0);
+  IMPREG_CHECK(seed_.size() == static_cast<std::size_t>(graph_.NumNodes()));
+  for (double v : seed_) IMPREG_CHECK_MSG(v >= 0.0, "seed must be >= 0");
+  p_.assign(graph_.NumNodes(), 0.0);
+  r_ = seed_;
+  queued_.assign(graph_.NumNodes(), 0);
+  for (NodeId u = 0; u < graph_.NumNodes(); ++u) Enqueue(u);
+  total_pushes_ += PushUntilConverged();
+}
+
+void IncrementalPersonalizedPageRank::Enqueue(NodeId u) {
+  if (queued_[u]) return;
+  const double d = graph_.Degree(u);
+  const double threshold =
+      d > 0.0 ? options_.epsilon * d : options_.epsilon;
+  if (std::abs(r_[u]) >= threshold) {
+    queue_.push_back(u);
+    queued_[u] = 1;
+  }
+}
+
+std::int64_t IncrementalPersonalizedPageRank::PushUntilConverged() {
+  std::int64_t pushes = 0;
+  while (!queue_.empty()) {
+    const NodeId u = queue_.front();
+    queue_.pop_front();
+    queued_[u] = 0;
+    const double d = graph_.Degree(u);
+    const double threshold =
+        d > 0.0 ? options_.epsilon * d : options_.epsilon;
+    const double r = r_[u];
+    if (std::abs(r) < threshold) continue;
+
+    // push(u): p gains γ·r, the rest spreads through column u of M
+    // (nothing spreads from an isolated node — M annihilates it).
+    p_[u] += options_.gamma * r;
+    r_[u] = 0.0;
+    if (d > 0.0) {
+      const double spread = (1.0 - options_.gamma) * r / d;
+      for (const DynamicGraph::Neighbor& n : graph_.Neighbors(u)) {
+        r_[n.head] += spread * n.weight;
+        Enqueue(n.head);
+      }
+    }
+    Enqueue(u);  // Self-loops can re-raise r(u).
+    ++pushes;
+    IMPREG_CHECK_MSG(pushes < (1LL << 40), "push runaway");
+  }
+  return pushes;
+}
+
+void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
+                                              double weight) {
+  IMPREG_CHECK(u >= 0 && u < graph_.NumNodes());
+  IMPREG_CHECK(v >= 0 && v < graph_.NumNodes());
+  const double k = (1.0 - options_.gamma) / options_.gamma;
+
+  // Snapshot the (at most two) columns of M that will change.
+  struct ColumnSnapshot {
+    NodeId node;
+    double old_degree;
+    std::vector<DynamicGraph::Neighbor> old_neighbors;
+  };
+  std::vector<ColumnSnapshot> columns;
+  columns.push_back({u, graph_.Degree(u), graph_.Neighbors(u)});
+  if (v != u) columns.push_back({v, graph_.Degree(v), graph_.Neighbors(v)});
+
+  graph_.AddEdge(u, v, weight);
+
+  // Repair the invariant: Δr = ((1−γ)/γ)(M' − M) p on the changed
+  // columns. Only columns with p ≠ 0 contribute.
+  for (const ColumnSnapshot& col : columns) {
+    const double pc = p_[col.node];
+    if (pc == 0.0) continue;
+    const double new_degree = graph_.Degree(col.node);
+    // Add the new column…
+    for (const DynamicGraph::Neighbor& n : graph_.Neighbors(col.node)) {
+      r_[n.head] += k * pc * n.weight / new_degree;
+      Enqueue(n.head);
+    }
+    // …and subtract the old one.
+    if (col.old_degree > 0.0) {
+      for (const DynamicGraph::Neighbor& n : col.old_neighbors) {
+        r_[n.head] -= k * pc * n.weight / col.old_degree;
+        Enqueue(n.head);
+      }
+    }
+  }
+  Enqueue(u);
+  Enqueue(v);
+  last_edge_pushes_ = PushUntilConverged();
+  total_pushes_ += last_edge_pushes_;
+}
+
+}  // namespace impreg

@@ -1,0 +1,65 @@
+#include "streaming/montecarlo.h"
+
+#include "util/check.h"
+
+namespace impreg {
+
+namespace {
+
+// One γ-terminated walk from `start`; returns the termination node.
+NodeId RunWalk(const Graph& g, NodeId start, const MonteCarloOptions& options,
+               Rng& rng) {
+  NodeId current = start;
+  for (int step = 0; step < options.max_walk_length; ++step) {
+    if (rng.NextBernoulli(options.gamma)) return current;
+    const double d = g.Degree(current);
+    if (d <= 0.0) return current;  // Nowhere to go.
+    // Weighted neighbor choice.
+    double target = rng.NextDouble() * d;
+    const auto nbrs = g.Neighbors(current);
+    NodeId next = nbrs.back().head;
+    for (const Arc& arc : nbrs) {
+      target -= arc.weight;
+      if (target <= 0.0) {
+        next = arc.head;
+        break;
+      }
+    }
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace
+
+Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
+                                      const MonteCarloOptions& options) {
+  IMPREG_CHECK(g.IsValidNode(seed_node));
+  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+  IMPREG_CHECK(options.walks_per_node >= 1);
+  Rng rng(options.seed);
+  Vector counts(g.NumNodes(), 0.0);
+  for (int walk = 0; walk < options.walks_per_node; ++walk) {
+    counts[RunWalk(g, seed_node, options, rng)] += 1.0;
+  }
+  Scale(1.0 / options.walks_per_node, counts);
+  return counts;
+}
+
+Vector MonteCarloPageRank(const Graph& g, const MonteCarloOptions& options) {
+  IMPREG_CHECK(g.NumNodes() > 0);
+  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+  IMPREG_CHECK(options.walks_per_node >= 1);
+  Rng rng(options.seed);
+  Vector counts(g.NumNodes(), 0.0);
+  for (NodeId start = 0; start < g.NumNodes(); ++start) {
+    for (int walk = 0; walk < options.walks_per_node; ++walk) {
+      counts[RunWalk(g, start, options, rng)] += 1.0;
+    }
+  }
+  Scale(1.0 / (static_cast<double>(options.walks_per_node) * g.NumNodes()),
+        counts);
+  return counts;
+}
+
+}  // namespace impreg

@@ -1,0 +1,48 @@
+#ifndef IMPREG_STREAMING_MONTECARLO_H_
+#define IMPREG_STREAMING_MONTECARLO_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+/// \file
+/// Monte Carlo PageRank estimation by terminated random walks — the
+/// primitive behind PageRank on graph streams [37] and incremental
+/// PageRank at scale [6]: a γ-teleporting walk's termination point is
+/// distributed exactly as R_γ applied to the walk's start distribution,
+/// so visit counting over R walks is an unbiased estimator whose error
+/// decays as 1/√R. The number of walks is yet another aggressiveness
+/// knob: few walks give a coarse, strongly "regularized" (high-variance
+/// but sparse and cheap) estimate.
+
+namespace impreg {
+
+/// Options for the Monte Carlo estimators.
+struct MonteCarloOptions {
+  /// Teleportation γ ∈ (0, 1) (standard form, Eq. (2)).
+  double gamma = 0.15;
+  /// Walks per seed node.
+  int walks_per_node = 16;
+  /// Hard cap on a single walk's length (safety; geometric(γ) walks
+  /// exceed it with probability (1−γ)^cap).
+  int max_walk_length = 10000;
+  std::uint64_t seed = 0xa1cULL;
+};
+
+/// Estimates the Personalized PageRank of `seed_node`: runs
+/// `walks_per_node` walks from it and returns normalized termination
+/// counts. Walks stop with probability γ per step; from an isolated or
+/// zero-degree node the walk terminates immediately.
+Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
+                                      const MonteCarloOptions& options = {});
+
+/// Estimates global (uniform-seed) PageRank: `walks_per_node` walks
+/// from every node, normalized termination counts.
+Vector MonteCarloPageRank(const Graph& g,
+                          const MonteCarloOptions& options = {});
+
+}  // namespace impreg
+
+#endif  // IMPREG_STREAMING_MONTECARLO_H_

@@ -1,0 +1,53 @@
+#ifndef IMPREG_UTIL_CHECK_H_
+#define IMPREG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Assertion macros used throughout the library.
+///
+/// The library does not use exceptions (per the project style rules).
+/// Programming errors — violated preconditions, broken internal
+/// invariants — abort the process with a diagnostic via IMPREG_CHECK.
+/// Conditions that can legitimately fail at runtime are reported through
+/// return values (std::optional or status booleans) instead.
+
+namespace impreg::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "IMPREG_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace impreg::internal
+
+/// Aborts with a diagnostic when `cond` is false. Always compiled in.
+#define IMPREG_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::impreg::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                   \
+  } while (0)
+
+/// Like IMPREG_CHECK but appends a literal explanatory message.
+#define IMPREG_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::impreg::internal::CheckFailed(__FILE__, __LINE__, #cond, msg);  \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only check; compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define IMPREG_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define IMPREG_DCHECK(cond) IMPREG_CHECK(cond)
+#endif
+
+#endif  // IMPREG_UTIL_CHECK_H_

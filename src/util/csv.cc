@@ -1,0 +1,79 @@
+#include "util/csv.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace impreg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  IMPREG_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  IMPREG_CHECK_MSG(row.size() == header_.size(),
+                   "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToAligned() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    if (c + 1 < widths.size()) rule.append(2, ' ');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      IMPREG_CHECK_MSG(row[c].find(',') == std::string::npos &&
+                           row[c].find('\n') == std::string::npos,
+                       "CSV cells must not contain commas or newlines");
+      out += row[c];
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void Table::Print(std::FILE* out) const {
+  const std::string rendered = ToAligned();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+  std::fflush(out);
+}
+
+std::vector<std::string> Cells(const std::vector<double>& values, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatG(v, digits));
+  return cells;
+}
+
+}  // namespace impreg

@@ -1,0 +1,51 @@
+#ifndef IMPREG_UTIL_CSV_H_
+#define IMPREG_UTIL_CSV_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file
+/// A small fixed-schema table writer used by the benchmark harnesses to
+/// print paper-style series both human-readably and machine-parsable.
+
+namespace impreg {
+
+/// Accumulates rows of string cells under a fixed header and renders them
+/// either as aligned columns (for the console) or as CSV.
+class Table {
+ public:
+  /// Creates a table with the given column names.
+  explicit Table(std::vector<std::string> header);
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+
+  /// Appends a row. The row must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t NumRows() const { return rows_.size(); }
+
+  /// Renders with space-aligned columns.
+  std::string ToAligned() const;
+
+  /// Renders as comma-separated values (no quoting; cells must not
+  /// contain commas or newlines — enforced with a check).
+  std::string ToCsv() const;
+
+  /// Writes the aligned rendering to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: formats a row of doubles with FormatG.
+std::vector<std::string> Cells(const std::vector<double>& values,
+                               int digits = 5);
+
+}  // namespace impreg
+
+#endif  // IMPREG_UTIL_CSV_H_

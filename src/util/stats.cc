@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace impreg {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+  const std::size_t mid = s.count / 2;
+  s.median = (s.count % 2 == 1) ? sorted[mid]
+                                : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  IMPREG_CHECK(!values.empty());
+  IMPREG_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  IMPREG_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  const double mx = Mean(x), my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double LogLogSlope(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  IMPREG_CHECK(x.size() == y.size());
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  if (lx.size() < 2) return 0.0;
+  const double mx = Mean(lx), my = Mean(ly);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < lx.size(); ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+  }
+  if (sxx == 0.0) return 0.0;
+  return sxy / sxx;
+}
+
+std::string FormatG(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace impreg

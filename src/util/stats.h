@@ -1,0 +1,47 @@
+#ifndef IMPREG_UTIL_STATS_H_
+#define IMPREG_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file
+/// Small descriptive-statistics helpers used by the experiment harnesses.
+
+namespace impreg {
+
+/// Summary statistics of a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double median = 0.0;
+};
+
+/// Computes summary statistics. Returns a zeroed Summary for empty input.
+Summary Summarize(const std::vector<double>& values);
+
+/// Returns the q-th quantile (q in [0,1]) using linear interpolation.
+/// Requires a non-empty sample.
+double Quantile(std::vector<double> values, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Least-squares slope of log(y) against log(x), i.e. the empirical
+/// scaling exponent b in y ≈ a·x^b. Ignores non-positive pairs.
+/// Returns 0 if fewer than two usable points remain.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Formats a double with `digits` significant digits, for table output.
+std::string FormatG(double value, int digits = 5);
+
+}  // namespace impreg
+
+#endif  // IMPREG_UTIL_STATS_H_

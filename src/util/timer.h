@@ -1,0 +1,34 @@
+#ifndef IMPREG_UTIL_TIMER_H_
+#define IMPREG_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timer for the experiment harnesses.
+
+namespace impreg {
+
+/// Measures elapsed wall-clock time from construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_UTIL_TIMER_H_

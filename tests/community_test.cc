@@ -1,0 +1,89 @@
+#include "ncp/community.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/social.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+const SocialGraph& TestGraph() {
+  static const SocialGraph* graph = [] {
+    Rng rng(17);
+    SocialGraphParams params;
+    params.core_nodes = 2500;
+    params.num_communities = 6;
+    params.min_community_size = 40;
+    params.max_community_size = 120;
+    params.num_whiskers = 30;
+    return new SocialGraph(MakeWhiskeredSocialGraph(params, rng));
+  }();
+  return *graph;
+}
+
+TEST(SeedExpansionTest, RecoversPlantedCommunityFromFewSeeds) {
+  const SocialGraph& sg = TestGraph();
+  const auto& community = sg.communities[2];
+  const std::vector<NodeId> seeds(community.begin(), community.begin() + 4);
+  const SeedExpansionResult result = ExpandSeedSet(sg.graph, seeds);
+  ASSERT_FALSE(result.set.empty());
+  EXPECT_LT(result.stats.conductance, 0.2);
+  // Strong overlap with the planted truth.
+  std::vector<char> truth(sg.graph.NumNodes(), 0);
+  for (NodeId u : community) truth[u] = 1;
+  int overlap = 0;
+  for (NodeId u : result.set) overlap += truth[u];
+  EXPECT_GT(overlap, static_cast<int>(community.size()) * 2 / 3);
+  EXPECT_GE(result.seeds_contained, 1);
+}
+
+TEST(SeedExpansionTest, ContainsAtLeastOneSeed) {
+  const SocialGraph& sg = TestGraph();
+  // Seed in the expander core: no great community exists, but the
+  // result must stay anchored.
+  const std::vector<NodeId> seeds = {10, 11};
+  const SeedExpansionResult result = ExpandSeedSet(sg.graph, seeds);
+  ASSERT_FALSE(result.set.empty());
+  EXPECT_GE(result.seeds_contained, 1);
+  EXPECT_LE(result.stats.conductance, 1.0);
+}
+
+TEST(SeedExpansionTest, SingleSeedWorks) {
+  const SocialGraph& sg = TestGraph();
+  const SeedExpansionResult result =
+      ExpandSeedSet(sg.graph, {sg.communities[0][0]});
+  ASSERT_FALSE(result.set.empty());
+  EXPECT_GE(result.seeds_contained, 1);
+  EXPECT_LT(result.stats.conductance, 0.5);
+}
+
+TEST(SeedExpansionTest, FlowRefinementNeverHurts) {
+  const SocialGraph& sg = TestGraph();
+  const auto& community = sg.communities[4];
+  const std::vector<NodeId> seeds(community.begin(), community.begin() + 3);
+  SeedExpansionOptions with_flow;
+  SeedExpansionOptions without_flow;
+  without_flow.refine_with_flow = false;
+  const SeedExpansionResult a = ExpandSeedSet(sg.graph, seeds, with_flow);
+  const SeedExpansionResult b = ExpandSeedSet(sg.graph, seeds, without_flow);
+  EXPECT_LE(a.stats.conductance, b.stats.conductance + 1e-12);
+}
+
+TEST(SeedExpansionTest, CliqueSeedFindsClique) {
+  const Graph g = CavemanGraph(4, 8);
+  const SeedExpansionResult result = ExpandSeedSet(g, {0, 1});
+  ASSERT_FALSE(result.set.empty());
+  // The clique (or a clique union) should be found: cut 2 bridges.
+  EXPECT_DOUBLE_EQ(result.stats.cut, 2.0);
+  EXPECT_LT(result.stats.conductance, 0.05);
+}
+
+TEST(SeedExpansionTest, InvalidSeedDies) {
+  const Graph g = PathGraph(5);
+  EXPECT_DEATH(ExpandSeedSet(g, {99}), "");
+}
+
+}  // namespace
+}  // namespace impreg

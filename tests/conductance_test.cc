@@ -1,0 +1,130 @@
+#include "partition/conductance.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+
+namespace impreg {
+namespace {
+
+TEST(ConductanceTest, SingleEdgeCut) {
+  const Graph g = PathGraph(4);  // Degrees 1,2,2,1; volume 6.
+  // S = {0, 1}: cut 1, vol 3, complement vol 3.
+  const CutStats stats = ComputeCutStats(g, {0, 1});
+  EXPECT_DOUBLE_EQ(stats.cut, 1.0);
+  EXPECT_DOUBLE_EQ(stats.volume, 3.0);
+  EXPECT_DOUBLE_EQ(stats.conductance, 1.0 / 3.0);
+}
+
+TEST(ConductanceTest, ComplementHasSameConductance) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(30, 0.2, rng);
+  const std::vector<NodeId> set = {0, 3, 5, 7, 11, 13};
+  EXPECT_DOUBLE_EQ(Conductance(g, set),
+                   Conductance(g, ComplementSet(g, set)));
+}
+
+TEST(ConductanceTest, RangeIsZeroToOne) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(25, 0.3, rng);
+  Rng pick(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int k = 1 + static_cast<int>(pick.NextBounded(24));
+    std::vector<int> sample = pick.SampleWithoutReplacement(25, k);
+    std::vector<NodeId> set(sample.begin(), sample.end());
+    const double phi = Conductance(g, set);
+    EXPECT_GE(phi, 0.0);
+    EXPECT_LE(phi, 1.0);
+  }
+}
+
+TEST(ConductanceTest, DegenerateSetsAreWorst) {
+  const Graph g = PathGraph(5);
+  EXPECT_DOUBLE_EQ(Conductance(g, {}), 1.0);
+  EXPECT_DOUBLE_EQ(Conductance(g, {0, 1, 2, 3, 4}), 1.0);
+}
+
+TEST(ConductanceTest, DisconnectedComponentHasZeroConductance) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  const Graph g = builder.Build();
+  EXPECT_DOUBLE_EQ(Conductance(g, {0, 1, 2}), 0.0);
+}
+
+TEST(ConductanceTest, SelfLoopsAddVolumeNotCut) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 0, 4.0);
+  const Graph g = builder.Build();
+  // S = {0}: cut 1, vol 5 (loop counts once), complement vol 3.
+  const CutStats stats = ComputeCutStats(g, {0});
+  EXPECT_DOUBLE_EQ(stats.cut, 1.0);
+  EXPECT_DOUBLE_EQ(stats.volume, 5.0);
+  EXPECT_DOUBLE_EQ(stats.conductance, 1.0 / 3.0);  // min(5,3) = 3.
+}
+
+TEST(ConductanceTest, WeightedCut) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(1, 2, 0.5);
+  builder.AddEdge(2, 3, 3.0);
+  const Graph g = builder.Build();
+  const CutStats stats = ComputeCutStats(g, {0, 1});
+  EXPECT_DOUBLE_EQ(stats.cut, 0.5);
+  EXPECT_DOUBLE_EQ(stats.conductance, 0.5 / 6.5);
+}
+
+TEST(ConductanceTest, ExpansionUsesCardinalities) {
+  const Graph g = StarGraph(5);
+  // S = {1, 2}: cut 2, |S| = 2, |S̄| = 3.
+  EXPECT_DOUBLE_EQ(Expansion(g, {1, 2}), 1.0);
+  // Conductance: vol(S) = 2, vol(S̄) = 6 → 2/2 = 1.
+  EXPECT_DOUBLE_EQ(Conductance(g, {1, 2}), 1.0);
+}
+
+TEST(ConductanceTest, MaskAndListAgree) {
+  Rng rng(4);
+  const Graph g = ErdosRenyi(20, 0.3, rng);
+  const std::vector<NodeId> set = {2, 4, 8, 16};
+  const CutStats a = ComputeCutStats(g, set);
+  const CutStats b = ComputeCutStatsFromMask(g, NodesToMask(g, set));
+  EXPECT_DOUBLE_EQ(a.conductance, b.conductance);
+  EXPECT_EQ(a.size, b.size);
+  EXPECT_EQ(MaskToNodes(NodesToMask(g, set)), set);
+}
+
+TEST(ConductanceTest, BruteForceOnDumbbellFindsBridge) {
+  const Graph g = DumbbellGraph(4, 0);  // Two K4s joined by an edge.
+  // Best cut: one clique. cut = 1, vol = 4*3+1 = 13, total vol 26.
+  EXPECT_NEAR(BruteForceMinConductance(g), 1.0 / 13.0, 1e-12);
+}
+
+TEST(ConductanceTest, BruteForceOnCompleteGraph) {
+  // K6: best cut is the balanced bisection: cut 9, vol 15 → 0.6.
+  EXPECT_NEAR(BruteForceMinConductance(CompleteGraph(6)), 0.6, 1e-12);
+}
+
+TEST(ConductanceTest, BruteForceMatchesCockroachOptimal) {
+  // Cockroach with k=3 (12 nodes): the antennae cut is very good.
+  const Graph g = CockroachGraph(3);
+  const double brute = BruteForceMinConductance(g);
+  // The optimal cut {u_0..u_{2k-1}} cuts k rungs... actually the best
+  // cut separates the two antennae + half the ladder with 2 edges.
+  std::vector<NodeId> half;
+  for (NodeId i = 0; i < 6; ++i) half.push_back(i);  // Top path u.
+  EXPECT_LE(brute, Conductance(g, half) + 1e-12);
+  EXPECT_GT(brute, 0.0);
+}
+
+TEST(ConductanceTest, DuplicateNodesDie) {
+  const Graph g = PathGraph(4);
+  EXPECT_DEATH(Conductance(g, {1, 1}), "duplicate");
+}
+
+}  // namespace
+}  // namespace impreg

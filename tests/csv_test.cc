@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace impreg {
+namespace {
+
+TEST(TableTest, CsvRendering) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"x", "y"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TableTest, AlignedRenderingHasHeaderRuleAndRows) {
+  Table table({"name", "v"});
+  table.AddRow({"longvalue", "1"});
+  const std::string out = table.ToAligned();
+  // Header, rule, one row.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("longvalue  1"), std::string::npos);
+}
+
+TEST(TableTest, NumRows) {
+  Table table({"x"});
+  EXPECT_EQ(table.NumRows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.NumRows(), 2u);
+}
+
+TEST(TableTest, RowWidthMismatchDies) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "row width");
+}
+
+TEST(TableTest, CommaInCsvCellDies) {
+  Table table({"a"});
+  table.AddRow({"has,comma"});
+  EXPECT_DEATH(table.ToCsv(), "commas");
+}
+
+TEST(TableTest, CellsFormatsDoubles) {
+  const std::vector<std::string> cells = Cells({1.5, 0.25}, 3);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "1.5");
+  EXPECT_EQ(cells[1], "0.25");
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,288 @@
+#include "linalg/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(DenseMatrixTest, IdentityAndApply) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  const Vector x = {1.0, 2.0, 3.0};
+  EXPECT_EQ(id.Apply(x), x);
+  EXPECT_DOUBLE_EQ(id.Trace(), 3.0);
+}
+
+TEST(DenseMatrixTest, MultiplyMatchesManual) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, TransposeAddScaledFrobenius) {
+  DenseMatrix m(2, 3);
+  m.At(0, 2) = 4.0;
+  m.At(1, 0) = 3.0;
+  const DenseMatrix t = m.Transposed();
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  DenseMatrix sum = m;
+  sum.AddScaled(m, -1.0);
+  EXPECT_DOUBLE_EQ(sum.FrobeniusNorm(), 0.0);
+}
+
+TEST(DenseMatrixTest, OuterProduct) {
+  const DenseMatrix op = DenseMatrix::OuterProduct({1.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(op.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(op.At(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(op.At(1, 1), 12.0);
+  EXPECT_DOUBLE_EQ(op.SymmetryDefect(), 0.0);
+}
+
+TEST(DenseMatrixTest, TraceOfProductMatchesExplicit) {
+  Rng rng(3);
+  DenseMatrix a(4, 4), b(4, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      a.At(i, j) = rng.NextGaussian();
+      b.At(i, j) = rng.NextGaussian();
+    }
+  }
+  EXPECT_NEAR(TraceOfProduct(a, b), a.Multiply(b).Trace(), 1e-12);
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  DenseMatrix m(3, 3);
+  m.At(0, 0) = 3.0;
+  m.At(1, 1) = 1.0;
+  m.At(2, 2) = 2.0;
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  EXPECT_NEAR(eigen.eigenvalues[0], 1.0, 1e-14);
+  EXPECT_NEAR(eigen.eigenvalues[1], 2.0, 1e-14);
+  EXPECT_NEAR(eigen.eigenvalues[2], 3.0, 1e-14);
+}
+
+TEST(JacobiTest, TwoByTwoExact) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 2.0;
+  m.At(0, 1) = m.At(1, 0) = 1.0;
+  m.At(1, 1) = 2.0;
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  EXPECT_NEAR(eigen.eigenvalues[0], 1.0, 1e-14);
+  EXPECT_NEAR(eigen.eigenvalues[1], 3.0, 1e-14);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Rng rng(7);
+  const int n = 12;
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m.At(i, j) = m.At(j, i) = rng.NextGaussian();
+    }
+  }
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  // Rebuild V diag(λ) Vᵀ.
+  const DenseMatrix rebuilt = ApplySpectralFunction(
+      eigen, [](double lambda) { return lambda; });
+  DenseMatrix diff = rebuilt;
+  diff.AddScaled(m, -1.0);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-10 * (1.0 + m.FrobeniusNorm()));
+}
+
+TEST(JacobiTest, EigenvectorsAreOrthonormal) {
+  Rng rng(11);
+  const int n = 10;
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m.At(i, j) = m.At(j, i) = rng.NextDouble();
+    }
+  }
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  const DenseMatrix vtv =
+      eigen.eigenvectors.Transposed().Multiply(eigen.eigenvectors);
+  DenseMatrix diff = vtv;
+  diff.AddScaled(DenseMatrix::Identity(n), -1.0);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-10);
+}
+
+TEST(JacobiTest, CycleGraphNormalizedSpectrum) {
+  // ℒ of the n-cycle has eigenvalues 1 − cos(2πk/n).
+  const int n = 12;
+  const Graph g = CycleGraph(n);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  std::vector<double> expected;
+  for (int k = 0; k < n; ++k) {
+    expected.push_back(1.0 - std::cos(2.0 * std::numbers::pi * k / n));
+  }
+  std::sort(expected.begin(), expected.end());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(eigen.eigenvalues[i], expected[i], 1e-10);
+  }
+}
+
+TEST(JacobiTest, CompleteGraphNormalizedSpectrum) {
+  // ℒ(K_n): eigenvalue 0 once and n/(n−1) with multiplicity n−1.
+  const int n = 8;
+  const SymmetricEigen eigen = SymmetricEigendecomposition(
+      DenseNormalizedLaplacian(CompleteGraph(n)));
+  EXPECT_NEAR(eigen.eigenvalues[0], 0.0, 1e-12);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_NEAR(eigen.eigenvalues[i], n / (n - 1.0), 1e-12);
+  }
+}
+
+TEST(JacobiTest, HypercubeCombinatorialSpectrum) {
+  // L of the d-cube has eigenvalues 2k with multiplicity (d choose k).
+  const int d = 3;
+  const SymmetricEigen eigen = SymmetricEigendecomposition(
+      DenseCombinatorialLaplacian(HypercubeGraph(d)));
+  const std::vector<double> expected = {0, 2, 2, 2, 4, 4, 4, 6};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(eigen.eigenvalues[i], expected[i], 1e-12);
+  }
+}
+
+TEST(JacobiTest, LaplacianIsPsd) {
+  Rng rng(13);
+  const Graph g = ErdosRenyi(20, 0.3, rng);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  EXPECT_GE(eigen.eigenvalues.front(), -1e-12);
+  EXPECT_LE(eigen.eigenvalues.back(), 2.0 + 1e-12);
+}
+
+TEST(JacobiTest, AsymmetricInputDies) {
+  DenseMatrix m(2, 2);
+  m.At(0, 1) = 1.0;  // Not mirrored.
+  EXPECT_DEATH(SymmetricEigendecomposition(m), "not symmetric");
+}
+
+TEST(SpectralFunctionTest, ExponentialOfDiagonal) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 0.0;
+  m.At(1, 1) = 1.0;
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  const DenseMatrix expm =
+      ApplySpectralFunction(eigen, [](double x) { return std::exp(-x); });
+  EXPECT_NEAR(expm.At(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(expm.At(1, 1), std::exp(-1.0), 1e-14);
+  EXPECT_NEAR(expm.At(0, 1), 0.0, 1e-14);
+}
+
+TEST(SpectralFunctionTest, InverseOfSpd) {
+  Rng rng(17);
+  const int n = 6;
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m.At(i, j) = m.At(j, i) = rng.NextGaussian() * 0.1;
+    }
+    m.At(i, i) += 3.0;  // Diagonally dominant ⇒ SPD.
+  }
+  const SymmetricEigen eigen = SymmetricEigendecomposition(m);
+  const DenseMatrix inv =
+      ApplySpectralFunction(eigen, [](double x) { return 1.0 / x; });
+  DenseMatrix prod = m.Multiply(inv);
+  prod.AddScaled(DenseMatrix::Identity(n), -1.0);
+  EXPECT_LT(prod.FrobeniusNorm(), 1e-10);
+}
+
+
+TEST(FastEigenTest, MatchesJacobiOnRandomSymmetric) {
+  Rng rng(21);
+  for (int n : {1, 2, 3, 8, 40, 90}) {
+    DenseMatrix m(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i; j < n; ++j) {
+        m.At(i, j) = m.At(j, i) = rng.NextGaussian();
+      }
+    }
+    const SymmetricEigen jacobi = SymmetricEigendecomposition(m);
+    const SymmetricEigen fast = SymmetricEigendecompositionFast(m);
+    ASSERT_EQ(fast.eigenvalues.size(), static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      EXPECT_NEAR(fast.eigenvalues[k], jacobi.eigenvalues[k],
+                  1e-9 * (1.0 + m.FrobeniusNorm()))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(FastEigenTest, ReconstructsMatrix) {
+  Rng rng(22);
+  const int n = 30;
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m.At(i, j) = m.At(j, i) = rng.NextDouble();
+    }
+  }
+  const SymmetricEigen eigen = SymmetricEigendecompositionFast(m);
+  const DenseMatrix rebuilt =
+      ApplySpectralFunction(eigen, [](double x) { return x; });
+  DenseMatrix diff = rebuilt;
+  diff.AddScaled(m, -1.0);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-9 * (1.0 + m.FrobeniusNorm()));
+}
+
+TEST(FastEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(23);
+  const int n = 25;
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      m.At(i, j) = m.At(j, i) = rng.NextGaussian() * 0.5;
+    }
+  }
+  const SymmetricEigen eigen = SymmetricEigendecompositionFast(m);
+  const DenseMatrix vtv =
+      eigen.eigenvectors.Transposed().Multiply(eigen.eigenvectors);
+  DenseMatrix diff = vtv;
+  diff.AddScaled(DenseMatrix::Identity(n), -1.0);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-9);
+}
+
+TEST(FastEigenTest, NormalizedLaplacianSpectrum) {
+  const SymmetricEigen eigen = SymmetricEigendecompositionFast(
+      DenseNormalizedLaplacian(CompleteGraph(9)));
+  EXPECT_NEAR(eigen.eigenvalues[0], 0.0, 1e-10);
+  for (int i = 1; i < 9; ++i) {
+    EXPECT_NEAR(eigen.eigenvalues[i], 9.0 / 8.0, 1e-10);
+  }
+}
+
+TEST(FastEigenTest, AlreadyTridiagonalInput) {
+  DenseMatrix m(4, 4);
+  for (int i = 0; i < 4; ++i) m.At(i, i) = i + 1.0;
+  for (int i = 0; i + 1 < 4; ++i) m.At(i, i + 1) = m.At(i + 1, i) = 0.5;
+  const SymmetricEigen fast = SymmetricEigendecompositionFast(m);
+  const SymmetricEigen jacobi = SymmetricEigendecomposition(m);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(fast.eigenvalues[k], jacobi.eigenvalues[k], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,92 @@
+#include "regularization/density.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/graph_operators.h"
+
+namespace impreg {
+namespace {
+
+TEST(DensityTest, IdentityOverNIsAlmostFeasible) {
+  const Graph g = CompleteGraph(4);
+  DenseMatrix x = DenseMatrix::Identity(4);
+  x.ScaleBy(0.25);
+  const DensityDiagnostics diag = CheckDensity(g, x);
+  EXPECT_NEAR(diag.trace_defect, 0.0, 1e-14);
+  EXPECT_NEAR(diag.psd_defect, 0.0, 1e-14);
+  EXPECT_NEAR(diag.symmetry_defect, 0.0, 1e-14);
+  // But I/n is NOT orthogonal to the trivial direction.
+  EXPECT_GT(diag.orthogonality_defect, 0.1);
+}
+
+TEST(DensityTest, RankOneOnSecondEigenvectorIsFeasible) {
+  const Graph g = CycleGraph(8);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  const DenseMatrix x =
+      DenseMatrix::OuterProduct(eigen.eigenvectors.Column(1));
+  const DensityDiagnostics diag = CheckDensity(g, x);
+  EXPECT_NEAR(diag.trace_defect, 0.0, 1e-10);
+  EXPECT_NEAR(diag.psd_defect, 0.0, 1e-12);
+  EXPECT_NEAR(diag.orthogonality_defect, 0.0, 1e-10);
+}
+
+TEST(DensityTest, NegativeEigenvalueDetected) {
+  const Graph g = PathGraph(2);
+  DenseMatrix x(2, 2);
+  x.At(0, 0) = 1.5;
+  x.At(1, 1) = -0.5;
+  const DensityDiagnostics diag = CheckDensity(g, x);
+  EXPECT_NEAR(diag.psd_defect, 0.5, 1e-12);
+}
+
+TEST(DensityTest, NormalizeTraceScales) {
+  DenseMatrix x = DenseMatrix::Identity(5);
+  const DenseMatrix normalized = NormalizeTrace(x);
+  EXPECT_NEAR(normalized.Trace(), 1.0, 1e-15);
+}
+
+TEST(DensityTest, NormalizeZeroTraceDies) {
+  DenseMatrix x(2, 2);
+  x.At(0, 0) = 1.0;
+  x.At(1, 1) = -1.0;
+  EXPECT_DEATH(NormalizeTrace(x), "zero trace");
+}
+
+TEST(TraceDistanceTest, IdenticalMatricesAreAtZero) {
+  const DenseMatrix x = DenseMatrix::Identity(3);
+  EXPECT_NEAR(TraceDistance(x, x), 0.0, 1e-15);
+}
+
+TEST(TraceDistanceTest, OrthogonalPureStatesAreAtOne) {
+  // Trace distance between e₁e₁ᵀ and e₂e₂ᵀ is 1 (maximally
+  // distinguishable).
+  const DenseMatrix a = DenseMatrix::OuterProduct({1.0, 0.0});
+  const DenseMatrix b = DenseMatrix::OuterProduct({0.0, 1.0});
+  EXPECT_NEAR(TraceDistance(a, b), 1.0, 1e-12);
+}
+
+TEST(TraceDistanceTest, SymmetricInArguments) {
+  DenseMatrix a = DenseMatrix::Identity(3);
+  a.ScaleBy(1.0 / 3.0);
+  const DenseMatrix b = DenseMatrix::OuterProduct({1.0, 0.0, 0.0});
+  EXPECT_NEAR(TraceDistance(a, b), TraceDistance(b, a), 1e-14);
+  EXPECT_GT(TraceDistance(a, b), 0.0);
+}
+
+TEST(VonNeumannEntropyTest, PureStateHasZeroEntropy) {
+  const DenseMatrix pure = DenseMatrix::OuterProduct({0.6, 0.8});
+  EXPECT_NEAR(VonNeumannEntropy(pure), 0.0, 1e-10);
+}
+
+TEST(VonNeumannEntropyTest, MaximallyMixedIsLogN) {
+  DenseMatrix mixed = DenseMatrix::Identity(4);
+  mixed.ScaleBy(0.25);
+  EXPECT_NEAR(VonNeumannEntropy(mixed), std::log(4.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace impreg

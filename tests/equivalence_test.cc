@@ -1,0 +1,162 @@
+#include "regularization/equivalence.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/heat_kernel.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "linalg/graph_operators.h"
+#include "regularization/density.h"
+
+namespace impreg {
+namespace {
+
+// The paper's central theoretical claim (§3.1, Problem (5), ref [32]):
+// each diffusion's density matrix EXACTLY solves the regularized SDP
+// with the matching G and η. These tests verify it to numerical
+// precision across graph families and parameter ranges.
+
+Graph FamilyGraph(int id) {
+  Rng rng(100 + id);
+  switch (id % 5) {
+    case 0:
+      return CycleGraph(16);
+    case 1:
+      return CavemanGraph(3, 5);
+    case 2:
+      return LollipopGraph(7, 5);
+    case 3:
+      return GridGraph(4, 5);
+    default: {
+      // Connected ER (regenerate until connected; cheap at this size).
+      Graph g = ErdosRenyi(24, 0.25, rng);
+      while (!IsConnected(g)) g = ErdosRenyi(24, 0.25, rng);
+      return g;
+    }
+  }
+}
+
+class HeatKernelEquivalenceTest
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HeatKernelEquivalenceTest, DiffusionSolvesEntropySdpExactly) {
+  const Graph g = FamilyGraph(std::get<0>(GetParam()));
+  const double t = std::get<1>(GetParam());
+  const EquivalenceReport report = VerifyHeatKernelEquivalence(g, t);
+  EXPECT_LT(report.trace_distance, 1e-8) << "t = " << t;
+  EXPECT_NEAR(report.objective_gap, 0.0, 1e-8);
+  EXPECT_DOUBLE_EQ(report.implied.eta, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HeatKernelEquivalenceTest,
+    testing::Combine(testing::Values(0, 1, 2, 3, 4),
+                     testing::Values(0.5, 2.0, 8.0)));
+
+class PageRankEquivalenceTest
+    : public testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PageRankEquivalenceTest, DiffusionSolvesLogDetSdpExactly) {
+  const Graph g = FamilyGraph(std::get<0>(GetParam()));
+  const double gamma = std::get<1>(GetParam());
+  const EquivalenceReport report = VerifyPageRankEquivalence(g, gamma);
+  EXPECT_LT(report.trace_distance, 1e-8) << "gamma = " << gamma;
+  EXPECT_NEAR(report.objective_gap, 0.0, 1e-7);
+  EXPECT_NEAR(report.implied.mu, gamma / (1.0 - gamma), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PageRankEquivalenceTest,
+    testing::Combine(testing::Values(0, 1, 2, 3, 4),
+                     testing::Values(0.05, 0.15, 0.5)));
+
+class LazyWalkEquivalenceTest
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LazyWalkEquivalenceTest, DiffusionSolvesPNormSdpExactly) {
+  const Graph g = FamilyGraph(std::get<0>(GetParam()));
+  const int steps = std::get<1>(GetParam());
+  const EquivalenceReport report =
+      VerifyLazyWalkEquivalence(g, 0.5, steps);
+  EXPECT_LT(report.trace_distance, 1e-7) << "steps = " << steps;
+  EXPECT_NEAR(report.objective_gap, 0.0, 1e-7);
+  EXPECT_NEAR(report.implied.p, 1.0 + 1.0 / steps, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LazyWalkEquivalenceTest,
+    testing::Combine(testing::Values(0, 1, 2, 3, 4),
+                     testing::Values(1, 3, 10)));
+
+TEST(EquivalenceTest, HeatKernelDensityMatchesDiffusionModule) {
+  // The dense HeatKernelDensity must agree with the iterative
+  // diffusion module applied to basis vectors (hat space), projected
+  // and normalized: both represent exp(−tℒ) restricted off the trivial
+  // eigenvector.
+  const Graph g = CavemanGraph(2, 5);
+  const double t = 3.0;
+  const DenseMatrix density = HeatKernelDensity(g, t);
+  // Compute P exp(−tℒ) P / Tr via the Krylov solver column by column.
+  const int n = g.NumNodes();
+  const Vector trivial = TrivialNormalizedEigenvector(g);
+  DenseMatrix reference(n, n);
+  for (int j = 0; j < n; ++j) {
+    Vector e(n, 0.0);
+    e[j] = 1.0;
+    ProjectOut(trivial, e);
+    HeatKernelOptions options;
+    options.t = t;
+    Vector col = HeatKernelNormalized(g, e, options);
+    ProjectOut(trivial, col);
+    for (int i = 0; i < n; ++i) reference.At(i, j) = col[i];
+  }
+  const DenseMatrix normalized = NormalizeTrace(reference);
+  EXPECT_LT(TraceDistance(density, normalized), 1e-8);
+}
+
+TEST(EquivalenceTest, MoreAggressiveDiffusionIsLessRegularized) {
+  // Larger t (heat kernel) ⇒ closer to the rank-one exact answer ⇒
+  // smaller Tr(ℒX). This is the aggressiveness/regularization tradeoff
+  // of §3.1.
+  const Graph g = LollipopGraph(8, 6);
+  double previous = 10.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 16.0}) {
+    const EquivalenceReport report = VerifyHeatKernelEquivalence(g, t);
+    EXPECT_LT(report.diffusion_rayleigh, previous + 1e-12);
+    previous = report.diffusion_rayleigh;
+  }
+}
+
+TEST(EquivalenceTest, PageRankEtaIsPositiveAndMonotone) {
+  const Graph g = GridGraph(4, 4);
+  double prev_mu = 0.0;
+  for (double gamma : {0.05, 0.2, 0.5, 0.8}) {
+    const ImpliedParameters imp = ImpliedForPageRank(g, gamma);
+    EXPECT_GT(imp.eta, 0.0);
+    EXPECT_GT(imp.mu, prev_mu);  // μ = γ/(1−γ) increases with γ.
+    prev_mu = imp.mu;
+  }
+}
+
+TEST(EquivalenceTest, LazyWalkRequiresHalfLaziness) {
+  const Graph g = CycleGraph(8);
+  EXPECT_DEATH(LazyWalkDensity(g, 0.2, 3), "alpha");
+}
+
+TEST(EquivalenceTest, DensitiesAreValidDensityMatrices) {
+  const Graph g = GridGraph(3, 4);
+  for (const DenseMatrix& x :
+       {HeatKernelDensity(g, 2.0), PageRankDensity(g, 0.15),
+        LazyWalkDensity(g, 0.5, 4)}) {
+    const DensityDiagnostics diag = CheckDensity(g, x);
+    EXPECT_LT(diag.trace_defect, 1e-10);
+    EXPECT_LT(diag.psd_defect, 1e-10);
+    EXPECT_LT(diag.orthogonality_defect, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace impreg

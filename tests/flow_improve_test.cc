@@ -1,0 +1,84 @@
+#include "flow/flow_improve.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(FlowImproveTest, NeverWorsensConductance) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 0.12, rng);
+  Rng pick(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int k = 5 + static_cast<int>(pick.NextBounded(20));
+    std::vector<int> sample = pick.SampleWithoutReplacement(50, k);
+    std::vector<NodeId> ref(sample.begin(), sample.end());
+    const double before = Conductance(g, ref);
+    const FlowImproveResult result = FlowImprove(g, ref);
+    EXPECT_LE(result.stats.conductance, before + 1e-9);
+  }
+}
+
+TEST(FlowImproveTest, CanGrowBeyondReference) {
+  // Reference = half a clique of a dumbbell; FlowImprove should expand
+  // to the whole clique (MQI could only shrink).
+  const Graph g = DumbbellGraph(8, 2);
+  std::vector<NodeId> ref = {0, 1, 2, 3};  // Half of the left K8.
+  const FlowImproveResult result = FlowImprove(g, ref);
+  EXPECT_GT(result.set.size(), ref.size());
+  // The improved set should achieve (nearly) the bridge cut.
+  EXPECT_LE(result.stats.cut, 1.0 + 1e-9);
+}
+
+TEST(FlowImproveTest, PerfectSetIsFixpoint) {
+  const Graph g = DumbbellGraph(6, 0);
+  std::vector<NodeId> clique;
+  for (NodeId u = 0; u < 6; ++u) clique.push_back(u);
+  const double before = Conductance(g, clique);
+  const FlowImproveResult result = FlowImprove(g, clique);
+  EXPECT_NEAR(result.stats.conductance, before, 1e-12);
+  EXPECT_EQ(result.set.size(), 6u);
+}
+
+TEST(FlowImproveTest, QuotientDecreasesMonotonically) {
+  Rng rng(3);
+  const Graph g = CavemanGraph(4, 8);
+  // A sloppy reference: one clique plus random extras.
+  std::vector<NodeId> ref;
+  for (NodeId u = 0; u < 8; ++u) ref.push_back(u);
+  ref.push_back(12);
+  ref.push_back(20);
+  const double before = Conductance(g, ref);
+  const FlowImproveResult result = FlowImprove(g, ref);
+  EXPECT_LE(result.quotient, before + 1e-12);
+  EXPECT_LE(result.stats.conductance, before + 1e-9);
+}
+
+TEST(FlowImproveTest, OversizedReferenceUsesComplement) {
+  const Graph g = CavemanGraph(3, 6);
+  std::vector<NodeId> most;
+  for (NodeId u = 0; u < 14; ++u) most.push_back(u);
+  const FlowImproveResult result = FlowImprove(g, most);
+  EXPECT_LE(result.stats.volume, result.stats.complement_volume + 1e-9);
+}
+
+TEST(FlowImproveTest, ResultOverlapsReference) {
+  // FlowImprove is locally biased: its output must intersect R.
+  Rng rng(4);
+  const Graph g = CavemanGraph(5, 6);
+  std::vector<NodeId> ref;
+  for (NodeId u = 0; u < 6; ++u) ref.push_back(u);  // First clique.
+  const FlowImproveResult result = FlowImprove(g, ref);
+  std::vector<char> in_ref(g.NumNodes(), 0);
+  for (NodeId u : ref) in_ref[u] = 1;
+  int overlap = 0;
+  for (NodeId u : result.set) overlap += in_ref[u];
+  EXPECT_GT(overlap, 0);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,135 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+
+namespace impreg {
+namespace {
+
+TEST(GeneratorsTest, PathGraphStructure) {
+  const Graph g = PathGraph(6);
+  EXPECT_EQ(g.NumNodes(), 6);
+  EXPECT_EQ(g.NumEdges(), 5);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_DOUBLE_EQ(g.Degree(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.Degree(3), 2.0);
+}
+
+TEST(GeneratorsTest, CycleGraphIsTwoRegular) {
+  const Graph g = CycleGraph(7);
+  EXPECT_EQ(g.NumEdges(), 7);
+  for (NodeId u = 0; u < 7; ++u) EXPECT_DOUBLE_EQ(g.Degree(u), 2.0);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, CompleteGraphEdgeCount) {
+  const Graph g = CompleteGraph(8);
+  EXPECT_EQ(g.NumEdges(), 28);
+  for (NodeId u = 0; u < 8; ++u) EXPECT_DOUBLE_EQ(g.Degree(u), 7.0);
+}
+
+TEST(GeneratorsTest, StarGraphDegrees) {
+  const Graph g = StarGraph(9);
+  EXPECT_DOUBLE_EQ(g.Degree(0), 8.0);
+  for (NodeId u = 1; u < 9; ++u) EXPECT_DOUBLE_EQ(g.Degree(u), 1.0);
+}
+
+TEST(GeneratorsTest, GridGraphStructure) {
+  const Graph g = GridGraph(4, 5);
+  EXPECT_EQ(g.NumNodes(), 20);
+  // Edges: 4*4 horizontal rows... rows*(cols-1) + (rows-1)*cols.
+  EXPECT_EQ(g.NumEdges(), 4 * 4 + 3 * 5);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, TorusIsFourRegular) {
+  const Graph g = TorusGraph(4, 6);
+  EXPECT_EQ(g.NumNodes(), 24);
+  EXPECT_EQ(g.NumEdges(), 48);
+  for (NodeId u = 0; u < 24; ++u) EXPECT_DOUBLE_EQ(g.Degree(u), 4.0);
+}
+
+TEST(GeneratorsTest, HypercubeIsDRegular) {
+  const Graph g = HypercubeGraph(4);
+  EXPECT_EQ(g.NumNodes(), 16);
+  EXPECT_EQ(g.NumEdges(), 32);
+  for (NodeId u = 0; u < 16; ++u) EXPECT_DOUBLE_EQ(g.Degree(u), 4.0);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, BinaryTreeIsATree) {
+  const Graph g = CompleteBinaryTree(15);
+  EXPECT_EQ(g.NumEdges(), 14);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(EstimateDiameter(g), 6);  // Leaf to leaf via root.
+}
+
+TEST(GeneratorsTest, LadderStructure) {
+  const Graph g = LadderGraph(5);
+  EXPECT_EQ(g.NumNodes(), 10);
+  EXPECT_EQ(g.NumEdges(), 5 + 2 * 4);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, LollipopStructure) {
+  const Graph g = LollipopGraph(6, 4);
+  EXPECT_EQ(g.NumNodes(), 10);
+  EXPECT_EQ(g.NumEdges(), 15 + 4);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_DOUBLE_EQ(g.Degree(9), 1.0);  // Tail end.
+}
+
+TEST(GeneratorsTest, DumbbellStructure) {
+  const Graph g = DumbbellGraph(5, 3);
+  EXPECT_EQ(g.NumNodes(), 13);
+  EXPECT_EQ(g.NumEdges(), 2 * 10 + 4);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, DumbbellZeroBridgeIsDirectEdge) {
+  const Graph g = DumbbellGraph(4, 0);
+  EXPECT_EQ(g.NumNodes(), 8);
+  EXPECT_TRUE(g.HasEdge(0, 4));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, CockroachStructure) {
+  const NodeId k = 4;
+  const Graph g = CockroachGraph(k);
+  EXPECT_EQ(g.NumNodes(), 4 * k);
+  // Two paths of 2k nodes (2k−1 edges each) + k rungs.
+  EXPECT_EQ(g.NumEdges(), 2 * (2 * k - 1) + k);
+  EXPECT_TRUE(IsConnected(g));
+  // Antenna tips have degree 1.
+  EXPECT_DOUBLE_EQ(g.Degree(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.Degree(2 * k), 1.0);
+}
+
+TEST(GeneratorsTest, CavemanStructure) {
+  const Graph g = CavemanGraph(4, 5);
+  EXPECT_EQ(g.NumNodes(), 20);
+  EXPECT_EQ(g.NumEdges(), 4 * 10 + 4);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, CavemanTwoCliquesSingleBridge) {
+  const Graph g = CavemanGraph(2, 4);
+  EXPECT_EQ(g.NumEdges(), 2 * 6 + 1);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(GeneratorsTest, SingleCliqueCaveman) {
+  const Graph g = CavemanGraph(1, 5);
+  EXPECT_EQ(g.NumEdges(), 10);
+}
+
+TEST(GeneratorsTest, InvalidParametersDie) {
+  EXPECT_DEATH(PathGraph(0), "");
+  EXPECT_DEATH(CycleGraph(2), "");
+  EXPECT_DEATH(CockroachGraph(1), "");
+  EXPECT_DEATH(HypercubeGraph(0), "");
+}
+
+}  // namespace
+}  // namespace impreg

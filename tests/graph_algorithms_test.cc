@@ -1,0 +1,154 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace impreg {
+namespace {
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = PathGraph(5);
+  const std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsTest, UnreachableIsMinusOne) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  const std::vector<int> dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(BfsTest, WithinMaskRespectsMembership) {
+  // Path 0-1-2 plus shortcut 0-3-2: distance within {0,1,2} must be 2.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(3, 2);
+  const Graph g = builder.Build();
+  const std::vector<char> members = {1, 1, 1, 0};
+  const std::vector<int> dist = BfsDistancesWithin(g, 0, members);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], -1);
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  const Graph g = builder.Build();
+  EXPECT_EQ(CountComponents(g), 3);  // {0,1,2}, {3,4}, {5}.
+  const std::vector<int> comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[5]);
+}
+
+TEST(ComponentsTest, ConnectedGraphs) {
+  EXPECT_TRUE(IsConnected(PathGraph(10)));
+  EXPECT_TRUE(IsConnected(CompleteGraph(5)));
+  GraphBuilder builder(2);
+  EXPECT_FALSE(IsConnected(builder.Build()));
+}
+
+TEST(SubgraphTest, InducedKeepsInternalEdges) {
+  const Graph g = CompleteGraph(5);
+  const Subgraph sub = InducedSubgraph(g, {1, 3, 4});
+  EXPECT_EQ(sub.graph.NumNodes(), 3);
+  EXPECT_EQ(sub.graph.NumEdges(), 3);  // Triangle.
+  EXPECT_EQ(sub.original_of.size(), 3u);
+  EXPECT_EQ(sub.new_of[3], 1);
+  EXPECT_EQ(sub.new_of[0], -1);
+}
+
+TEST(SubgraphTest, InducedPreservesWeightsAndLoops) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 2.0);
+  builder.AddEdge(1, 1, 5.0);
+  builder.AddEdge(1, 2, 7.0);
+  const Graph g = builder.Build();
+  const Subgraph sub = InducedSubgraph(g, {0, 1});
+  EXPECT_EQ(sub.graph.NumEdges(), 2);  // Edge + loop.
+  EXPECT_DOUBLE_EQ(sub.graph.EdgeWeight(sub.new_of[0], sub.new_of[1]), 2.0);
+  EXPECT_DOUBLE_EQ(sub.graph.EdgeWeight(sub.new_of[1], sub.new_of[1]), 5.0);
+}
+
+TEST(SubgraphTest, LargestComponentExtractsGiant) {
+  GraphBuilder builder(7);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(4, 5);
+  const Graph g = builder.Build();
+  const Subgraph giant = LargestComponent(g);
+  EXPECT_EQ(giant.graph.NumNodes(), 4);
+  EXPECT_TRUE(IsConnected(giant.graph));
+}
+
+TEST(DiameterTest, PathDiameterIsExact) {
+  EXPECT_EQ(EstimateDiameter(PathGraph(17)), 16);
+}
+
+TEST(DiameterTest, CompleteGraphDiameterIsOne) {
+  EXPECT_EQ(EstimateDiameter(CompleteGraph(6)), 1);
+}
+
+TEST(DiameterTest, TinyGraphs) {
+  EXPECT_EQ(EstimateDiameter(PathGraph(1)), 0);
+  GraphBuilder b(0);
+  EXPECT_EQ(EstimateDiameter(b.Build()), 0);
+}
+
+TEST(DegreeStatsTest, GridDegrees) {
+  const DegreeStats stats = ComputeDegreeStats(GridGraph(3, 3));
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);   // Corners.
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);   // Center.
+  EXPECT_DOUBLE_EQ(stats.mean, 24.0 / 9.0);
+}
+
+TEST(AvgPathTest, PathGraphAveragePath) {
+  // Path on 3 nodes within the full node set: distances 1,1,2 (pairs),
+  // average over ordered connected pairs = (1+2+1+1+2+1)/6 = 4/3.
+  const Graph g = PathGraph(3);
+  EXPECT_NEAR(AverageShortestPathWithin(g, {0, 1, 2}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(AvgPathTest, CliqueIsOne) {
+  const Graph g = CompleteGraph(6);
+  EXPECT_DOUBLE_EQ(AverageShortestPathWithin(g, {0, 1, 2, 3}), 1.0);
+}
+
+TEST(AvgPathTest, SingletonAndDisconnected) {
+  const Graph g = PathGraph(5);
+  EXPECT_DOUBLE_EQ(AverageShortestPathWithin(g, {2}), 0.0);
+  // {0, 4} is disconnected within itself.
+  EXPECT_DOUBLE_EQ(AverageShortestPathWithin(g, {0, 4}), 0.0);
+}
+
+TEST(AvgPathTest, UsesOnlyInternalEdges) {
+  // Star: leaves are at distance 2 through the hub; without the hub the
+  // leaf set is disconnected.
+  const Graph g = StarGraph(5);
+  EXPECT_DOUBLE_EQ(AverageShortestPathWithin(g, {1, 2, 3}), 0.0);
+  EXPECT_NEAR(AverageShortestPathWithin(g, {0, 1, 2}),
+              (1.0 + 1.0 + 2.0) * 2 / 6.0, 1e-12);
+}
+
+TEST(DiameterWithinTest, Values) {
+  const Graph g = PathGraph(6);
+  EXPECT_EQ(DiameterWithin(g, {0, 1, 2, 3}), 3);
+  EXPECT_EQ(DiameterWithin(g, {2}), 0);
+  EXPECT_EQ(DiameterWithin(g, {0, 5}), 0);  // Disconnected: ignored.
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,192 @@
+#include "linalg/graph_operators.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "linalg/dense_matrix.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+// Compares a matrix-free operator against its dense counterpart on
+// random vectors.
+void ExpectOperatorMatchesDense(const LinearOperator& op,
+                                const DenseMatrix& dense, Rng& rng,
+                                double tol = 1e-12) {
+  ASSERT_EQ(op.Dimension(), dense.Rows());
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector x(op.Dimension());
+    for (double& v : x) v = rng.NextGaussian();
+    const Vector expected = dense.Apply(x);
+    Vector got;
+    op.Apply(x, got);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], expected[i], tol);
+    }
+  }
+}
+
+class GraphOperatorsTest : public testing::TestWithParam<int> {
+ protected:
+  Graph MakeGraph() const {
+    Rng rng(GetParam());
+    switch (GetParam() % 4) {
+      case 0:
+        return PathGraph(17);
+      case 1:
+        return CompleteGraph(9);
+      case 2:
+        return ErdosRenyi(40, 0.2, rng);
+      default:
+        return CavemanGraph(3, 6);
+    }
+  }
+};
+
+TEST_P(GraphOperatorsTest, AdjacencyMatchesDense) {
+  const Graph g = MakeGraph();
+  Rng rng(1 + GetParam());
+  ExpectOperatorMatchesDense(AdjacencyOperator(g), DenseAdjacency(g), rng);
+}
+
+TEST_P(GraphOperatorsTest, CombinatorialLaplacianMatchesDense) {
+  const Graph g = MakeGraph();
+  Rng rng(2 + GetParam());
+  ExpectOperatorMatchesDense(CombinatorialLaplacianOperator(g),
+                             DenseCombinatorialLaplacian(g), rng);
+}
+
+TEST_P(GraphOperatorsTest, NormalizedLaplacianMatchesDense) {
+  const Graph g = MakeGraph();
+  Rng rng(3 + GetParam());
+  ExpectOperatorMatchesDense(NormalizedLaplacianOperator(g),
+                             DenseNormalizedLaplacian(g), rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GraphOperatorsTest,
+                         testing::Values(0, 1, 2, 3));
+
+TEST(GraphOperatorsTest, LaplacianAnnihilatesConstants) {
+  const Graph g = CavemanGraph(3, 5);
+  const CombinatorialLaplacianOperator lap(g);
+  Vector ones(g.NumNodes(), 1.0);
+  Vector out;
+  lap.Apply(ones, out);
+  for (double v : out) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(GraphOperatorsTest, NormalizedLaplacianAnnihilatesTrivial) {
+  Rng rng(5);
+  const Graph g = ErdosRenyi(60, 0.1, rng);
+  const NormalizedLaplacianOperator lap(g);
+  Vector out;
+  lap.Apply(lap.TrivialEigenvector(), out);
+  EXPECT_NEAR(Norm2(out), 0.0, 1e-12);
+}
+
+TEST(GraphOperatorsTest, TrivialEigenvectorIsUnitAndNonnegative) {
+  const Graph g = StarGraph(10);
+  const Vector v = TrivialNormalizedEigenvector(g);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-14);
+  for (double value : v) EXPECT_GE(value, 0.0);
+  // Proportional to sqrt(degree): hub entry = sqrt(9)·leaf entry.
+  EXPECT_NEAR(v[0], 3.0 * v[1], 1e-12);
+}
+
+TEST(GraphOperatorsTest, RandomWalkPreservesMass) {
+  Rng rng(6);
+  const Graph g = ErdosRenyi(50, 0.2, rng);
+  const RandomWalkOperator walk(g);
+  Vector p(g.NumNodes(), 0.0);
+  p[7] = 1.0;
+  Vector q;
+  walk.Apply(p, q);
+  EXPECT_NEAR(Sum(q), 1.0, 1e-12);
+  for (double v : q) EXPECT_GE(v, 0.0);
+}
+
+TEST(GraphOperatorsTest, RandomWalkAnnihilatesIsolatedMass) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  const RandomWalkOperator walk(g);
+  Vector p = {0.0, 0.0, 1.0};
+  Vector q;
+  walk.Apply(p, q);
+  EXPECT_NEAR(Sum(q), 0.0, 1e-15);
+}
+
+TEST(GraphOperatorsTest, LazyWalkFixesStationaryDistribution) {
+  Rng rng(7);
+  const Graph g = ErdosRenyi(40, 0.25, rng);
+  const LazyWalkOperator walk(g, 0.5);
+  Vector pi(g.NumNodes());
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    pi[u] = g.Degree(u) / g.TotalVolume();
+  }
+  Vector out;
+  walk.Apply(pi, out);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    EXPECT_NEAR(out[i], pi[i], 1e-12);
+  }
+}
+
+TEST(GraphOperatorsTest, LazyWalkIsolatedNodeHoldsMass) {
+  GraphBuilder builder(2);
+  const Graph g = builder.Build();
+  const LazyWalkOperator walk(g, 0.3);
+  Vector p = {0.4, 0.6};
+  Vector q;
+  walk.Apply(p, q);
+  EXPECT_EQ(q, p);
+}
+
+TEST(GraphOperatorsTest, ShiftedOperatorComputesAffineCombination) {
+  const Graph g = PathGraph(6);
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator shifted(lap, -1.0, 2.0);  // 2I − ℒ.
+  Rng rng(8);
+  Vector x(6);
+  for (double& v : x) v = rng.NextGaussian();
+  Vector lx, sx;
+  lap.Apply(x, lx);
+  shifted.Apply(x, sx);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(sx[i], 2.0 * x[i] - lx[i], 1e-14);
+  }
+}
+
+TEST(GraphOperatorsTest, RayleighQuotientBounds) {
+  // Spectrum of ℒ lies in [0, 2]; Rayleigh quotients must too.
+  Rng rng(9);
+  const Graph g = ErdosRenyi(30, 0.3, rng);
+  const NormalizedLaplacianOperator lap(g);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vector x(g.NumNodes());
+    for (double& v : x) v = rng.NextGaussian();
+    const double r = lap.RayleighQuotient(x);
+    EXPECT_GE(r, -1e-12);
+    EXPECT_LE(r, 2.0 + 1e-12);
+  }
+}
+
+TEST(GraphOperatorsTest, SelfLoopsEnterDegreeNotCut) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(0, 0, 2.0);
+  const Graph g = builder.Build();
+  const NormalizedLaplacianOperator lap(g);
+  // ℒ = I − D^{-1/2} A D^{-1/2}; with the loop, A(0,0) = 2, d0 = 3.
+  const DenseMatrix dense = DenseNormalizedLaplacian(g);
+  EXPECT_NEAR(dense.At(0, 0), 1.0 - 2.0 / 3.0, 1e-14);
+  Rng rng(10);
+  ExpectOperatorMatchesDense(lap, dense, rng);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,144 @@
+#include "diffusion/heat_kernel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "diffusion/seed.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "linalg/dense_matrix.h"
+
+namespace impreg {
+namespace {
+
+TEST(HeatKernelTest, TimeZeroIsIdentity) {
+  const Graph g = CycleGraph(10);
+  Vector x(10, 0.0);
+  x[4] = 1.0;
+  HeatKernelOptions options;
+  options.t = 0.0;
+  const Vector out = HeatKernelNormalized(g, x, options);
+  EXPECT_LT(DistanceL2(out, x), 1e-12);
+}
+
+TEST(HeatKernelTest, MatchesDenseExponential) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(35, 0.2, rng);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  for (double t : {0.5, 3.0, 12.0}) {
+    Vector x(g.NumNodes());
+    for (double& v : x) v = rng.NextGaussian();
+    HeatKernelOptions options;
+    options.t = t;
+    const Vector got = HeatKernelNormalized(g, x, options);
+    const DenseMatrix expm = ApplySpectralFunction(
+        eigen, [&](double lam) { return std::exp(-t * lam); });
+    const Vector exact = expm.Apply(x);
+    EXPECT_LT(DistanceL2(got, exact), 1e-8 * (1.0 + Norm2(exact)));
+  }
+}
+
+TEST(HeatKernelTest, WalkPreservesProbabilityMass) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(40, 0.15, rng);
+  const Vector seed = SingleNodeSeed(g, 3);
+  HeatKernelOptions options;
+  options.t = 4.0;
+  const Vector rho = HeatKernelWalk(g, seed, options);
+  EXPECT_NEAR(Sum(rho), 1.0, 1e-10);
+  for (double v : rho) EXPECT_GE(v, -1e-12);
+}
+
+TEST(HeatKernelTest, WalkMatchesTaylorReference) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(30, 0.25, rng);
+  const Vector seed = SeedSetDistribution(g, {0, 5});
+  for (double t : {0.5, 2.0, 8.0}) {
+    HeatKernelOptions options;
+    options.t = t;
+    const Vector krylov = HeatKernelWalk(g, seed, options);
+    const Vector taylor = HeatKernelWalkTaylor(g, seed, t);
+    EXPECT_LT(DistanceL1(krylov, taylor), 1e-8) << "t = " << t;
+  }
+}
+
+TEST(HeatKernelTest, LargeTimeEquilibratesToStationary) {
+  Rng rng(4);
+  const Graph g = ErdosRenyi(30, 0.3, rng);
+  const Vector seed = SingleNodeSeed(g, 0);
+  HeatKernelOptions options;
+  options.t = 200.0;
+  options.krylov_dim = 80;
+  const Vector rho = HeatKernelWalk(g, seed, options);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_NEAR(rho[u], g.Degree(u) / g.TotalVolume(), 1e-6);
+  }
+}
+
+TEST(HeatKernelTest, SmallTimeStaysNearSeed) {
+  const Graph g = PathGraph(30);
+  const Vector seed = SingleNodeSeed(g, 15);
+  HeatKernelOptions options;
+  options.t = 0.1;
+  const Vector rho = HeatKernelWalk(g, seed, options);
+  EXPECT_GT(rho[15], 0.9);
+}
+
+TEST(HeatKernelTest, TraceIdentity) {
+  // Tr exp(−tℒ) = Σ exp(−tλᵢ): verified via the dense spectrum by
+  // applying the Krylov solver to each basis vector.
+  const Graph g = CavemanGraph(2, 5);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  const double t = 2.0;
+  double trace = 0.0;
+  for (int i = 0; i < g.NumNodes(); ++i) {
+    Vector e(g.NumNodes(), 0.0);
+    e[i] = 1.0;
+    HeatKernelOptions options;
+    options.t = t;
+    trace += HeatKernelNormalized(g, e, options)[i];
+  }
+  double expected = 0.0;
+  for (double lam : eigen.eigenvalues) expected += std::exp(-t * lam);
+  EXPECT_NEAR(trace, expected, 1e-8);
+}
+
+TEST(HeatKernelTest, IsolatedNodeMassIsFixed) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  Vector seed = {0.2, 0.0, 0.8};
+  HeatKernelOptions options;
+  options.t = 3.0;
+  const Vector rho = HeatKernelWalk(g, seed, options);
+  EXPECT_NEAR(rho[2], 0.8, 1e-12);
+  EXPECT_NEAR(Sum(rho), 1.0, 1e-10);
+}
+
+TEST(HeatKernelTest, TaylorHandlesTimeZero) {
+  const Graph g = PathGraph(4);
+  const Vector seed = SingleNodeSeed(g, 1);
+  const Vector rho = HeatKernelWalkTaylor(g, seed, 0.0);
+  EXPECT_LT(DistanceL1(rho, seed), 1e-12);
+}
+
+TEST(HeatKernelTest, MonotoneSpreadInTime) {
+  // The seed's own mass decays monotonically in t (for a vertex-
+  // transitive graph this is exact).
+  const Graph g = CycleGraph(20);
+  const Vector seed = SingleNodeSeed(g, 0);
+  double previous = 1.0;
+  for (double t : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    HeatKernelOptions options;
+    options.t = t;
+    const double self_mass = HeatKernelWalk(g, seed, options)[0];
+    EXPECT_LT(self_mass, previous + 1e-12);
+    previous = self_mass;
+  }
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,92 @@
+// Deterministic mini-fuzz of the text parsers: arbitrary byte soup and
+// structured-but-corrupted inputs must parse cleanly or return
+// std::nullopt — never crash, hang, or produce an invalid Graph.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+std::string RandomBytes(Rng& rng, int length) {
+  std::string out;
+  out.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  return out;
+}
+
+std::string RandomTokenSoup(Rng& rng, int tokens) {
+  static const char* kTokens[] = {"0",  "1",    "-1", "2.5", "#",
+                                  "%",  "nodes", "x",  "1e9", "999999",
+                                  "\n", " ",     "\t", "-",   "3 4"};
+  std::string out;
+  for (int i = 0; i < tokens; ++i) {
+    out += kTokens[rng.NextBounded(std::size(kTokens))];
+    out += rng.NextBernoulli(0.3) ? "\n" : " ";
+  }
+  return out;
+}
+
+void CheckParsedGraphIsValid(const std::optional<Graph>& g) {
+  if (!g.has_value()) return;
+  // Whatever parsed must be internally consistent.
+  double volume = 0.0;
+  for (NodeId u = 0; u < g->NumNodes(); ++u) {
+    for (const Arc& arc : g->Neighbors(u)) {
+      ASSERT_TRUE(g->IsValidNode(arc.head));
+      ASSERT_GT(arc.weight, 0.0);
+    }
+    volume += g->Degree(u);
+  }
+  EXPECT_NEAR(volume, g->TotalVolume(), 1e-9 * (1.0 + volume));
+}
+
+TEST(IoFuzzTest, EdgeListSurvivesRandomBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string junk = RandomBytes(rng, 1 + trial % 300);
+    CheckParsedGraphIsValid(ParseEdgeList(junk));
+  }
+}
+
+TEST(IoFuzzTest, EdgeListSurvivesTokenSoup) {
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    CheckParsedGraphIsValid(ParseEdgeList(RandomTokenSoup(rng, 1 + trial % 40)));
+  }
+}
+
+TEST(IoFuzzTest, MetisSurvivesRandomBytes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    CheckParsedGraphIsValid(ParseMetis(RandomBytes(rng, 1 + trial % 300)));
+  }
+}
+
+TEST(IoFuzzTest, MetisSurvivesTokenSoup) {
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    CheckParsedGraphIsValid(ParseMetis(RandomTokenSoup(rng, 1 + trial % 40)));
+  }
+}
+
+TEST(IoFuzzTest, CorruptedValidFilesRejectOrReparse) {
+  // Take a valid edge list and flip one character at every position;
+  // each variant must parse-or-reject, never crash.
+  const std::string valid = "# nodes 6\n0 1\n1 2 2.5\n3 4\n4 5 0.25\n";
+  Rng rng(5);
+  for (std::size_t pos = 0; pos < valid.size(); ++pos) {
+    std::string corrupted = valid;
+    corrupted[pos] = static_cast<char>('0' + rng.NextBounded(80));
+    CheckParsedGraphIsValid(ParseEdgeList(corrupted));
+  }
+}
+
+}  // namespace
+}  // namespace impreg

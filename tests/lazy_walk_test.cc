@@ -1,0 +1,113 @@
+#include "diffusion/lazy_walk.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/seed.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "linalg/dense_matrix.h"
+
+namespace impreg {
+namespace {
+
+TEST(LazyWalkTest, ZeroStepsReturnsSeed) {
+  const Graph g = PathGraph(5);
+  const Vector seed = SingleNodeSeed(g, 2);
+  LazyWalkOptions options;
+  options.steps = 0;
+  EXPECT_EQ(LazyWalk(g, seed, options), seed);
+}
+
+TEST(LazyWalkTest, PreservesMassAndNonnegativity) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(50, 0.12, rng);
+  const Vector seed = SingleNodeSeed(g, 7);
+  LazyWalkOptions options;
+  options.steps = 25;
+  const Vector out = LazyWalk(g, seed, options);
+  EXPECT_NEAR(Sum(out), 1.0, 1e-12);
+  for (double v : out) EXPECT_GE(v, 0.0);
+}
+
+TEST(LazyWalkTest, ConvergesToStationaryDistribution) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(30, 0.3, rng);
+  const Vector seed = SingleNodeSeed(g, 0);
+  LazyWalkOptions options;
+  options.steps = 2000;
+  const Vector out = LazyWalk(g, seed, options);
+  const Vector pi = StationaryDistribution(g);
+  EXPECT_LT(DistanceL1(out, pi), 1e-8);
+}
+
+TEST(LazyWalkTest, AlphaOneNeverMoves) {
+  const Graph g = CompleteGraph(6);
+  const Vector seed = SingleNodeSeed(g, 3);
+  LazyWalkOptions options;
+  options.alpha = 1.0;
+  options.steps = 10;
+  EXPECT_EQ(LazyWalk(g, seed, options), seed);
+}
+
+TEST(LazyWalkTest, OneStepMatchesManualComputation) {
+  const Graph g = PathGraph(3);  // 0-1-2.
+  const Vector seed = SingleNodeSeed(g, 1);
+  LazyWalkOptions options;
+  options.alpha = 0.5;
+  options.steps = 1;
+  const Vector out = LazyWalk(g, seed, options);
+  // Half stays, half splits evenly to the two neighbors.
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[2], 0.25);
+}
+
+TEST(LazyWalkTest, CallbackSeesEveryStep) {
+  const Graph g = CycleGraph(8);
+  int steps_seen = 0;
+  LazyWalkOptions options;
+  options.steps = 7;
+  options.on_step = [&](int step, const Vector& p) {
+    ++steps_seen;
+    EXPECT_EQ(step, steps_seen);
+    EXPECT_NEAR(Sum(p), 1.0, 1e-12);
+  };
+  LazyWalk(g, SingleNodeSeed(g, 0), options);
+  EXPECT_EQ(steps_seen, 7);
+}
+
+TEST(LazyWalkTest, HalfLazySpectrumIsNonnegative) {
+  // W_{1/2} = I − ℒ_rw/2 is similar to I − ℒ/2 with spectrum in [0, 1].
+  Rng rng(3);
+  const Graph g = ErdosRenyi(25, 0.25, rng);
+  const SymmetricEigen eigen =
+      SymmetricEigendecomposition(DenseNormalizedLaplacian(g));
+  for (double lam : eigen.eigenvalues) {
+    const double walk_eig = 1.0 - 0.5 * lam;
+    EXPECT_GE(walk_eig, -1e-12);
+    EXPECT_LE(walk_eig, 1.0 + 1e-12);
+  }
+}
+
+TEST(LazyWalkTest, StationaryDistributionSumsToOne) {
+  const Graph g = StarGraph(9);
+  const Vector pi = StationaryDistribution(g);
+  EXPECT_NEAR(Sum(pi), 1.0, 1e-14);
+  EXPECT_DOUBLE_EQ(pi[0], 0.5);  // Hub holds half the volume.
+}
+
+TEST(LazyWalkTest, SeedMassDecaysMonotonically) {
+  const Graph g = TorusGraph(5, 5);
+  const Vector seed = SingleNodeSeed(g, 12);
+  double prev = 1.0;
+  LazyWalkOptions options;
+  options.steps = 15;
+  options.on_step = [&](int, const Vector& p) {
+    EXPECT_LE(p[12], prev + 1e-12);
+    prev = p[12];
+  };
+  LazyWalk(g, seed, options);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,134 @@
+#include "flow/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/random_graphs.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(MaxFlowTest, SingleEdge) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 3.5);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 3.5);
+}
+
+TEST(MaxFlowTest, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 5.0);
+  net.AddEdge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 2.0);
+}
+
+TEST(MaxFlowTest, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 3.0);
+  net.AddEdge(1, 3, 3.0);
+  net.AddEdge(0, 2, 4.0);
+  net.AddEdge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 7.0);
+}
+
+TEST(MaxFlowTest, ClassicTextbookNetwork) {
+  // CLRS-style example.
+  FlowNetwork net(6);
+  net.AddEdge(0, 1, 16);
+  net.AddEdge(0, 2, 13);
+  net.AddEdge(1, 2, 10);
+  net.AddEdge(2, 1, 4);
+  net.AddEdge(1, 3, 12);
+  net.AddEdge(3, 2, 9);
+  net.AddEdge(2, 4, 14);
+  net.AddEdge(4, 3, 7);
+  net.AddEdge(3, 5, 20);
+  net.AddEdge(4, 5, 4);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 5), 23.0);
+}
+
+TEST(MaxFlowTest, DisconnectedSinkHasZeroFlow) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 10.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 3), 0.0);
+  const std::vector<char> side = net.MinCutSourceSide();
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceAndSink) {
+  Rng rng(1);
+  FlowNetwork net(20);
+  for (int i = 0; i < 60; ++i) {
+    const int u = static_cast<int>(rng.NextBounded(20));
+    const int v = static_cast<int>(rng.NextBounded(20));
+    if (u != v) net.AddEdge(u, v, rng.NextDouble(0.1, 2.0));
+  }
+  net.MaxFlow(0, 19);
+  const std::vector<char> side = net.MinCutSourceSide();
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[19]);
+}
+
+TEST(MaxFlowTest, MinCutCapacityEqualsFlowValue) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlowNetwork net(12);
+    struct E {
+      int u, v;
+      double cap;
+    };
+    std::vector<E> edges;
+    for (int i = 0; i < 40; ++i) {
+      const int u = static_cast<int>(rng.NextBounded(12));
+      const int v = static_cast<int>(rng.NextBounded(12));
+      if (u == v) continue;
+      const double cap = rng.NextDouble(0.5, 3.0);
+      net.AddEdge(u, v, cap);
+      edges.push_back({u, v, cap});
+    }
+    const double flow = net.MaxFlow(0, 11);
+    const std::vector<char> side = net.MinCutSourceSide();
+    double cut = 0.0;
+    for (const E& e : edges) {
+      if (side[e.u] && !side[e.v]) cut += e.cap;
+    }
+    EXPECT_NEAR(flow, cut, 1e-9);
+  }
+}
+
+TEST(MaxFlowTest, UndirectedEdgesViaReverseCapacity) {
+  FlowNetwork net(3);
+  net.AddEdge(0, 1, 2.0, 2.0);
+  net.AddEdge(1, 2, 2.0, 2.0);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 2), 2.0);
+  net.Reset();
+  EXPECT_DOUBLE_EQ(net.MaxFlow(2, 0), 2.0);  // Symmetric after reset.
+}
+
+TEST(MaxFlowTest, ResetRestoresCapacities) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 1.5);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 0.0);  // Saturated.
+  net.Reset();
+  EXPECT_DOUBLE_EQ(net.MaxFlow(0, 1), 1.5);
+}
+
+TEST(MaxFlowTest, MinCutBeforeMaxFlowDies) {
+  FlowNetwork net(2);
+  net.AddEdge(0, 1, 1.0);
+  EXPECT_DEATH(net.MinCutSourceSide(), "MaxFlow first");
+}
+
+TEST(MaxFlowTest, FractionalCapacities) {
+  FlowNetwork net(4);
+  net.AddEdge(0, 1, 0.3);
+  net.AddEdge(0, 2, 0.7);
+  net.AddEdge(1, 3, 1.0);
+  net.AddEdge(2, 3, 0.25);
+  EXPECT_NEAR(net.MaxFlow(0, 3), 0.55, 1e-12);
+}
+
+}  // namespace
+}  // namespace impreg

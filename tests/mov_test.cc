@@ -1,0 +1,106 @@
+#include "partition/mov.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "graph/social.h"
+#include "partition/spectral.h"
+
+namespace impreg {
+namespace {
+
+TEST(MovTest, RayleighNeverBeatsLambda2) {
+  // Problem (8) adds a constraint, so its optimum is ≥ λ₂.
+  const Graph g = CavemanGraph(3, 6);
+  const SpectralPartitionResult global = SpectralPartition(g);
+  const MovResult mov = MovSolveAtSigma(g, {0, 1}, global.lambda2 * 0.5);
+  EXPECT_GE(mov.rayleigh, global.lambda2 - 1e-9);
+}
+
+TEST(MovTest, VeryNegativeSigmaConcentratesOnSeed) {
+  const Graph g = GridGraph(6, 6);
+  const std::vector<NodeId> seed = {0};
+  const MovResult mov = MovSolveAtSigma(g, seed, -50.0);
+  // x ≈ seed direction: correlation close to its maximum.
+  EXPECT_GT(mov.correlation_sq, 0.8);
+}
+
+TEST(MovTest, SigmaNearLambda2ApproachesGlobalEigenvector) {
+  const Graph g = CavemanGraph(2, 8);  // Big spectral gap.
+  const SpectralPartitionResult global = SpectralPartition(g);
+  const MovResult mov =
+      MovSolveAtSigma(g, {0}, global.lambda2 * (1.0 - 1e-7));
+  EXPECT_LT(DistanceUpToSign(mov.x, global.v2), 1e-2);
+}
+
+TEST(MovTest, CorrelationMonotoneInSigma) {
+  const Graph g = GridGraph(5, 8);
+  const std::vector<NodeId> seed = {0, 1, 8};
+  const SpectralPartitionResult global = SpectralPartition(g);
+  double previous = 2.0;
+  for (double frac : {-8.0, -2.0, 0.2, 0.8, 0.99}) {
+    const double sigma = frac * global.lambda2;
+    const MovResult mov = MovSolveAtSigma(g, seed, sigma);
+    EXPECT_LE(mov.correlation_sq, previous + 1e-9)
+        << "sigma = " << sigma;
+    previous = mov.correlation_sq;
+  }
+}
+
+TEST(MovTest, BinarySearchHitsCorrelationTarget) {
+  const Graph g = GridGraph(6, 7);
+  const SpectralPartitionResult global = SpectralPartition(g);
+  const std::vector<NodeId> seed = {0, 1, 7};
+  const double kappa = 0.5;
+  const MovResult mov =
+      MovSolveForCorrelation(g, seed, kappa, global.lambda2);
+  EXPECT_GE(mov.correlation_sq, kappa - 1e-3);
+  // And it should not be wildly more local than necessary.
+  EXPECT_LT(mov.correlation_sq, 0.95);
+}
+
+TEST(MovTest, FindsSeededCommunity) {
+  Rng rng(1);
+  SocialGraphParams params;
+  params.core_nodes = 1500;
+  params.num_communities = 3;
+  params.min_community_size = 40;
+  params.max_community_size = 60;
+  params.num_whiskers = 8;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  const auto& community = sg.communities[0];
+  const std::vector<NodeId> seed(community.begin(), community.begin() + 5);
+  const MovResult mov = MovSolveAtSigma(sg.graph, seed, -0.5);
+  ASSERT_FALSE(mov.set.empty());
+  // The sweep of the locally-biased vector recovers a low-conductance
+  // set near the seed.
+  EXPECT_LT(mov.stats.conductance, 0.5);
+}
+
+TEST(MovTest, LocalizedSolutionIsMoreConcentratedThanGlobal) {
+  // Participation-ratio style check: the local solution has more mass
+  // near the seed than v₂ does.
+  const Graph g = GridGraph(8, 8);
+  const SpectralPartitionResult global = SpectralPartition(g);
+  const std::vector<NodeId> seed = {0};
+  const MovResult local = MovSolveAtSigma(g, seed, -5.0);
+  auto mass_near_seed = [&](const Vector& x) {
+    double total = 0.0;
+    for (NodeId u : {0, 1, 8, 9}) total += x[u] * x[u];
+    return total;
+  };
+  EXPECT_GT(mass_near_seed(local.x), mass_near_seed(global.v2));
+}
+
+TEST(MovTest, SeedParallelToTrivialDies) {
+  // Using ALL nodes as the seed makes s_hat ∝ D^{1/2}1.
+  const Graph g = CompleteGraph(5);
+  const std::vector<NodeId> seed = {0, 1, 2, 3, 4};
+  EXPECT_DEATH(MovSolveAtSigma(g, seed, -1.0), "parallel");
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,115 @@
+#include "flow/mqi.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "graph/social.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(MqiTest, NeverWorsensConductance) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(60, 0.1, rng);
+  Rng pick(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int k = 5 + static_cast<int>(pick.NextBounded(25));
+    std::vector<int> sample = pick.SampleWithoutReplacement(60, k);
+    std::vector<NodeId> set(sample.begin(), sample.end());
+    const double before = Conductance(g, set);
+    const MqiResult result = Mqi(g, set);
+    EXPECT_LE(result.stats.conductance, before + 1e-9);
+  }
+}
+
+TEST(MqiTest, ResultIsSubsetOfInput) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(50, 0.15, rng);
+  std::vector<NodeId> set;
+  for (NodeId u = 0; u < 20; ++u) set.push_back(u);
+  const MqiResult result = Mqi(g, set);
+  std::vector<char> in_input(g.NumNodes(), 0);
+  for (NodeId u : set) in_input[u] = 1;
+  for (NodeId u : result.set) EXPECT_TRUE(in_input[u]);
+  EXPECT_FALSE(result.set.empty());
+}
+
+TEST(MqiTest, ExtractsWhiskerFromSloppySet) {
+  // A lollipop's tail is the ideal low-conductance subset of a sloppy
+  // half that contains it.
+  const Graph g = LollipopGraph(20, 10);
+  std::vector<NodeId> sloppy;
+  // Tail nodes (20..29) plus a few clique nodes.
+  for (NodeId u = 20; u < 30; ++u) sloppy.push_back(u);
+  sloppy.push_back(1);
+  sloppy.push_back(2);
+  sloppy.push_back(3);
+  const MqiResult result = Mqi(g, sloppy);
+  // The improved set should be (close to) the pure tail: cut 1.
+  EXPECT_DOUBLE_EQ(result.stats.cut, 1.0);
+  EXPECT_LE(result.stats.conductance, Conductance(g, sloppy));
+  EXPECT_TRUE(result.certified_optimal);
+}
+
+TEST(MqiTest, CertifiesOptimalityOnCliqueHalf) {
+  // Half of a complete graph cannot be improved by any subset.
+  const Graph g = CompleteGraph(10);
+  std::vector<NodeId> half = {0, 1, 2, 3, 4};
+  const MqiResult result = Mqi(g, half);
+  EXPECT_TRUE(result.certified_optimal);
+  EXPECT_EQ(result.set.size(), 5u);
+}
+
+TEST(MqiTest, LargerVolumeSideIsComplemented) {
+  const Graph g = DumbbellGraph(6, 0);
+  // Pass the big side; MQI should work on the complement (small side)
+  // and still return a low-conductance set.
+  std::vector<NodeId> big;
+  for (NodeId u = 0; u < 7; ++u) big.push_back(u);  // 7 of 12 nodes.
+  const MqiResult result = Mqi(g, big);
+  EXPECT_LE(result.stats.volume, result.stats.complement_volume);
+  EXPECT_LE(result.stats.conductance, 1.0);
+}
+
+TEST(MqiTest, DisconnectedSetIsAlreadyOptimal) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  const Graph g = builder.Build();
+  const MqiResult result = Mqi(g, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(result.stats.conductance, 0.0);
+  EXPECT_TRUE(result.certified_optimal);
+}
+
+TEST(MqiTest, ImprovesMultilevelStyleBisectionOnSocialGraph) {
+  Rng rng(5);
+  SocialGraphParams params;
+  params.core_nodes = 1200;
+  params.num_communities = 4;
+  params.num_whiskers = 25;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  // A sloppy "half": nodes 0..n/2.
+  std::vector<NodeId> half;
+  for (NodeId u = 0; u < sg.graph.NumNodes() / 2; ++u) half.push_back(u);
+  const double before = Conductance(sg.graph, half);
+  const MqiResult result = Mqi(sg.graph, half);
+  EXPECT_LT(result.stats.conductance, before);
+  // On whiskered graphs MQI typically drills down to a whisker-grade
+  // cut: conductance far below the sloppy half's.
+  EXPECT_LT(result.stats.conductance, 0.5 * before);
+}
+
+TEST(MqiTest, SingleNodeSetIsStable) {
+  const Graph g = StarGraph(6);
+  const MqiResult result = Mqi(g, {3});
+  EXPECT_EQ(result.set, (std::vector<NodeId>{3}));
+}
+
+}  // namespace
+}  // namespace impreg

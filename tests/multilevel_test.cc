@@ -1,0 +1,111 @@
+#include "flow/multilevel.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "graph/social.h"
+
+namespace impreg {
+namespace {
+
+TEST(MultilevelTest, BalancedBisectionOfGrid) {
+  const Graph g = GridGraph(16, 16);
+  const MultilevelResult result = MultilevelBisection(g);
+  // Balance within tolerance.
+  EXPECT_NEAR(result.set.size(), 128u, 26);
+  // A good grid bisection cuts ~16 edges; allow generous slack but far
+  // below a random half (~256 crossing edges).
+  EXPECT_LT(result.cut, 64.0);
+}
+
+TEST(MultilevelTest, RecoversPlantedBisection) {
+  Rng rng(1);
+  const Graph g = PlantedPartition(2, 100, 0.3, 0.01, rng);
+  const MultilevelResult result = MultilevelBisection(g);
+  // Count how many of the first block ended up together.
+  int first_block_in_set = 0;
+  for (NodeId u : result.set) {
+    if (u < 100) ++first_block_in_set;
+  }
+  const int majority = std::max(first_block_in_set,
+                                static_cast<int>(result.set.size()) -
+                                    first_block_in_set);
+  // The set should be (almost) one block.
+  EXPECT_GT(majority, 90);
+  const double expected_cross = 100.0 * 100.0 * 0.01;
+  EXPECT_LT(result.cut, 3.0 * expected_cross);
+}
+
+TEST(MultilevelTest, TargetFractionControlsSize) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(400, 0.03, rng);
+  for (double frac : {0.1, 0.25, 0.5}) {
+    MultilevelOptions options;
+    options.target_fraction = frac;
+    const MultilevelResult result = MultilevelBisection(g, options);
+    const double achieved =
+        static_cast<double>(result.set.size()) / g.NumNodes();
+    EXPECT_NEAR(achieved, frac, 0.35 * frac + 0.02) << "frac " << frac;
+  }
+}
+
+TEST(MultilevelTest, CutBeatsRandomHalf) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(300, 0.05, rng);
+  const MultilevelResult result = MultilevelBisection(g);
+  // A random half crosses ~m/2 edges.
+  EXPECT_LT(result.cut, 0.5 * static_cast<double>(g.NumEdges()));
+}
+
+TEST(MultilevelTest, SeparatesDumbbellExactly) {
+  const Graph g = DumbbellGraph(20, 0);
+  const MultilevelResult result = MultilevelBisection(g);
+  EXPECT_DOUBLE_EQ(result.cut, 1.0);
+  EXPECT_EQ(result.set.size(), 20u);
+}
+
+TEST(MultilevelTest, TinyGraphsDoNotDegenerate) {
+  const Graph g = PathGraph(2);
+  const MultilevelResult result = MultilevelBisection(g);
+  EXPECT_EQ(result.set.size(), 1u);
+  const Graph g4 = CycleGraph(4);
+  const MultilevelResult r4 = MultilevelBisection(g4);
+  EXPECT_GE(r4.set.size(), 1u);
+  EXPECT_LE(r4.set.size(), 3u);
+}
+
+TEST(MultilevelTest, UsesMultipleLevelsOnLargeGraphs) {
+  Rng rng(4);
+  const Graph g = ErdosRenyi(2000, 0.005, rng);
+  const MultilevelResult result = MultilevelBisection(g);
+  EXPECT_GT(result.levels, 3);
+}
+
+TEST(MultilevelTest, DeterministicGivenSeed) {
+  Rng rng(5);
+  const Graph g = ErdosRenyi(300, 0.04, rng);
+  const MultilevelResult a = MultilevelBisection(g);
+  const MultilevelResult b = MultilevelBisection(g);
+  EXPECT_EQ(a.set, b.set);
+}
+
+TEST(MultilevelTest, SmallFractionOnSocialGraphFindsSmallSet) {
+  Rng rng(6);
+  SocialGraphParams params;
+  params.core_nodes = 1500;
+  params.num_communities = 5;
+  params.num_whiskers = 30;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  MultilevelOptions options;
+  options.target_fraction = 0.05;
+  const MultilevelResult result = MultilevelBisection(sg.graph, options);
+  EXPECT_LT(result.set.size(),
+            static_cast<std::size_t>(sg.graph.NumNodes() / 5));
+  EXPECT_GE(result.set.size(), 10u);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,142 @@
+#include "ncp/ncp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/social.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+// A small but structurally faithful social graph shared by the tests.
+const SocialGraph& TestGraph() {
+  static const SocialGraph* graph = [] {
+    Rng rng(42);
+    SocialGraphParams params;
+    params.core_nodes = 1200;
+    params.num_communities = 6;
+    params.min_community_size = 16;
+    params.max_community_size = 64;
+    params.num_whiskers = 40;
+    return new SocialGraph(MakeWhiskeredSocialGraph(params, rng));
+  }();
+  return *graph;
+}
+
+SpectralFamilyOptions FastSpectralOptions() {
+  SpectralFamilyOptions options;
+  options.num_seeds = 6;
+  options.alphas = {0.1, 0.02};
+  options.epsilons = {1e-3, 1e-4, 1e-5};
+  return options;
+}
+
+TEST(NcpTest, SpectralFamilyProducesValidClusters) {
+  const auto clusters =
+      SpectralFamilyClusters(TestGraph().graph, FastSpectralOptions());
+  ASSERT_FALSE(clusters.empty());
+  for (const NcpCluster& c : clusters) {
+    EXPECT_FALSE(c.nodes.empty());
+    EXPECT_GE(c.stats.conductance, 0.0);
+    EXPECT_LE(c.stats.conductance, 1.0);
+    EXPECT_EQ(c.method, "LocalSpectral(push)");
+    EXPECT_EQ(static_cast<std::int64_t>(c.nodes.size()), c.stats.size);
+  }
+}
+
+TEST(NcpTest, FlowFamilyProducesValidClusters) {
+  const auto clusters = FlowFamilyClusters(TestGraph().graph);
+  ASSERT_FALSE(clusters.empty());
+  bool saw_mqi = false;
+  for (const NcpCluster& c : clusters) {
+    EXPECT_FALSE(c.nodes.empty());
+    EXPECT_GE(c.stats.conductance, 0.0);
+    EXPECT_LE(c.stats.conductance, 1.0);
+    if (c.method == "Metis+MQI") saw_mqi = true;
+  }
+  EXPECT_TRUE(saw_mqi);
+}
+
+TEST(NcpTest, MqiClustersDominateRawBisections) {
+  const auto clusters = FlowFamilyClusters(TestGraph().graph);
+  // For each consecutive (Metis-like, Metis+MQI) pair the MQI result
+  // must be at least as good.
+  for (std::size_t i = 0; i + 1 < clusters.size(); ++i) {
+    if (clusters[i].method == "Metis-like" &&
+        clusters[i + 1].method == "Metis+MQI") {
+      EXPECT_LE(clusters[i + 1].stats.conductance,
+                clusters[i].stats.conductance + 1e-9);
+    }
+  }
+}
+
+TEST(NcpTest, BestPerSizeBinKeepsMinimumConductance) {
+  std::vector<NcpCluster> clusters(3);
+  clusters[0].stats.size = 10;
+  clusters[0].stats.conductance = 0.5;
+  clusters[1].stats.size = 11;
+  clusters[1].stats.conductance = 0.2;
+  clusters[2].stats.size = 1000;
+  clusters[2].stats.conductance = 0.9;
+  const auto profile = BestPerSizeBin(clusters, 5, 2000);
+  ASSERT_EQ(profile.size(), 2u);  // Two occupied bins.
+  EXPECT_DOUBLE_EQ(profile[0].conductance, 0.2);
+  EXPECT_EQ(profile[1].size, 1000);
+}
+
+TEST(NcpTest, BestPerSizeBinIgnoresOversized) {
+  std::vector<NcpCluster> clusters(1);
+  clusters[0].stats.size = 5000;
+  clusters[0].stats.conductance = 0.1;
+  EXPECT_TRUE(BestPerSizeBin(clusters, 4, 100).empty());
+}
+
+
+TEST(NcpTest, FlowFamilyIncludesWhiskerClusters) {
+  const auto clusters = FlowFamilyClusters(TestGraph().graph);
+  bool saw_whisker = false, saw_bag = false;
+  for (const NcpCluster& c : clusters) {
+    if (c.method == "whisker") {
+      saw_whisker = true;
+      // Every whisker cluster is detached by a single bridge.
+      EXPECT_DOUBLE_EQ(c.stats.cut, 1.0);
+    }
+    if (c.method == "bag-of-whiskers") {
+      saw_bag = true;
+      // A bag of k whiskers cuts exactly k bridges.
+      EXPECT_GE(c.stats.cut, 2.0);
+    }
+  }
+  EXPECT_TRUE(saw_whisker);
+  EXPECT_TRUE(saw_bag);
+}
+
+TEST(NcpTest, WhiskersCanBeDisabled) {
+  FlowFamilyOptions options;
+  options.include_whiskers = false;
+  const auto clusters = FlowFamilyClusters(TestGraph().graph, options);
+  for (const NcpCluster& c : clusters) {
+    EXPECT_NE(c.method, "whisker");
+    EXPECT_NE(c.method, "bag-of-whiskers");
+  }
+}
+
+TEST(NcpTest, Figure1Shape_FlowWinsOnConductance) {
+  // The headline qualitative claim of Figure 1(a): at comparable sizes,
+  // the flow family's best conductance beats the spectral family's on
+  // whiskered social graphs. Compare family-wide minima (robust).
+  const auto spectral =
+      SpectralFamilyClusters(TestGraph().graph, FastSpectralOptions());
+  const auto flow = FlowFamilyClusters(TestGraph().graph);
+  double best_spectral = 1.0, best_flow = 1.0;
+  for (const auto& c : spectral) {
+    best_spectral = std::min(best_spectral, c.stats.conductance);
+  }
+  for (const auto& c : flow) {
+    best_flow = std::min(best_flow, c.stats.conductance);
+  }
+  EXPECT_LE(best_flow, best_spectral + 1e-9);
+}
+
+}  // namespace
+}  // namespace impreg

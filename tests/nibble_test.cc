@@ -1,0 +1,115 @@
+#include "partition/nibble.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/lazy_walk.h"
+#include "diffusion/seed.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "graph/social.h"
+
+namespace impreg {
+namespace {
+
+TEST(NibbleTest, FindsCliqueInCaveman) {
+  const Graph g = CavemanGraph(4, 8);
+  NibbleOptions options;
+  options.steps = 30;
+  options.epsilon = 1e-4;
+  const NibbleResult result = Nibble(g, 0, options);
+  ASSERT_FALSE(result.set.empty());
+  // The best cuts around a clique seed are unions of whole cliques
+  // (cut = 2 bridges); with 4 cliques the walk may return one or two.
+  EXPECT_LE(result.stats.conductance, 0.05);
+  EXPECT_GE(result.set.size(), 6u);
+  EXPECT_LE(result.set.size(), 18u);
+  EXPECT_DOUBLE_EQ(result.stats.cut, 2.0);
+}
+
+TEST(NibbleTest, TruncationLosesBoundedMass) {
+  Rng rng(1);
+  const Graph g = ErdosRenyi(200, 0.04, rng);
+  NibbleOptions options;
+  options.steps = 20;
+  options.epsilon = 1e-4;
+  const NibbleResult result = Nibble(g, 0, options);
+  // Per-step loss ≤ ε·vol(support); total stays well below 1.
+  EXPECT_LT(result.truncated_mass, 0.8);
+  EXPECT_GE(result.truncated_mass, 0.0);
+  // Remaining mass + truncated mass = 1.
+  EXPECT_NEAR(Sum(result.distribution) + result.truncated_mass, 1.0, 1e-9);
+}
+
+TEST(NibbleTest, ZeroTruncationMatchesExactLazyWalk) {
+  const Graph g = CavemanGraph(2, 6);
+  NibbleOptions options;
+  options.steps = 7;
+  options.epsilon = 0.0;  // No truncation.
+  const NibbleResult result = Nibble(g, 3, options);
+  LazyWalkOptions walk;
+  walk.steps = 7;
+  const Vector exact = LazyWalk(g, SingleNodeSeed(g, 3), walk);
+  EXPECT_LT(DistanceL1(result.distribution, exact), 1e-10);
+  EXPECT_DOUBLE_EQ(result.truncated_mass, 0.0);
+}
+
+TEST(NibbleTest, SupportStaysLocalOnBigGraph) {
+  Rng rng(2);
+  SocialGraphParams params;
+  params.core_nodes = 6000;
+  params.num_communities = 4;
+  params.num_whiskers = 20;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  NibbleOptions options;
+  options.steps = 15;
+  options.epsilon = 1e-3;
+  const NibbleResult result =
+      Nibble(sg.graph, sg.communities[0][0], options);
+  std::int64_t support = 0;
+  for (double v : result.distribution) {
+    if (v > 0.0) ++support;
+  }
+  EXPECT_LT(support, sg.graph.NumNodes() / 8);
+}
+
+TEST(NibbleTest, BestStepIsRecorded) {
+  const Graph g = CavemanGraph(3, 7);
+  NibbleOptions options;
+  options.steps = 12;
+  const NibbleResult result = Nibble(g, 0, options);
+  EXPECT_GE(result.best_step, 1);
+  EXPECT_LE(result.best_step, 12);
+}
+
+TEST(NibbleTest, AggressiveTruncationKillsEverything) {
+  const Graph g = CycleGraph(20);
+  NibbleOptions options;
+  options.steps = 10;
+  options.epsilon = 10.0;  // Everything below ε·d dies immediately.
+  const NibbleResult result = Nibble(g, 0, options);
+  EXPECT_DOUBLE_EQ(Sum(result.distribution), 0.0);
+  EXPECT_NEAR(result.truncated_mass, 1.0, 1e-12);
+  EXPECT_TRUE(result.set.empty());
+}
+
+TEST(NibbleTest, VolumeCapRespectedBySweep) {
+  const Graph g = CavemanGraph(3, 8);
+  NibbleOptions options;
+  options.steps = 20;
+  options.max_volume = 30.0;
+  const NibbleResult result = Nibble(g, 0, options);
+  if (!result.set.empty()) {
+    EXPECT_LE(result.stats.volume, 30.0);
+  }
+}
+
+TEST(NibbleTest, DistributionSeedVariant) {
+  const Graph g = CavemanGraph(2, 8);
+  const NibbleResult result = NibbleFromDistribution(
+      g, SeedSetDistribution(g, {0, 1, 2}), NibbleOptions{});
+  EXPECT_FALSE(result.set.empty());
+  EXPECT_LT(result.stats.conductance, 0.2);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,102 @@
+#include "ncp/niceness.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+
+namespace impreg {
+namespace {
+
+TEST(NicenessTest, CliqueClusterIsMaximallyNice) {
+  const Graph g = DumbbellGraph(8, 0);
+  std::vector<NodeId> clique;
+  for (NodeId u = 0; u < 8; ++u) clique.push_back(u);
+  const NicenessReport report = ComputeNiceness(g, clique);
+  EXPECT_DOUBLE_EQ(report.avg_shortest_path, 1.0);
+  EXPECT_TRUE(report.connected);
+  EXPECT_DOUBLE_EQ(report.density, 1.0);
+  EXPECT_EQ(report.diameter, 1);
+  EXPECT_LT(report.external_conductance, 0.05);
+  // Internal conductance of a clique is high (≈ 0.5 for even split).
+  EXPECT_GT(report.internal_conductance, 0.4);
+  EXPECT_LT(report.conductance_ratio, 0.1);
+}
+
+TEST(NicenessTest, PathClusterIsStringyNotNice) {
+  const Graph g = LollipopGraph(10, 12);
+  std::vector<NodeId> tail;
+  for (NodeId u = 10; u < 22; ++u) tail.push_back(u);
+  const NicenessReport report = ComputeNiceness(g, tail);
+  EXPECT_TRUE(report.connected);
+  // A path of 12 nodes: long average distance, low internal
+  // conductance.
+  EXPECT_GT(report.avg_shortest_path, 3.0);
+  EXPECT_LT(report.internal_conductance, 0.3);
+  EXPECT_EQ(report.diameter, 11);
+  // External conductance is tiny (one attachment edge), but the ratio
+  // is penalized by the weak interior.
+  EXPECT_LT(report.external_conductance, 0.1);
+}
+
+TEST(NicenessTest, DisconnectedClusterIsPenalized) {
+  const Graph g = PathGraph(10);
+  const NicenessReport report = ComputeNiceness(g, {0, 1, 8, 9});
+  EXPECT_FALSE(report.connected);
+  EXPECT_DOUBLE_EQ(report.internal_conductance, 0.0);
+  EXPECT_GE(report.conductance_ratio, 1e8);
+}
+
+TEST(NicenessTest, SingletonCluster) {
+  const Graph g = StarGraph(5);
+  const NicenessReport report = ComputeNiceness(g, {1});
+  EXPECT_DOUBLE_EQ(report.internal_conductance, 1.0);
+  EXPECT_DOUBLE_EQ(report.avg_shortest_path, 0.0);
+  EXPECT_EQ(report.diameter, 0);
+  EXPECT_TRUE(report.connected);
+}
+
+TEST(NicenessTest, TwoNodeEdgeCluster) {
+  const Graph g = PathGraph(4);
+  const NicenessReport report = ComputeNiceness(g, {1, 2});
+  EXPECT_TRUE(report.connected);
+  EXPECT_DOUBLE_EQ(report.internal_conductance, 1.0);
+  EXPECT_DOUBLE_EQ(report.avg_shortest_path, 1.0);
+}
+
+TEST(NicenessTest, RatioComparesCompactVsStringyAtSimilarConductance) {
+  // The Figure-1 mechanism in miniature: a clique community and a
+  // whisker path with the SAME external cut; the clique must score
+  // "nicer" on both measures.
+  // Sizing: the whisker path has *larger volume* than the clique so it
+  // wins on conductance (both cut exactly one edge), while the clique
+  // is far more cohesive. Core K8 (vol 56), clique K6 (vol 31 with the
+  // attachment), whisker path of 20 nodes (vol 39).
+  GraphBuilder builder(34);
+  for (NodeId i = 0; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) builder.AddEdge(i, j);
+  }
+  // Clique cluster: nodes 8..13, complete, one edge to core.
+  for (NodeId i = 8; i < 14; ++i) {
+    for (NodeId j = i + 1; j < 14; ++j) builder.AddEdge(i, j);
+  }
+  builder.AddEdge(8, 0);
+  // Whisker path: nodes 14..33, one edge to core.
+  builder.AddEdge(14, 1);
+  for (NodeId i = 14; i < 33; ++i) builder.AddEdge(i, i + 1);
+  const Graph g = builder.Build();
+
+  std::vector<NodeId> clique, whisker;
+  for (NodeId u = 8; u < 14; ++u) clique.push_back(u);
+  for (NodeId u = 14; u < 34; ++u) whisker.push_back(u);
+  const NicenessReport nice_clique = ComputeNiceness(g, clique);
+  const NicenessReport nice_whisker = ComputeNiceness(g, whisker);
+  EXPECT_LT(nice_clique.avg_shortest_path, nice_whisker.avg_shortest_path);
+  EXPECT_LT(nice_clique.conductance_ratio, nice_whisker.conductance_ratio);
+  // While the whisker actually has the better (lower) conductance.
+  EXPECT_LT(nice_whisker.external_conductance,
+            nice_clique.external_conductance);
+}
+
+}  // namespace
+}  // namespace impreg

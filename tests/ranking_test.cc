@@ -1,0 +1,142 @@
+#include "ranking/centrality.h"
+#include "ranking/compare.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+
+namespace impreg {
+namespace {
+
+TEST(EigenvectorCentralityTest, StarConcentratesOnHub) {
+  const Graph g = StarGraph(9);
+  const Vector c = EigenvectorCentrality(g);
+  for (NodeId u = 1; u < 9; ++u) EXPECT_GT(c[0], c[u]);
+  // Star Perron vector: hub = sqrt(n-1) × leaf.
+  EXPECT_NEAR(c[0] / c[1], std::sqrt(8.0), 1e-6);
+  EXPECT_NEAR(Sum(c), 1.0, 1e-12);
+}
+
+TEST(EigenvectorCentralityTest, RegularGraphIsUniform) {
+  const Graph g = CycleGraph(11);
+  const Vector c = EigenvectorCentrality(g);
+  for (NodeId u = 0; u < 11; ++u) EXPECT_NEAR(c[u], 1.0 / 11.0, 1e-8);
+}
+
+TEST(SpectralRadiusTest, KnownValues) {
+  EXPECT_NEAR(AdjacencySpectralRadius(CompleteGraph(7)), 6.0, 1e-8);
+  EXPECT_NEAR(AdjacencySpectralRadius(CycleGraph(10)), 2.0, 1e-6);
+  EXPECT_NEAR(AdjacencySpectralRadius(StarGraph(17)), 4.0, 1e-8);
+}
+
+TEST(KatzTest, SmallBetaApproachesDegreeRanking) {
+  Rng rng(1);
+  const Graph g = BarabasiAlbert(300, 3, rng);
+  const double radius = AdjacencySpectralRadius(g);
+  const Vector katz = KatzCentrality(g, 0.01 / radius);
+  const Vector degree = DegreeCentrality(g);
+  // τ-a penalizes the (many) degree ties of a BA graph, so the global
+  // correlation is checked loosely and the (tie-free) hub ranking
+  // strictly.
+  EXPECT_GT(KendallTau(katz, degree), 0.75);
+  EXPECT_GE(TopKOverlap(katz, degree, 20), 0.9);
+}
+
+TEST(KatzTest, LargeBetaApproachesEigenvectorCentrality) {
+  Rng rng(2);
+  const Graph g = BarabasiAlbert(300, 3, rng);
+  const double radius = AdjacencySpectralRadius(g);
+  const Vector katz = KatzCentrality(g, 0.95 / radius);
+  const Vector eig = EigenvectorCentrality(g);
+  EXPECT_GT(KendallTau(katz, eig), 0.95);
+}
+
+TEST(KatzTest, MonotonePathBetweenTheEnds) {
+  // The regularization path: Kendall correlation with eigenvector
+  // centrality increases with beta.
+  Rng rng(3);
+  const Graph g = BarabasiAlbert(200, 2, rng);
+  const double radius = AdjacencySpectralRadius(g);
+  const Vector eig = EigenvectorCentrality(g);
+  double previous = -1.0;
+  for (double frac : {0.05, 0.3, 0.6, 0.9}) {
+    const double tau = KendallTau(KatzCentrality(g, frac / radius), eig);
+    EXPECT_GE(tau, previous - 0.02) << "frac " << frac;
+    previous = tau;
+  }
+}
+
+TEST(KatzTest, DivergentBetaDies) {
+  const Graph g = CompleteGraph(6);  // λ_max = 5.
+  EXPECT_DEATH(KatzCentrality(g, 0.5), "diverges|converge");
+}
+
+TEST(DegreeCentralityTest, SumsToOne) {
+  const Graph g = StarGraph(5);
+  const Vector c = DegreeCentrality(g);
+  EXPECT_NEAR(Sum(c), 1.0, 1e-14);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+}
+
+TEST(RanksOfTest, DescendingWithIndexTieBreak) {
+  const std::vector<int> ranks = RanksOf({0.5, 0.9, 0.5, 0.1});
+  EXPECT_EQ(ranks[1], 0);
+  EXPECT_EQ(ranks[0], 1);  // Tie with item 2, lower index wins.
+  EXPECT_EQ(ranks[2], 2);
+  EXPECT_EQ(ranks[3], 3);
+}
+
+TEST(KendallTauTest, PerfectAgreementAndReversal) {
+  const Vector a = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(KendallTau(a, a), 1.0);
+  const Vector reversed = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(KendallTau(a, reversed), -1.0);
+}
+
+TEST(KendallTauTest, KnownPartialAgreement) {
+  // Permutation (0,1,2,3)→(1,0,2,3) has 1 inversion of 6 pairs:
+  // tau = 1 − 2/6 = 2/3.
+  const Vector a = {4.0, 3.0, 2.0, 1.0};
+  const Vector b = {3.0, 4.0, 2.0, 1.0};
+  EXPECT_NEAR(KendallTau(a, b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(30));
+    Vector a(n), b(n);
+    for (double& v : a) v = rng.NextDouble();
+    for (double& v : b) v = rng.NextDouble();
+    // Brute force over pairs.
+    const std::vector<int> ra = RanksOf(a);
+    const std::vector<int> rb = RanksOf(b);
+    std::int64_t concordant = 0, discordant = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const bool same = (ra[i] < ra[j]) == (rb[i] < rb[j]);
+        (same ? concordant : discordant) += 1;
+      }
+    }
+    const double expected =
+        static_cast<double>(concordant - discordant) /
+        (static_cast<double>(n) * (n - 1) / 2);
+    EXPECT_NEAR(KendallTau(a, b), expected, 1e-12);
+  }
+}
+
+TEST(TopKOverlapTest, Basics) {
+  const Vector a = {5.0, 4.0, 3.0, 2.0, 1.0};
+  const Vector b = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, a, 3), 1.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 2), 0.0);
+  EXPECT_DOUBLE_EQ(TopKOverlap(a, b, 5), 1.0);
+  // Top-3 of a = {0,1,2}; of b = {2,3,4}; overlap {2}.
+  EXPECT_NEAR(TopKOverlap(a, b, 3), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace impreg

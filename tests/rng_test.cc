@@ -1,0 +1,159 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace impreg {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  const int kBuckets = 8;
+  const int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(23);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (rng.NextBernoulli(p)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / kDraws, p, 0.02);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  const int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(31);
+  const int n = 100;
+  std::vector<int> perm = rng.Permutation(n);
+  ASSERT_EQ(perm.size(), static_cast<std::size_t>(n));
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_EQ(rng.Permutation(1), std::vector<int>{0});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 40, k = 12;
+    std::vector<int> sample = rng.SampleWithoutReplacement(n, k);
+    ASSERT_EQ(sample.size(), static_cast<std::size_t>(k));
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(k));
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(43);
+  std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(47);
+  std::vector<int> values = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  std::sort(values.begin(), values.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(values, original);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,162 @@
+#include "regularization/sdp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "regularization/density.h"
+
+namespace impreg {
+namespace {
+
+class SdpFeasibilityTest
+    : public testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  Graph MakeGraph() const {
+    Rng rng(std::get<0>(GetParam()));
+    switch (std::get<0>(GetParam()) % 4) {
+      case 0:
+        return CycleGraph(12);
+      case 1:
+        return CavemanGraph(3, 5);
+      case 2:
+        return CompleteGraph(8);
+      default:
+        return LollipopGraph(6, 5);
+    }
+  }
+  double Eta() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(SdpFeasibilityTest, EntropyOptimumIsFeasible) {
+  const Graph g = MakeGraph();
+  const RegularizedSdpSolution sol =
+      SolveRegularizedSdp(g, Regularizer::kEntropy, Eta());
+  const DensityDiagnostics diag = CheckDensity(g, sol.x);
+  EXPECT_LT(diag.trace_defect, 1e-9);
+  EXPECT_LT(diag.psd_defect, 1e-10);
+  EXPECT_LT(diag.orthogonality_defect, 1e-9);
+  EXPECT_LT(diag.symmetry_defect, 1e-10);
+}
+
+TEST_P(SdpFeasibilityTest, LogDetOptimumIsFeasible) {
+  const Graph g = MakeGraph();
+  const RegularizedSdpSolution sol =
+      SolveRegularizedSdp(g, Regularizer::kLogDet, Eta());
+  const DensityDiagnostics diag = CheckDensity(g, sol.x);
+  EXPECT_LT(diag.trace_defect, 1e-9);
+  EXPECT_LT(diag.psd_defect, 1e-10);
+  EXPECT_LT(diag.orthogonality_defect, 1e-9);
+  // The dual shift only needs μ > −λ₂ ≥ −2 (spectrum of ℒ ⊂ [0, 2]).
+  EXPECT_GT(sol.mu, -2.0);
+}
+
+TEST_P(SdpFeasibilityTest, PNormOptimumIsFeasible) {
+  const Graph g = MakeGraph();
+  const RegularizedSdpSolution sol =
+      SolveRegularizedSdp(g, Regularizer::kPNorm, Eta(), 1.5);
+  const DensityDiagnostics diag = CheckDensity(g, sol.x);
+  EXPECT_LT(diag.trace_defect, 1e-9);
+  EXPECT_LT(diag.psd_defect, 1e-10);
+  EXPECT_LT(diag.orthogonality_defect, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndEtas, SdpFeasibilityTest,
+    testing::Combine(testing::Values(0, 1, 2, 3),
+                     testing::Values(0.5, 2.0, 10.0)));
+
+TEST(SdpTest, EntropyLargeEtaApproachesRankOne) {
+  // η → ∞ removes the regularizer: X* → v₂v₂ᵀ (the unregularized
+  // optimum), provided λ₂ < λ₃.
+  const Graph g = CavemanGraph(2, 6);  // Strong gap.
+  const RegularizedSdpSolution reg =
+      SolveRegularizedSdp(g, Regularizer::kEntropy, 500.0);
+  const RegularizedSdpSolution exact = SolveUnregularizedSdp(g);
+  EXPECT_LT(TraceDistance(reg.x, exact.x), 1e-6);
+  EXPECT_NEAR(reg.rayleigh, exact.rayleigh, 1e-6);
+}
+
+TEST(SdpTest, EntropySmallEtaApproachesMaximallyMixed) {
+  // η → 0 makes the entropy dominate: X* → uniform over the (n−1)-dim
+  // feasible subspace, entropy → log(n−1).
+  const Graph g = CycleGraph(10);
+  const RegularizedSdpSolution sol =
+      SolveRegularizedSdp(g, Regularizer::kEntropy, 1e-6);
+  EXPECT_NEAR(VonNeumannEntropy(sol.x), std::log(9.0), 1e-3);
+}
+
+TEST(SdpTest, RayleighIncreasesAsEtaDecreases) {
+  // More regularization (smaller η) ⇒ flatter density ⇒ larger Tr(ℒX).
+  const Graph g = LollipopGraph(8, 6);
+  double previous = -1.0;
+  for (double eta : {100.0, 10.0, 1.0, 0.1}) {
+    const RegularizedSdpSolution sol =
+        SolveRegularizedSdp(g, Regularizer::kEntropy, eta);
+    EXPECT_GT(sol.rayleigh, previous - 1e-12);
+    previous = sol.rayleigh;
+  }
+}
+
+TEST(SdpTest, UnregularizedObjectiveIsLambda2) {
+  const Graph g = CycleGraph(12);
+  const RegularizedSdpSolution sol = SolveUnregularizedSdp(g);
+  // λ₂ of the 12-cycle: 1 − cos(2π/12).
+  EXPECT_NEAR(sol.rayleigh, 1.0 - std::cos(2.0 * M_PI / 12.0), 1e-10);
+}
+
+TEST(SdpTest, OptimumBeatsOtherFeasiblePoints) {
+  // The solver's X* must have no worse regularized objective than the
+  // other regularizers' optima (which are feasible too).
+  const Graph g = CavemanGraph(3, 4);
+  const double eta = 3.0;
+  const RegularizedSdpSolution entropy =
+      SolveRegularizedSdp(g, Regularizer::kEntropy, eta);
+  const RegularizedSdpSolution logdet =
+      SolveRegularizedSdp(g, Regularizer::kLogDet, eta);
+  const double entropy_at_logdet =
+      RegularizedObjective(g, logdet.x, Regularizer::kEntropy, eta);
+  EXPECT_LE(entropy.objective, entropy_at_logdet + 1e-9);
+  const double logdet_at_entropy =
+      RegularizedObjective(g, entropy.x, Regularizer::kLogDet, eta);
+  EXPECT_LE(logdet.objective, logdet_at_entropy + 1e-9);
+}
+
+TEST(SdpTest, PNormRequiresPGreaterThanOne) {
+  const Graph g = CycleGraph(6);
+  EXPECT_DEATH(SolveRegularizedSdp(g, Regularizer::kPNorm, 1.0, 1.0),
+               "p > 1");
+}
+
+TEST(SdpTest, DisconnectedGraphDies) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  const Graph g = builder.Build();
+  EXPECT_DEATH(SolveRegularizedSdp(g, Regularizer::kEntropy, 1.0),
+               "connected");
+}
+
+TEST(SdpTest, NonPositiveEtaDies) {
+  const Graph g = CycleGraph(5);
+  EXPECT_DEATH(SolveRegularizedSdp(g, Regularizer::kEntropy, 0.0),
+               "positive");
+}
+
+TEST(SdpTest, ObjectiveDecomposition) {
+  const Graph g = CompleteGraph(6);
+  const double eta = 2.0;
+  const RegularizedSdpSolution sol =
+      SolveRegularizedSdp(g, Regularizer::kLogDet, eta);
+  EXPECT_NEAR(sol.objective, sol.rayleigh + sol.regularizer_value / eta,
+              1e-10);
+  // Cross-check with the standalone evaluator.
+  EXPECT_NEAR(sol.objective,
+              RegularizedObjective(g, sol.x, Regularizer::kLogDet, eta),
+              1e-8);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,74 @@
+#include "diffusion/seed.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "linalg/graph_operators.h"
+
+namespace impreg {
+namespace {
+
+TEST(SeedTest, SingleNodeSeedIsIndicator) {
+  const Graph g = PathGraph(5);
+  const Vector s = SingleNodeSeed(g, 2);
+  EXPECT_DOUBLE_EQ(s[2], 1.0);
+  EXPECT_DOUBLE_EQ(Sum(s), 1.0);
+}
+
+TEST(SeedTest, SeedSetIsUniform) {
+  const Graph g = PathGraph(6);
+  const Vector s = SeedSetDistribution(g, {1, 3, 5});
+  EXPECT_DOUBLE_EQ(s[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s[3], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_NEAR(Sum(s), 1.0, 1e-15);
+}
+
+TEST(SeedTest, DegreeWeightedSeed) {
+  const Graph g = StarGraph(5);  // Hub degree 4, leaves 1.
+  const Vector s = DegreeWeightedSeed(g, {0, 1});
+  EXPECT_DOUBLE_EQ(s[0], 0.8);
+  EXPECT_DOUBLE_EQ(s[1], 0.2);
+}
+
+TEST(SeedTest, DuplicateSeedNodesDie) {
+  const Graph g = PathGraph(4);
+  EXPECT_DEATH(SeedSetDistribution(g, {1, 1}), "distinct");
+}
+
+TEST(SeedTest, RandomSignSeedIsUnitAndOrthogonal) {
+  const Graph g = CavemanGraph(2, 6);
+  Rng rng(5);
+  const Vector x = RandomSignSeed(g, rng);
+  EXPECT_NEAR(Norm2(x), 1.0, 1e-12);
+  EXPECT_NEAR(Dot(x, TrivialNormalizedEigenvector(g)), 0.0, 1e-12);
+}
+
+TEST(SeedTest, HatSpaceRoundTrip) {
+  const Graph g = StarGraph(6);
+  const Vector p = SeedSetDistribution(g, {0, 2});
+  const Vector back = FromHatSpace(g, ToHatSpace(g, p));
+  EXPECT_LT(DistanceL2(back, p), 1e-14);
+}
+
+TEST(SeedTest, HatSpaceScalesBySqrtDegree) {
+  const Graph g = StarGraph(5);  // d(0) = 4.
+  Vector p(5, 0.0);
+  p[0] = 2.0;
+  const Vector hat = ToHatSpace(g, p);
+  EXPECT_DOUBLE_EQ(hat[0], 1.0);  // 2 / sqrt(4).
+}
+
+TEST(SeedTest, HatSpaceZeroOnIsolated) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  Vector p = {0.5, 0.0, 0.5};
+  const Vector hat = ToHatSpace(g, p);
+  EXPECT_DOUBLE_EQ(hat[2], 0.0);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,107 @@
+#include "graph/social.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "partition/conductance.h"
+
+namespace impreg {
+namespace {
+
+SocialGraphParams SmallParams() {
+  SocialGraphParams params;
+  params.core_nodes = 1500;
+  params.num_communities = 8;
+  params.min_community_size = 12;
+  params.max_community_size = 80;
+  params.num_whiskers = 30;
+  return params;
+}
+
+TEST(SocialGraphTest, IsConnectedAndSized) {
+  Rng rng(1);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(SmallParams(), rng);
+  EXPECT_TRUE(IsConnected(sg.graph));
+  EXPECT_GE(sg.graph.NumNodes(), 1500);
+  EXPECT_EQ(sg.core_size, 1500);
+  EXPECT_EQ(sg.communities.size(), 8u);
+  EXPECT_EQ(sg.whiskers.size(), 30u);
+}
+
+TEST(SocialGraphTest, CommunitiesHaveLowConductance) {
+  Rng rng(2);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(SmallParams(), rng);
+  for (const auto& community : sg.communities) {
+    const double phi = Conductance(sg.graph, community);
+    // Few boundary edges vs dense interior: conductance well below 0.5.
+    EXPECT_LT(phi, 0.5) << "community of size " << community.size();
+    EXPECT_GT(phi, 0.0);
+  }
+}
+
+TEST(SocialGraphTest, WhiskersAreTheBestSmallCuts) {
+  Rng rng(3);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(SmallParams(), rng);
+  for (const auto& whisker : sg.whiskers) {
+    const CutStats stats = ComputeCutStats(sg.graph, whisker);
+    // One attachment edge.
+    EXPECT_DOUBLE_EQ(stats.cut, 1.0);
+    EXPECT_LE(stats.conductance, 1.0 / (2.0 * whisker.size() - 1.0) + 1e-12);
+  }
+}
+
+TEST(SocialGraphTest, CommunitySizesSpanRequestedRange) {
+  Rng rng(4);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(SmallParams(), rng);
+  std::size_t smallest = sg.communities.front().size();
+  std::size_t largest = sg.communities.back().size();
+  EXPECT_LE(smallest, 15u);
+  EXPECT_GE(largest, 70u);
+}
+
+TEST(SocialGraphTest, CommunitiesAreInternallyConnected) {
+  Rng rng(5);
+  const SocialGraph sg = MakeWhiskeredSocialGraph(SmallParams(), rng);
+  for (const auto& community : sg.communities) {
+    const Subgraph sub = InducedSubgraph(sg.graph, community);
+    EXPECT_TRUE(IsConnected(sub.graph));
+  }
+}
+
+TEST(SocialGraphTest, CoreHasHeavyTailedDegrees) {
+  Rng rng(6);
+  SocialGraphParams params = SmallParams();
+  params.core_nodes = 4000;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  const Subgraph core = InducedSubgraph(
+      sg.graph, [&] {
+        std::vector<NodeId> nodes(sg.core_size);
+        for (NodeId u = 0; u < sg.core_size; ++u) nodes[u] = u;
+        return nodes;
+      }());
+  const DegreeStats stats = ComputeDegreeStats(core.graph);
+  EXPECT_GT(stats.max, 8.0 * stats.mean);  // Power-law hub.
+}
+
+TEST(SocialGraphTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const SocialGraph sa = MakeWhiskeredSocialGraph(SmallParams(), a);
+  const SocialGraph sb = MakeWhiskeredSocialGraph(SmallParams(), b);
+  EXPECT_EQ(sa.graph.NumNodes(), sb.graph.NumNodes());
+  EXPECT_EQ(sa.graph.NumEdges(), sb.graph.NumEdges());
+}
+
+TEST(SocialGraphTest, NoCommunitiesOrWhiskersIsJustCore) {
+  Rng rng(8);
+  SocialGraphParams params = SmallParams();
+  params.num_communities = 0;
+  params.num_whiskers = 0;
+  const SocialGraph sg = MakeWhiskeredSocialGraph(params, rng);
+  EXPECT_EQ(sg.graph.NumNodes(), params.core_nodes);
+  EXPECT_TRUE(sg.communities.empty());
+  EXPECT_TRUE(sg.whiskers.empty());
+  EXPECT_TRUE(IsConnected(sg.graph));
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,99 @@
+#include "partition/spectral_kway.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "flow/recursive_partition.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+
+namespace impreg {
+namespace {
+
+TEST(SpectralKwayTest, RecoversCavemanCliquesExactly) {
+  const Graph g = CavemanGraph(4, 8);
+  const SpectralClusteringResult result = SpectralClusterKway(g, 4);
+  // Each clique monochromatic, all four labels used.
+  std::set<int> labels_used;
+  for (int c = 0; c < 4; ++c) {
+    const int label = result.labels[c * 8];
+    labels_used.insert(label);
+    for (NodeId i = 0; i < 8; ++i) {
+      EXPECT_EQ(result.labels[c * 8 + i], label) << "clique " << c;
+    }
+  }
+  EXPECT_EQ(labels_used.size(), 4u);
+  EXPECT_DOUBLE_EQ(result.cut, 4.0);  // The four ring bridges.
+}
+
+TEST(SpectralKwayTest, RecoversPlantedBlocks) {
+  Rng rng(1);
+  const Graph g = PlantedPartition(3, 60, 0.3, 0.01, rng);
+  const SpectralClusteringResult result = SpectralClusterKway(g, 3);
+  // Majority label per block should be distinct and dominant.
+  std::set<int> majorities;
+  for (int b = 0; b < 3; ++b) {
+    std::vector<int> counts(3, 0);
+    for (NodeId i = 0; i < 60; ++i) ++counts[result.labels[b * 60 + i]];
+    const int majority = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    EXPECT_GT(counts[majority], 50) << "block " << b;
+    majorities.insert(majority);
+  }
+  EXPECT_EQ(majorities.size(), 3u);
+}
+
+TEST(SpectralKwayTest, SizesAndLabelsConsistent) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(80, 0.1, rng);
+  const SpectralClusteringResult result = SpectralClusterKway(g, 5);
+  std::int64_t total = 0;
+  for (std::int64_t s : result.sizes) total += s;
+  EXPECT_EQ(total, 80);
+  for (int label : result.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+  ASSERT_EQ(result.eigenvalues.size(), 5u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LE(result.eigenvalues[i - 1], result.eigenvalues[i] + 1e-12);
+  }
+}
+
+TEST(SpectralKwayTest, CutMatchesKwayCutHelper) {
+  Rng rng(3);
+  const Graph g = ErdosRenyi(60, 0.15, rng);
+  const SpectralClusteringResult result = SpectralClusterKway(g, 4);
+  EXPECT_DOUBLE_EQ(result.cut, KwayCut(g, result.labels));
+}
+
+TEST(SpectralKwayTest, ComparableToRecursiveBisectionOnStructure) {
+  // On a graph with genuine k-block structure, both partitioners find
+  // (near-)optimal cuts.
+  const Graph g = CavemanGraph(4, 10);
+  const SpectralClusteringResult spectral = SpectralClusterKway(g, 4);
+  const KwayResult flow = KwayPartition(g, 4);
+  EXPECT_LE(spectral.cut, 8.0);
+  EXPECT_LE(flow.cut, 8.0);
+}
+
+TEST(SpectralKwayTest, DeterministicGivenSeed) {
+  Rng rng(4);
+  const Graph g = ErdosRenyi(50, 0.2, rng);
+  const SpectralClusteringResult a = SpectralClusterKway(g, 3);
+  const SpectralClusteringResult b = SpectralClusterKway(g, 3);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SpectralKwayTest, InvalidArgumentsDie) {
+  const Graph g = PathGraph(5);
+  EXPECT_DEATH(SpectralClusterKway(g, 1), "");
+  EXPECT_DEATH(SpectralClusterKway(g, 6), "");
+  GraphBuilder edgeless(4);
+  EXPECT_DEATH(SpectralClusterKway(edgeless.Build(), 2), "no edges");
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace impreg {
+namespace {
+
+TEST(StatsTest, SummarizeBasic) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SummarizeSingle) {
+  const Summary s = Summarize({42.0});
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(Summarize({3.0, 1.0, 2.0}).median, 2.0);
+}
+
+TEST(StatsTest, QuantileEndpointsAndMiddle) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 20.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 1.0}, 0.75), 0.75);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(Mean({}), 0.0); }
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = y;
+  for (double& v : neg) v = -v;
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(StatsTest, LogLogSlopeRecoversExponent) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * std::pow(i, 2.5));
+  }
+  EXPECT_NEAR(LogLogSlope(x, y), 2.5, 1e-10);
+}
+
+TEST(StatsTest, LogLogSlopeIgnoresNonPositive) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y = {5.0, 1.0, 2.0, 4.0};
+  EXPECT_NEAR(LogLogSlope(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, FormatGSignificantDigits) {
+  EXPECT_EQ(FormatG(3.14159265, 3), "3.14");
+  EXPECT_EQ(FormatG(0.000123456, 4), "0.0001235");
+  EXPECT_EQ(FormatG(2.0, 5), "2");
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,203 @@
+#include "streaming/dynamic_graph.h"
+#include "streaming/incremental_ppr.h"
+#include "streaming/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/pagerank.h"
+#include "diffusion/seed.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+
+namespace impreg {
+namespace {
+
+TEST(DynamicGraphTest, AddEdgeAccumulatesAndCounts) {
+  DynamicGraph g(4);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 0, 1.0);
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_DOUBLE_EQ(g.Degree(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.Degree(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.TotalVolume(), 8.0);
+}
+
+TEST(DynamicGraphTest, SelfLoopOnce) {
+  DynamicGraph g(2);
+  g.AddEdge(0, 0, 5.0);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_DOUBLE_EQ(g.Degree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.TotalVolume(), 5.0);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+}
+
+TEST(DynamicGraphTest, RoundTripWithImmutableGraph) {
+  Rng rng(1);
+  const Graph original = ErdosRenyi(40, 0.2, rng);
+  const DynamicGraph dynamic = DynamicGraph::FromGraph(original);
+  const Graph back = dynamic.ToGraph();
+  ASSERT_EQ(back.NumEdges(), original.NumEdges());
+  for (NodeId u = 0; u < original.NumNodes(); ++u) {
+    EXPECT_DOUBLE_EQ(back.Degree(u), original.Degree(u));
+  }
+}
+
+class IncrementalPprTest : public testing::Test {
+ protected:
+  // Reference: exact PPR on the frozen graph.
+  Vector ExactPpr(const DynamicGraph& g, const Vector& seed, double gamma) {
+    const Graph frozen = g.ToGraph();
+    PageRankOptions options;
+    options.gamma = gamma;
+    options.tolerance = 1e-14;
+    options.max_iterations = 100000;
+    return PersonalizedPageRank(frozen, seed, options).scores;
+  }
+};
+
+TEST_F(IncrementalPprTest, StaticCaseMatchesExact) {
+  Rng rng(2);
+  const Graph g = ErdosRenyi(60, 0.1, rng);
+  const DynamicGraph dynamic = DynamicGraph::FromGraph(g);
+  Vector seed(60, 0.0);
+  seed[5] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-9;
+  const IncrementalPersonalizedPageRank inc(dynamic, seed, options);
+  const Vector exact = ExactPpr(dynamic, seed, options.gamma);
+  EXPECT_LT(DistanceL1(inc.Scores(), exact),
+            options.epsilon * dynamic.TotalVolume() + 1e-9);
+}
+
+TEST_F(IncrementalPprTest, TracksInsertionsToTheEnd) {
+  // Stream the edges of a graph one by one; the final estimate must
+  // match the exact PPR of the final graph within the residual bound.
+  Rng rng(3);
+  const Graph final_graph = ErdosRenyi(50, 0.15, rng);
+  DynamicGraph empty(50);
+  Vector seed(50, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-8;
+  IncrementalPersonalizedPageRank inc(empty, seed, options);
+  for (NodeId u = 0; u < final_graph.NumNodes(); ++u) {
+    for (const Arc& arc : final_graph.Neighbors(u)) {
+      if (arc.head >= u) inc.AddEdge(u, arc.head, arc.weight);
+    }
+  }
+  const Vector exact = ExactPpr(inc.graph(), seed, options.gamma);
+  EXPECT_LT(DistanceL1(inc.Scores(), exact),
+            options.epsilon * inc.graph().TotalVolume() + 1e-9);
+  EXPECT_EQ(inc.graph().NumEdges(), final_graph.NumEdges());
+}
+
+TEST_F(IncrementalPprTest, MatchesFreshRebuildAfterEveryInsertion) {
+  // Property check at every step of a short stream.
+  DynamicGraph g(8);
+  Vector seed(8, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-10;
+  IncrementalPersonalizedPageRank inc(g, seed, options);
+  const std::vector<std::pair<NodeId, NodeId>> stream = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {4, 5},
+      {5, 6}, {6, 7}, {7, 4}, {3, 4}, {0, 0}, {1, 2}};
+  for (const auto& [u, v] : stream) {
+    inc.AddEdge(u, v);
+    const Vector exact = ExactPpr(inc.graph(), seed, options.gamma);
+    ASSERT_LT(DistanceL1(inc.Scores(), exact), 1e-7)
+        << "after inserting {" << u << "," << v << "}";
+  }
+}
+
+TEST_F(IncrementalPprTest, UpdatesAreCheapRelativeToRebuild) {
+  // The point of the data structure: per-insertion pushes are far
+  // fewer than a from-scratch recomputation.
+  Rng rng(4);
+  const Graph base = ErdosRenyi(500, 0.02, rng);
+  DynamicGraph dynamic = DynamicGraph::FromGraph(base);
+  Vector seed(500, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-7;
+  IncrementalPersonalizedPageRank inc(dynamic, seed, options);
+  const std::int64_t initial_pushes = inc.TotalPushes();
+  std::int64_t update_pushes = 0;
+  Rng pick(5);
+  const int kInsertions = 50;
+  for (int i = 0; i < kInsertions; ++i) {
+    const NodeId u = static_cast<NodeId>(pick.NextBounded(500));
+    const NodeId v = static_cast<NodeId>(pick.NextBounded(500));
+    if (u == v) continue;
+    inc.AddEdge(u, v);
+    update_pushes += inc.LastEdgePushes();
+  }
+  EXPECT_LT(update_pushes / kInsertions, initial_pushes / 4);
+}
+
+TEST(MonteCarloTest, ConvergesToExactPpr) {
+  Rng rng(6);
+  const Graph g = ErdosRenyi(40, 0.2, rng);
+  PageRankOptions exact_options;
+  exact_options.gamma = 0.2;
+  exact_options.tolerance = 1e-13;
+  const Vector exact =
+      PersonalizedPageRank(g, SingleNodeSeed(g, 3), exact_options).scores;
+  double previous = 2.0;
+  for (int walks : {100, 10000, 1000000}) {
+    MonteCarloOptions options;
+    options.gamma = 0.2;
+    options.walks_per_node = walks;
+    const Vector estimate = MonteCarloPersonalizedPageRank(g, 3, options);
+    const double error = DistanceL1(estimate, exact);
+    EXPECT_LT(error, previous);
+    previous = error;
+  }
+  EXPECT_LT(previous, 0.01);
+}
+
+TEST(MonteCarloTest, EstimateIsADistribution) {
+  Rng rng(7);
+  const Graph g = ErdosRenyi(30, 0.2, rng);
+  MonteCarloOptions options;
+  options.walks_per_node = 500;
+  const Vector estimate = MonteCarloPersonalizedPageRank(g, 0, options);
+  EXPECT_NEAR(Sum(estimate), 1.0, 1e-12);
+  for (double v : estimate) EXPECT_GE(v, 0.0);
+}
+
+TEST(MonteCarloTest, GlobalEstimateTracksExactGlobalPageRank) {
+  Rng rng(8);
+  const Graph g = BarabasiAlbert(200, 3, rng);
+  MonteCarloOptions options;
+  options.gamma = 0.15;
+  options.walks_per_node = 200;
+  const Vector estimate = MonteCarloPageRank(g, options);
+  PageRankOptions exact_options;
+  exact_options.gamma = 0.15;
+  const Vector exact = GlobalPageRank(g, exact_options).scores;
+  EXPECT_LT(DistanceL1(estimate, exact), 0.08);
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeed) {
+  const Graph g = CycleGraph(12);
+  MonteCarloOptions options;
+  options.seed = 99;
+  const Vector a = MonteCarloPersonalizedPageRank(g, 0, options);
+  const Vector b = MonteCarloPersonalizedPageRank(g, 0, options);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MonteCarloTest, IsolatedSeedStaysPut) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  const Graph g = builder.Build();
+  MonteCarloOptions options;
+  options.walks_per_node = 50;
+  const Vector estimate = MonteCarloPersonalizedPageRank(g, 2, options);
+  EXPECT_DOUBLE_EQ(estimate[2], 1.0);
+}
+
+}  // namespace
+}  // namespace impreg

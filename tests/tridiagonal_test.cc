@@ -1,0 +1,98 @@
+#include "linalg/tridiagonal.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(TridiagonalTest, OneByOne) {
+  const SymmetricEigen eigen = TridiagonalEigendecomposition({5.0}, {});
+  ASSERT_EQ(eigen.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(eigen.eigenvalues[0], 5.0);
+  EXPECT_DOUBLE_EQ(eigen.eigenvectors.At(0, 0), 1.0);
+}
+
+TEST(TridiagonalTest, TwoByTwo) {
+  // [[1, 2], [2, 1]] has eigenvalues -1 and 3.
+  const SymmetricEigen eigen =
+      TridiagonalEigendecomposition({1.0, 1.0}, {2.0});
+  EXPECT_NEAR(eigen.eigenvalues[0], -1.0, 1e-13);
+  EXPECT_NEAR(eigen.eigenvalues[1], 3.0, 1e-13);
+}
+
+TEST(TridiagonalTest, FreeChainSpectrum) {
+  // The path-graph Laplacian is tridiagonal with known spectrum
+  // 2 − 2cos(kπ/n), k = 0..n−1 (free-boundary chain).
+  const int n = 10;
+  Vector diag(n, 2.0);
+  diag.front() = diag.back() = 1.0;
+  Vector off(n - 1, -1.0);
+  const SymmetricEigen eigen = TridiagonalEigendecomposition(diag, off);
+  for (int k = 0; k < n; ++k) {
+    const double expected = 2.0 - 2.0 * std::cos(std::numbers::pi * k / n);
+    EXPECT_NEAR(eigen.eigenvalues[k], expected, 1e-12);
+  }
+}
+
+TEST(TridiagonalTest, EigenpairsSatisfyDefinition) {
+  Rng rng(3);
+  const int n = 25;
+  Vector diag(n), off(n - 1);
+  for (double& v : diag) v = rng.NextGaussian();
+  for (double& v : off) v = rng.NextGaussian();
+  const SymmetricEigen eigen = TridiagonalEigendecomposition(diag, off);
+  // Check T v = λ v for every pair.
+  for (int k = 0; k < n; ++k) {
+    const Vector v = eigen.eigenvectors.Column(k);
+    for (int i = 0; i < n; ++i) {
+      double tv = diag[i] * v[i];
+      if (i > 0) tv += off[i - 1] * v[i - 1];
+      if (i + 1 < n) tv += off[i] * v[i + 1];
+      EXPECT_NEAR(tv, eigen.eigenvalues[k] * v[i], 1e-10);
+    }
+  }
+}
+
+TEST(TridiagonalTest, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  const int n = 20;
+  Vector diag(n), off(n - 1);
+  for (double& v : diag) v = rng.NextDouble();
+  for (double& v : off) v = rng.NextDouble() + 0.1;
+  const SymmetricEigen eigen = TridiagonalEigendecomposition(diag, off);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a; b < n; ++b) {
+      const double dot =
+          Dot(eigen.eigenvectors.Column(a), eigen.eigenvectors.Column(b));
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(TridiagonalTest, EigenvaluesAscending) {
+  Rng rng(7);
+  const int n = 30;
+  Vector diag(n), off(n - 1);
+  for (double& v : diag) v = rng.NextGaussian();
+  for (double& v : off) v = rng.NextGaussian();
+  const SymmetricEigen eigen = TridiagonalEigendecomposition(diag, off);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_LE(eigen.eigenvalues[i - 1], eigen.eigenvalues[i]);
+  }
+}
+
+TEST(TridiagonalTest, ZeroOffdiagonalIsDiagonal) {
+  const SymmetricEigen eigen =
+      TridiagonalEigendecomposition({3.0, 1.0, 2.0}, {0.0, 0.0});
+  EXPECT_NEAR(eigen.eigenvalues[0], 1.0, 1e-14);
+  EXPECT_NEAR(eigen.eigenvalues[1], 2.0, 1e-14);
+  EXPECT_NEAR(eigen.eigenvalues[2], 3.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace impreg

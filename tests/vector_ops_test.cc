@@ -1,0 +1,71 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace impreg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const Vector x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1(x), 7.0);
+  EXPECT_DOUBLE_EQ(NormInf({-7.0, 2.0}), 7.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  Vector y = {1.0, 1.0};
+  Axpy(2.0, {1.0, -1.0}, y);
+  EXPECT_EQ(y, (Vector{3.0, -1.0}));
+  Scale(0.5, y);
+  EXPECT_EQ(y, (Vector{1.5, -0.5}));
+}
+
+TEST(VectorOpsTest, NormalizeReturnsNormAndUnitizes) {
+  Vector x = {0.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Normalize(x), 5.0);
+  EXPECT_NEAR(Norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoop) {
+  Vector x = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Normalize(x), 0.0);
+  EXPECT_EQ(x, (Vector{0.0, 0.0}));
+}
+
+TEST(VectorOpsTest, ProjectOutMakesOrthogonal) {
+  const Vector d = {1.0, 1.0, 0.0};
+  Vector x = {2.0, 0.0, 5.0};
+  ProjectOut(d, x);
+  EXPECT_NEAR(Dot(d, x), 0.0, 1e-14);
+  EXPECT_DOUBLE_EQ(x[2], 5.0);  // Orthogonal component untouched.
+}
+
+TEST(VectorOpsTest, ProjectOutZeroDirectionIsNoop) {
+  Vector x = {1.0, 2.0};
+  ProjectOut({0.0, 0.0}, x);
+  EXPECT_EQ(x, (Vector{1.0, 2.0}));
+}
+
+TEST(VectorOpsTest, SumAndDistances) {
+  EXPECT_DOUBLE_EQ(Sum({1.0, 2.0, -0.5}), 2.5);
+  EXPECT_DOUBLE_EQ(DistanceL2({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceL1({1.0, -1.0}, {0.0, 1.0}), 3.0);
+}
+
+TEST(VectorOpsTest, DistanceUpToSign) {
+  const Vector x = {1.0, 0.0};
+  const Vector y = {-1.0, 0.0};
+  EXPECT_DOUBLE_EQ(DistanceUpToSign(x, y), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceUpToSign(x, x), 0.0);
+  EXPECT_GT(DistanceUpToSign(x, {0.0, 1.0}), 1.0);
+}
+
+TEST(VectorOpsTest, WeightedDot) {
+  EXPECT_DOUBLE_EQ(WeightedDot({2.0, 3.0}, {1.0, 1.0}, {1.0, 2.0}), 8.0);
+}
+
+}  // namespace
+}  // namespace impreg
