@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cut_improvement"
+  "../bench/ablation_cut_improvement.pdb"
+  "CMakeFiles/ablation_cut_improvement.dir/ablation_cut_improvement.cc.o"
+  "CMakeFiles/ablation_cut_improvement.dir/ablation_cut_improvement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cut_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lazy_alpha"
+  "../bench/ablation_lazy_alpha.pdb"
+  "CMakeFiles/ablation_lazy_alpha.dir/ablation_lazy_alpha.cc.o"
+  "CMakeFiles/ablation_lazy_alpha.dir/ablation_lazy_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sweep_scaling.cc" "bench-build/CMakeFiles/ablation_sweep_scaling.dir/ablation_sweep_scaling.cc.o" "gcc" "bench-build/CMakeFiles/ablation_sweep_scaling.dir/ablation_sweep_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/impreg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncp/CMakeFiles/impreg_ncp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/impreg_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/impreg_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/regularization/CMakeFiles/impreg_regularization.dir/DependInfo.cmake"
+  "/root/repo/build/src/ranking/CMakeFiles/impreg_ranking.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/impreg_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/impreg_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

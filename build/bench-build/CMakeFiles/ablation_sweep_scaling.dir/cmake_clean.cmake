@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sweep_scaling"
+  "../bench/ablation_sweep_scaling.pdb"
+  "CMakeFiles/ablation_sweep_scaling.dir/ablation_sweep_scaling.cc.o"
+  "CMakeFiles/ablation_sweep_scaling.dir/ablation_sweep_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sweep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

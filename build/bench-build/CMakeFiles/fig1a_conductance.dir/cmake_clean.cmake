@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1a_conductance"
+  "../bench/fig1a_conductance.pdb"
+  "CMakeFiles/fig1a_conductance.dir/fig1a_conductance.cc.o"
+  "CMakeFiles/fig1a_conductance.dir/fig1a_conductance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_conductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

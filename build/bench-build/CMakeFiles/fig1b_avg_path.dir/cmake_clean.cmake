@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1b_avg_path"
+  "../bench/fig1b_avg_path.pdb"
+  "CMakeFiles/fig1b_avg_path.dir/fig1b_avg_path.cc.o"
+  "CMakeFiles/fig1b_avg_path.dir/fig1b_avg_path.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_avg_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1c_cond_ratio"
+  "../bench/fig1c_cond_ratio.pdb"
+  "CMakeFiles/fig1c_cond_ratio.dir/fig1c_cond_ratio.cc.o"
+  "CMakeFiles/fig1c_cond_ratio.dir/fig1c_cond_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_cond_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libimpreg_fig1.a"
+  "../lib/libimpreg_fig1.pdb"
+  "CMakeFiles/impreg_fig1.dir/fig1_common.cc.o"
+  "CMakeFiles/impreg_fig1.dir/fig1_common.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libimpreg_fig1.a"
+)

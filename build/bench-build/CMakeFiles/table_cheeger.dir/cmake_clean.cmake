@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_cheeger"
+  "../bench/table_cheeger.pdb"
+  "CMakeFiles/table_cheeger.dir/table_cheeger.cc.o"
+  "CMakeFiles/table_cheeger.dir/table_cheeger.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_cheeger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_dynamic_ppr"
+  "../bench/table_dynamic_ppr.pdb"
+  "CMakeFiles/table_dynamic_ppr.dir/table_dynamic_ppr.cc.o"
+  "CMakeFiles/table_dynamic_ppr.dir/table_dynamic_ppr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_dynamic_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

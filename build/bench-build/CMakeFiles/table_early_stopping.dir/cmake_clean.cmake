@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_early_stopping"
+  "../bench/table_early_stopping.pdb"
+  "CMakeFiles/table_early_stopping.dir/table_early_stopping.cc.o"
+  "CMakeFiles/table_early_stopping.dir/table_early_stopping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_early_stopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_estimation"
+  "../bench/table_estimation.pdb"
+  "CMakeFiles/table_estimation.dir/table_estimation.cc.o"
+  "CMakeFiles/table_estimation.dir/table_estimation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

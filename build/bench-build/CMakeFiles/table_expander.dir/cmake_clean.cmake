@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_expander"
+  "../bench/table_expander.pdb"
+  "CMakeFiles/table_expander.dir/table_expander.cc.o"
+  "CMakeFiles/table_expander.dir/table_expander.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_local_scaling"
+  "../bench/table_local_scaling.pdb"
+  "CMakeFiles/table_local_scaling.dir/table_local_scaling.cc.o"
+  "CMakeFiles/table_local_scaling.dir/table_local_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_local_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table_local_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_montecarlo"
+  "../bench/table_montecarlo.pdb"
+  "CMakeFiles/table_montecarlo.dir/table_montecarlo.cc.o"
+  "CMakeFiles/table_montecarlo.dir/table_montecarlo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_montecarlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_noise_injection"
+  "../bench/table_noise_injection.pdb"
+  "CMakeFiles/table_noise_injection.dir/table_noise_injection.cc.o"
+  "CMakeFiles/table_noise_injection.dir/table_noise_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_noise_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_push_regularization"
+  "../bench/table_push_regularization.pdb"
+  "CMakeFiles/table_push_regularization.dir/table_push_regularization.cc.o"
+  "CMakeFiles/table_push_regularization.dir/table_push_regularization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_push_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

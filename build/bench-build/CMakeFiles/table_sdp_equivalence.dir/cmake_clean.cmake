@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_sdp_equivalence"
+  "../bench/table_sdp_equivalence.pdb"
+  "CMakeFiles/table_sdp_equivalence.dir/table_sdp_equivalence.cc.o"
+  "CMakeFiles/table_sdp_equivalence.dir/table_sdp_equivalence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_sdp_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

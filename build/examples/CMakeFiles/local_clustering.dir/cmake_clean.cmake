@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_clustering.dir/local_clustering.cpp.o"
+  "CMakeFiles/local_clustering.dir/local_clustering.cpp.o.d"
+  "local_clustering"
+  "local_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regularization_path.dir/regularization_path.cpp.o"
+  "CMakeFiles/regularization_path.dir/regularization_path.cpp.o.d"
+  "regularization_path"
+  "regularization_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regularization_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_ranking.dir/spectral_ranking.cpp.o"
+  "CMakeFiles/spectral_ranking.dir/spectral_ranking.cpp.o.d"
+  "spectral_ranking"
+  "spectral_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_analytics.dir/streaming_analytics.cpp.o"
+  "CMakeFiles/streaming_analytics.dir/streaming_analytics.cpp.o.d"
+  "streaming_analytics"
+  "streaming_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_core.dir/approx_eigenvector.cc.o"
+  "CMakeFiles/impreg_core.dir/approx_eigenvector.cc.o.d"
+  "libimpreg_core.a"
+  "libimpreg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

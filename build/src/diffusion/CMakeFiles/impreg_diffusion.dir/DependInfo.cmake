@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/heat_kernel.cc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/heat_kernel.cc.o" "gcc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/heat_kernel.cc.o.d"
+  "/root/repo/src/diffusion/lazy_walk.cc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/lazy_walk.cc.o" "gcc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/lazy_walk.cc.o.d"
+  "/root/repo/src/diffusion/pagerank.cc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/pagerank.cc.o" "gcc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/pagerank.cc.o.d"
+  "/root/repo/src/diffusion/seed.cc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/seed.cc.o" "gcc" "src/diffusion/CMakeFiles/impreg_diffusion.dir/seed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_diffusion.dir/heat_kernel.cc.o"
+  "CMakeFiles/impreg_diffusion.dir/heat_kernel.cc.o.d"
+  "CMakeFiles/impreg_diffusion.dir/lazy_walk.cc.o"
+  "CMakeFiles/impreg_diffusion.dir/lazy_walk.cc.o.d"
+  "CMakeFiles/impreg_diffusion.dir/pagerank.cc.o"
+  "CMakeFiles/impreg_diffusion.dir/pagerank.cc.o.d"
+  "CMakeFiles/impreg_diffusion.dir/seed.cc.o"
+  "CMakeFiles/impreg_diffusion.dir/seed.cc.o.d"
+  "libimpreg_diffusion.a"
+  "libimpreg_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

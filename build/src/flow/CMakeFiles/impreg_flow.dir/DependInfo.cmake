@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow_improve.cc" "src/flow/CMakeFiles/impreg_flow.dir/flow_improve.cc.o" "gcc" "src/flow/CMakeFiles/impreg_flow.dir/flow_improve.cc.o.d"
+  "/root/repo/src/flow/maxflow.cc" "src/flow/CMakeFiles/impreg_flow.dir/maxflow.cc.o" "gcc" "src/flow/CMakeFiles/impreg_flow.dir/maxflow.cc.o.d"
+  "/root/repo/src/flow/mqi.cc" "src/flow/CMakeFiles/impreg_flow.dir/mqi.cc.o" "gcc" "src/flow/CMakeFiles/impreg_flow.dir/mqi.cc.o.d"
+  "/root/repo/src/flow/multilevel.cc" "src/flow/CMakeFiles/impreg_flow.dir/multilevel.cc.o" "gcc" "src/flow/CMakeFiles/impreg_flow.dir/multilevel.cc.o.d"
+  "/root/repo/src/flow/recursive_partition.cc" "src/flow/CMakeFiles/impreg_flow.dir/recursive_partition.cc.o" "gcc" "src/flow/CMakeFiles/impreg_flow.dir/recursive_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/impreg_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/impreg_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_flow.dir/flow_improve.cc.o"
+  "CMakeFiles/impreg_flow.dir/flow_improve.cc.o.d"
+  "CMakeFiles/impreg_flow.dir/maxflow.cc.o"
+  "CMakeFiles/impreg_flow.dir/maxflow.cc.o.d"
+  "CMakeFiles/impreg_flow.dir/mqi.cc.o"
+  "CMakeFiles/impreg_flow.dir/mqi.cc.o.d"
+  "CMakeFiles/impreg_flow.dir/multilevel.cc.o"
+  "CMakeFiles/impreg_flow.dir/multilevel.cc.o.d"
+  "CMakeFiles/impreg_flow.dir/recursive_partition.cc.o"
+  "CMakeFiles/impreg_flow.dir/recursive_partition.cc.o.d"
+  "libimpreg_flow.a"
+  "libimpreg_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimpreg_flow.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/impreg_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/bridges.cc" "src/graph/CMakeFiles/impreg_graph.dir/bridges.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/bridges.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/impreg_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/impreg_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/impreg_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/random_graphs.cc" "src/graph/CMakeFiles/impreg_graph.dir/random_graphs.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/random_graphs.cc.o.d"
+  "/root/repo/src/graph/social.cc" "src/graph/CMakeFiles/impreg_graph.dir/social.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/social.cc.o.d"
+  "/root/repo/src/graph/structure.cc" "src/graph/CMakeFiles/impreg_graph.dir/structure.cc.o" "gcc" "src/graph/CMakeFiles/impreg_graph.dir/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_graph.dir/algorithms.cc.o"
+  "CMakeFiles/impreg_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/bridges.cc.o"
+  "CMakeFiles/impreg_graph.dir/bridges.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/generators.cc.o"
+  "CMakeFiles/impreg_graph.dir/generators.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/graph.cc.o"
+  "CMakeFiles/impreg_graph.dir/graph.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/io.cc.o"
+  "CMakeFiles/impreg_graph.dir/io.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/random_graphs.cc.o"
+  "CMakeFiles/impreg_graph.dir/random_graphs.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/social.cc.o"
+  "CMakeFiles/impreg_graph.dir/social.cc.o.d"
+  "CMakeFiles/impreg_graph.dir/structure.cc.o"
+  "CMakeFiles/impreg_graph.dir/structure.cc.o.d"
+  "libimpreg_graph.a"
+  "libimpreg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/cg.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/cg.cc.o.d"
+  "/root/repo/src/linalg/chebyshev.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/chebyshev.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/chebyshev.cc.o.d"
+  "/root/repo/src/linalg/dense_matrix.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/dense_matrix.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/dense_matrix.cc.o.d"
+  "/root/repo/src/linalg/graph_operators.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/graph_operators.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/graph_operators.cc.o.d"
+  "/root/repo/src/linalg/lanczos.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/lanczos.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/lanczos.cc.o.d"
+  "/root/repo/src/linalg/operator.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/operator.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/operator.cc.o.d"
+  "/root/repo/src/linalg/power_method.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/power_method.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/power_method.cc.o.d"
+  "/root/repo/src/linalg/tridiagonal.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/tridiagonal.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/tridiagonal.cc.o.d"
+  "/root/repo/src/linalg/vector_ops.cc" "src/linalg/CMakeFiles/impreg_linalg.dir/vector_ops.cc.o" "gcc" "src/linalg/CMakeFiles/impreg_linalg.dir/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_linalg.dir/cg.cc.o"
+  "CMakeFiles/impreg_linalg.dir/cg.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/chebyshev.cc.o"
+  "CMakeFiles/impreg_linalg.dir/chebyshev.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/dense_matrix.cc.o"
+  "CMakeFiles/impreg_linalg.dir/dense_matrix.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/graph_operators.cc.o"
+  "CMakeFiles/impreg_linalg.dir/graph_operators.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/lanczos.cc.o"
+  "CMakeFiles/impreg_linalg.dir/lanczos.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/operator.cc.o"
+  "CMakeFiles/impreg_linalg.dir/operator.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/power_method.cc.o"
+  "CMakeFiles/impreg_linalg.dir/power_method.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/tridiagonal.cc.o"
+  "CMakeFiles/impreg_linalg.dir/tridiagonal.cc.o.d"
+  "CMakeFiles/impreg_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/impreg_linalg.dir/vector_ops.cc.o.d"
+  "libimpreg_linalg.a"
+  "libimpreg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ncp/community.cc" "src/ncp/CMakeFiles/impreg_ncp.dir/community.cc.o" "gcc" "src/ncp/CMakeFiles/impreg_ncp.dir/community.cc.o.d"
+  "/root/repo/src/ncp/ncp.cc" "src/ncp/CMakeFiles/impreg_ncp.dir/ncp.cc.o" "gcc" "src/ncp/CMakeFiles/impreg_ncp.dir/ncp.cc.o.d"
+  "/root/repo/src/ncp/niceness.cc" "src/ncp/CMakeFiles/impreg_ncp.dir/niceness.cc.o" "gcc" "src/ncp/CMakeFiles/impreg_ncp.dir/niceness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/impreg_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/impreg_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/impreg_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

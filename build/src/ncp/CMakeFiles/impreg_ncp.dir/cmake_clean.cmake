@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_ncp.dir/community.cc.o"
+  "CMakeFiles/impreg_ncp.dir/community.cc.o.d"
+  "CMakeFiles/impreg_ncp.dir/ncp.cc.o"
+  "CMakeFiles/impreg_ncp.dir/ncp.cc.o.d"
+  "CMakeFiles/impreg_ncp.dir/niceness.cc.o"
+  "CMakeFiles/impreg_ncp.dir/niceness.cc.o.d"
+  "libimpreg_ncp.a"
+  "libimpreg_ncp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_ncp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

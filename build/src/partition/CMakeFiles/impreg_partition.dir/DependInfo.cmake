@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/conductance.cc" "src/partition/CMakeFiles/impreg_partition.dir/conductance.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/conductance.cc.o.d"
+  "/root/repo/src/partition/hkrelax.cc" "src/partition/CMakeFiles/impreg_partition.dir/hkrelax.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/hkrelax.cc.o.d"
+  "/root/repo/src/partition/mov.cc" "src/partition/CMakeFiles/impreg_partition.dir/mov.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/mov.cc.o.d"
+  "/root/repo/src/partition/nibble.cc" "src/partition/CMakeFiles/impreg_partition.dir/nibble.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/nibble.cc.o.d"
+  "/root/repo/src/partition/push.cc" "src/partition/CMakeFiles/impreg_partition.dir/push.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/push.cc.o.d"
+  "/root/repo/src/partition/spectral.cc" "src/partition/CMakeFiles/impreg_partition.dir/spectral.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/spectral.cc.o.d"
+  "/root/repo/src/partition/spectral_kway.cc" "src/partition/CMakeFiles/impreg_partition.dir/spectral_kway.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/spectral_kway.cc.o.d"
+  "/root/repo/src/partition/sweep.cc" "src/partition/CMakeFiles/impreg_partition.dir/sweep.cc.o" "gcc" "src/partition/CMakeFiles/impreg_partition.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diffusion/CMakeFiles/impreg_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

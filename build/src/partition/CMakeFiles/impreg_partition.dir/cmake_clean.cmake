@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_partition.dir/conductance.cc.o"
+  "CMakeFiles/impreg_partition.dir/conductance.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/hkrelax.cc.o"
+  "CMakeFiles/impreg_partition.dir/hkrelax.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/mov.cc.o"
+  "CMakeFiles/impreg_partition.dir/mov.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/nibble.cc.o"
+  "CMakeFiles/impreg_partition.dir/nibble.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/push.cc.o"
+  "CMakeFiles/impreg_partition.dir/push.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/spectral.cc.o"
+  "CMakeFiles/impreg_partition.dir/spectral.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/spectral_kway.cc.o"
+  "CMakeFiles/impreg_partition.dir/spectral_kway.cc.o.d"
+  "CMakeFiles/impreg_partition.dir/sweep.cc.o"
+  "CMakeFiles/impreg_partition.dir/sweep.cc.o.d"
+  "libimpreg_partition.a"
+  "libimpreg_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

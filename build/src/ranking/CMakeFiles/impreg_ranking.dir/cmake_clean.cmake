@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_ranking.dir/centrality.cc.o"
+  "CMakeFiles/impreg_ranking.dir/centrality.cc.o.d"
+  "CMakeFiles/impreg_ranking.dir/compare.cc.o"
+  "CMakeFiles/impreg_ranking.dir/compare.cc.o.d"
+  "libimpreg_ranking.a"
+  "libimpreg_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regularization/density.cc" "src/regularization/CMakeFiles/impreg_regularization.dir/density.cc.o" "gcc" "src/regularization/CMakeFiles/impreg_regularization.dir/density.cc.o.d"
+  "/root/repo/src/regularization/equivalence.cc" "src/regularization/CMakeFiles/impreg_regularization.dir/equivalence.cc.o" "gcc" "src/regularization/CMakeFiles/impreg_regularization.dir/equivalence.cc.o.d"
+  "/root/repo/src/regularization/estimators.cc" "src/regularization/CMakeFiles/impreg_regularization.dir/estimators.cc.o" "gcc" "src/regularization/CMakeFiles/impreg_regularization.dir/estimators.cc.o.d"
+  "/root/repo/src/regularization/sdp.cc" "src/regularization/CMakeFiles/impreg_regularization.dir/sdp.cc.o" "gcc" "src/regularization/CMakeFiles/impreg_regularization.dir/sdp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/diffusion/CMakeFiles/impreg_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

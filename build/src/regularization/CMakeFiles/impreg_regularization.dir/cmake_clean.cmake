@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_regularization.dir/density.cc.o"
+  "CMakeFiles/impreg_regularization.dir/density.cc.o.d"
+  "CMakeFiles/impreg_regularization.dir/equivalence.cc.o"
+  "CMakeFiles/impreg_regularization.dir/equivalence.cc.o.d"
+  "CMakeFiles/impreg_regularization.dir/estimators.cc.o"
+  "CMakeFiles/impreg_regularization.dir/estimators.cc.o.d"
+  "CMakeFiles/impreg_regularization.dir/sdp.cc.o"
+  "CMakeFiles/impreg_regularization.dir/sdp.cc.o.d"
+  "libimpreg_regularization.a"
+  "libimpreg_regularization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_regularization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for impreg_regularization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streaming/dynamic_graph.cc" "src/streaming/CMakeFiles/impreg_streaming.dir/dynamic_graph.cc.o" "gcc" "src/streaming/CMakeFiles/impreg_streaming.dir/dynamic_graph.cc.o.d"
+  "/root/repo/src/streaming/incremental_ppr.cc" "src/streaming/CMakeFiles/impreg_streaming.dir/incremental_ppr.cc.o" "gcc" "src/streaming/CMakeFiles/impreg_streaming.dir/incremental_ppr.cc.o.d"
+  "/root/repo/src/streaming/montecarlo.cc" "src/streaming/CMakeFiles/impreg_streaming.dir/montecarlo.cc.o" "gcc" "src/streaming/CMakeFiles/impreg_streaming.dir/montecarlo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/impreg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/impreg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/impreg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_streaming.dir/dynamic_graph.cc.o"
+  "CMakeFiles/impreg_streaming.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/impreg_streaming.dir/incremental_ppr.cc.o"
+  "CMakeFiles/impreg_streaming.dir/incremental_ppr.cc.o.d"
+  "CMakeFiles/impreg_streaming.dir/montecarlo.cc.o"
+  "CMakeFiles/impreg_streaming.dir/montecarlo.cc.o.d"
+  "libimpreg_streaming.a"
+  "libimpreg_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_util.dir/csv.cc.o"
+  "CMakeFiles/impreg_util.dir/csv.cc.o.d"
+  "CMakeFiles/impreg_util.dir/rng.cc.o"
+  "CMakeFiles/impreg_util.dir/rng.cc.o.d"
+  "CMakeFiles/impreg_util.dir/stats.cc.o"
+  "CMakeFiles/impreg_util.dir/stats.cc.o.d"
+  "libimpreg_util.a"
+  "libimpreg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

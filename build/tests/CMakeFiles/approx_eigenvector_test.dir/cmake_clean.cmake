@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_eigenvector_test.dir/approx_eigenvector_test.cc.o"
+  "CMakeFiles/approx_eigenvector_test.dir/approx_eigenvector_test.cc.o.d"
+  "approx_eigenvector_test"
+  "approx_eigenvector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_eigenvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridges_test.dir/bridges_test.cc.o"
+  "CMakeFiles/bridges_test.dir/bridges_test.cc.o.d"
+  "bridges_test"
+  "bridges_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_test.dir/cg_test.cc.o"
+  "CMakeFiles/cg_test.dir/cg_test.cc.o.d"
+  "cg_test"
+  "cg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

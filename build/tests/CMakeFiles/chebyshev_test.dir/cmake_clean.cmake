@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chebyshev_test.dir/chebyshev_test.cc.o"
+  "CMakeFiles/chebyshev_test.dir/chebyshev_test.cc.o.d"
+  "chebyshev_test"
+  "chebyshev_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chebyshev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

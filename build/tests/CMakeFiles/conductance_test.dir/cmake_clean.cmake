@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conductance_test.dir/conductance_test.cc.o"
+  "CMakeFiles/conductance_test.dir/conductance_test.cc.o.d"
+  "conductance_test"
+  "conductance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conductance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

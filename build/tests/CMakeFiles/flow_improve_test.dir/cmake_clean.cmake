@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_improve_test.dir/flow_improve_test.cc.o"
+  "CMakeFiles/flow_improve_test.dir/flow_improve_test.cc.o.d"
+  "flow_improve_test"
+  "flow_improve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_improve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_operators_test.dir/graph_operators_test.cc.o"
+  "CMakeFiles/graph_operators_test.dir/graph_operators_test.cc.o.d"
+  "graph_operators_test"
+  "graph_operators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

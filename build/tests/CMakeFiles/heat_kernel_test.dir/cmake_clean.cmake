@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_kernel_test.dir/heat_kernel_test.cc.o"
+  "CMakeFiles/heat_kernel_test.dir/heat_kernel_test.cc.o.d"
+  "heat_kernel_test"
+  "heat_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hkrelax_test.dir/hkrelax_test.cc.o"
+  "CMakeFiles/hkrelax_test.dir/hkrelax_test.cc.o.d"
+  "hkrelax_test"
+  "hkrelax_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hkrelax_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_walk_test.dir/lazy_walk_test.cc.o"
+  "CMakeFiles/lazy_walk_test.dir/lazy_walk_test.cc.o.d"
+  "lazy_walk_test"
+  "lazy_walk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mov_test.dir/mov_test.cc.o"
+  "CMakeFiles/mov_test.dir/mov_test.cc.o.d"
+  "mov_test"
+  "mov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqi_test.dir/mqi_test.cc.o"
+  "CMakeFiles/mqi_test.dir/mqi_test.cc.o.d"
+  "mqi_test"
+  "mqi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

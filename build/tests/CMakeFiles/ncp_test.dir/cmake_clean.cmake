@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncp_test.dir/ncp_test.cc.o"
+  "CMakeFiles/ncp_test.dir/ncp_test.cc.o.d"
+  "ncp_test"
+  "ncp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niceness_test.dir/niceness_test.cc.o"
+  "CMakeFiles/niceness_test.dir/niceness_test.cc.o.d"
+  "niceness_test"
+  "niceness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niceness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

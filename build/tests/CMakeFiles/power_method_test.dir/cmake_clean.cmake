@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_method_test.dir/power_method_test.cc.o"
+  "CMakeFiles/power_method_test.dir/power_method_test.cc.o.d"
+  "power_method_test"
+  "power_method_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/push_test.dir/push_test.cc.o"
+  "CMakeFiles/push_test.dir/push_test.cc.o.d"
+  "push_test"
+  "push_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/push_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

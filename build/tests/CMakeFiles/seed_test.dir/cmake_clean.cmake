@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_test.dir/seed_test.cc.o"
+  "CMakeFiles/seed_test.dir/seed_test.cc.o.d"
+  "seed_test"
+  "seed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

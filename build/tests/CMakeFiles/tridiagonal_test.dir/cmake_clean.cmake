@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiagonal_test.dir/tridiagonal_test.cc.o"
+  "CMakeFiles/tridiagonal_test.dir/tridiagonal_test.cc.o.d"
+  "tridiagonal_test"
+  "tridiagonal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiagonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impreg_cli.dir/impreg_cli.cc.o"
+  "CMakeFiles/impreg_cli.dir/impreg_cli.cc.o.d"
+  "impreg_cli"
+  "impreg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impreg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
