@@ -164,6 +164,78 @@ void BM_FastDenseEigen(benchmark::State& state) {
 }
 BENCHMARK(BM_FastDenseEigen)->Arg(32)->Arg(64)->Arg(128);
 
+// —— Thread-count sweeps for the parallel execution layer ——
+// Each benchmark runs the same kernel at 1/2/4/8 pool threads so the
+// speedup is measured, not asserted. The SpMV graph has ~8·2^17/2 ≈
+// 524k edges (the ISSUE-1 acceptance target is a ≥100k-edge graph).
+
+void BM_SpMVThreads(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const NormalizedLaplacianOperator lap(g);
+  Rng rng(1);
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  Vector y(g.NumNodes());
+  for (auto _ : state) {
+    lap.Apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+}
+BENCHMARK(BM_SpMVThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DotThreads(benchmark::State& state) {
+  const ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(2);
+  Vector x(1 << 22), y(1 << 22);
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_DotThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PageRankThreads(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  PageRankOptions options;
+  options.gamma = 0.15;
+  options.tolerance = 1e-8;
+  const Vector seed = SingleNodeSeed(g, 7);
+  for (auto _ : state) {
+    const PageRankResult r = PersonalizedPageRank(g, seed, options);
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+}
+BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_HeatKernelTaylorThreads(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  const Vector seed = SingleNodeSeed(g, 3);
+  for (auto _ : state) {
+    const Vector h = HeatKernelWalkTaylor(g, seed, 5.0, 1e-8);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_HeatKernelTaylorThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SweepCutThreads(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const ScopedNumThreads threads(static_cast<int>(state.range(0)));
+  Rng rng(3);
+  Vector values(g.NumNodes());
+  for (double& v : values) v = rng.NextGaussian();
+  for (auto _ : state) {
+    const SweepResult r = SweepCut(g, values);
+    benchmark::DoNotOptimize(r.stats.conductance);
+  }
+}
+BENCHMARK(BM_SweepCutThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ChebyshevPpr(benchmark::State& state) {
   const Graph& g = BenchGraph(1 << 14);
   PageRankOptions options;

@@ -20,6 +20,7 @@
 ///   core/        the ApproximateSecondEigenvector facade
 
 #include "core/approx_eigenvector.h"
+#include "core/parallel.h"
 #include "diffusion/heat_kernel.h"
 #include "diffusion/lazy_walk.h"
 #include "diffusion/pagerank.h"

@@ -1,0 +1,175 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace impreg {
+
+namespace {
+
+/// Automatic thread count: IMPREG_THREADS if set to a positive integer,
+/// else the hardware concurrency (at least 1).
+int AutoNumThreads() {
+  if (const char* env = std::getenv("IMPREG_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Configured thread count; 0 means "automatic".
+std::atomic<int> g_num_threads{0};
+
+thread_local bool tls_in_parallel_region = false;
+
+/// A static-partition pool: the calling thread is participant 0, workers
+/// are participants 1..T-1, and participant t processes chunks
+/// t, t+T, t+2T, … — no work stealing, no shared queue. Workers persist
+/// across regions (parked on a condition variable between tasks) and the
+/// pool grows lazily to the largest thread count ever requested; a
+/// region simply uses the first T-1 workers.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();  // Leaked: workers outlive main.
+    return *pool;
+  }
+
+  void Run(std::int64_t num_chunks,
+           const std::function<void(std::int64_t)>& chunk_fn,
+           int num_threads) {
+    const int participants =
+        static_cast<int>(num_chunks < num_threads ? num_chunks : num_threads);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      EnsureWorkersLocked(participants - 1);
+      task_fn_ = &chunk_fn;
+      task_chunks_ = num_chunks;
+      task_participants_ = participants;
+      pending_ = participants - 1;
+      error_ = nullptr;
+      ++epoch_;
+      work_cv_.notify_all();
+    }
+
+    // The caller is participant 0.
+    RunStride(chunk_fn, num_chunks, /*participant=*/0, participants);
+
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return pending_ == 0; });
+      task_fn_ = nullptr;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Pool() = default;
+
+  void EnsureWorkersLocked(int needed) {
+    while (static_cast<int>(workers_.size()) < needed) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
+    }
+  }
+
+  /// Processes this participant's static share of the chunks. The first
+  /// exception is stored for the caller; later chunks of a faulted
+  /// participant are skipped.
+  void RunStride(const std::function<void(std::int64_t)>& fn,
+                 std::int64_t chunks, int participant, int participants) {
+    tls_in_parallel_region = true;
+    try {
+      for (std::int64_t c = participant; c < chunks; c += participants) {
+        fn(c);
+      }
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    tls_in_parallel_region = false;
+  }
+
+  void WorkerLoop(int index) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      const std::function<void(std::int64_t)>* fn = nullptr;
+      std::int64_t chunks = 0;
+      int participants = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return epoch_ != seen_epoch; });
+        seen_epoch = epoch_;
+        if (index + 1 >= task_participants_) continue;  // Not enlisted.
+        fn = task_fn_;
+        chunks = task_chunks_;
+        participants = task_participants_;
+      }
+      RunStride(*fn, chunks, /*participant=*/index + 1, participants);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::uint64_t epoch_ = 0;
+  const std::function<void(std::int64_t)>* task_fn_ = nullptr;
+  std::int64_t task_chunks_ = 0;
+  int task_participants_ = 0;
+  int pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+void ImpregSetNumThreads(int num_threads) {
+  g_num_threads.store(num_threads > 0 ? num_threads : 0,
+                      std::memory_order_relaxed);
+}
+
+int ImpregNumThreads() {
+  const int configured = g_num_threads.load(std::memory_order_relaxed);
+  if (configured > 0) return configured;
+  static const int auto_threads = AutoNumThreads();
+  return auto_threads;
+}
+
+namespace internal {
+
+std::int64_t ChunkCount(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain) {
+  if (begin >= end) return 0;
+  const std::int64_t g = grain < 1 ? 1 : grain;
+  return (end - begin + g - 1) / g;
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+void RunChunks(std::int64_t num_chunks,
+               const std::function<void(std::int64_t)>& chunk_fn) {
+  if (num_chunks <= 0) return;
+  const int num_threads = ImpregNumThreads();
+  if (num_chunks == 1 || num_threads == 1 || tls_in_parallel_region) {
+    // Serial path: inline, in chunk order. Nested regions land here.
+    for (std::int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
+    return;
+  }
+  Pool::Get().Run(num_chunks, chunk_fn, num_threads);
+}
+
+}  // namespace internal
+
+}  // namespace impreg

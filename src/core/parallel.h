@@ -1,0 +1,133 @@
+#ifndef IMPREG_CORE_PARALLEL_H_
+#define IMPREG_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Deterministic shared-memory parallelism for the hot kernels.
+///
+/// The paper's diffusions (§3.1) and spectral methods (§3.2) all reduce
+/// to repeated sparse matrix–vector products and dense vector reductions.
+/// This header provides the execution layer that lets those kernels
+/// saturate one machine's cores without sacrificing the library's
+/// bit-for-bit reproducibility guarantee:
+///
+///  - `ParallelFor(begin, end, grain, body)` splits [begin, end) into
+///    fixed chunks of size `grain` and runs `body(chunk_begin, chunk_end)`
+///    across a static-partition thread pool (no work stealing: chunk c is
+///    always processed by thread c mod T).
+///  - `ParallelReduce(begin, end, grain, identity, map, combine)` computes
+///    one partial per chunk and folds the partials **in chunk order**.
+///    Chunk boundaries depend only on (begin, end, grain) — never on the
+///    thread count — so the result is bit-identical whether the pool has
+///    1 thread or 64.
+///
+/// Thread count is configured by `ImpregSetNumThreads()` or the
+/// `IMPREG_THREADS` environment variable (read once, at first use); a
+/// count of 1 means the pre-existing serial path: no pool is touched and
+/// chunks run inline on the calling thread. Nested parallel regions fall
+/// back to serial execution, so operator code may freely compose.
+///
+/// Exceptions thrown by `body`/`map` are captured on the worker and
+/// rethrown on the calling thread (first one wins; remaining chunks of
+/// the faulted region may be skipped).
+
+namespace impreg {
+
+/// Sets the number of threads used by subsequent parallel regions.
+/// `num_threads` ≥ 1; 0 (or negative) restores the automatic default
+/// (IMPREG_THREADS if set, else std::thread::hardware_concurrency).
+/// Not safe to call concurrently with a running parallel region.
+void ImpregSetNumThreads(int num_threads);
+
+/// The number of threads parallel regions currently use (≥ 1).
+int ImpregNumThreads();
+
+/// RAII guard: sets the thread count, restores the previous one on exit.
+/// Used by tests and benchmarks that sweep thread counts.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int num_threads) : previous_(ImpregNumThreads()) {
+    ImpregSetNumThreads(num_threads);
+  }
+  ~ScopedNumThreads() { ImpregSetNumThreads(previous_); }
+
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+namespace internal {
+
+/// Number of grain-sized chunks covering [begin, end); 0 for empty ranges.
+/// Chunk boundaries are a pure function of (begin, end, grain) — the
+/// foundation of the determinism guarantee.
+std::int64_t ChunkCount(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain);
+
+/// Runs `chunk_fn(c)` for every c in [0, num_chunks) on the pool.
+/// Serial (inline, in increasing c) when the thread count is 1, when
+/// num_chunks ≤ 1, or when called from inside another parallel region.
+void RunChunks(std::int64_t num_chunks,
+               const std::function<void(std::int64_t)>& chunk_fn);
+
+/// True while the calling thread is executing inside a parallel region
+/// (used for the nested-region serial fallback).
+bool InParallelRegion();
+
+}  // namespace internal
+
+/// Runs `body(chunk_begin, chunk_end)` over fixed grain-sized chunks of
+/// [begin, end). Chunks may execute concurrently; `body` must write only
+/// to locations owned by its chunk.
+inline void ParallelFor(std::int64_t begin, std::int64_t end,
+                        std::int64_t grain,
+                        const std::function<void(std::int64_t, std::int64_t)>&
+                            body) {
+  if (begin >= end) return;
+  const std::int64_t g = grain < 1 ? 1 : grain;
+  const std::int64_t chunks = internal::ChunkCount(begin, end, g);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  internal::RunChunks(chunks, [&](std::int64_t c) {
+    const std::int64_t b = begin + c * g;
+    const std::int64_t e = b + g < end ? b + g : end;
+    body(b, e);
+  });
+}
+
+/// Deterministic reduction: partials, one per grain-sized chunk, folded
+/// in chunk order as combine(combine(identity, p₀), p₁)… The fold order
+/// and chunk boundaries are independent of the thread count, so the
+/// result is bit-identical for any pool size (floating-point addition is
+/// not associative; a fixed association makes it reproducible).
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 T identity, Map&& map, Combine&& combine) {
+  if (begin >= end) return identity;
+  const std::int64_t g = grain < 1 ? 1 : grain;
+  const std::int64_t chunks = internal::ChunkCount(begin, end, g);
+  if (chunks == 1) return combine(std::move(identity), map(begin, end));
+  std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
+  internal::RunChunks(chunks, [&](std::int64_t c) {
+    const std::int64_t b = begin + c * g;
+    const std::int64_t e = b + g < end ? b + g : end;
+    partials[static_cast<std::size_t>(c)] = map(b, e);
+  });
+  T accum = std::move(identity);
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    accum = combine(std::move(accum), partials[static_cast<std::size_t>(c)]);
+  }
+  return accum;
+}
+
+}  // namespace impreg
+
+#endif  // IMPREG_CORE_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "diffusion/seed.h"
 #include "linalg/graph_operators.h"
 #include "linalg/lanczos.h"
@@ -63,10 +64,17 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
     poisson *= t / static_cast<double>(k);
     tail -= poisson;
     term.swap(next);
-    Scale(t / static_cast<double>(k), term);
-    // term now equals (t^k/k!) M^k s because walk.Apply used the
-    // previous term which already carried t^{k-1}/(k-1)!.
-    Axpy(1.0, term, accum);
+    // term becomes (t^k/k!) M^k s — walk.Apply used the previous term,
+    // which already carried t^{k-1}/(k-1)! — and is accumulated into the
+    // partial sum in the same fused parallel pass.
+    const double step = t / static_cast<double>(k);
+    ParallelFor(0, g.NumNodes(), 1 << 14,
+                [&](std::int64_t begin, std::int64_t end) {
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    term[i] *= step;
+                    accum[i] += term[i];
+                  }
+                });
     if (tail * std::exp(-t) <= tail_tolerance) break;
   }
   Scale(std::exp(-t), accum);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "linalg/cg.h"
 #include "linalg/chebyshev.h"
 #include "linalg/graph_operators.h"
@@ -32,9 +33,14 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
   Vector next(g.NumNodes());
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     walk.Apply(result.scores, walked);
-    for (NodeId u = 0; u < g.NumNodes(); ++u) {
-      next[u] = options.gamma * seed[u] + (1.0 - options.gamma) * walked[u];
-    }
+    // Richardson update, row-parallel: each entry is independent.
+    ParallelFor(0, g.NumNodes(), 1 << 14,
+                [&](std::int64_t begin, std::int64_t end) {
+                  for (std::int64_t u = begin; u < end; ++u) {
+                    next[u] = options.gamma * seed[u] +
+                              (1.0 - options.gamma) * walked[u];
+                  }
+                });
     const double delta = DistanceL1(next, result.scores);
     result.scores.swap(next);
     result.iterations = iter;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -54,9 +55,14 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
       break;
     }
     const double rho_next = 1.0 / (2.0 * sigma - rho);
-    // d ← ρρ' d + (2ρ'/δ) r.
-    Scale(rho * rho_next, d);
-    Axpy(2.0 * rho_next / delta, r, d);
+    // d ← ρρ' d + (2ρ'/δ) r, fused into one parallel pass.
+    const double d_coeff = rho * rho_next;
+    const double r_coeff = 2.0 * rho_next / delta;
+    ParallelFor(0, n, 1 << 14, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        d[i] = d_coeff * d[i] + r_coeff * r[i];
+      }
+    });
     rho = rho_next;
   }
   return result;

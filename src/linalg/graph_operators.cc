@@ -2,28 +2,48 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
 #include "util/check.h"
 
 namespace impreg {
 
+namespace {
+
+/// Rows per parallel chunk for the CSR matvecs. Each row owns its output
+/// element, so row ranges partition the work with no write conflicts;
+/// results are elementwise identical for any thread count.
+constexpr std::int64_t kRowGrain = 512;
+
+}  // namespace
+
 void AdjacencyOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.assign(x.size(), 0.0);
-  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    double sum = 0.0;
-    for (const Arc& arc : graph_.Neighbors(u)) sum += arc.weight * x[arc.head];
-    y[u] = sum;
-  }
+  y.resize(x.size());
+  ParallelFor(0, graph_.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                  double sum = 0.0;
+                  for (const Arc& arc : graph_.Neighbors(u)) {
+                    sum += arc.weight * x[arc.head];
+                  }
+                  y[u] = sum;
+                }
+              });
 }
 
 void CombinatorialLaplacianOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.assign(x.size(), 0.0);
-  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    double sum = graph_.Degree(u) * x[u];
-    for (const Arc& arc : graph_.Neighbors(u)) sum -= arc.weight * x[arc.head];
-    y[u] = sum;
-  }
+  y.resize(x.size());
+  ParallelFor(0, graph_.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                  double sum = graph_.Degree(u) * x[u];
+                  for (const Arc& arc : graph_.Neighbors(u)) {
+                    sum -= arc.weight * x[arc.head];
+                  }
+                  y[u] = sum;
+                }
+              });
 }
 
 NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& graph)
@@ -48,15 +68,21 @@ NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& graph)
 
 void NormalizedLaplacianOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.assign(x.size(), 0.0);
-  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    if (inv_sqrt_deg_[u] == 0.0) continue;  // Isolated: row is zero.
-    double sum = 0.0;
-    for (const Arc& arc : graph_.Neighbors(u)) {
-      sum += arc.weight * inv_sqrt_deg_[arc.head] * x[arc.head];
-    }
-    y[u] = x[u] - inv_sqrt_deg_[u] * sum;
-  }
+  y.resize(x.size());
+  ParallelFor(0, graph_.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                  if (inv_sqrt_deg_[u] == 0.0) {
+                    y[u] = 0.0;  // Isolated: row is zero.
+                    continue;
+                  }
+                  double sum = 0.0;
+                  for (const Arc& arc : graph_.Neighbors(u)) {
+                    sum += arc.weight * inv_sqrt_deg_[arc.head] * x[arc.head];
+                  }
+                  y[u] = x[u] - inv_sqrt_deg_[u] * sum;
+                }
+              });
 }
 
 RandomWalkOperator::RandomWalkOperator(const Graph& graph) : graph_(graph) {
@@ -69,15 +95,18 @@ RandomWalkOperator::RandomWalkOperator(const Graph& graph) : graph_(graph) {
 
 void RandomWalkOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.assign(x.size(), 0.0);
+  y.resize(x.size());
   // y = A D^{-1} x: node v pushes x_v/d_v along each incident edge.
-  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    double sum = 0.0;
-    for (const Arc& arc : graph_.Neighbors(u)) {
-      sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
-    }
-    y[u] = sum;
-  }
+  ParallelFor(0, graph_.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                  double sum = 0.0;
+                  for (const Arc& arc : graph_.Neighbors(u)) {
+                    sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
+                  }
+                  y[u] = sum;
+                }
+              });
 }
 
 LazyWalkOperator::LazyWalkOperator(const Graph& graph, double alpha)
@@ -92,16 +121,20 @@ LazyWalkOperator::LazyWalkOperator(const Graph& graph, double alpha)
 
 void LazyWalkOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.assign(x.size(), 0.0);
-  for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
-    double sum = 0.0;
-    for (const Arc& arc : graph_.Neighbors(u)) {
-      sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
-    }
-    // Isolated nodes (d=0) keep all their mass.
-    y[u] = graph_.Degree(u) > 0.0 ? alpha_ * x[u] + (1.0 - alpha_) * sum
-                                  : x[u];
-  }
+  y.resize(x.size());
+  ParallelFor(0, graph_.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+                  double sum = 0.0;
+                  for (const Arc& arc : graph_.Neighbors(u)) {
+                    sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
+                  }
+                  // Isolated nodes (d=0) keep all their mass.
+                  y[u] = graph_.Degree(u) > 0.0
+                             ? alpha_ * x[u] + (1.0 - alpha_) * sum
+                             : x[u];
+                }
+              });
 }
 
 Vector TrivialNormalizedEigenvector(const Graph& graph) {

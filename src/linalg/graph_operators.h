@@ -30,6 +30,7 @@ class AdjacencyOperator : public LinearOperator {
   /// `graph` must outlive the operator.
   explicit AdjacencyOperator(const Graph& graph) : graph_(graph) {}
 
+  using LinearOperator::Apply;  // Un-hide the by-value convenience form.
   int Dimension() const override { return graph_.NumNodes(); }
   void Apply(const Vector& x, Vector& y) const override;
 
@@ -43,6 +44,7 @@ class CombinatorialLaplacianOperator : public LinearOperator {
   explicit CombinatorialLaplacianOperator(const Graph& graph)
       : graph_(graph) {}
 
+  using LinearOperator::Apply;  // Un-hide the by-value convenience form.
   int Dimension() const override { return graph_.NumNodes(); }
   void Apply(const Vector& x, Vector& y) const override;
 
@@ -55,6 +57,7 @@ class NormalizedLaplacianOperator : public LinearOperator {
  public:
   explicit NormalizedLaplacianOperator(const Graph& graph);
 
+  using LinearOperator::Apply;  // Un-hide the by-value convenience form.
   int Dimension() const override { return graph_.NumNodes(); }
   void Apply(const Vector& x, Vector& y) const override;
 
@@ -76,6 +79,7 @@ class RandomWalkOperator : public LinearOperator {
  public:
   explicit RandomWalkOperator(const Graph& graph);
 
+  using LinearOperator::Apply;  // Un-hide the by-value convenience form.
   int Dimension() const override { return graph_.NumNodes(); }
   void Apply(const Vector& x, Vector& y) const override;
 
@@ -90,6 +94,7 @@ class LazyWalkOperator : public LinearOperator {
  public:
   LazyWalkOperator(const Graph& graph, double alpha);
 
+  using LinearOperator::Apply;  // Un-hide the by-value convenience form.
   int Dimension() const override { return graph_.NumNodes(); }
   void Apply(const Vector& x, Vector& y) const override;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -38,28 +39,48 @@ SweepResult RunSweep(const Graph& g, const Vector& values,
   result.conductance_profile.reserve(result.order.size());
 
   const double total_volume = g.TotalVolume();
-  std::vector<char> in_set(g.NumNodes(), 0);
+  const std::int64_t count = static_cast<std::int64_t>(result.order.size());
+
+  // Rank of each node in the sweep order; nodes outside the order (the
+  // support variant sweeps a subset) rank past everything and so never
+  // count as set members.
+  std::vector<std::int64_t> rank(g.NumNodes(),
+                                 std::numeric_limits<std::int64_t>::max());
+  for (std::int64_t k = 0; k < count; ++k) rank[result.order[k]] = k;
+
+  // The O(m) part — scanning each node's neighbors to see how the cut
+  // changes when it joins the prefix — is a pure function of the ranks
+  // ("is the neighbor earlier in the order?"), so every position is
+  // computed independently in parallel. Edges to earlier nodes stop
+  // crossing, all other (non-loop) incident edges start crossing.
+  Vector cut_delta(count);
+  ParallelFor(0, count, 64, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t k = begin; k < end; ++k) {
+      const NodeId u = result.order[k];
+      double to_set = 0.0;
+      double loops = 0.0;
+      for (const Arc& arc : g.Neighbors(u)) {
+        if (arc.head == u) {
+          loops += arc.weight;
+        } else if (rank[arc.head] < k) {
+          to_set += arc.weight;
+        }
+      }
+      cut_delta[k] = g.Degree(u) - loops - 2.0 * to_set;
+    }
+  });
+
+  // Sequential O(n) prefix scan over the deltas: same accumulation order
+  // as a fully serial sweep, hence bit-identical for any thread count.
   double volume = 0.0;
   double cut = 0.0;
   double best = std::numeric_limits<double>::max();
   std::size_t best_prefix = 0;  // 0 = none yet; else prefix length.
 
-  for (std::size_t k = 0; k < result.order.size(); ++k) {
+  for (std::int64_t k = 0; k < count; ++k) {
     const NodeId u = result.order[k];
-    // Incremental cut update: edges to the existing set stop crossing,
-    // all other (non-loop) incident edges start crossing.
-    double to_set = 0.0;
-    double loops = 0.0;
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head == u) {
-        loops += arc.weight;
-      } else if (in_set[arc.head]) {
-        to_set += arc.weight;
-      }
-    }
-    in_set[u] = 1;
     volume += g.Degree(u);
-    cut += g.Degree(u) - loops - 2.0 * to_set;
+    cut += cut_delta[k];
     const double denom = std::min(volume, total_volume - volume);
     const double phi = denom > 0.0 ? cut / denom : 1.0;
     result.conductance_profile.push_back(phi);

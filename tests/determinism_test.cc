@@ -1,0 +1,176 @@
+// Bit-for-bit determinism of the parallel execution layer: every
+// operator and every diffusion must produce *identical* doubles whether
+// the pool runs 1 thread or 8. This is the library's reproducibility
+// guarantee (chunk boundaries and reduce fold order are pure functions
+// of the problem size, never of the thread count) checked end to end on
+// Erdős–Rényi, preferential-attachment, and ring-of-cliques graphs.
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/impreg.h"
+
+namespace impreg {
+namespace {
+
+void ExpectBitIdentical(const Vector& a, const Vector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+/// Runs `compute` under 1 thread and under 8 threads and asserts the
+/// results are bit-identical.
+void ExpectSameUnderOneAndEightThreads(
+    const std::function<Vector()>& compute) {
+  Vector serial, parallel;
+  {
+    const ScopedNumThreads threads(1);
+    serial = compute();
+  }
+  {
+    const ScopedNumThreads threads(8);
+    parallel = compute();
+  }
+  ExpectBitIdentical(serial, parallel);
+}
+
+struct GraphCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<GraphCase> TestGraphs() {
+  std::vector<GraphCase> cases;
+  {
+    // Large enough that SpMV spans many row chunks and the dense
+    // reductions span multiple vector chunks (> 2^14 elements).
+    Rng rng(11);
+    cases.push_back({"erdos_renyi", ErdosRenyi(20000, 4.0 / 20000.0, rng)});
+  }
+  {
+    Rng rng(12);
+    cases.push_back({"barabasi_albert", BarabasiAlbert(3000, 4, rng)});
+  }
+  // Ring of cliques: 60 cliques of 20 nodes each.
+  cases.push_back({"ring_of_cliques", CavemanGraph(60, 20)});
+  return cases;
+}
+
+Vector GaussianVector(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector x(n);
+  for (double& v : x) v = rng.NextGaussian();
+  return x;
+}
+
+TEST(DeterminismTest, AllFiveOperatorsAreThreadCountInvariant) {
+  for (const GraphCase& c : TestGraphs()) {
+    SCOPED_TRACE(c.name);
+    const Vector x = GaussianVector(c.graph.NumNodes(), 99);
+    const AdjacencyOperator adjacency(c.graph);
+    const CombinatorialLaplacianOperator combinatorial(c.graph);
+    const NormalizedLaplacianOperator normalized(c.graph);
+    const RandomWalkOperator walk(c.graph);
+    const LazyWalkOperator lazy(c.graph, 0.5);
+    const LinearOperator* operators[] = {&adjacency, &combinatorial,
+                                         &normalized, &walk, &lazy};
+    for (const LinearOperator* op : operators) {
+      ExpectSameUnderOneAndEightThreads([&] { return op->Apply(x); });
+    }
+  }
+}
+
+TEST(DeterminismTest, PageRankEndToEnd) {
+  for (const GraphCase& c : TestGraphs()) {
+    SCOPED_TRACE(c.name);
+    const Vector seed = SingleNodeSeed(c.graph, c.graph.NumNodes() / 3);
+    PageRankOptions options;
+    options.gamma = 0.1;
+    options.tolerance = 1e-10;
+    ExpectSameUnderOneAndEightThreads([&] {
+      return PersonalizedPageRank(c.graph, seed, options).scores;
+    });
+    ExpectSameUnderOneAndEightThreads([&] {
+      return PersonalizedPageRankChebyshev(c.graph, seed, options).scores;
+    });
+  }
+}
+
+TEST(DeterminismTest, HeatKernelEndToEnd) {
+  for (const GraphCase& c : TestGraphs()) {
+    SCOPED_TRACE(c.name);
+    const Vector seed = SingleNodeSeed(c.graph, 7);
+    ExpectSameUnderOneAndEightThreads(
+        [&] { return HeatKernelWalkTaylor(c.graph, seed, 5.0, 1e-10); });
+    HeatKernelOptions options;
+    options.t = 3.0;
+    ExpectSameUnderOneAndEightThreads(
+        [&] { return HeatKernelWalk(c.graph, seed, options); });
+  }
+}
+
+TEST(DeterminismTest, LazyWalkEndToEnd) {
+  for (const GraphCase& c : TestGraphs()) {
+    SCOPED_TRACE(c.name);
+    const Vector seed = SingleNodeSeed(c.graph, 0);
+    LazyWalkOptions options;
+    options.alpha = 0.5;
+    options.steps = 12;
+    ExpectSameUnderOneAndEightThreads(
+        [&] { return LazyWalk(c.graph, seed, options); });
+  }
+}
+
+TEST(DeterminismTest, SweepCutProfileAndSetAreThreadCountInvariant) {
+  for (const GraphCase& c : TestGraphs()) {
+    SCOPED_TRACE(c.name);
+    const Vector values = GaussianVector(c.graph.NumNodes(), 4242);
+    SweepResult serial, parallel;
+    {
+      const ScopedNumThreads threads(1);
+      serial = SweepCut(c.graph, values);
+    }
+    {
+      const ScopedNumThreads threads(8);
+      parallel = SweepCut(c.graph, values);
+    }
+    EXPECT_EQ(serial.order, parallel.order);
+    EXPECT_EQ(serial.set, parallel.set);
+    ExpectBitIdentical(serial.conductance_profile,
+                       parallel.conductance_profile);
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(serial.stats.conductance),
+              std::bit_cast<std::uint64_t>(parallel.stats.conductance));
+  }
+}
+
+TEST(DeterminismTest, DenseReductionsAreThreadCountInvariant) {
+  // Vectors long enough for > 4 reduce chunks.
+  const Vector x = GaussianVector(100000, 5);
+  const Vector y = GaussianVector(100000, 6);
+  auto scalars = [&] {
+    return Vector{Dot(x, y),          Norm1(x),           Norm2(x),
+                  NormInf(x),         Sum(x),             DistanceL1(x, y),
+                  DistanceL2(x, y),   DistanceUpToSign(x, y),
+                  WeightedDot(x, x, y)};
+  };
+  Vector serial, parallel;
+  {
+    const ScopedNumThreads threads(1);
+    serial = scalars();
+  }
+  {
+    const ScopedNumThreads threads(8);
+    parallel = scalars();
+  }
+  ExpectBitIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,226 @@
+// Unit tests for the parallel execution layer (core/parallel.h):
+// chunking, determinism of the ordered reduce, exception propagation,
+// the nested-region serial fallback, and thread-count configuration.
+
+#include "core/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeIsOneChunk) {
+  std::atomic<int> calls{0};
+  std::int64_t begin = -1, end = -1;
+  ParallelFor(3, 10, 100, [&](std::int64_t b, std::int64_t e) {
+    ++calls;
+    begin = b;
+    end = e;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(begin, 3);
+  EXPECT_EQ(end, 10);
+}
+
+TEST(ParallelForTest, ChunksCoverRangeExactlyOnce) {
+  const ScopedNumThreads threads(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(0, 1000, 7, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) touched[i]++;
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto boundaries = [](int num_threads) {
+    const ScopedNumThreads threads(num_threads);
+    std::mutex mu;
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    ParallelFor(10, 523, 37, [&](std::int64_t b, std::int64_t e) {
+      const std::lock_guard<std::mutex> lock(mu);
+      seen.emplace(b, e);
+    });
+    return seen;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(serial.size(), 14u);  // ceil(513 / 37).
+  EXPECT_EQ(boundaries(3), serial);
+  EXPECT_EQ(boundaries(8), serial);
+}
+
+TEST(ParallelForTest, ExceptionsPropagateToCaller) {
+  const ScopedNumThreads threads(4);
+  EXPECT_THROW(ParallelFor(0, 1000, 10,
+                           [&](std::int64_t b, std::int64_t) {
+                             if (b >= 500) {
+                               throw std::runtime_error("kernel fault");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionsPropagateOnSerialPathToo) {
+  const ScopedNumThreads threads(1);
+  EXPECT_THROW(ParallelFor(0, 100, 10,
+                           [&](std::int64_t, std::int64_t) {
+                             throw std::runtime_error("serial fault");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsFallBackToSerial) {
+  const ScopedNumThreads threads(4);
+  std::atomic<bool> saw_nested_region{false};
+  std::atomic<bool> nested_escaped_thread{false};
+  ParallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    if (internal::InParallelRegion()) saw_nested_region = true;
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    // The inner region must run inline on the outer worker's thread.
+    ParallelFor(0, 64, 1, [&](std::int64_t, std::int64_t) {
+      if (std::this_thread::get_id() != outer_thread) {
+        nested_escaped_thread = true;
+      }
+    });
+  });
+  EXPECT_TRUE(saw_nested_region.load());
+  EXPECT_FALSE(nested_escaped_thread.load());
+}
+
+TEST(ParallelForTest, ThreadCountChangesTakeEffect) {
+  auto distinct_threads = [](int num_threads) {
+    const ScopedNumThreads threads(num_threads);
+    std::mutex mu;
+    std::set<std::thread::id> ids;
+    ParallelFor(0, 64, 1, [&](std::int64_t, std::int64_t) {
+      const std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+    return ids;
+  };
+  // With 1 thread everything runs on the caller.
+  const auto serial_ids = distinct_threads(1);
+  EXPECT_EQ(serial_ids.size(), 1u);
+  EXPECT_EQ(*serial_ids.begin(), std::this_thread::get_id());
+  // With T threads at most T participants touch the region.
+  EXPECT_LE(distinct_threads(3).size(), 3u);
+  EXPECT_LE(distinct_threads(8).size(), 8u);
+}
+
+TEST(ParallelForTest, ScopedNumThreadsRestores) {
+  ImpregSetNumThreads(2);
+  EXPECT_EQ(ImpregNumThreads(), 2);
+  {
+    const ScopedNumThreads threads(6);
+    EXPECT_EQ(ImpregNumThreads(), 6);
+  }
+  EXPECT_EQ(ImpregNumThreads(), 2);
+  ImpregSetNumThreads(0);  // Back to automatic.
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  const double result = ParallelReduce(
+      4, 4, 8, 1.5,
+      [](std::int64_t, std::int64_t) { return 100.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(result, 1.5);
+}
+
+TEST(ParallelReduceTest, SumsAllChunks) {
+  const ScopedNumThreads threads(4);
+  const std::int64_t n = 100000;
+  const std::int64_t sum = ParallelReduce(
+      0, n, 1024, std::int64_t{0},
+      [](std::int64_t b, std::int64_t e) {
+        std::int64_t s = 0;
+        for (std::int64_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduceTest, CombineRunsInChunkOrder) {
+  // A non-commutative combine (sequence append) exposes the fold order:
+  // it must be chunk 0, 1, 2, … regardless of the thread count.
+  for (const int num_threads : {1, 2, 5, 8}) {
+    const ScopedNumThreads threads(num_threads);
+    using Chunks = std::vector<std::int64_t>;
+    const Chunks order = ParallelReduce(
+        0, 170, 10, Chunks{},
+        [](std::int64_t b, std::int64_t) { return Chunks{b / 10}; },
+        [](Chunks acc, const Chunks& chunk) {
+          acc.insert(acc.end(), chunk.begin(), chunk.end());
+          return acc;
+        });
+    ASSERT_EQ(order.size(), 17u) << num_threads;
+    for (std::int64_t c = 0; c < 17; ++c) EXPECT_EQ(order[c], c);
+  }
+}
+
+TEST(ParallelReduceTest, FloatingPointSumBitIdenticalAcrossThreadCounts) {
+  Rng rng(1234);
+  std::vector<double> values(50000);
+  for (double& v : values) v = rng.NextGaussian();
+  auto reduce = [&](int num_threads) {
+    const ScopedNumThreads threads(num_threads);
+    return ParallelReduce(
+        0, static_cast<std::int64_t>(values.size()), 777, 0.0,
+        [&](std::int64_t b, std::int64_t e) {
+          double s = 0.0;
+          for (std::int64_t i = b; i < e; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = reduce(1);
+  for (const int num_threads : {2, 3, 4, 8, 16}) {
+    EXPECT_EQ(serial, reduce(num_threads)) << num_threads;
+  }
+}
+
+TEST(ParallelReduceTest, ExceptionsPropagate) {
+  const ScopedNumThreads threads(4);
+  EXPECT_THROW(ParallelReduce(
+                   0, 1000, 10, 0.0,
+                   [](std::int64_t b, std::int64_t) -> double {
+                     if (b == 500) throw std::runtime_error("map fault");
+                     return 1.0;
+                   },
+                   [](double a, double b) { return a + b; }),
+               std::runtime_error);
+}
+
+TEST(ParallelConfigTest, NumThreadsIsAtLeastOne) {
+  ImpregSetNumThreads(0);
+  EXPECT_GE(ImpregNumThreads(), 1);
+  ImpregSetNumThreads(-5);
+  EXPECT_GE(ImpregNumThreads(), 1);
+}
+
+TEST(ParallelConfigTest, ChunkCountMatchesCeilDiv) {
+  EXPECT_EQ(internal::ChunkCount(0, 0, 4), 0);
+  EXPECT_EQ(internal::ChunkCount(0, 1, 4), 1);
+  EXPECT_EQ(internal::ChunkCount(0, 4, 4), 1);
+  EXPECT_EQ(internal::ChunkCount(0, 5, 4), 2);
+  EXPECT_EQ(internal::ChunkCount(3, 11, 4), 2);
+  EXPECT_EQ(internal::ChunkCount(0, 100, 0), 100);  // Grain clamps to 1.
+}
+
+}  // namespace
+}  // namespace impreg

@@ -3,6 +3,7 @@
 // graphs. These catch exactly the bugs unit tests miss — two modules
 // each "working" but disagreeing about conventions.
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -232,6 +233,72 @@ TEST_P(PropertyTest, CoreNumbersMonotoneUnderKCore) {
   const int degeneracy = Degeneracy(g);
   EXPECT_TRUE(KCore(g, degeneracy + 1).empty());
   EXPECT_EQ(KCore(g, 0).size(), static_cast<std::size_t>(g.NumNodes()));
+}
+
+// —— Operator invariants exercised under the parallel execution path ——
+// Each of these pins an algebraic identity of the §3.1 matrices while
+// the kernels run on a multi-thread pool (ScopedNumThreads(4)), so a
+// data race or mis-partitioned chunk shows up as a broken identity.
+
+TEST_P(PropertyTest, NormalizedLaplacianIsSelfAdjointUnderParallelPath) {
+  // ℒ is symmetric: ⟨ℒx, y⟩ = ⟨x, ℒy⟩.
+  const ScopedNumThreads threads(4);
+  const Graph g = Family(GetParam());
+  const NormalizedLaplacianOperator lap(g);
+  Rng rng(700 + GetParam());
+  Vector x(g.NumNodes()), y(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  const Vector lx = lap.Apply(x);
+  const Vector ly = lap.Apply(y);
+  const double scale = 1.0 + std::abs(Dot(lx, y));
+  EXPECT_NEAR(Dot(lx, y), Dot(x, ly), 1e-10 * scale);
+}
+
+TEST_P(PropertyTest, RandomWalkIsColumnStochasticUnderParallelPath) {
+  // M = A D^{-1} preserves total mass: 1ᵀ M x = 1ᵀ x (the families have
+  // no isolated nodes, so no mass is annihilated).
+  const ScopedNumThreads threads(4);
+  const Graph g = Family(GetParam());
+  const RandomWalkOperator walk(g);
+  Rng rng(710 + GetParam());
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextDouble();  // Nonnegative charge.
+  const Vector mx = walk.Apply(x);
+  EXPECT_NEAR(Sum(mx), Sum(x), 1e-10 * (1.0 + Sum(x)));
+}
+
+TEST_P(PropertyTest, LazyWalkIsConvexCombinationUnderParallelPath) {
+  // W_α = αI + (1−α)M, entry by entry, for α ∈ {0, ½, 1}.
+  const ScopedNumThreads threads(4);
+  const Graph g = Family(GetParam());
+  const RandomWalkOperator walk(g);
+  Rng rng(720 + GetParam());
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  const Vector mx = walk.Apply(x);
+  for (const double alpha : {0.0, 0.5, 1.0}) {
+    const LazyWalkOperator lazy(g, alpha);
+    const Vector wx = lazy.Apply(x);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      EXPECT_NEAR(wx[u], alpha * x[u] + (1.0 - alpha) * mx[u], 1e-12)
+          << "alpha " << alpha << " node " << u;
+    }
+  }
+}
+
+TEST_P(PropertyTest, CombinatorialLaplacianAnnihilatesConstantsUnderParallelPath) {
+  // L·1 = 0: every row of D − A sums to zero.
+  const ScopedNumThreads threads(4);
+  const Graph g = Family(GetParam());
+  const CombinatorialLaplacianOperator lap(g);
+  const Vector ones(g.NumNodes(), 1.0);
+  const Vector l1 = lap.Apply(ones);
+  double max_degree = 0.0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    max_degree = std::max(max_degree, g.Degree(u));
+  }
+  EXPECT_LE(NormInf(l1), 1e-12 * (1.0 + max_degree));
 }
 
 TEST_P(PropertyTest, MonteCarloIsUnbiasedInExpectationShape) {
