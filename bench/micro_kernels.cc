@@ -1,9 +1,18 @@
 // Microbenchmarks (google-benchmark) for the computational kernels
 // under every experiment: sparse matvec, diffusion steps, push, sweep,
-// max-flow, and the eigensolvers.
+// max-flow, and the eigensolvers. Results are also dumped as JSON
+// (BENCH_micro_kernels.json at the repo root, or $IMPREG_BENCH_REPORT)
+// so the perf trajectory is tracked across PRs — see bench/report.h.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
 #include "core/impreg.h"
 
 namespace impreg {
@@ -20,6 +29,19 @@ const Graph& BenchGraph(std::int64_t n) {
   return it->second;
 }
 
+// Tags the run with the {n, m, threads} counters the JSON report emits.
+void SetReportCounters(benchmark::State& state, std::int64_t n,
+                       std::int64_t m, int threads = 1) {
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void SetGraphCounters(benchmark::State& state, const Graph& g,
+                      int threads = 1) {
+  SetReportCounters(state, g.NumNodes(), g.NumEdges(), threads);
+}
+
 void BM_NormalizedLaplacianMatvec(benchmark::State& state) {
   const Graph& g = BenchGraph(state.range(0));
   const NormalizedLaplacianOperator lap(g);
@@ -32,6 +54,7 @@ void BM_NormalizedLaplacianMatvec(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * g.NumArcs());
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_NormalizedLaplacianMatvec)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
 
@@ -44,6 +67,7 @@ void BM_LazyWalkStep(benchmark::State& state) {
     walk.Apply(p, q);
     benchmark::DoNotOptimize(q.data());
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_LazyWalkStep)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -68,6 +92,7 @@ void BM_SweepCut(benchmark::State& state) {
     const SweepResult r = SweepCut(g, values);
     benchmark::DoNotOptimize(r.stats.conductance);
   }
+  SetGraphCounters(state, g);
 }
 BENCHMARK(BM_SweepCut)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -182,6 +207,7 @@ void BM_SpMVThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * g.NumArcs());
+  SetGraphCounters(state, g, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_SpMVThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -195,6 +221,8 @@ void BM_DotThreads(benchmark::State& state) {
     benchmark::DoNotOptimize(Dot(x, y));
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(x.size()));
+  SetReportCounters(state, static_cast<std::int64_t>(x.size()), 0,
+                    static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_DotThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -209,6 +237,7 @@ void BM_PageRankThreads(benchmark::State& state) {
     const PageRankResult r = PersonalizedPageRank(g, seed, options);
     benchmark::DoNotOptimize(r.scores.data());
   }
+  SetGraphCounters(state, g, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_PageRankThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -220,6 +249,7 @@ void BM_HeatKernelTaylorThreads(benchmark::State& state) {
     const Vector h = HeatKernelWalkTaylor(g, seed, 5.0, 1e-8);
     benchmark::DoNotOptimize(h.data());
   }
+  SetGraphCounters(state, g, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_HeatKernelTaylorThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -233,8 +263,141 @@ void BM_SweepCutThreads(benchmark::State& state) {
     const SweepResult r = SweepCut(g, values);
     benchmark::DoNotOptimize(r.stats.conductance);
   }
+  SetGraphCounters(state, g, static_cast<int>(state.range(0)));
 }
 BENCHMARK(BM_SweepCutThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// —— Memory-layout sweeps (ISSUE 2) ——
+// AoS-vs-SoA isolates the adjacency layout: the same serial adjacency
+// SpMV over {int32, double} structs (16 bytes/arc after padding) versus
+// the split heads/weights arrays (12 bytes/arc). SpMV-vs-SpMM measures
+// the register-blocked multi-vector path at k = 1, 4, 8.
+
+struct AosArc {
+  NodeId head;
+  double weight;
+};
+
+struct AosGraph {
+  std::vector<ArcIndex> offsets;
+  std::vector<AosArc> arcs;
+};
+
+const AosGraph& AosReplica(std::int64_t n) {
+  static std::map<std::int64_t, AosGraph>* cache =
+      new std::map<std::int64_t, AosGraph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    const Graph& g = BenchGraph(n);
+    AosGraph aos;
+    aos.offsets.assign(g.Offsets().begin(), g.Offsets().end());
+    aos.arcs.reserve(static_cast<std::size_t>(g.NumArcs()));
+    const auto heads = g.Heads();
+    const auto weights = g.Weights();
+    for (std::size_t a = 0; a < heads.size(); ++a) {
+      aos.arcs.push_back({heads[a], weights[a]});
+    }
+    it = cache->emplace(n, std::move(aos)).first;
+  }
+  return it->second;
+}
+
+void BM_SpMVAoS(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  const AosGraph& aos = AosReplica(state.range(0));
+  Rng rng(1);
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  Vector y(g.NumNodes());
+  const NodeId n = g.NumNodes();
+  for (auto _ : state) {
+    for (NodeId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      const ArcIndex row_end = aos.offsets[u + 1];
+      for (ArcIndex a = aos.offsets[u]; a < row_end; ++a) {
+        sum += aos.arcs[a].weight * x[aos.arcs[a].head];
+      }
+      y[u] = sum;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+  state.SetBytesProcessed(state.iterations() * g.NumArcs() *
+                          static_cast<std::int64_t>(sizeof(AosArc)));
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_SpMVAoS)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_SpMVSoA(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  Rng rng(1);
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  Vector y(g.NumNodes());
+  const NodeId n = g.NumNodes();
+  const auto offsets = g.Offsets();
+  const auto heads = g.Heads();
+  const auto weights = g.Weights();
+  for (auto _ : state) {
+    for (NodeId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      const ArcIndex row_end = offsets[u + 1];
+      for (ArcIndex a = offsets[u]; a < row_end; ++a) {
+        sum += weights[a] * x[heads[a]];
+      }
+      y[u] = sum;
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+  state.SetBytesProcessed(
+      state.iterations() * g.NumArcs() *
+      static_cast<std::int64_t>(sizeof(NodeId) + sizeof(double)));
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_SpMVSoA)->Arg(1 << 15)->Arg(1 << 17);
+
+// k right-hand sides via the register-blocked SpMM (one adjacency
+// traversal for all k columns).
+void BM_SpMMBatch(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const NormalizedLaplacianOperator lap(g);
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<Vector> xs(k, Vector(g.NumNodes()));
+  for (Vector& x : xs) {
+    for (double& v : x) v = rng.NextGaussian();
+  }
+  std::vector<Vector> ys;
+  for (auto _ : state) {
+    lap.ApplyBatch(xs, ys);
+    benchmark::DoNotOptimize(ys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs() * k);
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_SpMMBatch)->Arg(1)->Arg(4)->Arg(8);
+
+// The same k right-hand sides as k independent SpMVs (the baseline the
+// SpMM path amortizes away).
+void BM_SpMMLooped(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 17);
+  const NormalizedLaplacianOperator lap(g);
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<Vector> xs(k, Vector(g.NumNodes()));
+  for (Vector& x : xs) {
+    for (double& v : x) v = rng.NextGaussian();
+  }
+  std::vector<Vector> ys(k);
+  for (auto _ : state) {
+    for (int j = 0; j < k; ++j) lap.Apply(xs[j], ys[j]);
+    benchmark::DoNotOptimize(ys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs() * k);
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_SpMMLooped)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_ChebyshevPpr(benchmark::State& state) {
   const Graph& g = BenchGraph(1 << 14);
@@ -249,7 +412,57 @@ void BM_ChebyshevPpr(benchmark::State& state) {
 }
 BENCHMARK(BM_ChebyshevPpr);
 
+// Console output as usual, plus one BenchRecord per (non-aggregate)
+// run for the JSON report.
+class JsonDumpReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      BenchRecord record;
+      record.bench = run.benchmark_name();
+      record.ns_per_iter = run.GetAdjustedRealTime();
+      auto counter = [&](const char* name, double fallback) {
+        const auto it = run.counters.find(name);
+        return it != run.counters.end()
+                   ? static_cast<double>(it->second.value)
+                   : fallback;
+      };
+      record.n = static_cast<std::int64_t>(counter("n", 0.0));
+      record.m = static_cast<std::int64_t>(counter("m", 0.0));
+      record.threads = static_cast<int>(counter("threads", 1.0));
+      records_.push_back(std::move(record));
+    }
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+std::string ReportPath() {
+  if (const char* env = std::getenv("IMPREG_BENCH_REPORT")) {
+    return env;
+  }
+  return std::string(IMPREG_BENCH_REPORT_DIR) + "/BENCH_micro_kernels.json";
+}
+
 }  // namespace
 }  // namespace impreg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  impreg::JsonDumpReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const std::string path = impreg::ReportPath();
+  if (impreg::WriteBenchReport(path, reporter.records())) {
+    std::printf("bench report: %s (%zu records)\n", path.c_str(),
+                reporter.records().size());
+  } else {
+    std::fprintf(stderr, "failed to write bench report: %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "bench/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace impreg {
+
+namespace {
+
+// JSON string escaping for benchmark names (quotes, backslashes,
+// control characters — names like "BM_Foo/8" need none, but stay safe).
+void AppendEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string BenchReportToJson(const std::vector<BenchRecord>& records) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "  {\"bench\": ";
+    AppendEscaped(out, r.bench);
+    out << ", \"n\": " << r.n << ", \"m\": " << r.m
+        << ", \"threads\": " << r.threads
+        << ", \"ns_per_iter\": " << r.ns_per_iter << "}";
+    if (i + 1 < records.size()) out << ",";
+    out << "\n";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+bool WriteBenchReport(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << BenchReportToJson(records);
+  return static_cast<bool>(out);
+}
+
+}  // namespace impreg

@@ -1,0 +1,38 @@
+#ifndef IMPREG_BENCH_REPORT_H_
+#define IMPREG_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Machine-readable bench reports. Each benchmark run becomes one JSON
+/// record `{bench, n, m, threads, ns_per_iter}`; a whole suite is
+/// written as a JSON array so the perf trajectory can be tracked across
+/// PRs (`BENCH_micro_kernels.json` at the repo root). Deliberately free
+/// of any google-benchmark dependency so drivers and one-off harnesses
+/// can emit the same format.
+
+namespace impreg {
+
+/// One benchmark measurement.
+struct BenchRecord {
+  std::string bench;           ///< Benchmark name, e.g. "BM_SpMVSoA/131072".
+  std::int64_t n = 0;          ///< Problem size (nodes / vector length).
+  std::int64_t m = 0;          ///< Edge count (0 when not graph-based).
+  int threads = 1;             ///< Pool threads the kernel ran with.
+  double ns_per_iter = 0.0;    ///< Wall time per iteration, nanoseconds.
+};
+
+/// Serializes `records` as a JSON array (one object per record).
+std::string BenchReportToJson(const std::vector<BenchRecord>& records);
+
+/// Writes the JSON report to `path` (overwrites). Returns false (and
+/// leaves no partial file behind beyond normal stream behavior) if the
+/// file cannot be opened.
+bool WriteBenchReport(const std::string& path,
+                      const std::vector<BenchRecord>& records);
+
+}  // namespace impreg
+
+#endif  // IMPREG_BENCH_REPORT_H_

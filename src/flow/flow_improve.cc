@@ -40,9 +40,11 @@ FlowImproveResult FlowImprove(const Graph& g,
     const int sink = n + 1;
     FlowNetwork network(n + 2);
     for (NodeId u = 0; u < n; ++u) {
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (arc.head > u) {
-          network.AddEdge(u, arc.head, arc.weight, arc.weight);
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        if (heads[i] > u) {
+          network.AddEdge(u, heads[i], weights[i], weights[i]);
         }
       }
       if (in_ref[u]) {

@@ -47,14 +47,16 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
     for (int i = 0; i < size; ++i) {
       const NodeId u = current[i];
       double boundary = 0.0;
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (arc.head == u) continue;  // Self-loops never cross.
-        const int j = local[arc.head];
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t a = 0; a < heads.size(); ++a) {
+        if (heads[a] == u) continue;  // Self-loops never cross.
+        const int j = local[heads[a]];
         if (j < 0) {
-          boundary += arc.weight;
-        } else if (u < arc.head) {
+          boundary += weights[a];
+        } else if (u < heads[a]) {
           // Internal edge, once per pair, both directions.
-          network.AddEdge(i, j, v * arc.weight, v * arc.weight);
+          network.AddEdge(i, j, v * weights[a], v * weights[a]);
         }
       }
       network.AddEdge(source, i, c * g.Degree(u));

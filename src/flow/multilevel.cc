@@ -38,11 +38,14 @@ bool Coarsen(const Graph& fine, const std::vector<std::int64_t>& fine_weight,
     // merged weight stays under the cap.
     NodeId best = -1;
     double best_weight = -1.0;
-    for (const Arc& arc : fine.Neighbors(u)) {
-      if (arc.head != u && match[arc.head] < 0 && arc.weight > best_weight &&
-          fine_weight[u] + fine_weight[arc.head] <= max_weight) {
-        best = arc.head;
-        best_weight = arc.weight;
+    const auto heads = fine.Heads(u);
+    const auto weights = fine.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      const NodeId v = heads[i];
+      if (v != u && match[v] < 0 && weights[i] > best_weight &&
+          fine_weight[u] + fine_weight[v] <= max_weight) {
+        best = v;
+        best_weight = weights[i];
       }
     }
     if (best >= 0) {
@@ -60,11 +63,14 @@ bool Coarsen(const Graph& fine, const std::vector<std::int64_t>& fine_weight,
   out.node_weight.assign(coarse_count, 0);
   for (NodeId u = 0; u < n; ++u) {
     out.node_weight[coarse_id[u]] += fine_weight[u];
-    for (const Arc& arc : fine.Neighbors(u)) {
+    const auto heads = fine.Heads(u);
+    const auto weights = fine.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
       // Keep each fine edge once; drop edges internal to a merged pair.
-      if (arc.head <= u) continue;
-      if (coarse_id[arc.head] == coarse_id[u]) continue;
-      builder.AddEdge(coarse_id[u], coarse_id[arc.head], arc.weight);
+      const NodeId v = heads[i];
+      if (v <= u) continue;
+      if (coarse_id[v] == coarse_id[u]) continue;
+      builder.AddEdge(coarse_id[u], coarse_id[v], weights[i]);
     }
   }
   out.graph = builder.Build();
@@ -75,8 +81,10 @@ bool Coarsen(const Graph& fine, const std::vector<std::int64_t>& fine_weight,
 double CutOfSides(const Graph& g, const std::vector<char>& side) {
   double cut = 0.0;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head > u && side[arc.head] != side[u]) cut += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] > u && side[heads[i]] != side[u]) cut += weights[i];
     }
   }
   return cut;
@@ -97,10 +105,14 @@ std::vector<char> GrowInitial(const Graph& g,
   side[start] = 1;
   seen[start] = 1;
   std::int64_t grown = weight[start];
-  for (const Arc& arc : g.Neighbors(start)) {
-    if (arc.head != start && !seen[arc.head]) {
-      seen[arc.head] = 1;
-      frontier.push({arc.weight, arc.head});
+  {
+    const auto heads = g.Heads(start);
+    const auto weights = g.Weights(start);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] != start && !seen[heads[i]]) {
+        seen[heads[i]] = 1;
+        frontier.push({weights[i], heads[i]});
+      }
     }
   }
   while (grown < target && !frontier.empty()) {
@@ -109,9 +121,11 @@ std::vector<char> GrowInitial(const Graph& g,
     if (side[u]) continue;
     // Recompute the gain lazily; push back if stale and worse.
     double to_s = 0.0, to_rest = 0.0;
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head == u) continue;
-      (side[arc.head] ? to_s : to_rest) += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] == u) continue;
+      (side[heads[i]] ? to_s : to_rest) += weights[i];
     }
     const double gain = to_s - to_rest;
     if (gain < stale_gain - 1e-12 && !frontier.empty()) {
@@ -120,9 +134,9 @@ std::vector<char> GrowInitial(const Graph& g,
     }
     side[u] = 1;
     grown += weight[u];
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head != u && !side[arc.head]) {
-        frontier.push({arc.weight, arc.head});  // Lazy: recomputed above.
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] != u && !side[heads[i]]) {
+        frontier.push({weights[i], heads[i]});  // Lazy: recomputed above.
       }
     }
   }
@@ -142,9 +156,11 @@ void RefinePass(const Graph& g, const std::vector<std::int64_t>& weight,
   // Gains: moving u across reduces the cut by (external − internal).
   auto gain_of = [&](NodeId u) {
     double external = 0.0, internal = 0.0;
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head == u) continue;
-      (side[arc.head] == side[u] ? internal : external) += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] == u) continue;
+      (side[heads[i]] == side[u] ? internal : external) += weights[i];
     }
     return external - internal;
   };
@@ -176,9 +192,9 @@ void RefinePass(const Graph& g, const std::vector<std::int64_t>& weight,
     side[u] = side[u] ? 0 : 1;
     side_weight = new_weight;
     moved[u] = 1;
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head != u && !moved[arc.head]) {
-        moves.push({gain_of(arc.head), arc.head});
+    for (const NodeId v : g.Heads(u)) {
+      if (v != u && !moved[v]) {
+        moves.push({gain_of(v), v});
       }
     }
   }

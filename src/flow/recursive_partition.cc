@@ -74,8 +74,10 @@ double KwayCut(const Graph& g, const std::vector<int>& part) {
   IMPREG_CHECK(part.size() == static_cast<std::size_t>(g.NumNodes()));
   double cut = 0.0;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head > u && part[arc.head] != part[u]) cut += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] > u && part[heads[i]] != part[u]) cut += weights[i];
     }
   }
   return cut;

@@ -17,10 +17,10 @@ std::vector<int> BfsDistances(const Graph& g, NodeId source) {
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (dist[arc.head] < 0) {
-        dist[arc.head] = dist[u] + 1;
-        frontier.push(arc.head);
+    for (const NodeId v : g.Heads(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
       }
     }
   }
@@ -39,10 +39,10 @@ std::vector<int> BfsDistancesWithin(const Graph& g, NodeId source,
   while (!frontier.empty()) {
     const NodeId u = frontier.front();
     frontier.pop();
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (members[arc.head] && dist[arc.head] < 0) {
-        dist[arc.head] = dist[u] + 1;
-        frontier.push(arc.head);
+    for (const NodeId v : g.Heads(u)) {
+      if (members[v] && dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
       }
     }
   }
@@ -61,10 +61,10 @@ std::vector<int> ConnectedComponents(const Graph& g) {
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (component[arc.head] < 0) {
-          component[arc.head] = next;
-          stack.push_back(arc.head);
+      for (const NodeId v : g.Heads(u)) {
+        if (component[v] < 0) {
+          component[v] = next;
+          stack.push_back(v);
         }
       }
     }
@@ -93,13 +93,15 @@ Subgraph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
   }
   GraphBuilder builder(static_cast<NodeId>(nodes.size()));
   for (NodeId u : nodes) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      const NodeId v = arc.head;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      const NodeId v = heads[i];
       if (sub.new_of[v] < 0) continue;
       // Emit each edge once: from the endpoint with smaller original id
       // (self-loops from their single arc).
       if (u < v || u == v) {
-        builder.AddEdge(sub.new_of[u], sub.new_of[v], arc.weight);
+        builder.AddEdge(sub.new_of[u], sub.new_of[v], weights[i]);
       }
     }
   }

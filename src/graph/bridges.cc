@@ -27,9 +27,9 @@ std::vector<Bridge> FindBridges(const Graph& g) {
     while (!stack.empty()) {
       Frame& frame = stack.back();
       const NodeId u = frame.node;
-      const auto nbrs = g.Neighbors(u);
-      if (frame.next_arc < nbrs.size()) {
-        const NodeId v = nbrs[frame.next_arc].head;
+      const auto heads = g.Heads(u);
+      if (frame.next_arc < heads.size()) {
+        const NodeId v = heads[frame.next_arc];
         ++frame.next_arc;
         if (v == u || v == parent[u]) continue;  // Loop or tree edge back.
         if (disc[v] >= 0) {
@@ -83,11 +83,11 @@ std::vector<Whisker> FindWhiskers(const Graph& g) {
     while (!stack.empty()) {
       const NodeId u = stack.back();
       stack.pop_back();
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (arc.head == u || piece[arc.head] >= 0) continue;
-        if (is_bridge(u, arc.head)) continue;
-        piece[arc.head] = num_pieces;
-        stack.push_back(arc.head);
+      for (const NodeId v : g.Heads(u)) {
+        if (v == u || piece[v] >= 0) continue;
+        if (is_bridge(u, v)) continue;
+        piece[v] = num_pieces;
+        stack.push_back(v);
       }
     }
     ++num_pieces;

@@ -8,11 +8,11 @@ namespace impreg {
 
 double Graph::EdgeWeight(NodeId u, NodeId v) const {
   IMPREG_DCHECK(IsValidNode(u) && IsValidNode(v));
-  const auto nbrs = Neighbors(u);
-  auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), v,
-      [](const Arc& arc, NodeId target) { return arc.head < target; });
-  if (it != nbrs.end() && it->head == v) return it->weight;
+  const auto heads = Heads(u);
+  auto it = std::lower_bound(heads.begin(), heads.end(), v);
+  if (it != heads.end() && *it == v) {
+    return weights_[offsets_[u] + (it - heads.begin())];
+  }
   return 0.0;
 }
 
@@ -40,37 +40,53 @@ Graph GraphBuilder::Build() const {
   }
   for (NodeId u = 0; u < n; ++u) g.offsets_[u + 1] += g.offsets_[u];
 
-  // Scatter arcs.
-  g.arcs_.resize(static_cast<std::size_t>(g.offsets_[n]));
+  // Scatter arcs into the structure-of-arrays storage.
+  g.heads_.resize(static_cast<std::size_t>(g.offsets_[n]));
+  g.weights_.resize(static_cast<std::size_t>(g.offsets_[n]));
   std::vector<ArcIndex> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& e : edges_) {
-    g.arcs_[cursor[e.u]++] = {e.v, e.weight};
-    if (e.u != e.v) g.arcs_[cursor[e.v]++] = {e.u, e.weight};
+    g.heads_[cursor[e.u]] = e.v;
+    g.weights_[cursor[e.u]++] = e.weight;
+    if (e.u != e.v) {
+      g.heads_[cursor[e.v]] = e.u;
+      g.weights_[cursor[e.v]++] = e.weight;
+    }
   }
 
-  // Sort each adjacency list and merge parallel edges in place.
+  // Sort each adjacency list and merge parallel edges in place. Rows are
+  // gathered into an (head, weight) scratch row so the sort permutes
+  // both arrays consistently, then written back compacted.
   ArcIndex write = 0;
   std::vector<ArcIndex> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Arc> row;
   for (NodeId u = 0; u < n; ++u) {
     const ArcIndex begin = g.offsets_[u];
     const ArcIndex end = g.offsets_[u + 1];
-    std::sort(g.arcs_.begin() + begin, g.arcs_.begin() + end,
+    row.clear();
+    row.reserve(static_cast<std::size_t>(end - begin));
+    for (ArcIndex i = begin; i < end; ++i) {
+      row.push_back({g.heads_[i], g.weights_[i]});
+    }
+    std::sort(row.begin(), row.end(),
               [](const Arc& a, const Arc& b) { return a.head < b.head; });
     new_offsets[u] = write;
-    for (ArcIndex i = begin; i < end;) {
-      Arc merged = g.arcs_[i];
-      ArcIndex j = i + 1;
-      while (j < end && g.arcs_[j].head == merged.head) {
-        merged.weight += g.arcs_[j].weight;
+    for (std::size_t i = 0; i < row.size();) {
+      Arc merged = row[i];
+      std::size_t j = i + 1;
+      while (j < row.size() && row[j].head == merged.head) {
+        merged.weight += row[j].weight;
         ++j;
       }
-      g.arcs_[write++] = merged;
+      g.heads_[write] = merged.head;
+      g.weights_[write++] = merged.weight;
       i = j;
     }
   }
   new_offsets[n] = write;
-  g.arcs_.resize(static_cast<std::size_t>(write));
-  g.arcs_.shrink_to_fit();
+  g.heads_.resize(static_cast<std::size_t>(write));
+  g.heads_.shrink_to_fit();
+  g.weights_.resize(static_cast<std::size_t>(write));
+  g.weights_.shrink_to_fit();
   g.offsets_ = std::move(new_offsets);
 
   // Degrees, edge count, volume.
@@ -78,9 +94,11 @@ Graph GraphBuilder::Build() const {
   g.total_volume_ = 0.0;
   for (NodeId u = 0; u < n; ++u) {
     double deg = 0.0;
-    for (const Arc& arc : g.Neighbors(u)) {
-      deg += arc.weight;
-      if (arc.head >= u) ++g.num_edges_;  // Count each undirected edge once.
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      deg += weights[i];
+      if (heads[i] >= u) ++g.num_edges_;  // Count each undirected edge once.
     }
     g.degrees_[u] = deg;
     g.total_volume_ += deg;

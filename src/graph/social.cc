@@ -58,8 +58,10 @@ SocialGraph MakeWhiskeredSocialGraph(const SocialGraphParams& params,
         params.core_nodes, params.core_gamma, params.core_avg_degree);
     const Graph core = ChungLu(weights, rng);
     for (NodeId u = 0; u < core.NumNodes(); ++u) {
-      for (const Arc& arc : core.Neighbors(u)) {
-        if (arc.head > u) builder.AddEdge(u, arc.head, arc.weight);
+      const auto heads = core.Heads(u);
+      const auto head_weights = core.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        if (heads[i] > u) builder.AddEdge(u, heads[i], head_weights[i]);
       }
     }
     // Tie stray core components to the giant one with single edges so the

@@ -11,8 +11,8 @@ namespace {
 // Number of distinct non-loop neighbors.
 int SimpleDegree(const Graph& g, NodeId u) {
   int degree = 0;
-  for (const Arc& arc : g.Neighbors(u)) {
-    if (arc.head != u) ++degree;
+  for (const NodeId v : g.Heads(u)) {
+    if (v != u) ++degree;
   }
   return degree;
 }
@@ -48,8 +48,7 @@ std::vector<int> CoreNumbers(const Graph& g) {
   for (NodeId i = 0; i < n; ++i) {
     const NodeId u = order[i];
     core[u] = current[u];
-    for (const Arc& arc : g.Neighbors(u)) {
-      const NodeId v = arc.head;
+    for (const NodeId v : g.Heads(u)) {
       if (v == u || current[v] <= current[u]) continue;
       // Move v one bucket down: swap it with the first node of its
       // bucket, then shrink the bucket.
@@ -100,9 +99,9 @@ std::vector<std::int64_t> TriangleCounts(const Graph& g) {
   }
   std::vector<std::vector<NodeId>> forward(n);  // Higher-rank neighbors.
   for (NodeId u = 0; u < n; ++u) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head != u && rank[arc.head] > rank[u]) {
-        forward[u].push_back(arc.head);
+    for (const NodeId v : g.Heads(u)) {
+      if (v != u && rank[v] > rank[u]) {
+        forward[u].push_back(v);
       }
     }
     std::sort(forward[u].begin(), forward[u].end());

@@ -288,7 +288,11 @@ DenseMatrix DenseAdjacency(const Graph& g) {
   const int n = g.NumNodes();
   DenseMatrix m(n, n);
   for (NodeId u = 0; u < n; ++u) {
-    for (const Arc& arc : g.Neighbors(u)) m.At(u, arc.head) += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      m.At(u, heads[i]) += weights[i];
+    }
   }
   return m;
 }
@@ -298,7 +302,11 @@ DenseMatrix DenseCombinatorialLaplacian(const Graph& g) {
   DenseMatrix m(n, n);
   for (NodeId u = 0; u < n; ++u) {
     m.At(u, u) = g.Degree(u);
-    for (const Arc& arc : g.Neighbors(u)) m.At(u, arc.head) -= arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      m.At(u, heads[i]) -= weights[i];
+    }
   }
   return m;
 }
@@ -313,8 +321,10 @@ DenseMatrix DenseNormalizedLaplacian(const Graph& g) {
   for (NodeId u = 0; u < n; ++u) {
     if (inv_sqrt[u] == 0.0) continue;
     m.At(u, u) = 1.0;
-    for (const Arc& arc : g.Neighbors(u)) {
-      m.At(u, arc.head) -= arc.weight * inv_sqrt[u] * inv_sqrt[arc.head];
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      m.At(u, heads[i]) -= weights[i] * inv_sqrt[u] * inv_sqrt[heads[i]];
     }
   }
   return m;

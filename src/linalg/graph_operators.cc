@@ -1,6 +1,7 @@
 #include "linalg/graph_operators.h"
 
 #include <cmath>
+#include <cstddef>
 
 #include "core/parallel.h"
 #include "util/check.h"
@@ -14,36 +15,150 @@ namespace {
 /// results are elementwise identical for any thread count.
 constexpr std::int64_t kRowGrain = 512;
 
+/// Register-blocked CSR kernel over the row range [begin, end): for each
+/// of the B columns, acc starts at init(x_j, u), every arc contributes
+/// ±w[a]·x_j[heads[a]] in adjacency order, and ys[j][u] =
+/// finish(x_j, u, acc). The arc loop reads `heads`/`w` once per arc and
+/// reuses them across all B accumulators, which is where SpMM beats k
+/// separate SpMVs. Per-column accumulation order is exactly that of the
+/// B == 1 case, so every column is bit-identical to a single-vector
+/// apply. Subtraction is a compile-time flag because `acc -= t` must
+/// stay textually a subtraction to preserve the original rounding.
+template <bool Subtract, int B, class Init, class Finish>
+void SpmmRows(const ArcIndex* offsets, const NodeId* heads, const double* w,
+              std::int64_t begin, std::int64_t end, const double* const* xs,
+              double* const* ys, const Init& init, const Finish& finish) {
+  for (std::int64_t u = begin; u < end; ++u) {
+    double acc[B];
+    for (int j = 0; j < B; ++j) acc[j] = init(xs[j], u);
+    const ArcIndex row_end = offsets[u + 1];
+    for (ArcIndex a = offsets[u]; a < row_end; ++a) {
+      const NodeId v = heads[a];
+      const double wa = w[a];
+      for (int j = 0; j < B; ++j) {
+        if constexpr (Subtract) {
+          acc[j] -= wa * xs[j][v];
+        } else {
+          acc[j] += wa * xs[j][v];
+        }
+      }
+    }
+    for (int j = 0; j < B; ++j) ys[j][u] = finish(xs[j], u, acc[j]);
+  }
+}
+
+/// Single-vector CSR apply: the B == 1 instantiation of SpmmRows under
+/// the deterministic row partition.
+template <bool Subtract, class Init, class Finish>
+void SpmvCsr(const Graph& g, const double* w, const Vector& x, Vector& y,
+             const Init& init, const Finish& finish) {
+  y.resize(x.size());
+  const ArcIndex* offsets = g.Offsets().data();
+  const NodeId* heads = g.Heads().data();
+  const double* xp = x.data();
+  double* yp = y.data();
+  ParallelFor(0, g.NumNodes(), kRowGrain,
+              [&](std::int64_t begin, std::int64_t end) {
+                SpmmRows<Subtract, 1>(offsets, heads, w, begin, end, &xp, &yp,
+                                      init, finish);
+              });
+}
+
+/// Batched CSR apply: columns are processed in register blocks of four
+/// (tails of 3/2/1), each block sharing one traversal of the row range.
+template <bool Subtract, class Init, class Finish>
+void SpmmCsr(const Graph& g, const double* w, const std::vector<Vector>& xs,
+             std::vector<Vector>& ys, const Init& init, const Finish& finish) {
+  const std::size_t k = xs.size();
+  const NodeId n = g.NumNodes();
+  for (const Vector& x : xs) {
+    IMPREG_DCHECK(static_cast<NodeId>(x.size()) == n);
+    (void)x;
+  }
+  ys.resize(k);
+  for (Vector& y : ys) y.resize(n);
+  if (k == 0 || n == 0) return;
+
+  std::vector<const double*> xp(k);
+  std::vector<double*> yp(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    xp[j] = xs[j].data();
+    yp[j] = ys[j].data();
+  }
+  const ArcIndex* offsets = g.Offsets().data();
+  const NodeId* heads = g.Heads().data();
+  ParallelFor(0, n, kRowGrain, [&](std::int64_t begin, std::int64_t end) {
+    std::size_t j = 0;
+    for (; j + 4 <= k; j += 4) {
+      SpmmRows<Subtract, 4>(offsets, heads, w, begin, end, &xp[j], &yp[j],
+                            init, finish);
+    }
+    switch (k - j) {
+      case 3:
+        SpmmRows<Subtract, 3>(offsets, heads, w, begin, end, &xp[j], &yp[j],
+                              init, finish);
+        break;
+      case 2:
+        SpmmRows<Subtract, 2>(offsets, heads, w, begin, end, &xp[j], &yp[j],
+                              init, finish);
+        break;
+      case 1:
+        SpmmRows<Subtract, 1>(offsets, heads, w, begin, end, &xp[j], &yp[j],
+                              init, finish);
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+/// w(u,v) scaled by `scale[head]` for every arc — the head-side half of a
+/// degree normalization, shared by ℒ (d^{-1/2}) and M / W_α (d^{-1}).
+Vector FoldHeadScale(const Graph& g, const Vector& scale) {
+  const auto heads = g.Heads();
+  const auto weights = g.Weights();
+  Vector folded(heads.size());
+  for (std::size_t a = 0; a < heads.size(); ++a) {
+    folded[a] = weights[a] * scale[heads[a]];
+  }
+  return folded;
+}
+
+const auto kZeroInit = [](const double*, std::int64_t) { return 0.0; };
+const auto kSumFinish = [](const double*, std::int64_t, double acc) {
+  return acc;
+};
+
 }  // namespace
 
 void AdjacencyOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.resize(x.size());
-  ParallelFor(0, graph_.NumNodes(), kRowGrain,
-              [&](std::int64_t begin, std::int64_t end) {
-                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-                  double sum = 0.0;
-                  for (const Arc& arc : graph_.Neighbors(u)) {
-                    sum += arc.weight * x[arc.head];
-                  }
-                  y[u] = sum;
-                }
-              });
+  SpmvCsr<false>(graph_, graph_.Weights().data(), x, y, kZeroInit,
+                 kSumFinish);
+}
+
+void AdjacencyOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                   std::vector<Vector>& ys) const {
+  SpmmCsr<false>(graph_, graph_.Weights().data(), xs, ys, kZeroInit,
+                 kSumFinish);
 }
 
 void CombinatorialLaplacianOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.resize(x.size());
-  ParallelFor(0, graph_.NumNodes(), kRowGrain,
-              [&](std::int64_t begin, std::int64_t end) {
-                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-                  double sum = graph_.Degree(u) * x[u];
-                  for (const Arc& arc : graph_.Neighbors(u)) {
-                    sum -= arc.weight * x[arc.head];
-                  }
-                  y[u] = sum;
-                }
-              });
+  const double* deg = graph_.Degrees().data();
+  const auto init = [deg](const double* xj, std::int64_t u) {
+    return deg[u] * xj[u];
+  };
+  SpmvCsr<true>(graph_, graph_.Weights().data(), x, y, init, kSumFinish);
+}
+
+void CombinatorialLaplacianOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                                std::vector<Vector>& ys) const {
+  const double* deg = graph_.Degrees().data();
+  const auto init = [deg](const double* xj, std::int64_t u) {
+    return deg[u] * xj[u];
+  };
+  SpmmCsr<true>(graph_, graph_.Weights().data(), xs, ys, init, kSumFinish);
 }
 
 NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& graph)
@@ -64,77 +179,81 @@ NormalizedLaplacianOperator::NormalizedLaplacianOperator(const Graph& graph)
     const double inv_norm = 1.0 / std::sqrt(norm_sq);
     for (double& v : trivial_) v *= inv_norm;
   }
+  folded_weights_ = FoldHeadScale(graph_, inv_sqrt_deg_);
 }
 
 void NormalizedLaplacianOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.resize(x.size());
-  ParallelFor(0, graph_.NumNodes(), kRowGrain,
-              [&](std::int64_t begin, std::int64_t end) {
-                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-                  if (inv_sqrt_deg_[u] == 0.0) {
-                    y[u] = 0.0;  // Isolated: row is zero.
-                    continue;
-                  }
-                  double sum = 0.0;
-                  for (const Arc& arc : graph_.Neighbors(u)) {
-                    sum += arc.weight * inv_sqrt_deg_[arc.head] * x[arc.head];
-                  }
-                  y[u] = x[u] - inv_sqrt_deg_[u] * sum;
-                }
-              });
+  const double* isd = inv_sqrt_deg_.data();
+  const auto finish = [isd](const double* xj, std::int64_t u, double acc) {
+    // Isolated: row is zero (acc is 0 anyway — no arcs).
+    return isd[u] == 0.0 ? 0.0 : xj[u] - isd[u] * acc;
+  };
+  SpmvCsr<false>(graph_, folded_weights_.data(), x, y, kZeroInit, finish);
+}
+
+void NormalizedLaplacianOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                             std::vector<Vector>& ys) const {
+  const double* isd = inv_sqrt_deg_.data();
+  const auto finish = [isd](const double* xj, std::int64_t u, double acc) {
+    return isd[u] == 0.0 ? 0.0 : xj[u] - isd[u] * acc;
+  };
+  SpmmCsr<false>(graph_, folded_weights_.data(), xs, ys, kZeroInit, finish);
 }
 
 RandomWalkOperator::RandomWalkOperator(const Graph& graph) : graph_(graph) {
-  inv_deg_.assign(graph_.NumNodes(), 0.0);
+  Vector inv_deg(graph_.NumNodes(), 0.0);
   for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
     const double d = graph_.Degree(u);
-    if (d > 0.0) inv_deg_[u] = 1.0 / d;
+    if (d > 0.0) inv_deg[u] = 1.0 / d;
   }
+  folded_weights_ = FoldHeadScale(graph_, inv_deg);
 }
 
 void RandomWalkOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.resize(x.size());
   // y = A D^{-1} x: node v pushes x_v/d_v along each incident edge.
-  ParallelFor(0, graph_.NumNodes(), kRowGrain,
-              [&](std::int64_t begin, std::int64_t end) {
-                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-                  double sum = 0.0;
-                  for (const Arc& arc : graph_.Neighbors(u)) {
-                    sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
-                  }
-                  y[u] = sum;
-                }
-              });
+  SpmvCsr<false>(graph_, folded_weights_.data(), x, y, kZeroInit, kSumFinish);
+}
+
+void RandomWalkOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                    std::vector<Vector>& ys) const {
+  SpmmCsr<false>(graph_, folded_weights_.data(), xs, ys, kZeroInit,
+                 kSumFinish);
 }
 
 LazyWalkOperator::LazyWalkOperator(const Graph& graph, double alpha)
     : graph_(graph), alpha_(alpha) {
   IMPREG_CHECK(alpha >= 0.0 && alpha <= 1.0);
-  inv_deg_.assign(graph_.NumNodes(), 0.0);
+  Vector inv_deg(graph_.NumNodes(), 0.0);
   for (NodeId u = 0; u < graph_.NumNodes(); ++u) {
     const double d = graph_.Degree(u);
-    if (d > 0.0) inv_deg_[u] = 1.0 / d;
+    if (d > 0.0) inv_deg[u] = 1.0 / d;
   }
+  folded_weights_ = FoldHeadScale(graph_, inv_deg);
 }
 
 void LazyWalkOperator::Apply(const Vector& x, Vector& y) const {
   IMPREG_DCHECK(static_cast<int>(x.size()) == Dimension());
-  y.resize(x.size());
-  ParallelFor(0, graph_.NumNodes(), kRowGrain,
-              [&](std::int64_t begin, std::int64_t end) {
-                for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-                  double sum = 0.0;
-                  for (const Arc& arc : graph_.Neighbors(u)) {
-                    sum += arc.weight * inv_deg_[arc.head] * x[arc.head];
-                  }
-                  // Isolated nodes (d=0) keep all their mass.
-                  y[u] = graph_.Degree(u) > 0.0
-                             ? alpha_ * x[u] + (1.0 - alpha_) * sum
-                             : x[u];
-                }
-              });
+  const double* deg = graph_.Degrees().data();
+  const double alpha = alpha_;
+  const auto finish = [deg, alpha](const double* xj, std::int64_t u,
+                                   double acc) {
+    // Isolated nodes (d=0) keep all their mass.
+    return deg[u] > 0.0 ? alpha * xj[u] + (1.0 - alpha) * acc : xj[u];
+  };
+  SpmvCsr<false>(graph_, folded_weights_.data(), x, y, kZeroInit, finish);
+}
+
+void LazyWalkOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                  std::vector<Vector>& ys) const {
+  const double* deg = graph_.Degrees().data();
+  const double alpha = alpha_;
+  const auto finish = [deg, alpha](const double* xj, std::int64_t u,
+                                   double acc) {
+    return deg[u] > 0.0 ? alpha * xj[u] + (1.0 - alpha) * acc : xj[u];
+  };
+  SpmmCsr<false>(graph_, folded_weights_.data(), xs, ys, kZeroInit, finish);
 }
 
 Vector TrivialNormalizedEigenvector(const Graph& graph) {

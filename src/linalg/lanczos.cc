@@ -121,6 +121,14 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
     }
     Normalize(ritz);
   }
+  // Explicit residuals ‖A vᵢ − λᵢ vᵢ‖, all pairs in one SpMM.
+  std::vector<Vector> av;
+  op.ApplyBatch(result.eigenvectors, av);
+  result.residuals.resize(num_out);
+  for (int i = 0; i < num_out; ++i) {
+    Axpy(-result.eigenvalues[i], result.eigenvectors[i], av[i]);
+    result.residuals[i] = Norm2(av[i]);
+  }
   return result;
 }
 
@@ -140,6 +148,7 @@ LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
     if (one.eigenvectors.empty()) break;
     total.eigenvalues.push_back(one.eigenvalues.front());
     total.eigenvectors.push_back(one.eigenvectors.front());
+    total.residuals.push_back(one.residuals.front());
     total.iterations += one.iterations;
     total.converged = total.converged && one.converged;
     current.deflate.push_back(one.eigenvectors.front());
@@ -158,6 +167,7 @@ LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
   for (int idx : order) {
     sorted.eigenvalues.push_back(total.eigenvalues[idx]);
     sorted.eigenvectors.push_back(std::move(total.eigenvectors[idx]));
+    sorted.residuals.push_back(total.residuals[idx]);
   }
   return sorted;
 }

@@ -36,6 +36,10 @@ struct LanczosResult {
   Vector eigenvalues;
   /// Matching Ritz vectors (unit length, mutually orthogonal).
   std::vector<Vector> eigenvectors;
+  /// Explicit residual norms ‖A vᵢ − λᵢ vᵢ‖ of the returned pairs,
+  /// computed with a single batched SpMM (`ApplyBatch`) over all Ritz
+  /// vectors — one adjacency traversal instead of one per pair.
+  Vector residuals;
   /// Krylov dimension actually built.
   int iterations = 0;
   /// True if all k Ritz pairs met the residual tolerance.

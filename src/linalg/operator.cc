@@ -18,4 +18,14 @@ void ShiftedOperator::Apply(const Vector& x, Vector& y) const {
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = a_ * y[i] + b_ * x[i];
 }
 
+void ShiftedOperator::ApplyBatch(const std::vector<Vector>& xs,
+                                 std::vector<Vector>& ys) const {
+  inner_.ApplyBatch(xs, ys);
+  for (std::size_t j = 0; j < ys.size(); ++j) {
+    const Vector& x = xs[j];
+    Vector& y = ys[j];
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = a_ * y[i] + b_ * x[i];
+  }
+}
+
 }  // namespace impreg

@@ -32,6 +32,26 @@ class LinearOperator {
     return y;
   }
 
+  /// Computes ys[j] = A xs[j] for every column j (SpMM). The base
+  /// implementation loops Apply; operators whose matrix lives in memory
+  /// (the CSR graph operators) override it with a register-blocked
+  /// kernel that streams the adjacency *once* for all k right-hand
+  /// sides. Column j of the result is bit-identical to Apply(xs[j]) at
+  /// every thread count. `ys` is resized as needed; xs and ys must not
+  /// alias.
+  virtual void ApplyBatch(const std::vector<Vector>& xs,
+                          std::vector<Vector>& ys) const {
+    ys.resize(xs.size());
+    for (std::size_t j = 0; j < xs.size(); ++j) Apply(xs[j], ys[j]);
+  }
+
+  /// Convenience: returns the k columns A xs[j] by value.
+  std::vector<Vector> ApplyBatch(const std::vector<Vector>& xs) const {
+    std::vector<Vector> ys;
+    ApplyBatch(xs, ys);
+    return ys;
+  }
+
   /// The Rayleigh quotient xᵀAx / xᵀx (0 for the zero vector).
   double RayleighQuotient(const Vector& x) const;
 };
@@ -43,8 +63,11 @@ class ShiftedOperator : public LinearOperator {
   ShiftedOperator(const LinearOperator& inner, double a, double b)
       : inner_(inner), a_(a), b_(b) {}
 
+  using LinearOperator::ApplyBatch;  // Un-hide the by-value form.
   int Dimension() const override { return inner_.Dimension(); }
   void Apply(const Vector& x, Vector& y) const override;
+  void ApplyBatch(const std::vector<Vector>& xs,
+                  std::vector<Vector>& ys) const override;
 
  private:
   const LinearOperator& inner_;

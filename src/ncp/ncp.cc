@@ -7,11 +7,78 @@
 #include "graph/bridges.h"
 #include "flow/mqi.h"
 #include "flow/multilevel.h"
+#include "linalg/graph_operators.h"
 #include "partition/push.h"
+#include "partition/sweep.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace impreg {
+
+namespace {
+
+// Uniform seed nodes with positive degree (rejection sampling, bounded).
+std::vector<NodeId> SamplePositiveDegreeSeeds(const Graph& g, int count,
+                                              Rng& rng) {
+  std::vector<NodeId> seeds;
+  for (int i = 0; i < count; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    for (int tries = 0; tries < 64 && g.Degree(u) <= 0.0; ++tries) {
+      u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    }
+    if (g.Degree(u) > 0.0) seeds.push_back(u);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
+                                           const WalkFamilyOptions& options) {
+  IMPREG_CHECK(g.NumNodes() >= 2);
+  Rng rng(options.rng_seed);
+  const std::vector<NodeId> seeds =
+      SamplePositiveDegreeSeeds(g, options.num_seeds, rng);
+
+  std::vector<NcpCluster> clusters;
+  if (seeds.empty()) return clusters;
+
+  // All seed columns walk together: each W_α step is one batched SpMM
+  // over the adjacency instead of |seeds| separate matvecs.
+  std::vector<Vector> cur;
+  cur.reserve(seeds.size());
+  for (NodeId seed : seeds) cur.push_back(SingleNodeSeed(g, seed));
+  const LazyWalkOperator walk(g, options.alpha);
+
+  std::vector<int> checkpoints = options.checkpoints;
+  std::sort(checkpoints.begin(), checkpoints.end());
+
+  std::vector<Vector> next;
+  int step = 0;
+  for (int t : checkpoints) {
+    IMPREG_CHECK_MSG(t > 0, "walk checkpoints must be positive");
+    for (; step < t; ++step) {
+      walk.ApplyBatch(cur, next);
+      cur.swap(next);
+    }
+    SweepOptions sweep_options;
+    sweep_options.scaling = SweepScaling::kDegreeNormalized;
+    for (std::size_t j = 0; j < cur.size(); ++j) {
+      const SweepResult sweep = SweepCutOverSupport(g, cur[j], sweep_options);
+      if (sweep.set.empty() ||
+          static_cast<NodeId>(sweep.set.size()) >= g.NumNodes()) {
+        continue;
+      }
+      NcpCluster cluster;
+      cluster.nodes = sweep.set;
+      std::sort(cluster.nodes.begin(), cluster.nodes.end());
+      cluster.stats = sweep.stats;
+      cluster.method = "LazyWalk(t=" + std::to_string(t) + ")";
+      clusters.push_back(std::move(cluster));
+    }
+  }
+  return clusters;
+}
 
 std::vector<NcpCluster> SpectralFamilyClusters(
     const Graph& g, const SpectralFamilyOptions& options) {
@@ -21,14 +88,8 @@ std::vector<NcpCluster> SpectralFamilyClusters(
 
   // Seeds biased toward distinct regions: uniform over nodes with
   // positive degree.
-  std::vector<NodeId> seeds;
-  for (int i = 0; i < options.num_seeds; ++i) {
-    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
-    for (int tries = 0; tries < 64 && g.Degree(u) <= 0.0; ++tries) {
-      u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
-    }
-    if (g.Degree(u) > 0.0) seeds.push_back(u);
-  }
+  const std::vector<NodeId> seeds =
+      SamplePositiveDegreeSeeds(g, options.num_seeds, rng);
 
   for (NodeId seed : seeds) {
     for (double alpha : options.alphas) {

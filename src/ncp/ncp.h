@@ -60,6 +60,28 @@ struct FlowFamilyOptions {
   std::uint64_t rng_seed = 0xf10bULL;
 };
 
+/// Options for the lazy-walk-family portfolio.
+struct WalkFamilyOptions {
+  /// Random seed nodes; their indicator vectors form the columns of one
+  /// batched diffusion.
+  int num_seeds = 16;
+  /// Holding probability of the lazy walk W_α = αI + (1−α)AD^{-1}.
+  double alpha = 0.5;
+  /// Walk lengths at which each column is swept for a cluster; must be
+  /// positive. Unsorted input is fine (sorted internally).
+  std::vector<int> checkpoints = {2, 4, 8, 16, 32, 64};
+  std::uint64_t rng_seed = 0xa1c3ULL;
+};
+
+/// Runs the lazy-walk-family portfolio: all seed columns are diffused
+/// together with the batched SpMM path (`LazyWalkOperator::ApplyBatch`),
+/// so each walk step streams the adjacency once for every seed. Each
+/// column is sweep-cut at each checkpoint t; clusters are tagged
+/// "LazyWalk(t=..)". This is the multi-scale walk portfolio of the
+/// paper's §3.1 diffusions, and the NCP driver for the SpMM kernel.
+std::vector<NcpCluster> WalkFamilyClusters(
+    const Graph& g, const WalkFamilyOptions& options = {});
+
 /// Runs the spectral-family portfolio and returns every cluster found.
 std::vector<NcpCluster> SpectralFamilyClusters(
     const Graph& g, const SpectralFamilyOptions& options = {});

@@ -14,8 +14,10 @@ CutStats ComputeCutStatsFromMask(const Graph& g,
     if (mask[u]) {
       ++stats.size;
       stats.volume += g.Degree(u);
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (!mask[arc.head]) stats.cut += arc.weight;
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        if (!mask[heads[i]]) stats.cut += weights[i];
       }
     } else {
       stats.complement_volume += g.Degree(u);

@@ -42,8 +42,10 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
       const double d = g.Degree(u);
       if (d <= 0.0) continue;  // M annihilates isolated mass.
       const double spread = mass / d;
-      for (const Arc& arc : g.Neighbors(u)) {
-        next[arc.head] += spread * arc.weight;
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        next[heads[i]] += spread * weights[i];
       }
       result.work += g.OutDegree(u);
     }

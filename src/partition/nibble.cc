@@ -42,8 +42,10 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
       }
       next[u] += hold * mass;
       const double spread = (1.0 - hold) * mass / d;
-      for (const Arc& arc : g.Neighbors(u)) {
-        next[arc.head] += spread * arc.weight;
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        next[heads[i]] += spread * weights[i];
       }
       result.work += g.OutDegree(u);
     }

@@ -69,14 +69,16 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
     const double stay = (1.0 - alpha) * r / 2.0;
     result.residual[u] = stay;
     const double spread = stay;  // Same amount goes to the neighbors.
-    for (const Arc& arc : g.Neighbors(u)) {
-      const NodeId v = arc.head;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      const NodeId v = heads[i];
       if (v == u) {
         // Self-loop: the walk returns immediately.
-        result.residual[u] += spread * arc.weight / d;
+        result.residual[u] += spread * weights[i] / d;
         continue;
       }
-      result.residual[v] += spread * arc.weight / d;
+      result.residual[v] += spread * weights[i] / d;
       if (!queued[v] && g.Degree(v) > 0.0 &&
           result.residual[v] >= eps * g.Degree(v)) {
         queue.push_back(v);

@@ -149,14 +149,28 @@ SpectralClusteringResult SpectralClusterKway(
   result.sizes.assign(k, 0);
   for (int u = 0; u < n; ++u) ++result.sizes[result.labels[u]];
   for (NodeId u = 0; u < n; ++u) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head > u && result.labels[arc.head] != result.labels[u]) {
-        result.cut += arc.weight;
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] > u && result.labels[heads[i]] != result.labels[u]) {
+        result.cut += weights[i];
       }
     }
   }
   result.eigenvalues.assign(eig.eigenvalues.begin(),
                             eig.eigenvalues.begin() + k);
+
+  // Residual certificate for the k embedding vectors: one SpMM streams
+  // the adjacency once for all columns.
+  std::vector<Vector> embed(eig.eigenvectors.begin(),
+                            eig.eigenvectors.begin() + k);
+  std::vector<Vector> lv;
+  lap.ApplyBatch(embed, lv);
+  result.residuals.assign(k, 0.0);
+  for (int c = 0; c < k; ++c) {
+    Axpy(-result.eigenvalues[c], embed[c], lv[c]);
+    result.residuals[c] = Norm2(lv[c]);
+  }
   return result;
 }
 

@@ -40,6 +40,10 @@ struct SpectralClusteringResult {
   double cut = 0.0;
   /// The eigenvalues used (λ₁ … λ_k of ℒ, ascending).
   std::vector<double> eigenvalues;
+  /// Explicit residual norms ‖ℒ vᵢ − λᵢ vᵢ‖ of the embedding vectors,
+  /// all k computed with one batched SpMM over the adjacency — a cheap
+  /// a-posteriori certificate of the Lanczos solve.
+  std::vector<double> residuals;
 };
 
 /// Clusters the graph into k ≥ 2 groups. Requires a graph with at least

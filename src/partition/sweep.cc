@@ -59,11 +59,13 @@ SweepResult RunSweep(const Graph& g, const Vector& values,
       const NodeId u = result.order[k];
       double to_set = 0.0;
       double loops = 0.0;
-      for (const Arc& arc : g.Neighbors(u)) {
-        if (arc.head == u) {
-          loops += arc.weight;
-        } else if (rank[arc.head] < k) {
-          to_set += arc.weight;
+      const auto heads = g.Heads(u);
+      const auto weights = g.Weights(u);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        if (heads[i] == u) {
+          loops += weights[i];
+        } else if (rank[heads[i]] < k) {
+          to_set += weights[i];
         }
       }
       cut_delta[k] = g.Degree(u) - loops - 2.0 * to_set;

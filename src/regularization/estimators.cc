@@ -78,9 +78,11 @@ Graph SubsampleEdges(const Graph& population, double keep, Rng& rng) {
   IMPREG_CHECK(keep >= 0.0 && keep <= 1.0);
   GraphBuilder builder(population.NumNodes());
   for (NodeId u = 0; u < population.NumNodes(); ++u) {
-    for (const Arc& arc : population.Neighbors(u)) {
-      if (arc.head >= u && rng.NextBernoulli(keep)) {
-        builder.AddEdge(u, arc.head, arc.weight);
+    const auto heads = population.Heads(u);
+    const auto weights = population.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] >= u && rng.NextBernoulli(keep)) {
+        builder.AddEdge(u, heads[i], weights[i]);
       }
     }
   }

@@ -13,8 +13,10 @@ DynamicGraph::DynamicGraph(NodeId num_nodes) {
 DynamicGraph DynamicGraph::FromGraph(const Graph& g) {
   DynamicGraph dynamic(g.NumNodes());
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    for (const Arc& arc : g.Neighbors(u)) {
-      if (arc.head >= u) dynamic.AddEdge(u, arc.head, arc.weight);
+    const auto heads = g.Heads(u);
+    const auto weights = g.Weights(u);
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      if (heads[i] >= u) dynamic.AddEdge(u, heads[i], weights[i]);
     }
   }
   return dynamic;

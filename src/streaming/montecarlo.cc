@@ -16,12 +16,13 @@ NodeId RunWalk(const Graph& g, NodeId start, const MonteCarloOptions& options,
     if (d <= 0.0) return current;  // Nowhere to go.
     // Weighted neighbor choice.
     double target = rng.NextDouble() * d;
-    const auto nbrs = g.Neighbors(current);
-    NodeId next = nbrs.back().head;
-    for (const Arc& arc : nbrs) {
-      target -= arc.weight;
+    const auto heads = g.Heads(current);
+    const auto weights = g.Weights(current);
+    NodeId next = heads.back();
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      target -= weights[i];
       if (target <= 0.0) {
-        next = arc.head;
+        next = heads[i];
         break;
       }
     }
