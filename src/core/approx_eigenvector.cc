@@ -1,5 +1,6 @@
 #include "core/approx_eigenvector.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "diffusion/heat_kernel.h"
@@ -14,12 +15,40 @@ namespace impreg {
 
 namespace {
 
-// Projects off the trivial direction and normalizes; checks the result
-// is usable.
-void FinalizeHatVector(const Vector& trivial, Vector& x) {
+// Projects off the trivial direction and normalizes. False if the
+// vector collapsed onto the trivial direction (or was non-finite) — the
+// caller degrades instead of aborting.
+bool FinalizeHatVector(const Vector& trivial, Vector& x) {
+  if (!AllFinite(x)) return false;
   ProjectOut(trivial, x);
-  IMPREG_CHECK_MSG(Normalize(x) > 1e-12,
-                   "diffusion output collapsed onto the trivial direction");
+  return Normalize(x) > 1e-12;
+}
+
+// Deterministic degraded output: the first basis direction with a
+// nonzero projection off the trivial eigenvector, normalized. Always
+// finite, unit, ⟂ trivial — a valid (if uninformative) hat vector.
+Vector FallbackHatVector(const Vector& trivial) {
+  Vector x(trivial.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0;
+    ProjectOut(trivial, x);
+    if (Normalize(x) > 1e-12) return x;
+    std::fill(x.begin(), x.end(), 0.0);
+  }
+  return x;
+}
+
+// Replaces a collapsed/poisoned diffusion output with the fallback
+// direction and records why.
+void DegradeToFallback(const Vector& trivial, ApproxEigenvectorResult& result,
+                       const char* method) {
+  result.x = FallbackHatVector(trivial);
+  result.diagnostics.status =
+      MergeStatus(result.diagnostics.status, SolveStatus::kBreakdown);
+  result.diagnostics.detail =
+      std::string(method) +
+      " output collapsed onto the trivial direction; x is a fallback "
+      "basis direction";
 }
 
 }  // namespace
@@ -32,13 +61,34 @@ ApproxEigenvectorResult ApproximateSecondEigenvector(
   Rng rng(options.rng_seed);
 
   ApproxEigenvectorResult result;
+  result.diagnostics.status = SolveStatus::kConverged;
   switch (options.method) {
     case EigenvectorMethod::kExact: {
       LanczosOptions lanczos;
       lanczos.seed = options.rng_seed;
       lanczos.deflate.push_back(trivial);
       const LanczosResult eig = LanczosSmallest(lap, 1, lanczos);
-      result.x = eig.eigenvectors.front();
+      if (eig.diagnostics.usable() && !eig.eigenvectors.empty() &&
+          AllFinite(eig.eigenvectors.front())) {
+        result.x = eig.eigenvectors.front();
+        result.diagnostics = eig.diagnostics;
+      } else {
+        // Lanczos broke down: substitute a power-method approximation.
+        // The output is a usable hat vector but NOT the requested
+        // machine-precision eigenvector, so the status says so.
+        PowerMethodOptions pm;
+        const PowerMethodResult run =
+            SecondEigenpairPowerMethod(g, RandomSignSeed(g, rng), pm);
+        result.x = run.eigenvector;
+        if (!FinalizeHatVector(trivial, result.x)) {
+          result.x = FallbackHatVector(trivial);
+        }
+        result.diagnostics.status = SolveStatus::kBreakdown;
+        result.diagnostics.detail =
+            "Lanczos failed (" + eig.diagnostics.Summary() +
+            "); x is a power-method approximation, not the exact "
+            "eigenvector";
+      }
       break;
     }
     case EigenvectorMethod::kPowerMethod: {
@@ -49,6 +99,16 @@ ApproxEigenvectorResult ApproximateSecondEigenvector(
       const PowerMethodResult run =
           SecondEigenpairPowerMethod(g, RandomSignSeed(g, rng), pm);
       result.x = run.eigenvector;
+      result.diagnostics = run.diagnostics;
+      if (run.diagnostics.status == SolveStatus::kMaxIterations) {
+        // Exhausting the fixed budget is this method's *design*, not an
+        // early stop worth flagging.
+        result.diagnostics.status = SolveStatus::kConverged;
+      }
+      if (!result.diagnostics.usable() ||
+          !FinalizeHatVector(trivial, result.x)) {
+        DegradeToFallback(trivial, result, "power method");
+      }
       result.implicit_regularizer =
           "early stopping after " + std::to_string(options.power_iterations) +
           " power iterations (no closed-form G; see §2.3)";
@@ -57,8 +117,13 @@ ApproxEigenvectorResult ApproximateSecondEigenvector(
     case EigenvectorMethod::kHeatKernel: {
       HeatKernelOptions hk;
       hk.t = options.t;
-      result.x = HeatKernelNormalized(g, RandomSignSeed(g, rng), hk);
-      FinalizeHatVector(trivial, result.x);
+      result.x =
+          HeatKernelNormalized(g, RandomSignSeed(g, rng), hk,
+                               &result.diagnostics);
+      if (!result.diagnostics.usable() ||
+          !FinalizeHatVector(trivial, result.x)) {
+        DegradeToFallback(trivial, result, "heat-kernel diffusion");
+      }
       result.implicit_regularizer =
           "generalized entropy G(X) = Tr(X log X), eta = t";
       result.eta = options.t;
@@ -82,14 +147,22 @@ ApproxEigenvectorResult ApproximateSecondEigenvector(
       }
       PageRankOptions pr;
       pr.gamma = options.gamma;
-      const Vector p_pos = PersonalizedPageRankExact(g, pos, pr).scores;
-      const Vector p_neg = PersonalizedPageRankExact(g, neg, pr).scores;
+      const PageRankResult run_pos = PersonalizedPageRankExact(g, pos, pr);
+      const PageRankResult run_neg = PersonalizedPageRankExact(g, neg, pr);
+      result.diagnostics = run_pos.diagnostics.usable()
+                               ? run_neg.diagnostics
+                               : run_pos.diagnostics;
+      result.diagnostics.status = MergeStatus(run_pos.diagnostics.status,
+                                              run_neg.diagnostics.status);
       Vector diff(prob.size());
       for (std::size_t i = 0; i < prob.size(); ++i) {
-        diff[i] = p_pos[i] - p_neg[i];
+        diff[i] = run_pos.scores[i] - run_neg.scores[i];
       }
       result.x = ToHatSpace(g, diff);
-      FinalizeHatVector(trivial, result.x);
+      if (!result.diagnostics.usable() ||
+          !FinalizeHatVector(trivial, result.x)) {
+        DegradeToFallback(trivial, result, "PageRank diffusion");
+      }
       result.implicit_regularizer =
           "log-determinant G(X) = -log det X, mu = gamma/(1-gamma)";
       result.eta = options.gamma / (1.0 - options.gamma);
@@ -105,14 +178,28 @@ ApproxEigenvectorResult ApproximateSecondEigenvector(
       Vector next;
       for (int step = 0; step < options.steps; ++step) {
         lazy_hat.Apply(current, next);
-        current.swap(next);
+        if (!AllFinite(next)) {
+          result.diagnostics.status = SolveStatus::kNonFinite;
+          result.diagnostics.detail =
+              "lazy walk went non-finite at step " +
+              std::to_string(step + 1) + "; x is the last finite iterate";
+          break;
+        }
         // Only the direction matters; renormalize so thousands of steps
         // cannot underflow the iterate to zero.
-        IMPREG_CHECK_MSG(Normalize(current) > 0.0,
-                         "lazy walk annihilated the seed");
+        if (Normalize(next) <= 0.0) {
+          result.diagnostics.status = SolveStatus::kBreakdown;
+          result.diagnostics.detail =
+              "lazy walk annihilated the seed at step " +
+              std::to_string(step + 1) + "; x is the last nonzero iterate";
+          break;
+        }
+        current.swap(next);
       }
       result.x = std::move(current);
-      FinalizeHatVector(trivial, result.x);
+      if (!FinalizeHatVector(trivial, result.x)) {
+        DegradeToFallback(trivial, result, "lazy walk");
+      }
       result.implicit_regularizer =
           "matrix p-norm G(X) = (1/p)||X||_p^p, p = 1 + 1/k";
       result.eta = 1.0 + 1.0 / static_cast<double>(options.steps);

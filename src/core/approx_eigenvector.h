@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "util/rng.h"
@@ -63,6 +64,12 @@ struct ApproxEigenvectorResult {
   std::string implicit_regularizer;
   /// The implied regularization strength η (0 for kExact/kPowerMethod).
   double eta = 0.0;
+  /// How the computation ended. x is always a finite unit vector ⟂ the
+  /// trivial direction: on an inner-solver failure the facade degrades
+  /// (kExact falls back to the power method; diffusion collapse falls
+  /// back to a deterministic basis direction) and the status + detail
+  /// say what was substituted.
+  SolverDiagnostics diagnostics;
 };
 
 /// Computes v₂ of ℒ (or a regularized approximation of it) on a

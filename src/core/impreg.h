@@ -21,6 +21,8 @@
 
 #include "core/approx_eigenvector.h"
 #include "core/parallel.h"
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "diffusion/heat_kernel.h"
 #include "diffusion/lazy_walk.h"
 #include "diffusion/pagerank.h"
@@ -68,6 +70,7 @@
 #include "streaming/incremental_ppr.h"
 #include "streaming/montecarlo.h"
 #include "util/csv.h"
+#include "util/fault.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/timer.h"

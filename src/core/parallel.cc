@@ -1,7 +1,10 @@
 #include "core/parallel.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -12,11 +15,30 @@ namespace impreg {
 namespace {
 
 /// Automatic thread count: IMPREG_THREADS if set to a positive integer,
-/// else the hardware concurrency (at least 1).
+/// else the hardware concurrency (at least 1). A malformed value (not a
+/// whole positive number, trailing garbage, overflow) is diagnosed once
+/// on stderr and ignored rather than silently read as 0 (atoi would
+/// turn "8x" into 8 and "abc" into 0).
 int AutoNumThreads() {
   if (const char* env = std::getenv("IMPREG_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
+    const char* p = env;
+    while (std::isspace(static_cast<unsigned char>(*p))) ++p;
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(p, &end, 10);
+    bool valid = end != p && errno != ERANGE;
+    if (valid) {
+      while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+      valid = *end == '\0';
+    }
+    if (valid && parsed > 0 && parsed <= 4096) {
+      return static_cast<int>(parsed);
+    }
+    std::fprintf(stderr,
+                 "impreg: ignoring invalid IMPREG_THREADS=\"%s\" "
+                 "(want a positive integer <= 4096); using hardware "
+                 "concurrency\n",
+                 env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

@@ -1,0 +1,86 @@
+#ifndef IMPREG_CORE_WORK_BUDGET_H_
+#define IMPREG_CORE_WORK_BUDGET_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Cooperative work budget for the long-running drivers (multilevel
+/// flow, recursive partitioning, NCP portfolio sweeps).
+///
+/// A WorkBudget is an arc-traversal counter with an optional wall-clock
+/// deadline. Drivers Charge() the arcs they scan and test Exhausted()
+/// at chunk boundaries (between coarsening levels, refinement passes,
+/// portfolio seeds, max-flow phases); when the budget runs out they
+/// stop and return their best-so-far result tagged kBudgetExhausted —
+/// a deliberate early stop, not a failure (the paper's point: the
+/// truncated computation is still a meaningful, regularized answer).
+///
+/// The arc counter is deterministic: the same budget on the same input
+/// cuts the run at the same chunk boundary every time, so budgeted
+/// results are reproducible. The wall-clock deadline is inherently
+/// machine-dependent and is opt-in (0 = disabled); it is only consulted
+/// inside Exhausted(), i.e. at the same chunk boundaries.
+///
+/// Budgets are passed by raw pointer through options structs (nullptr =
+/// unlimited) so one budget can be shared cooperatively across nested
+/// drivers — e.g. a k-way partition hands the same budget to every
+/// bisection it spawns.
+
+namespace impreg {
+
+class WorkBudget {
+ public:
+  /// Unlimited budget (never exhausts).
+  WorkBudget() = default;
+
+  /// Budget of `max_arcs` arc traversals (0 = unlimited) and an
+  /// optional wall-clock deadline in seconds from now (0 = none).
+  explicit WorkBudget(std::int64_t max_arcs, double wall_clock_seconds = 0.0)
+      : max_arcs_(max_arcs > 0 ? max_arcs : 0) {
+    if (wall_clock_seconds > 0.0) {
+      deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double>(
+                                         wall_clock_seconds));
+      has_deadline_ = true;
+    }
+  }
+
+  /// Records `arcs` traversals (non-negative).
+  void Charge(std::int64_t arcs) { spent_ += arcs; }
+
+  /// True once the arc cap or the deadline has been crossed. Sticky:
+  /// once exhausted, stays exhausted (so a driver that observed
+  /// exhaustion mid-phase reports it even if a later check would pass).
+  bool Exhausted() {
+    if (exhausted_) return true;
+    if (max_arcs_ > 0 && spent_ >= max_arcs_) exhausted_ = true;
+    if (!exhausted_ && has_deadline_ && Clock::now() >= deadline_) {
+      exhausted_ = true;
+    }
+    return exhausted_;
+  }
+
+  /// Marks the budget exhausted unconditionally (used by the fault-
+  /// injection harness to simulate exhaustion deterministically).
+  void ForceExhausted() { exhausted_ = true; }
+
+  /// Arc traversals charged so far.
+  std::int64_t Spent() const { return spent_; }
+
+  /// The arc cap (0 = unlimited).
+  std::int64_t Limit() const { return max_arcs_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::int64_t max_arcs_ = 0;
+  std::int64_t spent_ = 0;
+  bool has_deadline_ = false;
+  bool exhausted_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_CORE_WORK_BUDGET_H_

@@ -7,25 +7,37 @@
 #include "linalg/graph_operators.h"
 #include "linalg/lanczos.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
 Vector HeatKernelNormalized(const Graph& g, const Vector& x,
-                            const HeatKernelOptions& options) {
+                            const HeatKernelOptions& options,
+                            SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(x.size() == static_cast<std::size_t>(g.NumNodes()));
   IMPREG_CHECK(options.t >= 0.0);
   const NormalizedLaplacianOperator lap(g);
-  return KrylovExpMultiply(lap, -options.t, x, options.krylov_dim);
+  return KrylovExpMultiply(lap, -options.t, x, options.krylov_dim,
+                           diagnostics);
 }
 
 Vector HeatKernelWalk(const Graph& g, const Vector& seed,
-                      const HeatKernelOptions& options) {
+                      const HeatKernelOptions& options,
+                      SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
   IMPREG_CHECK(options.t >= 0.0);
+  SolverDiagnostics local;
+  SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  if (!AllFinite(seed)) {
+    diag = SolverDiagnostics{};
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "seed has non-finite entries; returning 0";
+    return Vector(g.NumNodes(), 0.0);
+  }
   // exp(−t(I−M)) = D^{1/2} exp(−tℒ) D^{-1/2} on supported nodes;
   // isolated nodes are fixed points of the dynamics.
   Vector hat = ToHatSpace(g, seed);
-  hat = HeatKernelNormalized(g, hat, options);
+  hat = HeatKernelNormalized(g, hat, options, &diag);
   Vector out = FromHatSpace(g, hat);
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     if (g.Degree(u) == 0.0) out[u] = seed[u];
@@ -34,10 +46,19 @@ Vector HeatKernelWalk(const Graph& g, const Vector& seed,
 }
 
 Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
-                            double tail_tolerance) {
+                            double tail_tolerance,
+                            SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
   IMPREG_CHECK(t >= 0.0);
   IMPREG_CHECK(tail_tolerance > 0.0);
+  SolverDiagnostics local;
+  SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  diag = SolverDiagnostics{};
+  if (!AllFinite(seed)) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "seed has non-finite entries; returning 0";
+    return Vector(g.NumNodes(), 0.0);
+  }
   const RandomWalkOperator walk(g);
 
   // exp(−t(I−M)) s = e^{−t} Σ_k (t^k / k!) M^k s. All terms are
@@ -59,6 +80,14 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
       accum[u] = 0.0;
     }
   }
+  // Partial sum (and matching term) last verified finite: what the
+  // series falls back to if a term goes non-finite. Checks are
+  // amortized every few terms; a poisoned term poisons accum on the
+  // same step, so the window bounds the rollback, not detection.
+  constexpr int kFiniteCheckInterval = 8;
+  Vector accum_snapshot = accum;
+  int snapshot_terms = 0;
+  int terms = 0;
   for (int k = 1; k <= 4 * (static_cast<int>(t) + 25); ++k) {
     walk.Apply(term, next);
     poisson *= t / static_cast<double>(k);
@@ -75,8 +104,33 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
                     accum[i] += term[i];
                   }
                 });
+    IMPREG_FAULT_POINT("heat_kernel/term", term);
+    terms = k;
+    if (k % kFiniteCheckInterval == 0) {
+      if (!AllFinite(accum) || !AllFinite(term)) {
+        diag.status = SolveStatus::kNonFinite;
+        diag.detail = "Taylor term went non-finite; returning the series "
+                      "truncated at the last finite term";
+        accum = accum_snapshot;
+        terms = snapshot_terms;
+        break;
+      }
+      accum_snapshot = accum;
+      snapshot_terms = k;
+    }
     if (tail * std::exp(-t) <= tail_tolerance) break;
   }
+  if (diag.status != SolveStatus::kNonFinite && !AllFinite(accum)) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "Taylor term went non-finite; returning the series "
+                  "truncated at the last finite term";
+    accum = accum_snapshot;
+    terms = snapshot_terms;
+  }
+  if (diag.status != SolveStatus::kNonFinite) {
+    diag.status = SolveStatus::kConverged;
+  }
+  diag.iterations = terms;
   Scale(std::exp(-t), accum);
   Axpy(1.0, frozen, accum);
   return accum;

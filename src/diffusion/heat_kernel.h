@@ -1,6 +1,7 @@
 #ifndef IMPREG_DIFFUSION_HEAT_KERNEL_H_
 #define IMPREG_DIFFUSION_HEAT_KERNEL_H_
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 
@@ -30,22 +31,28 @@ struct HeatKernelOptions {
   int krylov_dim = 60;
 };
 
-/// y = exp(−t ℒ) x (hat space, symmetric).
+/// y = exp(−t ℒ) x (hat space, symmetric). The returned vector is
+/// always finite; if `diagnostics` is non-null it receives the outcome
+/// (kNonFinite when the input or the Krylov recurrence was poisoned —
+/// the finite prefix, or zero, is returned).
 Vector HeatKernelNormalized(const Graph& g, const Vector& x,
-                            const HeatKernelOptions& options = {});
+                            const HeatKernelOptions& options = {},
+                            SolverDiagnostics* diagnostics = nullptr);
 
 /// ρ = exp(−t (I − M)) s (probability space). Preserves total mass on
 /// graphs without isolated nodes; mass seeded on isolated nodes stays
 /// put (exp(0) = 1 on their diagonal).
 Vector HeatKernelWalk(const Graph& g, const Vector& seed,
-                      const HeatKernelOptions& options = {});
+                      const HeatKernelOptions& options = {},
+                      SolverDiagnostics* diagnostics = nullptr);
 
 /// Reference implementation of exp(−t(I−M)) s by the scaled Taylor
 /// series e^{-t} Σ_k t^k/k! M^k s, truncated when the remaining tail
 /// mass is below `tail_tolerance`. Used to cross-check the Krylov path
 /// in tests and as the engine for small t.
 Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
-                            double tail_tolerance = 1e-14);
+                            double tail_tolerance = 1e-14,
+                            SolverDiagnostics* diagnostics = nullptr);
 
 }  // namespace impreg
 

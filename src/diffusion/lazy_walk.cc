@@ -2,21 +2,61 @@
 
 #include "linalg/graph_operators.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
 Vector LazyWalk(const Graph& g, const Vector& seed,
-                const LazyWalkOptions& options) {
+                const LazyWalkOptions& options,
+                SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
   IMPREG_CHECK(options.steps >= 0);
+  SolverDiagnostics local;
+  SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  diag = SolverDiagnostics{};
+  if (!AllFinite(seed)) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "seed has non-finite entries; returning 0";
+    return Vector(g.NumNodes(), 0.0);
+  }
   const LazyWalkOperator walk(g, options.alpha);
   Vector current = seed;
   Vector next(g.NumNodes());
+  // Last distribution verified finite; the amortized checks below bound
+  // how far past it a poisoned walk can get before being contained.
+  constexpr int kFiniteCheckInterval = 8;
+  Vector snapshot = current;
+  int snapshot_step = 0;
+  int steps_done = 0;
   for (int step = 1; step <= options.steps; ++step) {
     walk.Apply(current, next);
+    IMPREG_FAULT_POINT("lazy_walk/step", next);
     current.swap(next);
+    steps_done = step;
+    if (step % kFiniteCheckInterval == 0) {
+      if (!AllFinite(current)) {
+        diag.status = SolveStatus::kNonFinite;
+        current = snapshot;
+        steps_done = snapshot_step;
+        break;
+      }
+      snapshot = current;
+      snapshot_step = step;
+    }
     if (options.on_step) options.on_step(step, current);
   }
+  if (diag.status != SolveStatus::kNonFinite && !AllFinite(current)) {
+    diag.status = SolveStatus::kNonFinite;
+    current = snapshot;
+    steps_done = snapshot_step;
+  }
+  if (diag.status == SolveStatus::kNonFinite) {
+    diag.detail = "walk went non-finite; returning the distribution after " +
+                  std::to_string(steps_done) + " steps";
+  } else {
+    diag.status = SolveStatus::kConverged;
+  }
+  diag.iterations = steps_done;
   return current;
 }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 
@@ -30,9 +31,13 @@ struct LazyWalkOptions {
   std::function<void(int, const Vector&)> on_step;
 };
 
-/// Returns W_α^k · seed.
+/// Returns W_α^k · seed. The returned vector is always finite; if
+/// `diagnostics` is non-null it receives the outcome (kNonFinite when
+/// the seed or an intermediate step was poisoned — the last finite
+/// distribution is returned).
 Vector LazyWalk(const Graph& g, const Vector& seed,
-                const LazyWalkOptions& options = {});
+                const LazyWalkOptions& options = {},
+                SolverDiagnostics* diagnostics = nullptr);
 
 /// The stationary distribution of the walk on a graph with positive
 /// total volume: π(u) = d(u) / vol(G).

@@ -7,6 +7,7 @@
 #include "linalg/chebyshev.h"
 #include "linalg/graph_operators.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -14,7 +15,24 @@ namespace {
 
 void ValidateSeed(const Graph& g, const Vector& seed) {
   IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
-  for (double v : seed) IMPREG_CHECK_MSG(v >= 0.0, "seed must be nonnegative");
+  // Negative mass is a programming error (abort); non-finite mass is a
+  // data-poisoning event, rejected gracefully by the callers below
+  // (NaN compares false to everything, so it passes this check).
+  for (double v : seed) {
+    IMPREG_CHECK_MSG(!(v < 0.0), "seed must be nonnegative");
+  }
+}
+
+// Shared graceful rejection of a poisoned seed: zero scores,
+// kNonFinite. Returns true when the seed was rejected.
+bool RejectNonFiniteSeed(const Graph& g, const Vector& seed,
+                         PageRankResult& result) {
+  if (AllFinite(seed)) return false;
+  result.scores.assign(g.NumNodes(), 0.0);
+  result.diagnostics.status = SolveStatus::kNonFinite;
+  result.diagnostics.detail =
+      "seed has non-finite entries; returning zero scores";
+  return true;
 }
 
 }  // namespace
@@ -24,8 +42,10 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
   ValidateSeed(g, seed);
   IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
 
-  const RandomWalkOperator walk(g);
   PageRankResult result;
+  if (RejectNonFiniteSeed(g, seed, result)) return result;
+
+  const RandomWalkOperator walk(g);
   result.scores = seed;
   Scale(options.gamma, result.scores);
 
@@ -33,6 +53,7 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
   Vector next(g.NumNodes());
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     walk.Apply(result.scores, walked);
+    IMPREG_FAULT_POINT("pagerank/walked", walked);
     // Richardson update, row-parallel: each entry is independent.
     ParallelFor(0, g.NumNodes(), 1 << 14,
                 [&](std::int64_t begin, std::int64_t end) {
@@ -41,14 +62,32 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
                               (1.0 - options.gamma) * walked[u];
                   }
                 });
-    const double delta = DistanceL1(next, result.scores);
-    result.scores.swap(next);
+    double delta = DistanceL1(next, result.scores);
+    IMPREG_FAULT_POINT("pagerank/delta", delta);
     result.iterations = iter;
+    // The L1 distance inherits any NaN/Inf in `next`, so this one scalar
+    // is the whole non-finite sentinel; the accepted scores are finite
+    // by induction (each survived this check before the swap).
+    if (!std::isfinite(delta)) {
+      result.diagnostics.status = SolveStatus::kNonFinite;
+      result.diagnostics.detail = "diffusion update went non-finite; "
+                                  "returning last finite iterate";
+      break;
+    }
+    result.diagnostics.RecordResidual(delta);
+    result.scores.swap(next);
     if (delta <= options.tolerance) {
       result.converged = true;
+      result.diagnostics.status = SolveStatus::kConverged;
       break;
     }
   }
+  if (!result.converged &&
+      result.diagnostics.status == SolveStatus::kMaxIterations) {
+    result.diagnostics.detail =
+        "iteration cap hit; scores are the early-stopped diffusion";
+  }
+  result.diagnostics.iterations = result.iterations;
   return result;
 }
 
@@ -62,6 +101,9 @@ PageRankResult PersonalizedPageRankExact(const Graph& g, const Vector& seed,
                                          const PageRankOptions& options) {
   ValidateSeed(g, seed);
   IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+
+  PageRankResult result;
+  if (RejectNonFiniteSeed(g, seed, result)) return result;
 
   // Operator q ↦ (I − (1−γ) S) q with S = D^{-1/2} A D^{-1/2} = I − ℒ.
   // Note I − (1−γ)S = γI + (1−γ)ℒ, symmetric positive definite with
@@ -80,7 +122,9 @@ PageRankResult PersonalizedPageRankExact(const Graph& g, const Vector& seed,
   cg_options.max_iterations = options.max_iterations;
   const CgResult cg = ConjugateGradient(system, rhs, cg_options);
 
-  PageRankResult result;
+  // CG's containment guarantees cg.x is finite even on failure, so the
+  // degree-rescaled scores below are finite too; the status says
+  // whether they are the solve or a contained fallback.
   result.scores.assign(g.NumNodes(), 0.0);
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     if (g.Degree(u) > 0.0) {
@@ -92,6 +136,7 @@ PageRankResult PersonalizedPageRankExact(const Graph& g, const Vector& seed,
   }
   result.iterations = cg.iterations;
   result.converged = cg.converged;
+  result.diagnostics = cg.diagnostics;
   return result;
 }
 
@@ -100,6 +145,9 @@ PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
                                              const PageRankOptions& options) {
   ValidateSeed(g, seed);
   IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
+
+  PageRankResult result;
+  if (RejectNonFiniteSeed(g, seed, result)) return result;
 
   const NormalizedLaplacianOperator lap(g);
   const ShiftedOperator system(lap, 1.0 - options.gamma, options.gamma);
@@ -116,7 +164,21 @@ PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
   const ChebyshevResult solve =
       ChebyshevSolve(system, rhs, options.gamma, 2.0 - options.gamma, cheb);
 
-  PageRankResult result;
+  if (!solve.diagnostics.usable()) {
+    // The inner-product-free recurrence broke (non-finite iterate or
+    // diverging residuals). The Richardson iteration is the slow-but-
+    // sturdy power-style fallback: unconditionally convergent for
+    // γ ∈ (0, 1), no spectrum bounds to get wrong. The failure status
+    // is kept — the caller asked for Chebyshev and should know it broke.
+    PageRankResult fallback = PersonalizedPageRank(g, seed, options);
+    fallback.diagnostics.status = solve.diagnostics.status;
+    fallback.diagnostics.detail =
+        std::string("chebyshev solve failed (") + solve.diagnostics.Summary() +
+        "); scores are from the Richardson fallback";
+    fallback.converged = false;
+    return fallback;
+  }
+
   result.scores.assign(g.NumNodes(), 0.0);
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     if (g.Degree(u) > 0.0) {
@@ -127,6 +189,7 @@ PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
   }
   result.iterations = solve.iterations;
   result.converged = solve.converged;
+  result.diagnostics = solve.diagnostics;
   return result;
 }
 

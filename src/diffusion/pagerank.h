@@ -1,6 +1,7 @@
 #ifndef IMPREG_DIFFUSION_PAGERANK_H_
 #define IMPREG_DIFFUSION_PAGERANK_H_
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 
@@ -26,11 +27,16 @@ struct PageRankOptions {
   int max_iterations = 10000;
 };
 
-/// Result of a PageRank computation.
+/// Result of a PageRank computation. `scores` is always finite: a
+/// poisoned seed is rejected up front (kInvalidInput-style zero scores
+/// under kNonFinite) and a diffusion that goes non-finite mid-flight
+/// stops with the last finite iterate.
 struct PageRankResult {
   Vector scores;
   int iterations = 0;
+  /// Kept in sync with diagnostics.status == kConverged.
   bool converged = false;
+  SolverDiagnostics diagnostics;
 };
 
 /// Personalized PageRank: p = γ Σ_k (1−γ)^k M^k s via the Richardson

@@ -9,7 +9,7 @@ namespace impreg {
 
 FlowImproveResult FlowImprove(const Graph& g,
                               const std::vector<NodeId>& ref_in,
-                              int max_rounds) {
+                              int max_rounds, WorkBudget* budget) {
   IMPREG_CHECK(!ref_in.empty());
   IMPREG_CHECK(static_cast<NodeId>(ref_in.size()) < g.NumNodes());
   IMPREG_CHECK(max_rounds >= 1);
@@ -31,10 +31,20 @@ FlowImproveResult FlowImprove(const Graph& g,
   result.quotient = ref_stats.conductance;  // Q(R) = φ(R).
 
   double alpha = result.quotient;
-  if (alpha <= 0.0) return result;  // Already a perfect cut.
+  if (alpha <= 0.0) {
+    result.diagnostics.status = SolveStatus::kConverged;
+    return result;  // Already a perfect cut.
+  }
 
   const NodeId n = g.NumNodes();
   for (int round = 1; round <= max_rounds; ++round) {
+    if (budget != nullptr && budget->Exhausted()) {
+      result.diagnostics.status = SolveStatus::kBudgetExhausted;
+      result.diagnostics.detail =
+          "work budget exhausted between FlowImprove rounds; set from "
+          "the completed rounds returned";
+      break;
+    }
     result.rounds = round;
     const int source = n;
     const int sink = n + 1;
@@ -53,8 +63,17 @@ FlowImproveResult FlowImprove(const Graph& g,
         network.AddEdge(u, sink, alpha * f * g.Degree(u));
       }
     }
-    const double flow = network.MaxFlow(source, sink);
+    const double flow = network.MaxFlow(source, sink, budget);
+    if (!network.Diagnostics().ok()) {
+      result.diagnostics.status = network.Diagnostics().status;
+      result.diagnostics.detail = "inner max-flow stopped early (" +
+                                  network.Diagnostics().Summary() +
+                                  "); set from the completed rounds "
+                                  "returned";
+      break;
+    }
     if (flow >= alpha * ref_stats.volume * (1.0 - 1e-9)) {
+      result.diagnostics.status = SolveStatus::kConverged;
       break;  // No S with Q(S) < α exists.
     }
     const std::vector<char> side = network.MinCutSourceSide();
@@ -73,18 +92,26 @@ FlowImproveResult FlowImprove(const Graph& g,
     }
     if (candidate.empty() ||
         static_cast<NodeId>(candidate.size()) >= n) {
+      result.diagnostics.status = SolveStatus::kConverged;
       break;
     }
     const CutStats stats = ComputeCutStats(g, candidate);
     const double denom = vol_in_ref - f * vol_out_ref;
-    if (denom <= 0.0) break;  // Numerically degenerate.
+    if (denom <= 0.0) {
+      result.diagnostics.status = SolveStatus::kConverged;
+      break;  // Numerically degenerate.
+    }
     const double quotient = stats.cut / denom;
-    if (quotient >= alpha * (1.0 - 1e-12)) break;  // No real progress.
+    if (quotient >= alpha * (1.0 - 1e-12)) {
+      result.diagnostics.status = SolveStatus::kConverged;
+      break;  // No real progress.
+    }
     alpha = quotient;
     result.set = std::move(candidate);
     result.stats = stats;
     result.quotient = quotient;
   }
+  result.diagnostics.iterations = result.rounds;
   std::sort(result.set.begin(), result.set.end());
   return result;
 }

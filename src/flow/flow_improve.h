@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "partition/conductance.h"
 
@@ -31,12 +33,18 @@ struct FlowImproveResult {
   int rounds = 0;
   /// Final quotient value Q(S).
   double quotient = 0.0;
+  /// kConverged: reached a fixpoint. kMaxIterations: stopped at
+  /// max_rounds. kBudgetExhausted / kNonFinite: an inner max-flow
+  /// stopped early — the set from the completed rounds is returned.
+  SolverDiagnostics diagnostics;
 };
 
 /// Improves the reference set. Requires a nonempty proper subset of the
 /// nodes; if vol(R) exceeds half, the complement is used as reference.
+/// An optional budget is shared across the rounds.
 FlowImproveResult FlowImprove(const Graph& g, const std::vector<NodeId>& ref,
-                              int max_rounds = 32);
+                              int max_rounds = 32,
+                              WorkBudget* budget = nullptr);
 
 }  // namespace impreg
 

@@ -1,10 +1,12 @@
 #include "flow/maxflow.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -21,14 +23,17 @@ void FlowNetwork::AddEdge(int from, int to, double capacity,
                           double reverse_capacity) {
   IMPREG_CHECK(from >= 0 && from < NumNodes());
   IMPREG_CHECK(to >= 0 && to < NumNodes());
-  IMPREG_CHECK(capacity >= 0.0 && reverse_capacity >= 0.0);
+  IMPREG_CHECK_MSG(std::isfinite(capacity) && capacity >= 0.0 &&
+                       std::isfinite(reverse_capacity) &&
+                       reverse_capacity >= 0.0,
+                   "capacities must be finite and nonnegative");
   adjacency_[from].push_back(static_cast<int>(edges_.size()));
   edges_.push_back({to, capacity, capacity});
   adjacency_[to].push_back(static_cast<int>(edges_.size()));
   edges_.push_back({from, reverse_capacity, reverse_capacity});
 }
 
-bool FlowNetwork::BuildLevels(int source, int sink) {
+bool FlowNetwork::BuildLevels(int source, int sink, WorkBudget* budget) {
   level_.assign(NumNodes(), -1);
   std::queue<int> frontier;
   level_[source] = 0;
@@ -36,6 +41,9 @@ bool FlowNetwork::BuildLevels(int source, int sink) {
   while (!frontier.empty()) {
     const int u = frontier.front();
     frontier.pop();
+    if (budget != nullptr) {
+      budget->Charge(static_cast<std::int64_t>(adjacency_[u].size()));
+    }
     for (int id : adjacency_[u]) {
       const Edge& e = edges_[id];
       if (e.cap > kEps && level_[e.to] < 0) {
@@ -65,20 +73,60 @@ double FlowNetwork::PushBlocking(int u, int sink, double limit) {
   return 0.0;
 }
 
-double FlowNetwork::MaxFlow(int source, int sink) {
+double FlowNetwork::MaxFlow(int source, int sink, WorkBudget* budget) {
   IMPREG_CHECK(source >= 0 && source < NumNodes());
   IMPREG_CHECK(sink >= 0 && sink < NumNodes());
   IMPREG_CHECK(source != sink);
   last_source_ = source;
+  diagnostics_ = SolverDiagnostics{};
   double total = 0.0;
-  while (BuildLevels(source, sink)) {
+  int phases = 0;
+  bool budget_stop = false;
+  bool poisoned = false;
+  while (true) {
+    // Cooperative stop at the phase boundary: the flow so far is always
+    // a valid feasible flow, so this degrades, never corrupts.
+    if (budget != nullptr) {
+      IMPREG_FAULT_POINT("maxflow/phase", budget);
+      if (budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
+    if (!BuildLevels(source, sink, budget)) break;
+    ++phases;
     iter_.assign(NumNodes(), 0);
     while (true) {
-      const double pushed =
+      double pushed =
           PushBlocking(source, sink, std::numeric_limits<double>::max());
+      IMPREG_FAULT_POINT("maxflow/pushed", pushed);
+      if (!std::isfinite(pushed)) {
+        // A non-finite augmentation would poison the total; discard it
+        // and stop. Residual capacities along the path were already
+        // updated by PushBlocking only when pushed was returned finite
+        // from the recursion, so `total` stays a valid lower bound.
+        poisoned = true;
+        break;
+      }
       if (pushed <= kEps) break;
       total += pushed;
     }
+    if (poisoned) break;
+  }
+  diagnostics_.iterations = phases;
+  diagnostics_.final_residual = 0.0;
+  if (poisoned) {
+    diagnostics_.status = SolveStatus::kNonFinite;
+    diagnostics_.detail =
+        "an augmentation went non-finite; returning the feasible flow "
+        "found before it";
+  } else if (budget_stop) {
+    diagnostics_.status = SolveStatus::kBudgetExhausted;
+    diagnostics_.detail =
+        "work budget exhausted between phases; flow is feasible but may "
+        "not be maximum";
+  } else {
+    diagnostics_.status = SolveStatus::kConverged;
   }
   return total;
 }

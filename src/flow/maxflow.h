@@ -3,6 +3,9 @@
 
 #include <vector>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
+
 /// \file
 /// Max-flow / min-cut on directed networks with real capacities
 /// (Dinic's algorithm). This is the flow primitive under the paper's
@@ -34,8 +37,16 @@ class FlowNetwork {
 
   /// Computes the maximum s–t flow value (Dinic). Residual capacities
   /// below 1e-12 are treated as saturated, which keeps the algorithm
-  /// robust with floating-point capacities.
-  double MaxFlow(int source, int sink);
+  /// robust with floating-point capacities. An optional cooperative
+  /// budget is checked between Dinic phases; on exhaustion the flow
+  /// found so far (a valid feasible flow, but maybe not maximum) is
+  /// returned and Diagnostics() reports kBudgetExhausted.
+  double MaxFlow(int source, int sink, WorkBudget* budget = nullptr);
+
+  /// How the last MaxFlow() call ended: kConverged (exact max flow),
+  /// kBudgetExhausted (feasible flow, stopped early), or kNonFinite
+  /// (an augmentation went non-finite and was discarded).
+  const SolverDiagnostics& Diagnostics() const { return diagnostics_; }
 
   /// After MaxFlow: mask of nodes reachable from the source in the
   /// residual network — the source side of a minimum cut.
@@ -51,7 +62,7 @@ class FlowNetwork {
     double original_cap;
   };
 
-  bool BuildLevels(int source, int sink);
+  bool BuildLevels(int source, int sink, WorkBudget* budget);
   double PushBlocking(int u, int sink, double limit);
 
   std::vector<Edge> edges_;  // Edge 2k and 2k+1 are mutual reverses.
@@ -59,6 +70,7 @@ class FlowNetwork {
   std::vector<int> level_;
   std::vector<std::size_t> iter_;
   int last_source_ = -1;
+  SolverDiagnostics diagnostics_;
 };
 
 }  // namespace impreg

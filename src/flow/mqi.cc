@@ -8,7 +8,7 @@
 namespace impreg {
 
 MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
-              int max_rounds) {
+              int max_rounds, WorkBudget* budget) {
   IMPREG_CHECK(!input_set.empty());
   IMPREG_CHECK(max_rounds >= 1);
 
@@ -25,11 +25,19 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
   result.stats = stats;
 
   for (int round = 1; round <= max_rounds; ++round) {
+    if (budget != nullptr && budget->Exhausted()) {
+      result.diagnostics.status = SolveStatus::kBudgetExhausted;
+      result.diagnostics.detail =
+          "work budget exhausted between MQI rounds; set from the "
+          "completed rounds returned";
+      break;
+    }
     const double c = stats.cut;
     const double v = stats.volume;
     if (c <= 0.0 || v <= 0.0) {
       // Disconnected set: conductance is already 0, nothing to improve.
       result.certified_optimal = true;
+      result.diagnostics.status = SolveStatus::kConverged;
       break;
     }
     result.rounds = round;
@@ -63,10 +71,22 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
       if (boundary > 0.0) network.AddEdge(i, sink, v * boundary);
     }
 
-    const double flow = network.MaxFlow(source, sink);
+    const double flow = network.MaxFlow(source, sink, budget);
+    if (!network.Diagnostics().ok()) {
+      // The flow is feasible but may not be maximum, so neither the
+      // saturation test nor the residual cut is trustworthy. Keep the
+      // set from the completed rounds (never worse than the input).
+      result.diagnostics.status = network.Diagnostics().status;
+      result.diagnostics.detail = "inner max-flow stopped early (" +
+                                  network.Diagnostics().Summary() +
+                                  "); set from the completed rounds "
+                                  "returned";
+      break;
+    }
     if (flow >= c * v * (1.0 - 1e-9)) {
       // Saturated: no subset improves the quotient.
       result.certified_optimal = true;
+      result.diagnostics.status = SolveStatus::kConverged;
       break;
     }
     const std::vector<char> side = network.MinCutSourceSide();
@@ -76,6 +96,7 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
     }
     if (improved.empty() || improved.size() == current.size()) {
       // Degenerate cut (numerical); stop with what we have.
+      result.diagnostics.status = SolveStatus::kConverged;
       break;
     }
     current = std::move(improved);
@@ -85,6 +106,7 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
     result.set = current;
     result.stats = stats;
   }
+  result.diagnostics.iterations = result.rounds;
   std::sort(result.set.begin(), result.set.end());
   return result;
 }

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "partition/conductance.h"
 
@@ -36,13 +38,20 @@ struct MqiResult {
   int rounds = 0;
   /// True if the final round certified local optimality.
   bool certified_optimal = false;
+  /// kConverged: reached a fixpoint (or certified optimality).
+  /// kMaxIterations: stopped at max_rounds. kBudgetExhausted /
+  /// kNonFinite: an inner max-flow stopped early — the set returned is
+  /// the best one from the completed rounds (never worse than the
+  /// input, by the MQI invariant).
+  SolverDiagnostics diagnostics;
 };
 
 /// Improves `set` (must be nonempty, with vol ≤ vol(G)/2; if its volume
 /// is larger, the complement is improved instead and returned). At most
-/// `max_rounds` flow computations.
+/// `max_rounds` flow computations. An optional budget is shared across
+/// the rounds (checked between rounds and inside each max-flow).
 MqiResult Mqi(const Graph& g, const std::vector<NodeId>& set,
-              int max_rounds = 64);
+              int max_rounds = 64, WorkBudget* budget = nullptr);
 
 }  // namespace impreg
 

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace impreg {
@@ -210,6 +211,16 @@ MultilevelResult MultilevelBisection(const Graph& g,
   IMPREG_CHECK(options.balance_tolerance >= 0.0);
   Rng rng(options.seed);
 
+  // Cooperative budget: each lambda call is one chunk-boundary check.
+  // After the first true, stays true (the WorkBudget itself is sticky).
+  bool budget_stop = false;
+  auto out_of_budget = [&]() {
+    if (options.budget == nullptr) return false;
+    IMPREG_FAULT_POINT("multilevel/budget", options.budget);
+    if (options.budget->Exhausted()) budget_stop = true;
+    return budget_stop;
+  };
+
   // Build the hierarchy.
   std::vector<Level> levels;
   {
@@ -226,6 +237,12 @@ MultilevelResult MultilevelBisection(const Graph& g,
                       static_cast<double>(total_weight_for_cap))) +
                       1));
   while (levels.back().graph.NumNodes() > options.coarsest_size) {
+    // Stopping coarsening early keeps everything below correct — the
+    // initial partition just runs on a larger "coarsest" graph.
+    if (out_of_budget()) break;
+    if (options.budget != nullptr) {
+      options.budget->Charge(levels.back().graph.NumArcs());
+    }
     Level next;
     if (!Coarsen(levels.back().graph, levels.back().node_weight,
                  max_supernode_weight, rng, next)) {
@@ -267,6 +284,14 @@ MultilevelResult MultilevelBisection(const Graph& g,
   };
   std::pair<double, double> best_score = {2.0, 0.0};
   for (int trial = 0; trial < std::max(1, options.initial_trials); ++trial) {
+    // Trial 0 always runs so `side` is populated even on an exhausted
+    // budget; further trials are optional polish.
+    if (trial > 0 && out_of_budget()) break;
+    if (options.budget != nullptr) {
+      options.budget->Charge(
+          coarsest.graph.NumArcs() *
+          static_cast<std::int64_t>(1 + options.refinement_passes));
+    }
     std::vector<char> candidate =
         GrowInitial(coarsest.graph, coarsest.node_weight, target, rng);
     for (int pass = 0; pass < options.refinement_passes; ++pass) {
@@ -290,7 +315,13 @@ MultilevelResult MultilevelBisection(const Graph& g,
       fine_side[u] = side[coarse.coarse_of[u]];
     }
     side = std::move(fine_side);
+    // The projection above always completes — skipping refinement only
+    // costs quality, never validity.
     for (int pass = 0; pass < options.refinement_passes; ++pass) {
+      if (out_of_budget()) break;
+      if (options.budget != nullptr) {
+        options.budget->Charge(fine.graph.NumArcs());
+      }
       RefinePass(fine.graph, fine.node_weight, target, tolerance, side);
     }
   }
@@ -308,6 +339,15 @@ MultilevelResult MultilevelBisection(const Graph& g,
   }
   result.stats = ComputeCutStats(g, result.set);
   result.cut = result.stats.cut;
+  if (budget_stop) {
+    result.diagnostics.status = SolveStatus::kBudgetExhausted;
+    result.diagnostics.detail =
+        "work budget exhausted; refinement cut short but the bisection "
+        "was projected to the finest level";
+  } else {
+    result.diagnostics.status = SolveStatus::kConverged;
+  }
+  result.diagnostics.iterations = result.levels;
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "partition/conductance.h"
 
@@ -34,6 +36,12 @@ struct MultilevelOptions {
   int initial_trials = 8;
   /// RNG seed (matching order, initial growth).
   std::uint64_t seed = 0x5eedULL;
+  /// Optional cooperative budget (nullptr = unlimited), checked between
+  /// coarsening levels, initial trials, and refinement passes. On
+  /// exhaustion the remaining refinement is skipped but the projection
+  /// to the finest level always completes, so the bisection stays valid
+  /// (just less polished) and is tagged kBudgetExhausted.
+  WorkBudget* budget = nullptr;
 };
 
 /// Result of a multilevel bisection.
@@ -45,6 +53,8 @@ struct MultilevelResult {
   int levels = 0;
   /// Total edge weight crossing the bisection.
   double cut = 0.0;
+  /// kConverged, or kBudgetExhausted when refinement was cut short.
+  SolverDiagnostics diagnostics;
 };
 
 /// Computes a bisection of a connected graph with ≥ 2 nodes.

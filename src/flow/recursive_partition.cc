@@ -4,6 +4,7 @@
 
 #include "graph/algorithms.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -13,10 +14,24 @@ namespace {
 // [first_block, first_block + k), writing labels into `part`.
 void Recurse(const Graph& g, const std::vector<NodeId>& nodes, int k,
              int first_block, const KwayOptions& options,
-             std::vector<int>& part) {
+             std::vector<int>& part, SolverDiagnostics& diag) {
   if (k == 1 || nodes.size() <= 1) {
     for (NodeId u : nodes) part[u] = first_block;
     return;
+  }
+  WorkBudget* budget = options.bisection.budget;
+  if (budget != nullptr) {
+    IMPREG_FAULT_POINT("kway/recurse", budget);
+    if (budget->Exhausted()) {
+      // No budget for another bisection: label this subtree round-robin
+      // so every node still gets a block in [first_block, first_block+k)
+      // and the labeling stays a complete k-way partition.
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        part[nodes[i]] = first_block + static_cast<int>(i % k);
+      }
+      diag.status = MergeStatus(diag.status, SolveStatus::kBudgetExhausted);
+      return;
+    }
   }
   // Split k into k_left + k_right and target the proportional share of
   // nodes on the left side.
@@ -31,6 +46,7 @@ void Recurse(const Graph& g, const std::vector<NodeId>& nodes, int k,
   bisection.seed ^= static_cast<std::uint64_t>(first_block) * 0x9e3779b9ULL +
                     nodes.size();
   const MultilevelResult result = MultilevelBisection(sub.graph, bisection);
+  diag.status = MergeStatus(diag.status, result.diagnostics.status);
 
   std::vector<char> in_left(sub.graph.NumNodes(), 0);
   for (NodeId local : result.set) in_left[local] = 1;
@@ -49,8 +65,8 @@ void Recurse(const Graph& g, const std::vector<NodeId>& nodes, int k,
     right.push_back(left.back());
     left.pop_back();
   }
-  Recurse(g, left, k_left, first_block, options, part);
-  Recurse(g, right, k_right, first_block + k_left, options, part);
+  Recurse(g, left, k_left, first_block, options, part, diag);
+  Recurse(g, right, k_right, first_block + k_left, options, part, diag);
 }
 
 }  // namespace
@@ -62,7 +78,13 @@ KwayResult KwayPartition(const Graph& g, int k, const KwayOptions& options) {
   result.part.assign(g.NumNodes(), 0);
   std::vector<NodeId> all(g.NumNodes());
   for (NodeId u = 0; u < g.NumNodes(); ++u) all[u] = u;
-  Recurse(g, all, k, 0, options, result.part);
+  result.diagnostics.status = SolveStatus::kConverged;
+  Recurse(g, all, k, 0, options, result.part, result.diagnostics);
+  if (result.diagnostics.status == SolveStatus::kBudgetExhausted) {
+    result.diagnostics.detail =
+        "work budget exhausted mid-recursion; exhausted subtrees were "
+        "labeled round-robin";
+  }
 
   result.sizes.assign(k, 0);
   for (NodeId u = 0; u < g.NumNodes(); ++u) ++result.sizes[result.part[u]];

@@ -28,6 +28,11 @@ struct KwayResult {
   std::vector<std::int64_t> sizes;
   /// Total weight of edges crossing between different blocks.
   double cut = 0.0;
+  /// kConverged, or kBudgetExhausted when the shared budget (set via
+  /// options.bisection.budget) ran out: subtrees reached after
+  /// exhaustion fall back to a deterministic round-robin block
+  /// assignment, so `part` is always a complete k-way labeling.
+  SolverDiagnostics diagnostics;
 };
 
 /// Partitions the graph into k ≥ 1 blocks of (approximately) equal node

@@ -16,6 +16,25 @@
 
 namespace impreg {
 
+/// Outcome of a parse with error attribution. On success `graph` is
+/// engaged and `error` is empty; on failure `error` says what was wrong
+/// and `error_line` is the 1-based input line it happened on (0 for
+/// file-level problems like an unreadable path or a bad edge count).
+struct GraphParseResult {
+  std::optional<Graph> graph;
+  int error_line = 0;
+  std::string error;
+  bool ok() const { return graph.has_value(); }
+};
+
+/// Parses an edge list from a string, reporting the failing line and
+/// reason on malformed input (negative or oversized ids, non-numeric
+/// fields, non-positive or non-finite weights).
+GraphParseResult ParseEdgeListOrError(const std::string& text);
+
+/// Reads an edge list from a file, with error attribution.
+GraphParseResult ReadEdgeListOrError(const std::string& path);
+
 /// Parses an edge list from a string. Returns std::nullopt on malformed
 /// input (negative ids, non-numeric fields, non-positive weights).
 std::optional<Graph> ParseEdgeList(const std::string& text);
@@ -38,6 +57,12 @@ bool WriteEdgeList(const Graph& g, const std::string& path);
 /// format. Returns std::nullopt on malformed input (bad counts,
 /// asymmetric adjacency, out-of-range ids).
 std::optional<Graph> ParseMetis(const std::string& text);
+
+/// Parses METIS format with error attribution (see GraphParseResult).
+GraphParseResult ParseMetisOrError(const std::string& text);
+
+/// Reads a METIS .graph file, with error attribution.
+GraphParseResult ReadMetisOrError(const std::string& path);
 
 /// Reads a METIS .graph file.
 std::optional<Graph> ReadMetis(const std::string& path);

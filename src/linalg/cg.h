@@ -1,6 +1,7 @@
 #ifndef IMPREG_LINALG_CG_H_
 #define IMPREG_LINALG_CG_H_
 
+#include "core/solve_status.h"
 #include "linalg/operator.h"
 
 /// \file
@@ -23,12 +24,16 @@ struct CgOptions {
   const Vector* project_out = nullptr;
 };
 
-/// Result of a CG solve.
+/// Result of a CG solve. `x` is always finite: on a non-finite event the
+/// solve stops with diagnostics.status = kNonFinite and returns the last
+/// iterate that was verified finite.
 struct CgResult {
   Vector x;
   int iterations = 0;
   double residual_norm = 0.0;
+  /// Kept in sync with diagnostics.status == kConverged.
   bool converged = false;
+  SolverDiagnostics diagnostics;
 };
 
 /// Solves A x = b for symmetric positive (semi)definite A.

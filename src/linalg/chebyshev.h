@@ -1,6 +1,7 @@
 #ifndef IMPREG_LINALG_CHEBYSHEV_H_
 #define IMPREG_LINALG_CHEBYSHEV_H_
 
+#include "core/solve_status.h"
 #include "linalg/operator.h"
 
 /// \file
@@ -22,12 +23,20 @@ struct ChebyshevOptions {
   double relative_tolerance = 1e-10;
 };
 
-/// Result of a Chebyshev solve.
+/// Result of a Chebyshev solve. `x` is always finite. Chebyshev has no
+/// inner products to keep it honest, so the residual trajectory is
+/// watched: sustained growth far past the best residual seen (wrong
+/// eigenvalue bounds make the recurrence amplify instead of damp) stops
+/// the solve with diagnostics.status = kBreakdown and returns the
+/// best-so-far iterate; callers can then fall back to a plain power
+/// iteration (see PersonalizedPageRankChebyshev).
 struct ChebyshevResult {
   Vector x;
   int iterations = 0;
   double residual_norm = 0.0;
+  /// Kept in sync with diagnostics.status == kConverged.
   bool converged = false;
+  SolverDiagnostics diagnostics;
 };
 
 /// Solves A x = b for SPD A whose spectrum lies in

@@ -5,6 +5,7 @@
 
 #include "linalg/tridiagonal.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace impreg {
@@ -22,6 +23,21 @@ void Reorthogonalize(const std::vector<Vector>& basis, Vector& x) {
   }
 }
 
+// Draws a fresh Gaussian vector orthogonal to `deflate` and `basis`,
+// normalized. Retries a few fresh draws (the rng keeps advancing, so
+// the whole procedure is deterministic); returns false when every draw
+// vanished under projection, i.e. the reachable subspace is exhausted.
+bool DrawOrthogonalStart(Rng& rng, const std::vector<Vector>& deflate,
+                         const std::vector<Vector>& basis, Vector& q) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    for (double& v : q) v = rng.NextGaussian();
+    Reorthogonalize(deflate, q);
+    Reorthogonalize(basis, q);
+    if (Normalize(q) > 1e-12) return true;
+  }
+  return false;
+}
+
 LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
                          const LanczosOptions& options) {
   const int n = op.Dimension();
@@ -29,6 +45,9 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
   IMPREG_CHECK(n >= 1);
   const int max_dim = std::min(options.max_iterations, n);
   IMPREG_CHECK(max_dim >= 1);
+
+  LanczosResult result;
+  SolverDiagnostics& diag = result.diagnostics;
 
   // Normalized copies of the deflation vectors.
   std::vector<Vector> deflate;
@@ -39,33 +58,55 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
     if (Normalize(copy) > 1e-12) deflate.push_back(std::move(copy));
   }
 
-  // Random start vector, deflated.
+  // Random start vector, deflated. If it vanishes the deflated vectors
+  // already span everything reachable: a breakdown, not an abort — the
+  // deflated driver (RunDeflated) hits this when asked for more pairs
+  // than the complement holds.
   Rng rng(options.seed);
   Vector q(n);
-  for (double& v : q) v = rng.NextGaussian();
-  Reorthogonalize(deflate, q);
-  IMPREG_CHECK_MSG(Normalize(q) > 1e-12,
-                   "start vector vanished under deflation");
+  if (!DrawOrthogonalStart(rng, deflate, /*basis=*/{}, q)) {
+    diag.status = SolveStatus::kBreakdown;
+    diag.detail = "start vector vanished under deflation: the deflated "
+                  "subspace spans the space; no pairs computed";
+    return result;
+  }
 
   std::vector<Vector> basis;
   basis.reserve(max_dim);
   Vector alpha, beta;  // Tridiagonal entries.
   Vector w(n);
 
-  LanczosResult result;
   SymmetricEigen tri_eigen;
-  int m = 0;
-  for (; m < max_dim; ++m) {
+  for (int m = 0; m < max_dim; ++m) {
     basis.push_back(q);
     op.Apply(basis[m], w);
-    const double a = Dot(basis[m], w);
+    IMPREG_FAULT_POINT("lanczos/w", w);
+    double a = Dot(basis[m], w);
+    IMPREG_FAULT_POINT("lanczos/alpha", a);
+    if (!std::isfinite(a)) {
+      // Poison in w (the dot product inherits any NaN/Inf). Drop this
+      // step; the basis built so far is still finite and orthonormal.
+      diag.status = SolveStatus::kNonFinite;
+      diag.detail = "non-finite Lanczos diagonal entry; returning Ritz "
+                    "pairs of the finite Krylov prefix";
+      tri_eigen = SymmetricEigen{};
+      break;
+    }
     alpha.push_back(a);
     // w ← w − a·q_m − b_{m-1}·q_{m-1}, then full reorthogonalization.
     Axpy(-a, basis[m], w);
     if (m > 0) Axpy(-beta[m - 1], basis[m - 1], w);
     Reorthogonalize(deflate, w);
     Reorthogonalize(basis, w);
-    const double b = Norm2(w);
+    double b = Norm2(w);
+    IMPREG_FAULT_POINT("lanczos/beta", b);
+    if (!std::isfinite(b)) {
+      diag.status = SolveStatus::kNonFinite;
+      diag.detail = "non-finite Lanczos off-diagonal entry; returning "
+                    "Ritz pairs of the finite Krylov prefix";
+      tri_eigen = SymmetricEigen{};
+      break;
+    }
 
     // Convergence test every few steps once we have k Ritz values.
     const bool last = (m + 1 == max_dim) || b <= 1e-13;
@@ -89,22 +130,37 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
       }
     }
     if (b <= 1e-13) {
-      // Invariant subspace found; recompute Ritz pairs and stop.
-      Vector off(beta.begin(), beta.end());
-      tri_eigen = TridiagonalEigendecomposition(alpha, off);
-      result.converged = (m + 1 >= k);
-      break;
+      // β ≈ 0 with fewer than k values: the Krylov space hit an
+      // invariant subspace early. Restart with a fresh direction
+      // orthogonal to everything built so far (deterministic — the rng
+      // just keeps advancing); β = 0 cleanly decouples the blocks of
+      // the tridiagonal matrix. If no direction survives, the reachable
+      // space is exhausted: report the pairs found as a breakdown.
+      if (DrawOrthogonalStart(rng, deflate, basis, w)) {
+        tri_eigen = SymmetricEigen{};
+        b = 0.0;
+      } else {
+        Vector off(beta.begin(), beta.end());
+        tri_eigen = TridiagonalEigendecomposition(alpha, off);
+        diag.status = SolveStatus::kBreakdown;
+        diag.detail = "invariant subspace exhausted before k pairs";
+        result.converged = false;
+        break;
+      }
     }
     beta.push_back(b);
     q = w;
-    Scale(1.0 / b, q);
+    if (b > 0.0) Scale(1.0 / b, q);
   }
-  if (m == max_dim) --m;  // Loop exhausted without break.
-  const int dim = m + 1;
+  const int dim = static_cast<int>(alpha.size());
+  if (dim == 0) {
+    // Poison on the very first step: nothing usable was built.
+    return result;
+  }
   if (tri_eigen.eigenvalues.empty()) {
     Vector off(beta.begin(), beta.begin() + (dim - 1));
-    Vector diag(alpha.begin(), alpha.begin() + dim);
-    tri_eigen = TridiagonalEigendecomposition(diag, off);
+    Vector diagonal(alpha.begin(), alpha.begin() + dim);
+    tri_eigen = TridiagonalEigendecomposition(diagonal, off);
   }
 
   const int num_out = std::min(k, dim);
@@ -128,7 +184,16 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
   for (int i = 0; i < num_out; ++i) {
     Axpy(-result.eigenvalues[i], result.eigenvectors[i], av[i]);
     result.residuals[i] = Norm2(av[i]);
+    diag.RecordResidual(result.residuals[i]);
+    if (!std::isfinite(result.residuals[i]) && diag.usable()) {
+      diag.status = SolveStatus::kNonFinite;
+      diag.detail = "non-finite Ritz residual (operator produced poison "
+                    "on the verification matvec)";
+      result.converged = false;
+    }
   }
+  if (result.converged) diag.status = SolveStatus::kConverged;
+  diag.iterations = result.iterations;
   return result;
 }
 
@@ -143,8 +208,13 @@ LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
   LanczosResult total;
   total.converged = true;
   LanczosOptions current = options;
+  SolveStatus merged = SolveStatus::kConverged;
   for (int i = 0; i < k; ++i) {
     const LanczosResult one = RunLanczos(op, 1, smallest, current);
+    merged = MergeStatus(merged, one.diagnostics.status);
+    if (!one.diagnostics.usable() && total.diagnostics.detail.empty()) {
+      total.diagnostics.detail = one.diagnostics.detail;
+    }
     if (one.eigenvectors.empty()) break;
     total.eigenvalues.push_back(one.eigenvalues.front());
     total.eigenvectors.push_back(one.eigenvectors.front());
@@ -154,6 +224,8 @@ LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
     current.deflate.push_back(one.eigenvectors.front());
     current.seed += 0x9e3779b9ULL;  // Fresh start vector per pair.
   }
+  total.converged =
+      total.converged && static_cast<int>(total.eigenvalues.size()) == k;
   // Near-degenerate pairs can come back marginally out of order.
   std::vector<int> order(total.eigenvalues.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
@@ -164,6 +236,11 @@ LanczosResult RunDeflated(const LinearOperator& op, int k, bool smallest,
   LanczosResult sorted;
   sorted.iterations = total.iterations;
   sorted.converged = total.converged;
+  sorted.diagnostics = std::move(total.diagnostics);
+  sorted.diagnostics.status =
+      sorted.converged ? SolveStatus::kConverged
+                       : MergeStatus(merged, SolveStatus::kMaxIterations);
+  sorted.diagnostics.iterations = sorted.iterations;
   for (int idx : order) {
     sorted.eigenvalues.push_back(total.eigenvalues[idx]);
     sorted.eigenvectors.push_back(std::move(total.eigenvectors[idx]));
@@ -187,12 +264,24 @@ LanczosResult LanczosLargest(const LinearOperator& op, int k,
 }
 
 Vector KrylovExpMultiply(const LinearOperator& op, double scale,
-                         const Vector& v, int krylov_dim) {
+                         const Vector& v, int krylov_dim,
+                         SolverDiagnostics* diagnostics) {
   const int n = op.Dimension();
   IMPREG_CHECK(static_cast<int>(v.size()) == n);
   IMPREG_CHECK(krylov_dim >= 1);
+  SolverDiagnostics local;
+  SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  diag = SolverDiagnostics{};
   const double v_norm = Norm2(v);
-  if (v_norm == 0.0) return Vector(n, 0.0);
+  if (!std::isfinite(v_norm)) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "input vector has non-finite entries; returning 0";
+    return Vector(n, 0.0);
+  }
+  if (v_norm == 0.0) {
+    diag.status = SolveStatus::kConverged;
+    return Vector(n, 0.0);
+  }
 
   const int max_dim = std::min(krylov_dim, n);
   std::vector<Vector> basis;
@@ -201,23 +290,41 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
   Vector q = v;
   Scale(1.0 / v_norm, q);
   Vector w(n);
+  bool poisoned = false;
   for (int m = 0; m < max_dim; ++m) {
     basis.push_back(q);
     op.Apply(basis[m], w);
+    IMPREG_FAULT_POINT("krylov_exp/w", w);
     const double a = Dot(basis[m], w);
+    if (!std::isfinite(a)) {
+      poisoned = true;  // Use the finite prefix built before this step.
+      break;
+    }
     alpha.push_back(a);
     Axpy(-a, basis[m], w);
     if (m > 0) Axpy(-beta[m - 1], basis[m - 1], w);
     Reorthogonalize(basis, w);
-    const double b = Norm2(w);
+    double b = Norm2(w);
+    IMPREG_FAULT_POINT("krylov_exp/beta", b);
+    if (!std::isfinite(b)) {
+      poisoned = true;
+      break;
+    }
     if (b <= 1e-14 || m + 1 == max_dim) break;
     beta.push_back(b);
     q = w;
     Scale(1.0 / b, q);
   }
   const int dim = static_cast<int>(alpha.size());
+  if (dim == 0) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "operator produced poison on the first Krylov step; "
+                  "returning 0";
+    return Vector(n, 0.0);
+  }
   Vector off(beta.begin(), beta.begin() + (dim - 1));
-  const SymmetricEigen tri = TridiagonalEigendecomposition(alpha, off);
+  Vector head(alpha.begin(), alpha.begin() + dim);
+  const SymmetricEigen tri = TridiagonalEigendecomposition(head, off);
 
   // y = ‖v‖ · V · U exp(scale·Λ) Uᵀ e₁.
   Vector coeffs(dim, 0.0);
@@ -230,6 +337,20 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
   }
   Vector y(n, 0.0);
   for (int j = 0; j < dim; ++j) Axpy(v_norm * coeffs[j], basis[j], y);
+  diag.iterations = dim;
+  if (!AllFinite(y)) {
+    // exp(scale·λ) can overflow for large positive scale·λ.
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "exp weights overflowed; returning 0";
+    return Vector(n, 0.0);
+  }
+  if (poisoned) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "non-finite Krylov recurrence entry; used the finite "
+                  "prefix of the basis";
+  } else {
+    diag.status = SolveStatus::kConverged;
+  }
   return y;
 }
 

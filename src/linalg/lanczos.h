@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/solve_status.h"
 #include "linalg/operator.h"
 
 /// \file
@@ -42,8 +43,14 @@ struct LanczosResult {
   Vector residuals;
   /// Krylov dimension actually built.
   int iterations = 0;
-  /// True if all k Ritz pairs met the residual tolerance.
+  /// True if all k Ritz pairs met the residual tolerance. Kept in sync
+  /// with diagnostics.status == kConverged.
   bool converged = false;
+  /// kBreakdown: the deflated start vector vanished — the reachable
+  /// subspace holds fewer than k pairs (whatever was found is returned).
+  /// kNonFinite: poison entered the recurrence — the basis built before
+  /// the event is used and the partial (finite) Ritz pairs returned.
+  SolverDiagnostics diagnostics;
 };
 
 /// Computes the k algebraically smallest eigenpairs of a symmetric
@@ -59,9 +66,13 @@ LanczosResult LanczosLargest(const LinearOperator& op, int k,
 /// y ≈ exp(scale · op) · v using a basis of dimension ≤ krylov_dim.
 /// For symmetric op with spectrum in [0, 2] and scale = −t this is the
 /// Heat Kernel H_t v of §3.1. Accuracy improves rapidly with krylov_dim
-/// (≈30–60 suffices for machine precision at moderate t).
+/// (≈30–60 suffices for machine precision at moderate t). If
+/// `diagnostics` is non-null it receives the solve outcome; the
+/// returned vector is always finite (zero on kNonFinite when no finite
+/// prefix of the Krylov basis survived).
 Vector KrylovExpMultiply(const LinearOperator& op, double scale,
-                         const Vector& v, int krylov_dim = 60);
+                         const Vector& v, int krylov_dim = 60,
+                         SolverDiagnostics* diagnostics = nullptr);
 
 }  // namespace impreg
 

@@ -4,6 +4,7 @@
 
 #include "linalg/graph_operators.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -21,6 +22,13 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
   IMPREG_CHECK(static_cast<int>(start.size()) == n);
 
   PowerMethodResult result;
+  SolverDiagnostics& diag = result.diagnostics;
+  if (!AllFinite(start)) {
+    diag.status = SolveStatus::kInvalidInput;
+    diag.detail = "start vector has non-finite entries";
+    result.eigenvector.assign(n, 0.0);
+    return result;
+  }
   Vector current = std::move(start);
   Deflate(options.deflate, current);
   IMPREG_CHECK_MSG(Normalize(current) > 1e-14,
@@ -29,27 +37,50 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
   Vector next(n);
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
     op.Apply(current, next);
+    IMPREG_FAULT_POINT("power_method/next", next);
     Deflate(options.deflate, next);
     const double norm = Normalize(next);
     result.iterations = iter;
+    // ‖next‖ is NaN/Inf iff any entry is (the unit iterate is therefore
+    // all-finite once this passes) — the scalar check is the whole
+    // non-finite sentinel here.
+    if (!std::isfinite(norm)) {
+      diag.status = SolveStatus::kNonFinite;
+      diag.detail = "operator produced a non-finite iterate; returning "
+                    "last finite unit iterate";
+      break;
+    }
     if (norm <= 1e-300) {
       // A annihilated the iterate — it was (numerically) in the null
       // space; report non-convergence with the last usable vector.
+      diag.status = SolveStatus::kBreakdown;
+      diag.detail = "operator annihilated the iterate (start was "
+                    "numerically in the null space)";
       break;
     }
     // Align sign so the difference test is meaningful for negative
     // dominant eigenvalues.
     if (Dot(next, current) < 0.0) Scale(-1.0, next);
     const double delta = DistanceL2(next, current);
+    diag.RecordResidual(delta);
     current.swap(next);
     if (options.on_iterate) options.on_iterate(iter, current);
     if (delta < options.tolerance) {
       result.converged = true;
+      diag.status = SolveStatus::kConverged;
       break;
     }
   }
   result.eigenvalue = op.RayleighQuotient(current);
+  IMPREG_FAULT_POINT("power_method/rayleigh", result.eigenvalue);
+  if (!std::isfinite(result.eigenvalue)) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "Rayleigh quotient is non-finite; eigenvalue zeroed";
+    result.eigenvalue = 0.0;
+    result.converged = false;
+  }
   result.eigenvector = std::move(current);
+  diag.iterations = result.iterations;
   return result;
 }
 
@@ -62,8 +93,12 @@ PowerMethodResult SecondEigenpairPowerMethod(
   PowerMethodOptions opts = options;
   opts.deflate.push_back(lap.TrivialEigenvector());
   PowerMethodResult result = PowerMethod(flipped, std::move(start), opts);
-  // Convert the Rayleigh quotient back: λ(ℒ) = 2 − λ(2I−ℒ).
-  result.eigenvalue = 2.0 - result.eigenvalue;
+  // Convert the Rayleigh quotient back: λ(ℒ) = 2 − λ(2I−ℒ). Skip when
+  // the solve failed and the eigenvalue was zeroed — 2 − 0 would dress
+  // a sentinel up as a plausible spectral gap.
+  if (result.diagnostics.usable()) {
+    result.eigenvalue = 2.0 - result.eigenvalue;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/operator.h"
 
@@ -29,12 +30,17 @@ struct PowerMethodOptions {
   std::function<void(int, const Vector&)> on_iterate;
 };
 
-/// Result of a power iteration.
+/// Result of a power iteration. The eigenvector is unit length and
+/// finite whenever diagnostics.usable(); on kNonFinite it is the last
+/// finite unit iterate, and on kInvalidInput (non-finite start) it is
+/// the zero vector.
 struct PowerMethodResult {
   double eigenvalue = 0.0;  ///< Rayleigh quotient at the final iterate.
   Vector eigenvector;       ///< Unit length.
   int iterations = 0;
+  /// Kept in sync with diagnostics.status == kConverged.
   bool converged = false;
+  SolverDiagnostics diagnostics;
 };
 
 /// Runs the power method ν_{t+1} = A ν_t / ‖A ν_t‖₂ from `start`

@@ -157,6 +157,18 @@ double DistanceUpToSign(const Vector& x, const Vector& y) {
   return std::sqrt(std::min(total.plus, total.minus));
 }
 
+bool AllFinite(const Vector& x) {
+  return ParallelReduce(
+      0, Size(x), kVectorGrain, true,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          if (!std::isfinite(x[i])) return false;
+        }
+        return true;
+      },
+      [](bool a, bool b) { return a && b; });
+}
+
 double WeightedDot(const Vector& weights, const Vector& x, const Vector& y) {
   IMPREG_DCHECK(weights.size() == x.size() && x.size() == y.size());
   return ParallelReduce(

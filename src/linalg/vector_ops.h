@@ -54,6 +54,13 @@ double DistanceUpToSign(const Vector& x, const Vector& y);
 /// The D-weighted inner product Σᵢ dᵢ xᵢ yᵢ.
 double WeightedDot(const Vector& weights, const Vector& x, const Vector& y);
 
+/// True iff every entry is finite (no NaN/Inf). This is the non-finite
+/// sentinel of the failure-containment layer: solvers call it on their
+/// iterates every few iterations (and on inputs up front) so a NaN
+/// produced anywhere fails fast with SolveStatus::kNonFinite instead of
+/// spinning to the iteration cap on poisoned comparisons.
+bool AllFinite(const Vector& x);
+
 }  // namespace impreg
 
 #endif  // IMPREG_LINALG_VECTOR_OPS_H_

@@ -11,11 +11,27 @@
 #include "partition/push.h"
 #include "partition/sweep.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace impreg {
 
 namespace {
+
+// Shared epilogue of the family portfolios: fill the caller's
+// diagnostics (if any) from how the grid ended.
+void FinishPortfolio(bool budget_stop, SolverDiagnostics* diagnostics,
+                     const char* what) {
+  if (diagnostics == nullptr) return;
+  *diagnostics = SolverDiagnostics{};
+  if (budget_stop) {
+    diagnostics->status = SolveStatus::kBudgetExhausted;
+    diagnostics->detail = std::string("work budget exhausted; the ") + what +
+                          " portfolio returned the clusters found so far";
+  } else {
+    diagnostics->status = SolveStatus::kConverged;
+  }
+}
 
 // Uniform seed nodes with positive degree (rejection sampling, bounded).
 std::vector<NodeId> SamplePositiveDegreeSeeds(const Graph& g, int count,
@@ -34,14 +50,18 @@ std::vector<NodeId> SamplePositiveDegreeSeeds(const Graph& g, int count,
 }  // namespace
 
 std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
-                                           const WalkFamilyOptions& options) {
+                                           const WalkFamilyOptions& options,
+                                           SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(g.NumNodes() >= 2);
   Rng rng(options.rng_seed);
   const std::vector<NodeId> seeds =
       SamplePositiveDegreeSeeds(g, options.num_seeds, rng);
 
   std::vector<NcpCluster> clusters;
-  if (seeds.empty()) return clusters;
+  if (seeds.empty()) {
+    FinishPortfolio(false, diagnostics, "lazy-walk");
+    return clusters;
+  }
 
   // All seed columns walk together: each W_α step is one batched SpMM
   // over the adjacency instead of |seeds| separate matvecs.
@@ -55,9 +75,23 @@ std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
 
   std::vector<Vector> next;
   int step = 0;
+  bool budget_stop = false;
   for (int t : checkpoints) {
     IMPREG_CHECK_MSG(t > 0, "walk checkpoints must be positive");
+    // Checkpoint boundary: stopping here means the remaining (larger-t)
+    // scales are simply missing from the portfolio.
+    if (options.budget != nullptr) {
+      IMPREG_FAULT_POINT("ncp/walk_budget", options.budget);
+      if (options.budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
     for (; step < t; ++step) {
+      if (options.budget != nullptr) {
+        options.budget->Charge(g.NumArcs() *
+                               static_cast<std::int64_t>(cur.size()));
+      }
       walk.ApplyBatch(cur, next);
       cur.swap(next);
     }
@@ -77,11 +111,13 @@ std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
       clusters.push_back(std::move(cluster));
     }
   }
+  FinishPortfolio(budget_stop, diagnostics, "lazy-walk");
   return clusters;
 }
 
 std::vector<NcpCluster> SpectralFamilyClusters(
-    const Graph& g, const SpectralFamilyOptions& options) {
+    const Graph& g, const SpectralFamilyOptions& options,
+    SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(g.NumNodes() >= 2);
   Rng rng(options.rng_seed);
   std::vector<NcpCluster> clusters;
@@ -91,12 +127,23 @@ std::vector<NcpCluster> SpectralFamilyClusters(
   const std::vector<NodeId> seeds =
       SamplePositiveDegreeSeeds(g, options.num_seeds, rng);
 
+  bool budget_stop = false;
   for (NodeId seed : seeds) {
     for (double alpha : options.alphas) {
       for (double eps : options.epsilons) {
+        // Grid boundary: each (seed, α, ε) run is one chunk. The push
+        // itself also charges and respects the same budget.
+        if (options.budget != nullptr) {
+          IMPREG_FAULT_POINT("ncp/spectral_budget", options.budget);
+          if (options.budget->Exhausted()) {
+            budget_stop = true;
+            break;
+          }
+        }
         PushOptions push;
         push.alpha = alpha;
         push.epsilon = eps;
+        push.budget = options.budget;
         const PushResult diffusion =
             ApproximatePageRank(g, SingleNodeSeed(g, seed), push);
         SweepOptions sweep_options;
@@ -127,13 +174,17 @@ std::vector<NcpCluster> SpectralFamilyClusters(
           clusters.push_back(std::move(cluster));
         }
       }
+      if (budget_stop) break;
     }
+    if (budget_stop) break;
   }
+  FinishPortfolio(budget_stop, diagnostics, "spectral");
   return clusters;
 }
 
 std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
-                                           const FlowFamilyOptions& options) {
+                                           const FlowFamilyOptions& options,
+                                           SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(g.NumNodes() >= 4);
   std::vector<double> fractions = options.fractions;
   if (fractions.empty()) {
@@ -178,10 +229,21 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
   }
 
   Rng rng(options.rng_seed);
+  bool budget_stop = false;
   for (double fraction : fractions) {
+    // Fraction boundary: each bisection(+MQI) is one chunk; both also
+    // respect the shared budget internally.
+    if (options.budget != nullptr) {
+      IMPREG_FAULT_POINT("ncp/flow_budget", options.budget);
+      if (options.budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
     MultilevelOptions ml;
     ml.target_fraction = fraction;
     ml.seed = rng.Next();
+    ml.budget = options.budget;
     const MultilevelResult bisect = MultilevelBisection(g, ml);
     if (!bisect.set.empty() &&
         static_cast<NodeId>(bisect.set.size()) < g.NumNodes()) {
@@ -192,7 +254,7 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
       clusters.push_back(cluster);
 
       if (options.run_mqi) {
-        const MqiResult improved = Mqi(g, bisect.set);
+        const MqiResult improved = Mqi(g, bisect.set, 64, options.budget);
         NcpCluster sharpened;
         sharpened.nodes = improved.set;
         sharpened.stats = improved.stats;
@@ -201,6 +263,7 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
       }
     }
   }
+  FinishPortfolio(budget_stop, diagnostics, "flow");
   return clusters;
 }
 

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "partition/conductance.h"
 
@@ -45,6 +47,10 @@ struct SpectralFamilyOptions {
   /// Push tolerance grid (each ε targets a different cluster scale).
   std::vector<double> epsilons = {1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5};
   std::uint64_t rng_seed = 0xacadULL;
+  /// Optional cooperative budget shared by all the push runs (nullptr =
+  /// unlimited). Checked between runs; the clusters found before
+  /// exhaustion are returned.
+  WorkBudget* budget = nullptr;
 };
 
 /// Options for the flow-family portfolio.
@@ -58,6 +64,9 @@ struct FlowFamilyOptions {
   /// "bag of whiskers" lower envelope of [27, 28]).
   bool include_whiskers = true;
   std::uint64_t rng_seed = 0xf10bULL;
+  /// Optional cooperative budget shared by the bisections and MQI runs
+  /// (nullptr = unlimited). Checked between size fractions.
+  WorkBudget* budget = nullptr;
 };
 
 /// Options for the lazy-walk-family portfolio.
@@ -71,6 +80,9 @@ struct WalkFamilyOptions {
   /// positive. Unsorted input is fine (sorted internally).
   std::vector<int> checkpoints = {2, 4, 8, 16, 32, 64};
   std::uint64_t rng_seed = 0xa1c3ULL;
+  /// Optional cooperative budget (nullptr = unlimited), checked between
+  /// checkpoints; the clusters from completed checkpoints are returned.
+  WorkBudget* budget = nullptr;
 };
 
 /// Runs the lazy-walk-family portfolio: all seed columns are diffused
@@ -79,16 +91,23 @@ struct WalkFamilyOptions {
 /// column is sweep-cut at each checkpoint t; clusters are tagged
 /// "LazyWalk(t=..)". This is the multi-scale walk portfolio of the
 /// paper's §3.1 diffusions, and the NCP driver for the SpMM kernel.
+/// All three portfolios accept an optional `diagnostics` out-param:
+/// kConverged when the full grid ran, kBudgetExhausted when the
+/// options' budget ran out (the clusters found so far are returned —
+/// a truncated portfolio is still a valid, just sparser, NCP).
 std::vector<NcpCluster> WalkFamilyClusters(
-    const Graph& g, const WalkFamilyOptions& options = {});
+    const Graph& g, const WalkFamilyOptions& options = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 /// Runs the spectral-family portfolio and returns every cluster found.
 std::vector<NcpCluster> SpectralFamilyClusters(
-    const Graph& g, const SpectralFamilyOptions& options = {});
+    const Graph& g, const SpectralFamilyOptions& options = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 /// Runs the flow-family portfolio and returns every cluster found.
 std::vector<NcpCluster> FlowFamilyClusters(
-    const Graph& g, const FlowFamilyOptions& options = {});
+    const Graph& g, const FlowFamilyOptions& options = {},
+    SolverDiagnostics* diagnostics = nullptr);
 
 /// One point of a network community profile.
 struct NcpPoint {

@@ -5,6 +5,7 @@
 
 #include "diffusion/seed.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -19,6 +20,12 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
   HkRelaxResult result;
   result.stats.conductance = 1.0;
   result.rho.assign(g.NumNodes(), 0.0);
+  if (!AllFinite(seed)) {
+    result.diagnostics.status = SolveStatus::kNonFinite;
+    result.diagnostics.detail =
+        "seed has non-finite entries; returning ρ = 0 and no cut";
+    return result;
+  }
 
   const double t = options.t;
   // Sparse current term (t^k/k!)·(truncated M)^k s.
@@ -34,7 +41,16 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
   double poisson = 1.0;            // t^k / k!.
   double tail = std::exp(t) - 1.0;  // Σ_{j>k} t^j/j!.
   int k = 0;
+  bool budget_stop = false;
+  bool poisoned = false;
   while (tail * std::exp(-t) > options.tail_tolerance && !term.empty()) {
+    if (options.budget != nullptr) {
+      IMPREG_FAULT_POINT("hkrelax/budget", options.budget);
+      if (options.budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
     ++k;
     std::unordered_map<NodeId, double> next;
     next.reserve(term.size() * 2);
@@ -48,6 +64,7 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
         next[heads[i]] += spread * weights[i];
       }
       result.work += g.OutDegree(u);
+      if (options.budget != nullptr) options.budget->Charge(g.OutDegree(u));
     }
     poisson *= t / static_cast<double>(k);
     tail -= poisson;
@@ -55,11 +72,16 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
     // threshold scales with the term's Poisson weight t^k/k! so the
     // truncation is uniform in *distribution* units across terms.
     term.clear();
-    const double scale = t / static_cast<double>(k);
+    double scale = t / static_cast<double>(k);
+    IMPREG_FAULT_POINT("hkrelax/scale", scale);
     for (const auto& [u, mass] : next) {
       const double value = mass * scale;
       const double d = g.Degree(u);
-      if (d > 0.0 && value < options.delta * d * poisson) {
+      if (!std::isfinite(value)) {
+        // Drop poisoned mass before it can reach ρ (every ρ update below
+        // is gated on this check, so ρ stays finite by construction).
+        poisoned = true;
+      } else if (d > 0.0 && value < options.delta * d * poisson) {
         result.dropped_mass += value;  // In (t^k/k!)-weighted units.
       } else if (value > 0.0) {
         term.emplace(u, value);
@@ -67,12 +89,27 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
       }
     }
     result.terms = k;
+    if (poisoned) break;
   }
   // Everything is still in Σ t^k/k! units; apply the e^{−t} prefactor.
   // The discarded Poisson tail also counts as dropped mass.
   for (double& v : result.rho) v *= std::exp(-t);
   result.dropped_mass = result.dropped_mass * std::exp(-t) +
                         std::max(tail, 0.0) * std::exp(-t);
+
+  SolverDiagnostics& diag = result.diagnostics;
+  if (poisoned) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "a Taylor term went non-finite; poisoned entries were "
+                  "dropped and the finite prefix of the series swept";
+  } else if (budget_stop) {
+    diag.status = SolveStatus::kBudgetExhausted;
+    diag.detail = "work budget exhausted; series truncated early (extra "
+                  "tail mass counted in dropped_mass)";
+  } else {
+    diag.status = SolveStatus::kConverged;
+  }
+  diag.iterations = result.terms;
 
   SweepOptions sweep;
   sweep.scaling = SweepScaling::kDegreeNormalized;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "partition/sweep.h"
@@ -29,6 +31,11 @@ struct HkRelaxOptions {
   double tail_tolerance = 1e-6;
   /// Optional volume cap for the sweep (0 = none).
   double max_volume = 0.0;
+  /// Optional cooperative budget (nullptr = unlimited), checked between
+  /// Taylor terms; on exhaustion the series is truncated there
+  /// (kBudgetExhausted) — the cut tail mass is reported in dropped_mass
+  /// like any other truncation.
+  WorkBudget* budget = nullptr;
 };
 
 /// Result of a heat-kernel relax run.
@@ -44,6 +51,10 @@ struct HkRelaxResult {
   int terms = 0;
   /// Σ over terms of support scanned — the work measure.
   std::int64_t work = 0;
+  /// kConverged: tail below tolerance. kBudgetExhausted: series cut
+  /// early by the budget. kNonFinite: a term went non-finite — poisoned
+  /// entries were dropped and the finite prefix swept.
+  SolverDiagnostics diagnostics;
 };
 
 /// Runs the truncated heat-kernel diffusion from a single seed node and

@@ -47,7 +47,21 @@ MovResult MovSolveAtSigma(const Graph& g, const std::vector<NodeId>& seed,
   MovResult result;
   result.sigma = sigma;
   result.x = cg.x;
-  IMPREG_CHECK_MSG(Normalize(result.x) > 0.0, "MOV solve returned zero");
+  result.diagnostics = cg.diagnostics;
+  if (!cg.diagnostics.usable() || Normalize(result.x) <= 0.0) {
+    // Degrade instead of aborting: the projected seed direction is a
+    // feasible (unit, ⟂ trivial) vector — the maximally local answer,
+    // exactly what σ → −∞ converges to.
+    result.x = rhs;
+    Normalize(result.x);
+    if (cg.diagnostics.usable()) {
+      // CG "succeeded" but produced the zero vector: a breakdown here.
+      result.diagnostics.status = SolveStatus::kBreakdown;
+    }
+    result.diagnostics.detail = "MOV linear solve failed (" +
+                                cg.diagnostics.Summary() +
+                                "); x is the projected seed direction";
+  }
   // Fix the sign so the seed correlation is positive.
   const double corr = Dot(result.x, s_hat);
   if (corr < 0.0) Scale(-1.0, result.x);

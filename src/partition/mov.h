@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "partition/sweep.h"
@@ -48,6 +49,10 @@ struct MovResult {
   /// Sweep cut of x.
   std::vector<NodeId> set;
   CutStats stats;
+  /// Diagnostics of the inner CG solve. If the solve broke down or went
+  /// non-finite, x degrades to the projected seed direction (the
+  /// maximally local feasible vector) and the status says so.
+  SolverDiagnostics diagnostics;
 };
 
 /// Solves Problem (8) at a given shift σ < λ₂ (the caller supplies

@@ -5,6 +5,7 @@
 
 #include "diffusion/seed.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -17,6 +18,13 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
 
   NibbleResult result;
   result.stats.conductance = 1.0;
+  if (!AllFinite(seed)) {
+    result.distribution.assign(g.NumNodes(), 0.0);
+    result.diagnostics.status = SolveStatus::kNonFinite;
+    result.diagnostics.detail =
+        "seed has non-finite entries; returning no cut";
+    return result;
+  }
 
   // Sparse representation: map node → mass, rebuilt each step. The
   // truncation keeps the support bounded (≈ mass/(ε·d_min) entries), so
@@ -30,7 +38,18 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
   const double hold = options.alpha;
   Vector dense(g.NumNodes(), 0.0);
 
+  bool budget_stop = false;
+  bool poisoned = false;
+  int steps_done = 0;
   for (int step = 1; step <= options.steps; ++step) {
+    if (options.budget != nullptr) {
+      IMPREG_FAULT_POINT("nibble/budget", options.budget);
+      if (options.budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
+    steps_done = step;
     // One lazy-walk step on the sparse vector.
     std::unordered_map<NodeId, double> next;
     next.reserve(current.size() * 2);
@@ -48,17 +67,25 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
         next[heads[i]] += spread * weights[i];
       }
       result.work += g.OutDegree(u);
+      if (options.budget != nullptr) options.budget->Charge(g.OutDegree(u));
     }
     // Truncate: q(u) < ε·d(u) → 0 (the implicit regularization step).
     current.clear();
-    for (const auto& [u, mass] : next) {
+    for (const auto& [u, raw_mass] : next) {
+      double mass = raw_mass;
+      IMPREG_FAULT_POINT("nibble/mass", mass);
       const double d = g.Degree(u);
-      if (d > 0.0 && mass < options.epsilon * d) {
+      if (!std::isfinite(mass)) {
+        // Drop poisoned mass before it can enter the distribution (every
+        // `current` insert is gated on this check).
+        poisoned = true;
+      } else if (d > 0.0 && mass < options.epsilon * d) {
         result.truncated_mass += mass;
       } else if (mass > 0.0) {
         current.emplace(u, mass);
       }
     }
+    if (poisoned) break;
     if (current.empty()) break;  // Everything truncated away.
 
     // Sweep the current support only: the dense scratch vector is
@@ -86,6 +113,18 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
 
   result.distribution.assign(g.NumNodes(), 0.0);
   for (const auto& [u, mass] : current) result.distribution[u] = mass;
+  SolverDiagnostics& diag = result.diagnostics;
+  if (poisoned) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "walk step went non-finite; poisoned mass dropped, best "
+                  "cut up to that step returned";
+  } else if (budget_stop) {
+    diag.status = SolveStatus::kBudgetExhausted;
+    diag.detail = "work budget exhausted; best cut so far returned";
+  } else {
+    diag.status = SolveStatus::kConverged;
+  }
+  diag.iterations = steps_done;
   return result;
 }
 

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "partition/sweep.h"
@@ -27,6 +29,10 @@ struct NibbleOptions {
   double alpha = 0.5;
   /// Optional volume cap forwarded to the per-step sweeps (0 = none).
   double max_volume = 0.0;
+  /// Optional cooperative budget (nullptr = unlimited), checked between
+  /// walk steps; on exhaustion the walk stops there (kBudgetExhausted)
+  /// and the best cut found so far is returned.
+  WorkBudget* budget = nullptr;
 };
 
 /// Result of a Nibble run.
@@ -42,6 +48,10 @@ struct NibbleResult {
   double truncated_mass = 0.0;
   /// Σ over steps of (support size scanned) — the work measure.
   std::int64_t work = 0;
+  /// kConverged: the walk ran its course. kBudgetExhausted: stopped
+  /// early by the budget. kNonFinite: a step went non-finite — poisoned
+  /// mass was dropped and the best cut up to that step returned.
+  SolverDiagnostics diagnostics;
 };
 
 /// Runs the truncated lazy walk from `seed`.

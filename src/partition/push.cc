@@ -5,6 +5,7 @@
 
 #include "diffusion/seed.h"
 #include "util/check.h"
+#include "util/fault.h"
 
 namespace impreg {
 
@@ -26,15 +27,26 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
 
   PushResult result;
   result.p.assign(g.NumNodes(), 0.0);
+
+  // Negative seed mass is a programming error (abort; NaN passes the
+  // check because NaN comparisons are false); non-finite mass is a
+  // data-poisoning event, rejected gracefully.
+  for (double v : seed) {
+    IMPREG_CHECK_MSG(!(v < 0.0), "seed must be nonnegative");
+  }
+  if (!AllFinite(seed)) {
+    result.residual.assign(g.NumNodes(), 0.0);
+    result.diagnostics.status = SolveStatus::kNonFinite;
+    result.diagnostics.detail =
+        "seed has non-finite entries; returning p = r = 0";
+    return result;
+  }
   result.residual = seed;
 
   const double alpha = options.alpha;
   const double eps = options.epsilon;
   double seed_mass = 0.0;
-  for (double v : seed) {
-    IMPREG_CHECK_MSG(v >= 0.0, "seed must be nonnegative");
-    seed_mass += v;
-  }
+  for (double v : seed) seed_mass += v;
   // Theoretical push bound: total residual mass shrinks by at least
   // α·ε·d(u) per push of node u, and each push moves ≥ ε·d(u) ≥ ε of
   // residual onto p scaled by α ⇒ at most mass/(ε·α) pushes for
@@ -55,12 +67,32 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
     }
   }
 
+  WorkBudget* budget = options.budget;
+  bool budget_stop = false;
+  bool poisoned = false;
   while (!queue.empty() && result.pushes < push_cap) {
+    // Budget check at chunk boundaries (every 256 pushes), so the cut
+    // point is deterministic in the arc counter, not the clock.
+    if (budget != nullptr && (result.pushes & 255) == 0) {
+      IMPREG_FAULT_POINT("push/budget", budget);
+      if (budget->Exhausted()) {
+        budget_stop = true;
+        break;
+      }
+    }
     const NodeId u = queue.front();
     queue.pop_front();
     queued[u] = 0;
     const double d = g.Degree(u);
-    const double r = result.residual[u];
+    double r = result.residual[u];
+    IMPREG_FAULT_POINT("push/r", r);
+    if (!std::isfinite(r)) {
+      // Drop the poisoned mass instead of pushing it into p; p and the
+      // other residual entries are still finite by construction.
+      result.residual[u] = 0.0;
+      poisoned = true;
+      break;
+    }
     if (d <= 0.0 || r < eps * d) continue;
 
     // push(u): p gains α·r; half of the rest stays (lazy self-loop),
@@ -91,15 +123,32 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
     }
     ++result.pushes;
     result.work += g.OutDegree(u);
+    if (budget != nullptr) budget->Charge(g.OutDegree(u));
     if (options.on_push) {
       residual_mass -= options.alpha * r;  // Exactly the mass moved to p.
       options.on_push(result.pushes, u, residual_mass);
     }
   }
-  result.converged = queue.empty();
+  result.converged = queue.empty() && !budget_stop && !poisoned;
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
     if (result.p[u] > 0.0) ++result.support;
   }
+  SolverDiagnostics& diag = result.diagnostics;
+  if (poisoned) {
+    diag.status = SolveStatus::kNonFinite;
+    diag.detail = "residual went non-finite; poisoned mass dropped and "
+                  "the push stopped (p stays a valid partial PPR)";
+  } else if (result.converged) {
+    diag.status = SolveStatus::kConverged;
+  } else {
+    // Both the push cap and a cooperative budget are deliberate early
+    // stops: (p, r) is still a valid decomposition, just with residuals
+    // above ε·d somewhere.
+    diag.status = SolveStatus::kBudgetExhausted;
+    diag.detail = budget_stop ? "work budget exhausted mid-push"
+                              : "push cap hit before residuals drained";
+  }
+  diag.iterations = static_cast<int>(result.pushes);
   return result;
 }
 

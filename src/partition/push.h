@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "partition/sweep.h"
@@ -38,6 +40,11 @@ struct PushOptions {
   /// connection to gradient methods — so the reported residual mass
   /// decreases monotonically; the callback lets experiments watch it.
   std::function<void(std::int64_t, NodeId, double)> on_push;
+  /// Optional cooperative budget (nullptr = unlimited), checked at
+  /// chunk boundaries; on exhaustion the push stops with
+  /// kBudgetExhausted and the partial (p, r) pair — still a valid
+  /// approximate PPR decomposition, just with a looser residual.
+  WorkBudget* budget = nullptr;
 };
 
 /// Result of a push computation.
@@ -53,7 +60,12 @@ struct PushResult {
   std::int64_t support = 0;
   /// Σ of degrees of pushed nodes — the true work measure.
   std::int64_t work = 0;
+  /// True iff every residual dropped below ε·d (queue drained). Kept in
+  /// sync with diagnostics.status == kConverged.
   bool converged = false;
+  /// kBudgetExhausted covers both the push cap and a WorkBudget running
+  /// out — either way (p, r) is a valid early-stopped decomposition.
+  SolverDiagnostics diagnostics;
 };
 
 /// Runs ACL push from a nonnegative seed vector (typically a single-node

@@ -1,5 +1,7 @@
 #include "linalg/cg.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
@@ -127,6 +129,42 @@ TEST(CgTest, IterationCapReported) {
   EXPECT_FALSE(result.converged);
   EXPECT_EQ(result.iterations, 2);
   EXPECT_GT(result.residual_norm, 0.0);
+}
+
+TEST(CgTest, StatusMirrorsConvergedFlag) {
+  const DenseOperator id(DenseMatrix::Identity(5));
+  const Vector b = {1, 2, 3, 4, 5};
+  const CgResult ok = ConjugateGradient(id, b);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_EQ(ok.diagnostics.status, SolveStatus::kConverged);
+  EXPECT_TRUE(ok.diagnostics.ok());
+
+  CgOptions capped;
+  capped.max_iterations = 0;
+  const CgResult stopped = ConjugateGradient(id, b, capped);
+  EXPECT_FALSE(stopped.converged);
+  EXPECT_EQ(stopped.diagnostics.status, SolveStatus::kMaxIterations);
+  EXPECT_TRUE(stopped.diagnostics.usable());
+}
+
+TEST(CgTest, NonFiniteRhsIsContained) {
+  const DenseOperator id(DenseMatrix::Identity(3));
+  const CgResult result = ConjugateGradient(
+      id, {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kNonFinite);
+  EXPECT_TRUE(AllFinite(result.x));
+}
+
+TEST(CgTest, IndefiniteSystemReportsBreakdown) {
+  // A = -I is negative definite: pᵀAp < 0 on the first iteration.
+  DenseMatrix m = DenseMatrix::Identity(4);
+  for (int i = 0; i < 4; ++i) m.At(i, i) = -1.0;
+  const DenseOperator op(m);
+  const CgResult result = ConjugateGradient(op, {1, 1, 1, 1});
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kBreakdown);
+  EXPECT_TRUE(AllFinite(result.x));
 }
 
 }  // namespace

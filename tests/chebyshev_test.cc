@@ -106,5 +106,58 @@ TEST(ChebyshevTest, InvalidBoundsDie) {
   EXPECT_DEATH(ChebyshevSolve(lap, Vector(6, 1.0), 2.0, 1.0), "");
 }
 
+TEST(ChebyshevTest, StatusMirrorsConvergedFlag) {
+  Rng rng(7);
+  const Graph g = ErdosRenyi(40, 0.15, rng);
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator system(lap, 0.8, 0.2);
+  Vector b(40);
+  for (double& v : b) v = rng.NextGaussian();
+  const ChebyshevResult ok = ChebyshevSolve(system, b, 0.2, 1.8);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_EQ(ok.diagnostics.status, SolveStatus::kConverged);
+
+  ChebyshevOptions capped;
+  capped.max_iterations = 1;
+  capped.relative_tolerance = 1e-14;
+  const ChebyshevResult stopped =
+      ChebyshevSolve(system, b, 0.2, 1.8, capped);
+  EXPECT_FALSE(stopped.converged);
+  EXPECT_EQ(stopped.diagnostics.status, SolveStatus::kMaxIterations);
+  EXPECT_TRUE(stopped.diagnostics.usable());
+}
+
+TEST(ChebyshevTest, NonFiniteRhsIsContained) {
+  const Graph g = CycleGraph(8);
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator system(lap, 1.0, 0.5);
+  Vector b(8, 1.0);
+  b[3] = std::numeric_limits<double>::infinity();
+  const ChebyshevResult result = ChebyshevSolve(system, b, 0.5, 2.5);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kNonFinite);
+  EXPECT_TRUE(AllFinite(result.x));
+}
+
+TEST(ChebyshevTest, WrongBoundsDivergenceReportsBreakdown) {
+  // Spectrum of the shifted operator is [0.5, 2.5]; claiming [0.1, 1.0]
+  // puts the true λ_max far above 2θ, so the recurrence amplifies those
+  // modes geometrically — the divergence watch must catch it instead of
+  // silently returning garbage (or overflowing into Inf).
+  Rng rng(9);
+  const Graph g = ErdosRenyi(50, 0.15, rng);
+  const NormalizedLaplacianOperator lap(g);
+  const ShiftedOperator system(lap, 1.0, 0.5);
+  Vector b(50);
+  for (double& v : b) v = rng.NextGaussian();
+  ChebyshevOptions options;
+  options.max_iterations = 2000;
+  const ChebyshevResult result =
+      ChebyshevSolve(system, b, 0.1, 1.0, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kBreakdown);
+  EXPECT_TRUE(AllFinite(result.x));
+}
+
 }  // namespace
 }  // namespace impreg

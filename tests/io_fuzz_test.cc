@@ -76,6 +76,67 @@ TEST(IoFuzzTest, MetisSurvivesTokenSoup) {
   }
 }
 
+TEST(IoFuzzTest, NonFiniteWeightsAreRejected) {
+  // `w <= 0` style filters are false for NaN — the parsers must test
+  // the acceptance condition instead and reject every non-finite
+  // spelling the number parser understands.
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "Inf", "-inf",
+                          "infinity", "1e999", "-1e999"}) {
+    const std::string edge_list = std::string("0 1 ") + bad + "\n";
+    EXPECT_FALSE(ParseEdgeList(edge_list).has_value()) << edge_list;
+    const GraphParseResult parsed = ParseEdgeListOrError(edge_list);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error_line, 1);
+    EXPECT_FALSE(parsed.error.empty());
+
+    const std::string metis =
+        std::string("2 1 001\n2 ") + bad + "\n1 " + bad + "\n";
+    EXPECT_FALSE(ParseMetis(metis).has_value()) << metis;
+    const GraphParseResult metis_parsed = ParseMetisOrError(metis);
+    EXPECT_FALSE(metis_parsed.ok());
+    EXPECT_EQ(metis_parsed.error_line, 2);
+  }
+}
+
+TEST(IoFuzzTest, TruncatedMetisHeadersAndBodies) {
+  const std::string valid = "4 4\n2 3\n1 3\n1 2 4\n3\n";
+  ASSERT_TRUE(ParseMetis(valid).has_value());
+  // Every proper prefix must be rejected (missing node lines or arcs),
+  // never crash or mis-parse. (The prefix missing only the final
+  // newline is excluded: getline treats EOF as end-of-line, so it is
+  // the same document.)
+  for (std::size_t len = 0; len + 1 < valid.size(); ++len) {
+    const std::string prefix = valid.substr(0, len);
+    const GraphParseResult parsed = ParseMetisOrError(prefix);
+    EXPECT_FALSE(parsed.ok()) << "prefix of length " << len;
+    EXPECT_FALSE(parsed.error.empty());
+  }
+  // A header promising more nodes/arcs than the body delivers.
+  EXPECT_FALSE(ParseMetis("5 4\n2 3\n1 3\n1 2 4\n3\n").has_value());
+  EXPECT_FALSE(ParseMetis("4 9\n2 3\n1 3\n1 2 4\n3\n").has_value());
+}
+
+TEST(IoFuzzTest, ParseErrorsNameTheFailingLine) {
+  const GraphParseResult bad_id = ParseEdgeListOrError("0 1\n2 -3\n4 5\n");
+  EXPECT_FALSE(bad_id.ok());
+  EXPECT_EQ(bad_id.error_line, 2);
+
+  const GraphParseResult huge_id =
+      ParseEdgeListOrError("0 1\n1 99999999999\n");
+  EXPECT_FALSE(huge_id.ok());
+  EXPECT_EQ(huge_id.error_line, 2);
+
+  const GraphParseResult undercount =
+      ParseEdgeListOrError("# nodes 2\n0 1\n2 3\n");
+  EXPECT_FALSE(undercount.ok());
+  EXPECT_EQ(undercount.error_line, 0);  // File-level inconsistency.
+
+  const GraphParseResult good = ParseEdgeListOrError("0 1\n1 2 0.5\n");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(good.error.empty());
+  EXPECT_EQ(good.graph->NumNodes(), 3);
+}
+
 TEST(IoFuzzTest, CorruptedValidFilesRejectOrReparse) {
   // Take a valid edge list and flip one character at every position;
   // each variant must parse-or-reject, never crash.

@@ -1,6 +1,7 @@
 #include "linalg/lanczos.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -154,6 +155,76 @@ TEST(KrylovExpTest, ZeroVectorStaysZero) {
   const NormalizedLaplacianOperator lap(g);
   const Vector out = KrylovExpMultiply(lap, -1.0, Vector(8, 0.0));
   EXPECT_DOUBLE_EQ(Norm2(out), 0.0);
+}
+
+// An operator whose Apply returns poison after a configurable number of
+// healthy applications — exercises the mid-iteration containment paths.
+class PoisonAfterOperator : public LinearOperator {
+ public:
+  PoisonAfterOperator(const LinearOperator& inner, int healthy_applies)
+      : inner_(inner), remaining_(healthy_applies) {}
+  int Dimension() const override { return inner_.Dimension(); }
+  void Apply(const Vector& x, Vector& y) const override {
+    inner_.Apply(x, y);
+    if (remaining_ > 0) {
+      --remaining_;
+      return;
+    }
+    y[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+ private:
+  const LinearOperator& inner_;
+  mutable int remaining_;
+};
+
+TEST(LanczosTest, StatusMirrorsConvergedFlag) {
+  Rng rng(11);
+  const Graph g = ErdosRenyi(60, 0.12, rng);
+  const NormalizedLaplacianOperator lap(g);
+  const LanczosResult ok = LanczosSmallest(lap, 2);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_EQ(ok.diagnostics.status, SolveStatus::kConverged);
+
+  LanczosOptions capped;
+  capped.max_iterations = 2;
+  capped.tolerance = 1e-14;
+  const LanczosResult stopped = LanczosSmallest(lap, 2, capped);
+  EXPECT_FALSE(stopped.converged);
+  EXPECT_EQ(stopped.diagnostics.status, SolveStatus::kMaxIterations);
+  EXPECT_TRUE(stopped.diagnostics.usable());
+}
+
+TEST(LanczosTest, PoisonedOperatorIsContained) {
+  Rng rng(12);
+  const Graph g = ErdosRenyi(40, 0.15, rng);
+  const NormalizedLaplacianOperator lap(g);
+  const PoisonAfterOperator poison(lap, 5);
+  const LanczosResult result = LanczosSmallest(poison, 2);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kNonFinite);
+  for (const Vector& v : result.eigenvectors) {
+    EXPECT_TRUE(AllFinite(v));
+  }
+  EXPECT_TRUE(AllFinite(result.eigenvalues));
+}
+
+TEST(KrylovExpTest, DiagnosticsReportContainment) {
+  const Graph g = CycleGraph(12);
+  const NormalizedLaplacianOperator lap(g);
+  Vector v(12, 0.0);
+  v[4] = 1.0;
+
+  SolverDiagnostics healthy;
+  const Vector out = KrylovExpMultiply(lap, -1.0, v, 60, &healthy);
+  EXPECT_EQ(healthy.status, SolveStatus::kConverged);
+  EXPECT_TRUE(AllFinite(out));
+
+  const PoisonAfterOperator poison(lap, 2);
+  SolverDiagnostics contained;
+  const Vector degraded = KrylovExpMultiply(poison, -1.0, v, 60, &contained);
+  EXPECT_NE(contained.status, SolveStatus::kConverged);
+  EXPECT_TRUE(AllFinite(degraded));
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "diffusion/pagerank.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -134,6 +135,39 @@ TEST(PageRankTest, IsolatedSeedKeepsTeleportMass) {
 TEST(PageRankTest, NegativeSeedDies) {
   const Graph g = PathGraph(3);
   EXPECT_DEATH(PersonalizedPageRank(g, {0.5, -0.5, 1.0}), "nonnegative");
+}
+
+TEST(PageRankTest, StatusMirrorsConvergedFlag) {
+  const Graph g = CycleGraph(12);
+  const Vector seed = SingleNodeSeed(g, 0);
+  const PageRankResult ok = PersonalizedPageRank(g, seed);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_EQ(ok.diagnostics.status, SolveStatus::kConverged);
+
+  PageRankOptions capped;
+  capped.max_iterations = 1;
+  capped.tolerance = 1e-15;
+  const PageRankResult stopped = PersonalizedPageRank(g, seed, capped);
+  EXPECT_FALSE(stopped.converged);
+  EXPECT_EQ(stopped.diagnostics.status, SolveStatus::kMaxIterations);
+  // An early stop is still the (more) regularized answer.
+  EXPECT_TRUE(stopped.diagnostics.usable());
+  EXPECT_TRUE(AllFinite(stopped.scores));
+}
+
+TEST(PageRankTest, NonFiniteSeedIsContainedNotFatal) {
+  // A NaN seed entry slips past any `v < 0` sign check (NaN compares
+  // false); the solvers must reject it gracefully rather than diffuse
+  // poison or abort.
+  const Graph g = PathGraph(4);
+  Vector seed = {1.0, 0.0, std::numeric_limits<double>::quiet_NaN(), 0.0};
+  for (const PageRankResult& result :
+       {PersonalizedPageRank(g, seed), PersonalizedPageRankExact(g, seed),
+        PersonalizedPageRankChebyshev(g, seed)}) {
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.diagnostics.status, SolveStatus::kNonFinite);
+    EXPECT_TRUE(AllFinite(result.scores));
+  }
 }
 
 }  // namespace

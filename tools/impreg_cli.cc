@@ -30,21 +30,66 @@
 namespace impreg {
 namespace {
 
+// Exit codes, so scripts can tell *why* a run failed:
+//   0 success, 2 usage error, 3 input error (unreadable or malformed
+//   graph, bad arguments), 4 solver failure (non-finite values or
+//   breakdown — details go to stderr).
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+constexpr int kExitSolver = 4;
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: impreg_cli <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  stats      <edgelist>                   structural summary\n"
+      "  v2         <edgelist>                   lambda2 + spectral sweep "
+      "cut\n"
+      "  cluster    <edgelist> <seed> [seed...]  seeded local clustering\n"
+      "  ncp        <edgelist>                   network community profile\n"
+      "  pagerank   <edgelist> [gamma]           global PageRank top-20\n"
+      "  partition  <edgelist> <k>               k-way partition\n"
+      "  generate   <family> <n> <out> [seed]    family: "
+      "social|ba|er|forestfire\n"
+      "\n"
+      "exit codes:\n"
+      "  0  success\n"
+      "  2  usage error\n"
+      "  3  input error (unreadable/malformed graph, bad arguments;\n"
+      "     parse errors name the failing line)\n"
+      "  4  solver failure (non-finite values or breakdown; diagnostics\n"
+      "     on stderr)\n");
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: impreg_cli <stats|v2|cluster|ncp|pagerank|partition|"
-               "generate> ...\n");
-  return 2;
+  PrintHelp(stderr);
+  return kExitUsage;
 }
 
 Graph LoadOrDie(const std::string& path) {
-  auto graph = ReadEdgeList(path);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "impreg_cli: cannot read edge list '%s'\n",
-                 path.c_str());
-    std::exit(1);
+  GraphParseResult parsed = ReadEdgeListOrError(path);
+  if (!parsed.ok()) {
+    if (parsed.error_line > 0) {
+      std::fprintf(stderr, "impreg_cli: %s:%d: %s\n", path.c_str(),
+                   parsed.error_line, parsed.error.c_str());
+    } else {
+      std::fprintf(stderr, "impreg_cli: %s: %s\n", path.c_str(),
+                   parsed.error.c_str());
+    }
+    std::exit(kExitInput);
   }
-  return std::move(*graph);
+  return std::move(*parsed.graph);
+}
+
+// Surfaces a solver's diagnostics on stderr. Returns false when the
+// result is unusable (the caller should exit kExitSolver); a usable
+// early stop (budget / iteration cap) is only warned about.
+bool ReportDiagnostics(const char* what, const SolverDiagnostics& diag) {
+  if (diag.ok()) return true;
+  std::fprintf(stderr, "impreg_cli: %s: %s\n", what, diag.Summary().c_str());
+  return diag.usable();
 }
 
 int CmdStats(const std::string& path) {
@@ -80,7 +125,7 @@ int CmdV2(const std::string& path) {
   const Graph g = LoadOrDie(path);
   if (g.NumEdges() == 0) {
     std::fprintf(stderr, "impreg_cli: graph has no edges\n");
-    return 1;
+    return kExitInput;
   }
   SpectralPartitionOptions options;
   options.lanczos.max_iterations = 800;
@@ -101,7 +146,7 @@ int CmdCluster(const std::string& path, int argc, char** argv) {
     const long node = std::strtol(argv[i], nullptr, 10);
     if (node < 0 || node >= g.NumNodes()) {
       std::fprintf(stderr, "impreg_cli: seed %ld out of range\n", node);
-      return 1;
+      return kExitInput;
     }
     seeds.push_back(static_cast<NodeId>(node));
   }
@@ -125,8 +170,13 @@ int CmdCluster(const std::string& path, int argc, char** argv) {
 
 int CmdNcp(const std::string& path) {
   const Graph g = LoadOrDie(path);
-  const auto spectral = SpectralFamilyClusters(g);
-  const auto flow = FlowFamilyClusters(g);
+  SolverDiagnostics spectral_diag, flow_diag;
+  const auto spectral = SpectralFamilyClusters(g, {}, &spectral_diag);
+  const auto flow = FlowFamilyClusters(g, {}, &flow_diag);
+  if (!ReportDiagnostics("spectral portfolio", spectral_diag) ||
+      !ReportDiagnostics("flow portfolio", flow_diag)) {
+    return kExitSolver;
+  }
   Table table({"family", "size", "conductance", "method"});
   for (const auto& family :
        {std::pair(&spectral, "spectral"), std::pair(&flow, "flow")}) {
@@ -145,6 +195,9 @@ int CmdPageRank(const std::string& path, double gamma) {
   PageRankOptions options;
   options.gamma = gamma;
   const PageRankResult result = GlobalPageRank(g, options);
+  if (!ReportDiagnostics("pagerank", result.diagnostics)) {
+    return kExitSolver;
+  }
   std::vector<int> ids(g.NumNodes());
   std::iota(ids.begin(), ids.end(), 0);
   const int k = std::min<int>(20, g.NumNodes());
@@ -166,9 +219,12 @@ int CmdPartition(const std::string& path, int k) {
   const Graph g = LoadOrDie(path);
   if (k < 1 || k > g.NumNodes()) {
     std::fprintf(stderr, "impreg_cli: k must be in [1, n]\n");
-    return 1;
+    return kExitInput;
   }
   const KwayResult result = KwayPartition(g, k);
+  if (!ReportDiagnostics("partition", result.diagnostics)) {
+    return kExitSolver;
+  }
   std::printf("blocks  %d\n", k);
   std::printf("cut     %.6g (%.2f%% of edge weight)\n", result.cut,
               g.TotalVolume() > 0.0
@@ -200,11 +256,11 @@ int CmdGenerate(const std::string& family, NodeId n, const std::string& out,
   } else {
     std::fprintf(stderr, "impreg_cli: unknown family '%s'\n",
                  family.c_str());
-    return 1;
+    return kExitInput;
   }
   if (!WriteEdgeList(g, out)) {
     std::fprintf(stderr, "impreg_cli: cannot write '%s'\n", out.c_str());
-    return 1;
+    return kExitInput;
   }
   std::printf("wrote %s: n=%d m=%lld\n", out.c_str(), g.NumNodes(),
               static_cast<long long>(g.NumEdges()));
@@ -212,6 +268,12 @@ int CmdGenerate(const std::string& family, NodeId n, const std::string& out,
 }
 
 int Run(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                    std::strcmp(argv[1], "-h") == 0 ||
+                    std::strcmp(argv[1], "help") == 0)) {
+    PrintHelp(stdout);
+    return 0;
+  }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
   if (command == "stats") return CmdStats(argv[2]);
