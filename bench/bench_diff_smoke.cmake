@@ -1,0 +1,39 @@
+# Smoke test for the bench regression gate (ctest: bench_diff_smoke).
+# Runs the micro-kernel suite twice (one fast benchmark, one timing
+# window each) and asserts that impreg_bench_diff passes the two runs
+# against each other under a generous threshold — the self-comparison
+# that must never regress. Invoked as:
+#
+#   cmake -DMICRO=<micro_kernels> -DDIFF=<impreg_bench_diff>
+#         -DOUT_DIR=<scratch dir> -P bench_diff_smoke.cmake
+
+foreach(var MICRO DIFF OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_diff_smoke: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+foreach(run a b)
+  execute_process(
+    COMMAND ${MICRO}
+            --out=${OUT_DIR}/smoke_${run}.json
+            --benchmark_filter=BM_SweepCut/4096
+            --benchmark_min_time=0.02
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "micro_kernels run '${run}' failed (${rc})")
+  endif()
+endforeach()
+
+# 400%: the two runs measure the same binary moments apart, but a smoke
+# window this short is noisy — the gate must still agree they match.
+execute_process(
+  COMMAND ${DIFF} ${OUT_DIR}/smoke_a.json ${OUT_DIR}/smoke_b.json
+          --max-regress=400%
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench gate failed on self-comparison (${rc})")
+endif()

@@ -1,13 +1,21 @@
 // Microbenchmarks (google-benchmark) for the computational kernels
 // under every experiment: sparse matvec, diffusion steps, push, sweep,
-// max-flow, and the eigensolvers. Results are also dumped as JSON
-// (BENCH_micro_kernels.json at the repo root, or $IMPREG_BENCH_REPORT)
-// so the perf trajectory is tracked across PRs — see bench/report.h.
+// max-flow, and the eigensolvers. Results are also dumped as an
+// impreg-bench-v2 JSON report (bench/out/BENCH_micro_kernels.json by
+// default — gitignored; override with --out=PATH or the
+// IMPREG_BENCH_REPORT environment variable) with the process metrics
+// snapshot embedded, so the perf trajectory is tracked by
+// impreg_bench_diff rather than by committed files — see
+// bench/report.h and docs/observability.md. --link-root refreshes a
+// BENCH_micro_kernels.json symlink at the repo root for the old
+// habit of looking there.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -442,27 +450,76 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
   std::vector<BenchRecord> records_;
 };
 
-std::string ReportPath() {
+std::string DefaultReportPath() {
   if (const char* env = std::getenv("IMPREG_BENCH_REPORT")) {
     return env;
   }
   return std::string(IMPREG_BENCH_REPORT_DIR) + "/BENCH_micro_kernels.json";
 }
 
+// Refreshes the repo-root BENCH_micro_kernels.json symlink (the
+// pre-bench/out location) to point at `target`. Best-effort: symlink
+// failures (exotic filesystems, an existing regular file we should not
+// clobber) are reported, not fatal.
+void LinkReportAtRepoRoot(const std::string& target) {
+  namespace fs = std::filesystem;
+  const fs::path link =
+      fs::path(IMPREG_BENCH_REPO_ROOT) / "BENCH_micro_kernels.json";
+  std::error_code ec;
+  if (fs::is_symlink(link, ec)) fs::remove(link, ec);
+  if (fs::exists(fs::symlink_status(link, ec))) {
+    std::fprintf(stderr,
+                 "micro_kernels: not replacing non-symlink %s\n",
+                 link.c_str());
+    return;
+  }
+  fs::create_symlink(fs::absolute(target, ec), link, ec);
+  if (ec) {
+    std::fprintf(stderr, "micro_kernels: cannot link %s: %s\n", link.c_str(),
+                 ec.message().c_str());
+  } else {
+    std::printf("bench report link: %s -> %s\n", link.c_str(), target.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace impreg
 
 int main(int argc, char** argv) {
+  // Our own flags come out of argv before google-benchmark sees it
+  // (ReportUnrecognizedArguments would reject them).
+  std::string report_path = impreg::DefaultReportPath();
+  bool link_root = false;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      report_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--link-root") == 0) {
+      link_root = true;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  // The report embeds the process metrics snapshot (solver counters,
+  // pool busy time); collection is on for the whole run. Kernels'
+  // outputs are unaffected — see core/metrics.h.
+  impreg::ImpregEnableMetrics(true);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   impreg::JsonDumpReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  const std::string path = impreg::ReportPath();
-  if (impreg::WriteBenchReport(path, reporter.records())) {
-    std::printf("bench report: %s (%zu records)\n", path.c_str(),
+  const std::string metrics_json =
+      impreg::MetricsRegistry::Get().Snapshot().ToJson();
+  if (impreg::WriteBenchReport(report_path, reporter.records(), metrics_json)) {
+    std::printf("bench report: %s (%zu records)\n", report_path.c_str(),
                 reporter.records().size());
+    if (link_root) impreg::LinkReportAtRepoRoot(report_path);
   } else {
-    std::fprintf(stderr, "failed to write bench report: %s\n", path.c_str());
+    std::fprintf(stderr, "failed to write bench report: %s\n",
+                 report_path.c_str());
   }
   return 0;
 }

@@ -1,7 +1,13 @@
 #include "bench/report.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "util/json.h"
 
 namespace impreg {
 
@@ -38,15 +44,54 @@ void AppendEscaped(std::ostringstream& out, const std::string& s) {
   out << '"';
 }
 
+// One record from a parsed JSON object; returns false (with an error
+// message) when required members are missing or mistyped.
+bool RecordFromJson(const JsonValue& obj, BenchRecord* record,
+                    std::string* error) {
+  if (!obj.is_object()) {
+    *error = "record is not a JSON object";
+    return false;
+  }
+  const JsonValue* bench = obj.FindOfType("bench", JsonValue::Type::kString);
+  const JsonValue* ns = obj.FindOfType("ns_per_iter", JsonValue::Type::kNumber);
+  if (bench == nullptr || ns == nullptr) {
+    *error = "record missing \"bench\" or \"ns_per_iter\"";
+    return false;
+  }
+  record->bench = bench->AsString();
+  record->ns_per_iter = ns->AsDouble();
+  if (const JsonValue* v = obj.FindOfType("n", JsonValue::Type::kNumber)) {
+    record->n = static_cast<std::int64_t>(v->AsDouble());
+  }
+  if (const JsonValue* v = obj.FindOfType("m", JsonValue::Type::kNumber)) {
+    record->m = static_cast<std::int64_t>(v->AsDouble());
+  }
+  if (const JsonValue* v = obj.FindOfType("threads", JsonValue::Type::kNumber)) {
+    record->threads = static_cast<int>(v->AsDouble());
+  }
+  return true;
+}
+
+bool RecordsFromArray(const JsonValue& array, std::vector<BenchRecord>* records,
+                      std::string* error) {
+  for (const JsonValue& item : array.Items()) {
+    BenchRecord record;
+    if (!RecordFromJson(item, &record, error)) return false;
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
 }  // namespace
 
-std::string BenchReportToJson(const std::vector<BenchRecord>& records) {
+std::string BenchReportToJson(const std::vector<BenchRecord>& records,
+                              const std::string& metrics_json) {
   std::ostringstream out;
   out.precision(17);
-  out << "[\n";
+  out << "{\n  \"schema\": \"impreg-bench-v2\",\n  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
-    out << "  {\"bench\": ";
+    out << "    {\"bench\": ";
     AppendEscaped(out, r.bench);
     out << ", \"n\": " << r.n << ", \"m\": " << r.m
         << ", \"threads\": " << r.threads
@@ -54,16 +99,108 @@ std::string BenchReportToJson(const std::vector<BenchRecord>& records) {
     if (i + 1 < records.size()) out << ",";
     out << "\n";
   }
-  out << "]\n";
+  out << "  ],\n  \"metrics\": "
+      << (metrics_json.empty() ? "{}" : metrics_json) << "\n}\n";
   return out.str();
 }
 
 bool WriteBenchReport(const std::string& path,
-                      const std::vector<BenchRecord>& records) {
+                      const std::vector<BenchRecord>& records,
+                      const std::string& metrics_json) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    // A failure here surfaces as the open failing below.
+  }
   std::ofstream out(path);
   if (!out) return false;
-  out << BenchReportToJson(records);
+  out << BenchReportToJson(records, metrics_json);
   return static_cast<bool>(out);
+}
+
+BenchParseResult ParseBenchReport(const std::string& text) {
+  BenchParseResult result;
+  const JsonParseResult parsed = JsonParse(text);
+  if (!parsed.ok()) {
+    result.error = parsed.error;
+    return result;
+  }
+  const JsonValue& doc = parsed.value;
+  if (doc.is_array()) {
+    // v1: a bare array of records.
+    result.schema = "v1-array";
+    if (!RecordsFromArray(doc, &result.records, &result.error)) {
+      result.records.clear();
+    }
+    return result;
+  }
+  if (doc.is_object()) {
+    const JsonValue* schema =
+        doc.FindOfType("schema", JsonValue::Type::kString);
+    if (schema == nullptr || schema->AsString() != "impreg-bench-v2") {
+      result.error = "unrecognized report schema (want impreg-bench-v2)";
+      return result;
+    }
+    result.schema = schema->AsString();
+    const JsonValue* records =
+        doc.FindOfType("records", JsonValue::Type::kArray);
+    if (records == nullptr) {
+      result.error = "impreg-bench-v2 document missing \"records\" array";
+      return result;
+    }
+    if (!RecordsFromArray(*records, &result.records, &result.error)) {
+      result.records.clear();
+    }
+    return result;
+  }
+  result.error = "report is neither a record array nor a v2 object";
+  return result;
+}
+
+BenchParseResult ReadBenchReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    BenchParseResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseBenchReport(text.str());
+}
+
+BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
+                                 const std::vector<BenchRecord>& new_records,
+                                 double max_regress) {
+  BenchDiffResult result;
+  result.max_regress = max_regress;
+  // Duplicate names (benchmark repetitions) keep the first occurrence:
+  // reports from the JSON reporter emit one record per run in run
+  // order, so "first" is stable across both sides.
+  std::map<std::string, double> old_ns, new_ns;
+  for (const BenchRecord& r : old_records) old_ns.emplace(r.bench, r.ns_per_iter);
+  for (const BenchRecord& r : new_records) new_ns.emplace(r.bench, r.ns_per_iter);
+
+  for (const auto& [bench, ns] : old_ns) {
+    const auto it = new_ns.find(bench);
+    if (it == new_ns.end()) {
+      result.only_old.push_back(bench);
+      continue;
+    }
+    BenchDiffEntry entry;
+    entry.bench = bench;
+    entry.old_ns = ns;
+    entry.new_ns = it->second;
+    entry.ratio = ns > 0.0 ? it->second / ns : 1.0;
+    entry.regressed = entry.ratio > 1.0 + max_regress;
+    if (entry.regressed) ++result.regressions;
+    result.entries.push_back(std::move(entry));
+  }
+  for (const auto& [bench, ns] : new_ns) {
+    if (old_ns.find(bench) == old_ns.end()) result.only_new.push_back(bench);
+  }
+  return result;
 }
 
 }  // namespace impreg

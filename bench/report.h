@@ -8,10 +8,18 @@
 /// \file
 /// Machine-readable bench reports. Each benchmark run becomes one JSON
 /// record `{bench, n, m, threads, ns_per_iter}`; a whole suite is
-/// written as a JSON array so the perf trajectory can be tracked across
-/// PRs (`BENCH_micro_kernels.json` at the repo root). Deliberately free
-/// of any google-benchmark dependency so drivers and one-off harnesses
-/// can emit the same format.
+/// written as the `impreg-bench-v2` document
+///
+///   {"schema": "impreg-bench-v2", "records": [...], "metrics": {...}}
+///
+/// where `metrics` is the process metrics snapshot taken after the run
+/// (empty object when metrics were off). The v1 format — a bare JSON
+/// array of records — is still accepted by the parser so old baselines
+/// diff cleanly against new runs. Reports default to `bench/out/`
+/// (gitignored) so the perf trajectory is tracked by tooling
+/// (`impreg_bench_diff`) rather than by committed files. Deliberately
+/// free of any google-benchmark dependency so drivers and one-off
+/// harnesses can emit the same format.
 
 namespace impreg {
 
@@ -24,14 +32,64 @@ struct BenchRecord {
   double ns_per_iter = 0.0;    ///< Wall time per iteration, nanoseconds.
 };
 
-/// Serializes `records` as a JSON array (one object per record).
-std::string BenchReportToJson(const std::vector<BenchRecord>& records);
+/// Serializes `records` as an impreg-bench-v2 document. `metrics_json`,
+/// when non-empty, must be a pre-rendered JSON object (typically
+/// MetricsSnapshot::ToJson()) and is embedded verbatim as the
+/// `metrics` member; when empty, `"metrics": {}` is emitted.
+std::string BenchReportToJson(const std::vector<BenchRecord>& records,
+                              const std::string& metrics_json = "");
 
-/// Writes the JSON report to `path` (overwrites). Returns false (and
-/// leaves no partial file behind beyond normal stream behavior) if the
-/// file cannot be opened.
+/// Writes the JSON report to `path` (overwrites), creating parent
+/// directories as needed. Returns false if the file cannot be written.
 bool WriteBenchReport(const std::string& path,
-                      const std::vector<BenchRecord>& records);
+                      const std::vector<BenchRecord>& records,
+                      const std::string& metrics_json = "");
+
+/// A parsed bench report: records plus which schema carried them.
+struct BenchParseResult {
+  std::vector<BenchRecord> records;
+  std::string schema;  ///< "impreg-bench-v2", or "v1-array" for bare arrays.
+  std::string error;   ///< Empty on success.
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a report in either format: the v2 object or the v1 bare
+/// array. Records missing `bench` or `ns_per_iter` are an error, not
+/// silently dropped — a truncated baseline must not masquerade as a
+/// clean diff.
+BenchParseResult ParseBenchReport(const std::string& text);
+
+/// Reads and parses `path`.
+BenchParseResult ReadBenchReport(const std::string& path);
+
+/// One benchmark compared across two reports.
+struct BenchDiffEntry {
+  std::string bench;
+  double old_ns = 0.0;
+  double new_ns = 0.0;
+  double ratio = 1.0;      ///< new_ns / old_ns (1.0 when old_ns == 0).
+  bool regressed = false;  ///< ratio > 1 + max_regress.
+};
+
+/// The regression-gate verdict for a baseline/candidate report pair.
+struct BenchDiffResult {
+  std::vector<BenchDiffEntry> entries;    ///< Matched benches, name-sorted.
+  std::vector<std::string> only_old;      ///< In baseline only (name-sorted).
+  std::vector<std::string> only_new;      ///< In candidate only (name-sorted).
+  double max_regress = 0.0;               ///< Threshold used, as a fraction.
+  int regressions = 0;                    ///< Entries past the threshold.
+  bool ok() const { return regressions == 0; }
+};
+
+/// Compares two parsed reports benchmark-by-benchmark (matched on the
+/// full bench name, which already encodes args like "/131072"). An
+/// entry regresses when `new_ns > old_ns * (1 + max_regress)`;
+/// `max_regress` is a fraction (0.10 = allow 10% slower). Benches
+/// present on only one side are reported but never count as
+/// regressions — the gate judges shared coverage.
+BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
+                                 const std::vector<BenchRecord>& new_records,
+                                 double max_regress);
 
 }  // namespace impreg
 

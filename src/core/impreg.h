@@ -20,8 +20,10 @@
 ///   core/        the ApproximateSecondEigenvector facade
 
 #include "core/approx_eigenvector.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/solve_status.h"
+#include "core/trace.h"
 #include "core/work_budget.h"
 #include "diffusion/heat_kernel.h"
 #include "diffusion/lazy_walk.h"

@@ -1,0 +1,289 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace impreg {
+
+namespace {
+
+/// Runtime enable flag. Initialized from IMPREG_METRICS on first
+/// query ("0", "" and unset mean off), then owned by
+/// ImpregEnableMetrics.
+std::atomic<bool> g_metrics_enabled{false};
+
+bool EnvDefault() {
+  const char* env = std::getenv("IMPREG_METRICS");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "") != 0;
+}
+
+std::atomic<bool> g_env_checked{false};
+
+}  // namespace
+
+bool MetricsEnabled() {
+  if (!g_env_checked.load(std::memory_order_acquire)) {
+    // Benign race: every thread computes the same value.
+    if (EnvDefault()) g_metrics_enabled.store(true, std::memory_order_relaxed);
+    g_env_checked.store(true, std::memory_order_release);
+  }
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void ImpregEnableMetrics(bool enabled) {
+  g_env_checked.store(true, std::memory_order_release);
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace metrics_internal {
+
+int ThreadShard() {
+  // A stable per-thread index. Sequential assignment (not a hash of the
+  // thread id) keeps the mapping deterministic for a deterministic
+  // thread-creation order, which makes Histogram::Sum reproducible too.
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+std::uint64_t Gauge::Encode(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) return;  // NaN and negatives are dropped.
+  int bucket = 0;
+  if (value >= 1.0) {
+    bucket = std::min(kBuckets - 1, std::ilogb(value));
+  }
+  Shard& shard = shards_[metrics_internal::ThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::BucketCounts() const {
+  std::vector<std::int64_t> out(kBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      out[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::int64_t Histogram::Count() const {
+  std::int64_t total = 0;
+  for (const std::int64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Shard-order accumulation: a fixed association, so the merged sum is
+  // reproducible run-to-run for the same thread→shard assignment.
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: stable pointers AND already name-sorted for Snapshot().
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();  // Leaked: handles outlive main.
+  return *impl;
+}
+
+Counter* MetricsRegistry::FindOrCreateCounter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::FindOrCreateGauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::FindOrCreateHistogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(name);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, hist] : i.histograms) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.sum = hist->Sum();
+    const std::vector<std::int64_t> buckets = hist->BucketCounts();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (buckets[b] != 0) {
+        h.buckets.emplace_back(b, buckets[b]);
+        h.count += buckets[b];
+      }
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, counter] : i.counters) {
+    for (auto& cell : counter->cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [name, gauge] : i.gauges) gauge->Set(0.0);
+  for (auto& [name, hist] : i.histograms) {
+    for (auto& shard : hist->shards_) {
+      for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+      shard.sum.store(0.0, std::memory_order_relaxed);
+    }
+  }
+}
+
+namespace {
+
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// JSON-safe number: NaN/Inf (legal gauge values, illegal JSON) become
+/// null.
+void AppendJsonNumber(std::ostringstream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out << ", ";
+    AppendJsonEscaped(out, counters[i].name);
+    out << ": " << counters[i].value;
+  }
+  out << "}, \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out << ", ";
+    AppendJsonEscaped(out, gauges[i].name);
+    out << ": ";
+    AppendJsonNumber(out, gauges[i].value);
+  }
+  out << "}, \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    if (i > 0) out << ", ";
+    AppendJsonEscaped(out, h.name);
+    out << ": {\"count\": " << h.count << ", \"sum\": ";
+    AppendJsonNumber(out, h.sum);
+    out << ", \"buckets\": {";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << '"' << h.buckets[b].first << "\": " << h.buckets[b].second;
+    }
+    out << "}}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const CounterValue& c : counters) {
+    out << c.name << " " << c.value << "\n";
+  }
+  for (const GaugeValue& g : gauges) {
+    out << g.name << " " << g.value << "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    out << h.name << " count=" << h.count << " sum=" << h.sum;
+    if (h.count > 0) out << " mean=" << h.sum / static_cast<double>(h.count);
+    out << "\n";
+  }
+  return out.str();
+}
+
+ScopedMetricTimer::~ScopedMetricTimer() {
+  if (!armed_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  // No static-handle caching here: one destructor serves many names.
+  MetricsRegistry::Get().FindOrCreateHistogram(name_)->Observe(ns);
+}
+
+}  // namespace impreg

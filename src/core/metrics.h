@@ -1,0 +1,278 @@
+#ifndef IMPREG_CORE_METRICS_H_
+#define IMPREG_CORE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Process-wide metrics registry: named counters, gauges, and
+/// histograms, with scoped RAII timers.
+///
+/// The paper's thesis makes *how much work an algorithm did* — pushes
+/// performed, arcs scanned, iterations run before the early stop — a
+/// first-class scientific output: the amount of computation IS the
+/// regularization parameter (§2). This registry is the process-wide
+/// collection point for those quantities, shared by the solvers, the
+/// ParallelFor pool, and the bench/CLI drivers.
+///
+/// Design contract:
+///
+///  - **Zero cost when off.** Instrumentation sites go through the
+///    IMPREG_METRIC_* macros. With the IMPREG_OBSERVABILITY cmake
+///    option OFF they compile to nothing; with it ON (the default) they
+///    cost one relaxed atomic load while metrics are disabled at
+///    runtime (the default). Either way, metrics never touch solver
+///    arithmetic: enabling them changes what is *emitted*, never what
+///    is *computed* — outputs stay bit-identical (pinned by
+///    determinism_test at 1 and 8 threads).
+///  - **Thread-local shards, deterministic merge.** Counter::Add and
+///    Histogram::Observe write to per-shard atomic cells (shard =
+///    stable hash of the thread id), so hot paths never contend on one
+///    cache line. Snapshot() merges shards by integer summation —
+///    order-independent, hence deterministic — and emits metrics
+///    sorted by name.
+///  - **Handles are stable.** A Counter*/Gauge*/Histogram* returned by
+///    the registry stays valid for the life of the process; call sites
+///    cache them in function-local statics (the macros do this).
+///
+/// Metric values themselves may be nondeterministic when they measure
+/// the machine (timers, per-thread busy time); the determinism
+/// guarantee covers solver outputs, not the telemetry about them.
+
+namespace impreg {
+
+/// True while metrics collection is enabled at runtime. Off by default;
+/// flipped by ImpregEnableMetrics() or the IMPREG_METRICS environment
+/// variable (any value but "0", read at first query).
+bool MetricsEnabled();
+
+/// Turns runtime metrics collection on or off (process-wide).
+void ImpregEnableMetrics(bool enabled);
+
+namespace metrics_internal {
+/// Shards per metric: enough that a machine's worth of pool threads
+/// rarely collide, small enough that merging stays trivial.
+constexpr int kShards = 32;
+/// The calling thread's stable shard index in [0, kShards).
+int ThreadShard();
+}  // namespace metrics_internal
+
+/// A monotone int64 counter (sharded; Add is wait-free).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(std::int64_t delta) {
+    cells_[metrics_internal::ThreadShard()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Merged value: the sum over shards (deterministic — integer
+  /// addition commutes).
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::atomic<std::int64_t> v{0};
+  };
+  std::string name_;
+  Cell cells_[metrics_internal::kShards];
+};
+
+/// A last-write-wins double gauge (Set is rare: budget limits, problem
+/// sizes — not hot-path data).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+  double Value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  const std::string& name() const { return name_; }
+
+ private:
+  static std::uint64_t Encode(double v);
+  static double Decode(std::uint64_t bits);
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// A log2-bucketed histogram of nonnegative values (durations in ns,
+/// work sizes). Bucket b counts observations in [2^b, 2^{b+1}); bucket
+/// 0 also absorbs values < 1. Counts are sharded like Counter cells, so
+/// Observe is wait-free and the merge (summation) is deterministic.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;  ///< Covers up to ~2^48 (≈ 3 days in ns).
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  void Observe(double value);
+
+  /// Merged bucket counts (size kBuckets).
+  std::vector<std::int64_t> BucketCounts() const;
+  /// Total observations across buckets.
+  std::int64_t Count() const;
+  /// Sum of observed values (double accumulation per shard; merged in
+  /// shard order, so the merged sum is reproducible for a fixed
+  /// thread→shard assignment).
+  double Sum() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> buckets[kBuckets];
+    std::atomic<double> sum{0.0};
+    Shard() {
+      for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    }
+  };
+  std::string name_;
+  Shard shards_[metrics_internal::kShards];
+};
+
+/// A point-in-time merged view of the registry, sorted by metric name.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::int64_t count = 0;
+    double sum = 0.0;
+    /// Non-empty buckets only, as (bucket index, count) pairs.
+    std::vector<std::pair<int, std::int64_t>> buckets;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets: {...}}}}.
+  std::string ToJson() const;
+  /// Human-readable rendering for `impreg_cli --metrics`.
+  std::string ToText() const;
+};
+
+/// The process-wide registry. Metric creation takes a mutex (cold);
+/// updates through the returned handles are wait-free.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  /// Finds or creates; the pointer stays valid for the process life.
+  Counter* FindOrCreateCounter(const std::string& name);
+  Gauge* FindOrCreateGauge(const std::string& name);
+  Histogram* FindOrCreateHistogram(const std::string& name);
+
+  /// Deterministically merged, name-sorted view of everything recorded.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (keeps the registered names and handles).
+  /// Test/bench use only; not safe concurrently with hot-path updates.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII wall-clock timer: on destruction records the elapsed
+/// nanoseconds into histogram `name` (and, implicitly, its call count).
+/// Reads the clock only when metrics were enabled at construction.
+class ScopedMetricTimer {
+ public:
+  explicit ScopedMetricTimer(const char* name)
+      : name_(name), armed_(MetricsEnabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedMetricTimer();
+
+  ScopedMetricTimer(const ScopedMetricTimer&) = delete;
+  ScopedMetricTimer& operator=(const ScopedMetricTimer&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace impreg
+
+/// Instrumentation macros. Compiled out entirely when the
+/// IMPREG_OBSERVABILITY cmake option is OFF; otherwise a relaxed
+/// atomic load gates each site while metrics are disabled at runtime.
+#ifdef IMPREG_OBSERVABILITY
+
+#define IMPREG_METRIC_COUNT(name, delta)                          \
+  do {                                                            \
+    if (::impreg::MetricsEnabled()) {                             \
+      static ::impreg::Counter* impreg_metric_counter =           \
+          ::impreg::MetricsRegistry::Get().FindOrCreateCounter(   \
+              name);                                              \
+      impreg_metric_counter->Add(delta);                          \
+    }                                                             \
+  } while (0)
+
+#define IMPREG_METRIC_GAUGE_SET(name, value)                      \
+  do {                                                            \
+    if (::impreg::MetricsEnabled()) {                             \
+      static ::impreg::Gauge* impreg_metric_gauge =               \
+          ::impreg::MetricsRegistry::Get().FindOrCreateGauge(     \
+              name);                                              \
+      impreg_metric_gauge->Set(value);                            \
+    }                                                             \
+  } while (0)
+
+#define IMPREG_METRIC_OBSERVE(name, value)                        \
+  do {                                                            \
+    if (::impreg::MetricsEnabled()) {                             \
+      static ::impreg::Histogram* impreg_metric_histogram =       \
+          ::impreg::MetricsRegistry::Get().FindOrCreateHistogram( \
+              name);                                              \
+      impreg_metric_histogram->Observe(value);                    \
+    }                                                             \
+  } while (0)
+
+#define IMPREG_METRIC_TIMER_CONCAT2(a, b) a##b
+#define IMPREG_METRIC_TIMER_CONCAT(a, b) IMPREG_METRIC_TIMER_CONCAT2(a, b)
+#define IMPREG_METRIC_TIMER(name)                                     \
+  ::impreg::ScopedMetricTimer IMPREG_METRIC_TIMER_CONCAT(             \
+      impreg_metric_timer_, __LINE__)(name)
+
+#else  // !IMPREG_OBSERVABILITY
+
+#define IMPREG_METRIC_COUNT(name, delta) \
+  do {                                   \
+  } while (0)
+#define IMPREG_METRIC_GAUGE_SET(name, value) \
+  do {                                       \
+  } while (0)
+#define IMPREG_METRIC_OBSERVE(name, value) \
+  do {                                     \
+  } while (0)
+#define IMPREG_METRIC_TIMER(name) \
+  do {                            \
+  } while (0)
+
+#endif  // IMPREG_OBSERVABILITY
+
+#endif  // IMPREG_CORE_METRICS_H_

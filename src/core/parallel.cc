@@ -3,12 +3,16 @@
 #include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "core/metrics.h"
 
 namespace impreg {
 
@@ -109,6 +113,14 @@ class Pool {
   void RunStride(const std::function<void(std::int64_t)>& fn,
                  std::int64_t chunks, int participant, int participants) {
     tls_in_parallel_region = true;
+#ifdef IMPREG_OBSERVABILITY
+    // Per-participant busy accounting: the static partition makes the
+    // chunk count arithmetic (no per-chunk counter), so the only cost
+    // when metrics are on is two clock reads per region per thread.
+    const bool metrics = MetricsEnabled();
+    const auto busy_start = metrics ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point{};
+#endif
     try {
       for (std::int64_t c = participant; c < chunks; c += participants) {
         fn(c);
@@ -117,6 +129,25 @@ class Pool {
       std::unique_lock<std::mutex> lock(mu_);
       if (!error_) error_ = std::current_exception();
     }
+#ifdef IMPREG_OBSERVABILITY
+    if (metrics) {
+      const auto busy_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - busy_start)
+                               .count();
+      const std::int64_t my_chunks =
+          participant < chunks
+              ? (chunks - participant + participants - 1) / participants
+              : 0;
+      // Dynamic names, so no static-handle caching: go to the registry
+      // directly (the IMPREG_METRIC_COUNT macro pins the first name it
+      // sees at a call site).
+      MetricsRegistry& registry = MetricsRegistry::Get();
+      const std::string prefix =
+          "parallel.participant." + std::to_string(participant);
+      registry.FindOrCreateCounter(prefix + ".busy_ns")->Add(busy_ns);
+      registry.FindOrCreateCounter(prefix + ".chunks")->Add(my_chunks);
+    }
+#endif
     tls_in_parallel_region = false;
   }
 
@@ -186,9 +217,12 @@ void RunChunks(std::int64_t num_chunks,
   const int num_threads = ImpregNumThreads();
   if (num_chunks == 1 || num_threads == 1 || tls_in_parallel_region) {
     // Serial path: inline, in chunk order. Nested regions land here.
+    IMPREG_METRIC_COUNT("parallel.serial_regions", 1);
     for (std::int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
+  IMPREG_METRIC_COUNT("parallel.regions", 1);
+  IMPREG_METRIC_COUNT("parallel.chunks", num_chunks);
   Pool::Get().Run(num_chunks, chunk_fn, num_threads);
 }
 

@@ -1,0 +1,239 @@
+#include "core/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace impreg {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kResidual:    return "residual";
+    case TraceEventKind::kConductance: return "conductance";
+    case TraceEventKind::kArcWork:     return "arc-work";
+    case TraceEventKind::kRollback:    return "rollback";
+    case TraceEventKind::kFault:       return "fault";
+    case TraceEventKind::kBudget:      return "budget";
+    case TraceEventKind::kPhase:       return "phase";
+  }
+  return "unknown";
+}
+
+SolverTrace::SolverTrace(std::string solver, std::size_t capacity)
+    : solver_(std::move(solver)), capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+void SolverTrace::Record(std::int64_t iteration, TraceEventKind kind,
+                         double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TraceEvent event{iteration, kind, value};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+  const int k = static_cast<int>(kind);
+  if (k >= 0 && k < kNumKinds) {
+    kind_totals_[k] += value;
+    ++kind_counts_[k];
+  }
+}
+
+void SolverTrace::Finish(const SolverDiagnostics& diag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_ = diag.status;
+  iterations_ = diag.iterations;
+  final_residual_ = diag.final_residual;
+  finished_ = true;
+}
+
+std::vector<TraceEvent> SolverTrace::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::int64_t SolverTrace::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::int64_t SolverTrace::EventsDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - static_cast<std::int64_t>(ring_.size());
+}
+
+double SolverTrace::SumValues(TraceEventKind kind) const {
+  double sum = 0.0;
+  for (const TraceEvent& e : Events()) {
+    if (e.kind == kind) sum += e.value;
+  }
+  return sum;
+}
+
+double SolverTrace::KindTotal(TraceEventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int k = static_cast<int>(kind);
+  return k >= 0 && k < kNumKinds ? kind_totals_[k] : 0.0;
+}
+
+std::int64_t SolverTrace::KindCount(TraceEventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int k = static_cast<int>(kind);
+  return k >= 0 && k < kNumKinds ? kind_counts_[k] : 0;
+}
+
+TraceCollector& TraceCollector::Get() {
+  static TraceCollector* collector = new TraceCollector();  // Leaked.
+  return *collector;
+}
+
+void TraceCollector::Enable(std::size_t ring_capacity,
+                            std::size_t max_traces) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = ring_capacity > 0 ? ring_capacity : 1;
+  max_traces_ = max_traces > 0 ? max_traces : 1;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  traces_dropped_ = 0;
+}
+
+SolverTrace* TraceCollector::Begin(const char* solver) {
+  if (!Enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() >= max_traces_) {
+    // Never destroy a retained trace while solvers may still hold
+    // pointers into it — refuse instead; memory stays bounded.
+    ++traces_dropped_;
+    return nullptr;
+  }
+  traces_.push_back(std::make_unique<SolverTrace>(solver, ring_capacity_));
+  return traces_.back().get();
+}
+
+std::vector<const SolverTrace*> TraceCollector::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const SolverTrace*> out;
+  out.reserve(traces_.size());
+  for (const auto& t : traces_) out.push_back(t.get());
+  return out;
+}
+
+const SolverTrace* TraceCollector::Latest(const std::string& solver) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    if ((*it)->solver() == solver) return it->get();
+  }
+  return nullptr;
+}
+
+std::int64_t TraceCollector::TracesDropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_dropped_;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendJsonNumber(std::ostringstream& out, double v) {
+  if (std::isfinite(v)) {
+    out << v;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::ToJson() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n  \"schema\": \"impreg-trace-v1\",\n";
+  out << "  \"traces_dropped\": " << TracesDropped() << ",\n";
+  out << "  \"traces\": [\n";
+  const std::vector<const SolverTrace*> traces = Traces();
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const SolverTrace& t = *traces[i];
+    out << "    {\"solver\": ";
+    AppendJsonEscaped(out, t.solver());
+    out << ", \"status\": ";
+    AppendJsonEscaped(out, SolveStatusName(t.status()));
+    out << ", \"iterations\": " << t.iterations();
+    out << ", \"final_residual\": ";
+    AppendJsonNumber(out, t.final_residual());
+    out << ",\n     \"events_recorded\": " << t.TotalRecorded()
+        << ", \"events_dropped\": " << t.EventsDropped();
+    out << ",\n     \"totals\": {";
+    bool first_total = true;
+    for (int k = 0; k < 7; ++k) {
+      const TraceEventKind kind = static_cast<TraceEventKind>(k);
+      if (t.KindCount(kind) == 0) continue;
+      if (!first_total) out << ", ";
+      first_total = false;
+      AppendJsonEscaped(out, TraceEventKindName(kind));
+      out << ": ";
+      AppendJsonNumber(out, t.KindTotal(kind));
+    }
+    out << "}, \"events\": [";
+    const std::vector<TraceEvent> events = t.Events();
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      if (e > 0) out << ", ";
+      out << "{\"iter\": " << events[e].iteration << ", \"kind\": ";
+      AppendJsonEscaped(out, TraceEventKindName(events[e].kind));
+      out << ", \"value\": ";
+      AppendJsonNumber(out, events[e].value);
+      out << "}";
+    }
+    out << "]}";
+    if (i + 1 < traces.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool TraceCollector::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace impreg

@@ -1,0 +1,233 @@
+#ifndef IMPREG_CORE_TRACE_H_
+#define IMPREG_CORE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/solve_status.h"
+
+/// \file
+/// Per-solver convergence traces: bounded iteration-event rings with
+/// JSON export.
+///
+/// The paper reads the implicit regularizer off the *trajectory* of an
+/// approximation algorithm — residuals per iteration, sweep
+/// conductances per round, arc work per push (§2, §3.1;
+/// Mahoney–Orecchia 1010.0703 and Perry–Mahoney 1110.1757 do exactly
+/// this). SolverDiagnostics keeps an 8-entry tail of the residual
+/// history; this layer captures the whole trajectory when asked,
+/// without making it a cost when not:
+///
+///  - TraceCollector::Get().Begin("cg") returns nullptr unless tracing
+///    was enabled (one relaxed atomic load), so instrumented solvers
+///    pay a null check per event when tracing is off.
+///  - Each solver run gets its own SolverTrace ring with a fixed event
+///    capacity; once full, the *oldest* events are overwritten (the
+///    tail of a long trajectory is where the regularization parameter
+///    lives) and `events_dropped` counts what was lost. The collector
+///    also caps how many traces it retains; further Begin() calls
+///    return nullptr and are counted. Memory is therefore bounded no
+///    matter how many solves run while tracing.
+///  - Tracing never touches solver arithmetic: values are *read* from
+///    the iteration, never fed back. Enabled or not, solver outputs are
+///    bit-identical (pinned by determinism_test at 1 and 8 threads).
+///
+/// Export: TraceCollector::ToJson() renders every retained trace as
+/// the stable `impreg-trace-v1` schema consumed by the golden tests
+/// and `impreg_cli --trace-json=FILE`.
+
+namespace impreg {
+
+/// What a trace event measures.
+enum class TraceEventKind : std::uint8_t {
+  kResidual,     ///< Residual / convergence-test value at an iteration.
+  kConductance,  ///< Sweep or round conductance.
+  kArcWork,      ///< Arcs scanned by this step (push outdegree, level arcs).
+  kRollback,     ///< Containment rolled back to a finite snapshot.
+  kFault,        ///< Breakdown / non-finite event detected.
+  kBudget,       ///< Cooperative budget event (value = arcs spent).
+  kPhase,        ///< Driver phase boundary (coarsen level, flow phase).
+};
+
+/// Stable name used in the JSON export ("residual", "conductance",
+/// "arc-work", "rollback", "fault", "budget", "phase").
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One iteration-level observation.
+struct TraceEvent {
+  std::int64_t iteration = 0;
+  TraceEventKind kind = TraceEventKind::kResidual;
+  double value = 0.0;
+};
+
+/// A bounded ring of TraceEvents for one solver run. Thread-safe (the
+/// recording solver and a reader may interleave), but a single solve
+/// records from one thread at a time in practice.
+class SolverTrace {
+ public:
+  SolverTrace(std::string solver, std::size_t capacity);
+
+  /// Appends an event; overwrites the oldest once the ring is full.
+  void Record(std::int64_t iteration, TraceEventKind kind, double value);
+
+  /// Stamps the final SolverDiagnostics summary (status, iteration
+  /// count, final residual) onto the trace.
+  void Finish(const SolverDiagnostics& diag);
+
+  const std::string& solver() const { return solver_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Events appended in total, including overwritten ones.
+  std::int64_t TotalRecorded() const;
+
+  /// TotalRecorded() minus what the ring still holds.
+  std::int64_t EventsDropped() const;
+
+  /// Sum of the values of retained events of `kind`, in append order.
+  /// Events overwritten by the ring are excluded; use KindTotal for
+  /// eviction-proof accounting.
+  double SumValues(TraceEventKind kind) const;
+
+  /// Running total of all values ever recorded for `kind`, including
+  /// events the ring has since overwritten. This is what makes "push
+  /// arc-work equals the WorkBudget charge" hold exactly on arbitrarily
+  /// long runs.
+  double KindTotal(TraceEventKind kind) const;
+
+  /// Count of all events ever recorded for `kind` (eviction-proof).
+  std::int64_t KindCount(TraceEventKind kind) const;
+
+  SolveStatus status() const { return status_; }
+  int iterations() const { return iterations_; }
+  double final_residual() const { return final_residual_; }
+  bool finished() const { return finished_; }
+
+ private:
+  friend class TraceCollector;
+  std::string solver_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;          ///< Ring write cursor.
+  std::int64_t total_ = 0;        ///< Events ever appended.
+  static constexpr int kNumKinds = 7;
+  double kind_totals_[kNumKinds] = {};       ///< Σ value per kind, ever.
+  std::int64_t kind_counts_[kNumKinds] = {};  ///< Events per kind, ever.
+  SolveStatus status_ = SolveStatus::kMaxIterations;
+  int iterations_ = 0;
+  double final_residual_ = 0.0;
+  bool finished_ = false;
+};
+
+/// Process-wide collector of solver traces.
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 4096;
+  static constexpr std::size_t kDefaultMaxTraces = 512;
+
+  static TraceCollector& Get();
+
+  /// Enables tracing; subsequent Begin() calls hand out rings with
+  /// `ring_capacity` events each, up to `max_traces` retained traces.
+  void Enable(std::size_t ring_capacity = kDefaultRingCapacity,
+              std::size_t max_traces = kDefaultMaxTraces);
+  void Disable();
+  bool Enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every retained trace (capacity settings persist).
+  void Clear();
+
+  /// Starts a trace for one solver run; nullptr when tracing is
+  /// disabled or the trace cap is reached (counted in TracesDropped).
+  /// The returned pointer stays valid until Clear()/Disable().
+  SolverTrace* Begin(const char* solver);
+
+  /// Retained traces, in Begin() order.
+  std::vector<const SolverTrace*> Traces() const;
+
+  /// The most recent trace whose solver name matches, or nullptr.
+  const SolverTrace* Latest(const std::string& solver) const;
+
+  /// Begin() calls refused because the trace cap was reached.
+  std::int64_t TracesDropped() const;
+
+  /// The whole collector as the impreg-trace-v1 JSON document.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false if the file cannot be written.
+  bool WriteJson(const std::string& path) const;
+
+ private:
+  TraceCollector() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::size_t ring_capacity_ = kDefaultRingCapacity;
+  std::size_t max_traces_ = kDefaultMaxTraces;
+  std::int64_t traces_dropped_ = 0;
+  std::vector<std::unique_ptr<SolverTrace>> traces_;
+};
+
+/// RAII capture window: clears the collector and enables tracing on
+/// construction, disables on destruction (retained traces survive until
+/// the next Enable()/Clear()). Used by tests and the CLI.
+class ScopedTraceCapture {
+ public:
+  explicit ScopedTraceCapture(
+      std::size_t ring_capacity = TraceCollector::kDefaultRingCapacity,
+      std::size_t max_traces = TraceCollector::kDefaultMaxTraces) {
+    TraceCollector::Get().Enable(ring_capacity, max_traces);
+    TraceCollector::Get().Clear();
+  }
+  ~ScopedTraceCapture() { TraceCollector::Get().Disable(); }
+
+  ScopedTraceCapture(const ScopedTraceCapture&) = delete;
+  ScopedTraceCapture& operator=(const ScopedTraceCapture&) = delete;
+};
+
+}  // namespace impreg
+
+/// Call-site macros, compiled out with the IMPREG_OBSERVABILITY cmake
+/// option (same contract as the IMPREG_METRIC_* macros): OFF builds
+/// contain no tracing code at all.
+#ifdef IMPREG_OBSERVABILITY
+
+/// `SolverTrace* var = IMPREG_TRACE_BEGIN("cg");`
+#define IMPREG_TRACE_BEGIN(solver) \
+  ::impreg::TraceCollector::Get().Begin(solver)
+
+#define IMPREG_TRACE_EVENT(trace, iteration, kind, value)              \
+  do {                                                                 \
+    if ((trace) != nullptr) {                                          \
+      (trace)->Record((iteration), ::impreg::TraceEventKind::kind,     \
+                      (value));                                        \
+    }                                                                  \
+  } while (0)
+
+#define IMPREG_TRACE_FINISH(trace, diag)              \
+  do {                                                \
+    if ((trace) != nullptr) (trace)->Finish((diag));  \
+  } while (0)
+
+#else  // !IMPREG_OBSERVABILITY
+
+#define IMPREG_TRACE_BEGIN(solver) (static_cast<::impreg::SolverTrace*>(nullptr))
+#define IMPREG_TRACE_EVENT(trace, iteration, kind, value) \
+  do {                                                    \
+    (void)(trace);                                        \
+  } while (0)
+#define IMPREG_TRACE_FINISH(trace, diag) \
+  do {                                   \
+    (void)(trace);                       \
+  } while (0)
+
+#endif  // IMPREG_OBSERVABILITY
+
+#endif  // IMPREG_CORE_TRACE_H_

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "core/metrics.h"
+
 /// \file
 /// Cooperative work budget for the long-running drivers (multilevel
 /// flow, recursive partitioning, NCP portfolio sweeps).
@@ -57,6 +59,15 @@ class WorkBudget {
     if (max_arcs_ > 0 && spent_ >= max_arcs_) exhausted_ = true;
     if (!exhausted_ && has_deadline_ && Clock::now() >= deadline_) {
       exhausted_ = true;
+    }
+    if (exhausted_) {
+      // Published once, on the transition only: Charge() stays a bare
+      // add and repeat Exhausted() calls return via the sticky flag.
+      IMPREG_METRIC_COUNT("budget.exhaustions", 1);
+      IMPREG_METRIC_GAUGE_SET("budget.last_exhausted.spent_arcs",
+                              static_cast<double>(spent_));
+      IMPREG_METRIC_GAUGE_SET("budget.last_exhausted.limit_arcs",
+                              static_cast<double>(max_arcs_));
     }
     return exhausted_;
   }

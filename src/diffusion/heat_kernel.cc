@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/metrics.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 #include "diffusion/seed.h"
 #include "linalg/graph_operators.h"
 #include "linalg/lanczos.h"
@@ -54,9 +56,11 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
   SolverDiagnostics local;
   SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
   diag = SolverDiagnostics{};
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("heat_kernel.taylor");
   if (!AllFinite(seed)) {
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "seed has non-finite entries; returning 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(g.NumNodes(), 0.0);
   }
   const RandomWalkOperator walk(g);
@@ -106,11 +110,16 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
                 });
     IMPREG_FAULT_POINT("heat_kernel/term", term);
     terms = k;
+    // The remaining Poisson tail mass is the truncation-error bound —
+    // the convergence quantity for the series.
+    IMPREG_TRACE_EVENT(trace, k, kResidual, tail * std::exp(-t));
     if (k % kFiniteCheckInterval == 0) {
       if (!AllFinite(accum) || !AllFinite(term)) {
         diag.status = SolveStatus::kNonFinite;
         diag.detail = "Taylor term went non-finite; returning the series "
                       "truncated at the last finite term";
+        IMPREG_TRACE_EVENT(trace, k, kRollback,
+                           static_cast<double>(snapshot_terms));
         accum = accum_snapshot;
         terms = snapshot_terms;
         break;
@@ -124,6 +133,8 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "Taylor term went non-finite; returning the series "
                   "truncated at the last finite term";
+    IMPREG_TRACE_EVENT(trace, terms, kRollback,
+                       static_cast<double>(snapshot_terms));
     accum = accum_snapshot;
     terms = snapshot_terms;
   }
@@ -131,6 +142,9 @@ Vector HeatKernelWalkTaylor(const Graph& g, const Vector& seed, double t,
     diag.status = SolveStatus::kConverged;
   }
   diag.iterations = terms;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.heat_kernel.taylor.solves", 1);
+  IMPREG_METRIC_COUNT("solver.heat_kernel.taylor.terms", terms);
   Scale(std::exp(-t), accum);
   Axpy(1.0, frozen, accum);
   return accum;

@@ -1,5 +1,7 @@
 #include "diffusion/lazy_walk.h"
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "linalg/graph_operators.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -14,9 +16,11 @@ Vector LazyWalk(const Graph& g, const Vector& seed,
   SolverDiagnostics local;
   SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
   diag = SolverDiagnostics{};
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("lazy_walk");
   if (!AllFinite(seed)) {
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "seed has non-finite entries; returning 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(g.NumNodes(), 0.0);
   }
   const LazyWalkOperator walk(g, options.alpha);
@@ -36,6 +40,8 @@ Vector LazyWalk(const Graph& g, const Vector& seed,
     if (step % kFiniteCheckInterval == 0) {
       if (!AllFinite(current)) {
         diag.status = SolveStatus::kNonFinite;
+        IMPREG_TRACE_EVENT(trace, step, kRollback,
+                           static_cast<double>(snapshot_step));
         current = snapshot;
         steps_done = snapshot_step;
         break;
@@ -47,6 +53,8 @@ Vector LazyWalk(const Graph& g, const Vector& seed,
   }
   if (diag.status != SolveStatus::kNonFinite && !AllFinite(current)) {
     diag.status = SolveStatus::kNonFinite;
+    IMPREG_TRACE_EVENT(trace, steps_done, kRollback,
+                       static_cast<double>(snapshot_step));
     current = snapshot;
     steps_done = snapshot_step;
   }
@@ -57,6 +65,9 @@ Vector LazyWalk(const Graph& g, const Vector& seed,
     diag.status = SolveStatus::kConverged;
   }
   diag.iterations = steps_done;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.lazy_walk.solves", 1);
+  IMPREG_METRIC_COUNT("solver.lazy_walk.steps", steps_done);
   return current;
 }
 

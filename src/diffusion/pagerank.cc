@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/metrics.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 #include "linalg/cg.h"
 #include "linalg/chebyshev.h"
 #include "linalg/graph_operators.h"
@@ -44,6 +46,7 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
 
   PageRankResult result;
   if (RejectNonFiniteSeed(g, seed, result)) return result;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("pagerank.richardson");
 
   const RandomWalkOperator walk(g);
   result.scores = seed;
@@ -72,9 +75,11 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
       result.diagnostics.status = SolveStatus::kNonFinite;
       result.diagnostics.detail = "diffusion update went non-finite; "
                                   "returning last finite iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, delta);
       break;
     }
     result.diagnostics.RecordResidual(delta);
+    IMPREG_TRACE_EVENT(trace, iter, kResidual, delta);
     result.scores.swap(next);
     if (delta <= options.tolerance) {
       result.converged = true;
@@ -88,6 +93,10 @@ PageRankResult PersonalizedPageRank(const Graph& g, const Vector& seed,
         "iteration cap hit; scores are the early-stopped diffusion";
   }
   result.diagnostics.iterations = result.iterations;
+  IMPREG_TRACE_FINISH(trace, result.diagnostics);
+  IMPREG_METRIC_COUNT("solver.pagerank.richardson.solves", 1);
+  IMPREG_METRIC_COUNT("solver.pagerank.richardson.iterations",
+                      result.iterations);
   return result;
 }
 
@@ -137,6 +146,8 @@ PageRankResult PersonalizedPageRankExact(const Graph& g, const Vector& seed,
   result.iterations = cg.iterations;
   result.converged = cg.converged;
   result.diagnostics = cg.diagnostics;
+  // The inner CG solve traced itself (solver "cg"); count the wrapper.
+  IMPREG_METRIC_COUNT("solver.pagerank.exact.solves", 1);
   return result;
 }
 
@@ -176,6 +187,7 @@ PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
         std::string("chebyshev solve failed (") + solve.diagnostics.Summary() +
         "); scores are from the Richardson fallback";
     fallback.converged = false;
+    IMPREG_METRIC_COUNT("solver.pagerank.chebyshev.fallbacks", 1);
     return fallback;
   }
 
@@ -190,6 +202,8 @@ PageRankResult PersonalizedPageRankChebyshev(const Graph& g,
   result.iterations = solve.iterations;
   result.converged = solve.converged;
   result.diagnostics = solve.diagnostics;
+  // The inner Chebyshev solve traced itself (solver "chebyshev").
+  IMPREG_METRIC_COUNT("solver.pagerank.chebyshev.solves", 1);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "flow/maxflow.h"
 #include "util/check.h"
 
@@ -30,11 +32,14 @@ FlowImproveResult FlowImprove(const Graph& g,
   result.stats = ref_stats;
   result.quotient = ref_stats.conductance;  // Q(R) = φ(R).
 
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("flow_improve");
   double alpha = result.quotient;
   if (alpha <= 0.0) {
     result.diagnostics.status = SolveStatus::kConverged;
+    IMPREG_TRACE_FINISH(trace, result.diagnostics);
     return result;  // Already a perfect cut.
   }
+  IMPREG_TRACE_EVENT(trace, 0, kConductance, alpha);
 
   const NodeId n = g.NumNodes();
   for (int round = 1; round <= max_rounds; ++round) {
@@ -43,6 +48,8 @@ FlowImproveResult FlowImprove(const Graph& g,
       result.diagnostics.detail =
           "work budget exhausted between FlowImprove rounds; set from "
           "the completed rounds returned";
+      IMPREG_TRACE_EVENT(trace, round, kBudget,
+                         static_cast<double>(budget->Spent()));
       break;
     }
     result.rounds = round;
@@ -110,8 +117,12 @@ FlowImproveResult FlowImprove(const Graph& g,
     result.set = std::move(candidate);
     result.stats = stats;
     result.quotient = quotient;
+    IMPREG_TRACE_EVENT(trace, round, kConductance, quotient);
   }
   result.diagnostics.iterations = result.rounds;
+  IMPREG_TRACE_FINISH(trace, result.diagnostics);
+  IMPREG_METRIC_COUNT("solver.flow_improve.solves", 1);
+  IMPREG_METRIC_COUNT("solver.flow_improve.rounds", result.rounds);
   std::sort(result.set.begin(), result.set.end());
   return result;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -79,6 +81,7 @@ double FlowNetwork::MaxFlow(int source, int sink, WorkBudget* budget) {
   IMPREG_CHECK(source != sink);
   last_source_ = source;
   diagnostics_ = SolverDiagnostics{};
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("maxflow");
   double total = 0.0;
   int phases = 0;
   bool budget_stop = false;
@@ -90,6 +93,8 @@ double FlowNetwork::MaxFlow(int source, int sink, WorkBudget* budget) {
       IMPREG_FAULT_POINT("maxflow/phase", budget);
       if (budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, phases, kBudget,
+                           static_cast<double>(budget->Spent()));
         break;
       }
     }
@@ -106,11 +111,14 @@ double FlowNetwork::MaxFlow(int source, int sink, WorkBudget* budget) {
         // updated by PushBlocking only when pushed was returned finite
         // from the recursion, so `total` stays a valid lower bound.
         poisoned = true;
+        IMPREG_TRACE_EVENT(trace, phases, kFault, pushed);
         break;
       }
       if (pushed <= kEps) break;
       total += pushed;
     }
+    // One phase event per Dinic phase; value = flow accumulated so far.
+    IMPREG_TRACE_EVENT(trace, phases, kPhase, total);
     if (poisoned) break;
   }
   diagnostics_.iterations = phases;
@@ -128,6 +136,9 @@ double FlowNetwork::MaxFlow(int source, int sink, WorkBudget* budget) {
   } else {
     diagnostics_.status = SolveStatus::kConverged;
   }
+  IMPREG_TRACE_FINISH(trace, diagnostics_);
+  IMPREG_METRIC_COUNT("solver.maxflow.solves", 1);
+  IMPREG_METRIC_COUNT("solver.maxflow.phases", phases);
   return total;
 }
 

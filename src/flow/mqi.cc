@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "flow/maxflow.h"
 #include "util/check.h"
 
@@ -23,6 +25,8 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
   MqiResult result;
   result.set = current;
   result.stats = stats;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("mqi");
+  IMPREG_TRACE_EVENT(trace, 0, kConductance, stats.conductance);
 
   for (int round = 1; round <= max_rounds; ++round) {
     if (budget != nullptr && budget->Exhausted()) {
@@ -30,6 +34,8 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
       result.diagnostics.detail =
           "work budget exhausted between MQI rounds; set from the "
           "completed rounds returned";
+      IMPREG_TRACE_EVENT(trace, round, kBudget,
+                         static_cast<double>(budget->Spent()));
       break;
     }
     const double c = stats.cut;
@@ -105,8 +111,12 @@ MqiResult Mqi(const Graph& g, const std::vector<NodeId>& input_set,
                      "MQI must never worsen conductance");
     result.set = current;
     result.stats = stats;
+    IMPREG_TRACE_EVENT(trace, round, kConductance, stats.conductance);
   }
   result.diagnostics.iterations = result.rounds;
+  IMPREG_TRACE_FINISH(trace, result.diagnostics);
+  IMPREG_METRIC_COUNT("solver.mqi.solves", 1);
+  IMPREG_METRIC_COUNT("solver.mqi.rounds", result.rounds);
   std::sort(result.set.begin(), result.set.end());
   return result;
 }

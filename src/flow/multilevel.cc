@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/rng.h"
@@ -210,6 +212,7 @@ MultilevelResult MultilevelBisection(const Graph& g,
                options.target_fraction <= 0.5);
   IMPREG_CHECK(options.balance_tolerance >= 0.0);
   Rng rng(options.seed);
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("multilevel");
 
   // Cooperative budget: each lambda call is one chunk-boundary check.
   // After the first true, stays true (the WorkBudget itself is sticky).
@@ -243,6 +246,8 @@ MultilevelResult MultilevelBisection(const Graph& g,
     if (options.budget != nullptr) {
       options.budget->Charge(levels.back().graph.NumArcs());
     }
+    IMPREG_TRACE_EVENT(trace, static_cast<int>(levels.size()), kArcWork,
+                       static_cast<double>(levels.back().graph.NumArcs()));
     Level next;
     if (!Coarsen(levels.back().graph, levels.back().node_weight,
                  max_supernode_weight, rng, next)) {
@@ -255,6 +260,9 @@ MultilevelResult MultilevelBisection(const Graph& g,
       break;
     }
     levels.push_back(std::move(next));
+    // One phase event per coarsening level; value = coarse node count.
+    IMPREG_TRACE_EVENT(trace, static_cast<int>(levels.size()), kPhase,
+                       static_cast<double>(levels.back().graph.NumNodes()));
   }
 
   const std::int64_t total_weight = g.NumNodes();
@@ -344,10 +352,19 @@ MultilevelResult MultilevelBisection(const Graph& g,
     result.diagnostics.detail =
         "work budget exhausted; refinement cut short but the bisection "
         "was projected to the finest level";
+    if (options.budget != nullptr) {
+      IMPREG_TRACE_EVENT(trace, result.levels, kBudget,
+                         static_cast<double>(options.budget->Spent()));
+    }
   } else {
     result.diagnostics.status = SolveStatus::kConverged;
   }
   result.diagnostics.iterations = result.levels;
+  IMPREG_TRACE_EVENT(trace, result.levels, kConductance,
+                     result.stats.conductance);
+  IMPREG_TRACE_FINISH(trace, result.diagnostics);
+  IMPREG_METRIC_COUNT("solver.multilevel.solves", 1);
+  IMPREG_METRIC_COUNT("solver.multilevel.levels", result.levels);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -26,10 +28,12 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
   CgResult result;
   result.x.assign(n, 0.0);
   SolverDiagnostics& diag = result.diagnostics;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("cg");
 
   if (!AllFinite(b)) {
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "right-hand side has non-finite entries; returning x = 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
 
@@ -40,6 +44,7 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
     result.converged = true;
     diag.status = SolveStatus::kConverged;
     diag.detail = "zero right-hand side";
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
   const double threshold = options.relative_tolerance * b_norm;
@@ -61,6 +66,7 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
       diag.status = SolveStatus::kNonFinite;
       diag.detail =
           "curvature pᵀAp is non-finite; returning last finite iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, std::sqrt(snapshot_rr));
       result.x = snapshot;
       rr = snapshot_rr;
       break;
@@ -71,6 +77,7 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
       diag.status = SolveStatus::kBreakdown;
       diag.detail = "curvature pᵀAp ≤ 0: operator is not positive definite "
                     "on the search space; returning best iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kFault, pap);
       break;
     }
     const double alpha = rr / pap;
@@ -85,11 +92,13 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
       diag.status = SolveStatus::kNonFinite;
       diag.detail =
           "residual norm is non-finite; returning last finite iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, std::sqrt(snapshot_rr));
       result.x = snapshot;
       rr = snapshot_rr;
       break;
     }
     diag.RecordResidual(std::sqrt(rr_new));
+    IMPREG_TRACE_EVENT(trace, iter, kResidual, std::sqrt(rr_new));
     if (std::sqrt(rr_new) <= threshold) {
       result.converged = true;
       rr = rr_new;
@@ -100,6 +109,7 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
         diag.status = SolveStatus::kNonFinite;
         diag.detail =
             "iterate has non-finite entries; returning last finite iterate";
+        IMPREG_TRACE_EVENT(trace, iter, kRollback, std::sqrt(snapshot_rr));
         result.x = snapshot;
         rr = snapshot_rr;
         break;
@@ -118,6 +128,8 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
     diag.status = SolveStatus::kNonFinite;
     diag.detail =
         "iterate has non-finite entries; returning last finite iterate";
+    IMPREG_TRACE_EVENT(trace, result.iterations, kRollback,
+                       std::sqrt(snapshot_rr));
     result.x = snapshot;
     rr = snapshot_rr;
     result.converged = false;
@@ -131,6 +143,9 @@ CgResult ConjugateGradient(const LinearOperator& a, const Vector& b,
   result.residual_norm = std::sqrt(rr);
   diag.iterations = result.iterations;
   diag.final_residual = result.residual_norm;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.cg.solves", 1);
+  IMPREG_METRIC_COUNT("solver.cg.iterations", result.iterations);
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "core/metrics.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -35,10 +37,12 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
   ChebyshevResult result;
   result.x.assign(n, 0.0);
   SolverDiagnostics& diag = result.diagnostics;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("chebyshev");
 
   if (!AllFinite(b)) {
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "right-hand side has non-finite entries; returning x = 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
 
@@ -47,6 +51,7 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
     result.converged = true;
     diag.status = SolveStatus::kConverged;
     diag.detail = "zero right-hand side";
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
   const double threshold = options.relative_tolerance * b_norm;
@@ -73,11 +78,14 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
       result.x.assign(n, 0.0);
       result.residual_norm = b_norm;
       diag.final_residual = b_norm;
+      IMPREG_TRACE_FINISH(trace, diag);
       return result;
     }
     result.converged = result.residual_norm <= threshold;
     diag.status = result.converged ? SolveStatus::kConverged
                                    : SolveStatus::kMaxIterations;
+    IMPREG_TRACE_EVENT(trace, 1, kResidual, result.residual_norm);
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
 
@@ -101,10 +109,12 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
     result.residual_norm = Norm2(r);
     IMPREG_FAULT_POINT("chebyshev/residual", result.residual_norm);
     diag.RecordResidual(result.residual_norm);
+    IMPREG_TRACE_EVENT(trace, iter, kResidual, result.residual_norm);
     if (!std::isfinite(result.residual_norm)) {
       diag.status = SolveStatus::kNonFinite;
       diag.detail =
           "residual norm is non-finite; returning best finite iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, snapshot_residual);
       result.x = snapshot;
       result.residual_norm = snapshot_residual;
       break;
@@ -122,6 +132,8 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
       diag.detail = "residuals diverged (bad eigenvalue bounds?); "
                     "returning best iterate — consider a power-iteration "
                     "fallback";
+      IMPREG_TRACE_EVENT(trace, iter, kFault, result.residual_norm);
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, snapshot_residual);
       result.x = snapshot;
       result.residual_norm = snapshot_residual;
       break;
@@ -132,6 +144,7 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
         diag.status = SolveStatus::kNonFinite;
         diag.detail =
             "iterate has non-finite entries; returning best finite iterate";
+        IMPREG_TRACE_EVENT(trace, iter, kRollback, snapshot_residual);
         result.x = snapshot;
         result.residual_norm = snapshot_residual;
         break;
@@ -157,6 +170,8 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
     diag.status = SolveStatus::kNonFinite;
     diag.detail =
         "iterate has non-finite entries; returning best finite iterate";
+    IMPREG_TRACE_EVENT(trace, result.iterations, kRollback,
+                       snapshot_residual);
     result.x = snapshot;
     result.residual_norm = snapshot_residual;
     result.converged = false;
@@ -169,6 +184,9 @@ ChebyshevResult ChebyshevSolve(const LinearOperator& a, const Vector& b,
   }
   diag.iterations = result.iterations;
   diag.final_residual = result.residual_norm;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.chebyshev.solves", 1);
+  IMPREG_METRIC_COUNT("solver.chebyshev.iterations", result.iterations);
   return result;
 }
 

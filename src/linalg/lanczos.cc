@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "linalg/tridiagonal.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -48,6 +50,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
 
   LanczosResult result;
   SolverDiagnostics& diag = result.diagnostics;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("lanczos");
 
   // Normalized copies of the deflation vectors.
   std::vector<Vector> deflate;
@@ -68,6 +71,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
     diag.status = SolveStatus::kBreakdown;
     diag.detail = "start vector vanished under deflation: the deflated "
                   "subspace spans the space; no pairs computed";
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
 
@@ -89,6 +93,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
       diag.status = SolveStatus::kNonFinite;
       diag.detail = "non-finite Lanczos diagonal entry; returning Ritz "
                     "pairs of the finite Krylov prefix";
+      IMPREG_TRACE_EVENT(trace, m + 1, kRollback, a);
       tri_eigen = SymmetricEigen{};
       break;
     }
@@ -104,6 +109,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
       diag.status = SolveStatus::kNonFinite;
       diag.detail = "non-finite Lanczos off-diagonal entry; returning "
                     "Ritz pairs of the finite Krylov prefix";
+      IMPREG_TRACE_EVENT(trace, m + 1, kRollback, b);
       tri_eigen = SymmetricEigen{};
       break;
     }
@@ -137,6 +143,8 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
       // the tridiagonal matrix. If no direction survives, the reachable
       // space is exhausted: report the pairs found as a breakdown.
       if (DrawOrthogonalStart(rng, deflate, basis, w)) {
+        // A restart event: β ≈ 0 forced a fresh Krylov direction.
+        IMPREG_TRACE_EVENT(trace, m + 1, kPhase, b);
         tri_eigen = SymmetricEigen{};
         b = 0.0;
       } else {
@@ -144,6 +152,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
         tri_eigen = TridiagonalEigendecomposition(alpha, off);
         diag.status = SolveStatus::kBreakdown;
         diag.detail = "invariant subspace exhausted before k pairs";
+        IMPREG_TRACE_EVENT(trace, m + 1, kFault, b);
         result.converged = false;
         break;
       }
@@ -155,6 +164,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
   const int dim = static_cast<int>(alpha.size());
   if (dim == 0) {
     // Poison on the very first step: nothing usable was built.
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
   if (tri_eigen.eigenvalues.empty()) {
@@ -185,6 +195,7 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
     Axpy(-result.eigenvalues[i], result.eigenvectors[i], av[i]);
     result.residuals[i] = Norm2(av[i]);
     diag.RecordResidual(result.residuals[i]);
+    IMPREG_TRACE_EVENT(trace, i + 1, kResidual, result.residuals[i]);
     if (!std::isfinite(result.residuals[i]) && diag.usable()) {
       diag.status = SolveStatus::kNonFinite;
       diag.detail = "non-finite Ritz residual (operator produced poison "
@@ -194,6 +205,9 @@ LanczosResult RunLanczos(const LinearOperator& op, int k, bool smallest,
   }
   if (result.converged) diag.status = SolveStatus::kConverged;
   diag.iterations = result.iterations;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.lanczos.solves", 1);
+  IMPREG_METRIC_COUNT("solver.lanczos.iterations", result.iterations);
   return result;
 }
 
@@ -272,14 +286,17 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
   SolverDiagnostics local;
   SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
   diag = SolverDiagnostics{};
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("krylov_exp");
   const double v_norm = Norm2(v);
   if (!std::isfinite(v_norm)) {
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "input vector has non-finite entries; returning 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(n, 0.0);
   }
   if (v_norm == 0.0) {
     diag.status = SolveStatus::kConverged;
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(n, 0.0);
   }
 
@@ -298,6 +315,7 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
     const double a = Dot(basis[m], w);
     if (!std::isfinite(a)) {
       poisoned = true;  // Use the finite prefix built before this step.
+      IMPREG_TRACE_EVENT(trace, m + 1, kRollback, a);
       break;
     }
     alpha.push_back(a);
@@ -308,8 +326,12 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
     IMPREG_FAULT_POINT("krylov_exp/beta", b);
     if (!std::isfinite(b)) {
       poisoned = true;
+      IMPREG_TRACE_EVENT(trace, m + 1, kRollback, b);
       break;
     }
+    // β tracks how much of v's mass lies outside the current Krylov
+    // space — the natural convergence trace for the expm approximation.
+    IMPREG_TRACE_EVENT(trace, m + 1, kResidual, b);
     if (b <= 1e-14 || m + 1 == max_dim) break;
     beta.push_back(b);
     q = w;
@@ -320,6 +342,7 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "operator produced poison on the first Krylov step; "
                   "returning 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(n, 0.0);
   }
   Vector off(beta.begin(), beta.begin() + (dim - 1));
@@ -342,6 +365,7 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
     // exp(scale·λ) can overflow for large positive scale·λ.
     diag.status = SolveStatus::kNonFinite;
     diag.detail = "exp weights overflowed; returning 0";
+    IMPREG_TRACE_FINISH(trace, diag);
     return Vector(n, 0.0);
   }
   if (poisoned) {
@@ -351,6 +375,9 @@ Vector KrylovExpMultiply(const LinearOperator& op, double scale,
   } else {
     diag.status = SolveStatus::kConverged;
   }
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.krylov_exp.solves", 1);
+  IMPREG_METRIC_COUNT("solver.krylov_exp.iterations", dim);
   return y;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "linalg/graph_operators.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -23,10 +25,12 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
 
   PowerMethodResult result;
   SolverDiagnostics& diag = result.diagnostics;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("power_method");
   if (!AllFinite(start)) {
     diag.status = SolveStatus::kInvalidInput;
     diag.detail = "start vector has non-finite entries";
     result.eigenvector.assign(n, 0.0);
+    IMPREG_TRACE_FINISH(trace, diag);
     return result;
   }
   Vector current = std::move(start);
@@ -48,6 +52,7 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
       diag.status = SolveStatus::kNonFinite;
       diag.detail = "operator produced a non-finite iterate; returning "
                     "last finite unit iterate";
+      IMPREG_TRACE_EVENT(trace, iter, kRollback, norm);
       break;
     }
     if (norm <= 1e-300) {
@@ -56,6 +61,7 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
       diag.status = SolveStatus::kBreakdown;
       diag.detail = "operator annihilated the iterate (start was "
                     "numerically in the null space)";
+      IMPREG_TRACE_EVENT(trace, iter, kFault, norm);
       break;
     }
     // Align sign so the difference test is meaningful for negative
@@ -63,6 +69,7 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
     if (Dot(next, current) < 0.0) Scale(-1.0, next);
     const double delta = DistanceL2(next, current);
     diag.RecordResidual(delta);
+    IMPREG_TRACE_EVENT(trace, iter, kResidual, delta);
     current.swap(next);
     if (options.on_iterate) options.on_iterate(iter, current);
     if (delta < options.tolerance) {
@@ -81,6 +88,9 @@ PowerMethodResult PowerMethod(const LinearOperator& op, Vector start,
   }
   result.eigenvector = std::move(current);
   diag.iterations = result.iterations;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.power_method.solves", 1);
+  IMPREG_METRIC_COUNT("solver.power_method.iterations", result.iterations);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "diffusion/seed.h"
 #include "graph/bridges.h"
 #include "flow/mqi.h"
@@ -19,18 +21,23 @@ namespace impreg {
 namespace {
 
 // Shared epilogue of the family portfolios: fill the caller's
-// diagnostics (if any) from how the grid ended.
+// diagnostics (if any) from how the grid ended, and stamp the trace
+// with the same summary (iterations = clusters harvested).
 void FinishPortfolio(bool budget_stop, SolverDiagnostics* diagnostics,
-                     const char* what) {
-  if (diagnostics == nullptr) return;
-  *diagnostics = SolverDiagnostics{};
+                     const char* what, SolverTrace* trace,
+                     int clusters_found) {
+  SolverDiagnostics local;
+  SolverDiagnostics& diag = diagnostics != nullptr ? *diagnostics : local;
+  diag = SolverDiagnostics{};
   if (budget_stop) {
-    diagnostics->status = SolveStatus::kBudgetExhausted;
-    diagnostics->detail = std::string("work budget exhausted; the ") + what +
-                          " portfolio returned the clusters found so far";
+    diag.status = SolveStatus::kBudgetExhausted;
+    diag.detail = std::string("work budget exhausted; the ") + what +
+                  " portfolio returned the clusters found so far";
   } else {
-    diagnostics->status = SolveStatus::kConverged;
+    diag.status = SolveStatus::kConverged;
   }
+  diag.iterations = clusters_found;
+  IMPREG_TRACE_FINISH(trace, diag);
 }
 
 // Uniform seed nodes with positive degree (rejection sampling, bounded).
@@ -54,12 +61,13 @@ std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
                                            SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(g.NumNodes() >= 2);
   Rng rng(options.rng_seed);
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("ncp.walk");
   const std::vector<NodeId> seeds =
       SamplePositiveDegreeSeeds(g, options.num_seeds, rng);
 
   std::vector<NcpCluster> clusters;
   if (seeds.empty()) {
-    FinishPortfolio(false, diagnostics, "lazy-walk");
+    FinishPortfolio(false, diagnostics, "lazy-walk", trace, 0);
     return clusters;
   }
 
@@ -84,6 +92,8 @@ std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
       IMPREG_FAULT_POINT("ncp/walk_budget", options.budget);
       if (options.budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, t, kBudget,
+                           static_cast<double>(options.budget->Spent()));
         break;
       }
     }
@@ -108,10 +118,13 @@ std::vector<NcpCluster> WalkFamilyClusters(const Graph& g,
       std::sort(cluster.nodes.begin(), cluster.nodes.end());
       cluster.stats = sweep.stats;
       cluster.method = "LazyWalk(t=" + std::to_string(t) + ")";
+      IMPREG_TRACE_EVENT(trace, t, kConductance, cluster.stats.conductance);
       clusters.push_back(std::move(cluster));
     }
   }
-  FinishPortfolio(budget_stop, diagnostics, "lazy-walk");
+  FinishPortfolio(budget_stop, diagnostics, "lazy-walk", trace,
+                  static_cast<int>(clusters.size()));
+  IMPREG_METRIC_COUNT("ncp.walk.clusters", clusters.size());
   return clusters;
 }
 
@@ -120,6 +133,7 @@ std::vector<NcpCluster> SpectralFamilyClusters(
     SolverDiagnostics* diagnostics) {
   IMPREG_CHECK(g.NumNodes() >= 2);
   Rng rng(options.rng_seed);
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("ncp.spectral");
   std::vector<NcpCluster> clusters;
 
   // Seeds biased toward distinct regions: uniform over nodes with
@@ -137,6 +151,9 @@ std::vector<NcpCluster> SpectralFamilyClusters(
           IMPREG_FAULT_POINT("ncp/spectral_budget", options.budget);
           if (options.budget->Exhausted()) {
             budget_stop = true;
+            IMPREG_TRACE_EVENT(
+                trace, static_cast<int>(clusters.size()), kBudget,
+                static_cast<double>(options.budget->Spent()));
             break;
           }
         }
@@ -171,6 +188,8 @@ std::vector<NcpCluster> SpectralFamilyClusters(
           std::sort(cluster.nodes.begin(), cluster.nodes.end());
           cluster.stats = ComputeCutStats(g, cluster.nodes);
           cluster.method = "LocalSpectral(push)";
+          IMPREG_TRACE_EVENT(trace, static_cast<int>(clusters.size()) + 1,
+                             kConductance, cluster.stats.conductance);
           clusters.push_back(std::move(cluster));
         }
       }
@@ -178,7 +197,9 @@ std::vector<NcpCluster> SpectralFamilyClusters(
     }
     if (budget_stop) break;
   }
-  FinishPortfolio(budget_stop, diagnostics, "spectral");
+  FinishPortfolio(budget_stop, diagnostics, "spectral", trace,
+                  static_cast<int>(clusters.size()));
+  IMPREG_METRIC_COUNT("ncp.spectral.clusters", clusters.size());
   return clusters;
 }
 
@@ -200,6 +221,7 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
     }
   }
 
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("ncp.flow");
   std::vector<NcpCluster> clusters;
 
   if (options.include_whiskers) {
@@ -237,6 +259,9 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
       IMPREG_FAULT_POINT("ncp/flow_budget", options.budget);
       if (options.budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, static_cast<int>(clusters.size()),
+                           kBudget,
+                           static_cast<double>(options.budget->Spent()));
         break;
       }
     }
@@ -251,6 +276,8 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
       cluster.nodes = bisect.set;
       cluster.stats = bisect.stats;
       cluster.method = "Metis-like";
+      IMPREG_TRACE_EVENT(trace, static_cast<int>(clusters.size()) + 1,
+                         kConductance, cluster.stats.conductance);
       clusters.push_back(cluster);
 
       if (options.run_mqi) {
@@ -259,11 +286,15 @@ std::vector<NcpCluster> FlowFamilyClusters(const Graph& g,
         sharpened.nodes = improved.set;
         sharpened.stats = improved.stats;
         sharpened.method = "Metis+MQI";
+        IMPREG_TRACE_EVENT(trace, static_cast<int>(clusters.size()) + 1,
+                           kConductance, sharpened.stats.conductance);
         clusters.push_back(std::move(sharpened));
       }
     }
   }
-  FinishPortfolio(budget_stop, diagnostics, "flow");
+  FinishPortfolio(budget_stop, diagnostics, "flow", trace,
+                  static_cast<int>(clusters.size()));
+  IMPREG_METRIC_COUNT("ncp.flow.clusters", clusters.size());
   return clusters;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "diffusion/seed.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -20,10 +22,12 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
   HkRelaxResult result;
   result.stats.conductance = 1.0;
   result.rho.assign(g.NumNodes(), 0.0);
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("hkrelax");
   if (!AllFinite(seed)) {
     result.diagnostics.status = SolveStatus::kNonFinite;
     result.diagnostics.detail =
         "seed has non-finite entries; returning ρ = 0 and no cut";
+    IMPREG_TRACE_FINISH(trace, result.diagnostics);
     return result;
   }
 
@@ -48,6 +52,8 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
       IMPREG_FAULT_POINT("hkrelax/budget", options.budget);
       if (options.budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, k, kBudget,
+                           static_cast<double>(options.budget->Spent()));
         break;
       }
     }
@@ -65,6 +71,8 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
       }
       result.work += g.OutDegree(u);
       if (options.budget != nullptr) options.budget->Charge(g.OutDegree(u));
+      IMPREG_TRACE_EVENT(trace, k, kArcWork,
+                         static_cast<double>(g.OutDegree(u)));
     }
     poisson *= t / static_cast<double>(k);
     tail -= poisson;
@@ -89,7 +97,12 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
       }
     }
     result.terms = k;
-    if (poisoned) break;
+    // Remaining Poisson tail mass: the truncation bound for the series.
+    IMPREG_TRACE_EVENT(trace, k, kResidual, tail * std::exp(-t));
+    if (poisoned) {
+      IMPREG_TRACE_EVENT(trace, k, kFault, result.dropped_mass);
+      break;
+    }
   }
   // Everything is still in Σ t^k/k! units; apply the e^{−t} prefactor.
   // The discarded Poisson tail also counts as dropped mass.
@@ -117,6 +130,12 @@ HkRelaxResult HeatKernelRelaxFromDistribution(const Graph& g,
   const SweepResult swept = SweepCutOverSupport(g, result.rho, sweep);
   result.set = swept.set;
   result.stats = swept.stats;
+  IMPREG_TRACE_EVENT(trace, result.terms, kConductance,
+                     result.stats.conductance);
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.hkrelax.solves", 1);
+  IMPREG_METRIC_COUNT("solver.hkrelax.terms", result.terms);
+  IMPREG_METRIC_COUNT("solver.hkrelax.arc_work", result.work);
   return result;
 }
 

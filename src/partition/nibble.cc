@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "diffusion/seed.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -18,11 +20,13 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
 
   NibbleResult result;
   result.stats.conductance = 1.0;
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("nibble");
   if (!AllFinite(seed)) {
     result.distribution.assign(g.NumNodes(), 0.0);
     result.diagnostics.status = SolveStatus::kNonFinite;
     result.diagnostics.detail =
         "seed has non-finite entries; returning no cut";
+    IMPREG_TRACE_FINISH(trace, result.diagnostics);
     return result;
   }
 
@@ -46,6 +50,8 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
       IMPREG_FAULT_POINT("nibble/budget", options.budget);
       if (options.budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, step, kBudget,
+                           static_cast<double>(options.budget->Spent()));
         break;
       }
     }
@@ -68,6 +74,8 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
       }
       result.work += g.OutDegree(u);
       if (options.budget != nullptr) options.budget->Charge(g.OutDegree(u));
+      IMPREG_TRACE_EVENT(trace, step, kArcWork,
+                         static_cast<double>(g.OutDegree(u)));
     }
     // Truncate: q(u) < ε·d(u) → 0 (the implicit regularization step).
     current.clear();
@@ -85,7 +93,10 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
         current.emplace(u, mass);
       }
     }
-    if (poisoned) break;
+    if (poisoned) {
+      IMPREG_TRACE_EVENT(trace, step, kFault, result.truncated_mass);
+      break;
+    }
     if (current.empty()) break;  // Everything truncated away.
 
     // Sweep the current support only: the dense scratch vector is
@@ -103,6 +114,9 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
     const SweepResult swept =
         SweepCutOverNodes(g, dense, std::move(support_nodes), sweep);
     for (const auto& [u, mass] : current) dense[u] = 0.0;
+    if (!swept.set.empty()) {
+      IMPREG_TRACE_EVENT(trace, step, kConductance, swept.stats.conductance);
+    }
     if (!swept.set.empty() &&
         swept.stats.conductance < result.stats.conductance) {
       result.set = swept.set;
@@ -125,6 +139,10 @@ NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
     diag.status = SolveStatus::kConverged;
   }
   diag.iterations = steps_done;
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.nibble.solves", 1);
+  IMPREG_METRIC_COUNT("solver.nibble.steps", steps_done);
+  IMPREG_METRIC_COUNT("solver.nibble.arc_work", result.work);
   return result;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <deque>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "diffusion/seed.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -27,6 +29,7 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
 
   PushResult result;
   result.p.assign(g.NumNodes(), 0.0);
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("push");
 
   // Negative seed mass is a programming error (abort; NaN passes the
   // check because NaN comparisons are false); non-finite mass is a
@@ -39,6 +42,7 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
     result.diagnostics.status = SolveStatus::kNonFinite;
     result.diagnostics.detail =
         "seed has non-finite entries; returning p = r = 0";
+    IMPREG_TRACE_FINISH(trace, result.diagnostics);
     return result;
   }
   result.residual = seed;
@@ -77,6 +81,8 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
       IMPREG_FAULT_POINT("push/budget", budget);
       if (budget->Exhausted()) {
         budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, static_cast<int>(result.pushes), kBudget,
+                           static_cast<double>(budget->Spent()));
         break;
       }
     }
@@ -91,6 +97,7 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
       // other residual entries are still finite by construction.
       result.residual[u] = 0.0;
       poisoned = true;
+      IMPREG_TRACE_EVENT(trace, static_cast<int>(result.pushes), kFault, r);
       break;
     }
     if (d <= 0.0 || r < eps * d) continue;
@@ -124,9 +131,15 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
     ++result.pushes;
     result.work += g.OutDegree(u);
     if (budget != nullptr) budget->Charge(g.OutDegree(u));
+    // One arc-work event per push, mirroring result.work (and the budget
+    // Charge above) exactly: SumValues(kArcWork) == result.work.
+    IMPREG_TRACE_EVENT(trace, static_cast<int>(result.pushes), kArcWork,
+                       static_cast<double>(g.OutDegree(u)));
     if (options.on_push) {
       residual_mass -= options.alpha * r;  // Exactly the mass moved to p.
       options.on_push(result.pushes, u, residual_mass);
+      IMPREG_TRACE_EVENT(trace, static_cast<int>(result.pushes), kResidual,
+                         residual_mass);
     }
   }
   result.converged = queue.empty() && !budget_stop && !poisoned;
@@ -149,6 +162,10 @@ PushResult ApproximatePageRank(const Graph& g, const Vector& seed,
                               : "push cap hit before residuals drained";
   }
   diag.iterations = static_cast<int>(result.pushes);
+  IMPREG_TRACE_FINISH(trace, diag);
+  IMPREG_METRIC_COUNT("solver.push.solves", 1);
+  IMPREG_METRIC_COUNT("solver.push.pushes", result.pushes);
+  IMPREG_METRIC_COUNT("solver.push.arc_work", result.work);
   return result;
 }
 

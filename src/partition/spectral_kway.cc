@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "linalg/graph_operators.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -130,7 +132,9 @@ SpectralClusteringResult SpectralClusterKway(
     }
   }
 
-  // Best k-means over restarts.
+  // Best k-means over restarts. The inner Lanczos solve above traced
+  // itself (solver "lanczos"); this trace covers the clustering stage.
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("spectral_kway");
   Rng rng(options.seed);
   std::vector<int> best_labels;
   double best_objective = std::numeric_limits<double>::max();
@@ -138,6 +142,7 @@ SpectralClusteringResult SpectralClusterKway(
        ++restart) {
     auto [labels, objective] =
         KMeans(points, k, options.kmeans_iterations, rng);
+    IMPREG_TRACE_EVENT(trace, restart + 1, kPhase, objective);
     if (objective < best_objective) {
       best_objective = objective;
       best_labels = std::move(labels);
@@ -170,7 +175,18 @@ SpectralClusteringResult SpectralClusterKway(
   for (int c = 0; c < k; ++c) {
     Axpy(-result.eigenvalues[c], embed[c], lv[c]);
     result.residuals[c] = Norm2(lv[c]);
+    IMPREG_TRACE_EVENT(trace, c + 1, kResidual, result.residuals[c]);
   }
+#ifdef IMPREG_OBSERVABILITY
+  if (trace != nullptr) {
+    SolverDiagnostics diag;
+    diag.status = SolveStatus::kConverged;
+    diag.iterations = k;
+    trace->Finish(diag);
+  }
+#endif
+  IMPREG_METRIC_COUNT("solver.spectral_kway.solves", 1);
+  IMPREG_METRIC_COUNT("solver.spectral_kway.clusters", k);
   return result;
 }
 

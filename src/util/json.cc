@@ -1,0 +1,237 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace impreg {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = members_.find(key);
+  return it != members_.end() ? &it->second : nullptr;
+}
+
+const JsonValue* JsonValue::FindOfType(const std::string& key,
+                                       Type type) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->type() == type ? v : nullptr;
+}
+
+/// Recursive-descent parser over a flat char range. Depth is bounded to
+/// keep hostile inputs from exhausting the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.c_str()), end_(text.c_str() + text.size()) {}
+
+  JsonParseResult Run() {
+    JsonParseResult result;
+    SkipWhitespace();
+    if (!ParseValue(result.value, 0)) {
+      result.value = JsonValue();
+      result.error = error_;
+      result.error_line = line_;
+      return result;
+    }
+    SkipWhitespace();
+    if (p_ != end_) {
+      result.value = JsonValue();
+      result.error = "trailing garbage after the JSON document";
+      result.error_line = line_;
+    }
+    return result;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      if (*p_ == '\n') ++line_;
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (static_cast<std::size_t>(end_ - p_) < len ||
+        std::strncmp(p_, word, len) != 0) {
+      return false;
+    }
+    p_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        out.type_ = JsonValue::Type::kString;
+        return ParseString(out.string_);
+      }
+      case 't':
+        if (!Literal("true")) return Fail("malformed literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) return Fail("malformed literal");
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) return Fail("malformed literal");
+        out.type_ = JsonValue::Type::kNull;
+        return true;
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                          *p_ == '-' || *p_ == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(*p_))) digits = true;
+      ++p_;
+    }
+    if (!digits) return Fail("expected a JSON value");
+    char* parse_end = nullptr;
+    const std::string token(start, p_);
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (parse_end != token.c_str() + token.size()) {
+      return Fail("malformed number");
+    }
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = value;
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    ++p_;  // Opening quote.
+    out.clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("unterminated string escape");
+        switch (*p_) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Pass the four hex digits through un-decoded; the
+            // library's own writers only escape control characters.
+            if (end_ - p_ < 5) return Fail("truncated \\u escape");
+            out.append("\\u");
+            for (int i = 1; i <= 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(p_[i]))) {
+                return Fail("malformed \\u escape");
+              }
+              out.push_back(p_[i]);
+            }
+            p_ += 4;
+            break;
+          }
+          default: return Fail("unknown string escape");
+        }
+        ++p_;
+      } else {
+        if (*p_ == '\n') ++line_;
+        out.push_back(*p_);
+        ++p_;
+      }
+    }
+    if (p_ == end_) return Fail("unterminated string");
+    ++p_;  // Closing quote.
+    return true;
+  }
+
+  bool ParseArray(JsonValue& out, int depth) {
+    ++p_;  // '['.
+    out.type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      JsonValue item;
+      SkipWhitespace();
+      if (!ParseValue(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue& out, int depth) {
+    ++p_;  // '{'.
+    out.type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':' after key");
+      ++p_;
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(value, depth + 1)) return false;
+      out.members_[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  int line_ = 1;
+  std::string error_;
+};
+
+JsonParseResult JsonParse(const std::string& text) {
+  return JsonParser(text).Run();
+}
+
+}  // namespace impreg

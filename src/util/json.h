@@ -1,0 +1,83 @@
+#ifndef IMPREG_UTIL_JSON_H_
+#define IMPREG_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal JSON document parser — just enough for the observability
+/// layer's own formats: bench reports (bench/report.h), metrics
+/// snapshots, and trace exports (core/trace.h). Strict on structure
+/// (unterminated containers, trailing garbage and bad escapes are
+/// errors with a line number), permissive on use (typed accessors
+/// return fallbacks instead of throwing, so schema checks read
+/// linearly). Not a general-purpose library: no \uXXXX decoding beyond
+/// pass-through, no streaming, inputs are whole strings.
+
+namespace impreg {
+
+/// A parsed JSON value (tree-owning).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the fallback is returned on type mismatch.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array elements (empty unless is_array()).
+  const std::vector<JsonValue>& Items() const { return items_; }
+
+  /// Object members in key-sorted order (empty unless is_object()).
+  const std::map<std::string, JsonValue>& Members() const { return members_; }
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience: Find(key), nullptr unless the member has that type.
+  const JsonValue* FindOfType(const std::string& key, Type type) const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::map<std::string, JsonValue> members_;
+};
+
+/// Result of JsonParse: either `ok()` and `value` holds the document,
+/// or `error` describes the failure and `error_line` locates it
+/// (1-based; 0 when not line-specific).
+struct JsonParseResult {
+  JsonValue value;
+  std::string error;
+  int error_line = 0;
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage is an error).
+JsonParseResult JsonParse(const std::string& text);
+
+}  // namespace impreg
+
+#endif  // IMPREG_UTIL_JSON_H_

@@ -325,6 +325,54 @@ TEST(LayoutEquivalenceTest, ApplyBatchEdgeCases) {
   }
 }
 
+#ifdef IMPREG_OBSERVABILITY
+// —— Observability invariance (ISSUE 4) ——
+// Metrics and tracing only *read* solver values; enabling them must
+// not move a single bit of any output, at any thread count. This is
+// the disabled-path-cost contract of core/metrics.h and core/trace.h
+// checked end to end across the solver families the CLI exercises.
+TEST(DeterminismTest, ObservabilityOnAndOffAreBitIdentical) {
+  const Graph g = CavemanGraph(40, 15);
+  const Vector seed = SingleNodeSeed(g, 3);
+  PageRankOptions pagerank;
+  pagerank.gamma = 0.1;
+  pagerank.tolerance = 1e-10;
+  PushOptions push;
+  push.epsilon = 1e-6;
+  // One long vector concatenating every solver family's output, so a
+  // single bit comparison covers them all.
+  const auto compute = [&] {
+    Vector out = PersonalizedPageRank(g, seed, pagerank).scores;
+    const PushResult pushed = ApproximatePageRank(g, seed, push);
+    out.insert(out.end(), pushed.p.begin(), pushed.p.end());
+    out.insert(out.end(), pushed.residual.begin(), pushed.residual.end());
+    const Vector heat = HeatKernelWalkTaylor(g, seed, 5.0, 1e-10);
+    out.insert(out.end(), heat.begin(), heat.end());
+    const HkRelaxResult hk = HeatKernelRelax(g, /*seed=*/0, {});
+    out.insert(out.end(), hk.rho.begin(), hk.rho.end());
+    out.push_back(static_cast<double>(pushed.work));
+    return out;
+  };
+  for (int threads : {1, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const ScopedNumThreads scoped(threads);
+    ImpregEnableMetrics(false);
+    TraceCollector::Get().Disable();
+    const Vector off = compute();
+    ImpregEnableMetrics(true);
+    TraceCollector::Get().Enable();
+    TraceCollector::Get().Clear();
+    const Vector on = compute();
+    // The instrumented pass must actually have observed something —
+    // otherwise this test silently compares two uninstrumented runs.
+    EXPECT_FALSE(TraceCollector::Get().Traces().empty());
+    ImpregEnableMetrics(false);
+    TraceCollector::Get().Disable();
+    ExpectBitIdentical(off, on);
+  }
+}
+#endif  // IMPREG_OBSERVABILITY
+
 TEST(DeterminismTest, DenseReductionsAreThreadCountInvariant) {
   // Vectors long enough for > 4 reduce chunks.
   const Vector x = GaussianVector(100000, 5);

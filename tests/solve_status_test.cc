@@ -1,0 +1,115 @@
+// The status taxonomy (core/solve_status.h) and the cooperative
+// WorkBudget (core/work_budget.h): the severity fold behind every
+// driver's "summarize my sub-solves" step, pinned as a full truth
+// table, plus the budget's arc accounting and its opt-in wall-clock
+// deadline.
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solve_status.h"
+#include "core/work_budget.h"
+
+namespace impreg {
+namespace {
+
+const std::vector<SolveStatus> kAllStatuses = {
+    SolveStatus::kConverged,       SolveStatus::kMaxIterations,
+    SolveStatus::kBudgetExhausted, SolveStatus::kBreakdown,
+    SolveStatus::kNonFinite,       SolveStatus::kInvalidInput,
+};
+
+TEST(SolveStatusTest, MergeStatusFoldsToTheHigherSeverityOverAllPairs) {
+  // kAllStatuses is ordered by severity, so the expected merge of any
+  // pair is simply whichever sits later in the list — all 36 pairs.
+  for (std::size_t i = 0; i < kAllStatuses.size(); ++i) {
+    for (std::size_t j = 0; j < kAllStatuses.size(); ++j) {
+      const SolveStatus a = kAllStatuses[i];
+      const SolveStatus b = kAllStatuses[j];
+      const SolveStatus expected = i >= j ? a : b;
+      EXPECT_EQ(MergeStatus(a, b), expected)
+          << SolveStatusName(a) << " + " << SolveStatusName(b);
+    }
+  }
+}
+
+TEST(SolveStatusTest, MergeStatusIsCommutativeUpToSeverity) {
+  for (const SolveStatus a : kAllStatuses) {
+    for (const SolveStatus b : kAllStatuses) {
+      EXPECT_EQ(StatusSeverity(MergeStatus(a, b)),
+                StatusSeverity(MergeStatus(b, a)));
+    }
+  }
+}
+
+TEST(SolveStatusTest, SeverityRanksAreDistinctAndUsabilityIsConsistent) {
+  // Distinct ranks (the fold needs a total order), and exactly the
+  // three early-stop-or-better outcomes count as usable.
+  std::vector<bool> seen(6, false);
+  for (const SolveStatus s : kAllStatuses) {
+    const int rank = StatusSeverity(s);
+    ASSERT_GE(rank, 0);
+    ASSERT_LT(rank, 6);
+    EXPECT_FALSE(seen[rank]) << "duplicate severity " << rank;
+    seen[rank] = true;
+    EXPECT_EQ(StatusIsUsable(s), rank <= StatusSeverity(
+                                             SolveStatus::kBudgetExhausted));
+  }
+}
+
+TEST(SolveStatusTest, MergingAUsableWithAnUnusableIsUnusable) {
+  EXPECT_FALSE(StatusIsUsable(
+      MergeStatus(SolveStatus::kConverged, SolveStatus::kNonFinite)));
+  EXPECT_TRUE(StatusIsUsable(
+      MergeStatus(SolveStatus::kMaxIterations, SolveStatus::kBudgetExhausted)));
+}
+
+TEST(WorkBudgetTest, ArcCapIsDeterministicAndSticky) {
+  WorkBudget budget(100);
+  budget.Charge(60);
+  EXPECT_FALSE(budget.Exhausted());
+  budget.Charge(40);
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.Spent(), 100);
+  EXPECT_EQ(budget.Limit(), 100);
+  // Sticky: the flag survives even though no further charges arrive.
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(WorkBudgetTest, UnlimitedBudgetNeverExhausts) {
+  WorkBudget budget;
+  budget.Charge(1 << 30);
+  EXPECT_FALSE(budget.Exhausted());
+  EXPECT_EQ(budget.Limit(), 0);
+}
+
+TEST(WorkBudgetTest, ForceExhaustedShortCircuits) {
+  WorkBudget budget(1 << 20);
+  budget.ForceExhausted();
+  EXPECT_TRUE(budget.Exhausted());
+  EXPECT_EQ(budget.Spent(), 0);
+}
+
+TEST(WorkBudgetTest, WallClockDeadlineIsOptInAndOnlyCheckedInExhausted) {
+  // A generous arc cap with a ~10ms deadline: Charge() alone never
+  // trips it (the deadline is consulted only at chunk boundaries,
+  // i.e. inside Exhausted()).
+  WorkBudget budget(1 << 30, /*wall_clock_seconds=*/0.01);
+  budget.Charge(5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  budget.Charge(5);  // Still a bare add; no deadline check here.
+  EXPECT_EQ(budget.Spent(), 10);
+  EXPECT_TRUE(budget.Exhausted());
+}
+
+TEST(WorkBudgetTest, ZeroWallClockMeansNoDeadline) {
+  WorkBudget budget(1 << 30, /*wall_clock_seconds=*/0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(budget.Exhausted());
+}
+
+}  // namespace
+}  // namespace impreg

@@ -1,0 +1,135 @@
+// impreg_bench_diff — the bench regression gate.
+//
+// Compares two bench reports (impreg-bench-v2 objects or v1 bare
+// arrays, see bench/report.h) benchmark-by-benchmark and exits
+// non-zero when any shared benchmark slowed down past the threshold.
+// Wired into ctest (label "observability") so a perf regression fails
+// the suite the same way a wrong answer does.
+//
+// Usage:
+//   impreg_bench_diff <baseline.json> <candidate.json> [--max-regress=10%]
+//
+// The threshold accepts "10%", "0.10", or "0.10%"-style spellings; a
+// bare number <= 1 is a fraction, otherwise a percentage. Exit codes
+// follow impreg_cli: 0 gate passed, 1 regression(s), 2 usage error,
+// 3 unreadable/malformed input.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/report.h"
+
+namespace impreg {
+namespace {
+
+constexpr int kExitRegression = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: impreg_bench_diff <baseline.json> <candidate.json> "
+      "[--max-regress=10%%]\n"
+      "\n"
+      "Compares two bench reports (bench/report.h formats) and exits\n"
+      "non-zero when a shared benchmark regressed past the threshold\n"
+      "(default 10%%).\n"
+      "\n"
+      "exit codes: 0 gate passed, 1 regression, 2 usage, 3 bad input\n");
+  return kExitUsage;
+}
+
+/// Parses "10%", "10 %", "0.10": a trailing '%' divides by 100, a bare
+/// value > 1 is treated as a percentage too (nobody means a 12x
+/// slowdown allowance by "--max-regress=12"). Returns < 0 on garbage.
+double ParseThreshold(const std::string& text) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return -1.0;
+  while (*end == ' ') ++end;
+  if (*end == '%') {
+    value /= 100.0;
+    ++end;
+  } else if (value > 1.0) {
+    value /= 100.0;
+  }
+  if (*end != '\0') return -1.0;
+  if (value < 0.0) return -1.0;
+  return value;
+}
+
+int Run(int argc, char** argv) {
+  std::string old_path, new_path;
+  double max_regress = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--max-regress=", 14) == 0) {
+      max_regress = ParseThreshold(arg + 14);
+      if (max_regress < 0.0) {
+        std::fprintf(stderr, "impreg_bench_diff: bad threshold '%s'\n",
+                     arg + 14);
+        return kExitUsage;
+      }
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "impreg_bench_diff: unknown flag '%s'\n", arg);
+      return kExitUsage;
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (old_path.empty() || new_path.empty()) return Usage();
+
+  const BenchParseResult old_report = ReadBenchReport(old_path);
+  if (!old_report.ok()) {
+    std::fprintf(stderr, "impreg_bench_diff: %s: %s\n", old_path.c_str(),
+                 old_report.error.c_str());
+    return kExitInput;
+  }
+  const BenchParseResult new_report = ReadBenchReport(new_path);
+  if (!new_report.ok()) {
+    std::fprintf(stderr, "impreg_bench_diff: %s: %s\n", new_path.c_str(),
+                 new_report.error.c_str());
+    return kExitInput;
+  }
+
+  const BenchDiffResult diff =
+      DiffBenchReports(old_report.records, new_report.records, max_regress);
+  if (diff.entries.empty()) {
+    std::fprintf(stderr,
+                 "impreg_bench_diff: no shared benchmarks between '%s' "
+                 "and '%s'\n",
+                 old_path.c_str(), new_path.c_str());
+    return kExitInput;
+  }
+
+  std::printf("%-40s %14s %14s %8s\n", "benchmark", "old ns/iter",
+              "new ns/iter", "ratio");
+  for (const BenchDiffEntry& e : diff.entries) {
+    std::printf("%-40s %14.1f %14.1f %7.3f%s\n", e.bench.c_str(), e.old_ns,
+                e.new_ns, e.ratio, e.regressed ? "  REGRESSED" : "");
+  }
+  for (const std::string& bench : diff.only_old) {
+    std::printf("%-40s (baseline only)\n", bench.c_str());
+  }
+  for (const std::string& bench : diff.only_new) {
+    std::printf("%-40s (candidate only)\n", bench.c_str());
+  }
+  std::printf("%zu shared benchmark(s), threshold +%.1f%%: %d regression(s)\n",
+              diff.entries.size(), 100.0 * max_regress, diff.regressions);
+  return diff.ok() ? 0 : kExitRegression;
+}
+
+}  // namespace
+}  // namespace impreg
+
+int main(int argc, char** argv) { return impreg::Run(argc, argv); }

@@ -54,6 +54,12 @@ void PrintHelp(std::FILE* out) {
       "  generate   <family> <n> <out> [seed]    family: "
       "social|ba|er|forestfire\n"
       "\n"
+      "global flags (before or after the command):\n"
+      "  --metrics            print the metrics snapshot (solver\n"
+      "                       counters, pool busy time) to stderr\n"
+      "  --trace-json=FILE    record per-solver convergence traces and\n"
+      "                       write the impreg-trace-v1 JSON to FILE\n"
+      "\n"
       "exit codes:\n"
       "  0  success\n"
       "  2  usage error\n"
@@ -268,6 +274,30 @@ int CmdGenerate(const std::string& family, NodeId n, const std::string& out,
 }
 
 int Run(int argc, char** argv) {
+  // Observability flags are position-independent: strip them before
+  // command dispatch. Collection is enabled *before* the command runs
+  // and never feeds back into it — outputs are bit-identical either
+  // way (core/metrics.h, core/trace.h).
+  bool want_metrics = false;
+  std::string trace_json_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
+      if (trace_json_path.empty()) {
+        std::fprintf(stderr, "impreg_cli: --trace-json needs a file name\n");
+        return kExitUsage;
+      }
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+  if (want_metrics) ImpregEnableMetrics(true);
+  if (!trace_json_path.empty()) TraceCollector::Get().Enable();
+
   if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
                     std::strcmp(argv[1], "-h") == 0 ||
                     std::strcmp(argv[1], "help") == 0)) {
@@ -276,28 +306,47 @@ int Run(int argc, char** argv) {
   }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
-  if (command == "stats") return CmdStats(argv[2]);
-  if (command == "v2") return CmdV2(argv[2]);
-  if (command == "cluster" && argc >= 4) {
-    return CmdCluster(argv[2], argc - 3, argv + 3);
+  const int code = [&]() -> int {
+    if (command == "stats") return CmdStats(argv[2]);
+    if (command == "v2") return CmdV2(argv[2]);
+    if (command == "cluster" && argc >= 4) {
+      return CmdCluster(argv[2], argc - 3, argv + 3);
+    }
+    if (command == "ncp") return CmdNcp(argv[2]);
+    if (command == "pagerank") {
+      const double gamma = argc >= 4 ? std::strtod(argv[3], nullptr) : 0.15;
+      return CmdPageRank(argv[2], gamma);
+    }
+    if (command == "partition" && argc >= 4) {
+      return CmdPartition(argv[2], static_cast<int>(
+                                       std::strtol(argv[3], nullptr, 10)));
+    }
+    if (command == "generate" && argc >= 5) {
+      const std::uint64_t seed =
+          argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 42;
+      return CmdGenerate(argv[2],
+                         static_cast<NodeId>(std::strtol(argv[3], nullptr, 10)),
+                         argv[4], seed);
+    }
+    return Usage();
+  }();
+
+  // Observability output is emitted even when the command failed —
+  // a kExitSolver trace is exactly when you want the trajectory.
+  if (want_metrics) {
+    std::fprintf(stderr, "%s",
+                 MetricsRegistry::Get().Snapshot().ToText().c_str());
   }
-  if (command == "ncp") return CmdNcp(argv[2]);
-  if (command == "pagerank") {
-    const double gamma = argc >= 4 ? std::strtod(argv[3], nullptr) : 0.15;
-    return CmdPageRank(argv[2], gamma);
+  if (!trace_json_path.empty()) {
+    if (!TraceCollector::Get().WriteJson(trace_json_path)) {
+      std::fprintf(stderr, "impreg_cli: cannot write '%s'\n",
+                   trace_json_path.c_str());
+      return code == 0 ? kExitInput : code;
+    }
+    std::fprintf(stderr, "impreg_cli: trace written to %s\n",
+                 trace_json_path.c_str());
   }
-  if (command == "partition" && argc >= 4) {
-    return CmdPartition(argv[2], static_cast<int>(
-                                     std::strtol(argv[3], nullptr, 10)));
-  }
-  if (command == "generate" && argc >= 5) {
-    const std::uint64_t seed =
-        argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 42;
-    return CmdGenerate(argv[2],
-                       static_cast<NodeId>(std::strtol(argv[3], nullptr, 10)),
-                       argv[4], seed);
-  }
-  return Usage();
+  return code;
 }
 
 }  // namespace
