@@ -420,6 +420,65 @@ void BM_ChebyshevPpr(benchmark::State& state) {
 }
 BENCHMARK(BM_ChebyshevPpr);
 
+// The serving-layer record family: the same PPR push query answered
+// cold (cache off), warm (post-AddEdge restart from the cached (p, r)
+// pair), and cached (exact hit). The cold/warm/cached ordering is the
+// point — impreg_bench_diff tracks all three, so a regression in the
+// warm-restart path shows up even while cold stays flat.
+Query BenchPprQuery() {
+  Query q;
+  q.method = QueryMethod::kPprPush;
+  q.seeds = {3, 17};
+  q.epsilon = 1e-4;
+  return q;
+}
+
+void BM_QueryServeCold(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 13);
+  QueryEngine::Options options;
+  options.enable_cache = false;
+  QueryEngine engine(g, options);
+  const std::vector<Query> batch = {BenchPprQuery()};
+  for (auto _ : state) {
+    const std::vector<QueryResponse> responses = engine.RunBatch(batch);
+    benchmark::DoNotOptimize(responses.front().scores.data());
+  }
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_QueryServeCold);
+
+void BM_QueryServeCached(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 13);
+  QueryEngine engine(g);
+  const std::vector<Query> batch = {BenchPprQuery()};
+  engine.RunBatch(batch);  // Prime: every timed iteration is a hit.
+  for (auto _ : state) {
+    const std::vector<QueryResponse> responses = engine.RunBatch(batch);
+    benchmark::DoNotOptimize(responses.front().scores.data());
+  }
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_QueryServeCached);
+
+void BM_QueryServeWarm(benchmark::State& state) {
+  const Graph& g = BenchGraph(1 << 13);
+  QueryEngine engine(g);
+  const std::vector<Query> batch = {BenchPprQuery()};
+  engine.RunBatch(batch);  // Seed the warm index.
+  const NodeId n = g.NumNodes();
+  NodeId next = 0;
+  for (auto _ : state) {
+    // Each edit bumps the epoch, so the exact key misses and the push
+    // warm-restarts from the cached (p, r) via InvariantResidual.
+    engine.AddEdge(next % n, (next * 7 + 1) % n, 1e-3);
+    ++next;
+    const std::vector<QueryResponse> responses = engine.RunBatch(batch);
+    benchmark::DoNotOptimize(responses.front().scores.data());
+  }
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_QueryServeWarm);
+
 // Console output as usual, plus one BenchRecord per (non-aggregate)
 // run for the JSON report.
 class JsonDumpReporter : public benchmark::ConsoleReporter {

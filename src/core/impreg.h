@@ -17,6 +17,7 @@
 ///   flow/        max-flow, MQI, FlowImprove, multilevel (§3.2 flow
 ///                family)
 ///   ncp/         network community profiles + niceness (Figure 1)
+///   service/     batched query serving + deterministic result cache
 ///   core/        the ApproximateSecondEigenvector facade
 
 #include "core/approx_eigenvector.h"
@@ -68,6 +69,9 @@
 #include "ranking/centrality.h"
 #include "ranking/compare.h"
 #include "regularization/sdp.h"
+#include "service/query_engine.h"
+#include "service/result_cache.h"
+#include "service/wire.h"
 #include "streaming/dynamic_graph.h"
 #include "streaming/incremental_ppr.h"
 #include "streaming/montecarlo.h"

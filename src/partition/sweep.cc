@@ -133,7 +133,19 @@ SweepResult SweepCutOverSupport(const Graph& g, const Vector& values,
 SweepResult SweepCutOverNodes(const Graph& g, const Vector& values,
                               std::vector<NodeId> nodes,
                               const SweepOptions& options) {
-  for (NodeId u : nodes) IMPREG_CHECK(g.IsValidNode(u));
+  // A duplicated id would silently overwrite its rank and add
+  // g.Degree(u) to the prefix volume once per copy, corrupting the
+  // conductance profile and the chosen set — keep the first occurrence
+  // of each id only.
+  std::vector<char> seen(g.NumNodes(), 0);
+  std::size_t kept = 0;
+  for (NodeId u : nodes) {
+    IMPREG_CHECK(g.IsValidNode(u));
+    if (seen[u]) continue;
+    seen[u] = 1;
+    nodes[kept++] = u;
+  }
+  nodes.resize(kept);
   return RunSweep(g, values, std::move(nodes), options);
 }
 

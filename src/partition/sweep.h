@@ -65,9 +65,12 @@ SweepResult SweepCutOverSupport(const Graph& g, const Vector& values,
                                 const SweepOptions& options = {},
                                 double threshold = 0.0);
 
-/// Sweep restricted to an explicit candidate node list (distinct ids).
-/// Touches only `nodes`, their incident edges, and O(|nodes| log) for
-/// the ordering — fully independent of n.
+/// Sweep restricted to an explicit candidate node list. Duplicate ids
+/// are dropped (first occurrence wins, order preserved) — they would
+/// otherwise double-count degrees in the prefix volume scan. Touches
+/// only `nodes`, their incident edges, and O(|nodes| log) for the
+/// ordering — fully independent of n (plus an O(n) seen-flag
+/// allocation for the dedup).
 SweepResult SweepCutOverNodes(const Graph& g, const Vector& values,
                               std::vector<NodeId> nodes,
                               const SweepOptions& options = {});

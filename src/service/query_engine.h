@@ -1,0 +1,180 @@
+#ifndef IMPREG_SERVICE_QUERY_ENGINE_H_
+#define IMPREG_SERVICE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solve_status.h"
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+#include "service/result_cache.h"
+#include "streaming/dynamic_graph.h"
+
+/// \file
+/// The query-serving layer: batched seed-set queries over one evolving
+/// graph.
+///
+/// The ROADMAP's target workload is *per-seed queries* — the paper's
+/// central objects (push PPR, heat-kernel relaxation, Nibble community
+/// sweeps) are all "given this seed set, diffuse locally and answer",
+/// which is exactly what a serving system amortizes:
+///
+///  - identical requests in a batch are deduplicated and answered once;
+///  - independent queries execute through the deterministic ParallelFor
+///    pool (each inner solver is single-threaded there, so answers are
+///    bit-identical at any thread count);
+///  - compatible dense diffusion solves (method "ppr-dense") are grouped
+///    and driven in lockstep through LinearOperator::ApplyBatch — one
+///    adjacency traversal per Richardson step for the whole group, each
+///    column bit-identical to its solo solve;
+///  - results land in a deterministic FIFO ResultCache keyed by (graph
+///    epoch, method, parameters, seed fingerprint); push-family entries
+///    keep their (p, r) invariant pair, so a tighter-ε or post-AddEdge
+///    re-query warm-restarts from the residual (InvariantResidual — the
+///    IncrementalPersonalizedPageRank repair generalized) instead of
+///    recomputing.
+///
+/// Budgeted queries degrade, never lie: a per-query WorkBudget that
+/// runs out yields a best-so-far answer carrying kBudgetExhausted and
+/// `degraded = true`. See docs/serving.md.
+
+namespace impreg {
+
+/// Which diffusion answers the query.
+enum class QueryMethod {
+  kPprPush,     ///< Standard-form signed-residual push (warm-restartable).
+  kPprDense,    ///< Dense Richardson PPR, grouped through ApplyBatch.
+  kHeatKernel,  ///< hk-relax + sweep (community query).
+  kNibble,      ///< Truncated lazy walk + sweep (community query).
+};
+
+/// Stable names: "ppr", "ppr-dense", "heat-kernel", "nibble".
+const char* QueryMethodName(QueryMethod method);
+
+/// Parses a stable name; false on unknown.
+bool QueryMethodFromName(const std::string& name, QueryMethod* method);
+
+/// One seed-set query. Fields beyond `method`/`seeds` are per-method
+/// parameters; irrelevant ones are ignored (and excluded from the
+/// cache key).
+struct Query {
+  QueryMethod method = QueryMethod::kPprPush;
+  /// Seed nodes (deduplicated and sorted internally; the seed
+  /// distribution is uniform over the distinct ids).
+  std::vector<NodeId> seeds;
+  /// Teleportation γ (kPprPush, kPprDense).
+  double gamma = 0.15;
+  /// Push residual tolerance (kPprPush) / truncation threshold
+  /// (kNibble) / Taylor tail tolerance (kHeatKernel).
+  double epsilon = 1e-6;
+  /// Dense Richardson L1 stopping tolerance (kPprDense).
+  double tolerance = 1e-12;
+  /// Dense Richardson iteration cap (kPprDense).
+  int max_iterations = 10000;
+  /// Diffusion time (kHeatKernel).
+  double t = 10.0;
+  /// Per-step truncation threshold (kHeatKernel).
+  double delta = 1e-5;
+  /// Lazy-walk steps (kNibble).
+  int steps = 40;
+  /// Per-query work budget in arc traversals (0 = unlimited).
+  std::int64_t max_work = 0;
+};
+
+/// Where an answer came from.
+enum class QuerySource {
+  kCold,    ///< Computed from scratch.
+  kWarm,    ///< Push warm-restarted from a cached (p, r) pair.
+  kCached,  ///< Served verbatim from the cache.
+};
+
+/// Stable names: "cold", "warm", "cached".
+const char* QuerySourceName(QuerySource source);
+
+/// One answered query.
+struct QueryResponse {
+  /// The diffusion vector (PPR scores / ρ / nibble distribution).
+  Vector scores;
+  /// Community set (kHeatKernel, kNibble; empty for the PPR methods).
+  std::vector<NodeId> set;
+  double conductance = 1.0;
+  /// Work spent answering (pushes / terms·support / step·support /
+  /// iterations·arcs); 0 for a cache hit.
+  std::int64_t work = 0;
+  SolveStatus status = SolveStatus::kConverged;
+  QuerySource source = QuerySource::kCold;
+  /// True when status != kConverged: the answer is early-stopped,
+  /// budget-truncated, or a safe fallback — marked, never silent.
+  bool degraded = false;
+  std::string detail;
+};
+
+/// Serves batches of queries over one evolving graph.
+///
+/// Determinism: for a fixed request sequence and cache configuration,
+/// every response (and the cache contents) is bit-identical at any
+/// thread count — cache phases are sequential in batch order, and the
+/// parallel execution phase computes each query independently with
+/// deterministic kernels. Not thread-safe: one engine, one caller.
+class QueryEngine {
+ public:
+  struct Options {
+    /// Retained cache entries (FIFO eviction).
+    std::size_t cache_capacity = 256;
+    /// Disable to force every query cold (determinism tests, benches).
+    bool enable_cache = true;
+  };
+
+  explicit QueryEngine(const Graph& initial);
+  QueryEngine(const Graph& initial, const Options& options);
+  explicit QueryEngine(const DynamicGraph& initial);
+  QueryEngine(const DynamicGraph& initial, const Options& options);
+
+  /// Inserts undirected edge {u, v} and bumps the graph epoch. Cached
+  /// entries from older epochs stop exact-matching but remain
+  /// warm-restart sources for the push family.
+  void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Answers a batch: validate → canonicalize → dedup → sequential
+  /// cache lookups → parallel/grouped execution → sequential cache
+  /// inserts. Responses align index-for-index with `queries`.
+  std::vector<QueryResponse> RunBatch(const std::vector<Query>& queries);
+
+  /// Convenience single-query form (a batch of one).
+  QueryResponse Run(const Query& query);
+
+  /// Monotone edit counter; part of every exact cache key.
+  std::int64_t Epoch() const { return epoch_; }
+
+  const DynamicGraph& graph() const { return graph_; }
+  const ResultCache& cache() const { return cache_; }
+
+  /// The canonical exact cache key for `query` at `epoch` (exposed so
+  /// tests can pin the keying scheme). Seeds are fingerprinted sorted
+  /// and deduplicated; parameters print as %.17g.
+  static std::string CanonicalKey(const Query& query, std::int64_t epoch);
+
+ private:
+  struct WorkItem;
+
+  /// The frozen CSR snapshot of the current epoch (rebuilt lazily
+  /// after AddEdge); used by the dense/heat-kernel/nibble paths.
+  const Graph& Frozen();
+
+  void ExecuteItem(WorkItem& item, const Graph* frozen);
+  void ExecutePush(WorkItem& item);
+  void RunDenseGroup(const Graph& frozen, std::vector<WorkItem*>& group);
+
+  Options options_;
+  DynamicGraph graph_;
+  std::int64_t epoch_ = 0;
+  ResultCache cache_;
+  std::unique_ptr<Graph> frozen_;
+  std::int64_t frozen_epoch_ = -1;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_QUERY_ENGINE_H_

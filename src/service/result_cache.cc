@@ -1,0 +1,116 @@
+#include "service/result_cache.h"
+
+#include "core/metrics.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace impreg {
+
+namespace {
+
+bool PayloadFinite(const CachedResult& result) {
+  if (!AllFinite(result.scores)) return false;
+  if (result.has_state && (!AllFinite(result.p) || !AllFinite(result.r))) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  IMPREG_CHECK_MSG(capacity_ >= 1, "cache capacity must be >= 1");
+}
+
+const CachedResult* ResultCache::Lookup(const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    IMPREG_METRIC_COUNT("service.cache.misses", 1);
+    return nullptr;
+  }
+  ++stats_.hits;
+  IMPREG_METRIC_COUNT("service.cache.hits", 1);
+  return &it->second->result;
+}
+
+const CachedResult* ResultCache::WarmLookup(const std::string& warm_key) {
+  const auto it = warm_index_.find(warm_key);
+  if (it == warm_index_.end()) return nullptr;
+  ++stats_.warm_hits;
+  IMPREG_METRIC_COUNT("service.cache.warm_hits", 1);
+  return &it->second->result;
+}
+
+bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
+                         CachedResult result) {
+  // The one place a computed answer crosses into long-lived state — the
+  // fault site lets the robustness suite prove a poisoned payload is
+  // contained here (rejected below), never cached, never served.
+  IMPREG_FAULT_POINT("service/cache_insert", result.scores);
+  if (!PayloadFinite(result)) {
+    ++stats_.rejected;
+    IMPREG_METRIC_COUNT("service.cache.rejected", 1);
+    return false;
+  }
+
+  const auto existing = index_.find(key);
+  if (existing != index_.end()) {
+    // Replace in place: the entry keeps its insertion-order position
+    // (replacement is not an insertion for eviction purposes).
+    EntryList::iterator entry = existing->second;
+    const auto old_warm = warm_index_.find(entry->warm_key);
+    if (old_warm != warm_index_.end() && old_warm->second == entry) {
+      warm_index_.erase(old_warm);
+    }
+    entry->warm_key = warm_key;
+    entry->result = std::move(result);
+    if (entry->result.has_state && !warm_key.empty()) {
+      warm_index_[warm_key] = entry;
+    }
+    ++stats_.insertions;
+    IMPREG_METRIC_COUNT("service.cache.insertions", 1);
+    return true;
+  }
+
+  if (entries_.size() >= capacity_) {
+    // FIFO: evict the oldest insertion — never access recency, so the
+    // retained set after any request sequence is replay-deterministic.
+    EntryList::iterator oldest = entries_.begin();
+    index_.erase(oldest->key);
+    const auto warm = warm_index_.find(oldest->warm_key);
+    if (warm != warm_index_.end() && warm->second == oldest) {
+      warm_index_.erase(warm);
+    }
+    entries_.pop_front();
+    ++stats_.evictions;
+    IMPREG_METRIC_COUNT("service.cache.evictions", 1);
+  }
+
+  entries_.push_back(Entry{key, warm_key, std::move(result)});
+  EntryList::iterator entry = std::prev(entries_.end());
+  index_[key] = entry;
+  if (entry->result.has_state && !warm_key.empty()) {
+    // Latest insertion wins the warm slot: it is the freshest (p, r)
+    // for this (method, γ, seed) fingerprint.
+    warm_index_[warm_key] = entry;
+  }
+  ++stats_.insertions;
+  IMPREG_METRIC_COUNT("service.cache.insertions", 1);
+  return true;
+}
+
+std::vector<std::string> ResultCache::KeysInInsertionOrder() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const Entry& e : entries_) keys.push_back(e.key);
+  return keys;
+}
+
+void ResultCache::Clear() {
+  entries_.clear();
+  index_.clear();
+  warm_index_.clear();
+}
+
+}  // namespace impreg

@@ -1,0 +1,126 @@
+#ifndef IMPREG_SERVICE_RESULT_CACHE_H_
+#define IMPREG_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solve_status.h"
+#include "graph/graph.h"
+#include "linalg/vector_ops.h"
+
+/// \file
+/// Deterministic result cache for the query-serving layer.
+///
+/// Mahoney–Orecchia (1010.0703) is what makes a cache of *approximate*
+/// answers sound: an early-stopped diffusion is not a sloppy version of
+/// the exact answer but the exact optimum of a regularized problem, so
+/// a cached result is a well-defined object that can be served again —
+/// and, for the push family, its (p, r) pair is a certified
+/// intermediate state that a tighter-ε or post-edit re-query can
+/// warm-restart from instead of recomputing.
+///
+/// Determinism contract: the cache is a plain FIFO keyed by canonical
+/// strings. Eviction follows insertion order only (never access
+/// recency), and the engine performs all lookups and inserts in
+/// sequential batch phases, so the cache contents after any request
+/// sequence are bit-identical at any thread count — replay is exact.
+///
+/// The cache is deliberately NOT thread-safe; the engine serializes
+/// access around its parallel execution phase.
+
+namespace impreg {
+
+/// One cached answer, keyed by (graph epoch, method, parameters, seed
+/// fingerprint).
+struct CachedResult {
+  /// The served vector (PPR scores, heat-kernel ρ, nibble
+  /// distribution).
+  Vector scores;
+  /// Community set for the sweep-producing methods (empty otherwise).
+  std::vector<NodeId> set;
+  double conductance = 1.0;
+  /// Work the original solve spent (pushes / terms / steps).
+  std::int64_t work = 0;
+  /// Status of the original solve. Only usable statuses are cached;
+  /// a degraded-but-usable answer (kBudgetExhausted) keeps its marking
+  /// when served again.
+  SolveStatus status = SolveStatus::kConverged;
+  std::string detail;
+  /// Warm-restart state (push family only): the (p, r) invariant pair,
+  /// the graph epoch it was computed at, and the ε it satisfies.
+  bool has_state = false;
+  Vector p;
+  Vector r;
+  std::int64_t epoch = 0;
+  double epsilon = 0.0;
+};
+
+/// Hit/miss/eviction accounting (also mirrored into service.cache.*
+/// metrics when metrics are enabled).
+struct ResultCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t warm_hits = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  /// Inserts refused because the payload had non-finite entries (the
+  /// fault-containment path: a poisoned result is dropped, never
+  /// served).
+  std::int64_t rejected = 0;
+};
+
+/// String-keyed FIFO cache with a secondary warm-restart index.
+class ResultCache {
+ public:
+  /// `capacity` = maximum retained entries (≥ 1).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Exact lookup; counts a hit or a miss. Returned pointer is valid
+  /// until the next Insert/Clear.
+  const CachedResult* Lookup(const std::string& key);
+
+  /// Warm lookup: the most recently inserted entry carrying
+  /// warm-restart state under `warm_key` (method + γ + seed
+  /// fingerprint, no epoch/ε — that is what makes tighter-ε and
+  /// post-edit queries land here). Does not count toward hit/miss;
+  /// counts warm_hits when it returns an entry.
+  const CachedResult* WarmLookup(const std::string& warm_key);
+
+  /// Inserts (or replaces in place) under `key`. Entries with
+  /// non-finite scores or state are rejected (counted in
+  /// stats().rejected) — this is the IMPREG_FAULT_POINT
+  /// "service/cache_insert" containment path. When full, the oldest
+  /// insertion is evicted first. Returns true when stored.
+  bool Insert(const std::string& key, const std::string& warm_key,
+              CachedResult result);
+
+  std::size_t Size() const { return entries_.size(); }
+  std::size_t Capacity() const { return capacity_; }
+  const ResultCacheStats& stats() const { return stats_; }
+
+  /// Keys oldest-insertion-first (test/debug aid).
+  std::vector<std::string> KeysInInsertionOrder() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string warm_key;
+    CachedResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  std::size_t capacity_;
+  EntryList entries_;  ///< front = oldest insertion.
+  std::unordered_map<std::string, EntryList::iterator> index_;
+  std::unordered_map<std::string, EntryList::iterator> warm_index_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_RESULT_CACHE_H_

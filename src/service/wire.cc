@@ -1,0 +1,210 @@
+#include "service/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace impreg {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Minimal escaping for the echoed id (the only free-form string we
+/// emit): backslash, quote, and control characters.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool ReadNumber(const JsonValue& obj, const char* key, double* out) {
+  const JsonValue* v = obj.FindOfType(key, JsonValue::Type::kNumber);
+  if (v == nullptr) return false;
+  *out = v->AsDouble();
+  return true;
+}
+
+bool ReadInt(const JsonValue& obj, const char* key, std::int64_t* out) {
+  double d = 0.0;
+  if (!ReadNumber(obj, key, &d)) return false;
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+}  // namespace
+
+bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
+                       std::string* error) {
+  *out = QueryRequest{};
+  JsonParseResult parsed = JsonParse(json_line);
+  if (!parsed.ok()) {
+    *error = parsed.error;
+    return false;
+  }
+  const JsonValue& obj = parsed.value;
+  if (!obj.is_object()) {
+    *error = "request line is not a JSON object";
+    return false;
+  }
+
+  const JsonValue* id = obj.FindOfType("id", JsonValue::Type::kString);
+  if (id != nullptr) out->id = id->AsString();
+
+  std::string op = "query";
+  const JsonValue* op_value = obj.FindOfType("op", JsonValue::Type::kString);
+  if (op_value != nullptr) op = op_value->AsString();
+
+  if (op == "add-edge") {
+    out->is_add_edge = true;
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!ReadInt(obj, "u", &u) || !ReadInt(obj, "v", &v)) {
+      *error = "add-edge requires numeric \"u\" and \"v\"";
+      return false;
+    }
+    out->u = static_cast<NodeId>(u);
+    out->v = static_cast<NodeId>(v);
+    double weight = 1.0;
+    if (ReadNumber(obj, "weight", &weight)) {
+      if (!(weight > 0.0) || !std::isfinite(weight)) {
+        *error = "add-edge weight must be a finite positive number";
+        return false;
+      }
+      out->weight = weight;
+    }
+    return true;
+  }
+  if (op != "query") {
+    *error = "unknown op \"" + op + "\" (expected \"query\" or \"add-edge\")";
+    return false;
+  }
+
+  const JsonValue* method =
+      obj.FindOfType("method", JsonValue::Type::kString);
+  if (method != nullptr &&
+      !QueryMethodFromName(method->AsString(), &out->query.method)) {
+    *error = "unknown method \"" + method->AsString() +
+             "\" (expected ppr, ppr-dense, heat-kernel, or nibble)";
+    return false;
+  }
+
+  const JsonValue* seeds = obj.FindOfType("seeds", JsonValue::Type::kArray);
+  if (seeds == nullptr || seeds->Items().empty()) {
+    *error = "query requires a non-empty \"seeds\" array";
+    return false;
+  }
+  for (const JsonValue& s : seeds->Items()) {
+    if (!s.is_number()) {
+      *error = "\"seeds\" entries must be numbers";
+      return false;
+    }
+    out->query.seeds.push_back(static_cast<NodeId>(s.AsDouble()));
+  }
+
+  ReadNumber(obj, "gamma", &out->query.gamma);
+  ReadNumber(obj, "epsilon", &out->query.epsilon);
+  ReadNumber(obj, "tolerance", &out->query.tolerance);
+  std::int64_t iters = 0;
+  if (ReadInt(obj, "max_iterations", &iters)) {
+    out->query.max_iterations = static_cast<int>(iters);
+  }
+  ReadNumber(obj, "t", &out->query.t);
+  ReadNumber(obj, "delta", &out->query.delta);
+  std::int64_t steps = 0;
+  if (ReadInt(obj, "steps", &steps)) {
+    out->query.steps = static_cast<int>(steps);
+  }
+  ReadInt(obj, "max_work", &out->query.max_work);
+  std::int64_t top = 0;
+  if (ReadInt(obj, "top", &top)) {
+    out->top = static_cast<int>(std::max<std::int64_t>(top, 0));
+  }
+  return true;
+}
+
+std::string QueryResponseToJson(const QueryRequest& request,
+                                const QueryResponse& response,
+                                std::int64_t epoch) {
+  const Vector& scores = response.scores;
+  std::int64_t support = 0;
+  for (double s : scores) {
+    if (s > 0.0) ++support;
+  }
+
+  // Top-k by score descending, node id ascending on ties; only
+  // positive-score nodes compete. Full sort keeps the order total and
+  // replay-stable.
+  std::vector<std::pair<double, NodeId>> ranked;
+  for (NodeId u = 0; u < static_cast<NodeId>(scores.size()); ++u) {
+    if (scores[u] > 0.0) ranked.emplace_back(scores[u], u);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<double, NodeId>& a,
+               const std::pair<double, NodeId>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  if (static_cast<int>(ranked.size()) > request.top) {
+    ranked.resize(request.top);
+  }
+
+  std::string out = "{\"schema\":\"impreg-query-response-v1\"";
+  out += ",\"id\":\"" + EscapeJson(request.id) + "\"";
+  out += ",\"method\":\"";
+  out += QueryMethodName(request.query.method);
+  out += "\"";
+  out += ",\"status\":\"";
+  out += SolveStatusName(response.status);
+  out += "\"";
+  out += ",\"source\":\"";
+  out += QuerySourceName(response.source);
+  out += "\"";
+  out += ",\"degraded\":";
+  out += response.degraded ? "true" : "false";
+  out += ",\"epoch\":" + std::to_string(epoch);
+  out += ",\"support\":" + std::to_string(support);
+  out += ",\"work\":" + std::to_string(response.work);
+  out += ",\"conductance\":" + FormatDouble(response.conductance);
+  out += ",\"set\":[";
+  for (std::size_t i = 0; i < response.set.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(response.set[i]);
+  }
+  out += "]";
+  out += ",\"top\":[";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "[" + std::to_string(ranked[i].second) + "," +
+           FormatDouble(ranked[i].first) + "]";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace impreg

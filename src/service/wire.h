@@ -1,0 +1,57 @@
+#ifndef IMPREG_SERVICE_WIRE_H_
+#define IMPREG_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/query_engine.h"
+
+/// \file
+/// JSONL wire format for the query-serving layer.
+///
+/// Requests are one JSON object per line. Two shapes:
+///
+///   {"op": "add-edge", "u": 3, "v": 7, "weight": 0.5}
+///   {"id": "q1", "method": "ppr", "seeds": [0, 4],
+///    "gamma": 0.15, "epsilon": 1e-6, "top": 5}
+///
+/// `op` defaults to "query". Query fields beyond `seeds` are optional
+/// and default to the Query struct defaults; `method` is one of "ppr",
+/// "ppr-dense", "heat-kernel", "nibble". Responses follow the pinned
+/// schema "impreg-query-response-v1" (see docs/serving.md and the
+/// golden test in tests/service_test.cc).
+
+namespace impreg {
+
+/// One parsed request line: either a graph edit or a query.
+struct QueryRequest {
+  /// Caller-supplied id echoed back in the response ("" if absent).
+  std::string id;
+  /// True for {"op": "add-edge", ...} lines.
+  bool is_add_edge = false;
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+  /// The query (valid when !is_add_edge).
+  Query query;
+  /// How many top-scoring nodes the response lists (default 10).
+  int top = 10;
+};
+
+/// Parses one JSONL request line. Returns false with `*error` set on
+/// malformed JSON, unknown method/op, or missing required fields.
+/// Range-checking seeds against the graph is the caller's job (the
+/// engine reports kInvalidInput).
+bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
+                       std::string* error);
+
+/// Serializes one response as a single JSONL line (no trailing
+/// newline), schema "impreg-query-response-v1". Doubles print as
+/// %.17g so replayed output is bit-stable.
+std::string QueryResponseToJson(const QueryRequest& request,
+                                const QueryResponse& response,
+                                std::int64_t epoch);
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_WIRE_H_

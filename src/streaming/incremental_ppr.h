@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "linalg/vector_ops.h"
 #include "streaming/dynamic_graph.h"
 
@@ -25,7 +27,9 @@
 /// The punchline for the paper's thesis: the *approximation state* (the
 /// truncated residual) is exactly what makes cheap dynamic updates
 /// possible — maintaining the exact answer would cost a full solve per
-/// arrival.
+/// arrival. The same state is what makes cached answers *servable*: a
+/// stored (p, r) pair is a certified intermediate that the query engine
+/// (src/service/) warm-restarts from when ε tightens or edges arrive.
 
 namespace impreg {
 
@@ -35,7 +39,38 @@ struct IncrementalPprOptions {
   double gamma = 0.15;
   /// Residual tolerance: |r(u)| < ε·d(u) after every operation.
   double epsilon = 1e-6;
+  /// Optional cooperative budget (nullptr = unlimited), checked every
+  /// 256 pushes; on exhaustion the push loop stops there and the pair
+  /// (p, r) is returned best-so-far with the invariant intact
+  /// (kBudgetExhausted) — some residuals may still be over threshold.
+  WorkBudget* budget = nullptr;
 };
+
+/// The shared standard-form push kernel: drains `queue` (nodes with
+/// |r(u)| ≥ ε·d(u), flags mirrored in `queued`), transferring residual
+/// into p while preserving the invariant above. Handles *signed*
+/// residuals, so it is safe after edge-arrival repairs. Charges
+/// `options.budget` one unit per arc scanned and stops at the next
+/// 256-push boundary once the budget exhausts (queue and flags are left
+/// consistent, so a later call resumes). Fills `diagnostics`
+/// (kConverged or kBudgetExhausted) and returns the pushes performed.
+/// Used by IncrementalPersonalizedPageRank and the query engine's
+/// warm-restart path.
+std::int64_t StandardFormPush(const DynamicGraph& g,
+                              const IncrementalPprOptions& options,
+                              Vector& p, Vector& r,
+                              std::deque<NodeId>& queue,
+                              std::vector<char>& queued,
+                              SolverDiagnostics& diagnostics);
+
+/// Recomputes the invariant residual r = s + ((1−γ)/γ)·M p − (1/γ)·p
+/// for an arbitrary p on the *current* graph, in O(n + vol(supp(p))).
+/// This is the AddEdge repair generalized to any number of edge
+/// changes at once: a cached p from an older graph epoch gets an exact
+/// residual on the new graph with one sparse column scatter instead of
+/// a per-edge replay.
+Vector InvariantResidual(const DynamicGraph& g, const Vector& seed,
+                         const Vector& p, double gamma);
 
 /// Maintains an ε-approximate PPR vector under edge insertions.
 class IncrementalPersonalizedPageRank {
@@ -64,6 +99,13 @@ class IncrementalPersonalizedPageRank {
   /// Pushes performed by the last AddEdge call.
   std::int64_t LastEdgePushes() const { return last_edge_pushes_; }
 
+  /// Diagnostics of the most recent operation (construction or
+  /// AddEdge): kConverged when every residual is below threshold,
+  /// kBudgetExhausted when the shared budget stopped the push loop
+  /// early (Scores() is then the best-so-far estimate, invariant
+  /// intact).
+  const SolverDiagnostics& diagnostics() const { return diagnostics_; }
+
  private:
   void Enqueue(NodeId u);
   std::int64_t PushUntilConverged();
@@ -77,6 +119,7 @@ class IncrementalPersonalizedPageRank {
   std::vector<char> queued_;
   std::int64_t total_pushes_ = 0;
   std::int64_t last_edge_pushes_ = 0;
+  SolverDiagnostics diagnostics_;
 };
 
 }  // namespace impreg

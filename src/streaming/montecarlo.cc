@@ -1,14 +1,21 @@
 #include "streaming/montecarlo.h"
 
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/check.h"
 
 namespace impreg {
 
 namespace {
 
-// One γ-terminated walk from `start`; returns the termination node.
+// One γ-terminated walk from `start`; returns the termination node and
+// counts the edges traversed into `steps`.
 NodeId RunWalk(const Graph& g, NodeId start, const MonteCarloOptions& options,
-               Rng& rng) {
+               Rng& rng, std::int64_t& steps) {
   NodeId current = start;
   for (int step = 0; step < options.max_walk_length; ++step) {
     if (rng.NextBernoulli(options.gamma)) return current;
@@ -27,40 +34,98 @@ NodeId RunWalk(const Graph& g, NodeId start, const MonteCarloOptions& options,
       }
     }
     current = next;
+    ++steps;
   }
   return current;
 }
 
+// Shared walk driver: `starts_per_node` pairs (start node, walk count)
+// are consumed in order, one RNG stream, budget checked between walks.
+// The caller provides the total requested walk count for diagnostics.
+MonteCarloResult RunWalks(const Graph& g, NodeId first_node,
+                          NodeId last_node_exclusive,
+                          std::int64_t requested_walks,
+                          const MonteCarloOptions& options) {
+  MonteCarloResult result;
+  result.requested_walks = requested_walks;
+  result.scores.assign(g.NumNodes(), 0.0);
+
+  SolverTrace* trace = IMPREG_TRACE_BEGIN("montecarlo");
+  Rng rng(options.seed);
+  bool budget_stop = false;
+  for (NodeId start = first_node;
+       start < last_node_exclusive && !budget_stop; ++start) {
+    for (int walk = 0; walk < options.walks_per_node; ++walk) {
+      if (options.budget != nullptr && options.budget->Exhausted()) {
+        budget_stop = true;
+        IMPREG_TRACE_EVENT(trace, result.walks, kBudget,
+                           static_cast<double>(options.budget->Spent()));
+        break;
+      }
+      std::int64_t walk_steps = 0;
+      result.scores[RunWalk(g, start, options, rng, walk_steps)] += 1.0;
+      result.steps += walk_steps;
+      ++result.walks;
+      if (options.budget != nullptr) {
+        options.budget->Charge(std::max<std::int64_t>(walk_steps, 1));
+      }
+      IMPREG_TRACE_EVENT(trace, result.walks, kArcWork,
+                         static_cast<double>(walk_steps));
+    }
+  }
+
+  if (result.walks > 0) {
+    Scale(1.0 / static_cast<double>(result.walks), result.scores);
+  }
+  result.diagnostics.iterations =
+      result.walks > std::numeric_limits<int>::max()
+          ? std::numeric_limits<int>::max()
+          : static_cast<int>(result.walks);
+  if (budget_stop) {
+    result.diagnostics.status = SolveStatus::kBudgetExhausted;
+    result.diagnostics.detail =
+        "work budget exhausted after " + std::to_string(result.walks) +
+        " of " + std::to_string(requested_walks) +
+        " walks; scores are normalized over the completed walks";
+  } else {
+    result.diagnostics.status = SolveStatus::kConverged;
+  }
+  IMPREG_TRACE_FINISH(trace, result.diagnostics);
+  IMPREG_METRIC_COUNT("solver.montecarlo.solves", 1);
+  IMPREG_METRIC_COUNT("solver.montecarlo.walks", result.walks);
+  IMPREG_METRIC_COUNT("solver.montecarlo.steps", result.steps);
+  return result;
+}
+
 }  // namespace
 
-Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
-                                      const MonteCarloOptions& options) {
+MonteCarloResult MonteCarloPersonalizedPageRankSolve(
+    const Graph& g, NodeId seed_node, const MonteCarloOptions& options) {
   IMPREG_CHECK(g.IsValidNode(seed_node));
   IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
   IMPREG_CHECK(options.walks_per_node >= 1);
-  Rng rng(options.seed);
-  Vector counts(g.NumNodes(), 0.0);
-  for (int walk = 0; walk < options.walks_per_node; ++walk) {
-    counts[RunWalk(g, seed_node, options, rng)] += 1.0;
-  }
-  Scale(1.0 / options.walks_per_node, counts);
-  return counts;
+  return RunWalks(g, seed_node, seed_node + 1, options.walks_per_node,
+                  options);
 }
 
-Vector MonteCarloPageRank(const Graph& g, const MonteCarloOptions& options) {
+MonteCarloResult MonteCarloPageRankSolve(const Graph& g,
+                                         const MonteCarloOptions& options) {
   IMPREG_CHECK(g.NumNodes() > 0);
   IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
   IMPREG_CHECK(options.walks_per_node >= 1);
-  Rng rng(options.seed);
-  Vector counts(g.NumNodes(), 0.0);
-  for (NodeId start = 0; start < g.NumNodes(); ++start) {
-    for (int walk = 0; walk < options.walks_per_node; ++walk) {
-      counts[RunWalk(g, start, options, rng)] += 1.0;
-    }
-  }
-  Scale(1.0 / (static_cast<double>(options.walks_per_node) * g.NumNodes()),
-        counts);
-  return counts;
+  return RunWalks(g, 0, g.NumNodes(),
+                  static_cast<std::int64_t>(options.walks_per_node) *
+                      g.NumNodes(),
+                  options);
+}
+
+Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
+                                      const MonteCarloOptions& options) {
+  return MonteCarloPersonalizedPageRankSolve(g, seed_node, options).scores;
+}
+
+Vector MonteCarloPageRank(const Graph& g, const MonteCarloOptions& options) {
+  return MonteCarloPageRankSolve(g, options).scores;
 }
 
 }  // namespace impreg

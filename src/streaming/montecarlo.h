@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
 #include "util/rng.h"
@@ -15,7 +17,9 @@
 /// so visit counting over R walks is an unbiased estimator whose error
 /// decays as 1/√R. The number of walks is yet another aggressiveness
 /// knob: few walks give a coarse, strongly "regularized" (high-variance
-/// but sparse and cheap) estimate.
+/// but sparse and cheap) estimate — which is why a budget-exhausted run
+/// is still an answer: the counts over the walks that did complete are
+/// the same estimator at a smaller R.
 
 namespace impreg {
 
@@ -29,17 +33,46 @@ struct MonteCarloOptions {
   /// exceed it with probability (1−γ)^cap).
   int max_walk_length = 10000;
   std::uint64_t seed = 0xa1cULL;
+  /// Optional cooperative budget (nullptr = unlimited), checked between
+  /// walks; each completed walk charges max(steps, 1) units. On
+  /// exhaustion the remaining walks are skipped and the counts over the
+  /// completed walks are normalized and returned (kBudgetExhausted).
+  WorkBudget* budget = nullptr;
+};
+
+/// Result of a Monte Carlo estimation run.
+struct MonteCarloResult {
+  /// Normalized termination counts over the completed walks (zero
+  /// vector if the budget allowed no walk at all).
+  Vector scores;
+  /// Walks actually completed.
+  std::int64_t walks = 0;
+  /// Walks the options asked for.
+  std::int64_t requested_walks = 0;
+  /// Total steps (edges traversed) across the completed walks — the
+  /// work measure.
+  std::int64_t steps = 0;
+  /// kConverged: every requested walk ran. kBudgetExhausted: stopped
+  /// early; scores estimate the same quantity at a smaller R.
+  SolverDiagnostics diagnostics;
 };
 
 /// Estimates the Personalized PageRank of `seed_node`: runs
 /// `walks_per_node` walks from it and returns normalized termination
 /// counts. Walks stop with probability γ per step; from an isolated or
 /// zero-degree node the walk terminates immediately.
-Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
-                                      const MonteCarloOptions& options = {});
+MonteCarloResult MonteCarloPersonalizedPageRankSolve(
+    const Graph& g, NodeId seed_node, const MonteCarloOptions& options = {});
 
 /// Estimates global (uniform-seed) PageRank: `walks_per_node` walks
 /// from every node, normalized termination counts.
+MonteCarloResult MonteCarloPageRankSolve(const Graph& g,
+                                         const MonteCarloOptions& options = {});
+
+/// Legacy vector-only wrappers (bit-identical to the Solve variants'
+/// `scores` on the same options).
+Vector MonteCarloPersonalizedPageRank(const Graph& g, NodeId seed_node,
+                                      const MonteCarloOptions& options = {});
 Vector MonteCarloPageRank(const Graph& g,
                           const MonteCarloOptions& options = {});
 

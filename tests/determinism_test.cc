@@ -373,6 +373,62 @@ TEST(DeterminismTest, ObservabilityOnAndOffAreBitIdentical) {
 }
 #endif  // IMPREG_OBSERVABILITY
 
+TEST(DeterminismTest, QueryEngineBatchIsThreadCountInvariantWithCacheOnAndOff) {
+  // A mixed batch — push (duplicated, so dedup kicks in), two grouped
+  // dense solves, a heat-kernel query and a nibble query — answered
+  // before and after an edge insertion. With the cache on, the second
+  // batch exercises the warm-restart path; with it off, everything is
+  // cold. In both configurations every response must be bit-identical
+  // at 1 and 8 threads.
+  const Graph g = CavemanGraph(12, 10);
+  std::vector<Query> batch;
+  Query ppr;
+  ppr.seeds = {0, 25};
+  ppr.epsilon = 1e-6;
+  batch.push_back(ppr);
+  batch.push_back(ppr);  // Exact duplicate → answered once.
+  Query dense;
+  dense.method = QueryMethod::kPprDense;
+  dense.seeds = {3};
+  dense.tolerance = 1e-10;
+  dense.max_iterations = 300;
+  batch.push_back(dense);
+  dense.seeds = {40};  // Same (γ, tol, iters) → same ApplyBatch group.
+  batch.push_back(dense);
+  Query hk;
+  hk.method = QueryMethod::kHeatKernel;
+  hk.seeds = {7};
+  batch.push_back(hk);
+  Query nibble;
+  nibble.method = QueryMethod::kNibble;
+  nibble.seeds = {50};
+  nibble.epsilon = 1e-4;
+  batch.push_back(nibble);
+
+  for (const bool cache_on : {false, true}) {
+    SCOPED_TRACE(cache_on ? "cache on" : "cache off");
+    ExpectSameUnderOneAndEightThreads([&] {
+      QueryEngine::Options options;
+      options.enable_cache = cache_on;
+      QueryEngine engine(g, options);
+      Vector out;
+      const auto absorb = [&](const std::vector<QueryResponse>& responses) {
+        for (const QueryResponse& r : responses) {
+          out.insert(out.end(), r.scores.begin(), r.scores.end());
+          out.push_back(static_cast<double>(r.work));
+          out.push_back(static_cast<double>(static_cast<int>(r.source)));
+          out.push_back(static_cast<double>(static_cast<int>(r.status)));
+          for (const NodeId u : r.set) out.push_back(static_cast<double>(u));
+        }
+      };
+      absorb(engine.RunBatch(batch));
+      engine.AddEdge(0, 61);
+      absorb(engine.RunBatch(batch));
+      return out;
+    });
+  }
+}
+
 TEST(DeterminismTest, DenseReductionsAreThreadCountInvariant) {
   // Vectors long enough for > 4 reduce chunks.
   const Vector x = GaussianVector(100000, 5);

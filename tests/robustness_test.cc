@@ -42,6 +42,7 @@
 #include "partition/hkrelax.h"
 #include "partition/nibble.h"
 #include "partition/push.h"
+#include "service/query_engine.h"
 #include "util/fault.h"
 #include "util/rng.h"
 
@@ -341,6 +342,37 @@ TEST(RobustnessTest, MqiKeepsSetWhenInnerMaxflowIsPoisoned) {
   EXPECT_FALSE(r.diagnostics.usable());
   EXPECT_FALSE(r.set.empty());
   EXPECT_LE(r.stats.conductance, Conductance(g, set) + 1e-12);
+}
+
+TEST(RobustnessTest, PoisonedCacheInsertIsRejectedAndNeverServed) {
+  if (!fault::Compiled()) {
+    GTEST_SKIP() << "fault harness not compiled (IMPREG_FAULT_INJECTION=OFF)";
+  }
+  const Graph g = CavemanGraph(4, 8);
+  QueryEngine engine(g);
+  Query query;
+  query.seeds = {0};
+  query.epsilon = 1e-5;
+
+  fault::Arm("service/cache_insert", fault::FaultKind::kNaN);
+  const QueryResponse first = engine.Run(query);
+  EXPECT_GT(fault::InjectionCount(), 0) << "cache_insert site never fired";
+  fault::Disarm();
+
+  // The response was materialized before the insert, so the caller's
+  // answer is clean; the poisoned payload must be rejected at the
+  // cache boundary — dropped, never cached, never served.
+  EXPECT_TRUE(AllFinite(first.scores));
+  EXPECT_EQ(first.source, QuerySource::kCold);
+  EXPECT_EQ(engine.cache().stats().rejected, 1);
+  EXPECT_EQ(engine.cache().Size(), 0u);
+
+  // A repeat of the same query cold-solves (no poisoned hit) and
+  // reproduces the original answer bitwise.
+  const QueryResponse second = engine.Run(query);
+  EXPECT_EQ(second.source, QuerySource::kCold);
+  EXPECT_EQ(second.scores, first.scores);
+  EXPECT_EQ(engine.cache().Size(), 1u);
 }
 
 // Runs in every build (no injection needed): a pre-exhausted budget

@@ -1,0 +1,434 @@
+// Acceptance suite for the query-serving layer (service/): the
+// deterministic FIFO ResultCache, the QueryEngine's dedup / cache /
+// warm-restart / dense-grouping behavior, and the JSONL wire schema
+// pin. The thread-count invariance of the whole engine is pinned in
+// determinism_test.cc; the fault-containment path of the cache insert
+// in robustness_test.cc.
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solve_status.h"
+#include "diffusion/pagerank.h"
+#include "graph/generators.h"
+#include "graph/random_graphs.h"
+#include "partition/hkrelax.h"
+#include "partition/nibble.h"
+#include "service/query_engine.h"
+#include "service/result_cache.h"
+#include "service/wire.h"
+#include "streaming/dynamic_graph.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+CachedResult MakeResult(double value) {
+  CachedResult result;
+  result.scores = {value, value / 2.0};
+  return result;
+}
+
+// —— ResultCache unit behavior ———————————————————————————————————
+
+TEST(ResultCacheTest, HitAndMissCountsAreExact) {
+  ResultCache cache(4);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_TRUE(cache.Insert("a", "", MakeResult(1.0)));
+  const CachedResult* hit = cache.Lookup("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->scores[0], 1.0);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().insertions, 1);
+}
+
+TEST(ResultCacheTest, FifoEvictionBoundsSizeAndDropsOldestInsertion) {
+  ResultCache cache(2);
+  cache.Insert("a", "", MakeResult(1.0));
+  cache.Insert("b", "", MakeResult(2.0));
+  // Replacing "a" keeps its insertion-order slot: it is still oldest.
+  cache.Insert("a", "", MakeResult(3.0));
+  cache.Insert("c", "", MakeResult(4.0));  // Evicts "a", not "b".
+  EXPECT_EQ(cache.Size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_EQ(cache.KeysInInsertionOrder(),
+            (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(ResultCacheTest, NonFinitePayloadIsRejectedNotStored) {
+  ResultCache cache(4);
+  CachedResult poisoned = MakeResult(1.0);
+  poisoned.scores[1] = std::nan("");
+  EXPECT_FALSE(cache.Insert("a", "", std::move(poisoned)));
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_EQ(cache.stats().rejected, 1);
+  EXPECT_EQ(cache.stats().insertions, 0);
+
+  CachedResult bad_state = MakeResult(1.0);
+  bad_state.has_state = true;
+  bad_state.p = {1.0};
+  bad_state.r = {std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(cache.Insert("b", "warm", std::move(bad_state)));
+  EXPECT_EQ(cache.stats().rejected, 2);
+}
+
+TEST(ResultCacheTest, WarmIndexTracksLatestStatefulEntryAndEviction) {
+  ResultCache cache(2);
+  CachedResult first = MakeResult(1.0);
+  first.has_state = true;
+  first.p = {1.0};
+  first.r = {0.5};
+  first.epoch = 0;
+  cache.Insert("k0", "warm", std::move(first));
+  ASSERT_NE(cache.WarmLookup("warm"), nullptr);
+  EXPECT_EQ(cache.WarmLookup("warm")->epoch, 0);
+
+  CachedResult second = MakeResult(2.0);
+  second.has_state = true;
+  second.p = {2.0};
+  second.r = {0.25};
+  second.epoch = 1;
+  cache.Insert("k1", "warm", std::move(second));
+  // Latest insertion wins the warm slot.
+  EXPECT_EQ(cache.WarmLookup("warm")->epoch, 1);
+
+  // Filling the cache evicts k0 (oldest) — the warm slot, which points
+  // at k1, must survive; evicting k1 next clears it.
+  cache.Insert("k2", "", MakeResult(3.0));
+  EXPECT_EQ(cache.Lookup("k0"), nullptr);
+  ASSERT_NE(cache.WarmLookup("warm"), nullptr);
+  EXPECT_EQ(cache.WarmLookup("warm")->epoch, 1);
+  cache.Insert("k3", "", MakeResult(4.0));  // Evicts k1.
+  EXPECT_EQ(cache.WarmLookup("warm"), nullptr);
+}
+
+// —— QueryEngine behavior ————————————————————————————————————————
+
+Graph ServiceGraph() { return CavemanGraph(8, 10); }
+
+// The engine's frozen snapshot is FromGraph→ToGraph; bitwise
+// comparisons against direct solver calls must use the same arc order.
+Graph RoundTripped(const Graph& g) {
+  return DynamicGraph::FromGraph(g).ToGraph();
+}
+
+Query PushQuery(std::vector<NodeId> seeds, double epsilon = 1e-6) {
+  Query q;
+  q.seeds = std::move(seeds);
+  q.epsilon = epsilon;
+  return q;
+}
+
+TEST(QueryEngineTest, RepeatedSeedBatchServesFromCacheWithoutPush) {
+  QueryEngine engine(ServiceGraph());
+  const Query query = PushQuery({0, 11});
+  const QueryResponse cold = engine.Run(query);
+  EXPECT_EQ(cold.source, QuerySource::kCold);
+  EXPECT_EQ(cold.status, SolveStatus::kConverged);
+  EXPECT_GT(cold.work, 0);
+
+  const QueryResponse cached = engine.Run(query);
+  EXPECT_EQ(cached.source, QuerySource::kCached);
+  EXPECT_EQ(cached.work, 0);  // No pushes re-run.
+  EXPECT_EQ(cached.scores, cold.scores);
+  EXPECT_EQ(engine.cache().stats().hits, 1);
+  EXPECT_EQ(engine.cache().stats().insertions, 1);
+}
+
+TEST(QueryEngineTest, IdenticalQueriesInOneBatchAreDeduplicated) {
+  QueryEngine engine(ServiceGraph());
+  // Seed canonicalization makes {7, 3} and {3, 7, 7} the same query.
+  std::vector<Query> batch = {PushQuery({7, 3}), PushQuery({3, 7, 7}),
+                              PushQuery({5})};
+  const std::vector<QueryResponse> responses = engine.RunBatch(batch);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].scores, responses[1].scores);
+  EXPECT_EQ(responses[0].work, responses[1].work);
+  // One insertion per distinct query, not per request.
+  EXPECT_EQ(engine.cache().stats().insertions, 2);
+}
+
+TEST(QueryEngineTest, WarmRestartMatchesColdSolveAfterAddEdge) {
+  const Graph g = ServiceGraph();
+  QueryEngine warm_engine(g);
+  const Query query = PushQuery({0}, 1e-7);
+  const QueryResponse before = warm_engine.Run(query);
+  ASSERT_EQ(before.source, QuerySource::kCold);
+
+  warm_engine.AddEdge(0, 35, 2.0);
+  const QueryResponse warm = warm_engine.Run(query);
+  EXPECT_EQ(warm.source, QuerySource::kWarm);
+
+  // Cold reference on the same post-edit graph.
+  QueryEngine::Options no_cache;
+  no_cache.enable_cache = false;
+  QueryEngine cold_engine(g, no_cache);
+  cold_engine.AddEdge(0, 35, 2.0);
+  const QueryResponse cold = cold_engine.Run(query);
+  ASSERT_EQ(cold.source, QuerySource::kCold);
+
+  // Both satisfy ‖PPR − p‖₁ ≤ ε·vol, so they agree within 2·ε·vol.
+  const double bound =
+      2.0 * query.epsilon * warm_engine.graph().TotalVolume() + 1e-12;
+  double distance = 0.0;
+  for (std::size_t i = 0; i < cold.scores.size(); ++i) {
+    distance += std::abs(cold.scores[i] - warm.scores[i]);
+  }
+  EXPECT_LT(distance, bound);
+  // The warm restart is the point: far fewer pushes than the cold run.
+  EXPECT_LT(warm.work, cold.work);
+}
+
+TEST(QueryEngineTest, TighterEpsilonWarmRestartsFromCachedResidual) {
+  QueryEngine engine(ServiceGraph());
+  const QueryResponse loose = engine.Run(PushQuery({0}, 1e-4));
+  ASSERT_EQ(loose.source, QuerySource::kCold);
+
+  const Query tight = PushQuery({0}, 1e-8);
+  const QueryResponse refined = engine.Run(tight);
+  EXPECT_EQ(refined.source, QuerySource::kWarm);
+
+  QueryEngine::Options no_cache;
+  no_cache.enable_cache = false;
+  QueryEngine cold_engine(ServiceGraph(), no_cache);
+  const QueryResponse cold = cold_engine.Run(tight);
+  const double bound =
+      2.0 * tight.epsilon * engine.graph().TotalVolume() + 1e-12;
+  double distance = 0.0;
+  for (std::size_t i = 0; i < cold.scores.size(); ++i) {
+    distance += std::abs(cold.scores[i] - refined.scores[i]);
+  }
+  EXPECT_LT(distance, bound);
+  EXPECT_LT(refined.work, cold.work);
+}
+
+TEST(QueryEngineTest, AddEdgeInvalidatesExactKeysViaTheEpoch) {
+  QueryEngine engine(ServiceGraph());
+  const Query query = PushQuery({0});
+  EXPECT_EQ(engine.Run(query).source, QuerySource::kCold);
+  EXPECT_EQ(engine.Run(query).source, QuerySource::kCached);
+  const std::int64_t epoch_before = engine.Epoch();
+  engine.AddEdge(1, 2);
+  EXPECT_EQ(engine.Epoch(), epoch_before + 1);
+  // Exact key misses (different epoch); the push family warm-restarts
+  // instead of serving the stale answer.
+  EXPECT_EQ(engine.Run(query).source, QuerySource::kWarm);
+  EXPECT_NE(QueryEngine::CanonicalKey(query, epoch_before),
+            QueryEngine::CanonicalKey(query, engine.Epoch()));
+}
+
+TEST(QueryEngineTest, CacheCapacityBoundsRetainedEntries) {
+  QueryEngine::Options options;
+  options.cache_capacity = 3;
+  QueryEngine engine(ServiceGraph(), options);
+  for (NodeId s = 0; s < 5; ++s) engine.Run(PushQuery({s}));
+  EXPECT_EQ(engine.cache().Size(), 3u);
+  EXPECT_EQ(engine.cache().stats().evictions, 2);
+  // The two oldest (seeds 0, 1) were evicted → cold again.
+  EXPECT_EQ(engine.Run(PushQuery({0})).source, QuerySource::kCold);
+  EXPECT_EQ(engine.Run(PushQuery({4})).source, QuerySource::kCached);
+}
+
+TEST(QueryEngineTest, DensePprMatchesPersonalizedPageRankBitwise) {
+  const Graph frozen = RoundTripped(ServiceGraph());
+  QueryEngine engine(ServiceGraph());
+  Query a;
+  a.method = QueryMethod::kPprDense;
+  a.seeds = {3};
+  a.tolerance = 1e-10;
+  a.max_iterations = 500;
+  Query b = a;
+  b.seeds = {41};  // Same parameters → same lockstep ApplyBatch group.
+  const std::vector<QueryResponse> responses = engine.RunBatch({a, b});
+  ASSERT_EQ(responses.size(), 2u);
+
+  PageRankOptions reference;
+  reference.gamma = a.gamma;
+  reference.tolerance = a.tolerance;
+  reference.max_iterations = a.max_iterations;
+  for (std::size_t i = 0; i < 2; ++i) {
+    Vector seed(frozen.NumNodes(), 0.0);
+    seed[i == 0 ? 3 : 41] = 1.0;
+    const PageRankResult solo =
+        PersonalizedPageRank(frozen, seed, reference);
+    EXPECT_EQ(responses[i].scores, solo.scores)
+        << "grouped dense column " << i << " diverged from its solo solve";
+    EXPECT_EQ(responses[i].status, solo.diagnostics.status);
+  }
+}
+
+TEST(QueryEngineTest, HeatKernelAndNibbleQueriesMatchDirectCalls) {
+  const Graph frozen = RoundTripped(ServiceGraph());
+  QueryEngine engine(ServiceGraph());
+
+  Query hk;
+  hk.method = QueryMethod::kHeatKernel;
+  hk.seeds = {12};
+  hk.t = 8.0;
+  hk.delta = 1e-5;
+  hk.epsilon = 1e-6;
+  const QueryResponse hk_response = engine.Run(hk);
+  Vector hk_seed(frozen.NumNodes(), 0.0);
+  hk_seed[12] = 1.0;
+  HkRelaxOptions hk_options;
+  hk_options.t = hk.t;
+  hk_options.delta = hk.delta;
+  hk_options.tail_tolerance = hk.epsilon;
+  const HkRelaxResult hk_direct =
+      HeatKernelRelaxFromDistribution(frozen, hk_seed, hk_options);
+  EXPECT_EQ(hk_response.scores, hk_direct.rho);
+  EXPECT_EQ(hk_response.set, hk_direct.set);
+  EXPECT_DOUBLE_EQ(hk_response.conductance, hk_direct.stats.conductance);
+
+  Query nibble;
+  nibble.method = QueryMethod::kNibble;
+  nibble.seeds = {25};
+  nibble.steps = 30;
+  nibble.epsilon = 1e-4;
+  const QueryResponse nib_response = engine.Run(nibble);
+  Vector nib_seed(frozen.NumNodes(), 0.0);
+  nib_seed[25] = 1.0;
+  NibbleOptions nib_options;
+  nib_options.steps = nibble.steps;
+  nib_options.epsilon = nibble.epsilon;
+  const NibbleResult nib_direct =
+      NibbleFromDistribution(frozen, nib_seed, nib_options);
+  EXPECT_EQ(nib_response.scores, nib_direct.distribution);
+  EXPECT_EQ(nib_response.set, nib_direct.set);
+  EXPECT_DOUBLE_EQ(nib_response.conductance, nib_direct.stats.conductance);
+}
+
+TEST(QueryEngineTest, BudgetExhaustedQueryIsMarkedDegradedNeverSilent) {
+  Rng rng(31);
+  QueryEngine engine(ErdosRenyi(400, 0.05, rng));
+  Query query = PushQuery({0}, 1e-12);
+  query.max_work = 16;  // Far too little for this epsilon.
+  const QueryResponse response = engine.Run(query);
+  EXPECT_EQ(response.status, SolveStatus::kBudgetExhausted);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_FALSE(response.detail.empty());
+  for (double v : response.scores) ASSERT_TRUE(std::isfinite(v));
+
+  // A degraded-but-usable answer is cacheable and keeps its marking.
+  const QueryResponse replay = engine.Run(query);
+  EXPECT_EQ(replay.source, QuerySource::kCached);
+  EXPECT_EQ(replay.status, SolveStatus::kBudgetExhausted);
+  EXPECT_TRUE(replay.degraded);
+}
+
+TEST(QueryEngineTest, InvalidQueriesAreRejectedAndNeverCached) {
+  QueryEngine engine(ServiceGraph());
+  Query empty;  // No seeds.
+  Query out_of_range = PushQuery({9999});
+  Query bad_gamma = PushQuery({0});
+  bad_gamma.gamma = 1.5;
+  const std::vector<QueryResponse> responses =
+      engine.RunBatch({empty, out_of_range, bad_gamma});
+  for (const QueryResponse& r : responses) {
+    EXPECT_EQ(r.status, SolveStatus::kInvalidInput);
+    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.detail.empty());
+  }
+  EXPECT_EQ(engine.cache().Size(), 0u);
+}
+
+TEST(QueryEngineTest, CanonicalKeyIsStableAcrossSeedOrderings) {
+  Query a = PushQuery({5, 3, 5});
+  Query b = PushQuery({3, 5});
+  EXPECT_EQ(QueryEngine::CanonicalKey(a, 7), QueryEngine::CanonicalKey(b, 7));
+  EXPECT_NE(QueryEngine::CanonicalKey(a, 7), QueryEngine::CanonicalKey(a, 8));
+  Query tighter = PushQuery({3, 5}, 1e-9);
+  EXPECT_NE(QueryEngine::CanonicalKey(b, 7),
+            QueryEngine::CanonicalKey(tighter, 7));
+}
+
+// —— Wire format ————————————————————————————————————————————————
+
+TEST(WireTest, ParsesQueryAndAddEdgeLines) {
+  QueryRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"id":"q1","method":"heat-kernel","seeds":[4,2],"t":5.0,"top":3})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "q1");
+  EXPECT_FALSE(request.is_add_edge);
+  EXPECT_EQ(request.query.method, QueryMethod::kHeatKernel);
+  EXPECT_EQ(request.query.seeds, (std::vector<NodeId>{4, 2}));
+  EXPECT_DOUBLE_EQ(request.query.t, 5.0);
+  EXPECT_EQ(request.top, 3);
+
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"op":"add-edge","u":3,"v":7,"weight":0.5})", &request, &error))
+      << error;
+  EXPECT_TRUE(request.is_add_edge);
+  EXPECT_EQ(request.u, 3);
+  EXPECT_EQ(request.v, 7);
+  EXPECT_DOUBLE_EQ(request.weight, 0.5);
+
+  EXPECT_FALSE(ParseQueryRequest(R"({"method":"ppr"})", &request, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseQueryRequest(
+      R"({"method":"bogus","seeds":[0]})", &request, &error));
+  EXPECT_FALSE(
+      ParseQueryRequest(R"({"op":"add-edge","u":1})", &request, &error));
+  EXPECT_FALSE(ParseQueryRequest("not json", &request, &error));
+}
+
+TEST(WireTest, GoldenResponseSchemaPin) {
+  // The exact member set of impreg-query-response-v1, pinned: adding,
+  // renaming, or dropping a field is a schema change and must be a
+  // conscious one (bump the version in wire.cc and update
+  // docs/serving.md).
+  QueryEngine engine(ServiceGraph());
+  QueryRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"id":"golden","seeds":[0],"epsilon":1e-5,"top":4})", &request,
+      &error))
+      << error;
+  const QueryResponse response = engine.Run(request.query);
+  const std::string json =
+      QueryResponseToJson(request, response, engine.Epoch());
+
+  const JsonParseResult parsed = JsonParse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error << "\n" << json;
+  ASSERT_TRUE(parsed.value.is_object());
+  std::set<std::string> members;
+  for (const auto& [key, value] : parsed.value.Members()) members.insert(key);
+  const std::set<std::string> expected = {
+      "schema", "id",      "method",      "status", "source", "degraded",
+      "epoch",  "support", "work",        "conductance", "set", "top"};
+  EXPECT_EQ(members, expected);
+  EXPECT_EQ(parsed.value.Find("schema")->AsString(),
+            "impreg-query-response-v1");
+  EXPECT_EQ(parsed.value.Find("id")->AsString(), "golden");
+  EXPECT_EQ(parsed.value.Find("status")->AsString(), "converged");
+  EXPECT_EQ(parsed.value.Find("source")->AsString(), "cold");
+  const JsonValue* top =
+      parsed.value.FindOfType("top", JsonValue::Type::kArray);
+  ASSERT_NE(top, nullptr);
+  ASSERT_LE(top->Items().size(), 4u);
+  ASSERT_FALSE(top->Items().empty());
+  // Each entry is a [node, score] pair, scores descending.
+  double previous = 2.0;
+  for (const JsonValue& entry : top->Items()) {
+    ASSERT_TRUE(entry.is_array());
+    ASSERT_EQ(entry.Items().size(), 2u);
+    const double score = entry.Items()[1].AsDouble();
+    EXPECT_LE(score, previous);
+    previous = score;
+  }
+}
+
+}  // namespace
+}  // namespace impreg

@@ -2,8 +2,12 @@
 #include "streaming/incremental_ppr.h"
 #include "streaming/montecarlo.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "core/solve_status.h"
+#include "core/work_budget.h"
 #include "diffusion/pagerank.h"
 #include "diffusion/seed.h"
 #include "graph/generators.h"
@@ -136,6 +140,82 @@ TEST_F(IncrementalPprTest, UpdatesAreCheapRelativeToRebuild) {
   EXPECT_LT(update_pushes / kInsertions, initial_pushes / 4);
 }
 
+TEST_F(IncrementalPprTest, AddSelfLoopMatchesFromScratchPush) {
+  // A self-loop (u == v) exercises the repair path's single-column
+  // scatter where the column endpoint is its own neighbor.
+  Rng rng(10);
+  const Graph base = ErdosRenyi(40, 0.15, rng);
+  const DynamicGraph dynamic = DynamicGraph::FromGraph(base);
+  Vector seed(40, 0.0);
+  seed[7] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-8;
+  IncrementalPersonalizedPageRank inc(dynamic, seed, options);
+  inc.AddEdge(3, 3, 2.0);
+  const double bound =
+      2.0 * options.epsilon * inc.graph().TotalVolume() + 1e-9;
+  const IncrementalPersonalizedPageRank fresh(inc.graph(), seed, options);
+  EXPECT_LT(DistanceL1(inc.Scores(), fresh.Scores()), bound);
+  EXPECT_LT(DistanceL1(inc.Scores(), ExactPpr(inc.graph(), seed,
+                                              options.gamma)),
+            options.epsilon * inc.graph().TotalVolume() + 1e-9);
+}
+
+TEST_F(IncrementalPprTest, AddEdgeIncidentToSeedMatchesFromScratchPush) {
+  // Inserting at the seed perturbs the largest residual mass — the
+  // stress case for the invariant-restoring repair.
+  Rng rng(11);
+  const Graph base = ErdosRenyi(40, 0.15, rng);
+  const DynamicGraph dynamic = DynamicGraph::FromGraph(base);
+  Vector seed(40, 0.0);
+  seed[7] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-8;
+  IncrementalPersonalizedPageRank inc(dynamic, seed, options);
+  inc.AddEdge(7, 19, 3.0);
+  const double bound =
+      2.0 * options.epsilon * inc.graph().TotalVolume() + 1e-9;
+  const IncrementalPersonalizedPageRank fresh(inc.graph(), seed, options);
+  EXPECT_LT(DistanceL1(inc.Scores(), fresh.Scores()), bound);
+  EXPECT_LT(DistanceL1(inc.Scores(), ExactPpr(inc.graph(), seed,
+                                              options.gamma)),
+            options.epsilon * inc.graph().TotalVolume() + 1e-9);
+}
+
+TEST_F(IncrementalPprTest, HealthyRunReportsConverged) {
+  Rng rng(12);
+  const Graph g = ErdosRenyi(30, 0.2, rng);
+  Vector seed(30, 0.0);
+  seed[0] = 1.0;
+  const IncrementalPersonalizedPageRank inc(DynamicGraph::FromGraph(g),
+                                            seed, {});
+  EXPECT_EQ(inc.diagnostics().status, SolveStatus::kConverged);
+}
+
+TEST_F(IncrementalPprTest, BudgetExhaustedReturnsBestSoFarWithStatus) {
+  Rng rng(13);
+  const Graph g = ErdosRenyi(300, 0.05, rng);
+  Vector seed(300, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-12;
+  WorkBudget budget(16);  // Far too small for this epsilon.
+  options.budget = &budget;
+  const IncrementalPersonalizedPageRank inc(DynamicGraph::FromGraph(g),
+                                            seed, options);
+  EXPECT_EQ(inc.diagnostics().status, SolveStatus::kBudgetExhausted);
+  EXPECT_TRUE(budget.Exhausted());
+  // Best-so-far, not poison: the partial estimate is finite and
+  // bounded by the total seed mass.
+  double total = 0.0;
+  for (double v : inc.Scores()) {
+    ASSERT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_LE(total, 1.0 + 1e-12);
+}
+
 TEST(MonteCarloTest, ConvergesToExactPpr) {
   Rng rng(6);
   const Graph g = ErdosRenyi(40, 0.2, rng);
@@ -187,6 +267,45 @@ TEST(MonteCarloTest, DeterministicGivenSeed) {
   const Vector a = MonteCarloPersonalizedPageRank(g, 0, options);
   const Vector b = MonteCarloPersonalizedPageRank(g, 0, options);
   EXPECT_EQ(a, b);
+}
+
+TEST(MonteCarloTest, WrapperMatchesSolveBitwise) {
+  const Graph g = CycleGraph(12);
+  MonteCarloOptions options;
+  options.seed = 5;
+  options.walks_per_node = 200;
+  EXPECT_EQ(MonteCarloPersonalizedPageRank(g, 0, options),
+            MonteCarloPersonalizedPageRankSolve(g, 0, options).scores);
+  EXPECT_EQ(MonteCarloPageRank(g, options),
+            MonteCarloPageRankSolve(g, options).scores);
+}
+
+TEST(MonteCarloTest, HealthyRunReportsConvergedAndCountsWalks) {
+  const Graph g = CycleGraph(10);
+  MonteCarloOptions options;
+  options.walks_per_node = 123;
+  const MonteCarloResult result =
+      MonteCarloPersonalizedPageRankSolve(g, 0, options);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kConverged);
+  EXPECT_EQ(result.walks, 123);
+  EXPECT_EQ(result.requested_walks, 123);
+  EXPECT_GT(result.steps, 0);
+}
+
+TEST(MonteCarloTest, BudgetExhaustedNormalizesOverCompletedWalks) {
+  const Graph g = CycleGraph(20);
+  MonteCarloOptions options;
+  options.walks_per_node = 5000;
+  WorkBudget budget(50);  // A handful of walks' worth of steps.
+  options.budget = &budget;
+  const MonteCarloResult result =
+      MonteCarloPersonalizedPageRankSolve(g, 0, options);
+  EXPECT_EQ(result.diagnostics.status, SolveStatus::kBudgetExhausted);
+  EXPECT_GT(result.walks, 0);
+  EXPECT_LT(result.walks, result.requested_walks);
+  // Best-so-far is still a distribution over the completed walks.
+  EXPECT_NEAR(Sum(result.scores), 1.0, 1e-12);
+  for (double v : result.scores) EXPECT_GE(v, 0.0);
 }
 
 TEST(MonteCarloTest, IsolatedSeedStaysPut) {

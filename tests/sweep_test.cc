@@ -132,6 +132,26 @@ TEST(SweepTest, TiesBrokenDeterministically) {
   EXPECT_EQ(a.set, b.set);
 }
 
+TEST(SweepTest, DuplicateNodesAreDeduplicated) {
+  // Regression: duplicate candidate ids used to double-count degrees in
+  // the prefix volume scan, corrupting the profile, the reported set,
+  // and its statistics. First occurrence wins, order preserved.
+  Rng rng(9);
+  const Graph g = ErdosRenyi(12, 0.35, rng);
+  Vector values(12);
+  for (double& v : values) v = rng.NextGaussian();
+  const std::vector<NodeId> with_duplicates = {3, 1, 3, 0, 1, 2, 4, 4, 7, 3};
+  const std::vector<NodeId> deduplicated = {3, 1, 0, 2, 4, 7};
+  const SweepResult dup = SweepCutOverNodes(g, values, with_duplicates);
+  const SweepResult uniq = SweepCutOverNodes(g, values, deduplicated);
+  EXPECT_EQ(dup.order, uniq.order);
+  EXPECT_EQ(dup.conductance_profile, uniq.conductance_profile);
+  EXPECT_EQ(dup.set, uniq.set);
+  EXPECT_DOUBLE_EQ(dup.stats.conductance, uniq.stats.conductance);
+  EXPECT_DOUBLE_EQ(dup.stats.volume, uniq.stats.volume);
+  EXPECT_DOUBLE_EQ(dup.stats.cut, uniq.stats.cut);
+}
+
 TEST(SweepTest, IsolatedNodesSortLastUnderDegreeScaling) {
   GraphBuilder builder(4);
   builder.AddEdge(0, 1);

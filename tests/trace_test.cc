@@ -148,6 +148,83 @@ TEST(TraceTest, PushArcWorkEqualityHoldsThroughBudgetExhaustion) {
             budget.Spent());
 }
 
+TEST(TraceTest, IncrementalPprTraceMatchesBudgetAndMetrics) {
+  ScopedMetrics metrics;
+  Rng rng(21);
+  const Graph base = ErdosRenyi(50, 0.15, rng);
+  Vector seed(50, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-7;
+  WorkBudget budget(1 << 30);  // Never exhausts; push still charges it.
+  options.budget = &budget;
+
+  ScopedTraceCapture capture;
+  IncrementalPersonalizedPageRank inc(DynamicGraph::FromGraph(base), seed,
+                                      options);
+  const SolverTrace* trace =
+      TraceCollector::Get().Latest("incremental_ppr");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished());
+  EXPECT_EQ(trace->status(), SolveStatus::kConverged);
+  // One kArcWork event per push (value = outdegree): the trace total,
+  // the push count, and the budget's charge must agree exactly.
+  EXPECT_EQ(trace->KindCount(TraceEventKind::kArcWork), inc.TotalPushes());
+  EXPECT_EQ(
+      static_cast<std::int64_t>(trace->KindTotal(TraceEventKind::kArcWork)),
+      budget.Spent());
+
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("solver.incremental_ppr.solves")->Value(),
+      1);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("solver.incremental_ppr.pushes")->Value(),
+      inc.TotalPushes());
+
+  inc.AddEdge(0, 7);
+  EXPECT_EQ(registry.FindOrCreateCounter("solver.incremental_ppr.add_edges")
+                ->Value(),
+            1);
+  EXPECT_GE(
+      registry.FindOrCreateCounter("solver.incremental_ppr.repaired_columns")
+          ->Value(),
+      1);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("solver.incremental_ppr.pushes")->Value(),
+      inc.TotalPushes());
+}
+
+TEST(TraceTest, MonteCarloTraceAndMetricsMirrorWalksAndSteps) {
+  ScopedMetrics metrics;
+  const Graph g = CavemanGraph(4, 6);
+  MonteCarloOptions options;
+  options.walks_per_node = 64;
+
+  ScopedTraceCapture capture;
+  const MonteCarloResult result =
+      MonteCarloPersonalizedPageRankSolve(g, 0, options);
+  ASSERT_EQ(result.diagnostics.status, SolveStatus::kConverged);
+
+  const SolverTrace* trace = TraceCollector::Get().Latest("montecarlo");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished());
+  // One kArcWork event per walk (value = edges traversed): counts and
+  // totals are the result's own walk/step accounting.
+  EXPECT_EQ(trace->KindCount(TraceEventKind::kArcWork), result.walks);
+  EXPECT_EQ(
+      static_cast<std::int64_t>(trace->KindTotal(TraceEventKind::kArcWork)),
+      result.steps);
+
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  EXPECT_EQ(registry.FindOrCreateCounter("solver.montecarlo.solves")->Value(),
+            1);
+  EXPECT_EQ(registry.FindOrCreateCounter("solver.montecarlo.walks")->Value(),
+            result.walks);
+  EXPECT_EQ(registry.FindOrCreateCounter("solver.montecarlo.steps")->Value(),
+            result.steps);
+}
+
 // —— Bounded-memory contracts ————————————————————————————————————
 
 TEST(TraceTest, RingOverwritesOldestAndKeepsEvictionProofTotals) {

@@ -17,13 +17,17 @@
 //   impreg_cli partition  <edgelist> <k>
 //   impreg_cli generate   <family> <n> <out-file> [seed]
 //                         (family: social | ba | er | forestfire)
+//   impreg_cli query-batch <edgelist> <requests.jsonl>
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <numeric>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/impreg.h"
 
@@ -53,6 +57,8 @@ void PrintHelp(std::FILE* out) {
       "  partition  <edgelist> <k>               k-way partition\n"
       "  generate   <family> <n> <out> [seed]    family: "
       "social|ba|er|forestfire\n"
+      "  query-batch <edgelist> <requests.jsonl> serve a JSONL query batch\n"
+      "                                          (schema: docs/serving.md)\n"
       "\n"
       "global flags (before or after the command):\n"
       "  --metrics            print the metrics snapshot (solver\n"
@@ -273,6 +279,99 @@ int CmdGenerate(const std::string& family, NodeId n, const std::string& out,
   return 0;
 }
 
+int CmdQueryBatch(const std::string& graph_path,
+                  const std::string& requests_path) {
+  const Graph g = LoadOrDie(graph_path);
+  QueryEngine engine(g);
+  std::ifstream in(requests_path);
+  if (!in) {
+    std::fprintf(stderr, "impreg_cli: cannot read '%s'\n",
+                 requests_path.c_str());
+    return kExitInput;
+  }
+
+  // Consecutive query lines accumulate into one batch (dedup + grouped
+  // execution); an add-edge line flushes the batch first so every query
+  // is answered at the epoch it was issued against.
+  bool any_unusable = false;
+  std::vector<QueryRequest> pending;
+  const auto flush = [&]() {
+    if (pending.empty()) return;
+    std::vector<Query> queries;
+    queries.reserve(pending.size());
+    for (const QueryRequest& request : pending) {
+      queries.push_back(request.query);
+    }
+    const std::vector<QueryResponse> responses = engine.RunBatch(queries);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!StatusIsUsable(responses[i].status)) any_unusable = true;
+      std::printf(
+          "%s\n",
+          QueryResponseToJson(pending[i], responses[i], engine.Epoch())
+              .c_str());
+    }
+    pending.clear();
+  };
+
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    QueryRequest request;
+    std::string error;
+    if (!ParseQueryRequest(line, &request, &error)) {
+      std::fprintf(stderr, "impreg_cli: %s:%d: %s\n", requests_path.c_str(),
+                   line_number, error.c_str());
+      return kExitInput;
+    }
+    if (request.is_add_edge) {
+      const NodeId n = engine.graph().NumNodes();
+      if (request.u < 0 || request.u >= n || request.v < 0 ||
+          request.v >= n) {
+        std::fprintf(stderr,
+                     "impreg_cli: %s:%d: add-edge node out of range "
+                     "[0, %d)\n",
+                     requests_path.c_str(), line_number, n);
+        return kExitInput;
+      }
+      flush();
+      engine.AddEdge(request.u, request.v, request.weight);
+      continue;
+    }
+    pending.push_back(std::move(request));
+  }
+  flush();
+  if (any_unusable) {
+    std::fprintf(stderr,
+                 "impreg_cli: one or more queries returned an unusable "
+                 "status (see the \"status\" fields)\n");
+    return kExitSolver;
+  }
+  return 0;
+}
+
+// Per-command argument floor + usage one-liner: a known command with
+// too few arguments gets a specific diagnostic instead of the full
+// help dump.
+struct CommandSpec {
+  const char* name;
+  int min_argc;
+  const char* usage;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"stats", 3, "stats <edgelist>"},
+    {"v2", 3, "v2 <edgelist>"},
+    {"cluster", 4, "cluster <edgelist> <seed> [seed...]"},
+    {"ncp", 3, "ncp <edgelist>"},
+    {"pagerank", 3, "pagerank <edgelist> [gamma]"},
+    {"partition", 4, "partition <edgelist> <k>"},
+    {"generate", 5, "generate <family> <n> <out> [seed]"},
+    {"query-batch", 4, "query-batch <edgelist> <requests.jsonl>"},
+};
+
 int Run(int argc, char** argv) {
   // Observability flags are position-independent: strip them before
   // command dispatch. Collection is enabled *before* the command runs
@@ -304,12 +403,27 @@ int Run(int argc, char** argv) {
     PrintHelp(stdout);
     return 0;
   }
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   const std::string command = argv[1];
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& candidate : kCommands) {
+    if (command == candidate.name) {
+      spec = &candidate;
+      break;
+    }
+  }
+  if (spec == nullptr) return Usage();
+  if (argc < spec->min_argc) {
+    std::fprintf(stderr,
+                 "impreg_cli: %s: missing required argument(s); usage: "
+                 "impreg_cli %s\n",
+                 command.c_str(), spec->usage);
+    return kExitUsage;
+  }
   const int code = [&]() -> int {
     if (command == "stats") return CmdStats(argv[2]);
     if (command == "v2") return CmdV2(argv[2]);
-    if (command == "cluster" && argc >= 4) {
+    if (command == "cluster") {
       return CmdCluster(argv[2], argc - 3, argv + 3);
     }
     if (command == "ncp") return CmdNcp(argv[2]);
@@ -317,17 +431,18 @@ int Run(int argc, char** argv) {
       const double gamma = argc >= 4 ? std::strtod(argv[3], nullptr) : 0.15;
       return CmdPageRank(argv[2], gamma);
     }
-    if (command == "partition" && argc >= 4) {
+    if (command == "partition") {
       return CmdPartition(argv[2], static_cast<int>(
                                        std::strtol(argv[3], nullptr, 10)));
     }
-    if (command == "generate" && argc >= 5) {
+    if (command == "generate") {
       const std::uint64_t seed =
           argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 42;
       return CmdGenerate(argv[2],
                          static_cast<NodeId>(std::strtol(argv[3], nullptr, 10)),
                          argv[4], seed);
     }
+    if (command == "query-batch") return CmdQueryBatch(argv[2], argv[3]);
     return Usage();
   }();
 
