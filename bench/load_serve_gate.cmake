@@ -1,0 +1,37 @@
+# SLO gate for the serving-tier load report (ctest:
+# load_serve_report_gate). Runs the BM_LoadServe family fresh and
+# diffs it against the checked-in baseline
+# bench/out/BENCH_load_serve.json with impreg_bench_diff, gating both
+# the mean and — one-sided — the p99 tail. Thresholds are generous
+# (the baseline was recorded on a different machine under different
+# load): this trips on catastrophic tail regressions and on schema /
+# coverage drift (a scenario disappearing is a hard failure because
+# the gate requires shared benchmarks), not on timer noise. Invoked as:
+#
+#   cmake -DLOAD=<load_serve> -DDIFF=<impreg_bench_diff>
+#         -DBASELINE=<bench/out/BENCH_load_serve.json>
+#         -DOUT_DIR=<scratch dir> -P load_serve_gate.cmake
+
+foreach(var LOAD DIFF BASELINE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "load_serve_gate: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${LOAD} --out=${OUT_DIR}/fresh.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "load_serve run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${DIFF} ${BASELINE} ${OUT_DIR}/fresh.json
+          --max-regress=2000% --max-regress-p99=2000%
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "load serve SLO gate failed (${rc})")
+endif()

@@ -69,6 +69,12 @@ bool RecordFromJson(const JsonValue& obj, BenchRecord* record,
   if (const JsonValue* v = obj.FindOfType("threads", JsonValue::Type::kNumber)) {
     record->threads = static_cast<int>(v->AsDouble());
   }
+  if (const JsonValue* v = obj.FindOfType("p50_ns", JsonValue::Type::kNumber)) {
+    record->p50_ns = v->AsDouble();
+  }
+  if (const JsonValue* v = obj.FindOfType("p99_ns", JsonValue::Type::kNumber)) {
+    record->p99_ns = v->AsDouble();
+  }
   return true;
 }
 
@@ -95,7 +101,12 @@ std::string BenchReportToJson(const std::vector<BenchRecord>& records,
     AppendEscaped(out, r.bench);
     out << ", \"n\": " << r.n << ", \"m\": " << r.m
         << ", \"threads\": " << r.threads
-        << ", \"ns_per_iter\": " << r.ns_per_iter << "}";
+        << ", \"ns_per_iter\": " << r.ns_per_iter;
+    // Percentiles are opt-in: throughput-only records keep the exact
+    // byte layout older baselines were written with.
+    if (r.p50_ns > 0.0) out << ", \"p50_ns\": " << r.p50_ns;
+    if (r.p99_ns > 0.0) out << ", \"p99_ns\": " << r.p99_ns;
+    out << "}";
     if (i + 1 < records.size()) out << ",";
     out << "\n";
   }
@@ -172,33 +183,48 @@ BenchParseResult ReadBenchReport(const std::string& path) {
 
 BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
                                  const std::vector<BenchRecord>& new_records,
-                                 double max_regress) {
+                                 double max_regress,
+                                 double max_regress_p99) {
   BenchDiffResult result;
   result.max_regress = max_regress;
+  result.max_regress_p99 = max_regress_p99;
   // Duplicate names (benchmark repetitions) keep the first occurrence:
   // reports from the JSON reporter emit one record per run in run
   // order, so "first" is stable across both sides.
-  std::map<std::string, double> old_ns, new_ns;
-  for (const BenchRecord& r : old_records) old_ns.emplace(r.bench, r.ns_per_iter);
-  for (const BenchRecord& r : new_records) new_ns.emplace(r.bench, r.ns_per_iter);
+  std::map<std::string, const BenchRecord*> old_by_name, new_by_name;
+  for (const BenchRecord& r : old_records) old_by_name.emplace(r.bench, &r);
+  for (const BenchRecord& r : new_records) new_by_name.emplace(r.bench, &r);
 
-  for (const auto& [bench, ns] : old_ns) {
-    const auto it = new_ns.find(bench);
-    if (it == new_ns.end()) {
+  for (const auto& [bench, old_rec] : old_by_name) {
+    const auto it = new_by_name.find(bench);
+    if (it == new_by_name.end()) {
       result.only_old.push_back(bench);
       continue;
     }
+    const BenchRecord& new_rec = *it->second;
     BenchDiffEntry entry;
     entry.bench = bench;
-    entry.old_ns = ns;
-    entry.new_ns = it->second;
-    entry.ratio = ns > 0.0 ? it->second / ns : 1.0;
+    entry.old_ns = old_rec->ns_per_iter;
+    entry.new_ns = new_rec.ns_per_iter;
+    entry.ratio = entry.old_ns > 0.0 ? entry.new_ns / entry.old_ns : 1.0;
     entry.regressed = entry.ratio > 1.0 + max_regress;
     if (entry.regressed) ++result.regressions;
+    if (old_rec->p99_ns > 0.0 && new_rec.p99_ns > 0.0) {
+      entry.has_p99 = true;
+      entry.old_p99 = old_rec->p99_ns;
+      entry.new_p99 = new_rec.p99_ns;
+      entry.p99_ratio = entry.new_p99 / entry.old_p99;
+      if (max_regress_p99 >= 0.0) {
+        entry.p99_regressed = entry.p99_ratio > 1.0 + max_regress_p99;
+        if (entry.p99_regressed) ++result.p99_regressions;
+      }
+    }
     result.entries.push_back(std::move(entry));
   }
-  for (const auto& [bench, ns] : new_ns) {
-    if (old_ns.find(bench) == old_ns.end()) result.only_new.push_back(bench);
+  for (const auto& [bench, rec] : new_by_name) {
+    if (old_by_name.find(bench) == old_by_name.end()) {
+      result.only_new.push_back(bench);
+    }
   }
   return result;
 }

@@ -7,8 +7,11 @@
 
 /// \file
 /// Machine-readable bench reports. Each benchmark run becomes one JSON
-/// record `{bench, n, m, threads, ns_per_iter}`; a whole suite is
-/// written as the `impreg-bench-v2` document
+/// record `{bench, n, m, threads, ns_per_iter}` — plus optional
+/// `p50_ns`/`p99_ns` tail-latency members for serving-style harnesses
+/// (the load generator) that measure a latency distribution rather
+/// than a single mean; a whole suite is written as the
+/// `impreg-bench-v2` document
 ///
 ///   {"schema": "impreg-bench-v2", "records": [...], "metrics": {...}}
 ///
@@ -30,6 +33,11 @@ struct BenchRecord {
   std::int64_t m = 0;          ///< Edge count (0 when not graph-based).
   int threads = 1;             ///< Pool threads the kernel ran with.
   double ns_per_iter = 0.0;    ///< Wall time per iteration, nanoseconds.
+  /// Latency-distribution percentiles, nanoseconds. 0 = not measured
+  /// (classic throughput benches); serialized only when > 0 so v2
+  /// documents without percentiles stay byte-identical.
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
 };
 
 /// Serializes `records` as an impreg-bench-v2 document. `metrics_json`,
@@ -69,6 +77,13 @@ struct BenchDiffEntry {
   double new_ns = 0.0;
   double ratio = 1.0;      ///< new_ns / old_ns (1.0 when old_ns == 0).
   bool regressed = false;  ///< ratio > 1 + max_regress.
+  /// p99 tail comparison; meaningful only when both sides carry a
+  /// nonzero p99_ns (has_p99).
+  bool has_p99 = false;
+  double old_p99 = 0.0;
+  double new_p99 = 0.0;
+  double p99_ratio = 1.0;
+  bool p99_regressed = false;  ///< p99_ratio > 1 + max_regress_p99.
 };
 
 /// The regression-gate verdict for a baseline/candidate report pair.
@@ -77,8 +92,10 @@ struct BenchDiffResult {
   std::vector<std::string> only_old;      ///< In baseline only (name-sorted).
   std::vector<std::string> only_new;      ///< In candidate only (name-sorted).
   double max_regress = 0.0;               ///< Threshold used, as a fraction.
+  double max_regress_p99 = -1.0;          ///< p99 threshold (< 0 = no gate).
   int regressions = 0;                    ///< Entries past the threshold.
-  bool ok() const { return regressions == 0; }
+  int p99_regressions = 0;                ///< Entries past the p99 threshold.
+  bool ok() const { return regressions == 0 && p99_regressions == 0; }
 };
 
 /// Compares two parsed reports benchmark-by-benchmark (matched on the
@@ -87,9 +104,16 @@ struct BenchDiffResult {
 /// `max_regress` is a fraction (0.10 = allow 10% slower). Benches
 /// present on only one side are reported but never count as
 /// regressions — the gate judges shared coverage.
+///
+/// `max_regress_p99 >= 0` additionally gates the p99 tail, one-sided:
+/// an entry where both sides carry p99_ns and
+/// `new_p99 > old_p99 * (1 + max_regress_p99)` counts as a p99
+/// regression (a *faster* tail never fails, and a mean-only bench is
+/// never p99-gated). The default (< 0) skips the tail gate entirely.
 BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
                                  const std::vector<BenchRecord>& new_records,
-                                 double max_regress);
+                                 double max_regress,
+                                 double max_regress_p99 = -1.0);
 
 }  // namespace impreg
 

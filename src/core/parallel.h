@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -115,7 +116,10 @@ T ParallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
   const std::int64_t g = grain < 1 ? 1 : grain;
   const std::int64_t chunks = internal::ChunkCount(begin, end, g);
   if (chunks == 1) return combine(std::move(identity), map(begin, end));
-  std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
+  // Heap array, not std::vector<T>: for T = bool the vector<bool>
+  // specialization packs partials into shared words, and concurrent
+  // chunk writes to adjacent bits are a data race.
+  std::unique_ptr<T[]> partials(new T[static_cast<std::size_t>(chunks)]);
   internal::RunChunks(chunks, [&](std::int64_t c) {
     const std::int64_t b = begin + c * g;
     const std::int64_t e = b + g < end ? b + g : end;

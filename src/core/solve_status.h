@@ -42,11 +42,17 @@ enum class SolveStatus {
   /// The input was rejected up front (non-finite entries, empty seed);
   /// the output is a safe default, not a solve.
   kInvalidInput,
+  /// Admission control refused the request under overload: no
+  /// computation was performed and no answer is attached. A shed is a
+  /// deliberate, deterministic policy decision (core/budget_pool.h) —
+  /// the serving tier's explicit "try again later", never a silent
+  /// drop.
+  kShed,
 };
 
 /// Short stable name for logs and CLI output ("converged",
 /// "max-iterations", "non-finite", "breakdown", "budget-exhausted",
-/// "invalid-input").
+/// "invalid-input", "shed").
 inline const char* SolveStatusName(SolveStatus status) {
   switch (status) {
     case SolveStatus::kConverged:       return "converged";
@@ -55,6 +61,7 @@ inline const char* SolveStatusName(SolveStatus status) {
     case SolveStatus::kBreakdown:       return "breakdown";
     case SolveStatus::kBudgetExhausted: return "budget-exhausted";
     case SolveStatus::kInvalidInput:    return "invalid-input";
+    case SolveStatus::kShed:            return "shed";
   }
   return "unknown";
 }
@@ -75,11 +82,12 @@ inline int StatusSeverity(SolveStatus status) {
     case SolveStatus::kConverged:       return 0;
     case SolveStatus::kMaxIterations:   return 1;
     case SolveStatus::kBudgetExhausted: return 2;
-    case SolveStatus::kBreakdown:       return 3;
-    case SolveStatus::kNonFinite:       return 4;
-    case SolveStatus::kInvalidInput:    return 5;
+    case SolveStatus::kShed:            return 3;
+    case SolveStatus::kBreakdown:       return 4;
+    case SolveStatus::kNonFinite:       return 5;
+    case SolveStatus::kInvalidInput:    return 6;
   }
-  return 5;
+  return 6;
 }
 
 /// The worse of two statuses — how a driver that ran several sub-solves

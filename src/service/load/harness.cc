@@ -1,0 +1,183 @@
+#include "service/load/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "core/parallel.h"
+#include "util/fault.h"
+
+namespace impreg {
+
+bool operator==(const ResponseDigest& a, const ResponseDigest& b) {
+  return a.status == b.status && a.source == b.source &&
+         a.degraded == b.degraded && a.shed == b.shed && a.work == b.work &&
+         a.checksum == b.checksum && a.tenant == b.tenant;
+}
+
+namespace {
+
+double ScoreChecksum(const Vector& scores) {
+  double sum = 0.0;
+  for (double s : scores) sum += s;
+  return sum;
+}
+
+/// Sorted-latency percentile, nearest-rank. `latencies` must be sorted.
+double Percentile(const std::vector<double>& latencies, double q) {
+  if (latencies.empty()) return 0.0;
+  const double rank = q * static_cast<double>(latencies.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return latencies[lo] + frac * (latencies[hi] - latencies[lo]);
+}
+
+void AbsorbResponse(const QueryResponse& response, LoadStats& stats) {
+  ResponseDigest digest;
+  digest.status = response.status;
+  digest.source = response.source;
+  digest.degraded = response.degraded;
+  digest.shed = response.shed;
+  digest.work = response.work;
+  digest.checksum = ScoreChecksum(response.scores);
+  digest.tenant = response.tenant;
+  stats.digests.push_back(std::move(digest));
+
+  if (response.shed) {
+    ++stats.shed;
+  } else {
+    switch (response.source) {
+      case QuerySource::kCold:   ++stats.cold; break;
+      case QuerySource::kWarm:   ++stats.warm; break;
+      case QuerySource::kCached: ++stats.cached; break;
+    }
+  }
+  if (response.degraded) ++stats.degraded;
+  if (response.status == SolveStatus::kInvalidInput) ++stats.invalid;
+  stats.total_work += response.work;
+  stats.status = MergeStatus(stats.status, response.status);
+}
+
+}  // namespace
+
+LoadStats RunLoadWorkload(QueryEngine& engine, const Workload& workload) {
+  using Clock = std::chrono::steady_clock;
+  LoadStats stats;
+  if (workload.sanitized_gaps > 0) {
+    stats.status = MergeStatus(stats.status, SolveStatus::kNonFinite);
+    stats.detail = std::to_string(workload.sanitized_gaps) +
+                   " interarrival gap(s) sanitized at ingest";
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(workload.events.size());
+  std::size_t next = 0;
+  for (int batch_size : workload.batch_sizes) {
+    const std::size_t end = next + static_cast<std::size_t>(batch_size);
+    const auto start_time = Clock::now();
+    // Split the closed-loop batch at mutation boundaries: queries
+    // queued before an AddEdge flush first (the CLI's JSONL
+    // convention), so every query sees the epoch its arrival order
+    // implies.
+    std::vector<Query> pending;
+    int batch_queries = 0;
+    auto flush = [&] {
+      if (pending.empty()) return;
+      const std::vector<QueryResponse> responses = engine.RunBatch(pending);
+      for (const QueryResponse& response : responses) {
+        AbsorbResponse(response, stats);
+      }
+      batch_queries += static_cast<int>(pending.size());
+      pending.clear();
+    };
+    for (std::size_t i = next; i < end; ++i) {
+      const WorkloadEvent& event = workload.events[i];
+      if (event.is_add_edge) {
+        flush();
+        engine.AddEdge(event.u, event.v);
+        ++stats.writes;
+      } else {
+        pending.push_back(event.query);
+      }
+    }
+    flush();
+    double batch_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_time)
+            .count());
+    IMPREG_FAULT_POINT("load/latency", batch_ns);
+    if (!std::isfinite(batch_ns) || batch_ns < 0.0) {
+      // A poisoned or backwards clock sample is contained here: the
+      // sample is dropped to 0 and the run is marked, so NaN can never
+      // reach a percentile or a checked-in report.
+      batch_ns = 0.0;
+      stats.status = MergeStatus(stats.status, SolveStatus::kNonFinite);
+      if (!stats.detail.empty()) stats.detail += "; ";
+      stats.detail += "latency sample sanitized";
+    }
+    stats.total_wall_ns += batch_ns;
+    // Closed-loop convention: every query in the batch waited for the
+    // whole batch, so each is attributed the batch's wall time.
+    for (int q = 0; q < batch_queries; ++q) latencies.push_back(batch_ns);
+    next = end;
+    ++stats.batches;
+  }
+
+  stats.events = static_cast<int>(workload.events.size());
+  stats.queries = static_cast<int>(latencies.size());
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    stats.mean_ns = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    stats.p50_ns = Percentile(latencies, 0.50);
+    stats.p95_ns = Percentile(latencies, 0.95);
+    stats.p99_ns = Percentile(latencies, 0.99);
+  }
+  stats.tenants = engine.admission_pool().stats();
+  return stats;
+}
+
+BenchRecord LoadStatsRecord(const std::string& bench, const LoadStats& stats,
+                            std::int64_t num_nodes, std::int64_t num_edges,
+                            int threads) {
+  BenchRecord record;
+  record.bench = bench;
+  record.n = num_nodes;
+  record.m = num_edges;
+  record.threads = threads > 0 ? threads : ImpregNumThreads();
+  record.ns_per_iter = stats.mean_ns;
+  record.p50_ns = stats.p50_ns;
+  record.p99_ns = stats.p99_ns;
+  return record;
+}
+
+std::string LoadMetricsJson(const LoadStats& stats) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{";
+  out << "\"load.batches\": " << stats.batches;
+  out << ", \"load.cached\": " << stats.cached;
+  out << ", \"load.cold\": " << stats.cold;
+  out << ", \"load.degraded\": " << stats.degraded;
+  out << ", \"load.events\": " << stats.events;
+  out << ", \"load.invalid\": " << stats.invalid;
+  out << ", \"load.queries\": " << stats.queries;
+  out << ", \"load.shed\": " << stats.shed;
+  out << ", \"load.total_work\": " << stats.total_work;
+  out << ", \"load.warm\": " << stats.warm;
+  out << ", \"load.writes\": " << stats.writes;
+  for (const auto& [tenant, t] : stats.tenants) {
+    const std::string key = "load.tenant." + (tenant.empty() ? "-" : tenant);
+    out << ", \"" << key << ".degraded\": " << t.admitted_degraded;
+    out << ", \"" << key << ".exact\": " << t.admitted_exact;
+    out << ", \"" << key << ".shed\": " << t.shed;
+    out << ", \"" << key << ".spent_arcs\": " << t.spent_arcs;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace impreg

@@ -1,0 +1,111 @@
+#ifndef IMPREG_SERVICE_LOAD_HARNESS_H_
+#define IMPREG_SERVICE_LOAD_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "core/budget_pool.h"
+#include "core/solve_status.h"
+#include "service/load/workload.h"
+#include "service/query_engine.h"
+
+/// \file
+/// The closed-loop load harness: drives a QueryEngine through a
+/// generated Workload batch by batch and reports the serving story —
+/// tail latency (p50/p95/p99), answer provenance (cold / warm /
+/// cached), and the degradation ladder's output (degraded / shed
+/// counts, per tenant).
+///
+/// Two kinds of result, with different reproducibility contracts:
+///
+///  - *Digests* — per-query (status, source, shed, work, score
+///    checksum) — are bit-identical for a fixed workload and engine
+///    configuration at any thread count. Tests gate on these.
+///  - *Latencies* — wall-clock per closed-loop batch, attributed to
+///    every query in the batch — are machine- and load-dependent.
+///    Reports carry them as p50/p99 and `impreg_bench_diff
+///    --max-regress-p99` gates their *trajectory*, not their value.
+
+namespace impreg {
+
+/// Per-query result fingerprint: everything the determinism suite
+/// compares, nothing wall-clock-dependent. `checksum` is the plain
+/// left-to-right sum of the score vector — bitwise-stable because every
+/// engine path is deterministic.
+struct ResponseDigest {
+  SolveStatus status = SolveStatus::kConverged;
+  QuerySource source = QuerySource::kCold;
+  bool degraded = false;
+  bool shed = false;
+  std::int64_t work = 0;
+  double checksum = 0.0;
+  std::string tenant;
+};
+
+bool operator==(const ResponseDigest& a, const ResponseDigest& b);
+inline bool operator!=(const ResponseDigest& a, const ResponseDigest& b) {
+  return !(a == b);
+}
+
+/// Everything one load run reports.
+struct LoadStats {
+  int events = 0;   ///< Total workload events driven.
+  int queries = 0;  ///< Query events (digests align with these, in order).
+  int writes = 0;   ///< AddEdge events applied.
+  int batches = 0;  ///< Closed-loop batches executed.
+
+  // Answer provenance and degradation, from the responses themselves.
+  std::int64_t cold = 0;
+  std::int64_t warm = 0;
+  std::int64_t cached = 0;
+  std::int64_t degraded = 0;  ///< Responses marked degraded (includes shed).
+  std::int64_t shed = 0;      ///< Responses refused by admission control.
+  std::int64_t invalid = 0;   ///< kInvalidInput responses.
+  std::int64_t total_work = 0;
+
+  // Latency distribution over queries (each query is attributed its
+  // closed-loop batch's wall time), nanoseconds.
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double total_wall_ns = 0.0;
+
+  /// Worst harness-level status: merged over every response plus the
+  /// harness's own ingest checks (a poisoned interarrival or latency
+  /// sample folds in kNonFinite — contained and marked, never silent).
+  SolveStatus status = SolveStatus::kConverged;
+  std::string detail;
+
+  /// Per-tenant admission outcome (copied from the engine's pool when
+  /// admission is enabled; empty otherwise).
+  std::map<std::string, TenantAdmissionStats> tenants;
+
+  /// One digest per query event, in arrival order.
+  std::vector<ResponseDigest> digests;
+};
+
+/// Drives `engine` through `workload`. Batches execute in order; an
+/// AddEdge event flushes the queries queued before it (same convention
+/// as the CLI's JSONL loop) so mutations land between batches
+/// deterministically.
+LoadStats RunLoadWorkload(QueryEngine& engine, const Workload& workload);
+
+/// Renders the run as one impreg-bench-v2 record named `bench` (e.g.
+/// "BM_LoadServe/steady"): ns_per_iter = mean latency, p50_ns/p99_ns =
+/// the tails, n/m = graph size, threads = the pool width it ran with.
+BenchRecord LoadStatsRecord(const std::string& bench, const LoadStats& stats,
+                            std::int64_t num_nodes, std::int64_t num_edges,
+                            int threads);
+
+/// The reproducible half of the report as a JSON object (counts and
+/// rates only — no wall-clock values), for the report's `metrics`
+/// member. Keys are name-sorted and stable.
+std::string LoadMetricsJson(const LoadStats& stats);
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_LOAD_HARNESS_H_

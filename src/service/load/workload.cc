@@ -1,0 +1,143 @@
+#include "service/load/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace impreg {
+
+const char* ArrivalPatternName(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kSteady: return "steady";
+    case ArrivalPattern::kBurst:  return "burst";
+    case ArrivalPattern::kRamp:   return "ramp";
+  }
+  return "unknown";
+}
+
+bool ArrivalPatternFromName(const std::string& name, ArrivalPattern* pattern) {
+  if (name == "steady") *pattern = ArrivalPattern::kSteady;
+  else if (name == "burst") *pattern = ArrivalPattern::kBurst;
+  else if (name == "ramp") *pattern = ArrivalPattern::kRamp;
+  else return false;
+  return true;
+}
+
+ZipfSampler::ZipfSampler(std::int64_t n, double s) {
+  IMPREG_CHECK(n >= 1);
+  IMPREG_CHECK(s >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    total += std::pow(static_cast<double>(k + 1), -s);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against round-off at the tail.
+}
+
+std::int64_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end()
+             ? static_cast<std::int64_t>(cdf_.size()) - 1
+             : static_cast<std::int64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  if (k >= static_cast<std::int64_t>(cdf_.size())) return 1.0;
+  return cdf_[static_cast<std::size_t>(k)];
+}
+
+namespace {
+
+/// The batch size the pattern prescribes at batch index `b`, around
+/// nominal size `nominal`. Pure in (pattern, nominal, b).
+int PatternBatchSize(ArrivalPattern pattern, int nominal, int b) {
+  const int lull = std::max(1, nominal / 4);
+  const int spike = nominal * 4;
+  switch (pattern) {
+    case ArrivalPattern::kSteady:
+      return nominal;
+    case ArrivalPattern::kBurst:
+      return (b % 2 == 0) ? lull : spike;
+    case ArrivalPattern::kRamp: {
+      std::int64_t size = 1;
+      for (int i = 0; i < b && size < spike; ++i) size *= 2;
+      return static_cast<int>(std::min<std::int64_t>(size, spike));
+    }
+  }
+  return nominal;
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadOptions& options, NodeId num_nodes) {
+  IMPREG_CHECK(num_nodes >= 2);
+  IMPREG_CHECK(options.num_requests >= 1);
+  IMPREG_CHECK(options.batch_size >= 1);
+  IMPREG_CHECK(options.seeds_per_query >= 1);
+  Workload workload;
+  workload.events.reserve(static_cast<std::size_t>(options.num_requests));
+  Rng rng(options.seed);
+  const ZipfSampler zipf(num_nodes, options.zipf_exponent);
+
+  for (int i = 0; i < options.num_requests; ++i) {
+    WorkloadEvent event;
+    if (options.write_fraction > 0.0 &&
+        rng.NextBernoulli(options.write_fraction)) {
+      // Mutations attach a uniform endpoint to a Zipf-popular one, so
+      // the hot head of the popularity curve is also where the graph
+      // grows — the adversarial case for cached/warm-restart state.
+      event.is_add_edge = true;
+      event.u = static_cast<NodeId>(zipf.Sample(rng));
+      event.v = static_cast<NodeId>(rng.NextBounded(
+          static_cast<std::uint64_t>(num_nodes)));
+      if (event.v == event.u) event.v = (event.v + 1) % num_nodes;
+    } else {
+      Query& q = event.query;
+      q.method = options.method;
+      q.gamma = options.gamma;
+      q.epsilon = options.epsilon;
+      q.max_work = options.max_work;
+      q.seeds.reserve(static_cast<std::size_t>(options.seeds_per_query));
+      for (int s = 0; s < options.seeds_per_query; ++s) {
+        q.seeds.push_back(static_cast<NodeId>(zipf.Sample(rng)));
+      }
+      if (!options.tenants.empty()) {
+        q.tenant = options.tenants[static_cast<std::size_t>(
+            rng.NextBounded(options.tenants.size()))];
+      }
+    }
+    workload.events.push_back(std::move(event));
+  }
+
+  // Partition into closed-loop batches and draw one simulated
+  // inter-batch gap per batch (exponential, mean 1). The gap is an
+  // offered-load record, never a control input — but it is still a
+  // hardened ingest value: the "load/interarrival" hook can poison it,
+  // and the generator clamps and counts instead of propagating NaN
+  // into the report.
+  int remaining = options.num_requests;
+  int b = 0;
+  while (remaining > 0) {
+    const int size = std::min(
+        remaining, PatternBatchSize(options.pattern, options.batch_size, b));
+    workload.batch_sizes.push_back(size);
+    double gap = -std::log(1.0 - rng.NextDouble());
+    IMPREG_FAULT_POINT("load/interarrival", gap);
+    if (!std::isfinite(gap) || gap < 0.0) {
+      gap = 1.0;
+      ++workload.sanitized_gaps;
+    }
+    workload.interarrival.push_back(gap);
+    remaining -= size;
+    ++b;
+  }
+  return workload;
+}
+
+}  // namespace impreg

@@ -1,0 +1,116 @@
+#ifndef IMPREG_SERVICE_LOAD_WORKLOAD_H_
+#define IMPREG_SERVICE_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_engine.h"
+#include "util/rng.h"
+
+/// \file
+/// Deterministic production-shaped workloads for the serving layer.
+///
+/// A workload is a fully materialized event sequence — seed-set queries
+/// with Zipf-popular seeds, interleaved AddEdge mutations, partitioned
+/// into closed-loop batches by an arrival pattern — generated entirely
+/// from one Rng seed. Generation happens up front and never consults
+/// the clock, so two runs from the same options replay the *identical*
+/// byte-for-byte request stream: the load harness's determinism claims
+/// (same shed set at 1 and 8 threads, cache on or off) are claims about
+/// the engine, not about generator luck.
+///
+/// Seed popularity is Zipfian over node ids: rank k (= node id k)
+/// carries weight (k+1)^-s. Skew s is configurable; s ≈ 1 matches the
+/// classic web/social access skew, larger s concentrates load on the
+/// hot head — the interesting regime for cache and admission behavior.
+
+namespace impreg {
+
+/// How closed-loop batches are sized across the run.
+enum class ArrivalPattern {
+  kSteady,  ///< Every batch is `batch_size` events.
+  kBurst,   ///< Alternating lulls (batch_size/4) and spikes (4×).
+  kRamp,    ///< Doubling from 1 up to a 4× ceiling, then flat.
+};
+
+/// Stable names: "steady", "burst", "ramp".
+const char* ArrivalPatternName(ArrivalPattern pattern);
+
+/// Parses a stable name; false on unknown.
+bool ArrivalPatternFromName(const std::string& name, ArrivalPattern* pattern);
+
+/// Zipf(s) over ranks {0, ..., n-1}: P(k) ∝ (k+1)^-s. Exact inverse-CDF
+/// sampling (binary search over the precomputed CDF), no rejection —
+/// one Rng draw per sample keeps replay offsets stable.
+class ZipfSampler {
+ public:
+  /// `n` ≥ 1 ranks, exponent `s` ≥ 0 (s = 0 is uniform).
+  ZipfSampler(std::int64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::int64_t Sample(Rng& rng) const;
+
+  /// The analytic CDF: P(rank ≤ k). Tests compare empirical
+  /// frequencies against differences of this.
+  double Cdf(std::int64_t k) const;
+
+  std::int64_t n() const { return static_cast<std::int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Everything that shapes a workload. Two equal option structs generate
+/// bit-identical workloads.
+struct WorkloadOptions {
+  std::uint64_t seed = 1;
+  /// Total events (queries + mutations).
+  int num_requests = 1024;
+  /// Zipf exponent for seed popularity (0 = uniform).
+  double zipf_exponent = 1.1;
+  /// Fraction of events that are AddEdge mutations (the write mix).
+  double write_fraction = 0.0;
+  ArrivalPattern pattern = ArrivalPattern::kSteady;
+  /// Nominal closed-loop batch size (the pattern scales around it).
+  int batch_size = 16;
+  /// Distinct seeds per query (sampled with replacement, ≥ 1).
+  int seeds_per_query = 1;
+  /// Tenant names sampled uniformly per query; empty = the anonymous
+  /// tenant "".
+  std::vector<std::string> tenants;
+  /// Query template: every generated query copies these.
+  QueryMethod method = QueryMethod::kPprPush;
+  double gamma = 0.15;
+  double epsilon = 1e-4;
+  std::int64_t max_work = 0;
+};
+
+/// One generated event: a query, or an AddEdge mutation.
+struct WorkloadEvent {
+  bool is_add_edge = false;
+  NodeId u = 0;  ///< Mutation endpoints (valid when is_add_edge).
+  NodeId v = 0;
+  Query query;   ///< Valid when !is_add_edge.
+};
+
+/// A materialized workload: the event stream plus its batch partition.
+struct Workload {
+  std::vector<WorkloadEvent> events;
+  /// Closed-loop batch sizes, in order; sums to events.size().
+  std::vector<int> batch_sizes;
+  /// Simulated inter-batch gaps (arbitrary time units, one per batch)
+  /// — the offered-load record. Pacing only; never affects events.
+  std::vector<double> interarrival;
+  /// Gaps the "load/interarrival" fault hook poisoned and the
+  /// generator clamped (surfaced as kNonFinite by the harness).
+  int sanitized_gaps = 0;
+};
+
+/// Generates the workload for a graph with `num_nodes` nodes. Pure
+/// function of (options, num_nodes) — replays are bit-identical.
+Workload GenerateWorkload(const WorkloadOptions& options, NodeId num_nodes);
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_LOAD_WORKLOAD_H_

@@ -136,13 +136,25 @@ QueryEngine::QueryEngine(const Graph& initial)
 QueryEngine::QueryEngine(const Graph& initial, const Options& options)
     : options_(options),
       graph_(DynamicGraph::FromGraph(initial)),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity),
+      pool_(options.admission.policy) {
+  for (const auto& entry : options_.admission.tenant_capacity) {
+    pool_.SetCapacity(entry.first, entry.second);
+  }
+}
 
 QueryEngine::QueryEngine(const DynamicGraph& initial)
     : QueryEngine(initial, Options()) {}
 
 QueryEngine::QueryEngine(const DynamicGraph& initial, const Options& options)
-    : options_(options), graph_(initial), cache_(options.cache_capacity) {}
+    : options_(options),
+      graph_(initial),
+      cache_(options.cache_capacity),
+      pool_(options.admission.policy) {
+  for (const auto& entry : options_.admission.tenant_capacity) {
+    pool_.SetCapacity(entry.first, entry.second);
+  }
+}
 
 void QueryEngine::AddEdge(NodeId u, NodeId v, double weight) {
   graph_.AddEdge(u, v, weight);
@@ -425,8 +437,17 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
   std::vector<int> slot(queries.size(), -1);
   std::vector<std::unique_ptr<WorkItem>> items;
   std::unordered_map<std::string, int> dedup;
+  // Per-arrival admission bookkeeping: -1 = not admitted (shed,
+  // invalid, or admission disabled).
+  const bool admit = options_.admission.enabled;
+  std::vector<std::int64_t> billed(queries.size(), -1);
+  std::vector<char> owner(queries.size(), 0);
 
-  // Phase 1 (sequential): validate, canonicalize, deduplicate.
+  // Phase 1 (sequential, arrival order): validate, admit,
+  // canonicalize, deduplicate. Admission runs here — before dedup and
+  // before any cache lookup — so each shed decision is a pure function
+  // of (tenant, arrival index, pool state): identical at any thread
+  // count, cache on or off.
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const std::string error = ValidateQuery(queries[i], n);
     if (!error.empty()) {
@@ -439,6 +460,31 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
     }
     Query canonical = queries[i];
     canonical.seeds = CanonicalSeeds(canonical.seeds);
+    if (admit) {
+      std::int64_t granted = 0;
+      const AdmissionDecision decision =
+          pool_.Admit(canonical.tenant, canonical.max_work, &granted);
+      if (decision == AdmissionDecision::kShed) {
+        // No computation, no answer — an explicit refusal, never a
+        // silent drop. scores/set stay empty.
+        out[i].status = SolveStatus::kShed;
+        out[i].degraded = true;
+        out[i].shed = true;
+        out[i].detail = "tenant '" + canonical.tenant +
+                        "' work pool exhausted; shed by admission control";
+        IMPREG_METRIC_COUNT("service.engine.shed", 1);
+        continue;
+      }
+      billed[i] = granted;
+      if (decision == AdmissionDecision::kDegraded) {
+        // The granted cap flows into max_work *before* the cache key is
+        // computed, so capped queries key (and cache) separately from
+        // their exact twins.
+        canonical.max_work = canonical.max_work > 0
+                                 ? std::min(canonical.max_work, granted)
+                                 : granted;
+      }
+    }
     std::string key = CanonicalKey(canonical, epoch_);
     const auto duplicate = dedup.find(key);
     if (duplicate != dedup.end()) {
@@ -456,6 +502,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
     const double mass = 1.0 / static_cast<double>(item->query.seeds.size());
     for (NodeId s : item->query.seeds) item->seed[s] = mass;
     slot[i] = static_cast<int>(items.size());
+    owner[i] = 1;
     dedup.emplace(item->key, static_cast<int>(items.size()));
     items.push_back(std::move(item));
   }
@@ -559,9 +606,23 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
     }
   }
 
+  // Phase 5 (sequential, arrival order): record observed solver work
+  // into the admission stats. Reporting only — deduped and cached
+  // arrivals settle at 0, and nothing here feeds back into shed
+  // decisions (see core/budget_pool.h).
+  if (admit) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (billed[i] < 0) continue;
+      const std::int64_t actual =
+          owner[i] ? items[slot[i]]->response.work : 0;
+      pool_.Settle(queries[i].tenant, actual);
+    }
+  }
+
   // Fan responses out to the original batch positions.
   for (std::size_t i = 0; i < queries.size(); ++i) {
     if (slot[i] >= 0) out[i] = items[slot[i]]->response;
+    out[i].tenant = queries[i].tenant;
   }
   return out;
 }

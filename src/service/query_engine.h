@@ -2,10 +2,12 @@
 #define IMPREG_SERVICE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/budget_pool.h"
 #include "core/solve_status.h"
 #include "graph/graph.h"
 #include "linalg/vector_ops.h"
@@ -39,6 +41,14 @@
 /// Budgeted queries degrade, never lie: a per-query WorkBudget that
 /// runs out yields a best-so-far answer carrying kBudgetExhausted and
 /// `degraded = true`. See docs/serving.md.
+///
+/// Under overload, admission control (core/budget_pool.h) extends that
+/// contract to whole tenants: per-tenant WorkBudget pools walk the
+/// deterministic ladder exact → warm-restart → budget-capped
+/// degraded-but-marked → shed (kShed, `shed = true`). Admission runs
+/// sequentially in arrival order, so the shed set is a pure function of
+/// (tenant, arrival index, pool state) — bit-identical at any thread
+/// count, cache on or off. See docs/load_testing.md.
 
 namespace impreg {
 
@@ -81,6 +91,10 @@ struct Query {
   int steps = 40;
   /// Per-query work budget in arc traversals (0 = unlimited).
   std::int64_t max_work = 0;
+  /// Tenant the query bills against ("" = the anonymous tenant).
+  /// Admission control accounts per tenant; the cache key does NOT
+  /// include the tenant — answers are tenant-independent.
+  std::string tenant;
 };
 
 /// Where an answer came from.
@@ -108,6 +122,12 @@ struct QueryResponse {
   /// True when status != kConverged: the answer is early-stopped,
   /// budget-truncated, or a safe fallback — marked, never silent.
   bool degraded = false;
+  /// True when admission control refused the query (status == kShed):
+  /// no computation happened, `scores`/`set` are empty, and the caller
+  /// should retry later. Shed responses also carry degraded = true.
+  bool shed = false;
+  /// Echoed from the query (admission accounting key).
+  std::string tenant;
   std::string detail;
 };
 
@@ -125,6 +145,15 @@ class QueryEngine {
     std::size_t cache_capacity = 256;
     /// Disable to force every query cold (determinism tests, benches).
     bool enable_cache = true;
+    /// Per-tenant admission control (off by default: every query is
+    /// admitted exact and no ledgers are kept).
+    struct AdmissionControl {
+      bool enabled = false;
+      /// Ladder thresholds + default capacity for every tenant.
+      TenantPolicy policy;
+      /// Per-tenant capacity overrides (tenant → arcs; 0 = unlimited).
+      std::map<std::string, std::int64_t> tenant_capacity;
+    } admission;
   };
 
   explicit QueryEngine(const Graph& initial);
@@ -151,6 +180,14 @@ class QueryEngine {
   const DynamicGraph& graph() const { return graph_; }
   const ResultCache& cache() const { return cache_; }
 
+  /// The admission ledgers (meaningful when options.admission.enabled;
+  /// exposed for load reports and tests).
+  const TenantBudgetPool& admission_pool() const { return pool_; }
+
+  /// Drops every admission ledger and counter (fresh accounting window;
+  /// cache and graph are untouched).
+  void ResetAdmission() { pool_.Reset(); }
+
   /// The canonical exact cache key for `query` at `epoch` (exposed so
   /// tests can pin the keying scheme). Seeds are fingerprinted sorted
   /// and deduplicated; parameters print as %.17g.
@@ -171,6 +208,7 @@ class QueryEngine {
   DynamicGraph graph_;
   std::int64_t epoch_ = 0;
   ResultCache cache_;
+  TenantBudgetPool pool_;
   std::unique_ptr<Graph> frozen_;
   std::int64_t frozen_epoch_ = -1;
 };

@@ -141,6 +141,8 @@ bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
     out->query.steps = static_cast<int>(steps);
   }
   ReadInt(obj, "max_work", &out->query.max_work);
+  const JsonValue* tenant = obj.FindOfType("tenant", JsonValue::Type::kString);
+  if (tenant != nullptr) out->query.tenant = tenant->AsString();
   std::int64_t top = 0;
   if (ReadInt(obj, "top", &top)) {
     out->top = static_cast<int>(std::max<std::int64_t>(top, 0));
@@ -187,6 +189,9 @@ std::string QueryResponseToJson(const QueryRequest& request,
   out += "\"";
   out += ",\"degraded\":";
   out += response.degraded ? "true" : "false";
+  out += ",\"shed\":";
+  out += response.shed ? "true" : "false";
+  out += ",\"tenant\":\"" + EscapeJson(response.tenant) + "\"";
   out += ",\"epoch\":" + std::to_string(epoch);
   out += ",\"support\":" + std::to_string(support);
   out += ",\"work\":" + std::to_string(response.work);

@@ -17,9 +17,12 @@
 ///
 /// `op` defaults to "query". Query fields beyond `seeds` are optional
 /// and default to the Query struct defaults; `method` is one of "ppr",
-/// "ppr-dense", "heat-kernel", "nibble". Responses follow the pinned
-/// schema "impreg-query-response-v1" (see docs/serving.md and the
-/// golden test in tests/service_test.cc).
+/// "ppr-dense", "heat-kernel", "nibble"; `tenant` (string, default "")
+/// names the admission-control billing account. Responses follow the
+/// pinned schema "impreg-query-response-v1" (see docs/serving.md and
+/// the golden test in tests/service_test.cc) — `shed` (bool) and
+/// `tenant` (string) report admission-control outcomes; a shed
+/// response has status "shed" and empty set/top.
 
 namespace impreg {
 

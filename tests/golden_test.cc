@@ -67,7 +67,8 @@ void CheckTraceDocumentShape(const std::string& json) {
     // Status strings come from SolveStatusName.
     const std::set<std::string> statuses = {
         "converged",        "max-iterations", "non-finite",
-        "breakdown",        "budget-exhausted", "invalid-input"};
+        "breakdown",        "budget-exhausted", "invalid-input",
+        "shed"};
     EXPECT_TRUE(statuses.count(status->AsString()))
         << "unknown status " << status->AsString();
     EXPECT_NE(trace.FindOfType("iterations", JsonValue::Type::kNumber),
@@ -182,6 +183,71 @@ TEST(GoldenTest, SelfDiffPassesAndTwoXSlowdownFailsTheGate) {
   // A 2x slowdown is *within* a 150% allowance — the threshold is a
   // real parameter, not a constant.
   EXPECT_TRUE(DiffBenchReports(baseline.records, slowdown.records, 1.5).ok());
+}
+
+// —— Load-harness fixtures: percentile records and the shed line ——
+
+TEST(GoldenTest, LoadFixturesCarryPercentilesAndTheP99GateTrips) {
+  const BenchParseResult baseline =
+      ReadBenchReport(GoldenPath("load_baseline.json"));
+  const BenchParseResult slowdown =
+      ReadBenchReport(GoldenPath("load_p99_slowdown.json"));
+  ASSERT_TRUE(baseline.ok()) << baseline.error;
+  ASSERT_TRUE(slowdown.ok()) << slowdown.error;
+  ASSERT_EQ(baseline.records.size(), 2u);
+  EXPECT_EQ(baseline.records[0].bench, "BM_LoadServe/steady");
+  EXPECT_GT(baseline.records[0].p50_ns, 0.0);
+  EXPECT_GT(baseline.records[0].p99_ns, baseline.records[0].p50_ns);
+
+  // The fixture pair has identical means but a doubled tail: the mean
+  // gate alone passes it...
+  const BenchDiffResult mean_only =
+      DiffBenchReports(baseline.records, slowdown.records, 0.10);
+  EXPECT_TRUE(mean_only.ok());
+  EXPECT_EQ(mean_only.p99_regressions, 0);  // Gate off by default.
+  // ...and only the one-sided p99 gate catches it.
+  const BenchDiffResult gated =
+      DiffBenchReports(baseline.records, slowdown.records, 0.10, 0.25);
+  EXPECT_FALSE(gated.ok());
+  EXPECT_EQ(gated.regressions, 0);
+  EXPECT_EQ(gated.p99_regressions, 2);
+  // One-sided means tail *improvements* never trip it.
+  const BenchDiffResult improved =
+      DiffBenchReports(slowdown.records, baseline.records, 0.10, 0.25);
+  EXPECT_TRUE(improved.ok());
+  EXPECT_EQ(improved.p99_regressions, 0);
+}
+
+TEST(GoldenTest, ShedResponseFixtureMatchesTheWireShape) {
+  // The committed shed line — the wire form of an admission refusal.
+  // service_test pins the live serializer to this same line; here the
+  // fixture itself is checked so the two cannot drift apart silently.
+  const JsonParseResult parsed =
+      JsonParse(ReadFileOrDie(GoldenPath("query_response_shed.jsonl")));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const JsonValue& doc = parsed.value;
+  const JsonValue* schema = doc.FindOfType("schema", JsonValue::Type::kString);
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->AsString(), "impreg-query-response-v1");
+  const JsonValue* status = doc.FindOfType("status", JsonValue::Type::kString);
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->AsString(), "shed");
+  const JsonValue* degraded =
+      doc.FindOfType("degraded", JsonValue::Type::kBool);
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_TRUE(degraded->AsBool());
+  const JsonValue* shed = doc.FindOfType("shed", JsonValue::Type::kBool);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_TRUE(shed->AsBool());
+  const JsonValue* tenant = doc.FindOfType("tenant", JsonValue::Type::kString);
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->AsString(), "heavy");
+  const JsonValue* work = doc.FindOfType("work", JsonValue::Type::kNumber);
+  ASSERT_NE(work, nullptr);
+  EXPECT_EQ(work->AsDouble(), 0.0);
+  const JsonValue* top = doc.FindOfType("top", JsonValue::Type::kArray);
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->Items().empty());
 }
 
 TEST(GoldenTest, BenchesOnOneSideOnlyAreReportedNotCounted) {

@@ -42,6 +42,8 @@
 #include "partition/hkrelax.h"
 #include "partition/nibble.h"
 #include "partition/push.h"
+#include "service/load/harness.h"
+#include "service/load/workload.h"
 #include "service/query_engine.h"
 #include "util/fault.h"
 #include "util/rng.h"
@@ -261,6 +263,32 @@ std::vector<Scenario> AllScenarios() {
     SolverDiagnostics diag;
     SpectralFamilyClusters(g, options, &diag);
     return Outcome{diag.status, true};
+  }});
+
+  scenarios.push_back({"load", {"load/", "service/admission"}, [] {
+    // The serving-tier workload path: generation (interarrival site),
+    // admission (budget site), and the harness clock (latency site).
+    // Cache disabled so the unowned service/cache_insert site — armed
+    // by its own dedicated test below — stays out of this sweep, and
+    // an unlimited pool so the healthy run admits everything exact.
+    const Graph g = CavemanGraph(3, 8);
+    WorkloadOptions options;
+    options.seed = 13;
+    options.num_requests = 24;
+    options.batch_size = 6;
+    options.epsilon = 1e-4;
+    options.tenants = {"a"};
+    const Workload workload = GenerateWorkload(options, g.NumNodes());
+    QueryEngine::Options engine_options;
+    engine_options.enable_cache = false;
+    engine_options.admission.enabled = true;
+    QueryEngine engine(g, engine_options);
+    const LoadStats stats = RunLoadWorkload(engine, workload);
+    bool finite = std::isfinite(stats.mean_ns) && std::isfinite(stats.p99_ns);
+    for (const ResponseDigest& digest : stats.digests) {
+      finite = finite && std::isfinite(digest.checksum);
+    }
+    return Outcome{stats.status, finite};
   }});
 
   scenarios.push_back({"ncp_flow", {"ncp/flow"}, [] {

@@ -384,6 +384,113 @@ TEST(WireTest, ParsesQueryAndAddEdgeLines) {
   EXPECT_FALSE(ParseQueryRequest("not json", &request, &error));
 }
 
+TEST(WireTest, ShedResponseMatchesGoldenLine) {
+  // A shed is a refusal serialized honestly: status "shed", both the
+  // shed and degraded flags set, zero work, empty result arrays. The
+  // exact line is pinned in tests/golden/query_response_shed.jsonl
+  // (parsed independently by golden_test).
+  QueryEngine::Options options;
+  options.admission.enabled = true;
+  options.admission.policy.capacity = 1;
+  options.admission.policy.shed_fraction = 0.0;  // Shed from arrival 0.
+  QueryEngine engine(ServiceGraph(), options);
+
+  QueryRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"id":"q-shed","seeds":[0],"tenant":"heavy"})", &request, &error))
+      << error;
+  const QueryResponse response = engine.Run(request.query);
+  EXPECT_EQ(response.status, SolveStatus::kShed);
+  EXPECT_TRUE(response.shed);
+  EXPECT_TRUE(response.degraded);
+  EXPECT_EQ(response.work, 0);
+  EXPECT_TRUE(response.scores.empty());
+
+  const std::string json =
+      QueryResponseToJson(request, response, engine.Epoch());
+  EXPECT_EQ(json,
+            "{\"schema\":\"impreg-query-response-v1\",\"id\":\"q-shed\","
+            "\"method\":\"ppr\",\"status\":\"shed\",\"source\":\"cold\","
+            "\"degraded\":true,\"shed\":true,\"tenant\":\"heavy\","
+            "\"epoch\":0,\"support\":0,\"work\":0,\"conductance\":1,"
+            "\"set\":[],\"top\":[]}");
+}
+
+TEST(QueryEngineTest, HeavyTenantOverloadLeavesLightTenantBitIdentical) {
+  // Tenant isolation: a heavy tenant draining its pool must not
+  // perturb a co-resident light tenant — the light tenant's responses
+  // are bit-identical to a solo run against a fresh engine. Disjoint
+  // seed sets keep the shared cache out of the comparison.
+  const Graph g = ServiceGraph();
+  QueryEngine::Options options;
+  options.admission.enabled = true;
+  options.admission.policy.degrade_fraction = 0.4;
+  options.admission.policy.shed_fraction = 0.6;
+  options.admission.policy.degraded_cap = 256;
+  options.admission.tenant_capacity["heavy"] = 20000;  // light: unlimited.
+
+  std::vector<Query> mixed;
+  std::vector<std::size_t> light_at;
+  std::vector<Query> light_only;
+  for (int i = 0; i < 40; ++i) {
+    Query heavy = PushQuery({i % 10});
+    heavy.max_work = 4096;
+    heavy.tenant = "heavy";
+    mixed.push_back(heavy);
+    if (i % 4 == 0) {
+      Query light = PushQuery({40 + i});
+      light.tenant = "light";
+      light_at.push_back(mixed.size());
+      mixed.push_back(light);
+      light_only.push_back(light);
+    }
+  }
+
+  QueryEngine loaded(g, options);
+  const std::vector<QueryResponse> combined = loaded.RunBatch(mixed);
+  QueryEngine solo(g, options);
+  const std::vector<QueryResponse> alone = solo.RunBatch(light_only);
+
+  // The overload really happened on the heavy side...
+  std::int64_t heavy_shed = 0;
+  std::int64_t heavy_degraded = 0;
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    if (combined[i].tenant != "heavy") continue;
+    if (combined[i].shed) ++heavy_shed;
+    if (combined[i].degraded && !combined[i].shed) ++heavy_degraded;
+  }
+  EXPECT_GT(heavy_shed, 0);
+  EXPECT_GT(heavy_degraded, 0);
+
+  // ...and the light tenant never noticed.
+  ASSERT_EQ(light_at.size(), alone.size());
+  for (std::size_t k = 0; k < light_at.size(); ++k) {
+    const QueryResponse& in_mix = combined[light_at[k]];
+    const QueryResponse& by_itself = alone[k];
+    EXPECT_EQ(in_mix.status, SolveStatus::kConverged);
+    EXPECT_FALSE(in_mix.degraded);
+    EXPECT_FALSE(in_mix.shed);
+    EXPECT_EQ(in_mix.scores, by_itself.scores) << "light query " << k;
+    EXPECT_EQ(in_mix.work, by_itself.work);
+    EXPECT_EQ(in_mix.status, by_itself.status);
+    EXPECT_EQ(in_mix.conductance, by_itself.conductance);
+  }
+}
+
+TEST(QueryEngineTest, AdmissionDisabledLeavesResponsesUnmarked) {
+  // The default engine has no admission control: no shed flags, no
+  // tenant ledgers, and the tenant string is still echoed through.
+  QueryEngine engine(ServiceGraph());
+  Query q = PushQuery({3});
+  q.tenant = "whoever";
+  const QueryResponse response = engine.Run(q);
+  EXPECT_EQ(response.status, SolveStatus::kConverged);
+  EXPECT_FALSE(response.shed);
+  EXPECT_EQ(response.tenant, "whoever");
+  EXPECT_TRUE(engine.admission_pool().stats().empty());
+}
+
 TEST(WireTest, GoldenResponseSchemaPin) {
   // The exact member set of impreg-query-response-v1, pinned: adding,
   // renaming, or dropping a field is a schema change and must be a
@@ -406,8 +513,9 @@ TEST(WireTest, GoldenResponseSchemaPin) {
   std::set<std::string> members;
   for (const auto& [key, value] : parsed.value.Members()) members.insert(key);
   const std::set<std::string> expected = {
-      "schema", "id",      "method",      "status", "source", "degraded",
-      "epoch",  "support", "work",        "conductance", "set", "top"};
+      "schema",  "id",   "method",      "status", "source", "degraded",
+      "shed",    "tenant", "epoch",     "support", "work",
+      "conductance", "set", "top"};
   EXPECT_EQ(members, expected);
   EXPECT_EQ(parsed.value.Find("schema")->AsString(),
             "impreg-query-response-v1");

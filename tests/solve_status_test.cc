@@ -18,13 +18,14 @@ namespace {
 
 const std::vector<SolveStatus> kAllStatuses = {
     SolveStatus::kConverged,       SolveStatus::kMaxIterations,
-    SolveStatus::kBudgetExhausted, SolveStatus::kBreakdown,
-    SolveStatus::kNonFinite,       SolveStatus::kInvalidInput,
+    SolveStatus::kBudgetExhausted, SolveStatus::kShed,
+    SolveStatus::kBreakdown,       SolveStatus::kNonFinite,
+    SolveStatus::kInvalidInput,
 };
 
 TEST(SolveStatusTest, MergeStatusFoldsToTheHigherSeverityOverAllPairs) {
   // kAllStatuses is ordered by severity, so the expected merge of any
-  // pair is simply whichever sits later in the list — all 36 pairs.
+  // pair is simply whichever sits later in the list — all 49 pairs.
   for (std::size_t i = 0; i < kAllStatuses.size(); ++i) {
     for (std::size_t j = 0; j < kAllStatuses.size(); ++j) {
       const SolveStatus a = kAllStatuses[i];
@@ -48,11 +49,11 @@ TEST(SolveStatusTest, MergeStatusIsCommutativeUpToSeverity) {
 TEST(SolveStatusTest, SeverityRanksAreDistinctAndUsabilityIsConsistent) {
   // Distinct ranks (the fold needs a total order), and exactly the
   // three early-stop-or-better outcomes count as usable.
-  std::vector<bool> seen(6, false);
+  std::vector<bool> seen(7, false);
   for (const SolveStatus s : kAllStatuses) {
     const int rank = StatusSeverity(s);
     ASSERT_GE(rank, 0);
-    ASSERT_LT(rank, 6);
+    ASSERT_LT(rank, 7);
     EXPECT_FALSE(seen[rank]) << "duplicate severity " << rank;
     seen[rank] = true;
     EXPECT_EQ(StatusIsUsable(s), rank <= StatusSeverity(

@@ -8,11 +8,15 @@
 //
 // Usage:
 //   impreg_bench_diff <baseline.json> <candidate.json> [--max-regress=10%]
+//                     [--max-regress-p99=25%]
 //
 // The threshold accepts "10%", "0.10", or "0.10%"-style spellings; a
-// bare number <= 1 is a fraction, otherwise a percentage. Exit codes
-// follow impreg_cli: 0 gate passed, 1 regression(s), 2 usage error,
-// 3 unreadable/malformed input.
+// bare number <= 1 is a fraction, otherwise a percentage.
+// --max-regress-p99 additionally gates the p99 tail (one-sided: only a
+// slower tail fails) for records that carry p99_ns — the load
+// harness's SLO gate; without the flag, tails are reported but never
+// gated. Exit codes follow impreg_cli: 0 gate passed, 1 regression(s),
+// 2 usage error, 3 unreadable/malformed input.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,11 +36,12 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: impreg_bench_diff <baseline.json> <candidate.json> "
-      "[--max-regress=10%%]\n"
+      "[--max-regress=10%%] [--max-regress-p99=25%%]\n"
       "\n"
       "Compares two bench reports (bench/report.h formats) and exits\n"
       "non-zero when a shared benchmark regressed past the threshold\n"
-      "(default 10%%).\n"
+      "(default 10%%). --max-regress-p99 also gates the p99 tail,\n"
+      "one-sided, for records that carry p99_ns (load-harness SLO).\n"
       "\n"
       "exit codes: 0 gate passed, 1 regression, 2 usage, 3 bad input\n");
   return kExitUsage;
@@ -64,6 +69,7 @@ double ParseThreshold(const std::string& text) {
 int Run(int argc, char** argv) {
   std::string old_path, new_path;
   double max_regress = 0.10;
+  double max_regress_p99 = -1.0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--max-regress=", 14) == 0) {
@@ -71,6 +77,13 @@ int Run(int argc, char** argv) {
       if (max_regress < 0.0) {
         std::fprintf(stderr, "impreg_bench_diff: bad threshold '%s'\n",
                      arg + 14);
+        return kExitUsage;
+      }
+    } else if (std::strncmp(arg, "--max-regress-p99=", 18) == 0) {
+      max_regress_p99 = ParseThreshold(arg + 18);
+      if (max_regress_p99 < 0.0) {
+        std::fprintf(stderr, "impreg_bench_diff: bad p99 threshold '%s'\n",
+                     arg + 18);
         return kExitUsage;
       }
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -103,7 +116,8 @@ int Run(int argc, char** argv) {
   }
 
   const BenchDiffResult diff =
-      DiffBenchReports(old_report.records, new_report.records, max_regress);
+      DiffBenchReports(old_report.records, new_report.records, max_regress,
+                       max_regress_p99);
   if (diff.entries.empty()) {
     std::fprintf(stderr,
                  "impreg_bench_diff: no shared benchmarks between '%s' "
@@ -117,6 +131,11 @@ int Run(int argc, char** argv) {
   for (const BenchDiffEntry& e : diff.entries) {
     std::printf("%-40s %14.1f %14.1f %7.3f%s\n", e.bench.c_str(), e.old_ns,
                 e.new_ns, e.ratio, e.regressed ? "  REGRESSED" : "");
+    if (e.has_p99) {
+      std::printf("%-40s %14.1f %14.1f %7.3f%s\n",
+                  (e.bench + " [p99]").c_str(), e.old_p99, e.new_p99,
+                  e.p99_ratio, e.p99_regressed ? "  REGRESSED" : "");
+    }
   }
   for (const std::string& bench : diff.only_old) {
     std::printf("%-40s (baseline only)\n", bench.c_str());
@@ -126,6 +145,10 @@ int Run(int argc, char** argv) {
   }
   std::printf("%zu shared benchmark(s), threshold +%.1f%%: %d regression(s)\n",
               diff.entries.size(), 100.0 * max_regress, diff.regressions);
+  if (max_regress_p99 >= 0.0) {
+    std::printf("p99 threshold +%.1f%%: %d tail regression(s)\n",
+                100.0 * max_regress_p99, diff.p99_regressions);
+  }
   return diff.ok() ? 0 : kExitRegression;
 }
 
