@@ -66,6 +66,126 @@ void BM_NormalizedLaplacianMatvec(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizedLaplacianMatvec)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
 
+// —— SIMD-dispatch and relabeling sweeps ——
+// Scalar-vs-vector pins the dispatch cost model: the two paths are
+// bit-identical (tests/determinism_test.cc), so whichever is faster on
+// a given machine is always safe to serve. Original-vs-reordered
+// isolates the gather-locality win of RCM relabeling at the 2^17
+// acceptance size; `locality` counters carry AvgNeighborLabelDistance
+// into the JSON report.
+
+void MatvecBody(benchmark::State& state, const Graph& g) {
+  const NormalizedLaplacianOperator lap(g);
+  Rng rng(1);
+  Vector x(g.NumNodes());
+  for (double& v : x) v = rng.NextGaussian();
+  Vector y(g.NumNodes());
+  for (auto _ : state) {
+    lap.Apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs());
+  SetGraphCounters(state, g);
+}
+
+void BM_NormalizedLaplacianMatvecScalar(benchmark::State& state) {
+  const simd::ScopedSimdLevel forced(simd::SimdLevel::kScalar);
+  MatvecBody(state, BenchGraph(state.range(0)));
+}
+BENCHMARK(BM_NormalizedLaplacianMatvecScalar)->Arg(1 << 17);
+
+// Forced kAvx2 clamps to scalar on machines without AVX2+FMA, so this
+// sweep runs (and the diff stays meaningful) everywhere.
+void BM_NormalizedLaplacianMatvecSimd(benchmark::State& state) {
+  const simd::ScopedSimdLevel forced(simd::SimdLevel::kAvx2);
+  MatvecBody(state, BenchGraph(state.range(0)));
+}
+BENCHMARK(BM_NormalizedLaplacianMatvecSimd)->Arg(1 << 17);
+
+const ReorderedGraph& BenchReorderedGraph(std::int64_t n) {
+  static std::map<std::int64_t, ReorderedGraph>* cache =
+      new std::map<std::int64_t, ReorderedGraph>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, ReorderedGraph(BenchGraph(n), ReorderMethod::kRcm))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_NormalizedLaplacianMatvecReordered(benchmark::State& state) {
+  const ReorderedGraph& rg = BenchReorderedGraph(state.range(0));
+  MatvecBody(state, rg.graph());
+  state.counters["locality_original"] = rg.locality_original();
+  state.counters["locality_reordered"] = rg.locality_reordered();
+}
+BENCHMARK(BM_NormalizedLaplacianMatvecReordered)->Arg(1 << 17);
+
+// One-time relabeling cost (permutation + row copy), amortized over
+// every subsequent matvec on the reordered graph.
+void BM_RcmReorderBuild(benchmark::State& state) {
+  const Graph& g = BenchGraph(state.range(0));
+  for (auto _ : state) {
+    const ReorderedGraph rg(g, ReorderMethod::kRcm);
+    benchmark::DoNotOptimize(rg.graph().NumNodes());
+  }
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_RcmReorderBuild)->Arg(1 << 17);
+
+void BM_SpMMBatchScalar(benchmark::State& state) {
+  const simd::ScopedSimdLevel forced(simd::SimdLevel::kScalar);
+  const Graph& g = BenchGraph(1 << 17);
+  const NormalizedLaplacianOperator lap(g);
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<Vector> xs(k, Vector(g.NumNodes()));
+  for (Vector& x : xs) {
+    for (double& v : x) v = rng.NextGaussian();
+  }
+  std::vector<Vector> ys;
+  for (auto _ : state) {
+    lap.ApplyBatch(xs, ys);
+    benchmark::DoNotOptimize(ys.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumArcs() * k);
+  SetGraphCounters(state, g);
+}
+BENCHMARK(BM_SpMMBatchScalar)->Arg(4);
+
+void BM_DotSimdSweep(benchmark::State& state) {
+  const simd::ScopedSimdLevel forced(
+      static_cast<simd::SimdLevel>(state.range(0)));
+  Rng rng(2);
+  Vector x(1 << 20), y(1 << 20);
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+  SetReportCounters(state, static_cast<std::int64_t>(x.size()), 0);
+}
+BENCHMARK(BM_DotSimdSweep)->Arg(0)->Arg(1);  // 0 = scalar, 1 = avx2.
+
+void BM_AxpySimdSweep(benchmark::State& state) {
+  const simd::ScopedSimdLevel forced(
+      static_cast<simd::SimdLevel>(state.range(0)));
+  Rng rng(2);
+  Vector x(1 << 20), y(1 << 20);
+  for (double& v : x) v = rng.NextGaussian();
+  for (double& v : y) v = rng.NextGaussian();
+  for (auto _ : state) {
+    Axpy(0.37, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+  SetReportCounters(state, static_cast<std::int64_t>(x.size()), 0);
+}
+BENCHMARK(BM_AxpySimdSweep)->Arg(0)->Arg(1);
+
 void BM_LazyWalkStep(benchmark::State& state) {
   const Graph& g = BenchGraph(state.range(0));
   const LazyWalkOperator walk(g, 0.5);
@@ -509,6 +629,24 @@ class JsonDumpReporter : public benchmark::ConsoleReporter {
   std::vector<BenchRecord> records_;
 };
 
+// The configuration the numbers were measured under: the
+// IMPREG_NATIVE_STATUS compile definition records whether -march=native
+// was requested and honoured ("off" / "native" / "native-rejected" —
+// the CMake warning path), and the per-kernel-class SIMD dispatch
+// levels record what actually ran. impreg_bench_diff compares these
+// maps and flags cross-machine/cross-configuration baselines.
+BenchMetadata MachineMetadata() {
+  return {
+      {"native", IMPREG_NATIVE_STATUS},
+      {"simd_dense",
+       simd::SimdLevelName(simd::ActiveSimdLevel(simd::SimdKernel::kDense))},
+      {"simd_row_gather", simd::SimdLevelName(simd::ActiveSimdLevel(
+                              simd::SimdKernel::kRowGather))},
+      {"simd_row_block4", simd::SimdLevelName(simd::ActiveSimdLevel(
+                              simd::SimdKernel::kRowBlock4))},
+  };
+}
+
 std::string DefaultReportPath() {
   if (const char* env = std::getenv("IMPREG_BENCH_REPORT")) {
     return env;
@@ -572,7 +710,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   const std::string metrics_json =
       impreg::MetricsRegistry::Get().Snapshot().ToJson();
-  if (impreg::WriteBenchReport(report_path, reporter.records(), metrics_json)) {
+  if (impreg::WriteBenchReport(report_path, reporter.records(), metrics_json,
+                               impreg::MachineMetadata())) {
     std::printf("bench report: %s (%zu records)\n", report_path.c_str(),
                 reporter.records().size());
     if (link_root) impreg::LinkReportAtRepoRoot(report_path);

@@ -1,0 +1,39 @@
+# Perf gate for the micro-kernel suite (ctest: micro_kernels_report_gate).
+# Runs the full google-benchmark family fresh (short timing windows —
+# this is a wiring/coverage gate, not a precision measurement) and
+# diffs it against the checked-in baseline
+# bench/out/BENCH_micro_kernels.json with impreg_bench_diff. Thresholds
+# are generous (the baseline was recorded on a different machine under
+# different load): this trips on catastrophic regressions and on
+# schema / coverage drift (a kernel benchmark disappearing is a hard
+# failure because the gate requires shared benchmarks), not on timer
+# noise. Machine-metadata mismatches (native/SIMD configuration) print
+# as warnings from impreg_bench_diff — expected when gating against a
+# baseline from another machine. Invoked as:
+#
+#   cmake -DMICRO=<micro_kernels> -DDIFF=<impreg_bench_diff>
+#         -DBASELINE=<bench/out/BENCH_micro_kernels.json>
+#         -DOUT_DIR=<scratch dir> -P micro_kernels_gate.cmake
+
+foreach(var MICRO DIFF BASELINE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "micro_kernels_gate: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${MICRO} --out=${OUT_DIR}/fresh.json --benchmark_min_time=0.02
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "micro_kernels run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${DIFF} ${BASELINE} ${OUT_DIR}/fresh.json --max-regress=2000%
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "micro kernels perf gate failed (${rc})")
+endif()

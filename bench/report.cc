@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "util/json.h"
 
@@ -91,10 +92,24 @@ bool RecordsFromArray(const JsonValue& array, std::vector<BenchRecord>* records,
 }  // namespace
 
 std::string BenchReportToJson(const std::vector<BenchRecord>& records,
-                              const std::string& metrics_json) {
+                              const std::string& metrics_json,
+                              const BenchMetadata& machine) {
   std::ostringstream out;
   out.precision(17);
-  out << "{\n  \"schema\": \"impreg-bench-v2\",\n  \"records\": [\n";
+  out << "{\n  \"schema\": \"impreg-bench-v2\",\n";
+  if (!machine.empty()) {
+    out << "  \"machine\": {";
+    bool first = true;
+    for (const auto& [key, value] : machine) {
+      if (!first) out << ", ";
+      first = false;
+      AppendEscaped(out, key);
+      out << ": ";
+      AppendEscaped(out, value);
+    }
+    out << "},\n";
+  }
+  out << "  \"records\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     out << "    {\"bench\": ";
@@ -117,7 +132,8 @@ std::string BenchReportToJson(const std::vector<BenchRecord>& records,
 
 bool WriteBenchReport(const std::string& path,
                       const std::vector<BenchRecord>& records,
-                      const std::string& metrics_json) {
+                      const std::string& metrics_json,
+                      const BenchMetadata& machine) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
     std::error_code ec;
@@ -126,7 +142,7 @@ bool WriteBenchReport(const std::string& path,
   }
   std::ofstream out(path);
   if (!out) return false;
-  out << BenchReportToJson(records, metrics_json);
+  out << BenchReportToJson(records, metrics_json, machine);
   return static_cast<bool>(out);
 }
 
@@ -154,6 +170,17 @@ BenchParseResult ParseBenchReport(const std::string& text) {
       return result;
     }
     result.schema = schema->AsString();
+    if (const JsonValue* machine =
+            doc.FindOfType("machine", JsonValue::Type::kObject)) {
+      for (const auto& [key, value] : machine->Members()) {
+        if (!value.is_string()) {
+          result.error = "machine metadata value for \"" + key +
+                         "\" is not a string";
+          return result;
+        }
+        result.machine.emplace(key, value.AsString());
+      }
+    }
     const JsonValue* records =
         doc.FindOfType("records", JsonValue::Type::kArray);
     if (records == nullptr) {
@@ -227,6 +254,30 @@ BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
     }
   }
   return result;
+}
+
+std::vector<std::string> DiffBenchMetadata(const BenchMetadata& old_machine,
+                                           const BenchMetadata& new_machine) {
+  std::vector<std::string> mismatches;
+  // One pass over the union of keys (both maps are ordered, so the
+  // output is deterministic and key-sorted).
+  std::map<std::string, std::pair<const std::string*, const std::string*>>
+      merged;
+  for (const auto& [key, value] : old_machine) merged[key].first = &value;
+  for (const auto& [key, value] : new_machine) merged[key].second = &value;
+  for (const auto& [key, sides] : merged) {
+    const auto& [old_value, new_value] = sides;
+    if (old_value != nullptr && new_value != nullptr &&
+        *old_value == *new_value) {
+      continue;
+    }
+    const std::string old_text =
+        old_value != nullptr ? "'" + *old_value + "'" : "<absent>";
+    const std::string new_text =
+        new_value != nullptr ? "'" + *new_value + "'" : "<absent>";
+    mismatches.push_back(key + ": " + old_text + " vs " + new_text);
+  }
+  return mismatches;
 }
 
 }  // namespace impreg

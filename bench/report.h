@@ -2,6 +2,7 @@
 #define IMPREG_BENCH_REPORT_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -16,9 +17,17 @@
 ///   {"schema": "impreg-bench-v2", "records": [...], "metrics": {...}}
 ///
 /// where `metrics` is the process metrics snapshot taken after the run
-/// (empty object when metrics were off). The v1 format — a bare JSON
-/// array of records — is still accepted by the parser so old baselines
-/// diff cleanly against new runs. Reports default to `bench/out/`
+/// (empty object when metrics were off). A run may also carry a
+/// `machine` member — a flat string map describing the configuration
+/// the numbers were measured under (`-march=native` status, SIMD
+/// dispatch levels) — emitted only when non-empty so metadata-free
+/// documents stay byte-identical to older ones. `impreg_bench_diff`
+/// compares the two sides' machine maps and warns (or fails, with
+/// --strict-metadata) when they differ: a baseline recorded with the
+/// native/AVX2 kernels must not silently gate a scalar-fallback run,
+/// or vice versa. The v1 format — a bare JSON array of records — is
+/// still accepted by the parser so old baselines diff cleanly against
+/// new runs. Reports default to `bench/out/`
 /// (gitignored) so the perf trajectory is tracked by tooling
 /// (`impreg_bench_diff`) rather than by committed files. Deliberately
 /// free of any google-benchmark dependency so drivers and one-off
@@ -40,22 +49,35 @@ struct BenchRecord {
   double p99_ns = 0.0;
 };
 
+/// Flat machine/configuration metadata attached to a report (ordered so
+/// serialization is deterministic). Typical keys: "native" (the
+/// IMPREG_NATIVE_STATUS compile definition: "off", "native", or
+/// "native-rejected"), "simd_dense"/"simd_row_gather"/"simd_row_block4"
+/// (the dispatch level each kernel class resolved to at run time).
+using BenchMetadata = std::map<std::string, std::string>;
+
 /// Serializes `records` as an impreg-bench-v2 document. `metrics_json`,
 /// when non-empty, must be a pre-rendered JSON object (typically
 /// MetricsSnapshot::ToJson()) and is embedded verbatim as the
-/// `metrics` member; when empty, `"metrics": {}` is emitted.
+/// `metrics` member; when empty, `"metrics": {}` is emitted. A
+/// non-empty `machine` map is emitted as the `machine` member (an
+/// empty map emits nothing, keeping metadata-free documents
+/// byte-identical to the pre-metadata format).
 std::string BenchReportToJson(const std::vector<BenchRecord>& records,
-                              const std::string& metrics_json = "");
+                              const std::string& metrics_json = "",
+                              const BenchMetadata& machine = {});
 
 /// Writes the JSON report to `path` (overwrites), creating parent
 /// directories as needed. Returns false if the file cannot be written.
 bool WriteBenchReport(const std::string& path,
                       const std::vector<BenchRecord>& records,
-                      const std::string& metrics_json = "");
+                      const std::string& metrics_json = "",
+                      const BenchMetadata& machine = {});
 
 /// A parsed bench report: records plus which schema carried them.
 struct BenchParseResult {
   std::vector<BenchRecord> records;
+  BenchMetadata machine;  ///< Empty when the document carried none.
   std::string schema;  ///< "impreg-bench-v2", or "v1-array" for bare arrays.
   std::string error;   ///< Empty on success.
   bool ok() const { return error.empty(); }
@@ -114,6 +136,15 @@ BenchDiffResult DiffBenchReports(const std::vector<BenchRecord>& old_records,
                                  const std::vector<BenchRecord>& new_records,
                                  double max_regress,
                                  double max_regress_p99 = -1.0);
+
+/// Compares two machine-metadata maps key by key and returns one
+/// human-readable line per mismatch ("native: 'native' vs 'off'"; a key
+/// present on only one side reads "... vs <absent>"). Empty result ⇔
+/// the maps agree on every key either side carries — two metadata-free
+/// reports compare clean, so v1 baselines never warn against each
+/// other.
+std::vector<std::string> DiffBenchMetadata(const BenchMetadata& old_machine,
+                                           const BenchMetadata& new_machine);
 
 }  // namespace impreg
 

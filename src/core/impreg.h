@@ -41,6 +41,7 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/random_graphs.h"
+#include "graph/reorder.h"
 #include "graph/social.h"
 #include "graph/structure.h"
 #include "linalg/cg.h"
@@ -50,6 +51,7 @@
 #include "linalg/lanczos.h"
 #include "linalg/operator.h"
 #include "linalg/power_method.h"
+#include "linalg/simd/simd.h"
 #include "linalg/tridiagonal.h"
 #include "linalg/vector_ops.h"
 #include "ncp/community.h"

@@ -51,6 +51,13 @@ class GraphBuilder;
 ///    equal weight; a self-loop {u,u} appears as a single arc u→u;
 ///  - all weights are strictly positive.
 ///
+/// One exception to the first invariant: `ApplyNodePermutation`
+/// (graph/reorder.h) relabels nodes while keeping every row's *original*
+/// arc order — that is what makes per-row reduction trees bitwise
+/// label-invariant — so its output has `RowsSorted() == false` and
+/// `EdgeWeight`/`HasEdge` fall back to a linear row scan. No kernel in
+/// src/ other than EdgeWeight relies on sorted rows.
+///
 /// Degree conventions follow the paper: the weighted degree d(u) counts a
 /// self-loop's weight once, the volume of a node set is the sum of its
 /// weighted degrees, and `TotalVolume()` = Σ_u d(u).
@@ -203,10 +210,11 @@ class Graph {
   /// total self-loop weight.
   double TotalVolume() const { return total_volume_; }
 
-  /// Returns the weight of edge {u, v}, or 0 if absent. O(log deg(u)).
+  /// Returns the weight of edge {u, v}, or 0 if absent. O(log deg(u))
+  /// when rows are sorted (builder output), O(deg(u)) otherwise.
   double EdgeWeight(NodeId u, NodeId v) const;
 
-  /// True if {u, v} is an edge. O(log deg(u)).
+  /// True if {u, v} is an edge. Same complexity as EdgeWeight.
   bool HasEdge(NodeId u, NodeId v) const { return EdgeWeight(u, v) > 0.0; }
 
   /// True for nodes in [0, n).
@@ -215,8 +223,15 @@ class Graph {
   /// The weighted-degree vector as a dense array of length n.
   const std::vector<double>& Degrees() const { return degrees_; }
 
+  /// True when every adjacency list is sorted by head (all builder
+  /// output); false for relabeled graphs from ApplyNodePermutation,
+  /// whose rows keep their pre-permutation arc order.
+  bool RowsSorted() const { return rows_sorted_; }
+
  private:
   friend class GraphBuilder;
+  friend Graph ApplyNodePermutation(const Graph& g,
+                                    const std::vector<NodeId>& perm);
 
   std::vector<ArcIndex> offsets_ = {0};  ///< Size n+1.
   std::vector<NodeId> heads_;            ///< Arc heads, 4 bytes/arc.
@@ -224,6 +239,7 @@ class Graph {
   std::vector<double> degrees_;
   std::int64_t num_edges_ = 0;
   double total_volume_ = 0.0;
+  bool rows_sorted_ = true;
 };
 
 /// Accumulates undirected edges, then freezes them into a Graph.

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "core/parallel.h"
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -16,39 +17,49 @@ namespace {
 constexpr std::int64_t kRowGrain = 512;
 
 /// Register-blocked CSR kernel over the row range [begin, end): for each
-/// of the B columns, acc starts at init(x_j, u), every arc contributes
-/// ±w[a]·x_j[heads[a]] in adjacency order, and ys[j][u] =
+/// of the B columns, the row's arc products w[a]·x_j[heads[a]] are summed
+/// with the canonical striped tree (simd::RowTreeScalar — four lanes over
+/// the 4-aligned prefix, sequential tail), the operator's init term is
+/// folded in as one `init ± tree` rounding, and ys[j][u] =
 /// finish(x_j, u, acc). The arc loop reads `heads`/`w` once per arc and
 /// reuses them across all B accumulators, which is where SpMM beats k
-/// separate SpMVs. Per-column accumulation order is exactly that of the
-/// B == 1 case, so every column is bit-identical to a single-vector
-/// apply. Subtraction is a compile-time flag because `acc -= t` must
-/// stay textually a subtraction to preserve the original rounding.
+/// separate SpMVs. Per-column accumulation is exactly the B == 1 tree,
+/// so every column is bit-identical to a single-vector apply — and the
+/// same tree is what the AVX2 path computes, so dispatch never changes a
+/// bit. Rows with no arcs return the init term untouched (sign bit and
+/// all). Subtraction is a compile-time flag: `init - tree` must stay
+/// textually a subtraction to pin its rounding.
 template <bool Subtract, int B, class Init, class Finish>
 void SpmmRows(const ArcIndex* offsets, const NodeId* heads, const double* w,
               std::int64_t begin, std::int64_t end, const double* const* xs,
               double* const* ys, const Init& init, const Finish& finish) {
   for (std::int64_t u = begin; u < end; ++u) {
-    double acc[B];
-    for (int j = 0; j < B; ++j) acc[j] = init(xs[j], u);
-    const ArcIndex row_end = offsets[u + 1];
-    for (ArcIndex a = offsets[u]; a < row_end; ++a) {
-      const NodeId v = heads[a];
-      const double wa = w[a];
+    const ArcIndex row_begin = offsets[u];
+    const std::int64_t len = offsets[u + 1] - row_begin;
+    if (len == 0) {
+      for (int j = 0; j < B; ++j) ys[j][u] = finish(xs[j], u, init(xs[j], u));
+      continue;
+    }
+    double tree[B];
+    if constexpr (B == 4) {
+      simd::RowTree4Scalar(heads + row_begin, w + row_begin, len, xs, tree);
+    } else {
       for (int j = 0; j < B; ++j) {
-        if constexpr (Subtract) {
-          acc[j] -= wa * xs[j][v];
-        } else {
-          acc[j] += wa * xs[j][v];
-        }
+        tree[j] = simd::RowTreeScalar(heads + row_begin, w + row_begin, len,
+                                      xs[j]);
       }
     }
-    for (int j = 0; j < B; ++j) ys[j][u] = finish(xs[j], u, acc[j]);
+    for (int j = 0; j < B; ++j) {
+      const double acc = Subtract ? init(xs[j], u) - tree[j]
+                                  : init(xs[j], u) + tree[j];
+      ys[j][u] = finish(xs[j], u, acc);
+    }
   }
 }
 
 /// Single-vector CSR apply: the B == 1 instantiation of SpmmRows under
-/// the deterministic row partition.
+/// the deterministic row partition, with the row tree dispatched to the
+/// AVX2 gather kernel when active.
 template <bool Subtract, class Init, class Finish>
 void SpmvCsr(const Graph& g, const double* w, const Vector& x, Vector& y,
              const Init& init, const Finish& finish) {
@@ -57,10 +68,28 @@ void SpmvCsr(const Graph& g, const double* w, const Vector& x, Vector& y,
   const NodeId* heads = g.Heads().data();
   const double* xp = x.data();
   double* yp = y.data();
+  const bool avx2 = simd::ActiveSimdLevel(simd::SimdKernel::kRowGather) ==
+                    simd::SimdLevel::kAvx2;
   ParallelFor(0, g.NumNodes(), kRowGrain,
               [&](std::int64_t begin, std::int64_t end) {
-                SpmmRows<Subtract, 1>(offsets, heads, w, begin, end, &xp, &yp,
-                                      init, finish);
+                if (avx2) {
+                  for (std::int64_t u = begin; u < end; ++u) {
+                    const ArcIndex row_begin = offsets[u];
+                    const std::int64_t len = offsets[u + 1] - row_begin;
+                    if (len == 0) {
+                      yp[u] = finish(xp, u, init(xp, u));
+                      continue;
+                    }
+                    const double tree = simd::RowTreeAvx2(
+                        heads + row_begin, w + row_begin, len, xp);
+                    const double acc =
+                        Subtract ? init(xp, u) - tree : init(xp, u) + tree;
+                    yp[u] = finish(xp, u, acc);
+                  }
+                } else {
+                  SpmmRows<Subtract, 1>(offsets, heads, w, begin, end, &xp,
+                                        &yp, init, finish);
+                }
               });
 }
 
@@ -87,9 +116,36 @@ void SpmmCsr(const Graph& g, const double* w, const std::vector<Vector>& xs,
   }
   const ArcIndex* offsets = g.Offsets().data();
   const NodeId* heads = g.Heads().data();
+  const bool avx2 = simd::ActiveSimdLevel(simd::SimdKernel::kRowBlock4) ==
+                    simd::SimdLevel::kAvx2;
   ParallelFor(0, n, kRowGrain, [&](std::int64_t begin, std::int64_t end) {
     std::size_t j = 0;
     for (; j + 4 <= k; j += 4) {
+      if (avx2) {
+        // Cross-column AVX2 block: vector lane = column, per-column
+        // accumulation is the same canonical tree as the scalar path.
+        const double* const* xsj = &xp[j];
+        double* const* ysj = &yp[j];
+        for (std::int64_t u = begin; u < end; ++u) {
+          const ArcIndex row_begin = offsets[u];
+          const std::int64_t len = offsets[u + 1] - row_begin;
+          double tree[4];
+          if (len == 0) {
+            for (int c = 0; c < 4; ++c) {
+              ysj[c][u] = finish(xsj[c], u, init(xsj[c], u));
+            }
+            continue;
+          }
+          simd::RowTree4Avx2(heads + row_begin, w + row_begin, len, xsj,
+                             tree);
+          for (int c = 0; c < 4; ++c) {
+            const double acc = Subtract ? init(xsj[c], u) - tree[c]
+                                        : init(xsj[c], u) + tree[c];
+            ysj[c][u] = finish(xsj[c], u, acc);
+          }
+        }
+        continue;
+      }
       SpmmRows<Subtract, 4>(offsets, heads, w, begin, end, &xp[j], &yp[j],
                             init, finish);
     }

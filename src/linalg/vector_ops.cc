@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "linalg/simd/simd.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -27,12 +28,15 @@ double SumCombine(double a, double b) { return a + b; }
 
 double Dot(const Vector& x, const Vector& y) {
   IMPREG_DCHECK(x.size() == y.size());
+  // Per-chunk sums use the canonical striped tree (see simd.h), which is
+  // bit-identical under scalar and AVX2 dispatch; chunk partials fold in
+  // chunk order as before, so the thread-count invariance is unchanged.
+  const simd::SimdLevel level = simd::ActiveSimdLevel();
   return ParallelReduce(
       0, Size(x), kVectorGrain, 0.0,
       [&](std::int64_t begin, std::int64_t end) {
-        double sum = 0.0;
-        for (std::int64_t i = begin; i < end; ++i) sum += x[i] * y[i];
-        return sum;
+        return simd::DotRange(level, x.data() + begin, y.data() + begin,
+                              end - begin);
       },
       SumCombine);
 }
@@ -65,9 +69,11 @@ double NormInf(const Vector& x) {
 
 void Axpy(double a, const Vector& x, Vector& y) {
   IMPREG_DCHECK(x.size() == y.size());
+  const simd::SimdLevel level = simd::ActiveSimdLevel();
   ParallelFor(0, Size(x), kVectorGrain,
               [&](std::int64_t begin, std::int64_t end) {
-                for (std::int64_t i = begin; i < end; ++i) y[i] += a * x[i];
+                simd::AxpyRange(level, a, x.data() + begin, y.data() + begin,
+                                end - begin);
               });
 }
 
@@ -130,6 +136,26 @@ double DistanceL1(const Vector& x, const Vector& y) {
       [&](std::int64_t begin, std::int64_t end) {
         double sum = 0.0;
         for (std::int64_t i = begin; i < end; ++i) sum += std::abs(x[i] - y[i]);
+        return sum;
+      },
+      SumCombine);
+}
+
+double DistanceL1Permuted(const Vector& x, const Vector& y,
+                          const std::vector<std::int32_t>& order) {
+  IMPREG_DCHECK(x.size() == y.size());
+  IMPREG_DCHECK(order.size() == x.size());
+  // Chunk boundaries are those of DistanceL1 on a same-length vector, and
+  // each chunk accumulates in `order` order — so with `order` = an
+  // old→new relabeling this is bit-identical to DistanceL1 on the
+  // original labeling.
+  return ParallelReduce(
+      0, Size(x), kVectorGrain, 0.0,
+      [&](std::int64_t begin, std::int64_t end) {
+        double sum = 0.0;
+        for (std::int64_t i = begin; i < end; ++i) {
+          sum += std::abs(x[order[i]] - y[order[i]]);
+        }
         return sum;
       },
       SumCombine);

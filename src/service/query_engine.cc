@@ -199,6 +199,19 @@ const Graph& QueryEngine::Frozen() {
   return *frozen_;
 }
 
+const ReorderedGraph* QueryEngine::FrozenReordered() {
+  if (options_.graph.reorder == ReorderMethod::kIdentity) return nullptr;
+  const Graph& frozen = Frozen();
+  if (reordered_ == nullptr || reordered_epoch_ != epoch_) {
+    // The wrapper holds a pointer into frozen_, so it is rebuilt in
+    // lockstep with the snapshot it relabels.
+    reordered_ = std::make_unique<ReorderedGraph>(frozen,
+                                                  options_.graph.reorder);
+    reordered_epoch_ = epoch_;
+  }
+  return reordered_.get();
+}
+
 void QueryEngine::ExecutePush(WorkItem& item) {
   const Query& q = item.query;
   const NodeId n = graph_.NumNodes();
@@ -258,8 +271,10 @@ void QueryEngine::ExecutePush(WorkItem& item) {
   }
 }
 
-void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen) {
+void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen,
+                              const ReorderedGraph* reordered) {
   IMPREG_METRIC_TIMER("service.query.latency_ns");
+  const bool relabeled = reordered != nullptr && reordered->active();
   const Query& q = item.query;
   switch (q.method) {
     case QueryMethod::kPprPush:
@@ -273,8 +288,19 @@ void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen) {
       opts.delta = q.delta;
       opts.tail_tolerance = q.epsilon;
       opts.budget = q.max_work > 0 ? &budget : nullptr;
-      HkRelaxResult hk = HeatKernelRelaxFromDistribution(*frozen, item.seed,
-                                                         opts);
+      HkRelaxResult hk;
+      if (relabeled) {
+        // Runs on the relabeled snapshot and maps back: deterministic,
+        // but hk-relax iterates a hash map, so scores are not bitwise
+        // label-invariant (see graph/reorder.h).
+        hk = HeatKernelRelaxFromDistribution(
+            reordered->graph(), reordered->ToReorderedVector(item.seed),
+            opts);
+        hk.rho = reordered->ToOriginalVector(hk.rho);
+        hk.set = reordered->ToOriginalNodes(hk.set);
+      } else {
+        hk = HeatKernelRelaxFromDistribution(*frozen, item.seed, opts);
+      }
       item.response.scores = std::move(hk.rho);
       item.response.set = std::move(hk.set);
       item.response.conductance = hk.stats.conductance;
@@ -292,7 +318,16 @@ void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen) {
       opts.steps = q.steps;
       opts.epsilon = q.epsilon;
       opts.budget = q.max_work > 0 ? &budget : nullptr;
-      NibbleResult nib = NibbleFromDistribution(*frozen, item.seed, opts);
+      NibbleResult nib;
+      if (relabeled) {
+        nib = NibbleFromDistribution(
+            reordered->graph(), reordered->ToReorderedVector(item.seed),
+            opts);
+        nib.distribution = reordered->ToOriginalVector(nib.distribution);
+        nib.set = reordered->ToOriginalNodes(nib.set);
+      } else {
+        nib = NibbleFromDistribution(*frozen, item.seed, opts);
+      }
       item.response.scores = std::move(nib.distribution);
       item.response.set = std::move(nib.set);
       item.response.conductance = nib.stats.conductance;
@@ -314,18 +349,29 @@ void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen) {
 }
 
 void QueryEngine::RunDenseGroup(const Graph& frozen,
+                                const ReorderedGraph* reordered,
                                 std::vector<WorkItem*>& group) {
   IMPREG_METRIC_TIMER("service.dense_group.latency_ns");
   // All group members share (γ, tolerance, max_iterations) by
   // construction; budgets stay per-item.
   const Query& shared = group.front()->query;
   const double gamma = shared.gamma;
-  const RandomWalkOperator walk(frozen);
-  const NodeId n = frozen.NumNodes();
-  const std::int64_t arcs_per_iter = frozen.NumArcs();
+  // With relabeling, the whole Richardson iteration runs in reordered
+  // labels and stays *bitwise* equal to the unreordered solve: SpMM is
+  // label-invariant (arc-order-preserving rows, see graph/reorder.h),
+  // the elementwise update is positionwise, and the convergence norm is
+  // summed in original-label order via DistanceL1Permuted — so iteration
+  // counts and every iterate match; only the storage order differs until
+  // scores are mapped back.
+  const bool relabeled = reordered != nullptr && reordered->active();
+  const Graph& host = relabeled ? reordered->graph() : frozen;
+  const RandomWalkOperator walk(host);
+  const NodeId n = host.NumNodes();
+  const std::int64_t arcs_per_iter = host.NumArcs();
 
   struct DenseState {
     WorkItem* item = nullptr;
+    Vector seed;
     Vector scores;
     Vector next;
     WorkBudget budget;
@@ -339,7 +385,9 @@ void QueryEngine::RunDenseGroup(const Graph& frozen,
     st.item = group[j];
     // Mirrors PersonalizedPageRank's Richardson setup exactly so each
     // column stays bit-identical to its solo solve.
-    st.scores = st.item->seed;
+    st.seed = relabeled ? reordered->ToReorderedVector(st.item->seed)
+                        : st.item->seed;
+    st.scores = st.seed;
     Scale(gamma, st.scores);
     st.budget = WorkBudget(st.item->query.max_work);
   }
@@ -365,7 +413,7 @@ void QueryEngine::RunDenseGroup(const Graph& frozen,
       DenseState& st = states[active_idx[k]];
       st.scores = std::move(xs[k]);
       const Vector& walked = ys[k];
-      const Vector& seed = st.item->seed;
+      const Vector& seed = st.seed;
       st.next.resize(n);
       Vector& next = st.next;
       ParallelFor(0, n, 1 << 14,
@@ -375,7 +423,9 @@ void QueryEngine::RunDenseGroup(const Graph& frozen,
                                 (1.0 - gamma) * walked[u];
                     }
                   });
-      const double delta = DistanceL1(next, st.scores);
+      const double delta =
+          relabeled ? DistanceL1Permuted(next, st.scores, reordered->perm())
+                    : DistanceL1(next, st.scores);
       st.iterations = iter;
       if (!std::isfinite(delta)) {
         st.diag.status = SolveStatus::kNonFinite;
@@ -413,7 +463,8 @@ void QueryEngine::RunDenseGroup(const Graph& frozen,
           "iteration cap hit; scores are the early-stopped diffusion";
     }
     WorkItem& item = *st.item;
-    item.response.scores = std::move(st.scores);
+    item.response.scores = relabeled ? reordered->ToOriginalVector(st.scores)
+                                     : std::move(st.scores);
     item.response.work = static_cast<std::int64_t>(st.iterations) *
                          std::max<std::int64_t>(arcs_per_iter, 1);
     item.response.status = st.diag.status;
@@ -550,6 +601,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
     }
   }
   const Graph* frozen = needs_frozen ? &Frozen() : nullptr;
+  const ReorderedGraph* reordered = needs_frozen ? FrozenReordered() : nullptr;
 
   // Phase 3a (grouped): compatible dense solves in lockstep through
   // ApplyBatch. std::map keys the groups deterministically.
@@ -565,7 +617,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
         .push_back(owned.get());
   }
   for (auto& entry : dense_groups) {
-    RunDenseGroup(*frozen, entry.second);
+    RunDenseGroup(*frozen, reordered, entry.second);
   }
 
   // Phase 3b (parallel): everything else, one item per task. Each
@@ -578,7 +630,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
   ParallelFor(0, static_cast<std::int64_t>(pending.size()), 1,
               [&](std::int64_t begin, std::int64_t end) {
                 for (std::int64_t i = begin; i < end; ++i) {
-                  ExecuteItem(*pending[i], frozen);
+                  ExecuteItem(*pending[i], frozen, reordered);
                 }
               });
 

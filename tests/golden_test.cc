@@ -154,6 +154,42 @@ TEST(GoldenTest, MalformedReportsAreErrorsNotEmptyDiffs) {
   EXPECT_FALSE(ParseBenchReport("not json").ok());
 }
 
+TEST(GoldenTest, MachineMetadataRoundTripsAndStaysOptional) {
+  std::vector<BenchRecord> records(1);
+  records[0].bench = "BM_X/1";
+  records[0].ns_per_iter = 10.5;
+  // No metadata: the document is byte-identical to the pre-metadata
+  // serializer (no "machine" member at all), and parses to an empty map.
+  const std::string bare = BenchReportToJson(records);
+  EXPECT_EQ(bare.find("machine"), std::string::npos);
+  EXPECT_TRUE(ParseBenchReport(bare).machine.empty());
+
+  const BenchMetadata machine = {
+      {"native", "off"}, {"simd_dense", "avx2"}, {"simd_row_gather", "scalar"}};
+  const BenchParseResult parsed =
+      ParseBenchReport(BenchReportToJson(records, "", machine));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.machine, machine);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.records[0].ns_per_iter, 10.5);
+}
+
+TEST(GoldenTest, MetadataDiffFlagsCrossMachineComparisons) {
+  const BenchMetadata native = {{"native", "native"}, {"simd_dense", "avx2"}};
+  const BenchMetadata fallback = {{"native", "off"}, {"simd_dense", "avx2"}};
+  // Agreement (including the both-empty v1 case) is silent.
+  EXPECT_TRUE(DiffBenchMetadata(native, native).empty());
+  EXPECT_TRUE(DiffBenchMetadata({}, {}).empty());
+  // A changed value and a one-sided key are both mismatches.
+  const std::vector<std::string> changed = DiffBenchMetadata(native, fallback);
+  ASSERT_EQ(changed.size(), 1u);
+  EXPECT_EQ(changed[0], "native: 'native' vs 'off'");
+  const std::vector<std::string> one_sided = DiffBenchMetadata({}, fallback);
+  ASSERT_EQ(one_sided.size(), 2u);
+  EXPECT_EQ(one_sided[0], "native: <absent> vs 'off'");
+  EXPECT_EQ(one_sided[1], "simd_dense: <absent> vs 'avx2'");
+}
+
 TEST(GoldenTest, SelfDiffPassesAndTwoXSlowdownFailsTheGate) {
   const BenchParseResult baseline =
       ReadBenchReport(GoldenPath("bench_baseline.json"));

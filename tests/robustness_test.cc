@@ -13,7 +13,9 @@
 // (IMPREG_FAULT_INJECTION=ON — see the `faultinject` CMake preset); the
 // real-budget-exhaustion test runs everywhere.
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <string>
@@ -33,6 +35,7 @@
 #include "flow/recursive_partition.h"
 #include "graph/generators.h"
 #include "graph/random_graphs.h"
+#include "graph/reorder.h"
 #include "linalg/cg.h"
 #include "linalg/chebyshev.h"
 #include "linalg/graph_operators.h"
@@ -302,6 +305,17 @@ std::vector<Scenario> AllScenarios() {
     return Outcome{diag.status, true};
   }});
 
+  scenarios.push_back({"reorder", {"graph/reorder"}, [] {
+    // A corrupted relabeling permutation must be rejected at build time
+    // (identity fallback), never applied: the push still runs, on the
+    // original labeling, and stays finite.
+    const Graph g = CavemanGraph(4, 8);
+    const ReorderedGraph rg(g, ReorderMethod::kRcm);
+    const PushResult r = ApproximatePageRank(rg, SingleNodeSeed(g, 0));
+    return Outcome{rg.diagnostics().status,
+                   AllFinite(r.p) && AllFinite(r.residual)};
+  }});
+
   return scenarios;
 }
 
@@ -401,6 +415,47 @@ TEST(RobustnessTest, PoisonedCacheInsertIsRejectedAndNeverServed) {
   EXPECT_EQ(second.source, QuerySource::kCold);
   EXPECT_EQ(second.scores, first.scores);
   EXPECT_EQ(engine.cache().Size(), 1u);
+}
+
+TEST(RobustnessTest, CorruptedPermutationIsRejectedNotServed) {
+  if (!fault::Compiled()) {
+    GTEST_SKIP() << "fault harness not compiled (IMPREG_FAULT_INJECTION=OFF)";
+  }
+  const Graph g = CavemanGraph(4, 8);
+  const Vector seed = SingleNodeSeed(g, 3);
+  const PushResult expected = ApproximatePageRank(g, seed);
+
+  fault::Arm("graph/reorder_permutation", fault::FaultKind::kNaN);
+  const ReorderedGraph rg(g, ReorderMethod::kRcm);
+  EXPECT_GT(fault::InjectionCount(), 0) << "permutation site never fired";
+  fault::Disarm();
+
+  // Validation must catch the poisoned permutation and fall back to the
+  // original labeling — marked, never silently mislabeled.
+  EXPECT_FALSE(rg.active());
+  EXPECT_EQ(rg.diagnostics().status, SolveStatus::kNonFinite);
+  EXPECT_EQ(&rg.graph(), &g);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    EXPECT_EQ(rg.ToReordered(u), u);
+    EXPECT_EQ(rg.ToOriginal(u), u);
+  }
+
+  // Serving through the rejected wrapper reproduces the plain answer
+  // bitwise — the fallback is the original computation, not a degraded
+  // variant.
+  const PushResult served = ApproximatePageRank(rg, seed);
+  ASSERT_EQ(served.p.size(), expected.p.size());
+  for (std::size_t i = 0; i < served.p.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(served.p[i]),
+              std::bit_cast<std::uint64_t>(expected.p[i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(served.residual[i]),
+              std::bit_cast<std::uint64_t>(expected.residual[i]));
+  }
+
+  // A clean rebuild succeeds and reorders for real.
+  const ReorderedGraph clean(g, ReorderMethod::kRcm);
+  EXPECT_TRUE(clean.active());
+  EXPECT_EQ(clean.diagnostics().status, SolveStatus::kConverged);
 }
 
 // Runs in every build (no injection needed): a pre-exhausted budget

@@ -8,15 +8,24 @@
 //
 // Usage:
 //   impreg_bench_diff <baseline.json> <candidate.json> [--max-regress=10%]
-//                     [--max-regress-p99=25%]
+//                     [--max-regress-p99=25%] [--strict-metadata]
 //
 // The threshold accepts "10%", "0.10", or "0.10%"-style spellings; a
 // bare number <= 1 is a fraction, otherwise a percentage.
 // --max-regress-p99 additionally gates the p99 tail (one-sided: only a
 // slower tail fails) for records that carry p99_ns — the load
 // harness's SLO gate; without the flag, tails are reported but never
-// gated. Exit codes follow impreg_cli: 0 gate passed, 1 regression(s),
-// 2 usage error, 3 unreadable/malformed input.
+// gated.
+//
+// Reports may carry a `machine` metadata map (-march=native status,
+// SIMD dispatch levels — see bench/report.h). When the two sides'
+// maps disagree the comparison is cross-machine/cross-configuration:
+// every mismatch is printed as a warning, and with --strict-metadata
+// any mismatch fails the gate outright.
+//
+// Exit codes follow impreg_cli: 0 gate passed, 1 regression(s) or a
+// strict metadata mismatch, 2 usage error, 3 unreadable/malformed
+// input.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,12 +45,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: impreg_bench_diff <baseline.json> <candidate.json> "
-      "[--max-regress=10%%] [--max-regress-p99=25%%]\n"
+      "[--max-regress=10%%] [--max-regress-p99=25%%] [--strict-metadata]\n"
       "\n"
       "Compares two bench reports (bench/report.h formats) and exits\n"
       "non-zero when a shared benchmark regressed past the threshold\n"
       "(default 10%%). --max-regress-p99 also gates the p99 tail,\n"
       "one-sided, for records that carry p99_ns (load-harness SLO).\n"
+      "Machine-metadata mismatches (native/SIMD configuration) warn by\n"
+      "default; --strict-metadata turns any mismatch into a failure.\n"
       "\n"
       "exit codes: 0 gate passed, 1 regression, 2 usage, 3 bad input\n");
   return kExitUsage;
@@ -70,9 +81,12 @@ int Run(int argc, char** argv) {
   std::string old_path, new_path;
   double max_regress = 0.10;
   double max_regress_p99 = -1.0;
+  bool strict_metadata = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--max-regress=", 14) == 0) {
+    if (std::strcmp(arg, "--strict-metadata") == 0) {
+      strict_metadata = true;
+    } else if (std::strncmp(arg, "--max-regress=", 14) == 0) {
       max_regress = ParseThreshold(arg + 14);
       if (max_regress < 0.0) {
         std::fprintf(stderr, "impreg_bench_diff: bad threshold '%s'\n",
@@ -115,6 +129,17 @@ int Run(int argc, char** argv) {
     return kExitInput;
   }
 
+  // Configuration drift first: numbers measured under different
+  // native/SIMD configurations compare machines, not changes.
+  const std::vector<std::string> metadata_mismatches =
+      DiffBenchMetadata(old_report.machine, new_report.machine);
+  for (const std::string& mismatch : metadata_mismatches) {
+    std::fprintf(stderr,
+                 "impreg_bench_diff: %s: machine metadata mismatch — %s "
+                 "(cross-machine comparison)\n",
+                 strict_metadata ? "error" : "warning", mismatch.c_str());
+  }
+
   const BenchDiffResult diff =
       DiffBenchReports(old_report.records, new_report.records, max_regress,
                        max_regress_p99);
@@ -149,6 +174,12 @@ int Run(int argc, char** argv) {
     std::printf("p99 threshold +%.1f%%: %d tail regression(s)\n",
                 100.0 * max_regress_p99, diff.p99_regressions);
   }
+  if (!metadata_mismatches.empty()) {
+    std::printf("%zu machine metadata mismatch(es)%s\n",
+                metadata_mismatches.size(),
+                strict_metadata ? " (strict: failing)" : "");
+  }
+  if (strict_metadata && !metadata_mismatches.empty()) return kExitRegression;
   return diff.ok() ? 0 : kExitRegression;
 }
 
