@@ -71,6 +71,9 @@
 #include "ranking/centrality.h"
 #include "ranking/compare.h"
 #include "regularization/sdp.h"
+#include "service/durability/recovery.h"
+#include "service/durability/snapshot.h"
+#include "service/durability/wal.h"
 #include "service/query_engine.h"
 #include "service/result_cache.h"
 #include "service/wire.h"

@@ -43,6 +43,10 @@ GraphParseResult ParseEdgeListOrError(const std::string& text) {
   int line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    // Trim trailing whitespace first: CRLF files leave a '\r' on every
+    // line, and editors leave trailing blanks — both would otherwise
+    // trip the %c trailing-garbage probe below on weighted lines.
+    line.erase(line.find_last_not_of(" \t\r\n\f\v") + 1);
     // Trim leading whitespace.
     std::size_t start = 0;
     while (start < line.size() &&
@@ -153,6 +157,8 @@ GraphParseResult ParseMetisOrError(const std::string& text) {
   bool have_header = false;
   while (std::getline(in, line)) {
     ++line_number;
+    // CRLF/trailing-blank tolerance, same as the edge-list parser.
+    line.erase(line.find_last_not_of(" \t\r\n\f\v") + 1);
     std::size_t start = 0;
     while (start < line.size() &&
            std::isspace(static_cast<unsigned char>(line[start]))) {
@@ -187,6 +193,7 @@ GraphParseResult ParseMetisOrError(const std::string& text) {
   NodeId node = 0;
   while (node < n && std::getline(in, line)) {
     ++line_number;
+    line.erase(line.find_last_not_of(" \t\r\n\f\v") + 1);
     std::size_t start = 0;
     while (start < line.size() &&
            std::isspace(static_cast<unsigned char>(line[start]))) {

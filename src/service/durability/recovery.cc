@@ -1,0 +1,105 @@
+#include "service/durability/recovery.h"
+
+#include <utility>
+
+#include "service/durability/snapshot.h"
+#include "service/durability/wal.h"
+#include "util/check.h"
+
+namespace impreg::durability {
+
+RecoveryReport RecoverEngine(const DynamicGraph& base,
+                             const QueryEngine::Options& options,
+                             const RecoveryOptions& recovery,
+                             std::unique_ptr<QueryEngine>* engine) {
+  RecoveryReport report;
+
+  // Rung 1: newest intact snapshot, falling back epoch by epoch.
+  DynamicGraph graph = base;
+  std::vector<SnapshotCacheEntry> cache_entries;
+  if (!recovery.snapshot_dir.empty()) {
+    for (const auto& [epoch, path] : ListSnapshots(recovery.snapshot_dir)) {
+      SnapshotLoadResult loaded = LoadSnapshot(path);
+      if (loaded.status != SolveStatus::kConverged) {
+        ++report.snapshots_rejected;
+        continue;
+      }
+      graph = std::move(loaded.data.graph);
+      cache_entries = std::move(loaded.data.cache_entries);
+      report.snapshot_epoch = loaded.data.epoch;
+      break;
+    }
+  }
+  const std::int64_t start_epoch =
+      report.snapshot_epoch >= 0 ? report.snapshot_epoch : 0;
+
+  // Rung 2: the WAL's certified prefix (+ tail repair).
+  std::vector<WalRecord> entries;
+  if (!recovery.wal_path.empty()) {
+    WalReadResult wal = ReadWal(recovery.wal_path);
+    if (wal.status == SolveStatus::kInvalidInput) {
+      // Unreadable header: with a snapshot we can still serve that
+      // epoch; with nothing we cannot assemble any trusted state.
+      report.status = report.snapshot_epoch >= 0 ? SolveStatus::kBreakdown
+                                                 : SolveStatus::kInvalidInput;
+      report.detail = "WAL rejected (" + wal.detail + ")";
+      if (report.status == SolveStatus::kInvalidInput) return report;
+    } else {
+      if (wal.truncated) {
+        report.wal_truncated = true;
+        if (recovery.truncate_torn_tail) {
+          TruncateWal(recovery.wal_path, wal.valid_bytes);
+        }
+      }
+      entries = std::move(wal.entries);
+    }
+  }
+  report.wal_records = static_cast<std::int64_t>(entries.size());
+
+  // Rung 3: epoch-indexed suffix replay. A snapshot newer than the log
+  // (possible when the WAL was rotated after the snapshot) replays
+  // nothing.
+  if (start_epoch < report.wal_records) {
+    WalReplayResult replay = ReplayWal(entries, start_epoch, &graph);
+    report.replayed = replay.applied;
+    if (replay.status != SolveStatus::kConverged) {
+      report.status = SolveStatus::kBreakdown;
+      report.detail = replay.detail;
+    }
+  }
+  report.epoch = start_epoch + report.replayed;
+
+  if (report.status == SolveStatus::kConverged &&
+      (report.wal_truncated || report.snapshots_rejected > 0)) {
+    report.status = SolveStatus::kBreakdown;
+  }
+
+  // Rung 4: rebuild the engine and re-admit the persisted cache slice
+  // (oldest-insertion-first keeps FIFO eviction order faithful).
+  if (engine != nullptr) {
+    *engine = std::make_unique<QueryEngine>(graph, options);
+    (*engine)->RestoreEpoch(report.epoch);
+    for (SnapshotCacheEntry& e : cache_entries) {
+      if ((*engine)->RestoreCachedResult(e.key, e.warm_key,
+                                         std::move(e.result))) {
+        ++report.cache_restored;
+      }
+    }
+  }
+
+  if (report.detail.empty()) {
+    report.detail =
+        "recovered epoch " + std::to_string(report.epoch) + " (snapshot " +
+        std::to_string(report.snapshot_epoch) + " + " +
+        std::to_string(report.replayed) + " replayed records" +
+        (report.wal_truncated ? ", torn tail dropped" : "") +
+        (report.snapshots_rejected > 0
+             ? ", " + std::to_string(report.snapshots_rejected) +
+                   " snapshots rejected"
+             : "") +
+        ")";
+  }
+  return report;
+}
+
+}  // namespace impreg::durability

@@ -1,0 +1,93 @@
+#ifndef IMPREG_SERVICE_DURABILITY_RECOVERY_H_
+#define IMPREG_SERVICE_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/solve_status.h"
+#include "service/query_engine.h"
+#include "streaming/dynamic_graph.h"
+
+/// \file
+/// Crash recovery: reassemble the serving state a process died with —
+/// graph, epoch counter, and the warm-restartable cache slice — from
+/// the last snapshot plus the WAL suffix, and prove nothing was lost.
+///
+/// The recovery ladder, newest state first:
+///
+///   1. Load the newest snapshot that passes its checksum; a corrupt
+///      one is skipped (counted) and the next-older tried — the atomic
+///      publish makes "newest intact" well-defined.
+///   2. Read the WAL; a torn tail is truncated at the first bad frame
+///      (the certified prefix survives — this is the expected shape of
+///      a crash mid-append, not data loss).
+///   3. Replay WAL records [snapshot_epoch, …) onto the snapshot graph
+///      — the epoch-indexed suffix — landing at exactly the state of
+///      the uninterrupted run.
+///   4. Stamp the engine's epoch and re-admit the persisted cache
+///      entries. Entries whose epoch no longer matches exact-serve as
+///      nothing, but their (p, r) state makes them warm sources that
+///      InvariantResidual repairs on first use: warm-start survives
+///      restart.
+///
+/// Determinism: the recovered DynamicGraph is bit-identical (adjacency
+/// order, degree bits, volume bits) to the graph of a process that
+/// never crashed, so every query answered after recovery is
+/// bit-identical too — the restart-recovery chaos sweep in
+/// tests/durability_test.cc asserts exactly this at every WAL record
+/// boundary and under every durability fault site.
+
+namespace impreg::durability {
+
+struct RecoveryOptions {
+  /// The WAL file ("" = no log: snapshot-only recovery).
+  std::string wal_path;
+  /// The snapshot directory ("" = no snapshots: WAL-only recovery,
+  /// replayed from the base graph at epoch 0).
+  std::string snapshot_dir;
+  /// Repair a torn WAL tail in place (truncate the file to the
+  /// certified prefix) so the next append continues a clean log.
+  bool truncate_torn_tail = true;
+};
+
+/// What recovery found and did.
+struct RecoveryReport {
+  /// kConverged: full state recovered cleanly. kBudgetExhausted is
+  /// never used here; any torn tail or rejected snapshot downgrades to
+  /// kBreakdown (state recovered, but the ladder had to drop debris —
+  /// the caller should log it). kInvalidInput: even the base state
+  /// could not be assembled (unreadable WAL header with no snapshot).
+  SolveStatus status = SolveStatus::kConverged;
+  /// Epoch of the snapshot used (-1 = none; recovery started from the
+  /// base graph).
+  std::int64_t snapshot_epoch = -1;
+  /// Snapshots that failed their checksum and were skipped.
+  std::int64_t snapshots_rejected = 0;
+  /// Intact records found in the WAL.
+  std::int64_t wal_records = 0;
+  /// Records replayed on top of the starting state.
+  std::int64_t replayed = 0;
+  /// True when a torn/corrupt WAL tail was dropped.
+  bool wal_truncated = false;
+  /// Persisted cache entries successfully re-admitted.
+  std::int64_t cache_restored = 0;
+  /// The recovered epoch (== wal_records when every record applied).
+  std::int64_t epoch = 0;
+  std::string detail;
+};
+
+/// Recovers serving state into a fresh QueryEngine built over `base`
+/// (the graph the service originally booted from; snapshots supersede
+/// it when present). On return `*engine` is ready to serve; the report
+/// says how much of the ladder was exercised. `engine` may be null to
+/// validate durability artifacts without building an engine (the CLI's
+/// `recover` command).
+RecoveryReport RecoverEngine(const DynamicGraph& base,
+                             const QueryEngine::Options& options,
+                             const RecoveryOptions& recovery,
+                             std::unique_ptr<QueryEngine>* engine);
+
+}  // namespace impreg::durability
+
+#endif  // IMPREG_SERVICE_DURABILITY_RECOVERY_H_

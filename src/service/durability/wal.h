@@ -1,0 +1,151 @@
+#ifndef IMPREG_SERVICE_DURABILITY_WAL_H_
+#define IMPREG_SERVICE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solve_status.h"
+#include "graph/graph.h"
+#include "streaming/dynamic_graph.h"
+
+/// \file
+/// The mutation write-ahead log: every AddEdge the serving tier accepts
+/// is framed, checksummed, and appended here *before* it lands on the
+/// in-memory graph, so a crash at any instant loses at most the records
+/// that had not reached the disk yet — never the graph's consistency.
+///
+/// File layout (all integers little-endian, the only byte order the
+/// project targets):
+///
+///   header   := magic "IMPRGWAL" | u32 version (1) | u32 crc32c(magic‖version)
+///   record   := u32 payload_size | u32 crc32c(payload) | payload
+///   payload  := u8 type (1 = AddEdge) | i32 u | i32 v | f64 weight
+///
+/// Each record's CRC covers its payload only, so corruption is localized:
+/// the reader accepts the longest prefix of intact records and reports
+/// everything after the first bad frame as a *torn tail* — expected
+/// debris from a crash mid-append, not an error to die on. Recovery
+/// replays the certified prefix and truncates the tail
+/// (src/service/durability/recovery.h); poisoned state is never loaded.
+///
+/// Epoch contract: the k-th record (0-based) is the edit that moved the
+/// graph from epoch k to epoch k+1, so a snapshot taken at epoch e is
+/// continued by replaying records [e, …) — see docs/durability.md.
+///
+/// Fault points (robustness suite): "wal/append" (a poisoned record is
+/// rejected before framing — never written), "wal/fsync" (a failed
+/// fsync surfaces as a non-usable status; the caller decides whether to
+/// retry or shed), "wal/replay_record" (a poisoned decoded record stops
+/// replay at the last good prefix), "wal/torn_tail" (frame validation
+/// forced to fail — exercises the truncation path on an intact file).
+
+namespace impreg::durability {
+
+/// One decoded AddEdge record.
+struct WalRecord {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+};
+
+struct WalOptions {
+  /// fsync after every N appends (1 = every record, the durable
+  /// default). 0 disables fsync (tests and bulk loads that sync
+  /// explicitly via Sync()).
+  int sync_every = 1;
+};
+
+/// Append side. Not thread-safe (one writer, same as the graph).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens `path` for appending, writing the header if the file is new
+  /// or empty. An existing file's header is verified (magic + version +
+  /// CRC); a mismatch fails with kInvalidInput rather than appending
+  /// records a future reader would reject.
+  SolveStatus Open(const std::string& path, const WalOptions& options,
+                   std::string* detail = nullptr);
+
+  /// Frames, checksums, and appends one AddEdge record, then fsyncs if
+  /// the batch policy says so. Rejects non-finite or non-positive
+  /// weights and out-of-range ids (kInvalidInput, nothing written).
+  /// An fsync failure returns kBreakdown: the bytes are in the page
+  /// cache but not certified durable — the caller must not acknowledge
+  /// the edit.
+  SolveStatus AppendAddEdge(NodeId u, NodeId v, double weight,
+                            std::string* detail = nullptr);
+
+  /// Forces an fsync now (flushes a partial sync_every batch).
+  SolveStatus Sync(std::string* detail = nullptr);
+
+  /// Fsyncs pending records and closes the descriptor. Safe to call
+  /// twice; the destructor calls it.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Records appended through this handle (not the file total).
+  std::int64_t records_appended() const { return records_appended_; }
+
+ private:
+  int fd_ = -1;
+  int sync_every_ = 1;
+  int unsynced_ = 0;
+  std::int64_t records_appended_ = 0;
+};
+
+/// Everything ReadWal learned about a log file.
+struct WalReadResult {
+  /// kConverged: clean file, read to EOF. kBreakdown: a torn or corrupt
+  /// tail was found — `entries` still holds the certified prefix and
+  /// `valid_bytes` marks where the good bytes end (TruncateWal repairs
+  /// the file to exactly there). kInvalidInput: the header itself is
+  /// unreadable and no record can be trusted.
+  SolveStatus status = SolveStatus::kConverged;
+  /// True when bytes after `valid_bytes` were dropped (torn tail).
+  bool truncated = false;
+  /// Byte offset one past the last intact record (≥ header size for a
+  /// readable file).
+  std::int64_t valid_bytes = 0;
+  std::string detail;
+  /// The intact records, in append order.
+  std::vector<WalRecord> entries;
+};
+
+/// Reads and CRC-verifies `path`. Never aborts on corruption: a damaged
+/// tail yields the longest intact prefix (see WalReadResult::status).
+/// A missing file is kConverged with zero records — an empty log.
+WalReadResult ReadWal(const std::string& path);
+
+/// Truncates `path` to `valid_bytes` (from a WalReadResult with a torn
+/// tail), making the file clean again. kConverged on success.
+SolveStatus TruncateWal(const std::string& path, std::int64_t valid_bytes,
+                        std::string* detail = nullptr);
+
+/// What replaying a WAL suffix onto a graph did.
+struct WalReplayResult {
+  /// kConverged: every requested record applied. kBreakdown: a record
+  /// failed validation (out-of-range id, non-finite weight — possible
+  /// only via fault injection once ReadWal's CRC passed); the graph
+  /// holds exactly the records before it.
+  SolveStatus status = SolveStatus::kConverged;
+  /// Records applied (counts from `from_record`).
+  std::int64_t applied = 0;
+  std::string detail;
+};
+
+/// Applies `entries[from_record…]` onto `graph` in order — the epoch-
+/// indexed suffix replay: a snapshot at epoch e passes from_record = e.
+/// Validates each record against the graph's node range before
+/// applying; stops (never aborts) at the first bad one.
+WalReplayResult ReplayWal(const std::vector<WalRecord>& entries,
+                          std::int64_t from_record, DynamicGraph* graph);
+
+}  // namespace impreg::durability
+
+#endif  // IMPREG_SERVICE_DURABILITY_WAL_H_

@@ -159,7 +159,22 @@ QueryEngine::QueryEngine(const DynamicGraph& initial, const Options& options)
 void QueryEngine::AddEdge(NodeId u, NodeId v, double weight) {
   graph_.AddEdge(u, v, weight);
   ++epoch_;
+  // The edit retired epoch_ - 1: every cached exact key from that epoch
+  // just went stale (state-bearing ones demote to warm service).
+  cache_.NoteEpochBump(epoch_ - 1);
   IMPREG_METRIC_COUNT("service.engine.add_edges", 1);
+}
+
+void QueryEngine::RestoreEpoch(std::int64_t epoch) {
+  IMPREG_CHECK_MSG(epoch >= epoch_,
+                   "restored epoch must not move backwards");
+  epoch_ = epoch;
+}
+
+bool QueryEngine::RestoreCachedResult(const std::string& key,
+                                      const std::string& warm_key,
+                                      CachedResult result) {
+  return cache_.Insert(key, warm_key, std::move(result));
 }
 
 std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch) {
@@ -191,30 +206,33 @@ std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch) {
   return key;
 }
 
-const Graph& QueryEngine::Frozen() {
-  if (frozen_ == nullptr || frozen_epoch_ != epoch_) {
-    frozen_ = std::make_unique<Graph>(graph_.ToGraph());
-    frozen_epoch_ = epoch_;
+const Graph& QueryEngine::Frozen(const DynamicGraph::SnapshotView& snap) {
+  if (frozen_ == nullptr || frozen_epoch_ != snap.epoch()) {
+    frozen_ = std::make_unique<Graph>(snap.graph().ToGraph());
+    frozen_epoch_ = snap.epoch();
   }
   return *frozen_;
 }
 
-const ReorderedGraph* QueryEngine::FrozenReordered() {
+const ReorderedGraph* QueryEngine::FrozenReordered(
+    const DynamicGraph::SnapshotView& snap) {
   if (options_.graph.reorder == ReorderMethod::kIdentity) return nullptr;
-  const Graph& frozen = Frozen();
-  if (reordered_ == nullptr || reordered_epoch_ != epoch_) {
+  const Graph& frozen = Frozen(snap);
+  if (reordered_ == nullptr || reordered_epoch_ != snap.epoch()) {
     // The wrapper holds a pointer into frozen_, so it is rebuilt in
     // lockstep with the snapshot it relabels.
     reordered_ = std::make_unique<ReorderedGraph>(frozen,
                                                   options_.graph.reorder);
-    reordered_epoch_ = epoch_;
+    reordered_epoch_ = snap.epoch();
   }
   return reordered_.get();
 }
 
-void QueryEngine::ExecutePush(WorkItem& item) {
+void QueryEngine::ExecutePush(WorkItem& item,
+                              const DynamicGraph::SnapshotView& snap) {
+  const DynamicGraph& graph = snap.graph();
   const Query& q = item.query;
-  const NodeId n = graph_.NumNodes();
+  const NodeId n = graph.NumNodes();
   WorkBudget budget(q.max_work);
   IncrementalPprOptions opts;
   opts.gamma = q.gamma;
@@ -224,15 +242,15 @@ void QueryEngine::ExecutePush(WorkItem& item) {
   Vector p, r;
   if (item.warm) {
     p = std::move(item.warm_p);
-    if (item.warm_epoch == epoch_) {
+    if (item.warm_epoch == snap.epoch()) {
       // Same graph: the cached residual is exact — continue the push
       // (a tighter ε simply drains r further).
       r = std::move(item.warm_r);
     } else {
       // The graph changed since the state was cached: restore the push
-      // invariant on the *current* graph with one column scatter over
+      // invariant on the *pinned* graph with one column scatter over
       // supp(p) — the AddEdge repair generalized to any edit distance.
-      r = InvariantResidual(graph_, item.seed, p, q.gamma);
+      r = InvariantResidual(graph, item.seed, p, q.gamma);
     }
   } else {
     p.assign(n, 0.0);
@@ -242,7 +260,7 @@ void QueryEngine::ExecutePush(WorkItem& item) {
   std::deque<NodeId> queue;
   std::vector<char> queued(n, 0);
   for (NodeId u = 0; u < n; ++u) {
-    const double d = graph_.Degree(u);
+    const double d = graph.Degree(u);
     const double threshold = d > 0.0 ? q.epsilon * d : q.epsilon;
     if (std::abs(r[u]) >= threshold) {
       queue.push_back(u);
@@ -252,7 +270,7 @@ void QueryEngine::ExecutePush(WorkItem& item) {
 
   SolverDiagnostics diag;
   const std::int64_t pushes =
-      StandardFormPush(graph_, opts, p, r, queue, queued, diag);
+      StandardFormPush(graph, opts, p, r, queue, queued, diag);
 
   item.response.scores = p;
   item.response.work = pushes;
@@ -271,14 +289,16 @@ void QueryEngine::ExecutePush(WorkItem& item) {
   }
 }
 
-void QueryEngine::ExecuteItem(WorkItem& item, const Graph* frozen,
+void QueryEngine::ExecuteItem(WorkItem& item,
+                              const DynamicGraph::SnapshotView& snap,
+                              const Graph* frozen,
                               const ReorderedGraph* reordered) {
   IMPREG_METRIC_TIMER("service.query.latency_ns");
   const bool relabeled = reordered != nullptr && reordered->active();
   const Query& q = item.query;
   switch (q.method) {
     case QueryMethod::kPprPush:
-      ExecutePush(item);
+      ExecutePush(item, snap);
       break;
     case QueryMethod::kHeatKernel: {
       IMPREG_CHECK(frozen != nullptr);
@@ -480,10 +500,16 @@ void QueryEngine::RunDenseGroup(const Graph& frozen,
 
 std::vector<QueryResponse> QueryEngine::RunBatch(
     const std::vector<Query>& queries) {
+  return RunBatchOn(PinSnapshot(), queries);
+}
+
+std::vector<QueryResponse> QueryEngine::RunBatchOn(
+    const DynamicGraph::SnapshotView& snap,
+    const std::vector<Query>& queries) {
   IMPREG_METRIC_COUNT("service.engine.batches", 1);
   IMPREG_METRIC_COUNT("service.engine.queries",
                       static_cast<std::int64_t>(queries.size()));
-  const NodeId n = graph_.NumNodes();
+  const NodeId n = snap.graph().NumNodes();
   std::vector<QueryResponse> out(queries.size());
   std::vector<int> slot(queries.size(), -1);
   std::vector<std::unique_ptr<WorkItem>> items;
@@ -536,7 +562,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
                                  : granted;
       }
     }
-    std::string key = CanonicalKey(canonical, epoch_);
+    std::string key = CanonicalKey(canonical, snap.epoch());
     const auto duplicate = dedup.find(key);
     if (duplicate != dedup.end()) {
       slot[i] = duplicate->second;
@@ -600,8 +626,9 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
       break;
     }
   }
-  const Graph* frozen = needs_frozen ? &Frozen() : nullptr;
-  const ReorderedGraph* reordered = needs_frozen ? FrozenReordered() : nullptr;
+  const Graph* frozen = needs_frozen ? &Frozen(snap) : nullptr;
+  const ReorderedGraph* reordered =
+      needs_frozen ? FrozenReordered(snap) : nullptr;
 
   // Phase 3a (grouped): compatible dense solves in lockstep through
   // ApplyBatch. std::map keys the groups deterministically.
@@ -630,7 +657,7 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
   ParallelFor(0, static_cast<std::int64_t>(pending.size()), 1,
               [&](std::int64_t begin, std::int64_t end) {
                 for (std::int64_t i = begin; i < end; ++i) {
-                  ExecuteItem(*pending[i], frozen, reordered);
+                  ExecuteItem(*pending[i], snap, frozen, reordered);
                 }
               });
 
@@ -647,11 +674,15 @@ std::vector<QueryResponse> QueryEngine::RunBatch(
       cached.work = item.response.work;
       cached.status = item.response.status;
       cached.detail = item.response.detail;
+      // Epoch-stamped unconditionally: the stamp drives the
+      // invalidation accounting at the next AddEdge (NoteEpochBump),
+      // and for pinned-view batches it records the epoch the answer is
+      // exact at.
+      cached.epoch = snap.epoch();
       if (item.has_state) {
         cached.has_state = true;
         cached.p = std::move(item.state_p);
         cached.r = std::move(item.state_r);
-        cached.epoch = epoch_;
         cached.epsilon = item.query.epsilon;
       }
       cache_.Insert(item.key, item.warm_key, std::move(cached));

@@ -177,16 +177,53 @@ class QueryEngine {
 
   /// Inserts undirected edge {u, v} and bumps the graph epoch. Cached
   /// entries from older epochs stop exact-matching but remain
-  /// warm-restart sources for the push family.
+  /// warm-restart sources for the push family (the demotion is counted:
+  /// service.cache.invalidated / service.cache.warm_demoted). Pinned
+  /// snapshot views are unaffected — the graph clones its shared
+  /// representation before mutating (copy-on-write).
   void AddEdge(NodeId u, NodeId v, double weight = 1.0);
 
-  /// Answers a batch: validate → canonicalize → dedup → sequential
-  /// cache lookups → parallel/grouped execution → sequential cache
-  /// inserts. Responses align index-for-index with `queries`.
+  /// Pins the current (graph, epoch) as an immutable O(1) view. A batch
+  /// run against the view answers at exactly that epoch no matter how
+  /// many AddEdges land in between — the snapshot-isolated serving
+  /// contract (see docs/durability.md).
+  DynamicGraph::SnapshotView PinSnapshot() const {
+    return graph_.Snapshot(epoch_);
+  }
+
+  /// Answers a batch at the *current* epoch: pins a snapshot and
+  /// forwards to RunBatchOn. Validate → canonicalize → dedup →
+  /// sequential cache lookups → parallel/grouped execution → sequential
+  /// cache inserts. Responses align index-for-index with `queries`.
   std::vector<QueryResponse> RunBatch(const std::vector<Query>& queries);
+
+  /// Answers a batch against a pinned snapshot (from PinSnapshot(),
+  /// possibly several AddEdges ago). Results and cache mutations are a
+  /// pure function of (snapshot, cache state, queries): bit-identical
+  /// whether concurrent insertions landed during or after the batch,
+  /// at any thread count. Cache keys use the snapshot's epoch, so
+  /// answers computed against an old view never masquerade as
+  /// current-epoch entries.
+  std::vector<QueryResponse> RunBatchOn(const DynamicGraph::SnapshotView& snap,
+                                        const std::vector<Query>& queries);
 
   /// Convenience single-query form (a batch of one).
   QueryResponse Run(const Query& query);
+
+  /// Restores the epoch counter after crash recovery (monotone: the
+  /// restored value must be ≥ the current one). Recovery replays the
+  /// WAL onto the graph first, then stamps the epoch it reached
+  /// (src/service/durability/recovery.h).
+  void RestoreEpoch(std::int64_t epoch);
+
+  /// Re-admits a persisted cache entry (durability snapshot restore).
+  /// Same containment as any insert: non-finite payloads are rejected
+  /// (returns false). Entries restored from an older epoch exact-match
+  /// only if the epoch still agrees; otherwise they serve as warm
+  /// (p, r) sources that re-converge via InvariantResidual on first
+  /// use — warm-start survives restart.
+  bool RestoreCachedResult(const std::string& key, const std::string& warm_key,
+                           CachedResult result);
 
   /// Monotone edit counter; part of every exact cache key.
   std::int64_t Epoch() const { return epoch_; }
@@ -210,18 +247,19 @@ class QueryEngine {
  private:
   struct WorkItem;
 
-  /// The frozen CSR snapshot of the current epoch (rebuilt lazily
-  /// after AddEdge); used by the dense/heat-kernel/nibble paths.
-  const Graph& Frozen();
+  /// The frozen CSR snapshot of the batch's pinned epoch (rebuilt
+  /// lazily when the pinned epoch changes); used by the
+  /// dense/heat-kernel/nibble paths.
+  const Graph& Frozen(const DynamicGraph::SnapshotView& snap);
 
   /// The relabeled view of Frozen() (epoch-tracked alongside it), or
   /// nullptr when options.graph.reorder == kIdentity. Must be called
   /// from the sequential phases only — it rebuilds lazily.
-  const ReorderedGraph* FrozenReordered();
+  const ReorderedGraph* FrozenReordered(const DynamicGraph::SnapshotView& snap);
 
-  void ExecuteItem(WorkItem& item, const Graph* frozen,
-                   const ReorderedGraph* reordered);
-  void ExecutePush(WorkItem& item);
+  void ExecuteItem(WorkItem& item, const DynamicGraph::SnapshotView& snap,
+                   const Graph* frozen, const ReorderedGraph* reordered);
+  void ExecutePush(WorkItem& item, const DynamicGraph::SnapshotView& snap);
   void RunDenseGroup(const Graph& frozen, const ReorderedGraph* reordered,
                      std::vector<WorkItem*>& group);
 

@@ -100,6 +100,29 @@ bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
   return true;
 }
 
+void ResultCache::NoteEpochBump(std::int64_t retired_epoch) {
+  std::int64_t invalidated = 0;
+  std::int64_t demoted = 0;
+  for (const Entry& e : entries_) {
+    if (e.result.epoch != retired_epoch) continue;
+    ++invalidated;
+    if (e.result.has_state) ++demoted;
+  }
+  stats_.invalidated += invalidated;
+  stats_.warm_demoted += demoted;
+  IMPREG_METRIC_COUNT("service.cache.invalidated", invalidated);
+  IMPREG_METRIC_COUNT("service.cache.warm_demoted", demoted);
+}
+
+std::vector<ResultCache::ExportedEntry> ResultCache::ExportEntries() const {
+  std::vector<ExportedEntry> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(ExportedEntry{&e.key, &e.warm_key, &e.result});
+  }
+  return out;
+}
+
 std::vector<std::string> ResultCache::KeysInInsertionOrder() const {
   std::vector<std::string> keys;
   keys.reserve(entries_.size());

@@ -51,6 +51,8 @@ struct CachedResult {
   std::string detail;
   /// Warm-restart state (push family only): the (p, r) invariant pair,
   /// the graph epoch it was computed at, and the ε it satisfies.
+  /// `epoch` is stamped on every insert (state-bearing or not) — it is
+  /// what the epoch-bump invalidation accounting reads.
   bool has_state = false;
   Vector p;
   Vector r;
@@ -70,6 +72,16 @@ struct ResultCacheStats {
   /// fault-containment path: a poisoned result is dropped, never
   /// served).
   std::int64_t rejected = 0;
+  /// Entries whose exact key went stale at an epoch bump (they were
+  /// inserted at the epoch the bump retired). Mirrors
+  /// `service.cache.invalidated` — the visibility handle on
+  /// invalidation storms: every AddEdge retires every current-epoch
+  /// entry at once.
+  std::int64_t invalidated = 0;
+  /// The subset of `invalidated` that carried warm-restart state and so
+  /// was demoted to warm-only service (still reachable through the warm
+  /// index) rather than dropped. Mirrors `service.cache.warm_demoted`.
+  std::int64_t warm_demoted = 0;
 };
 
 /// String-keyed FIFO cache with a secondary warm-restart index.
@@ -97,9 +109,33 @@ class ResultCache {
   bool Insert(const std::string& key, const std::string& warm_key,
               CachedResult result);
 
+  /// Epoch-bump accounting: the engine calls this right after an
+  /// AddEdge retires `retired_epoch` (the epoch the edit replaced).
+  /// Counts entries stamped with that epoch — their exact keys just
+  /// stopped matching — into stats().invalidated /
+  /// service.cache.invalidated, and the state-bearing subset (still
+  /// servable through the warm index) into stats().warm_demoted /
+  /// service.cache.warm_demoted. Entries from older epochs were
+  /// counted at their own bump and are not re-counted.
+  void NoteEpochBump(std::int64_t retired_epoch);
+
   std::size_t Size() const { return entries_.size(); }
   std::size_t Capacity() const { return capacity_; }
   const ResultCacheStats& stats() const { return stats_; }
+
+  /// One entry as stored, for durability snapshots (pointer valid until
+  /// the next Insert/Clear).
+  struct ExportedEntry {
+    const std::string* key;
+    const std::string* warm_key;
+    const CachedResult* result;
+  };
+
+  /// Every entry, oldest-insertion-first — the order a restore must
+  /// re-insert them in to reproduce FIFO eviction state bit-identically
+  /// (src/service/durability/snapshot.cc persists the state-bearing
+  /// ones).
+  std::vector<ExportedEntry> ExportEntries() const;
 
   /// Keys oldest-insertion-first (test/debug aid).
   std::vector<std::string> KeysInInsertionOrder() const;

@@ -1,13 +1,17 @@
 #include "streaming/dynamic_graph.h"
 
+#include <cmath>
+#include <utility>
+
 #include "util/check.h"
 
 namespace impreg {
 
-DynamicGraph::DynamicGraph(NodeId num_nodes) {
+DynamicGraph::DynamicGraph(NodeId num_nodes)
+    : rep_(std::make_shared<Rep>()) {
   IMPREG_CHECK(num_nodes >= 0);
-  adjacency_.resize(num_nodes);
-  degrees_.assign(num_nodes, 0.0);
+  rep_->adjacency.resize(num_nodes);
+  rep_->degrees.assign(num_nodes, 0.0);
 }
 
 DynamicGraph DynamicGraph::FromGraph(const Graph& g) {
@@ -22,34 +26,75 @@ DynamicGraph DynamicGraph::FromGraph(const Graph& g) {
   return dynamic;
 }
 
+DynamicGraph DynamicGraph::FromParts(
+    std::vector<std::vector<Neighbor>> adjacency, std::vector<double> degrees,
+    std::int64_t num_edges, double total_volume) {
+  IMPREG_CHECK_MSG(adjacency.size() == degrees.size(),
+                   "adjacency/degree node counts disagree");
+  IMPREG_CHECK_MSG(num_edges >= 0 && std::isfinite(total_volume),
+                   "edge count/volume malformed");
+  const NodeId n = static_cast<NodeId>(adjacency.size());
+  std::int64_t arcs = 0;
+  std::int64_t self_loops = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    IMPREG_CHECK_MSG(std::isfinite(degrees[u]), "non-finite degree");
+    for (const Neighbor& nb : adjacency[u]) {
+      IMPREG_CHECK_MSG(nb.head >= 0 && nb.head < n,
+                       "neighbor id out of range");
+      IMPREG_CHECK_MSG(std::isfinite(nb.weight) && nb.weight > 0.0,
+                       "neighbor weight must be finite and positive");
+      ++arcs;
+      if (nb.head == u) ++self_loops;
+    }
+  }
+  // Each undirected edge contributes two arcs except self-loops (one).
+  IMPREG_CHECK_MSG(arcs == 2 * num_edges - self_loops,
+                   "arc count disagrees with the declared edge count");
+  DynamicGraph dynamic(n);
+  dynamic.rep_->adjacency = std::move(adjacency);
+  dynamic.rep_->degrees = std::move(degrees);
+  dynamic.rep_->num_edges = num_edges;
+  dynamic.rep_->total_volume = total_volume;
+  return dynamic;
+}
+
+void DynamicGraph::EnsureUnique() {
+  // One writer by contract, so use_count() is stable from this thread's
+  // point of view: pinned views only appear via Snapshot()/copies made
+  // on this thread before the mutation.
+  if (rep_.use_count() > 1) rep_ = std::make_shared<Rep>(*rep_);
+}
+
 void DynamicGraph::AddEdge(NodeId u, NodeId v, double weight) {
   IMPREG_CHECK(u >= 0 && u < NumNodes() && v >= 0 && v < NumNodes());
   IMPREG_CHECK_MSG(weight > 0.0, "edge weights must be strictly positive");
+  EnsureUnique();
+  Rep& rep = *rep_;
   auto bump = [&](NodeId from, NodeId to) {
-    for (Neighbor& n : adjacency_[from]) {
+    for (Neighbor& n : rep.adjacency[from]) {
       if (n.head == to) {
         n.weight += weight;
         return true;
       }
     }
-    adjacency_[from].push_back({to, weight});
+    rep.adjacency[from].push_back({to, weight});
     return false;
   };
   const bool existed = bump(u, v);
   if (u != v) bump(v, u);
-  if (!existed) ++num_edges_;
-  degrees_[u] += weight;
-  total_volume_ += weight;
+  if (!existed) ++rep.num_edges;
+  rep.degrees[u] += weight;
+  rep.total_volume += weight;
   if (u != v) {
-    degrees_[v] += weight;
-    total_volume_ += weight;
+    rep.degrees[v] += weight;
+    rep.total_volume += weight;
   }
 }
 
 Graph DynamicGraph::ToGraph() const {
   GraphBuilder builder(NumNodes());
   for (NodeId u = 0; u < NumNodes(); ++u) {
-    for (const Neighbor& n : adjacency_[u]) {
+    for (const Neighbor& n : rep_->adjacency[u]) {
       if (n.head >= u) builder.AddEdge(u, n.head, n.weight);
     }
   }

@@ -1,6 +1,8 @@
 #ifndef IMPREG_STREAMING_DYNAMIC_GRAPH_H_
 #define IMPREG_STREAMING_DYNAMIC_GRAPH_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
@@ -11,13 +13,30 @@
 /// Personalized PageRank on evolving networks [6]). Insert-only:
 /// real social/information streams are dominated by arrivals, and the
 /// paper's cited algorithms are insert-driven.
+///
+/// Storage is copy-on-write: copying a DynamicGraph (and taking a
+/// Snapshot()) is O(1) — both share one immutable representation until
+/// the next mutation, which clones it first. That is what lets the
+/// serving tier pin a frozen epoch view for a query batch while ingest
+/// keeps landing AddEdges on the live graph (SnapshotView below), and
+/// what the durability layer serializes: the representation preserves
+/// per-node neighbor insertion order and the exact accumulated degree
+/// bits, so a snapshot+WAL-replayed graph is bit-identical to one that
+/// never crashed (src/service/durability/).
 
 namespace impreg {
 
 /// Mutable adjacency-list graph; supports edge insertion and conversion
 /// to/from the immutable CSR Graph. Parallel insertions of the same
 /// edge accumulate weight. Deterministic iteration order (insertion
-/// order per node).
+/// order per node). Value semantics with copy-on-write sharing: copies
+/// are O(1) and diverge lazily on the first mutation of either side.
+///
+/// Thread-safety: one writer. A SnapshotView (or plain copy) created
+/// by the writer thread may be read concurrently from other threads
+/// while the writer mutates — the writer clones the shared
+/// representation before its first post-snapshot mutation, so readers
+/// only ever see the frozen state they pinned.
 class DynamicGraph {
  public:
   /// A neighbor entry.
@@ -26,46 +45,111 @@ class DynamicGraph {
     double weight;
   };
 
+  /// An immutable, O(1)-pinned view of the graph at a moment in time,
+  /// tagged with the epoch the owner assigned to that moment. The view
+  /// keeps the underlying representation alive; the live graph it was
+  /// taken from is free to keep mutating. Defined after the class (it
+  /// holds a DynamicGraph by value).
+  class SnapshotView;
+
   /// An edgeless graph on `num_nodes` nodes.
   explicit DynamicGraph(NodeId num_nodes);
 
-  /// Copies the edges of an immutable graph.
+  /// Copies the edges of an immutable graph (u-major, head ≥ u arc
+  /// order — the canonical load order the durability layer replays).
   static DynamicGraph FromGraph(const Graph& g);
+
+  /// Reassembles a graph from its exact serialized parts — adjacency in
+  /// per-node insertion order plus the *accumulated* degree/volume bits
+  /// (which depend on arrival order and cannot be recomputed without
+  /// changing rounding). Validates symmetry of the edge count and
+  /// finiteness; aborts on malformed parts (callers — the snapshot
+  /// loader — checksum-verify first, so this is a programming-error
+  /// guard, not an input validator).
+  static DynamicGraph FromParts(std::vector<std::vector<Neighbor>> adjacency,
+                                std::vector<double> degrees,
+                                std::int64_t num_edges, double total_volume);
 
   DynamicGraph(const DynamicGraph&) = default;
   DynamicGraph& operator=(const DynamicGraph&) = default;
   DynamicGraph(DynamicGraph&&) = default;
   DynamicGraph& operator=(DynamicGraph&&) = default;
 
-  NodeId NumNodes() const { return static_cast<NodeId>(adjacency_.size()); }
+  NodeId NumNodes() const {
+    return static_cast<NodeId>(rep_->adjacency.size());
+  }
 
   /// Number of distinct undirected edges.
-  std::int64_t NumEdges() const { return num_edges_; }
+  std::int64_t NumEdges() const { return rep_->num_edges; }
 
   /// Weighted degree (self-loops once).
-  double Degree(NodeId u) const { return degrees_[u]; }
+  double Degree(NodeId u) const { return rep_->degrees[u]; }
 
-  double TotalVolume() const { return total_volume_; }
+  double TotalVolume() const { return rep_->total_volume; }
 
   /// The neighbor list of u (insertion order; no duplicates).
   const std::vector<Neighbor>& Neighbors(NodeId u) const {
-    return adjacency_[u];
+    return rep_->adjacency[u];
   }
 
   /// Inserts undirected edge {u, v} with weight w > 0 (accumulating
   /// onto an existing edge). O(deg) per endpoint (linear duplicate
-  /// scan — degrees in our workloads are small).
+  /// scan — degrees in our workloads are small). If any snapshot or
+  /// copy still pins the current representation, it is cloned first
+  /// (the copy-on-write step, O(n + m) once per pinned generation).
   void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Pins the current state as an immutable view tagged `epoch` (the
+  /// caller's counter — the query engine passes its edit epoch). O(1).
+  /// Defined after SnapshotView below.
+  SnapshotView Snapshot(std::int64_t epoch = 0) const;
+
+  /// True when this graph shares its representation with a snapshot or
+  /// copy (the next AddEdge will clone). Exposed for tests.
+  bool SharesRep() const { return rep_.use_count() > 1; }
 
   /// Freezes into an immutable CSR Graph.
   Graph ToGraph() const;
 
  private:
-  std::vector<std::vector<Neighbor>> adjacency_;
-  std::vector<double> degrees_;
-  std::int64_t num_edges_ = 0;
-  double total_volume_ = 0.0;
+  /// The shared-until-mutated representation.
+  struct Rep {
+    std::vector<std::vector<Neighbor>> adjacency;
+    std::vector<double> degrees;
+    std::int64_t num_edges = 0;
+    double total_volume = 0.0;
+  };
+
+  /// Clones the rep if any other graph/view still shares it.
+  void EnsureUnique();
+
+  std::shared_ptr<Rep> rep_;
 };
+
+class DynamicGraph::SnapshotView {
+ public:
+  /// An empty view (0 nodes, epoch 0); assign over it.
+  SnapshotView() : graph_(0) {}
+
+  /// The frozen graph. Stable for the lifetime of the view.
+  const DynamicGraph& graph() const { return graph_; }
+
+  /// The epoch the owner pinned (see DynamicGraph::Snapshot).
+  std::int64_t epoch() const { return epoch_; }
+
+ private:
+  friend class DynamicGraph;
+  SnapshotView(const DynamicGraph& g, std::int64_t epoch)
+      : graph_(g), epoch_(epoch) {}
+
+  DynamicGraph graph_;  ///< Shares the rep until the parent mutates.
+  std::int64_t epoch_ = 0;
+};
+
+inline DynamicGraph::SnapshotView DynamicGraph::Snapshot(
+    std::int64_t epoch) const {
+  return SnapshotView(*this, epoch);
+}
 
 }  // namespace impreg
 

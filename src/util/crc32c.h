@@ -1,0 +1,27 @@
+#ifndef IMPREG_UTIL_CRC32C_H_
+#define IMPREG_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum framing every durability artifact: WAL record payloads
+/// and snapshot bodies (src/service/durability/). Chosen over plain
+/// CRC-32 for its better error-detection spread on short records; this
+/// is the same polynomial storage systems (ext4, Btrfs, LevelDB's log
+/// format) frame their journals with. Table-driven software
+/// implementation — durability I/O is fsync-bound, not checksum-bound,
+/// so a hardware SSE4.2 path would be unmeasurable here.
+
+namespace impreg {
+
+/// CRC-32C of `data[0, size)`. `seed` chains incremental computation:
+/// `Crc32c(b, nb, Crc32c(a, na))` equals the CRC of a‖b. The empty
+/// buffer with the default seed is 0.
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace impreg
+
+#endif  // IMPREG_UTIL_CRC32C_H_

@@ -137,6 +137,43 @@ TEST(IoFuzzTest, ParseErrorsNameTheFailingLine) {
   EXPECT_EQ(good.graph->NumNodes(), 3);
 }
 
+TEST(IoFuzzTest, CrlfVariantsParseIdenticallyAndErrorsKeepTheirLine) {
+  // A document must parse to the same graph whether it arrives with
+  // Unix or Windows line endings (and with trailing blanks sprinkled
+  // on every line).
+  const std::string unix_doc = "# nodes 6\n0 1\n1 2 2.5\n3 4\n4 5 0.25\n";
+  std::string dos_doc, padded_doc;
+  for (char c : unix_doc) {
+    if (c == '\n') {
+      dos_doc += "\r\n";
+      padded_doc += " \t\n";
+    } else {
+      dos_doc += c;
+      padded_doc += c;
+    }
+  }
+  const auto base = ParseEdgeList(unix_doc);
+  ASSERT_TRUE(base.has_value());
+  for (const std::string* variant : {&dos_doc, &padded_doc}) {
+    const auto g = ParseEdgeList(*variant);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->NumNodes(), base->NumNodes());
+    EXPECT_EQ(g->NumEdges(), base->NumEdges());
+    EXPECT_DOUBLE_EQ(g->EdgeWeight(1, 2), 2.5);
+    EXPECT_DOUBLE_EQ(g->EdgeWeight(4, 5), 0.25);
+  }
+
+  // Error reporting still pins the failing line under CRLF: the '\r'
+  // must neither shift the count nor mask the bad field.
+  const GraphParseResult bad = ParseEdgeListOrError("0 1\r\n2 -3\r\n4 5\r\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error_line, 2);
+
+  const GraphParseResult bad_metis =
+      ParseMetisOrError("3 2\r\n2\r\n1 x 3\r\n2\r\n");
+  EXPECT_FALSE(bad_metis.ok());
+}
+
 TEST(IoFuzzTest, CorruptedValidFilesRejectOrReparse) {
   // Take a valid edge list and flip one character at every position;
   // each variant must parse-or-reject, never crash.

@@ -24,6 +24,35 @@ TEST(IoTest, ParseWeights) {
   EXPECT_DOUBLE_EQ(g->EdgeWeight(0, 1), 2.5);
 }
 
+TEST(IoTest, CrlfAndTrailingWhitespaceAccepted) {
+  // CRLF line endings: every line (weighted or not) carries a '\r' that
+  // the trailing-garbage probe must not mistake for a fourth field.
+  const auto crlf = ParseEdgeList("# nodes 4\r\n0 1\r\n1 2 2.5\r\n");
+  ASSERT_TRUE(crlf.has_value());
+  EXPECT_EQ(crlf->NumNodes(), 4);
+  EXPECT_EQ(crlf->NumEdges(), 2);
+  EXPECT_DOUBLE_EQ(crlf->EdgeWeight(1, 2), 2.5);
+
+  // Trailing blanks and tabs after the last field.
+  const auto blanks = ParseEdgeList("0 1 \n1 2 2.5 \t\n2 3\t\n");
+  ASSERT_TRUE(blanks.has_value());
+  EXPECT_EQ(blanks->NumEdges(), 3);
+  EXPECT_DOUBLE_EQ(blanks->EdgeWeight(1, 2), 2.5);
+
+  // Tolerance must not weaken the probe: interior garbage still fails.
+  EXPECT_FALSE(ParseEdgeList("0 1 2.5 x\r\n").has_value());
+  EXPECT_FALSE(ParseEdgeList("0 1 2 3\r\n").has_value());
+}
+
+TEST(MetisTest, CrlfAndTrailingWhitespaceAccepted) {
+  const auto g = ParseMetisOrError("3 2 001\r\n2 0.5 \r\n1 0.5 3 2.0\t\r\n2 2.0 \n");
+  ASSERT_TRUE(g.ok()) << g.error;
+  EXPECT_EQ(g.graph->NumNodes(), 3);
+  EXPECT_EQ(g.graph->NumEdges(), 2);
+  EXPECT_DOUBLE_EQ(g.graph->EdgeWeight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.graph->EdgeWeight(1, 2), 2.0);
+}
+
 TEST(IoTest, CommentsAndBlankLinesIgnored) {
   const auto g = ParseEdgeList("# header\n\n% other comment\n0 1\n");
   ASSERT_TRUE(g.has_value());

@@ -16,6 +16,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <set>
 #include <string>
@@ -45,9 +46,12 @@
 #include "partition/hkrelax.h"
 #include "partition/nibble.h"
 #include "partition/push.h"
+#include "service/durability/snapshot.h"
+#include "service/durability/wal.h"
 #include "service/load/harness.h"
 #include "service/load/workload.h"
 #include "service/query_engine.h"
+#include "streaming/dynamic_graph.h"
 #include "util/fault.h"
 #include "util/rng.h"
 
@@ -303,6 +307,50 @@ std::vector<Scenario> AllScenarios() {
     SolverDiagnostics diag;
     FlowFamilyClusters(g, options, &diag);
     return Outcome{diag.status, true};
+  }});
+
+  scenarios.push_back({"durability", {"wal/", "snapshot/"}, [] {
+    // The durability pipeline end to end: append to the WAL, read it
+    // back, replay onto the graph, snapshot, reload. A fault at any of
+    // the six wal/* and snapshot/* sites must surface as a non-usable
+    // status with nothing poisoned — a rejected record, a torn tail
+    // kept to its certified prefix, an unpublished snapshot.
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "impreg_robustness_durability";
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir);
+    const std::string wal_path = (dir / "wal.log").string();
+    const std::string snap_dir = (dir / "snapshots").string();
+
+    SolveStatus status = SolveStatus::kConverged;
+    {
+      durability::WriteAheadLog wal;
+      status = MergeStatus(status, wal.Open(wal_path, {}));
+      if (wal.is_open()) {
+        status = MergeStatus(status, wal.AppendAddEdge(0, 7, 1.0));
+        status = MergeStatus(status, wal.AppendAddEdge(1, 8, 0.5));
+      }
+    }
+    const durability::WalReadResult read = durability::ReadWal(wal_path);
+    status = MergeStatus(status, read.status);
+    DynamicGraph replayed = DynamicGraph::FromGraph(CavemanGraph(2, 6));
+    const durability::WalReplayResult replay =
+        durability::ReplayWal(read.entries, 0, &replayed);
+    status = MergeStatus(status, replay.status);
+    const durability::SnapshotWriteResult written = durability::WriteSnapshot(
+        snap_dir, static_cast<std::int64_t>(read.entries.size()), replayed,
+        {});
+    status = MergeStatus(status, written.status);
+    bool finite = std::isfinite(replayed.TotalVolume());
+    if (written.status == SolveStatus::kConverged) {
+      const durability::SnapshotLoadResult loaded =
+          durability::LoadSnapshot(written.path);
+      status = MergeStatus(status, loaded.status);
+      finite = finite && std::isfinite(loaded.data.graph.TotalVolume());
+    }
+    return Outcome{status, finite};
   }});
 
   scenarios.push_back({"reorder", {"graph/reorder"}, [] {

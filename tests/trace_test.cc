@@ -225,6 +225,45 @@ TEST(TraceTest, MonteCarloTraceAndMetricsMirrorWalksAndSteps) {
             result.steps);
 }
 
+TEST(TraceTest, CacheInvalidationCountersMirrorEpochBumps) {
+  ScopedMetrics metrics;
+  const Graph g = CavemanGraph(4, 6);
+  QueryEngine engine(g);
+
+  // Two push queries (state-bearing) + one nibble (no warm state), all
+  // inserted at epoch 0.
+  Query push1;
+  push1.seeds = {0};
+  Query push2;
+  push2.seeds = {7};
+  Query nib;
+  nib.method = QueryMethod::kNibble;
+  nib.seeds = {3};
+  engine.RunBatch({push1, push2, nib});
+  ASSERT_EQ(engine.cache().Size(), 3u);
+
+  // The bump retires epoch 0: all three entries stop exact-matching
+  // (service.cache.invalidated), and only the two push entries keep
+  // serving warm (service.cache.warm_demoted).
+  engine.AddEdge(0, 12);
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  EXPECT_EQ(registry.FindOrCreateCounter("service.cache.invalidated")->Value(),
+            3);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("service.cache.warm_demoted")->Value(), 2);
+  EXPECT_EQ(engine.cache().stats().invalidated, 3);
+  EXPECT_EQ(engine.cache().stats().warm_demoted, 2);
+
+  // A second bump counts only epoch-1 entries; the epoch-0 ones were
+  // already retired and must not be re-counted.
+  engine.RunBatch({push1});
+  engine.AddEdge(1, 13);
+  EXPECT_EQ(registry.FindOrCreateCounter("service.cache.invalidated")->Value(),
+            4);
+  EXPECT_EQ(
+      registry.FindOrCreateCounter("service.cache.warm_demoted")->Value(), 3);
+}
+
 // —— Bounded-memory contracts ————————————————————————————————————
 
 TEST(TraceTest, RingOverwritesOldestAndKeepsEvictionProofTotals) {

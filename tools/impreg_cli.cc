@@ -18,12 +18,17 @@
 //   impreg_cli generate   <family> <n> <out-file> [seed]
 //                         (family: social | ba | er | forestfire)
 //   impreg_cli query-batch <edgelist> <requests.jsonl>
+//   impreg_cli serve      <edgelist> <requests.jsonl> [--wal=FILE]
+//                         [--snapshot-dir=DIR] [--snapshot-every=N]
+//                         [--sync-every=N]
+//   impreg_cli recover    <edgelist> [--wal=FILE] [--snapshot-dir=DIR]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
@@ -59,6 +64,14 @@ void PrintHelp(std::FILE* out) {
       "social|ba|er|forestfire\n"
       "  query-batch <edgelist> <requests.jsonl> serve a JSONL query batch\n"
       "                                          (schema: docs/serving.md)\n"
+      "  serve      <edgelist> <requests.jsonl>  query-batch + durability:\n"
+      "             [--wal=FILE] [--snapshot-dir=DIR] [--snapshot-every=N]\n"
+      "             [--sync-every=N]             recover, then write-ahead\n"
+      "                                          log every accepted edit\n"
+      "                                          (docs/durability.md)\n"
+      "  recover    <edgelist> [--wal=FILE] [--snapshot-dir=DIR]\n"
+      "                                          replay durability state\n"
+      "                                          and report what survives\n"
       "\n"
       "global flags (before or after the command):\n"
       "  --metrics            print the metrics snapshot (solver\n"
@@ -279,10 +292,21 @@ int CmdGenerate(const std::string& family, NodeId n, const std::string& out,
   return 0;
 }
 
-int CmdQueryBatch(const std::string& graph_path,
-                  const std::string& requests_path) {
-  const Graph g = LoadOrDie(graph_path);
-  QueryEngine engine(g);
+// Streams a JSONL request file into `engine`. Query lines are grouped
+// by the epoch they were issued at: each group pins a SnapshotView, so
+// an add-edge line never has to wait for (or flush) in-flight queries —
+// the group executes later against its pinned epoch and answers exactly
+// what it would have answered at issue time (snapshot-isolated serving;
+// docs/durability.md).
+//
+// Durability (optional): with `wal` set, every add-edge is appended and
+// fsynced *before* it mutates the graph — write-ahead, so an
+// acknowledged edit survives a crash. With `snapshot_dir` set, a
+// snapshot is published every `snapshot_every` edits (and once at EOF),
+// bounding replay time.
+int ServeRequestStream(QueryEngine& engine, const std::string& requests_path,
+                       durability::WriteAheadLog* wal,
+                       const std::string& snapshot_dir, int snapshot_every) {
   std::ifstream in(requests_path);
   if (!in) {
     std::fprintf(stderr, "impreg_cli: cannot read '%s'\n",
@@ -290,31 +314,26 @@ int CmdQueryBatch(const std::string& graph_path,
     return kExitInput;
   }
 
-  // Consecutive query lines accumulate into one batch (dedup + grouped
-  // execution); an add-edge line flushes the batch first so every query
-  // is answered at the epoch it was issued against.
-  bool any_unusable = false;
-  std::vector<QueryRequest> pending;
-  const auto flush = [&]() {
-    if (pending.empty()) return;
-    std::vector<Query> queries;
-    queries.reserve(pending.size());
-    for (const QueryRequest& request : pending) {
-      queries.push_back(request.query);
+  const auto snapshot_now = [&]() -> bool {
+    const durability::SnapshotWriteResult written = durability::WriteSnapshot(
+        snapshot_dir, engine.Epoch(), engine.graph(),
+        engine.cache().ExportEntries());
+    if (written.status != SolveStatus::kConverged) {
+      std::fprintf(stderr, "impreg_cli: snapshot failed: %s\n",
+                   written.detail.c_str());
+      return false;
     }
-    const std::vector<QueryResponse> responses = engine.RunBatch(queries);
-    for (std::size_t i = 0; i < pending.size(); ++i) {
-      if (!StatusIsUsable(responses[i].status)) any_unusable = true;
-      std::printf(
-          "%s\n",
-          QueryResponseToJson(pending[i], responses[i], engine.Epoch())
-              .c_str());
-    }
-    pending.clear();
+    return true;
   };
 
+  struct Group {
+    DynamicGraph::SnapshotView snap;
+    std::vector<QueryRequest> requests;
+  };
+  std::vector<Group> groups;
   std::string line;
   int line_number = 0;
+  std::int64_t edits_since_snapshot = 0;
   while (std::getline(in, line)) {
     ++line_number;
     const std::size_t first = line.find_first_not_of(" \t\r");
@@ -336,13 +355,48 @@ int CmdQueryBatch(const std::string& graph_path,
                      requests_path.c_str(), line_number, n);
         return kExitInput;
       }
-      flush();
+      if (wal != nullptr) {
+        std::string detail;
+        if (wal->AppendAddEdge(request.u, request.v, request.weight,
+                               &detail) != SolveStatus::kConverged) {
+          std::fprintf(stderr,
+                       "impreg_cli: %s:%d: edit not acknowledged: %s\n",
+                       requests_path.c_str(), line_number, detail.c_str());
+          return kExitSolver;
+        }
+      }
       engine.AddEdge(request.u, request.v, request.weight);
+      if (!snapshot_dir.empty() && snapshot_every > 0 &&
+          ++edits_since_snapshot >= snapshot_every) {
+        if (!snapshot_now()) return kExitSolver;
+        edits_since_snapshot = 0;
+      }
       continue;
     }
-    pending.push_back(std::move(request));
+    if (groups.empty() || groups.back().snap.epoch() != engine.Epoch()) {
+      groups.push_back(Group{engine.PinSnapshot(), {}});
+    }
+    groups.back().requests.push_back(std::move(request));
   }
-  flush();
+
+  bool any_unusable = false;
+  for (Group& group : groups) {
+    std::vector<Query> queries;
+    queries.reserve(group.requests.size());
+    for (const QueryRequest& request : group.requests) {
+      queries.push_back(request.query);
+    }
+    const std::vector<QueryResponse> responses =
+        engine.RunBatchOn(group.snap, queries);
+    for (std::size_t i = 0; i < group.requests.size(); ++i) {
+      if (!StatusIsUsable(responses[i].status)) any_unusable = true;
+      std::printf("%s\n",
+                  QueryResponseToJson(group.requests[i], responses[i],
+                                      group.snap.epoch())
+                      .c_str());
+    }
+  }
+  if (!snapshot_dir.empty() && !snapshot_now()) return kExitSolver;
   if (any_unusable) {
     std::fprintf(stderr,
                  "impreg_cli: one or more queries returned an unusable "
@@ -350,6 +404,153 @@ int CmdQueryBatch(const std::string& graph_path,
     return kExitSolver;
   }
   return 0;
+}
+
+int CmdQueryBatch(const std::string& graph_path,
+                  const std::string& requests_path) {
+  const Graph g = LoadOrDie(graph_path);
+  QueryEngine engine(g);
+  return ServeRequestStream(engine, requests_path, /*wal=*/nullptr,
+                            /*snapshot_dir=*/"", /*snapshot_every=*/0);
+}
+
+// `--name=value` flag matcher for the durability commands.
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+void PrintRecoveryReport(const durability::RecoveryReport& report,
+                         std::FILE* out) {
+  std::fprintf(out, "status              %s\n",
+               SolveStatusName(report.status));
+  std::fprintf(out, "epoch               %lld\n",
+               static_cast<long long>(report.epoch));
+  std::fprintf(out, "snapshot epoch      %lld\n",
+               static_cast<long long>(report.snapshot_epoch));
+  std::fprintf(out, "snapshots rejected  %lld\n",
+               static_cast<long long>(report.snapshots_rejected));
+  std::fprintf(out, "wal records         %lld\n",
+               static_cast<long long>(report.wal_records));
+  std::fprintf(out, "replayed            %lld\n",
+               static_cast<long long>(report.replayed));
+  std::fprintf(out, "wal truncated       %s\n",
+               report.wal_truncated ? "yes" : "no");
+  std::fprintf(out, "cache restored      %lld\n",
+               static_cast<long long>(report.cache_restored));
+  std::fprintf(out, "detail              %s\n", report.detail.c_str());
+}
+
+// serve: query-batch + durability. Recovers from --wal/--snapshot-dir
+// first (so a restart resumes exactly where the crash left off), then
+// appends every accepted edit to the WAL before applying it.
+int CmdServe(int argc, char** argv) {
+  std::string graph_path, requests_path, wal_path, snapshot_dir, value;
+  int snapshot_every = 0;
+  int sync_every = 1;
+  for (int i = 0; i < argc; ++i) {
+    if (FlagValue(argv[i], "--wal", &wal_path)) continue;
+    if (FlagValue(argv[i], "--snapshot-dir", &snapshot_dir)) continue;
+    if (FlagValue(argv[i], "--snapshot-every", &value)) {
+      snapshot_every = static_cast<int>(std::strtol(value.c_str(),
+                                                    nullptr, 10));
+      continue;
+    }
+    if (FlagValue(argv[i], "--sync-every", &value)) {
+      sync_every = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (graph_path.empty()) {
+      graph_path = argv[i];
+    } else if (requests_path.empty()) {
+      requests_path = argv[i];
+    } else {
+      std::fprintf(stderr, "impreg_cli: serve: unexpected argument '%s'\n",
+                   argv[i]);
+      return kExitUsage;
+    }
+  }
+  if (graph_path.empty() || requests_path.empty() ||
+      (wal_path.empty() && !snapshot_dir.empty())) {
+    std::fprintf(stderr,
+                 "impreg_cli: serve: need <edgelist> <requests.jsonl>, and "
+                 "--snapshot-dir requires --wal\n");
+    return kExitUsage;
+  }
+
+  const Graph g = LoadOrDie(graph_path);
+  std::unique_ptr<QueryEngine> engine;
+  durability::WriteAheadLog wal;
+  if (wal_path.empty()) {
+    engine = std::make_unique<QueryEngine>(g);
+  } else {
+    durability::RecoveryOptions recovery;
+    recovery.wal_path = wal_path;
+    recovery.snapshot_dir = snapshot_dir;
+    const durability::RecoveryReport report = durability::RecoverEngine(
+        DynamicGraph::FromGraph(g), QueryEngine::Options(), recovery,
+        &engine);
+    if (report.status == SolveStatus::kInvalidInput) {
+      std::fprintf(stderr, "impreg_cli: recovery failed: %s\n",
+                   report.detail.c_str());
+      return kExitInput;
+    }
+    std::fprintf(stderr, "impreg_cli: %s\n", report.detail.c_str());
+    durability::WalOptions wal_options;
+    wal_options.sync_every = sync_every;
+    std::string detail;
+    if (wal.Open(wal_path, wal_options, &detail) != SolveStatus::kConverged) {
+      std::fprintf(stderr, "impreg_cli: cannot open WAL '%s': %s\n",
+                   wal_path.c_str(), detail.c_str());
+      return kExitInput;
+    }
+  }
+  return ServeRequestStream(*engine, requests_path,
+                            wal.is_open() ? &wal : nullptr, snapshot_dir,
+                            snapshot_every);
+}
+
+// recover: run the recovery ladder and report what it found — the
+// offline fsck for a serve state directory.
+int CmdRecover(int argc, char** argv) {
+  std::string graph_path, wal_path, snapshot_dir;
+  for (int i = 0; i < argc; ++i) {
+    if (FlagValue(argv[i], "--wal", &wal_path)) continue;
+    if (FlagValue(argv[i], "--snapshot-dir", &snapshot_dir)) continue;
+    if (graph_path.empty()) {
+      graph_path = argv[i];
+    } else {
+      std::fprintf(stderr, "impreg_cli: recover: unexpected argument '%s'\n",
+                   argv[i]);
+      return kExitUsage;
+    }
+  }
+  if (graph_path.empty() || (wal_path.empty() && snapshot_dir.empty())) {
+    std::fprintf(stderr,
+                 "impreg_cli: recover: need <edgelist> and --wal and/or "
+                 "--snapshot-dir\n");
+    return kExitUsage;
+  }
+  const Graph g = LoadOrDie(graph_path);
+  durability::RecoveryOptions recovery;
+  recovery.wal_path = wal_path;
+  recovery.snapshot_dir = snapshot_dir;
+  // Report only — leave a torn tail in place so a later `serve` (which
+  // truncates) sees the same evidence.
+  recovery.truncate_torn_tail = false;
+  std::unique_ptr<QueryEngine> engine;
+  const durability::RecoveryReport report =
+      durability::RecoverEngine(DynamicGraph::FromGraph(g),
+                                QueryEngine::Options(), recovery, &engine);
+  PrintRecoveryReport(report, stdout);
+  if (engine != nullptr) {
+    std::printf("graph nodes         %d\n", engine->graph().NumNodes());
+    std::printf("graph edges         %lld\n",
+                static_cast<long long>(engine->graph().NumEdges()));
+  }
+  return report.status == SolveStatus::kInvalidInput ? kExitInput : 0;
 }
 
 // Per-command argument floor + usage one-liner: a known command with
@@ -370,6 +571,10 @@ constexpr CommandSpec kCommands[] = {
     {"partition", 4, "partition <edgelist> <k>"},
     {"generate", 5, "generate <family> <n> <out> [seed]"},
     {"query-batch", 4, "query-batch <edgelist> <requests.jsonl>"},
+    {"serve", 4,
+     "serve <edgelist> <requests.jsonl> [--wal=FILE] [--snapshot-dir=DIR] "
+     "[--snapshot-every=N] [--sync-every=N]"},
+    {"recover", 3, "recover <edgelist> [--wal=FILE] [--snapshot-dir=DIR]"},
 };
 
 int Run(int argc, char** argv) {
@@ -443,6 +648,8 @@ int Run(int argc, char** argv) {
                          argv[4], seed);
     }
     if (command == "query-batch") return CmdQueryBatch(argv[2], argv[3]);
+    if (command == "serve") return CmdServe(argc - 2, argv + 2);
+    if (command == "recover") return CmdRecover(argc - 2, argv + 2);
     return Usage();
   }();
 
