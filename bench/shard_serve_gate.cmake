@@ -1,0 +1,37 @@
+# Regression gate for the sharded-serving report (ctest:
+# shard_serve_report_gate). Runs the BM_ShardServe family fresh and
+# diffs it against the checked-in baseline
+# bench/out/BENCH_shard_serve.json with impreg_bench_diff. The timing
+# thresholds are generous (the baseline was recorded on a different
+# machine): they trip on catastrophic regressions and on schema /
+# coverage drift, not on timer noise. The report's `metrics` member —
+# the shard work counters and the deep-vs-boundary local-work ratio —
+# is machine-independent, so any metrics drift the diff reports means
+# the locality story itself changed. Invoked as:
+#
+#   cmake -DBENCH=<shard_serve> -DDIFF=<impreg_bench_diff>
+#         -DBASELINE=<bench/out/BENCH_shard_serve.json>
+#         -DOUT_DIR=<scratch dir> -P shard_serve_gate.cmake
+
+foreach(var BENCH DIFF BASELINE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "shard_serve_gate: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+execute_process(
+  COMMAND ${BENCH} --out=${OUT_DIR}/fresh.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard_serve run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${DIFF} ${BASELINE} ${OUT_DIR}/fresh.json --max-regress=2000%
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "shard_serve regression gate failed (${rc})")
+endif()

@@ -2,30 +2,18 @@
 
 #include <algorithm>
 
+#include "partition/conductance_kernel.h"
 #include "util/check.h"
 
 namespace impreg {
 
+// Kernel bodies live in partition/conductance_kernel.h as templates
+// over the adjacency provider; these `Graph` instantiations are the
+// historical entry points.
+
 CutStats ComputeCutStatsFromMask(const Graph& g,
                                  const std::vector<char>& mask) {
-  IMPREG_CHECK(mask.size() == static_cast<std::size_t>(g.NumNodes()));
-  CutStats stats;
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    if (mask[u]) {
-      ++stats.size;
-      stats.volume += g.Degree(u);
-      const auto heads = g.Heads(u);
-      const auto weights = g.Weights(u);
-      for (std::size_t i = 0; i < heads.size(); ++i) {
-        if (!mask[heads[i]]) stats.cut += weights[i];
-      }
-    } else {
-      stats.complement_volume += g.Degree(u);
-    }
-  }
-  const double denom = std::min(stats.volume, stats.complement_volume);
-  stats.conductance = denom > 0.0 ? stats.cut / denom : 1.0;
-  return stats;
+  return ComputeCutStatsFromMaskOver(g, mask);
 }
 
 CutStats ComputeCutStats(const Graph& g, const std::vector<NodeId>& set) {
@@ -60,13 +48,7 @@ std::vector<NodeId> MaskToNodes(const std::vector<char>& mask) {
 
 std::vector<char> NodesToMask(const Graph& g,
                               const std::vector<NodeId>& nodes) {
-  std::vector<char> mask(g.NumNodes(), 0);
-  for (NodeId u : nodes) {
-    IMPREG_CHECK(g.IsValidNode(u));
-    IMPREG_CHECK_MSG(!mask[u], "duplicate node in set");
-    mask[u] = 1;
-  }
-  return mask;
+  return NodesToMaskOver(g, nodes);
 }
 
 std::vector<NodeId> ComplementSet(const Graph& g,

@@ -1,149 +1,17 @@
 #include "partition/nibble.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "core/metrics.h"
-#include "core/trace.h"
 #include "diffusion/seed.h"
-#include "util/check.h"
-#include "util/fault.h"
+#include "partition/nibble_kernel.h"
 
 namespace impreg {
 
+// The kernel body lives in partition/nibble_kernel.h as a template
+// over the adjacency provider (the sharded serving tier reuses it
+// against shard-set frozen views); this `Graph` instantiation is the
+// historical entry point, bit-identical to the pre-template code.
 NibbleResult NibbleFromDistribution(const Graph& g, const Vector& seed,
                                     const NibbleOptions& options) {
-  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
-  IMPREG_CHECK(options.steps >= 1);
-  IMPREG_CHECK(options.epsilon >= 0.0);
-  IMPREG_CHECK(options.alpha >= 0.0 && options.alpha <= 1.0);
-
-  NibbleResult result;
-  result.stats.conductance = 1.0;
-  SolverTrace* trace = IMPREG_TRACE_BEGIN("nibble");
-  if (!AllFinite(seed)) {
-    result.distribution.assign(g.NumNodes(), 0.0);
-    result.diagnostics.status = SolveStatus::kNonFinite;
-    result.diagnostics.detail =
-        "seed has non-finite entries; returning no cut";
-    IMPREG_TRACE_FINISH(trace, result.diagnostics);
-    return result;
-  }
-
-  // Sparse representation: map node → mass, rebuilt each step. The
-  // truncation keeps the support bounded (≈ mass/(ε·d_min) entries), so
-  // per-step work is independent of n.
-  std::unordered_map<NodeId, double> current;
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    if (seed[u] > 0.0) current.emplace(u, seed[u]);
-  }
-  IMPREG_CHECK_MSG(!current.empty(), "seed distribution is empty");
-
-  const double hold = options.alpha;
-  Vector dense(g.NumNodes(), 0.0);
-
-  bool budget_stop = false;
-  bool poisoned = false;
-  int steps_done = 0;
-  for (int step = 1; step <= options.steps; ++step) {
-    if (options.budget != nullptr) {
-      IMPREG_FAULT_POINT("nibble/budget", options.budget);
-      if (options.budget->Exhausted()) {
-        budget_stop = true;
-        IMPREG_TRACE_EVENT(trace, step, kBudget,
-                           static_cast<double>(options.budget->Spent()));
-        break;
-      }
-    }
-    steps_done = step;
-    // One lazy-walk step on the sparse vector.
-    std::unordered_map<NodeId, double> next;
-    next.reserve(current.size() * 2);
-    for (const auto& [u, mass] : current) {
-      const double d = g.Degree(u);
-      if (d <= 0.0) {
-        next[u] += mass;  // Isolated node holds its mass.
-        continue;
-      }
-      next[u] += hold * mass;
-      const double spread = (1.0 - hold) * mass / d;
-      const auto heads = g.Heads(u);
-      const auto weights = g.Weights(u);
-      for (std::size_t i = 0; i < heads.size(); ++i) {
-        next[heads[i]] += spread * weights[i];
-      }
-      result.work += g.OutDegree(u);
-      if (options.budget != nullptr) options.budget->Charge(g.OutDegree(u));
-      IMPREG_TRACE_EVENT(trace, step, kArcWork,
-                         static_cast<double>(g.OutDegree(u)));
-    }
-    // Truncate: q(u) < ε·d(u) → 0 (the implicit regularization step).
-    current.clear();
-    for (const auto& [u, raw_mass] : next) {
-      double mass = raw_mass;
-      IMPREG_FAULT_POINT("nibble/mass", mass);
-      const double d = g.Degree(u);
-      if (!std::isfinite(mass)) {
-        // Drop poisoned mass before it can enter the distribution (every
-        // `current` insert is gated on this check).
-        poisoned = true;
-      } else if (d > 0.0 && mass < options.epsilon * d) {
-        result.truncated_mass += mass;
-      } else if (mass > 0.0) {
-        current.emplace(u, mass);
-      }
-    }
-    if (poisoned) {
-      IMPREG_TRACE_EVENT(trace, step, kFault, result.truncated_mass);
-      break;
-    }
-    if (current.empty()) break;  // Everything truncated away.
-
-    // Sweep the current support only: the dense scratch vector is
-    // written and cleared on the support alone, so the step stays
-    // strongly local.
-    std::vector<NodeId> support_nodes;
-    support_nodes.reserve(current.size());
-    for (const auto& [u, mass] : current) {
-      dense[u] = mass;
-      support_nodes.push_back(u);
-    }
-    SweepOptions sweep;
-    sweep.scaling = SweepScaling::kDegreeNormalized;
-    sweep.max_volume = options.max_volume;
-    const SweepResult swept =
-        SweepCutOverNodes(g, dense, std::move(support_nodes), sweep);
-    for (const auto& [u, mass] : current) dense[u] = 0.0;
-    if (!swept.set.empty()) {
-      IMPREG_TRACE_EVENT(trace, step, kConductance, swept.stats.conductance);
-    }
-    if (!swept.set.empty() &&
-        swept.stats.conductance < result.stats.conductance) {
-      result.set = swept.set;
-      result.stats = swept.stats;
-      result.best_step = step;
-    }
-  }
-
-  result.distribution.assign(g.NumNodes(), 0.0);
-  for (const auto& [u, mass] : current) result.distribution[u] = mass;
-  SolverDiagnostics& diag = result.diagnostics;
-  if (poisoned) {
-    diag.status = SolveStatus::kNonFinite;
-    diag.detail = "walk step went non-finite; poisoned mass dropped, best "
-                  "cut up to that step returned";
-  } else if (budget_stop) {
-    diag.status = SolveStatus::kBudgetExhausted;
-    diag.detail = "work budget exhausted; best cut so far returned";
-  } else {
-    diag.status = SolveStatus::kConverged;
-  }
-  diag.iterations = steps_done;
-  IMPREG_TRACE_FINISH(trace, diag);
-  IMPREG_METRIC_COUNT("solver.nibble.solves", 1);
-  IMPREG_METRIC_COUNT("solver.nibble.steps", steps_done);
-  IMPREG_METRIC_COUNT("solver.nibble.arc_work", result.work);
-  return result;
+  return NibbleFromDistributionOver(g, seed, options);
 }
 
 NibbleResult Nibble(const Graph& g, NodeId seed,

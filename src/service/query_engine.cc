@@ -13,8 +13,12 @@
 #include "core/work_budget.h"
 #include "linalg/graph_operators.h"
 #include "partition/hkrelax.h"
+#include "partition/hkrelax_kernel.h"
 #include "partition/nibble.h"
+#include "partition/nibble_kernel.h"
+#include "service/sharding/shard_plan.h"
 #include "streaming/incremental_ppr.h"
+#include "streaming/push_kernel.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -141,6 +145,7 @@ QueryEngine::QueryEngine(const Graph& initial, const Options& options)
   for (const auto& entry : options_.admission.tenant_capacity) {
     pool_.SetCapacity(entry.first, entry.second);
   }
+  BuildShards();
 }
 
 QueryEngine::QueryEngine(const DynamicGraph& initial)
@@ -154,10 +159,36 @@ QueryEngine::QueryEngine(const DynamicGraph& initial, const Options& options)
   for (const auto& entry : options_.admission.tenant_capacity) {
     pool_.SetCapacity(entry.first, entry.second);
   }
+  BuildShards();
+}
+
+void QueryEngine::BuildShards() {
+  shards_.reset();
+  if (options_.sharding.shards <= 1) return;
+  ShardPlan plan;
+  const NodeId n = graph_.NumNodes();
+  if (ValidShardOwners(options_.sharding.owner, n,
+                       options_.sharding.shards)) {
+    // A pre-validated placement (recovered manifest) is honored as-is
+    // so restarts serve under the exact pre-crash plan.
+    plan.shards = options_.sharding.shards;
+    plan.partition_seed = options_.sharding.partition_seed;
+    plan.owner = options_.sharding.owner;
+  } else {
+    plan = BuildShardPlan(graph_.ToGraph(), options_.sharding.shards,
+                          options_.sharding.partition_seed);
+  }
+  shards_ = ShardSet::Build(graph_, std::move(plan));
+  if (shards_ == nullptr) {
+    // Unsharded serving answers the same bits — the fallback degrades
+    // locality, never correctness.
+    IMPREG_METRIC_COUNT("service.shard.fallback_unsharded", 1);
+  }
 }
 
 void QueryEngine::AddEdge(NodeId u, NodeId v, double weight) {
   graph_.AddEdge(u, v, weight);
+  if (shards_ != nullptr) shards_->AddEdge(u, v, weight, graph_);
   ++epoch_;
   // The edit retired epoch_ - 1: every cached exact key from that epoch
   // just went stale (state-bearing ones demote to warm service).
@@ -178,6 +209,11 @@ bool QueryEngine::RestoreCachedResult(const std::string& key,
 }
 
 std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch) {
+  return CanonicalKey(query, epoch, /*routing_epoch=*/0);
+}
+
+std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch,
+                                      std::int64_t routing_epoch) {
   const std::vector<NodeId> seeds = CanonicalSeeds(query.seeds);
   std::string key = QueryMethodName(query.method);
   key += "|epoch=" + std::to_string(epoch);
@@ -203,6 +239,14 @@ std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch) {
   }
   key += "|work=" + std::to_string(query.max_work);
   key += "|seeds=" + SeedFingerprint(seeds);
+  // The sharded world keys the *routing* state too: a halo-membership
+  // change re-routes escalation without necessarily producing different
+  // bits at the same graph epoch, but answers computed under different
+  // placements must never collide in the cache (the pre-fix dedup
+  // collision pinned by ShardingTest.RoutingEpochInCacheKey). Routing
+  // epoch 0 (unsharded, or sharded before any halo change) emits
+  // nothing, so unsharded keys are byte-identical to the old scheme.
+  if (routing_epoch != 0) key += "|route=" + std::to_string(routing_epoch);
   return key;
 }
 
@@ -269,8 +313,20 @@ void QueryEngine::ExecutePush(WorkItem& item,
   }
 
   SolverDiagnostics diag;
-  const std::int64_t pushes =
-      StandardFormPush(graph, opts, p, r, queue, queued, diag);
+  std::int64_t pushes;
+  // Shard-local execution (live snapshot only — a stale pinned view
+  // predates the current shard state, and the unsharded path answers
+  // the same bits anyway). The queue scan above and any warm
+  // InvariantResidual are batch setup; the diffusion itself drains the
+  // frontier through the owner slices, escalating deterministically
+  // when the canonical frontier order crosses shards.
+  if (shards_ != nullptr && snap.epoch() == epoch_) {
+    ShardSet::DynamicView view(*shards_,
+                               shards_->router().HomeShard(q.seeds));
+    pushes = StandardFormPushOver(view, opts, p, r, queue, queued, diag);
+  } else {
+    pushes = StandardFormPush(graph, opts, p, r, queue, queued, diag);
+  }
 
   item.response.scores = p;
   item.response.work = pushes;
@@ -295,6 +351,13 @@ void QueryEngine::ExecuteItem(WorkItem& item,
                               const ReorderedGraph* reordered) {
   IMPREG_METRIC_TIMER("service.query.latency_ns");
   const bool relabeled = reordered != nullptr && reordered->active();
+  // Frozen-slice serving for the community methods: live snapshot,
+  // original labeling (relabeled hosts interleave differently through
+  // their hash maps — see graph/reorder.h), slices frozen at this
+  // epoch by the sequential phase.
+  const bool shard_frozen = !relabeled && shards_ != nullptr &&
+                            snap.epoch() == epoch_ &&
+                            shards_->FrozenAt(snap.epoch());
   const Query& q = item.query;
   switch (q.method) {
     case QueryMethod::kPprPush:
@@ -318,6 +381,10 @@ void QueryEngine::ExecuteItem(WorkItem& item,
             opts);
         hk.rho = reordered->ToOriginalVector(hk.rho);
         hk.set = reordered->ToOriginalNodes(hk.set);
+      } else if (shard_frozen) {
+        ShardSet::FrozenView view(*shards_,
+                                  shards_->router().HomeShard(q.seeds));
+        hk = HeatKernelRelaxFromDistributionOver(view, item.seed, opts);
       } else {
         hk = HeatKernelRelaxFromDistribution(*frozen, item.seed, opts);
       }
@@ -345,6 +412,10 @@ void QueryEngine::ExecuteItem(WorkItem& item,
             opts);
         nib.distribution = reordered->ToOriginalVector(nib.distribution);
         nib.set = reordered->ToOriginalNodes(nib.set);
+      } else if (shard_frozen) {
+        ShardSet::FrozenView view(*shards_,
+                                  shards_->router().HomeShard(q.seeds));
+        nib = NibbleFromDistributionOver(view, item.seed, opts);
       } else {
         nib = NibbleFromDistribution(*frozen, item.seed, opts);
       }
@@ -510,6 +581,12 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
   IMPREG_METRIC_COUNT("service.engine.queries",
                       static_cast<std::int64_t>(queries.size()));
   const NodeId n = snap.graph().NumNodes();
+  // Sharded serving applies only to the live epoch: a stale pinned
+  // snapshot predates the current slices, so it takes the unsharded
+  // path (bit-identical answers either way; only the locality counters
+  // differ).
+  const bool sharded = shards_ != nullptr && snap.epoch() == epoch_;
+  const std::int64_t routing_epoch = sharded ? shards_->routing_epoch() : 0;
   std::vector<QueryResponse> out(queries.size());
   std::vector<int> slot(queries.size(), -1);
   std::vector<std::unique_ptr<WorkItem>> items;
@@ -562,7 +639,7 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
                                  : granted;
       }
     }
-    std::string key = CanonicalKey(canonical, snap.epoch());
+    std::string key = CanonicalKey(canonical, snap.epoch(), routing_epoch);
     const auto duplicate = dedup.find(key);
     if (duplicate != dedup.end()) {
       slot[i] = duplicate->second;
@@ -620,15 +697,24 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
 
   // Freeze the CSR snapshot once, before any parallel work needs it.
   bool needs_frozen = false;
+  bool needs_shard_frozen = false;
   for (const auto& owned : items) {
-    if (!owned->done && owned->query.method != QueryMethod::kPprPush) {
-      needs_frozen = true;
-      break;
+    if (owned->done) continue;
+    if (owned->query.method != QueryMethod::kPprPush) needs_frozen = true;
+    if (owned->query.method == QueryMethod::kHeatKernel ||
+        owned->query.method == QueryMethod::kNibble) {
+      needs_shard_frozen = true;
     }
   }
   const Graph* frozen = needs_frozen ? &Frozen(snap) : nullptr;
   const ReorderedGraph* reordered =
       needs_frozen ? FrozenReordered(snap) : nullptr;
+  if (sharded && needs_shard_frozen &&
+      (reordered == nullptr || !reordered->active())) {
+    // Per-shard frozen slices for the community methods, built in the
+    // sequential phase (ExecuteItem runs inside ParallelFor).
+    shards_->EnsureFrozen(snap.epoch());
+  }
 
   // Phase 3a (grouped): compatible dense solves in lockstep through
   // ApplyBatch. std::map keys the groups deterministically.
@@ -701,6 +787,10 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
       pool_.Settle(queries[i].tenant, actual);
     }
   }
+
+  // Publish the per-shard locality counters accumulated this batch
+  // (sequential, like every other metrics phase).
+  if (shards_ != nullptr) shards_->FlushMetrics();
 
   // Fan responses out to the original batch positions.
   for (std::size_t i = 0; i < queries.size(); ++i) {

@@ -13,6 +13,7 @@
 #include "graph/reorder.h"
 #include "linalg/vector_ops.h"
 #include "service/result_cache.h"
+#include "service/sharding/shard_set.h"
 #include "streaming/dynamic_graph.h"
 
 /// \file
@@ -168,6 +169,21 @@ class QueryEngine {
       /// Per-tenant capacity overrides (tenant → arcs; 0 = unlimited).
       std::map<std::string, std::int64_t> tenant_capacity;
     } admission;
+    /// Sharded serving (docs/sharding.md). With shards > 1 the engine
+    /// partitions the graph into owner slices + one-hop halos and
+    /// executes strongly-local queries (push / heat-kernel / nibble)
+    /// shard-locally with deterministic escalation — bit-identical to
+    /// unsharded serving at any shard count. Dense queries always run
+    /// whole-graph. A plan or slice-build failure falls back to
+    /// unsharded serving (which answers the same bits).
+    struct Sharding {
+      int shards = 1;
+      std::uint64_t partition_seed = 0x5eedULL;
+      /// Optional pre-validated placement (e.g. from a recovered
+      /// manifest). When its shape fails validation the engine
+      /// recomputes the plan from the graph instead.
+      std::vector<int> owner;
+    } sharding;
   };
 
   explicit QueryEngine(const Graph& initial);
@@ -239,13 +255,36 @@ class QueryEngine {
   /// cache and graph are untouched).
   void ResetAdmission() { pool_.Reset(); }
 
+  /// The sharded store, or nullptr when serving unsharded (shards == 1
+  /// or shard build fell back). Exposed for the invariance harness and
+  /// the shard benches; `mutable_shards` exists only so tests can reach
+  /// CorruptHaloReplica.
+  const ShardSet* shards() const { return shards_.get(); }
+  ShardSet* mutable_shards() { return shards_.get(); }
+
+  /// The routing epoch the cache key carries (0 when unsharded —
+  /// unsharded keys are byte-identical to the pre-sharding scheme).
+  std::int64_t RoutingEpoch() const {
+    return shards_ ? shards_->routing_epoch() : 0;
+  }
+
   /// The canonical exact cache key for `query` at `epoch` (exposed so
   /// tests can pin the keying scheme). Seeds are fingerprinted sorted
-  /// and deduplicated; parameters print as %.17g.
+  /// and deduplicated; parameters print as %.17g. The two-argument
+  /// form keys the unsharded world (routing epoch 0).
   static std::string CanonicalKey(const Query& query, std::int64_t epoch);
+  /// Sharded form: a nonzero `routing_epoch` (halo membership changed
+  /// since shard build) is appended to the key, so two textually equal
+  /// queries straddling a routing change never collide.
+  static std::string CanonicalKey(const Query& query, std::int64_t epoch,
+                                  std::int64_t routing_epoch);
 
  private:
   struct WorkItem;
+
+  /// Builds (or rebuilds) the shard set from the current graph when
+  /// options request shards > 1. Failure leaves shards_ null.
+  void BuildShards();
 
   /// The frozen CSR snapshot of the batch's pinned epoch (rebuilt
   /// lazily when the pinned epoch changes); used by the
@@ -272,6 +311,7 @@ class QueryEngine {
   std::int64_t frozen_epoch_ = -1;
   std::unique_ptr<ReorderedGraph> reordered_;
   std::int64_t reordered_epoch_ = -1;
+  std::unique_ptr<ShardSet> shards_;
 };
 
 }  // namespace impreg

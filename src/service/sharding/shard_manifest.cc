@@ -1,0 +1,204 @@
+#include "service/sharding/shard_manifest.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "service/sharding/shard_plan.h"
+#include "util/check.h"
+#include "util/crc32c.h"
+#include "util/fault.h"
+
+namespace impreg {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char kMagic[] = "impreg-shard-manifest-v1";
+
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool Reject(std::string* detail, const std::string& why) {
+  if (detail != nullptr) *detail = why;
+  return false;
+}
+
+bool StructurallyValid(const ShardManifest& m, std::string* detail) {
+  if (m.shards < 1) return Reject(detail, "shard count < 1");
+  if (m.shard_epochs.size() != static_cast<std::size_t>(m.shards)) {
+    return Reject(detail, "epoch stamp count disagrees with shard count");
+  }
+  for (std::int64_t e : m.shard_epochs) {
+    if (e != m.shard_epochs.front()) {
+      return Reject(detail, "per-shard epoch stamps disagree (torn update)");
+    }
+    if (e < 0) return Reject(detail, "negative epoch stamp");
+  }
+  if (!ValidShardOwners(m.owner, m.num_nodes, m.shards)) {
+    return Reject(detail, "owner array fails placement validation");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ShardManifestPath(const std::string& snapshot_dir) {
+  return (fs::path(snapshot_dir) / "shard_manifest").string();
+}
+
+bool WriteShardManifest(const std::string& path,
+                        const ShardManifest& manifest) {
+  // Validate before serializing a byte — a poisoned stamp (the
+  // injection target) must leave the previous manifest in place.
+  double stamp = static_cast<double>(manifest.routing_epoch);
+  IMPREG_FAULT_POINT("shard/manifest_write", stamp);
+  if (!std::isfinite(stamp)) return false;
+  if (!StructurallyValid(manifest, nullptr)) return false;
+
+  std::ostringstream payload;
+  payload << kMagic << '\n';
+  payload << "shards=" << manifest.shards
+          << " seed=" << manifest.partition_seed
+          << " nodes=" << manifest.num_nodes
+          << " routing_epoch=" << manifest.routing_epoch << '\n';
+  payload << "epochs=";
+  for (std::size_t i = 0; i < manifest.shard_epochs.size(); ++i) {
+    if (i > 0) payload << ',';
+    payload << manifest.shard_epochs[i];
+  }
+  payload << '\n';
+  payload << "owner=";
+  for (std::size_t i = 0; i < manifest.owner.size(); ++i) {
+    if (i > 0) payload << ',';
+    payload << manifest.owner[i];
+  }
+  payload << '\n';
+  const std::string body = payload.str();
+
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof(crc_line), "crc=%08x\n",
+                Crc32c(body.data(), body.size()));
+
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  bool ok = fd >= 0;
+  if (ok) {
+    ok = WriteAll(fd, body.data(), body.size());
+    ok = ok && WriteAll(fd, crc_line, std::string(crc_line).size());
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+  }
+  std::error_code ec;
+  if (ok) {
+    fs::rename(tmp_path, path, ec);
+    ok = !ec && SyncDir(fs::path(path).parent_path().string());
+  }
+  if (!ok) fs::remove(tmp_path, ec);
+  return ok;
+}
+
+bool LoadShardManifest(const std::string& path, ShardManifest* manifest,
+                       std::string* detail) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Reject(detail, "manifest missing or unreadable");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string contents = buf.str();
+
+  const std::size_t crc_pos = contents.rfind("crc=");
+  if (crc_pos == std::string::npos || crc_pos == 0) {
+    return Reject(detail, "manifest missing crc frame");
+  }
+  const std::string body = contents.substr(0, crc_pos);
+  unsigned long stored_crc = 0;
+  if (std::sscanf(contents.c_str() + crc_pos, "crc=%lx", &stored_crc) != 1) {
+    return Reject(detail, "manifest crc unparsable");
+  }
+  if (static_cast<std::uint32_t>(stored_crc) !=
+      Crc32c(body.data(), body.size())) {
+    return Reject(detail, "manifest crc mismatch");
+  }
+
+  std::istringstream lines(body);
+  std::string magic;
+  if (!std::getline(lines, magic) || magic != kMagic) {
+    return Reject(detail, "manifest magic mismatch");
+  }
+  ShardManifest m;
+  long long nodes = 0;
+  std::string header;
+  if (!std::getline(lines, header) ||
+      std::sscanf(header.c_str(),
+                  "shards=%d seed=%llu nodes=%lld routing_epoch=%lld",
+                  &m.shards,
+                  reinterpret_cast<unsigned long long*>(&m.partition_seed),
+                  &nodes,
+                  reinterpret_cast<long long*>(&m.routing_epoch)) != 4) {
+    return Reject(detail, "manifest header unparsable");
+  }
+  m.num_nodes = static_cast<NodeId>(nodes);
+
+  const auto parse_list = [&lines](const std::string& prefix,
+                                   auto push) -> bool {
+    std::string line;
+    if (!std::getline(lines, line)) return false;
+    if (line.compare(0, prefix.size(), prefix) != 0) return false;
+    std::istringstream items(line.substr(prefix.size()));
+    std::string item;
+    while (std::getline(items, item, ',')) {
+      if (item.empty()) return false;
+      push(std::strtoll(item.c_str(), nullptr, 10));
+    }
+    return true;
+  };
+  if (!parse_list("epochs=",
+                  [&m](long long v) { m.shard_epochs.push_back(v); })) {
+    return Reject(detail, "manifest epoch stamps unparsable");
+  }
+  if (!parse_list("owner=", [&m](long long v) {
+        m.owner.push_back(static_cast<int>(v));
+      }) &&
+      m.num_nodes != 0) {
+    return Reject(detail, "manifest owner array unparsable");
+  }
+
+  // The injection target: a manifest whose decoded stamp is poisoned
+  // must be rejected exactly like a CRC mismatch.
+  double stamp = static_cast<double>(m.routing_epoch);
+  IMPREG_FAULT_POINT("shard/manifest_load", stamp);
+  if (!std::isfinite(stamp)) {
+    return Reject(detail, "manifest stamp failed validation");
+  }
+  if (!StructurallyValid(m, detail)) return false;
+  *manifest = std::move(m);
+  return true;
+}
+
+}  // namespace impreg

@@ -1,0 +1,64 @@
+#ifndef IMPREG_SERVICE_SHARDING_SHARD_MANIFEST_H_
+#define IMPREG_SERVICE_SHARDING_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// Persistent shard placement metadata — the machine-view record the
+/// durability ladder carries alongside epoch snapshots. One manifest
+/// file describes the whole shard set: the partition parameters, the
+/// owner array, the routing epoch, and a per-shard epoch stamp (every
+/// stamp must equal the snapshot epoch the manifest was published
+/// with; a disagreeing stamp means a torn multi-artifact update and
+/// the manifest is rejected as a unit). Because placement is a pure
+/// function of (graph, shards, partition_seed), a rejected or missing
+/// manifest is never fatal: recovery recomputes the identical plan
+/// from the recovered graph and serves bit-identically — the manifest
+/// exists to make that re-derivation *checkable* and to pin the
+/// partition seed across restarts.
+///
+/// Format: a CRC-32C-framed text file (`impreg-shard-manifest-v1`),
+/// written with the same tmp → fsync → rename publish discipline as
+/// epoch snapshots (docs/durability.md). Fault sites
+/// `shard/manifest_write` (a poisoned stamp must refuse to publish,
+/// previous manifest untouched) and `shard/manifest_load` (a manifest
+/// failing validation is skipped like a CRC mismatch).
+
+namespace impreg {
+
+struct ShardManifest {
+  int shards = 1;
+  std::uint64_t partition_seed = 0;
+  NodeId num_nodes = 0;
+  std::int64_t routing_epoch = 0;
+  /// Per-shard epoch stamps, length `shards`; all must agree.
+  std::vector<std::int64_t> shard_epochs;
+  /// The placement map, length `num_nodes`.
+  std::vector<int> owner;
+};
+
+/// Standard manifest filename inside a snapshot directory.
+std::string ShardManifestPath(const std::string& snapshot_dir);
+
+/// Atomically publishes the manifest (tmp → fsync → rename). Returns
+/// false — previous manifest untouched — on I/O failure or when the
+/// image fails validation (non-finite stamp via the
+/// `shard/manifest_write` fault site, disagreeing epoch stamps,
+/// malformed owner array).
+bool WriteShardManifest(const std::string& path,
+                        const ShardManifest& manifest);
+
+/// Loads and validates a manifest: magic, CRC, structural validity of
+/// the owner array, agreeing epoch stamps. Returns false (manifest
+/// rejected as a unit) on any mismatch; callers fall back to
+/// recomputing the plan.
+bool LoadShardManifest(const std::string& path, ShardManifest* manifest,
+                       std::string* detail = nullptr);
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_SHARDING_SHARD_MANIFEST_H_

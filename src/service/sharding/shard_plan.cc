@@ -1,0 +1,79 @@
+#include "service/sharding/shard_plan.h"
+
+#include <algorithm>
+
+#include "flow/recursive_partition.h"
+#include "graph/algorithms.h"
+#include "util/check.h"
+
+namespace impreg {
+
+ShardPlan BuildShardPlan(const Graph& frozen, int requested_shards,
+                         std::uint64_t partition_seed) {
+  ShardPlan plan;
+  plan.partition_seed = partition_seed;
+  const NodeId n = frozen.NumNodes();
+  if (n == 0) {
+    plan.shards = 1;
+    return plan;
+  }
+  plan.shards = std::clamp(requested_shards, 1, static_cast<int>(n));
+  plan.owner.assign(n, 0);
+  if (plan.shards == 1) return plan;
+
+  // The multilevel partitioner needs something to bisect: a connected
+  // graph with edges and enough nodes that every shard can be
+  // non-trivial. Everything else gets balanced contiguous ranges — a
+  // valid placement for any topology (placement never changes answers,
+  // only locality).
+  const bool partitionable = frozen.NumEdges() > 0 &&
+                             n >= 2 * static_cast<NodeId>(plan.shards) &&
+                             CountComponents(frozen) == 1;
+  if (partitionable) {
+    KwayOptions options;
+    options.bisection.seed = partition_seed;
+    const KwayResult kway = KwayPartition(frozen, plan.shards, options);
+    IMPREG_CHECK(kway.part.size() == static_cast<std::size_t>(n));
+    bool complete = true;
+    std::vector<char> populated(plan.shards, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      const int s = kway.part[u];
+      if (s < 0 || s >= plan.shards) {
+        complete = false;
+        break;
+      }
+      populated[s] = 1;
+    }
+    for (char p : populated) complete = complete && p;
+    if (complete) {
+      plan.owner = kway.part;
+      plan.used_partitioner = true;
+      return plan;
+    }
+  }
+
+  // Contiguous fallback: shard s owns [s·n/k, (s+1)·n/k).
+  for (NodeId u = 0; u < n; ++u) {
+    plan.owner[u] = static_cast<int>(
+        (static_cast<std::int64_t>(u) * plan.shards) / n);
+  }
+  return plan;
+}
+
+bool ValidShardOwners(const std::vector<int>& owner, NodeId num_nodes,
+                      int shards) {
+  if (shards < 1) return false;
+  if (num_nodes == 0) return owner.empty();
+  if (owner.size() != static_cast<std::size_t>(num_nodes)) return false;
+  std::vector<char> populated(shards, 0);
+  for (int s : owner) {
+    if (s < 0 || s >= shards) return false;
+    populated[s] = 1;
+  }
+  for (char p : populated) {
+    if (!p) return false;
+  }
+  return true;
+}
+
+}  // namespace impreg

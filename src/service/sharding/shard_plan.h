@@ -1,0 +1,57 @@
+#ifndef IMPREG_SERVICE_SHARDING_SHARD_PLAN_H_
+#define IMPREG_SERVICE_SHARDING_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+/// \file
+/// Shard placement metadata — the machine-view idiom applied to graph
+/// serving: a plan is a total, deterministic map node → owning shard,
+/// computed once from a frozen snapshot of the graph and carried as
+/// first-class metadata (persisted in the shard manifest, validated on
+/// recovery, consulted by the router on every query). Placement is a
+/// *pure function* of (graph, shards, partition_seed); two processes
+/// that agree on those three agree on every owner, which is what lets
+/// a recovered process rebuild bit-identical shards without shipping
+/// the owner array at all (the manifest still ships it, as a
+/// cross-check).
+
+namespace impreg {
+
+/// The placement map. `owner[u] ∈ [0, shards)` for every node; nodes
+/// added later inherit no new owners (the node count is fixed at plan
+/// time, like the rest of the serving tier).
+struct ShardPlan {
+  int shards = 1;
+  std::uint64_t partition_seed = 0x5eedULL;
+  /// Size NumNodes; empty when the graph is empty.
+  std::vector<int> owner;
+  /// True when the multilevel partitioner produced the plan, false for
+  /// the contiguous-range fallback (degenerate topologies).
+  bool used_partitioner = false;
+};
+
+/// Computes the placement for `requested_shards` shards. The request is
+/// clamped to [1, max(n, 1)] — asking for more shards than nodes
+/// degrades to one node per shard, never an empty-owner crash. On a
+/// connected graph with at least 2·k nodes and at least one edge the
+/// repo's own multilevel k-way partitioner (flow/recursive_partition.h)
+/// chooses the owners, seeded by `partition_seed` (deterministic);
+/// degenerate topologies (empty, edgeless, disconnected, tiny) fall
+/// back to balanced contiguous node ranges, which are equally valid —
+/// placement affects *where* work runs, never *what* is computed.
+ShardPlan BuildShardPlan(const Graph& frozen, int requested_shards,
+                         std::uint64_t partition_seed = 0x5eedULL);
+
+/// True when `owner` is a structurally valid placement for
+/// (num_nodes, shards): correct length, every entry in range, every
+/// shard non-empty (when num_nodes > 0). Used to vet manifests loaded
+/// from disk before trusting them.
+bool ValidShardOwners(const std::vector<int>& owner, NodeId num_nodes,
+                      int shards);
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_SHARDING_SHARD_PLAN_H_

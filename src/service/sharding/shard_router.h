@@ -1,0 +1,52 @@
+#ifndef IMPREG_SERVICE_SHARDING_SHARD_ROUTER_H_
+#define IMPREG_SERVICE_SHARDING_SHARD_ROUTER_H_
+
+#include <vector>
+
+#include "service/sharding/shard_plan.h"
+
+/// \file
+/// Seed-set → owning-shard routing. The router is a thin, pure lookup
+/// over the placement metadata (shard_plan.h): the home shard of a
+/// query is the owner of its smallest canonical seed — deterministic,
+/// independent of thread count, and stable across restarts because the
+/// plan itself is. Multi-seed queries whose seeds span shards start at
+/// the smallest seed's owner and escalate from there (the escalation
+/// protocol in docs/sharding.md); the choice of home affects only
+/// which shard's counters bill the work, never the answer.
+
+namespace impreg {
+
+class ShardRouter {
+ public:
+  /// The router borrows the plan; the owner (ShardSet) outlives it.
+  explicit ShardRouter(const ShardPlan* plan) : plan_(plan) {}
+
+  /// Home shard for a canonical (sorted, deduplicated) seed set: the
+  /// owner of the first in-range seed, shard 0 when the set is empty
+  /// or entirely out of range (those queries fail validation upstream;
+  /// the fallback keeps the router total).
+  int HomeShard(const std::vector<NodeId>& canonical_seeds) const {
+    for (NodeId s : canonical_seeds) {
+      if (s >= 0 && s < static_cast<NodeId>(plan_->owner.size())) {
+        return plan_->owner[s];
+      }
+    }
+    return 0;
+  }
+
+  /// Owner of a single node (0 for out-of-range ids).
+  int Owner(NodeId u) const {
+    if (u < 0 || u >= static_cast<NodeId>(plan_->owner.size())) return 0;
+    return plan_->owner[u];
+  }
+
+  const ShardPlan& plan() const { return *plan_; }
+
+ private:
+  const ShardPlan* plan_;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_SHARDING_SHARD_ROUTER_H_

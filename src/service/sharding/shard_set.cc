@@ -1,0 +1,234 @@
+#include "service/sharding/shard_set.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/metrics.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace impreg {
+
+std::unique_ptr<ShardSet> ShardSet::Build(const DynamicGraph& global,
+                                          ShardPlan plan) {
+  const NodeId n = global.NumNodes();
+  if (!ValidShardOwners(plan.owner, n, plan.shards)) return nullptr;
+
+  DynamicGraph::Parts parts = global.ExportParts();
+  // A non-finite slice ingredient must abort the build (the engine
+  // falls back to unsharded serving); the fault site stands in for a
+  // corrupted placement or replica read.
+  double volume = parts.total_volume;
+  IMPREG_FAULT_POINT("shard/slice_build", volume);
+  if (!std::isfinite(volume)) {
+    IMPREG_METRIC_COUNT("service.shard.build_rejected", 1);
+    return nullptr;
+  }
+
+  std::unique_ptr<ShardSet> set(new ShardSet());
+  set->plan_ = std::move(plan);
+  set->num_nodes_ = n;
+  const int k = set->plan_.shards;
+  set->halo_dynamic_degrees_.resize(k);
+  set->halo_frozen_degrees_.resize(k);
+  set->counters_ = std::vector<Counters>(k);
+  set->flushed_.assign(k, CounterTotals{});
+  set->slices_.reserve(k);
+
+  const std::vector<int>& owner = set->plan_.owner;
+  for (int s = 0; s < k; ++s) {
+    std::vector<std::vector<DynamicGraph::Neighbor>> adjacency(n);
+    std::int64_t num_edges = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (owner[u] != s) continue;
+      // Owned rows carry the exact global arrival sequence.
+      adjacency[u] = parts.adjacency[u];
+      for (const DynamicGraph::Neighbor& arc : parts.adjacency[u]) {
+        const NodeId v = arc.head;
+        if (owner[v] == s) {
+          // Intra-shard edges appear in both owned rows; count each
+          // undirected edge once (self-loops have v == u).
+          if (v >= u) ++num_edges;
+        } else {
+          // Cross-shard edge: count it here and mirror the reverse arc
+          // into the halo row, so the slice is a self-consistent graph.
+          ++num_edges;
+          adjacency[v].push_back({u, arc.weight});
+          set->halo_dynamic_degrees_[s].emplace(v, parts.degrees[v]);
+        }
+      }
+    }
+    // Full global degree bits ride along: owned entries stay exact
+    // under future routed edges (every u-incident arrival reaches the
+    // owner slice in global order); non-owned entries are never read.
+    set->slices_.push_back(DynamicGraph::FromParts(
+        std::move(adjacency), parts.degrees, num_edges, volume));
+  }
+  return set;
+}
+
+void ShardSet::AddEdge(NodeId u, NodeId v, double weight,
+                       const DynamicGraph& global) {
+  IMPREG_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  const int s = plan_.owner[u];
+  const int t = plan_.owner[v];
+  slices_[s].AddEdge(u, v, weight);
+  if (t != s) slices_[t].AddEdge(u, v, weight);
+
+  bool halo_changed = false;
+  if (t != s) {
+    halo_changed |= halo_dynamic_degrees_[s].emplace(v, 0.0).second;
+    halo_changed |= halo_dynamic_degrees_[t].emplace(u, 0.0).second;
+  }
+  // Refresh every replica of u's and v's degree bits from the global
+  // accumulator — replicas always serve exactly the global bits.
+  for (int x = 0; x < shards(); ++x) {
+    auto& halo = halo_dynamic_degrees_[x];
+    const auto iu = halo.find(u);
+    if (iu != halo.end()) iu->second = global.Degree(u);
+    const auto iv = halo.find(v);
+    if (iv != halo.end()) iv->second = global.Degree(v);
+  }
+  if (halo_changed) {
+    ++routing_epoch_;
+    IMPREG_METRIC_COUNT("service.shard.routing_epoch_bumps", 1);
+  }
+  IMPREG_METRIC_COUNT("service.shard.routed_edges", 1);
+  IMPREG_METRIC_COUNT("service.shard.replicated_edges", t != s ? 1 : 0);
+}
+
+void ShardSet::EnsureFrozen(std::int64_t epoch) {
+  if (FrozenAt(epoch)) return;
+  frozen_.clear();
+  frozen_.reserve(shards());
+  for (int s = 0; s < shards(); ++s) frozen_.push_back(slices_[s].ToGraph());
+  for (int s = 0; s < shards(); ++s) {
+    halo_frozen_degrees_[s].clear();
+    for (const auto& [v, unused] : halo_dynamic_degrees_[s]) {
+      halo_frozen_degrees_[s][v] = frozen_[plan_.owner[v]].Degree(v);
+    }
+  }
+  // The global frozen volume, reassembled in GraphBuilder's exact
+  // accumulation order (ascending row, owner-slice degree bits — which
+  // are bitwise the global frozen degrees).
+  double volume = 0.0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    volume += frozen_[plan_.owner[u]].Degree(u);
+  }
+  frozen_total_volume_ = volume;
+  frozen_epoch_ = epoch;
+  IMPREG_METRIC_COUNT("service.shard.freezes", 1);
+}
+
+int ShardSet::NoteRowAccess(NodeId u, std::atomic<int>* resident) const {
+  const int own = plan_.owner[u];
+  const int res = resident->load(std::memory_order_relaxed);
+  if (own != res) {
+    counters_[own].escalations.fetch_add(1, std::memory_order_relaxed);
+    resident->store(own, std::memory_order_relaxed);
+  } else {
+    counters_[own].local_rows.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::int64_t crossings = 0;
+  for (const DynamicGraph::Neighbor& arc : slices_[own].Neighbors(u)) {
+    if (plan_.owner[arc.head] != own) ++crossings;
+  }
+  if (crossings > 0) {
+    counters_[own].halo_crossings.fetch_add(crossings,
+                                            std::memory_order_relaxed);
+  }
+  return own;
+}
+
+std::vector<std::int64_t> ShardSet::OwnedCounts() const {
+  std::vector<std::int64_t> counts(shards(), 0);
+  for (int s : plan_.owner) ++counts[s];
+  return counts;
+}
+
+std::vector<std::int64_t> ShardSet::HaloCounts() const {
+  std::vector<std::int64_t> counts(shards(), 0);
+  for (int s = 0; s < shards(); ++s) {
+    counts[s] = static_cast<std::int64_t>(halo_dynamic_degrees_[s].size());
+  }
+  return counts;
+}
+
+ShardSet::CounterTotals ShardSet::TotalsFor(int shard) const {
+  const Counters& c = counters_[shard];
+  CounterTotals t;
+  t.local_rows = c.local_rows.load(std::memory_order_relaxed);
+  t.escalations = c.escalations.load(std::memory_order_relaxed);
+  t.halo_crossings = c.halo_crossings.load(std::memory_order_relaxed);
+  t.remote_degree_reads =
+      c.remote_degree_reads.load(std::memory_order_relaxed);
+  t.halo_degree_reads = c.halo_degree_reads.load(std::memory_order_relaxed);
+  return t;
+}
+
+ShardSet::CounterTotals ShardSet::Totals() const {
+  CounterTotals sum;
+  for (int s = 0; s < shards(); ++s) {
+    const CounterTotals t = TotalsFor(s);
+    sum.local_rows += t.local_rows;
+    sum.escalations += t.escalations;
+    sum.halo_crossings += t.halo_crossings;
+    sum.remote_degree_reads += t.remote_degree_reads;
+    sum.halo_degree_reads += t.halo_degree_reads;
+  }
+  return sum;
+}
+
+void ShardSet::ResetCounters() {
+  for (int s = 0; s < shards(); ++s) {
+    counters_[s].local_rows.store(0, std::memory_order_relaxed);
+    counters_[s].escalations.store(0, std::memory_order_relaxed);
+    counters_[s].halo_crossings.store(0, std::memory_order_relaxed);
+    counters_[s].remote_degree_reads.store(0, std::memory_order_relaxed);
+    counters_[s].halo_degree_reads.store(0, std::memory_order_relaxed);
+    flushed_[s] = CounterTotals{};
+  }
+}
+
+void ShardSet::FlushMetrics() {
+  if (!MetricsEnabled()) return;
+  auto& registry = MetricsRegistry::Get();
+  for (int s = 0; s < shards(); ++s) {
+    const CounterTotals now = TotalsFor(s);
+    CounterTotals& last = flushed_[s];
+    const std::string prefix = "service.shard." + std::to_string(s) + ".";
+    const auto publish = [&](const char* what, std::int64_t now_v,
+                             std::int64_t& last_v) {
+      if (now_v != last_v) {
+        registry.FindOrCreateCounter(prefix + what)->Add(now_v - last_v);
+        last_v = now_v;
+      }
+    };
+    publish("local_rows", now.local_rows, last.local_rows);
+    publish("escalations", now.escalations, last.escalations);
+    publish("halo_crossings", now.halo_crossings, last.halo_crossings);
+    publish("remote_degree_reads", now.remote_degree_reads,
+            last.remote_degree_reads);
+    publish("halo_degree_reads", now.halo_degree_reads,
+            last.halo_degree_reads);
+  }
+}
+
+bool ShardSet::CorruptHaloReplica(int shard, NodeId node, double delta) {
+  if (shard < 0 || shard >= shards()) return false;
+  bool hit = false;
+  const auto dyn = halo_dynamic_degrees_[shard].find(node);
+  if (dyn != halo_dynamic_degrees_[shard].end()) {
+    dyn->second += delta;
+    hit = true;
+  }
+  const auto fz = halo_frozen_degrees_[shard].find(node);
+  if (fz != halo_frozen_degrees_[shard].end()) {
+    fz->second += delta;
+    hit = true;
+  }
+  return hit;
+}
+
+}  // namespace impreg

@@ -1,0 +1,251 @@
+#ifndef IMPREG_SERVICE_SHARDING_SHARD_SET_H_
+#define IMPREG_SERVICE_SHARDING_SHARD_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "service/sharding/shard_plan.h"
+#include "service/sharding/shard_router.h"
+#include "streaming/dynamic_graph.h"
+
+/// \file
+/// The sharded graph store: one owner slice per shard plus one-hop
+/// halo replicas, with view types that serve the strongly-local
+/// kernels (push / hk-relax / Nibble) shard by shard.
+///
+/// ## The invariance contract
+///
+/// The kernels are templates over an adjacency provider
+/// (streaming/push_kernel.h, partition/{hkrelax,nibble,sweep}_kernel.h).
+/// A `ShardSet` view serves every *row* from the owning shard's slice
+/// and every *degree* from either the owner slice or the resident
+/// shard's halo replica — and all of those are bit-identical to the
+/// whole-graph values by construction (owned rows receive exactly the
+/// global arrival sequence; halo degree replicas are refreshed from
+/// the global accumulator on every routed edge). Identical bits
+/// through an identical instruction sequence ⇒ k = 1, 2, 4, 8 shards
+/// produce bitwise-equal responses. Escalation is therefore not a
+/// separate merge pass: the kernel drains its global frontier in
+/// canonical order, and when the next frontier node is owned by
+/// another shard the view *hands residence over* to that shard (the
+/// (p, r) frontier state is shared), counting an escalation. Residual
+/// mass that never escapes a shard's halo never leaves it — that is
+/// the paper's §3.3 strong-locality property operationalized.
+///
+/// ## Halo replicas
+///
+/// A shard's halo is the set of remotely-owned nodes one hop from its
+/// owned nodes. For each halo node the shard stores (a) the mirrored
+/// cross arcs in its slice (so the slice is a self-contained graph
+/// that passes `FromParts` validation) and (b) a degree replica — the
+/// exact global degree bits, dynamic and frozen flavors. The degree
+/// replica is load-bearing: push enqueue thresholds for halo nodes are
+/// served from it without leaving the resident shard (the classic
+/// ghost-node read). `CorruptHaloReplica` exists so the invariance
+/// test harness can prove a corrupted replica changes served bits.
+
+namespace impreg {
+
+class ShardSet {
+ public:
+  /// Cumulative per-shard work counters (relaxed atomics: view methods
+  /// run inside ParallelFor'd sweeps, and the counters are
+  /// observability, not answers).
+  struct Counters {
+    std::atomic<std::int64_t> local_rows{0};
+    std::atomic<std::int64_t> escalations{0};
+    std::atomic<std::int64_t> halo_crossings{0};
+    std::atomic<std::int64_t> remote_degree_reads{0};
+    std::atomic<std::int64_t> halo_degree_reads{0};
+  };
+
+  /// Plain snapshot of one shard's counters (or the sum over shards).
+  struct CounterTotals {
+    std::int64_t local_rows = 0;
+    std::int64_t escalations = 0;
+    std::int64_t halo_crossings = 0;
+    std::int64_t remote_degree_reads = 0;
+    std::int64_t halo_degree_reads = 0;
+  };
+
+  /// Carves the slices out of `global` under `plan`. Returns nullptr
+  /// when the plan or the slice ingredients fail validation (the
+  /// caller — QueryEngine — falls back to unsharded serving, which is
+  /// bit-identical anyway). Fault site `shard/slice_build` poisons a
+  /// slice ingredient in flight to exercise exactly that fallback.
+  static std::unique_ptr<ShardSet> Build(const DynamicGraph& global,
+                                         ShardPlan plan);
+
+  int shards() const { return plan_.shards; }
+  NodeId num_nodes() const { return num_nodes_; }
+  const ShardPlan& plan() const { return plan_; }
+  const ShardRouter& router() const { return router_; }
+
+  /// Bumped whenever a routed edge changes halo membership (a new
+  /// cross-shard adjacency). Part of the canonical query key: two
+  /// queries straddling a routing-epoch bump are semantically
+  /// different even at equal graph epochs.
+  std::int64_t routing_epoch() const { return routing_epoch_; }
+
+  /// Routes one already-applied global edge into the owning slice(s).
+  /// Cross-shard edges are replicated into both halos; the stored halo
+  /// degree replicas for u and v are refreshed from `global`'s exact
+  /// accumulator bits. Call *after* `global.AddEdge(u, v, w)`.
+  void AddEdge(NodeId u, NodeId v, double weight,
+               const DynamicGraph& global);
+
+  /// (Re)freezes every slice at `epoch` if not already frozen there:
+  /// per-shard CSR slices, frozen-degree halo replicas, and the global
+  /// frozen volume (reassembled bitwise from owner-slice degrees).
+  /// Sequential — the engine calls it before its parallel phase.
+  void EnsureFrozen(std::int64_t epoch);
+  bool FrozenAt(std::int64_t epoch) const {
+    return frozen_epoch_ == epoch && !frozen_.empty();
+  }
+
+  /// Per-shard owned-node and halo-node counts (placement metadata for
+  /// the manifest and the tests).
+  std::vector<std::int64_t> OwnedCounts() const;
+  std::vector<std::int64_t> HaloCounts() const;
+
+  CounterTotals TotalsFor(int shard) const;
+  CounterTotals Totals() const;
+  void ResetCounters();
+  /// Publishes counter deltas since the last flush into the metrics
+  /// registry (`service.shard.<i>.*`). Sequential (engine phase 5).
+  void FlushMetrics();
+
+  /// Test hook: perturbs shard `shard`'s stored degree replica for
+  /// halo node `node` by `delta` (dynamic and frozen flavors). Returns
+  /// false when `node` is not in that shard's halo. The invariance
+  /// matrix's WILL_FAIL probe uses this to prove halo corruption
+  /// changes served bits.
+  bool CorruptHaloReplica(int shard, NodeId node, double delta);
+
+  /// Adjacency provider over the *dynamic* slices for the push kernel.
+  /// Serves the same bits as the global DynamicGraph; counts where the
+  /// work ran. `resident` migrates to the owner of each row accessed
+  /// (atomic only because sweeps read concurrently; the served bits
+  /// never depend on it).
+  class DynamicView {
+   public:
+    DynamicView(const ShardSet& set, int home)
+        : set_(&set), resident_(home) {}
+    DynamicView(const DynamicView&) = delete;
+    DynamicView& operator=(const DynamicView&) = delete;
+
+    NodeId NumNodes() const { return set_->num_nodes_; }
+
+    double Degree(NodeId u) const {
+      const int own = set_->plan_.owner[u];
+      const int res = resident_.load(std::memory_order_relaxed);
+      if (own == res) return set_->slices_[own].Degree(u);
+      const auto& halo = set_->halo_dynamic_degrees_[res];
+      const auto it = halo.find(u);
+      if (it != halo.end()) {
+        set_->counters_[res].halo_degree_reads.fetch_add(
+            1, std::memory_order_relaxed);
+        return it->second;
+      }
+      set_->counters_[own].remote_degree_reads.fetch_add(
+          1, std::memory_order_relaxed);
+      return set_->slices_[own].Degree(u);
+    }
+
+    const std::vector<DynamicGraph::Neighbor>& Neighbors(NodeId u) const {
+      const int own = set_->NoteRowAccess(u, &resident_);
+      return set_->slices_[own].Neighbors(u);
+    }
+
+   private:
+    const ShardSet* set_;
+    mutable std::atomic<int> resident_;
+  };
+
+  /// Adjacency provider over the *frozen* slices for hk-relax, Nibble
+  /// and their sweeps. Same residence/counting protocol as
+  /// DynamicView. Requires `EnsureFrozen` at the current epoch first.
+  class FrozenView {
+   public:
+    FrozenView(const ShardSet& set, int home)
+        : set_(&set), resident_(home) {}
+    FrozenView(const FrozenView&) = delete;
+    FrozenView& operator=(const FrozenView&) = delete;
+
+    NodeId NumNodes() const { return set_->num_nodes_; }
+    bool IsValidNode(NodeId u) const {
+      return u >= 0 && u < set_->num_nodes_;
+    }
+    double TotalVolume() const { return set_->frozen_total_volume_; }
+
+    double Degree(NodeId u) const {
+      const int own = set_->plan_.owner[u];
+      const int res = resident_.load(std::memory_order_relaxed);
+      if (own == res) return set_->frozen_[own].Degree(u);
+      const auto& halo = set_->halo_frozen_degrees_[res];
+      const auto it = halo.find(u);
+      if (it != halo.end()) {
+        set_->counters_[res].halo_degree_reads.fetch_add(
+            1, std::memory_order_relaxed);
+        return it->second;
+      }
+      set_->counters_[own].remote_degree_reads.fetch_add(
+          1, std::memory_order_relaxed);
+      return set_->frozen_[own].Degree(u);
+    }
+
+    /// Row accesses (Heads is always the first of the row-access trio
+    /// in the kernels) migrate residence and count; OutDegree/Weights
+    /// ride along on the same row without double-counting.
+    std::span<const NodeId> Heads(NodeId u) const {
+      const int own = set_->NoteRowAccess(u, &resident_);
+      return set_->frozen_[own].Heads(u);
+    }
+    std::span<const double> Weights(NodeId u) const {
+      return set_->frozen_[set_->plan_.owner[u]].Weights(u);
+    }
+    ArcIndex OutDegree(NodeId u) const {
+      return set_->frozen_[set_->plan_.owner[u]].OutDegree(u);
+    }
+
+   private:
+    const ShardSet* set_;
+    mutable std::atomic<int> resident_;
+  };
+
+ private:
+  ShardSet() : router_(&plan_) {}
+
+  /// Residence/counting protocol shared by both views: migrating to a
+  /// remote owner is an escalation, staying home is local work, and
+  /// every arc of the accessed row that points at a remotely-owned
+  /// head is a halo crossing.
+  int NoteRowAccess(NodeId u, std::atomic<int>* resident) const;
+
+  ShardPlan plan_;
+  ShardRouter router_;
+  NodeId num_nodes_ = 0;
+  /// Full-width dynamic slices: owned rows are bitwise equal to the
+  /// global rows; halo rows hold only the mirrored cross arcs.
+  std::vector<DynamicGraph> slices_;
+  /// Per-shard halo degree replicas: exact global accumulator bits.
+  std::vector<std::unordered_map<NodeId, double>> halo_dynamic_degrees_;
+  std::vector<std::unordered_map<NodeId, double>> halo_frozen_degrees_;
+  /// Per-shard frozen CSR slices, rebuilt lazily per epoch.
+  std::vector<Graph> frozen_;
+  std::int64_t frozen_epoch_ = -1;
+  double frozen_total_volume_ = 0.0;
+  std::int64_t routing_epoch_ = 0;
+
+  mutable std::vector<Counters> counters_;
+  std::vector<CounterTotals> flushed_;
+};
+
+}  // namespace impreg
+
+#endif  // IMPREG_SERVICE_SHARDING_SHARD_SET_H_

@@ -70,6 +70,25 @@ class DynamicGraph {
                                 std::vector<double> degrees,
                                 std::int64_t num_edges, double total_volume);
 
+  /// The exact serialized parts of the graph: adjacency in per-node
+  /// insertion order plus the accumulated degree/volume bits. A deep
+  /// copy — the inverse of `FromParts`, so
+  /// `FromParts(ExportParts(g))` round-trips bit-exactly for any
+  /// graph, including degenerate topologies (empty, isolated nodes,
+  /// self-loops). The sharding layer uses this to carve owner slices
+  /// without re-deriving degree bits, and the fuzz tests use it to pin
+  /// the round-trip contract.
+  struct Parts {
+    std::vector<std::vector<Neighbor>> adjacency;
+    std::vector<double> degrees;
+    std::int64_t num_edges = 0;
+    double total_volume = 0.0;
+  };
+  Parts ExportParts() const {
+    return Parts{rep_->adjacency, rep_->degrees, rep_->num_edges,
+                 rep_->total_volume};
+  }
+
   DynamicGraph(const DynamicGraph&) = default;
   DynamicGraph& operator=(const DynamicGraph&) = default;
   DynamicGraph(DynamicGraph&&) = default;

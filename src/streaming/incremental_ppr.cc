@@ -1,10 +1,9 @@
 #include "streaming/incremental_ppr.h"
 
 #include <cmath>
-#include <limits>
 
 #include "core/metrics.h"
-#include "core/trace.h"
+#include "streaming/push_kernel.h"
 #include "util/check.h"
 
 namespace impreg {
@@ -13,115 +12,27 @@ namespace {
 
 // Per-node push threshold: |r(u)| < ε·d(u), ε alone for isolated nodes.
 inline double PushThreshold(const DynamicGraph& g, NodeId u, double epsilon) {
-  const double d = g.Degree(u);
-  return d > 0.0 ? epsilon * d : epsilon;
-}
-
-inline int SaturateToInt(std::int64_t v) {
-  return v > std::numeric_limits<int>::max()
-             ? std::numeric_limits<int>::max()
-             : static_cast<int>(v);
+  return push_internal::PushThresholdOver(g, u, epsilon);
 }
 
 }  // namespace
 
+// The kernel body lives in streaming/push_kernel.h as a template over
+// the adjacency provider, so the sharded serving tier can run the
+// *same* instruction sequence against shard-set views. This
+// instantiation over DynamicGraph is the historical entry point.
 std::int64_t StandardFormPush(const DynamicGraph& g,
                               const IncrementalPprOptions& options,
                               Vector& p, Vector& r,
                               std::deque<NodeId>& queue,
                               std::vector<char>& queued,
                               SolverDiagnostics& diagnostics) {
-  IMPREG_CHECK(options.gamma > 0.0 && options.gamma < 1.0);
-  IMPREG_CHECK(options.epsilon > 0.0);
-  IMPREG_CHECK(p.size() == static_cast<std::size_t>(g.NumNodes()));
-  IMPREG_CHECK(r.size() == p.size());
-  IMPREG_CHECK(queued.size() == p.size());
-
-  SolverTrace* trace = IMPREG_TRACE_BEGIN("incremental_ppr");
-  const auto enqueue = [&](NodeId u) {
-    if (queued[u]) return;
-    if (std::abs(r[u]) >= PushThreshold(g, u, options.epsilon)) {
-      queue.push_back(u);
-      queued[u] = 1;
-    }
-  };
-
-  std::int64_t pushes = 0;
-  bool budget_stop = false;
-  while (!queue.empty()) {
-    if (options.budget != nullptr && (pushes & 255) == 0 &&
-        options.budget->Exhausted()) {
-      budget_stop = true;
-      IMPREG_TRACE_EVENT(trace, pushes, kBudget,
-                         static_cast<double>(options.budget->Spent()));
-      break;
-    }
-    const NodeId u = queue.front();
-    queue.pop_front();
-    queued[u] = 0;
-    const double d = g.Degree(u);
-    const double threshold = PushThreshold(g, u, options.epsilon);
-    const double residual = r[u];
-    if (std::abs(residual) < threshold) continue;
-
-    // push(u): p gains γ·r, the rest spreads through column u of M
-    // (nothing spreads from an isolated node — M annihilates it).
-    p[u] += options.gamma * residual;
-    r[u] = 0.0;
-    std::int64_t arcs = 0;
-    if (d > 0.0) {
-      const double spread = (1.0 - options.gamma) * residual / d;
-      const std::vector<DynamicGraph::Neighbor>& neighbors = g.Neighbors(u);
-      arcs = static_cast<std::int64_t>(neighbors.size());
-      for (const DynamicGraph::Neighbor& n : neighbors) {
-        r[n.head] += spread * n.weight;
-        enqueue(n.head);
-      }
-    }
-    enqueue(u);  // Self-loops can re-raise r(u).
-    if (options.budget != nullptr) options.budget->Charge(arcs);
-    IMPREG_TRACE_EVENT(trace, pushes, kArcWork, static_cast<double>(arcs));
-    ++pushes;
-    IMPREG_CHECK_MSG(pushes < (1LL << 40), "push runaway");
-  }
-
-  diagnostics = SolverDiagnostics{};
-  diagnostics.iterations = SaturateToInt(pushes);
-  if (budget_stop) {
-    diagnostics.status = SolveStatus::kBudgetExhausted;
-    diagnostics.detail =
-        "work budget exhausted mid-push; (p, r) is the best-so-far pair "
-        "with the invariant intact";
-  } else {
-    diagnostics.status = SolveStatus::kConverged;
-  }
-  IMPREG_TRACE_FINISH(trace, diagnostics);
-  IMPREG_METRIC_COUNT("solver.incremental_ppr.solves", 1);
-  IMPREG_METRIC_COUNT("solver.incremental_ppr.pushes", pushes);
-  return pushes;
+  return StandardFormPushOver(g, options, p, r, queue, queued, diagnostics);
 }
 
 Vector InvariantResidual(const DynamicGraph& g, const Vector& seed,
                          const Vector& p, double gamma) {
-  IMPREG_CHECK(gamma > 0.0 && gamma < 1.0);
-  IMPREG_CHECK(seed.size() == static_cast<std::size_t>(g.NumNodes()));
-  IMPREG_CHECK(p.size() == seed.size());
-  const double k = (1.0 - gamma) / gamma;
-  Vector r = seed;
-  for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    const double pu = p[u];
-    if (pu == 0.0) continue;
-    r[u] -= pu / gamma;
-    const double d = g.Degree(u);
-    if (d > 0.0) {
-      // Column u of M scatters k·p(u)·w(u,v)/d(u) onto each neighbor v.
-      const double scale = k * pu / d;
-      for (const DynamicGraph::Neighbor& n : g.Neighbors(u)) {
-        r[n.head] += scale * n.weight;
-      }
-    }
-  }
-  return r;
+  return InvariantResidualOver(g, seed, p, gamma);
 }
 
 IncrementalPersonalizedPageRank::IncrementalPersonalizedPageRank(

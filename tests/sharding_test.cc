@@ -1,0 +1,540 @@
+// Acceptance suite for sharded graph serving (service/sharding/): the
+// shard-count-invariance matrix (every strongly-local method, every
+// shard count, every thread count, cache on and off, bitwise equal to
+// the unsharded engine), degenerate-topology construction fuzz, the
+// routing-epoch cache-key regression, shard-locality accounting, and
+// the shard manifest round-trip. The ShardingWillFail probe corrupts
+// one halo degree replica and re-runs the invariance assertion — it
+// must FAIL (the ctest entry is WILL_FAIL), proving the matrix is
+// sharp enough to catch a single wrong halo weight.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "graph/graph.h"
+#include "graph/random_graphs.h"
+#include "service/query_engine.h"
+#include "service/sharding/shard_manifest.h"
+#include "service/sharding/shard_plan.h"
+#include "service/sharding/shard_set.h"
+#include "streaming/dynamic_graph.h"
+#include "util/rng.h"
+
+namespace impreg {
+namespace {
+
+namespace fs = std::filesystem;
+
+// —— Graph families ———————————————————————————————————————————————
+
+Graph RingOfCliques(int cliques, int clique_size) {
+  GraphBuilder builder(cliques * clique_size);
+  for (int c = 0; c < cliques; ++c) {
+    const NodeId base = c * clique_size;
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        builder.AddEdge(base + i, base + j);
+      }
+    }
+    // One ring edge per adjacent clique pair: the only cross-community
+    // structure, so a min-cut partition severs exactly these.
+    const NodeId next = ((c + 1) % cliques) * clique_size;
+    builder.AddEdge(base, next + 1);
+  }
+  return builder.Build();
+}
+
+Graph ErGraph() {
+  Rng rng(0xE12u);
+  return ErdosRenyi(120, 8.0 / 119.0, rng);
+}
+
+Graph BaGraph() {
+  Rng rng(0xBA5u);
+  return BarabasiAlbert(120, 4, rng);
+}
+
+// —— Bitwise response comparison ——————————————————————————————————
+
+void ExpectResponseBitwise(const QueryResponse& want,
+                           const QueryResponse& got, const char* context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(want.status, got.status);
+  EXPECT_EQ(want.degraded, got.degraded);
+  EXPECT_EQ(want.source, got.source);
+  EXPECT_EQ(want.work, got.work);
+  EXPECT_EQ(want.conductance, got.conductance);
+  EXPECT_EQ(want.set, got.set);
+  ASSERT_EQ(want.scores.size(), got.scores.size());
+  for (std::size_t i = 0; i < want.scores.size(); ++i) {
+    // Exact == : the contract is identical *bits*, not tolerance.
+    ASSERT_EQ(want.scores[i], got.scores[i])
+        << "scores diverge at node " << i;
+  }
+}
+
+void ExpectBatchBitwise(const std::vector<QueryResponse>& want,
+                        const std::vector<QueryResponse>& got,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ExpectResponseBitwise(want[i], got[i],
+                          ("query #" + std::to_string(i)).c_str());
+  }
+}
+
+// One batch touching every method: three single-seed queries spread
+// across the id range per method, plus one multi-seed query.
+std::vector<Query> MatrixBatch(NodeId n) {
+  std::vector<Query> batch;
+  const std::vector<NodeId> picks = {1 % n, n / 2, n - 1};
+  for (QueryMethod method :
+       {QueryMethod::kPprPush, QueryMethod::kPprDense,
+        QueryMethod::kHeatKernel, QueryMethod::kNibble}) {
+    for (NodeId s : picks) {
+      Query q;
+      q.method = method;
+      q.seeds = {s};
+      q.epsilon = 1e-4;
+      q.tolerance = 1e-8;
+      q.max_iterations = 500;
+      q.t = 5.0;
+      q.delta = 1e-4;
+      q.steps = 15;
+      batch.push_back(std::move(q));
+    }
+  }
+  Query multi;
+  multi.method = QueryMethod::kPprPush;
+  multi.seeds = {0, n / 2, n / 3};
+  multi.epsilon = 1e-4;
+  batch.push_back(std::move(multi));
+  return batch;
+}
+
+// The tentpole matrix: shard counts {1, 2, 4, 8} × threads {1, 8} ×
+// cache {on, off} × all four methods, before and after a burst of
+// routed AddEdges, every response bitwise equal to the unsharded
+// engine in the same configuration.
+void RunInvarianceMatrix(const Graph& g, const char* family) {
+  SCOPED_TRACE(family);
+  const NodeId n = g.NumNodes();
+  const std::vector<Query> batch = MatrixBatch(n);
+  const std::vector<std::pair<NodeId, NodeId>> edits = {
+      {0, n / 2}, {1, n - 1}, {n / 3, n / 4}, {2, 2}};
+
+  for (const bool cache : {true, false}) {
+    for (const int threads : {1, 8}) {
+      ScopedNumThreads scoped(threads);
+      QueryEngine::Options base;
+      base.enable_cache = cache;
+      QueryEngine reference(g, base);
+      const std::vector<QueryResponse> ref_before =
+          reference.RunBatch(batch);
+      for (const auto& [u, v] : edits) reference.AddEdge(u, v, 1.0);
+      const std::vector<QueryResponse> ref_after = reference.RunBatch(batch);
+
+      for (const int k : {1, 2, 4, 8}) {
+        const std::string context = std::string("cache=") +
+                                    (cache ? "on" : "off") +
+                                    " threads=" + std::to_string(threads) +
+                                    " shards=" + std::to_string(k);
+        QueryEngine::Options options = base;
+        options.sharding.shards = k;
+        QueryEngine engine(g, options);
+        if (k > 1) {
+          ASSERT_NE(engine.shards(), nullptr) << context;
+          EXPECT_EQ(engine.shards()->shards(), k) << context;
+        } else {
+          EXPECT_EQ(engine.shards(), nullptr) << context;
+        }
+        ExpectBatchBitwise(ref_before, engine.RunBatch(batch),
+                           context + " pre-edit");
+        for (const auto& [u, v] : edits) engine.AddEdge(u, v, 1.0);
+        ExpectBatchBitwise(ref_after, engine.RunBatch(batch),
+                           context + " post-edit");
+        if (k > 1) {
+          // The sharded path really ran: rows were billed to shards.
+          EXPECT_GT(engine.shards()->Totals().local_rows, 0) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardingInvarianceTest, ErdosRenyiMatrix) {
+  RunInvarianceMatrix(ErGraph(), "erdos-renyi");
+}
+
+TEST(ShardingInvarianceTest, BarabasiAlbertMatrix) {
+  RunInvarianceMatrix(BaGraph(), "barabasi-albert");
+}
+
+TEST(ShardingInvarianceTest, RingOfCliquesMatrix) {
+  RunInvarianceMatrix(RingOfCliques(6, 15), "ring-of-cliques");
+}
+
+// —— The WILL_FAIL probe ——————————————————————————————————————————
+//
+// Corrupting a single halo degree replica must break the bitwise
+// invariance assertion — the ctest entry for this suite is WILL_FAIL,
+// so the *failure* below is what CI certifies. If this test ever
+// passes, the halo replicas have stopped being load-bearing and the
+// whole matrix is vacuous.
+
+TEST(ShardingWillFail, HaloCorruptionChangesServedBits) {
+  const Graph g = RingOfCliques(6, 15);
+  QueryEngine reference(g);
+  QueryEngine::Options options;
+  options.sharding.shards = 4;
+  options.enable_cache = false;
+  QueryEngine engine(g, options);
+  ASSERT_NE(engine.shards(), nullptr);
+
+  // Find a cross-shard edge {u, v}: v's degree replica lives in
+  // owner(u)'s halo and serves u's push enqueue threshold for v.
+  const std::vector<int>& owner = engine.shards()->plan().owner;
+  NodeId cu = -1, cv = -1;
+  for (NodeId u = 0; u < g.NumNodes() && cu < 0; ++u) {
+    for (const Arc& arc : g.Neighbors(u)) {
+      if (owner[u] != owner[arc.head]) {
+        cu = u;
+        cv = arc.head;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(cu, 0) << "partition produced no cross-shard edge";
+  ASSERT_TRUE(engine.mutable_shards()->CorruptHaloReplica(owner[cu], cv,
+                                                          1.0e9));
+
+  Query q;
+  q.method = QueryMethod::kPprPush;
+  q.seeds = {cu};
+  q.epsilon = 1e-5;
+  ExpectResponseBitwise(reference.Run(q), engine.Run(q),
+                        "push across corrupted halo");
+}
+
+// —— Degenerate-topology construction fuzz ————————————————————————
+
+struct DegenerateCase {
+  const char* name;
+  Graph graph;
+  int shards;
+};
+
+std::vector<DegenerateCase> DegenerateCases() {
+  std::vector<DegenerateCase> cases;
+  cases.push_back({"empty", GraphBuilder(0).Build(), 4});
+  cases.push_back({"single-node", GraphBuilder(1).Build(), 4});
+  cases.push_back({"isolated-nodes", GraphBuilder(8).Build(), 4});
+  {
+    GraphBuilder b(6);
+    for (NodeId u = 0; u < 6; ++u) b.AddEdge(u, u);
+    b.AddEdge(0, 1);
+    cases.push_back({"self-loops", b.Build(), 3});
+  }
+  {
+    GraphBuilder b(10);
+    for (NodeId i = 0; i < 5; ++i) {
+      for (NodeId j = i + 1; j < 5; ++j) {
+        b.AddEdge(i, j);
+        b.AddEdge(5 + i, 5 + j);
+      }
+    }
+    cases.push_back({"disconnected", b.Build(), 2});
+  }
+  {
+    GraphBuilder b(4);
+    b.AddEdge(0, 1);
+    b.AddEdge(1, 2);
+    b.AddEdge(2, 3);
+    cases.push_back({"k-gt-n", b.Build(), 8});
+  }
+  return cases;
+}
+
+TEST(ShardingDegenerateTest, ExportPartsRoundTripsBitExactly) {
+  for (const DegenerateCase& c : DegenerateCases()) {
+    SCOPED_TRACE(c.name);
+    const DynamicGraph dyn = DynamicGraph::FromGraph(c.graph);
+    DynamicGraph::Parts parts = dyn.ExportParts();
+    const DynamicGraph round = DynamicGraph::FromParts(
+        std::move(parts.adjacency), std::move(parts.degrees),
+        parts.num_edges, parts.total_volume);
+    ASSERT_EQ(dyn.NumNodes(), round.NumNodes());
+    EXPECT_EQ(dyn.NumEdges(), round.NumEdges());
+    EXPECT_EQ(dyn.TotalVolume(), round.TotalVolume());
+    for (NodeId u = 0; u < dyn.NumNodes(); ++u) {
+      EXPECT_EQ(dyn.Degree(u), round.Degree(u)) << "node " << u;
+    }
+    const Graph a = dyn.ToGraph();
+    const Graph b = round.ToGraph();
+    ASSERT_EQ(a.NumNodes(), b.NumNodes());
+    for (NodeId u = 0; u < a.NumNodes(); ++u) {
+      ASSERT_EQ(a.OutDegree(u), b.OutDegree(u)) << "node " << u;
+      for (ArcIndex i = 0; i < a.OutDegree(u); ++i) {
+        EXPECT_EQ(a.Heads(u)[i], b.Heads(u)[i]);
+        EXPECT_EQ(a.Weights(u)[i], b.Weights(u)[i]);
+      }
+    }
+  }
+}
+
+TEST(ShardingDegenerateTest, EveryTopologyRoutesAndMatchesUnsharded) {
+  for (const DegenerateCase& c : DegenerateCases()) {
+    SCOPED_TRACE(c.name);
+    QueryEngine reference(c.graph);
+    QueryEngine::Options options;
+    options.sharding.shards = c.shards;
+    QueryEngine engine(c.graph, options);  // Must never crash.
+    const NodeId n = c.graph.NumNodes();
+    if (n == 0) continue;  // No valid seeds to route.
+    std::vector<Query> batch;
+    for (QueryMethod method :
+         {QueryMethod::kPprPush, QueryMethod::kPprDense,
+          QueryMethod::kHeatKernel, QueryMethod::kNibble}) {
+      for (NodeId s : {NodeId{0}, NodeId(n / 2), NodeId(n - 1)}) {
+        Query q;
+        q.method = method;
+        q.seeds = {s};
+        q.epsilon = 1e-4;
+        q.steps = 8;
+        q.t = 3.0;
+        batch.push_back(std::move(q));
+      }
+    }
+    ExpectBatchBitwise(reference.RunBatch(batch), engine.RunBatch(batch),
+                       std::string(c.name) + " batch");
+    // Mutation must route too (including the self-loop).
+    reference.AddEdge(0, n - 1, 2.0);
+    reference.AddEdge(0, 0, 1.0);
+    engine.AddEdge(0, n - 1, 2.0);
+    engine.AddEdge(0, 0, 1.0);
+    ExpectBatchBitwise(reference.RunBatch(batch), engine.RunBatch(batch),
+                       std::string(c.name) + " post-edit batch");
+  }
+}
+
+TEST(ShardingDegenerateTest, PlanClampsAndFallsBackValidly) {
+  for (const DegenerateCase& c : DegenerateCases()) {
+    SCOPED_TRACE(c.name);
+    const ShardPlan plan = BuildShardPlan(c.graph, c.shards);
+    EXPECT_TRUE(ValidShardOwners(plan.owner, c.graph.NumNodes(),
+                                 plan.shards));
+    EXPECT_LE(plan.shards,
+              std::max<NodeId>(c.graph.NumNodes(), 1));
+    // Deterministic: the same inputs reproduce the identical plan.
+    const ShardPlan again = BuildShardPlan(c.graph, c.shards);
+    EXPECT_EQ(plan.owner, again.owner);
+    EXPECT_EQ(plan.shards, again.shards);
+  }
+}
+
+// —— Routing-epoch cache-key regression ———————————————————————————
+//
+// The pre-fix bug: batch dedup and the result cache keyed on
+// (method, params, epoch, seed fingerprint) only. Two engines at the
+// same graph epoch but different halo-routing states (the recovery
+// scenario: routing epochs reset on rebuild while restored cache
+// entries carry pre-crash keys) collided. The canonical key now
+// appends the routing epoch whenever it is nonzero.
+
+TEST(ShardingTest, RoutingEpochInCacheKey) {
+  Query q;
+  q.seeds = {3, 1};
+  // The pre-fix collision, pinned: the legacy 2-arg key cannot tell
+  // routing states apart...
+  EXPECT_EQ(QueryEngine::CanonicalKey(q, 7), QueryEngine::CanonicalKey(q, 7));
+  // ...and routing epoch 0 must stay byte-identical to it (unsharded
+  // keys — and every pre-sharding persisted key — are unchanged).
+  EXPECT_EQ(QueryEngine::CanonicalKey(q, 7, 0),
+            QueryEngine::CanonicalKey(q, 7));
+  // The fix: distinct routing epochs key distinctly.
+  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
+            QueryEngine::CanonicalKey(q, 7, 9));
+  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
+            QueryEngine::CanonicalKey(q, 7));
+  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
+            QueryEngine::CanonicalKey(q, 8, 5));
+}
+
+TEST(ShardingTest, RoutingEpochBumpsOnNewHaloMembershipOnly) {
+  const Graph g = RingOfCliques(4, 10);
+  QueryEngine::Options options;
+  options.sharding.shards = 2;
+  QueryEngine engine(g, options);
+  ASSERT_NE(engine.shards(), nullptr);
+  const std::vector<int>& owner = engine.shards()->plan().owner;
+
+  // A new cross-shard pair that is not yet adjacent: routing changes.
+  NodeId u = -1, v = -1;
+  for (NodeId a = 0; a < g.NumNodes() && u < 0; ++a) {
+    for (NodeId b = 0; b < g.NumNodes(); ++b) {
+      if (owner[a] != owner[b] && !g.HasEdge(a, b)) {
+        u = a;
+        v = b;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(u, 0);
+  const std::int64_t before = engine.RoutingEpoch();
+  engine.AddEdge(u, v, 1.0);
+  const std::int64_t after = engine.RoutingEpoch();
+  EXPECT_GT(after, before);
+  // Re-adding the same edge changes weights, not membership.
+  engine.AddEdge(u, v, 1.0);
+  EXPECT_EQ(engine.RoutingEpoch(), after);
+  // An intra-shard edge never touches routing.
+  NodeId a = -1, b = -1;
+  for (NodeId x = 1; x < g.NumNodes() && a < 0; ++x) {
+    if (owner[x] == owner[0]) {
+      a = 0;
+      b = x;
+    }
+  }
+  ASSERT_GE(a, 0);
+  engine.AddEdge(a, b, 1.0);
+  EXPECT_EQ(engine.RoutingEpoch(), after);
+}
+
+// —— Shard locality ———————————————————————————————————————————————
+//
+// The reason to shard at all: a strongly-local query seeded deep
+// inside one shard must complete without ever escalating. (The
+// bench/shard_serve driver measures the deep-vs-boundary local-work
+// ratio on bigger graphs; this pins the qualitative contract.)
+
+TEST(ShardingTest, DeepSeedNeverEscalates) {
+  const Graph g = RingOfCliques(6, 15);
+  QueryEngine::Options options;
+  options.sharding.shards = 4;
+  options.enable_cache = false;
+  QueryEngine engine(g, options);
+  ASSERT_NE(engine.shards(), nullptr);
+  const std::vector<int>& owner = engine.shards()->plan().owner;
+
+  // Deep seed: a node whose whole one-hop neighborhood it owns with it.
+  NodeId deep = -1;
+  for (NodeId u = 0; u < g.NumNodes() && deep < 0; ++u) {
+    bool interior = g.OutDegree(u) > 0;
+    for (const Arc& arc : g.Neighbors(u)) {
+      interior = interior && owner[arc.head] == owner[u];
+    }
+    if (interior) deep = u;
+  }
+  ASSERT_GE(deep, 0) << "partition left no interior node";
+
+  engine.mutable_shards()->ResetCounters();
+  Query q;
+  q.method = QueryMethod::kPprPush;
+  q.seeds = {deep};
+  q.epsilon = 5e-2;  // Shallow diffusion: only the seed row is pushed.
+  engine.Run(q);
+  const ShardSet::CounterTotals totals = engine.shards()->Totals();
+  EXPECT_GT(totals.local_rows, 0);
+  EXPECT_EQ(totals.escalations, 0)
+      << "a clique-interior push should never leave its shard";
+}
+
+// —— Shard manifest ————————————————————————————————————————————————
+
+ShardManifest SampleManifest() {
+  ShardManifest m;
+  m.shards = 3;
+  m.partition_seed = 0x5eedULL;
+  m.num_nodes = 6;
+  m.routing_epoch = 11;
+  m.shard_epochs = {4, 4, 4};
+  m.owner = {0, 0, 1, 1, 2, 2};
+  return m;
+}
+
+TEST(ShardManifestTest, RoundTripsAllFields) {
+  const fs::path dir =
+      fs::temp_directory_path() / "impreg_shard_manifest_rt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = ShardManifestPath(dir.string());
+  const ShardManifest m = SampleManifest();
+  ASSERT_TRUE(WriteShardManifest(path, m));
+  ShardManifest loaded;
+  std::string detail;
+  ASSERT_TRUE(LoadShardManifest(path, &loaded, &detail)) << detail;
+  EXPECT_EQ(loaded.shards, m.shards);
+  EXPECT_EQ(loaded.partition_seed, m.partition_seed);
+  EXPECT_EQ(loaded.num_nodes, m.num_nodes);
+  EXPECT_EQ(loaded.routing_epoch, m.routing_epoch);
+  EXPECT_EQ(loaded.shard_epochs, m.shard_epochs);
+  EXPECT_EQ(loaded.owner, m.owner);
+  fs::remove_all(dir);
+}
+
+TEST(ShardManifestTest, RejectsCorruptionTearingAndBadShapes) {
+  const fs::path dir =
+      fs::temp_directory_path() / "impreg_shard_manifest_bad";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = ShardManifestPath(dir.string());
+  ShardManifest loaded;
+  std::string detail;
+
+  // Missing file: rejected with the canonical detail (the CLI treats
+  // this one as the silent first-boot case).
+  EXPECT_FALSE(LoadShardManifest(path, &loaded, &detail));
+  EXPECT_EQ(detail, "manifest missing or unreadable");
+
+  // A flipped payload byte fails the CRC.
+  ASSERT_TRUE(WriteShardManifest(path, SampleManifest()));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    f.put('#');
+  }
+  EXPECT_FALSE(LoadShardManifest(path, &loaded, &detail));
+
+  // Disagreeing per-shard epoch stamps = torn multi-artifact update:
+  // the writer must refuse to publish it at all.
+  ShardManifest torn = SampleManifest();
+  torn.shard_epochs = {4, 5, 4};
+  EXPECT_FALSE(WriteShardManifest(path, torn));
+
+  // A malformed owner array (shard 2 unpopulated) is refused too.
+  ShardManifest gap = SampleManifest();
+  gap.owner = {0, 0, 1, 1, 1, 1};
+  EXPECT_FALSE(WriteShardManifest(path, gap));
+  fs::remove_all(dir);
+}
+
+TEST(ShardingTest, ManifestPinnedPlacementServesIdentically) {
+  const Graph g = ErGraph();
+  QueryEngine::Options options;
+  options.sharding.shards = 4;
+  QueryEngine computed(g, options);
+  ASSERT_NE(computed.shards(), nullptr);
+
+  // Feed the computed placement back through Options::sharding.owner —
+  // the manifest-recovery path — and serve the same batch.
+  QueryEngine::Options pinned = options;
+  pinned.sharding.owner = computed.shards()->plan().owner;
+  QueryEngine restored(g, pinned);
+  ASSERT_NE(restored.shards(), nullptr);
+  EXPECT_EQ(restored.shards()->plan().owner, computed.shards()->plan().owner);
+  const std::vector<Query> batch = MatrixBatch(g.NumNodes());
+  ExpectBatchBitwise(computed.RunBatch(batch), restored.RunBatch(batch),
+                     "manifest-pinned placement");
+}
+
+}  // namespace
+}  // namespace impreg
