@@ -75,7 +75,12 @@ RecoveryReport RecoverEngine(const DynamicGraph& base,
   }
 
   // Rung 4: rebuild the engine and re-admit the persisted cache slice
-  // (oldest-insertion-first keeps FIFO eviction order faithful).
+  // (oldest-insertion-first keeps FIFO eviction order faithful). The
+  // snapshot captured the cache *after* the live engine's invalidation
+  // decisions up to snapshot_epoch, so the restored entries predate
+  // every replayed suffix record — re-running the per-edit invalidation
+  // over the suffix, in replay order, reproduces exactly the demotions
+  // and evictions the crashed engine would have made.
   if (engine != nullptr) {
     *engine = std::make_unique<QueryEngine>(graph, options);
     (*engine)->RestoreEpoch(report.epoch);
@@ -84,6 +89,11 @@ RecoveryReport RecoverEngine(const DynamicGraph& base,
                                          std::move(e.result))) {
         ++report.cache_restored;
       }
+    }
+    for (std::int64_t i = start_epoch; i < start_epoch + report.replayed;
+         ++i) {
+      const WalRecord& record = entries[static_cast<std::size_t>(i)];
+      (*engine)->ReplayEditInvalidation(record.u, record.v);
     }
   }
 

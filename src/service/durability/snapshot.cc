@@ -21,7 +21,12 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kMagic[8] = {'I', 'M', 'P', 'R', 'G', 'S', 'N', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends each cache entry's region fingerprint and warm_only flag
+// (surgical invalidation state). The read side is strict-v2: snapshots
+// are rewritten every epoch checkpoint, so there is no v1 archive to
+// stay compatible with — an old-version file is rejected and recovery
+// falls back to the WAL, which is always complete.
+constexpr std::uint32_t kVersion = 2;
 constexpr std::size_t kHeaderSize = 8 + 4;       // magic | version
 constexpr std::size_t kBodyPrefix = 8 + 4;       // payload_size | crc
 constexpr char kFilePrefix[] = "snapshot-";
@@ -153,6 +158,9 @@ void EncodeCachedResult(const std::string& key, const std::string& warm_key,
   w->Doubles(r.r);
   w->I64(r.epoch);
   w->F64(r.epsilon);
+  for (std::uint64_t word : r.region.words) w->U64(word);
+  w->U8(r.region.all ? 1 : 0);
+  w->U8(r.warm_only ? 1 : 0);
 }
 
 SnapshotCacheEntry DecodeCachedResult(Reader* r) {
@@ -170,6 +178,9 @@ SnapshotCacheEntry DecodeCachedResult(Reader* r) {
   e.result.r = r->Doubles();
   e.result.epoch = r->I64();
   e.result.epsilon = r->F64();
+  for (std::uint64_t& word : e.result.region.words) word = r->U64();
+  e.result.region.all = r->U8() != 0;
+  e.result.warm_only = r->U8() != 0;
   return e;
 }
 

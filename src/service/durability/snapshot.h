@@ -18,7 +18,7 @@
 ///
 /// File layout (little-endian):
 ///
-///   header  := magic "IMPRGSNP" | u32 version (1)
+///   header  := magic "IMPRGSNP" | u32 version (2)
 ///   body    := u64 payload_size | u32 crc32c(payload) | payload
 ///   payload := i64 epoch
 ///            | i64 num_nodes | i64 num_edges | f64 total_volume
@@ -26,6 +26,12 @@
 ///            | per node: u32 count | (i32 head, f64 weight)[count]
 ///            | u32 cache_entries
 ///            | per entry: key, warm_key, CachedResult (see snapshot.cc)
+///
+/// v2 appends each cache entry's region fingerprint (the surgical-
+/// invalidation locality bits) and warm_only flag after the v1 fields;
+/// the reader is strict-v2 — snapshots are rewritten at every
+/// checkpoint, so an older-version file is simply rejected and
+/// recovery falls back to full WAL replay.
 ///
 /// Bit-identical restore is the design constraint that shaped the
 /// format: degrees and total_volume are *accumulated* floating-point

@@ -18,12 +18,16 @@ namespace impreg::durability {
 namespace {
 
 constexpr char kMagic[8] = {'I', 'M', 'P', 'R', 'G', 'W', 'A', 'L'};
-constexpr std::uint32_t kVersion = 1;
+// v1 knew only AddEdge; v2 adds RemoveEdge. New files are written at
+// v2 and readers accept both (a v1 file cannot contain a remove).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinReadVersion = 1;
 constexpr std::size_t kHeaderSize = 8 + 4 + 4;  // magic | version | crc
 constexpr std::size_t kFrameOverhead = 4 + 4;   // size | crc
 constexpr std::uint8_t kTypeAddEdge = 1;
-// u8 type | i32 u | i32 v | f64 weight.
-constexpr std::size_t kAddEdgePayload = 1 + 4 + 4 + 8;
+constexpr std::uint8_t kTypeRemoveEdge = 2;
+// u8 type | i32 u | i32 v | f64 weight — both record types share it.
+constexpr std::size_t kEdgePayload = 1 + 4 + 4 + 8;
 
 void PutU32(std::uint8_t* p, std::uint32_t x) {
   p[0] = static_cast<std::uint8_t>(x);
@@ -70,8 +74,9 @@ void EncodeHeader(std::uint8_t out[kHeaderSize]) {
 }
 
 bool HeaderValid(const std::uint8_t* h) {
-  return std::memcmp(h, kMagic, 8) == 0 && GetU32(h + 8) == kVersion &&
-         GetU32(h + 12) == Crc32c(h, 12);
+  const std::uint32_t version = GetU32(h + 8);
+  return std::memcmp(h, kMagic, 8) == 0 && version >= kMinReadVersion &&
+         version <= kVersion && GetU32(h + 12) == Crc32c(h, 12);
 }
 
 bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
@@ -133,11 +138,33 @@ SolveStatus WriteAheadLog::Open(const std::string& path,
               HeaderValid(header);
     if (!ok) {
       ::close(fd);
-      SetDetail(detail, "existing file is not a v1 WAL");
+      SetDetail(detail, "existing file is not a v1/v2 WAL");
       return SolveStatus::kInvalidInput;
     }
   }
   fd_ = fd;
+  return SolveStatus::kConverged;
+}
+
+SolveStatus WriteAheadLog::AppendEdgeRecord(std::uint8_t type, NodeId u,
+                                            NodeId v, double weight,
+                                            std::string* detail) {
+  std::uint8_t frame[kFrameOverhead + kEdgePayload];
+  std::uint8_t* payload = frame + kFrameOverhead;
+  payload[0] = type;
+  PutI32(payload + 1, u);
+  PutI32(payload + 5, v);
+  PutF64(payload + 9, weight);
+  PutU32(frame, static_cast<std::uint32_t>(kEdgePayload));
+  PutU32(frame + 4, Crc32c(payload, kEdgePayload));
+
+  if (!WriteAll(fd_, frame, sizeof(frame))) {
+    SetDetail(detail, "WAL write failed");
+    return SolveStatus::kBreakdown;
+  }
+  ++records_appended_;
+  ++unsynced_;
+  if (sync_every_ > 0 && unsynced_ >= sync_every_) return Sync(detail);
   return SolveStatus::kConverged;
 }
 
@@ -152,24 +179,22 @@ SolveStatus WriteAheadLog::AppendAddEdge(NodeId u, NodeId v, double weight,
     SetDetail(detail, "record rejected: id out of range or bad weight");
     return SolveStatus::kInvalidInput;
   }
+  return AppendEdgeRecord(kTypeAddEdge, u, v, weight, detail);
+}
 
-  std::uint8_t frame[kFrameOverhead + kAddEdgePayload];
-  std::uint8_t* payload = frame + kFrameOverhead;
-  payload[0] = kTypeAddEdge;
-  PutI32(payload + 1, u);
-  PutI32(payload + 5, v);
-  PutF64(payload + 9, weight);
-  PutU32(frame, static_cast<std::uint32_t>(kAddEdgePayload));
-  PutU32(frame + 4, Crc32c(payload, kAddEdgePayload));
-
-  if (!WriteAll(fd_, frame, sizeof(frame))) {
-    SetDetail(detail, "WAL write failed");
-    return SolveStatus::kBreakdown;
+SolveStatus WriteAheadLog::AppendRemoveEdge(NodeId u, NodeId v, double weight,
+                                            std::string* detail) {
+  IMPREG_CHECK_MSG(fd_ >= 0, "append on a closed WAL");
+  // The RemoveEdge twin of "wal/append": a poisoned removal must be
+  // rejected before framing, never written, never replayed.
+  IMPREG_FAULT_POINT("wal/append_remove", weight);
+  // Weight 0.0 is the "remove entirely" sentinel, so zero is legal
+  // here where AppendAddEdge rejects it.
+  if (u < 0 || v < 0 || !std::isfinite(weight) || weight < 0.0) {
+    SetDetail(detail, "record rejected: id out of range or bad weight");
+    return SolveStatus::kInvalidInput;
   }
-  ++records_appended_;
-  ++unsynced_;
-  if (sync_every_ > 0 && unsynced_ >= sync_every_) return Sync(detail);
-  return SolveStatus::kConverged;
+  return AppendEdgeRecord(kTypeRemoveEdge, u, v, weight, detail);
 }
 
 SolveStatus WriteAheadLog::Sync(std::string* detail) {
@@ -228,14 +253,14 @@ WalReadResult ReadWal(const std::string& path) {
     std::size_t payload_size = 0;
     if (intact) {
       payload_size = GetU32(bytes.data() + offset);
-      intact = payload_size == kAddEdgePayload &&
+      intact = payload_size == kEdgePayload &&
                remaining >= kFrameOverhead + payload_size;
     }
     const std::uint8_t* payload = bytes.data() + offset + kFrameOverhead;
     if (intact) {
       intact = GetU32(bytes.data() + offset + 4) ==
                    Crc32c(payload, payload_size) &&
-               payload[0] == kTypeAddEdge;
+               (payload[0] == kTypeAddEdge || payload[0] == kTypeRemoveEdge);
     }
     if (!intact) {
       result.status = SolveStatus::kBreakdown;
@@ -250,6 +275,7 @@ WalReadResult ReadWal(const std::string& path) {
     record.u = GetI32(payload + 1);
     record.v = GetI32(payload + 5);
     record.weight = GetF64(payload + 9);
+    record.remove = payload[0] == kTypeRemoveEdge;
     result.entries.push_back(record);
     offset += kFrameOverhead + payload_size;
     result.valid_bytes = static_cast<std::int64_t>(offset);
@@ -281,6 +307,32 @@ WalReplayResult ReplayWal(const std::vector<WalRecord>& entries,
   for (std::size_t i = static_cast<std::size_t>(from_record);
        i < entries.size(); ++i) {
     WalRecord record = entries[i];
+    if (record.remove) {
+      // A remove must target an edge the graph actually holds with at
+      // least the logged decrement, or DynamicGraph::RemoveEdge would
+      // trip its abort contract — semantic validation here keeps the
+      // failure graceful (possible only via injection once ReadWal's
+      // CRC passed, since the log is the graph's own history).
+      IMPREG_FAULT_POINT("wal/replay_remove", record.weight);
+      bool valid = record.u >= 0 && record.u < n && record.v >= 0 &&
+                   record.v < n && std::isfinite(record.weight) &&
+                   record.weight >= 0.0;
+      if (valid) {
+        const double stored = graph->EdgeWeight(record.u, record.v);
+        valid = stored > 0.0 &&
+                (record.weight == 0.0 || record.weight <= stored);
+      }
+      if (!valid) {
+        result.status = SolveStatus::kBreakdown;
+        result.detail = "remove record " + std::to_string(i) +
+                        " failed validation: replay stopped at the last "
+                        "good prefix";
+        return result;
+      }
+      graph->RemoveEdge(record.u, record.v, record.weight);
+      ++result.applied;
+      continue;
+    }
     // Last line of defense between the log and the graph: a record that
     // passed its CRC but fails semantic validation (possible only via
     // injection here) stops the replay — the graph keeps the good

@@ -10,17 +10,25 @@
 #include "streaming/dynamic_graph.h"
 
 /// \file
-/// The mutation write-ahead log: every AddEdge the serving tier accepts
-/// is framed, checksummed, and appended here *before* it lands on the
-/// in-memory graph, so a crash at any instant loses at most the records
-/// that had not reached the disk yet — never the graph's consistency.
+/// The mutation write-ahead log: every edge edit the serving tier
+/// accepts (AddEdge and RemoveEdge alike) is framed, checksummed, and
+/// appended here *before* it lands on the in-memory graph, so a crash
+/// at any instant loses at most the records that had not reached the
+/// disk yet — never the graph's consistency.
 ///
 /// File layout (all integers little-endian, the only byte order the
 /// project targets):
 ///
-///   header   := magic "IMPRGWAL" | u32 version (1) | u32 crc32c(magic‖version)
+///   header   := magic "IMPRGWAL" | u32 version | u32 crc32c(magic‖version)
 ///   record   := u32 payload_size | u32 crc32c(payload) | payload
-///   payload  := u8 type (1 = AddEdge) | i32 u | i32 v | f64 weight
+///   payload  := u8 type (1 = AddEdge, 2 = RemoveEdge) | i32 u | i32 v
+///               | f64 weight
+///
+/// New files are written at version 2; the reader accepts versions 1
+/// and 2 (a v1 file simply predates RemoveEdge records and can never
+/// contain one, so replaying it under the v2 reader is exact). For a
+/// RemoveEdge record, weight 0.0 means "remove the edge entirely" —
+/// the DynamicGraph::RemoveEdge convention.
 ///
 /// Each record's CRC covers its payload only, so corruption is localized:
 /// the reader accepts the longest prefix of intact records and reports
@@ -33,20 +41,27 @@
 /// graph from epoch k to epoch k+1, so a snapshot taken at epoch e is
 /// continued by replaying records [e, …) — see docs/durability.md.
 ///
-/// Fault points (robustness suite): "wal/append" (a poisoned record is
-/// rejected before framing — never written), "wal/fsync" (a failed
-/// fsync surfaces as a non-usable status; the caller decides whether to
-/// retry or shed), "wal/replay_record" (a poisoned decoded record stops
-/// replay at the last good prefix), "wal/torn_tail" (frame validation
-/// forced to fail — exercises the truncation path on an intact file).
+/// Fault points (robustness suite): "wal/append" (a poisoned AddEdge is
+/// rejected before framing — never written), "wal/append_remove" (the
+/// RemoveEdge twin of the same gate), "wal/fsync" (a failed fsync
+/// surfaces as a non-usable status; the caller decides whether to
+/// retry or shed), "wal/replay_record" (a poisoned decoded AddEdge
+/// stops replay at the last good prefix), "wal/replay_remove" (a
+/// RemoveEdge whose target does not survive semantic validation stops
+/// replay the same way — never aborts), "wal/torn_tail" (frame
+/// validation forced to fail — exercises the truncation path on an
+/// intact file).
 
 namespace impreg::durability {
 
-/// One decoded AddEdge record.
+/// One decoded mutation record.
 struct WalRecord {
   NodeId u = 0;
   NodeId v = 0;
   double weight = 1.0;
+  /// True for a RemoveEdge record (weight 0.0 = remove entirely,
+  /// otherwise a partial weight decrement).
+  bool remove = false;
 };
 
 struct WalOptions {
@@ -80,6 +95,14 @@ class WriteAheadLog {
   SolveStatus AppendAddEdge(NodeId u, NodeId v, double weight,
                             std::string* detail = nullptr);
 
+  /// Frames, checksums, and appends one RemoveEdge record (weight 0.0
+  /// = remove the edge entirely; a positive weight is a partial
+  /// decrement). Rejects non-finite or negative weights and
+  /// out-of-range ids (kInvalidInput, nothing written). Same fsync
+  /// contract as AppendAddEdge.
+  SolveStatus AppendRemoveEdge(NodeId u, NodeId v, double weight = 0.0,
+                               std::string* detail = nullptr);
+
   /// Forces an fsync now (flushes a partial sync_every batch).
   SolveStatus Sync(std::string* detail = nullptr);
 
@@ -93,6 +116,11 @@ class WriteAheadLog {
   std::int64_t records_appended() const { return records_appended_; }
 
  private:
+  /// Shared framing path for both record types (validation already
+  /// done by the public wrappers).
+  SolveStatus AppendEdgeRecord(std::uint8_t type, NodeId u, NodeId v,
+                               double weight, std::string* detail);
+
   int fd_ = -1;
   int sync_every_ = 1;
   int unsynced_ = 0;
@@ -142,7 +170,11 @@ struct WalReplayResult {
 /// Applies `entries[from_record…]` onto `graph` in order — the epoch-
 /// indexed suffix replay: a snapshot at epoch e passes from_record = e.
 /// Validates each record against the graph's node range before
-/// applying; stops (never aborts) at the first bad one.
+/// applying; RemoveEdge records are additionally validated against the
+/// graph's current edge weight (the edge must exist and carry at least
+/// the decrement) so a mismatched remove degrades to kBreakdown
+/// instead of tripping DynamicGraph's abort contract. Stops (never
+/// aborts) at the first bad record.
 WalReplayResult ReplayWal(const std::vector<WalRecord>& entries,
                           std::int64_t from_record, DynamicGraph* graph);
 

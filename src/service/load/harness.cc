@@ -94,9 +94,15 @@ LoadStats RunLoadWorkload(QueryEngine& engine, const Workload& workload) {
     };
     for (std::size_t i = next; i < end; ++i) {
       const WorkloadEvent& event = workload.events[i];
-      if (event.is_add_edge) {
+      if (event.is_add_edge || event.is_remove_edge) {
         flush();
-        engine.AddEdge(event.u, event.v);
+        if (event.is_add_edge) {
+          engine.AddEdge(event.u, event.v);
+        } else {
+          // The generator only removes edges it previously added, so
+          // the full-removal contract is always satisfied here.
+          engine.RemoveEdge(event.u, event.v);
+        }
         ++stats.writes;
       } else {
         pending.push_back(event.query);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 #include "util/fault.h"
@@ -80,15 +82,47 @@ Workload GenerateWorkload(const WorkloadOptions& options, NodeId num_nodes) {
   IMPREG_CHECK(options.num_requests >= 1);
   IMPREG_CHECK(options.batch_size >= 1);
   IMPREG_CHECK(options.seeds_per_query >= 1);
+  IMPREG_CHECK(options.remove_fraction >= 0.0 &&
+               options.remove_fraction <= 1.0);
   Workload workload;
   workload.events.reserve(static_cast<std::size_t>(options.num_requests));
   Rng rng(options.seed);
   const ZipfSampler zipf(num_nodes, options.zipf_exponent);
 
+  // Edges this workload has added and not yet removed, as packed
+  // (u, v) keys. The vector supports a uniform draw with O(1)
+  // swap-erase; the set keeps entries unique so a re-added edge is one
+  // candidate, not two. Both are deterministic in the event sequence.
+  std::vector<std::uint64_t> alive_edges;
+  std::unordered_set<std::uint64_t> alive_set;
+  const auto edge_key = [](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+  };
+
   for (int i = 0; i < options.num_requests; ++i) {
     WorkloadEvent event;
     if (options.write_fraction > 0.0 &&
         rng.NextBernoulli(options.write_fraction)) {
+      // The remove/add split is drawn for every mutation — even when
+      // no alive edge exists yet — so the Rng offsets of everything
+      // downstream never depend on the alive-set state.
+      const bool want_remove = options.remove_fraction > 0.0 &&
+                               rng.NextBernoulli(options.remove_fraction);
+      if (want_remove && !alive_edges.empty()) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.NextBounded(alive_edges.size()));
+        const std::uint64_t key = alive_edges[pick];
+        alive_edges[pick] = alive_edges.back();
+        alive_edges.pop_back();
+        alive_set.erase(key);
+        event.is_remove_edge = true;
+        event.u = static_cast<NodeId>(key >> 32);
+        event.v = static_cast<NodeId>(key & 0xffffffffull);
+        workload.events.push_back(std::move(event));
+        continue;
+      }
       // Mutations attach a uniform endpoint to a Zipf-popular one, so
       // the hot head of the popularity curve is also where the graph
       // grows — the adversarial case for cached/warm-restart state.
@@ -97,6 +131,9 @@ Workload GenerateWorkload(const WorkloadOptions& options, NodeId num_nodes) {
       event.v = static_cast<NodeId>(rng.NextBounded(
           static_cast<std::uint64_t>(num_nodes)));
       if (event.v == event.u) event.v = (event.v + 1) % num_nodes;
+      if (alive_set.insert(edge_key(event.u, event.v)).second) {
+        alive_edges.push_back(edge_key(event.u, event.v));
+      }
     } else {
       Query& q = event.query;
       q.method = options.method;

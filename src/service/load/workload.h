@@ -69,8 +69,13 @@ struct WorkloadOptions {
   int num_requests = 1024;
   /// Zipf exponent for seed popularity (0 = uniform).
   double zipf_exponent = 1.1;
-  /// Fraction of events that are AddEdge mutations (the write mix).
+  /// Fraction of events that are graph mutations (the write mix).
   double write_fraction = 0.0;
+  /// Of the mutation events, the fraction that are RemoveEdge (full
+  /// removals of an edge this workload previously added). Draws are
+  /// made for every mutation to keep Rng offsets stable, but a remove
+  /// falls back to an add while no generator-added edge is alive.
+  double remove_fraction = 0.0;
   ArrivalPattern pattern = ArrivalPattern::kSteady;
   /// Nominal closed-loop batch size (the pattern scales around it).
   int batch_size = 16;
@@ -86,12 +91,14 @@ struct WorkloadOptions {
   std::int64_t max_work = 0;
 };
 
-/// One generated event: a query, or an AddEdge mutation.
+/// One generated event: a query, an AddEdge, or a RemoveEdge mutation.
 struct WorkloadEvent {
   bool is_add_edge = false;
-  NodeId u = 0;  ///< Mutation endpoints (valid when is_add_edge).
+  /// A full removal (weight 0.0) of an edge a previous event added.
+  bool is_remove_edge = false;
+  NodeId u = 0;  ///< Mutation endpoints (valid for either mutation).
   NodeId v = 0;
-  Query query;   ///< Valid when !is_add_edge.
+  Query query;   ///< Valid when neither mutation flag is set.
 };
 
 /// A materialized workload: the event stream plus its batch partition.

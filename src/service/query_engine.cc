@@ -132,6 +132,9 @@ struct QueryEngine::WorkItem {
   bool has_state = false;
   Vector state_p;
   Vector state_r;
+  /// Read region of the computed answer (push fills an explicit
+  /// fingerprint; whole-graph methods keep the default all-region).
+  RegionFingerprint region;
 };
 
 QueryEngine::QueryEngine(const Graph& initial)
@@ -186,14 +189,42 @@ void QueryEngine::BuildShards() {
   }
 }
 
+void QueryEngine::FinishEdit(NodeId u, NodeId v) {
+  ++epoch_;
+  // The edit retired epoch_ - 1: entries stamped with it stop being
+  // current-epoch answers (O(1) accounting from the per-epoch counts).
+  // The surgical pass below then decides, per entry, whether the edit
+  // actually touches its read region — only those evict or demote.
+  cache_.NoteEpochBump(epoch_ - 1);
+  if (options_.surgical_invalidation) {
+    cache_.InvalidateRegion(u, v);
+  } else {
+    cache_.InvalidateAll();
+  }
+  edit_journal_.push_back(EditRecord{epoch_, u, v});
+  if (edit_journal_.size() > kEditJournalCapacity) edit_journal_.pop_front();
+}
+
 void QueryEngine::AddEdge(NodeId u, NodeId v, double weight) {
   graph_.AddEdge(u, v, weight);
   if (shards_ != nullptr) shards_->AddEdge(u, v, weight, graph_);
-  ++epoch_;
-  // The edit retired epoch_ - 1: every cached exact key from that epoch
-  // just went stale (state-bearing ones demote to warm service).
-  cache_.NoteEpochBump(epoch_ - 1);
+  FinishEdit(u, v);
   IMPREG_METRIC_COUNT("service.engine.add_edges", 1);
+}
+
+void QueryEngine::RemoveEdge(NodeId u, NodeId v, double weight) {
+  graph_.RemoveEdge(u, v, weight);
+  if (shards_ != nullptr) shards_->RemoveEdge(u, v, weight, graph_);
+  FinishEdit(u, v);
+  IMPREG_METRIC_COUNT("service.engine.remove_edges", 1);
+}
+
+void QueryEngine::ReplayEditInvalidation(NodeId u, NodeId v) {
+  if (options_.surgical_invalidation) {
+    cache_.InvalidateRegion(u, v);
+  } else {
+    cache_.InvalidateAll();
+  }
 }
 
 void QueryEngine::RestoreEpoch(std::int64_t epoch) {
@@ -208,15 +239,9 @@ bool QueryEngine::RestoreCachedResult(const std::string& key,
   return cache_.Insert(key, warm_key, std::move(result));
 }
 
-std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch) {
-  return CanonicalKey(query, epoch, /*routing_epoch=*/0);
-}
-
-std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch,
-                                      std::int64_t routing_epoch) {
+std::string QueryEngine::CanonicalKey(const Query& query) {
   const std::vector<NodeId> seeds = CanonicalSeeds(query.seeds);
   std::string key = QueryMethodName(query.method);
-  key += "|epoch=" + std::to_string(epoch);
   switch (query.method) {
     case QueryMethod::kPprPush:
       key += "|gamma=" + FormatParam(query.gamma) +
@@ -239,14 +264,10 @@ std::string QueryEngine::CanonicalKey(const Query& query, std::int64_t epoch,
   }
   key += "|work=" + std::to_string(query.max_work);
   key += "|seeds=" + SeedFingerprint(seeds);
-  // The sharded world keys the *routing* state too: a halo-membership
-  // change re-routes escalation without necessarily producing different
-  // bits at the same graph epoch, but answers computed under different
-  // placements must never collide in the cache (the pre-fix dedup
-  // collision pinned by ShardingTest.RoutingEpochInCacheKey). Routing
-  // epoch 0 (unsharded, or sharded before any halo change) emits
-  // nothing, so unsharded keys are byte-identical to the old scheme.
-  if (routing_epoch != 0) key += "|route=" + std::to_string(routing_epoch);
+  // Deliberately absent: graph epoch (per-entry validity state — the
+  // insert stamp, region fingerprint, and warm-only flag say whether
+  // an entry may serve) and shard routing state (shard-count
+  // invariance: placement never changes answer bits).
   return key;
 }
 
@@ -326,6 +347,22 @@ void QueryEngine::ExecutePush(WorkItem& item,
     pushes = StandardFormPushOver(view, opts, p, r, queue, queued, diag);
   } else {
     pushes = StandardFormPush(graph, opts, p, r, queue, queued, diag);
+  }
+
+  // Fingerprint the read region: every row this push — or a
+  // from-scratch recompute of it — can read lies in supp(p) ∪ supp(r)
+  // ∪ supp(seed) plus their one-hop neighborhoods (the threshold check
+  // reads the degree of every node residual is scattered to). An edit
+  // outside that region leaves the cached answer exactly valid — bit
+  // for bit — which is what surgical invalidation serves on.
+  item.region.Reset();
+  for (NodeId s : q.seeds) item.region.Add(s);
+  for (NodeId u = 0; u < n; ++u) {
+    if (p[u] == 0.0 && r[u] == 0.0) continue;
+    item.region.Add(u);
+    for (const DynamicGraph::Neighbor& nb : graph.Neighbors(u)) {
+      item.region.Add(nb.head);
+    }
   }
 
   item.response.scores = p;
@@ -586,7 +623,6 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
   // path (bit-identical answers either way; only the locality counters
   // differ).
   const bool sharded = shards_ != nullptr && snap.epoch() == epoch_;
-  const std::int64_t routing_epoch = sharded ? shards_->routing_epoch() : 0;
   std::vector<QueryResponse> out(queries.size());
   std::vector<int> slot(queries.size(), -1);
   std::vector<std::unique_ptr<WorkItem>> items;
@@ -639,7 +675,7 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
                                  : granted;
       }
     }
-    std::string key = CanonicalKey(canonical, snap.epoch(), routing_epoch);
+    std::string key = CanonicalKey(canonical);
     const auto duplicate = dedup.find(key);
     if (duplicate != dedup.end()) {
       slot[i] = duplicate->second;
@@ -667,7 +703,10 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
   if (options_.enable_cache) {
     for (auto& owned : items) {
       WorkItem& item = *owned;
-      const CachedResult* hit = cache_.Lookup(item.key);
+      // Epoch-aware: an entry serves only when it is still exactly
+      // valid (not demoted) and was inserted at or before the pinned
+      // snapshot's epoch.
+      const CachedResult* hit = cache_.Lookup(item.key, snap.epoch());
       if (hit != nullptr) {
         item.response.scores = hit->scores;
         item.response.set = hit->set;
@@ -761,15 +800,40 @@ std::vector<QueryResponse> QueryEngine::RunBatchOn(
       cached.status = item.response.status;
       cached.detail = item.response.detail;
       // Epoch-stamped unconditionally: the stamp drives the
-      // invalidation accounting at the next AddEdge (NoteEpochBump),
-      // and for pinned-view batches it records the epoch the answer is
-      // exact at.
+      // invalidation accounting at the next edit (NoteEpochBump), and
+      // it records the epoch the answer is exact at — older pinned
+      // snapshots never see it.
       cached.epoch = snap.epoch();
+      cached.region = item.region;
       if (item.has_state) {
         cached.has_state = true;
         cached.p = std::move(item.state_p);
         cached.r = std::move(item.state_r);
         cached.epsilon = item.query.epsilon;
+      }
+      // A batch pinned at an older snapshot may have missed edits that
+      // landed since. Consult the edit journal: if any missed edit
+      // touches this answer's region — or the missed window outgrew
+      // the journal — the exact answer is already stale on the live
+      // graph, so keep it as a warm-restart source only (or drop it
+      // when it carries no state).
+      if (snap.epoch() < epoch_) {
+        bool stale = !options_.surgical_invalidation ||
+                     epoch_ - snap.epoch() >
+                         static_cast<std::int64_t>(edit_journal_.size());
+        if (!stale) {
+          for (const EditRecord& e : edit_journal_) {
+            if (e.epoch <= snap.epoch()) continue;
+            if (cached.region.CoversEdit(e.u, e.v)) {
+              stale = true;
+              break;
+            }
+          }
+        }
+        if (stale) {
+          if (!cached.has_state) continue;
+          cached.warm_only = true;
+        }
       }
       cache_.Insert(item.key, item.warm_key, std::move(cached));
     }

@@ -2,6 +2,7 @@
 #define IMPREG_SERVICE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -33,9 +34,12 @@
 ///    and driven in lockstep through LinearOperator::ApplyBatch — one
 ///    adjacency traversal per Richardson step for the whole group, each
 ///    column bit-identical to its solo solve;
-///  - results land in a deterministic FIFO ResultCache keyed by (graph
-///    epoch, method, parameters, seed fingerprint); push-family entries
-///    keep their (p, r) invariant pair, so a tighter-ε or post-AddEdge
+///  - results land in a deterministic FIFO ResultCache keyed by
+///    (method, parameters, seed fingerprint) — epochs are per-entry
+///    validity state, not key material, so an edit that misses an
+///    entry's read region leaves it exactly servable (surgical
+///    invalidation; see service/result_cache.h). Push-family entries
+///    keep their (p, r) invariant pair, so a tighter-ε or post-edit
 ///    re-query warm-restarts from the residual (InvariantResidual — the
 ///    IncrementalPersonalizedPageRank repair generalized) instead of
 ///    recomputing.
@@ -147,6 +151,12 @@ class QueryEngine {
     std::size_t cache_capacity = 256;
     /// Disable to force every query cold (determinism tests, benches).
     bool enable_cache = true;
+    /// Surgical invalidation (the default): an edit evicts or demotes
+    /// only the cached entries whose region fingerprint it touches;
+    /// everything else keeps serving exact bits. Disable to restore
+    /// the invalidate-the-world baseline (every edit retires every
+    /// exact entry) — kept for the cache-retention benchmark.
+    bool surgical_invalidation = true;
     /// Cache-aware relabeling of the frozen CSR snapshot the
     /// dense/heat-kernel/nibble solvers run on. Dense answers map back
     /// *bitwise* (ApplyBatch is label-invariant and convergence is
@@ -192,12 +202,21 @@ class QueryEngine {
   QueryEngine(const DynamicGraph& initial, const Options& options);
 
   /// Inserts undirected edge {u, v} and bumps the graph epoch. Cached
-  /// entries from older epochs stop exact-matching but remain
-  /// warm-restart sources for the push family (the demotion is counted:
-  /// service.cache.invalidated / service.cache.warm_demoted). Pinned
-  /// snapshot views are unaffected — the graph clones its shared
-  /// representation before mutating (copy-on-write).
+  /// entries whose region fingerprint the edit touches are evicted or
+  /// demoted to warm-restart-only service (surgical invalidation;
+  /// counted in service.cache.region_evicted / region_demoted) —
+  /// entries elsewhere keep serving exact bits. Pinned snapshot views
+  /// are unaffected — the graph clones its shared representation
+  /// before mutating (copy-on-write).
   void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Removes weight from undirected edge {u, v}
+  /// (DynamicGraph::RemoveEdge semantics: 0.0 = remove entirely; the
+  /// edge must exist — wire callers pre-validate with
+  /// graph().EdgeWeight). Bumps the epoch and invalidates surgically,
+  /// exactly like AddEdge: removal is just the other sign of the same
+  /// two-column update.
+  void RemoveEdge(NodeId u, NodeId v, double weight = 0.0);
 
   /// Pins the current (graph, epoch) as an immutable O(1) view. A batch
   /// run against the view answers at exactly that epoch no matter how
@@ -217,7 +236,8 @@ class QueryEngine {
   /// possibly several AddEdges ago). Results and cache mutations are a
   /// pure function of (snapshot, cache state, queries): bit-identical
   /// whether concurrent insertions landed during or after the batch,
-  /// at any thread count. Cache keys use the snapshot's epoch, so
+  /// at any thread count. Inserted entries are stamped with the
+  /// snapshot's epoch (and validated against the edit journal), so
   /// answers computed against an old view never masquerade as
   /// current-epoch entries.
   std::vector<QueryResponse> RunBatchOn(const DynamicGraph::SnapshotView& snap,
@@ -234,14 +254,24 @@ class QueryEngine {
 
   /// Re-admits a persisted cache entry (durability snapshot restore).
   /// Same containment as any insert: non-finite payloads are rejected
-  /// (returns false). Entries restored from an older epoch exact-match
-  /// only if the epoch still agrees; otherwise they serve as warm
-  /// (p, r) sources that re-converge via InvariantResidual on first
-  /// use — warm-start survives restart.
+  /// (returns false). The entry's persisted validity state (epoch
+  /// stamp, region fingerprint, warm-only flag) is restored verbatim;
+  /// recovery then replays the invalidation of every WAL-suffix edit
+  /// (ReplayEditInvalidation), so the restored cache makes exactly the
+  /// decisions the live engine made — warm-start survives restart.
   bool RestoreCachedResult(const std::string& key, const std::string& warm_key,
                            CachedResult result);
 
-  /// Monotone edit counter; part of every exact cache key.
+  /// Re-applies one edit's cache invalidation during crash recovery.
+  /// The WAL suffix was already replayed onto the graph before the
+  /// engine was built, so this touches only the restored cache entries
+  /// — graph and epoch stay as restored. Call once per replayed edit,
+  /// in replay order, after the cache entries are restored.
+  void ReplayEditInvalidation(NodeId u, NodeId v);
+
+  /// Monotone edit counter. Not part of the cache key — entries carry
+  /// their insert epoch as per-entry validity state (a batch pinned at
+  /// an older snapshot never sees a newer answer).
   std::int64_t Epoch() const { return epoch_; }
 
   const DynamicGraph& graph() const { return graph_; }
@@ -262,29 +292,43 @@ class QueryEngine {
   const ShardSet* shards() const { return shards_.get(); }
   ShardSet* mutable_shards() { return shards_.get(); }
 
-  /// The routing epoch the cache key carries (0 when unsharded —
-  /// unsharded keys are byte-identical to the pre-sharding scheme).
+  /// The shard routing epoch (0 when unsharded). Governs placement
+  /// and escalation only — shard-count invariance means routing state
+  /// never changes answer bits, so it is not cache-key material
+  /// (persisted in the shard manifest for placement recovery).
   std::int64_t RoutingEpoch() const {
     return shards_ ? shards_->routing_epoch() : 0;
   }
 
-  /// The canonical exact cache key for `query` at `epoch` (exposed so
-  /// tests can pin the keying scheme). Seeds are fingerprinted sorted
-  /// and deduplicated; parameters print as %.17g. The two-argument
-  /// form keys the unsharded world (routing epoch 0).
-  static std::string CanonicalKey(const Query& query, std::int64_t epoch);
-  /// Sharded form: a nonzero `routing_epoch` (halo membership changed
-  /// since shard build) is appended to the key, so two textually equal
-  /// queries straddling a routing change never collide.
-  static std::string CanonicalKey(const Query& query, std::int64_t epoch,
-                                  std::int64_t routing_epoch);
+  /// The canonical exact cache key for `query` (exposed so tests can
+  /// pin the keying scheme). Seeds are fingerprinted sorted and
+  /// deduplicated; parameters print as %.17g. Deliberately epoch-free:
+  /// validity lives on the entry (insert-epoch stamp + region
+  /// fingerprint + warm-only flag), which is what lets an answer
+  /// outlive edits that miss its region.
+  static std::string CanonicalKey(const Query& query);
 
  private:
   struct WorkItem;
 
+  /// One applied edit, journaled so phase-4 inserts from batches
+  /// pinned at older snapshots can be validated against the edits they
+  /// missed. `epoch` is the counter value the edit produced.
+  struct EditRecord {
+    std::int64_t epoch;
+    NodeId u;
+    NodeId v;
+  };
+  static constexpr std::size_t kEditJournalCapacity = 4096;
+
   /// Builds (or rebuilds) the shard set from the current graph when
   /// options request shards > 1. Failure leaves shards_ null.
   void BuildShards();
+
+  /// Shared edit tail: bump the epoch, retire the old epoch's
+  /// accounting, invalidate surgically (or wholesale, per options),
+  /// and journal the edit.
+  void FinishEdit(NodeId u, NodeId v);
 
   /// The frozen CSR snapshot of the batch's pinned epoch (rebuilt
   /// lazily when the pinned epoch changes); used by the
@@ -312,6 +356,10 @@ class QueryEngine {
   std::unique_ptr<ReorderedGraph> reordered_;
   std::int64_t reordered_epoch_ = -1;
   std::unique_ptr<ShardSet> shards_;
+  /// The last kEditJournalCapacity edits, oldest first (consecutive
+  /// epochs). A stale-snapshot insert whose missed window outgrew the
+  /// journal is conservatively demoted to warm-only.
+  std::deque<EditRecord> edit_journal_;
 };
 
 }  // namespace impreg

@@ -1,5 +1,8 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "core/metrics.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -18,13 +21,36 @@ bool PayloadFinite(const CachedResult& result) {
 
 }  // namespace
 
+int RegionFingerprint::Bucket(NodeId u) {
+  // splitmix64 finalizer — deterministic across platforms and runs,
+  // which is what keeps invalidation replay-exact.
+  std::uint64_t x = static_cast<std::uint64_t>(static_cast<std::uint32_t>(u));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x & static_cast<std::uint64_t>(kBits - 1));
+}
+
+void RegionFingerprint::Add(NodeId u) {
+  const int b = Bucket(u);
+  words[static_cast<std::size_t>(b >> 6)] |= std::uint64_t{1} << (b & 63);
+}
+
+bool RegionFingerprint::Covers(NodeId u) const {
+  const int b = Bucket(u);
+  return ((words[static_cast<std::size_t>(b >> 6)] >> (b & 63)) & 1) != 0;
+}
+
 ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
   IMPREG_CHECK_MSG(capacity_ >= 1, "cache capacity must be >= 1");
 }
 
-const CachedResult* ResultCache::Lookup(const std::string& key) {
+const CachedResult* ResultCache::Lookup(const std::string& key,
+                                        std::int64_t snapshot_epoch) {
   const auto it = index_.find(key);
-  if (it == index_.end()) {
+  if (it == index_.end() || it->second->result.warm_only ||
+      it->second->result.epoch > snapshot_epoch) {
     ++stats_.misses;
     IMPREG_METRIC_COUNT("service.cache.misses", 1);
     return nullptr;
@@ -42,6 +68,74 @@ const CachedResult* ResultCache::WarmLookup(const std::string& warm_key) {
   return &it->second->result;
 }
 
+void ResultCache::AddToRegionIndex(Entry* e) {
+  if (e->result.warm_only) return;
+  if (e->result.region.all) {
+    all_region_.push_back(e);
+    return;
+  }
+  const RegionFingerprint& fp = e->result.region;
+  for (int w = 0; w < RegionFingerprint::kWords; ++w) {
+    std::uint64_t bits = fp.words[static_cast<std::size_t>(w)];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      region_buckets_[static_cast<std::size_t>((w << 6) | bit)].push_back(e);
+    }
+  }
+}
+
+void ResultCache::RemoveFromRegionIndex(Entry* e) {
+  if (e->result.warm_only) return;  // Deregistered at demotion.
+  const auto drop = [&](std::vector<Entry*>& bucket) {
+    const auto it = std::find(bucket.begin(), bucket.end(), e);
+    if (it != bucket.end()) bucket.erase(it);  // Order-preserving.
+  };
+  if (e->result.region.all) {
+    drop(all_region_);
+    return;
+  }
+  const RegionFingerprint& fp = e->result.region;
+  for (int w = 0; w < RegionFingerprint::kWords; ++w) {
+    std::uint64_t bits = fp.words[static_cast<std::size_t>(w)];
+    while (bits != 0) {
+      const int bit = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      drop(region_buckets_[static_cast<std::size_t>((w << 6) | bit)]);
+    }
+  }
+}
+
+void ResultCache::AccountInsert(const CachedResult& result) {
+  EpochCounts& bucket = epoch_counts_[result.epoch];
+  ++bucket.entries;
+  if (result.has_state) ++bucket.state_bearing;
+  if (!result.warm_only) ++exact_entries_;
+}
+
+void ResultCache::AccountErase(const CachedResult& result) {
+  const auto it = epoch_counts_.find(result.epoch);
+  if (it != epoch_counts_.end()) {
+    // A missing bucket means NoteEpochBump already retired this epoch
+    // and consumed its count — nothing left to maintain.
+    --it->second.entries;
+    if (result.has_state) --it->second.state_bearing;
+    if (it->second.entries == 0) epoch_counts_.erase(it);
+  }
+  if (!result.warm_only) --exact_entries_;
+}
+
+void ResultCache::EraseEntry(EntryList::iterator entry) {
+  RemoveFromRegionIndex(&*entry);
+  AccountErase(entry->result);
+  index_.erase(entry->key);
+  const auto warm = warm_index_.find(entry->warm_key);
+  if (warm != warm_index_.end() && warm->second == entry) {
+    warm_index_.erase(warm);
+  }
+  entries_.erase(entry);
+}
+
 bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
                          CachedResult result) {
   // The one place a computed answer crosses into long-lived state — the
@@ -56,15 +150,26 @@ bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
 
   const auto existing = index_.find(key);
   if (existing != index_.end()) {
+    if (existing->second->result.epoch > result.epoch &&
+        !existing->second->result.warm_only) {
+      // A still-valid answer from a newer graph is already stored; an
+      // insert from a batch pinned at an older snapshot adds nothing.
+      return false;
+    }
     // Replace in place: the entry keeps its insertion-order position
-    // (replacement is not an insertion for eviction purposes).
+    // (replacement is not an insertion for eviction purposes). A
+    // replaced warm-only entry resurrects with the new result's flags.
     EntryList::iterator entry = existing->second;
+    RemoveFromRegionIndex(&*entry);
+    AccountErase(entry->result);
     const auto old_warm = warm_index_.find(entry->warm_key);
     if (old_warm != warm_index_.end() && old_warm->second == entry) {
       warm_index_.erase(old_warm);
     }
     entry->warm_key = warm_key;
     entry->result = std::move(result);
+    AccountInsert(entry->result);
+    AddToRegionIndex(&*entry);
     if (entry->result.has_state && !warm_key.empty()) {
       warm_index_[warm_key] = entry;
     }
@@ -76,20 +181,16 @@ bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
   if (entries_.size() >= capacity_) {
     // FIFO: evict the oldest insertion — never access recency, so the
     // retained set after any request sequence is replay-deterministic.
-    EntryList::iterator oldest = entries_.begin();
-    index_.erase(oldest->key);
-    const auto warm = warm_index_.find(oldest->warm_key);
-    if (warm != warm_index_.end() && warm->second == oldest) {
-      warm_index_.erase(warm);
-    }
-    entries_.pop_front();
     ++stats_.evictions;
     IMPREG_METRIC_COUNT("service.cache.evictions", 1);
+    EraseEntry(entries_.begin());
   }
 
   entries_.push_back(Entry{key, warm_key, std::move(result)});
   EntryList::iterator entry = std::prev(entries_.end());
   index_[key] = entry;
+  AccountInsert(entry->result);
+  AddToRegionIndex(&*entry);
   if (entry->result.has_state && !warm_key.empty()) {
     // Latest insertion wins the warm slot: it is the freshest (p, r)
     // for this (method, γ, seed) fingerprint.
@@ -100,13 +201,72 @@ bool ResultCache::Insert(const std::string& key, const std::string& warm_key,
   return true;
 }
 
+void ResultCache::ApplyInvalidation(const std::vector<Entry*>& affected) {
+  const std::int64_t exact_before = exact_entries_;
+  std::int64_t evicted = 0;
+  std::int64_t demoted = 0;
+  for (Entry* e : affected) {
+    if (e->result.has_state && !e->warm_key.empty()) {
+      // Demote: the exact answer is stale, but (p, r) is still a sound
+      // warm-restart point — keep it servable through the warm index.
+      RemoveFromRegionIndex(e);
+      e->result.warm_only = true;
+      --exact_entries_;
+      ++demoted;
+    } else {
+      const auto it = index_.find(e->key);
+      IMPREG_CHECK_MSG(it != index_.end(),
+                       "region index points at an unindexed entry");
+      EraseEntry(it->second);
+      ++evicted;
+    }
+  }
+  stats_.region_evicted += evicted;
+  stats_.region_demoted += demoted;
+  stats_.region_retained += exact_before - evicted - demoted;
+  IMPREG_METRIC_COUNT("service.cache.region_evicted", evicted);
+  IMPREG_METRIC_COUNT("service.cache.region_demoted", demoted);
+  IMPREG_METRIC_COUNT("service.cache.region_retained",
+                      exact_before - evicted - demoted);
+}
+
+void ResultCache::InvalidateRegion(NodeId u, NodeId v) {
+  // Gather the affected entries: the two hash buckets plus every
+  // whole-graph entry. Deduplicate — u and v may share a bucket, and
+  // bucket membership is exactly "fingerprint bit set", so no further
+  // filtering is possible (the fingerprint is lossy by design;
+  // collisions over-evict, never under-evict).
+  std::vector<Entry*> affected;
+  std::unordered_set<Entry*> seen;
+  const auto gather = [&](const std::vector<Entry*>& bucket) {
+    for (Entry* e : bucket) {
+      if (seen.insert(e).second) affected.push_back(e);
+    }
+  };
+  gather(
+      region_buckets_[static_cast<std::size_t>(RegionFingerprint::Bucket(u))]);
+  gather(
+      region_buckets_[static_cast<std::size_t>(RegionFingerprint::Bucket(v))]);
+  gather(all_region_);
+  ApplyInvalidation(affected);
+}
+
+void ResultCache::InvalidateAll() {
+  std::vector<Entry*> affected;
+  for (Entry& e : entries_) {
+    if (!e.result.warm_only) affected.push_back(&e);
+  }
+  ApplyInvalidation(affected);
+}
+
 void ResultCache::NoteEpochBump(std::int64_t retired_epoch) {
   std::int64_t invalidated = 0;
   std::int64_t demoted = 0;
-  for (const Entry& e : entries_) {
-    if (e.result.epoch != retired_epoch) continue;
-    ++invalidated;
-    if (e.result.has_state) ++demoted;
+  const auto it = epoch_counts_.find(retired_epoch);
+  if (it != epoch_counts_.end()) {
+    invalidated = it->second.entries;
+    demoted = it->second.state_bearing;
+    epoch_counts_.erase(it);
   }
   stats_.invalidated += invalidated;
   stats_.warm_demoted += demoted;
@@ -134,6 +294,10 @@ void ResultCache::Clear() {
   entries_.clear();
   index_.clear();
   warm_index_.clear();
+  for (std::vector<Entry*>& bucket : region_buckets_) bucket.clear();
+  all_region_.clear();
+  epoch_counts_.clear();
+  exact_entries_ = 0;
 }
 
 }  // namespace impreg

@@ -98,6 +98,43 @@ void ShardSet::AddEdge(NodeId u, NodeId v, double weight,
   IMPREG_METRIC_COUNT("service.shard.replicated_edges", t != s ? 1 : 0);
 }
 
+void ShardSet::RemoveEdge(NodeId u, NodeId v, double weight,
+                          const DynamicGraph& global) {
+  IMPREG_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  const int s = plan_.owner[u];
+  const int t = plan_.owner[v];
+  slices_[s].RemoveEdge(u, v, weight);
+  if (t != s) slices_[t].RemoveEdge(u, v, weight);
+
+  bool halo_changed = false;
+  if (t != s && slices_[s].EdgeWeight(u, v) == 0.0) {
+    // Full removal of a cross-shard edge: if a mirrored halo row just
+    // emptied, the node left that shard's halo — drop its degree
+    // replica and record the membership change.
+    if (slices_[s].Neighbors(v).empty()) {
+      halo_changed |= halo_dynamic_degrees_[s].erase(v) > 0;
+    }
+    if (slices_[t].Neighbors(u).empty()) {
+      halo_changed |= halo_dynamic_degrees_[t].erase(u) > 0;
+    }
+  }
+  // Surviving replicas of u's and v's degree bits refresh from the
+  // global accumulator — replicas always serve exactly the global bits.
+  for (int x = 0; x < shards(); ++x) {
+    auto& halo = halo_dynamic_degrees_[x];
+    const auto iu = halo.find(u);
+    if (iu != halo.end()) iu->second = global.Degree(u);
+    const auto iv = halo.find(v);
+    if (iv != halo.end()) iv->second = global.Degree(v);
+  }
+  if (halo_changed) {
+    ++routing_epoch_;
+    IMPREG_METRIC_COUNT("service.shard.routing_epoch_bumps", 1);
+  }
+  IMPREG_METRIC_COUNT("service.shard.routed_removes", 1);
+  IMPREG_METRIC_COUNT("service.shard.replicated_removes", t != s ? 1 : 0);
+}
+
 void ShardSet::EnsureFrozen(std::int64_t epoch) {
   if (FrozenAt(epoch)) return;
   frozen_.clear();

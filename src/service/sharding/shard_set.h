@@ -86,10 +86,12 @@ class ShardSet {
   const ShardPlan& plan() const { return plan_; }
   const ShardRouter& router() const { return router_; }
 
-  /// Bumped whenever a routed edge changes halo membership (a new
-  /// cross-shard adjacency). Part of the canonical query key: two
-  /// queries straddling a routing-epoch bump are semantically
-  /// different even at equal graph epochs.
+  /// Bumped whenever a routed edit changes halo membership (a new
+  /// cross-shard adjacency appears, or the last one between a node and
+  /// a shard disappears). Governs placement and escalation bookkeeping
+  /// only — shard-count invariance means routing state never changes
+  /// answer bits, so it is not cache-key material. Persisted in the
+  /// shard manifest so restarts resume the placement history.
   std::int64_t routing_epoch() const { return routing_epoch_; }
 
   /// Routes one already-applied global edge into the owning slice(s).
@@ -98,6 +100,18 @@ class ShardSet {
   /// accumulator bits. Call *after* `global.AddEdge(u, v, w)`.
   void AddEdge(NodeId u, NodeId v, double weight,
                const DynamicGraph& global);
+
+  /// Routes one already-applied global removal into the owning
+  /// slice(s) (DynamicGraph::RemoveEdge semantics — the edge must
+  /// exist in the slices, which it does whenever the global removal
+  /// succeeded). A full removal of a cross-shard edge shrinks both
+  /// halos' mirrored rows; when a node's last mirrored arc into a
+  /// shard disappears, its degree replica is dropped and the routing
+  /// epoch bumps (membership changed). Surviving replicas of u and v
+  /// are refreshed from `global`'s exact accumulator bits. Call
+  /// *after* `global.RemoveEdge(u, v, w)`.
+  void RemoveEdge(NodeId u, NodeId v, double weight,
+                  const DynamicGraph& global);
 
   /// (Re)freezes every slice at `epoch` if not already frozen there:
   /// per-shard CSR slices, frozen-degree halo replicas, and the global

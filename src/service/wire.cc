@@ -50,10 +50,34 @@ bool ReadNumber(const JsonValue& obj, const char* key, double* out) {
   return true;
 }
 
+/// True iff `d` is an integral double that fits std::int64_t exactly —
+/// the guard that keeps `static_cast<std::int64_t>(d)` defined
+/// behavior (a double ≥ 2^63 or NaN makes the bare cast UB).
+bool IsExactInt64(double d) {
+  return std::isfinite(d) && d == std::floor(d) &&
+         d >= -9223372036854775808.0 && d < 9223372036854775808.0;
+}
+
 bool ReadInt(const JsonValue& obj, const char* key, std::int64_t* out) {
   double d = 0.0;
   if (!ReadNumber(obj, key, &d)) return false;
+  // Non-integral or out-of-range numbers are treated as absent, never
+  // truncated: a caller that must distinguish (edit endpoints) reads
+  // the raw number itself and reports the parse error.
+  if (!IsExactInt64(d)) return false;
   *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+/// Reads one edit-endpoint id: must be present, integral, and in
+/// NodeId range. Anything else is a hard parse error.
+bool ReadNodeId(const JsonValue& obj, const char* key, NodeId* out) {
+  double d = 0.0;
+  if (!ReadNumber(obj, key, &d)) return false;
+  if (!IsExactInt64(d) || d < -2147483648.0 || d > 2147483647.0) {
+    return false;
+  }
+  *out = static_cast<NodeId>(d);
   return true;
 }
 
@@ -80,20 +104,26 @@ bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
   const JsonValue* op_value = obj.FindOfType("op", JsonValue::Type::kString);
   if (op_value != nullptr) op = op_value->AsString();
 
-  if (op == "add-edge") {
-    out->is_add_edge = true;
-    std::int64_t u = 0;
-    std::int64_t v = 0;
-    if (!ReadInt(obj, "u", &u) || !ReadInt(obj, "v", &v)) {
-      *error = "add-edge requires numeric \"u\" and \"v\"";
+  if (op == "add-edge" || op == "remove-edge") {
+    out->is_add_edge = op == "add-edge";
+    out->is_remove_edge = !out->is_add_edge;
+    if (!ReadNodeId(obj, "u", &out->u) || !ReadNodeId(obj, "v", &out->v)) {
+      *error = op + " requires integral \"u\" and \"v\" in node-id range";
       return false;
     }
-    out->u = static_cast<NodeId>(u);
-    out->v = static_cast<NodeId>(v);
-    double weight = 1.0;
+    // Defaults differ: an add accumulates 1.0; a remove's 0.0 means
+    // "remove the edge entirely".
+    out->weight = out->is_add_edge ? 1.0 : 0.0;
+    double weight = 0.0;
     if (ReadNumber(obj, "weight", &weight)) {
-      if (!(weight > 0.0) || !std::isfinite(weight)) {
-        *error = "add-edge weight must be a finite positive number";
+      const bool valid = out->is_add_edge
+                             ? std::isfinite(weight) && weight > 0.0
+                             : std::isfinite(weight) && weight >= 0.0;
+      if (!valid) {
+        *error = out->is_add_edge
+                     ? "add-edge weight must be a finite positive number"
+                     : "remove-edge weight must be a finite non-negative "
+                       "number (0 = remove entirely)";
         return false;
       }
       out->weight = weight;
@@ -101,7 +131,8 @@ bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
     return true;
   }
   if (op != "query") {
-    *error = "unknown op \"" + op + "\" (expected \"query\" or \"add-edge\")";
+    *error = "unknown op \"" + op +
+             "\" (expected \"query\", \"add-edge\", or \"remove-edge\")";
     return false;
   }
 
@@ -120,11 +151,13 @@ bool ParseQueryRequest(const std::string& json_line, QueryRequest* out,
     return false;
   }
   for (const JsonValue& s : seeds->Items()) {
-    if (!s.is_number()) {
-      *error = "\"seeds\" entries must be numbers";
+    const double d = s.is_number() ? s.AsDouble() : -1.0;
+    if (!s.is_number() || !IsExactInt64(d) || d < -2147483648.0 ||
+        d > 2147483647.0) {
+      *error = "\"seeds\" entries must be integers in node-id range";
       return false;
     }
-    out->query.seeds.push_back(static_cast<NodeId>(s.AsDouble()));
+    out->query.seeds.push_back(static_cast<NodeId>(d));
   }
 
   ReadNumber(obj, "gamma", &out->query.gamma);

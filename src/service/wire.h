@@ -9,11 +9,19 @@
 /// \file
 /// JSONL wire format for the query-serving layer.
 ///
-/// Requests are one JSON object per line. Two shapes:
+/// Requests are one JSON object per line. Three shapes:
 ///
 ///   {"op": "add-edge", "u": 3, "v": 7, "weight": 0.5}
+///   {"op": "remove-edge", "u": 3, "v": 7}
 ///   {"id": "q1", "method": "ppr", "seeds": [0, 4],
 ///    "gamma": 0.15, "epsilon": 1e-6, "top": 5}
+///
+/// An add-edge weight defaults to 1.0 and must be finite and positive.
+/// A remove-edge weight defaults to 0.0 — the "remove the edge
+/// entirely" sentinel — and must be finite and non-negative (a
+/// positive value is a partial weight decrement). All ids must be
+/// integral numbers in NodeId range; anything else is a parse error,
+/// never a truncated cast.
 ///
 /// `op` defaults to "query". Query fields beyond `seeds` are optional
 /// and default to the Query struct defaults; `method` is one of "ppr",
@@ -32,6 +40,9 @@ struct QueryRequest {
   std::string id;
   /// True for {"op": "add-edge", ...} lines.
   bool is_add_edge = false;
+  /// True for {"op": "remove-edge", ...} lines (weight 0.0 = remove
+  /// the edge entirely).
+  bool is_remove_edge = false;
   NodeId u = 0;
   NodeId v = 0;
   double weight = 1.0;

@@ -1,11 +1,32 @@
 #include "streaming/dynamic_graph.h"
 
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "util/check.h"
 
 namespace impreg {
+
+namespace {
+
+/// The canonical degree fold: left to right over the row, exactly the
+/// order GraphBuilder::Build accumulates. Recomputed after every row
+/// mutation so removal restores the pre-insertion bits.
+double RowSum(const std::vector<DynamicGraph::Neighbor>& row) {
+  double sum = 0.0;
+  for (const DynamicGraph::Neighbor& n : row) sum += n.weight;
+  return sum;
+}
+
+std::uint64_t ArcKey(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 DynamicGraph::DynamicGraph(NodeId num_nodes)
     : rep_(std::make_shared<Rep>()) {
@@ -36,6 +57,13 @@ DynamicGraph DynamicGraph::FromParts(
   const NodeId n = static_cast<NodeId>(adjacency.size());
   std::int64_t arcs = 0;
   std::int64_t self_loops = 0;
+  // Pairwise-symmetry ledger: every cross arc (u→v) must be mirrored by
+  // (v→u) with bitwise-equal weight, and no row may list a head twice
+  // (mutations edit both rows of an edge and accumulate in place — an
+  // asymmetric or duplicated adjacency would silently corrupt them).
+  std::unordered_set<std::uint64_t> seen_arcs;
+  std::unordered_map<std::uint64_t, double> unmatched;
+  seen_arcs.reserve(static_cast<std::size_t>(2 * num_edges));
   for (NodeId u = 0; u < n; ++u) {
     IMPREG_CHECK_MSG(std::isfinite(degrees[u]), "non-finite degree");
     for (const Neighbor& nb : adjacency[u]) {
@@ -43,10 +71,25 @@ DynamicGraph DynamicGraph::FromParts(
                        "neighbor id out of range");
       IMPREG_CHECK_MSG(std::isfinite(nb.weight) && nb.weight > 0.0,
                        "neighbor weight must be finite and positive");
+      IMPREG_CHECK_MSG(seen_arcs.insert(ArcKey(u, nb.head)).second,
+                       "duplicate neighbor entry in a row");
       ++arcs;
-      if (nb.head == u) ++self_loops;
+      if (nb.head == u) {
+        ++self_loops;
+      } else if (u < nb.head) {
+        unmatched.emplace(ArcKey(u, nb.head), nb.weight);
+      } else {
+        const auto mirror = unmatched.find(ArcKey(nb.head, u));
+        IMPREG_CHECK_MSG(mirror != unmatched.end(),
+                         "arc (u, v) present without its mirror (v, u)");
+        IMPREG_CHECK_MSG(mirror->second == nb.weight,
+                         "mirrored arcs carry different weights");
+        unmatched.erase(mirror);
+      }
     }
   }
+  IMPREG_CHECK_MSG(unmatched.empty(),
+                   "arc (u, v) present without its mirror (v, u)");
   // Each undirected edge contributes two arcs except self-loops (one).
   IMPREG_CHECK_MSG(arcs == 2 * num_edges - self_loops,
                    "arc count disagrees with the declared edge count");
@@ -54,7 +97,6 @@ DynamicGraph DynamicGraph::FromParts(
   dynamic.rep_->adjacency = std::move(adjacency);
   dynamic.rep_->degrees = std::move(degrees);
   dynamic.rep_->num_edges = num_edges;
-  dynamic.rep_->total_volume = total_volume;
   return dynamic;
 }
 
@@ -65,9 +107,24 @@ void DynamicGraph::EnsureUnique() {
   if (rep_.use_count() > 1) rep_ = std::make_shared<Rep>(*rep_);
 }
 
+double DynamicGraph::TotalVolume() const {
+  double volume = 0.0;
+  for (double d : rep_->degrees) volume += d;
+  return volume;
+}
+
+double DynamicGraph::EdgeWeight(NodeId u, NodeId v) const {
+  if (u < 0 || u >= NumNodes() || v < 0 || v >= NumNodes()) return 0.0;
+  for (const Neighbor& n : rep_->adjacency[u]) {
+    if (n.head == v) return n.weight;
+  }
+  return 0.0;
+}
+
 void DynamicGraph::AddEdge(NodeId u, NodeId v, double weight) {
   IMPREG_CHECK(u >= 0 && u < NumNodes() && v >= 0 && v < NumNodes());
-  IMPREG_CHECK_MSG(weight > 0.0, "edge weights must be strictly positive");
+  IMPREG_CHECK_MSG(std::isfinite(weight) && weight > 0.0,
+                   "edge weights must be finite and strictly positive");
   EnsureUnique();
   Rep& rep = *rep_;
   auto bump = [&](NodeId from, NodeId to) {
@@ -83,12 +140,57 @@ void DynamicGraph::AddEdge(NodeId u, NodeId v, double weight) {
   const bool existed = bump(u, v);
   if (u != v) bump(v, u);
   if (!existed) ++rep.num_edges;
-  rep.degrees[u] += weight;
-  rep.total_volume += weight;
-  if (u != v) {
-    rep.degrees[v] += weight;
-    rep.total_volume += weight;
+  rep.degrees[u] = RowSum(rep.adjacency[u]);
+  if (u != v) rep.degrees[v] = RowSum(rep.adjacency[v]);
+}
+
+void DynamicGraph::RemoveEdge(NodeId u, NodeId v, double weight) {
+  IMPREG_CHECK(u >= 0 && u < NumNodes() && v >= 0 && v < NumNodes());
+  IMPREG_CHECK_MSG(std::isfinite(weight) && weight >= 0.0,
+                   "removal weight must be finite and non-negative");
+  EnsureUnique();
+  Rep& rep = *rep_;
+  auto find = [&](NodeId from, NodeId to) -> Neighbor* {
+    for (Neighbor& n : rep.adjacency[from]) {
+      if (n.head == to) return &n;
+    }
+    return nullptr;
+  };
+  Neighbor* forward = find(u, v);
+  IMPREG_CHECK_MSG(forward != nullptr, "RemoveEdge: no such edge");
+  const double stored = forward->weight;
+  IMPREG_CHECK_MSG(weight <= stored,
+                   "RemoveEdge: removal weight exceeds the stored weight");
+  const bool full = weight == 0.0 || weight == stored;
+  if (full) {
+    auto erase = [&](NodeId from, NodeId to) {
+      std::vector<Neighbor>& row = rep.adjacency[from];
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i].head == to) {
+          // Order-preserving erase: surviving entries keep their
+          // positions, so the re-folded degree restores prior bits.
+          row.erase(row.begin() + static_cast<std::ptrdiff_t>(i));
+          return;
+        }
+      }
+    };
+    erase(u, v);
+    if (u != v) erase(v, u);
+    --rep.num_edges;
+  } else {
+    // One subtraction, mirrored bitwise (both stored weights were
+    // accumulated by the identical sequence, so they are equal going
+    // in and stay equal coming out).
+    forward->weight = stored - weight;
+    if (u != v) {
+      Neighbor* backward = find(v, u);
+      IMPREG_CHECK_MSG(backward != nullptr,
+                       "RemoveEdge: asymmetric adjacency");
+      backward->weight = stored - weight;
+    }
   }
+  rep.degrees[u] = RowSum(rep.adjacency[u]);
+  if (u != v) rep.degrees[v] = RowSum(rep.adjacency[v]);
 }
 
 Graph DynamicGraph::ToGraph() const {

@@ -10,27 +10,42 @@
 /// \file
 /// A mutable undirected graph for the streaming/dynamic algorithms of
 /// §3.3's closing paragraph (PageRank on graph streams [37], incremental
-/// Personalized PageRank on evolving networks [6]). Insert-only:
-/// real social/information streams are dominated by arrivals, and the
-/// paper's cited algorithms are insert-driven.
+/// Personalized PageRank on evolving networks [6]) — insertions *and*
+/// removals, the full evolving-network model.
 ///
 /// Storage is copy-on-write: copying a DynamicGraph (and taking a
 /// Snapshot()) is O(1) — both share one immutable representation until
 /// the next mutation, which clones it first. That is what lets the
 /// serving tier pin a frozen epoch view for a query batch while ingest
-/// keeps landing AddEdges on the live graph (SnapshotView below), and
+/// keeps landing edits on the live graph (SnapshotView below), and
 /// what the durability layer serializes: the representation preserves
-/// per-node neighbor insertion order and the exact accumulated degree
-/// bits, so a snapshot+WAL-replayed graph is bit-identical to one that
-/// never crashed (src/service/durability/).
+/// per-node neighbor insertion order and exact degree bits, so a
+/// snapshot+WAL-replayed graph is bit-identical to one that never
+/// crashed (src/service/durability/).
+///
+/// ## Canonical accounting
+///
+/// Degrees are *canonical row sums*: after any mutation of a row, the
+/// degree is recomputed as the left-to-right fold over that row's
+/// neighbor weights — exactly the fold `GraphBuilder::Build` uses, so
+/// `FromGraph` degrees are bitwise the CSR degrees. Volume is the
+/// ascending-node-order sum of degrees, computed on demand (cold
+/// paths only — the kernels read degrees, not volume). Canonical
+/// accounting is what makes removal *exactly invertible*: erasing an
+/// edge restores the row to its previous contents (order preserved),
+/// so the re-folded degree — and therefore the volume — returns to
+/// its previous bits. An incremental `degrees[u] -= w` could not:
+/// `(a + w) - w != a` in floating point.
 
 namespace impreg {
 
-/// Mutable adjacency-list graph; supports edge insertion and conversion
-/// to/from the immutable CSR Graph. Parallel insertions of the same
-/// edge accumulate weight. Deterministic iteration order (insertion
-/// order per node). Value semantics with copy-on-write sharing: copies
-/// are O(1) and diverge lazily on the first mutation of either side.
+/// Mutable adjacency-list graph; supports edge insertion and removal
+/// and conversion to/from the immutable CSR Graph. Parallel insertions
+/// of the same edge accumulate weight. Deterministic iteration order
+/// (insertion order per node; removals erase in place and preserve the
+/// order of the surviving entries). Value semantics with copy-on-write
+/// sharing: copies are O(1) and diverge lazily on the first mutation
+/// of either side.
 ///
 /// Thread-safety: one writer. A SnapshotView (or plain copy) created
 /// by the writer thread may be read concurrently from other threads
@@ -57,13 +72,18 @@ class DynamicGraph {
 
   /// Copies the edges of an immutable graph (u-major, head ≥ u arc
   /// order — the canonical load order the durability layer replays).
+  /// Rows therefore end up in ascending-head order and the row-sum
+  /// degrees are bitwise the CSR degrees.
   static DynamicGraph FromGraph(const Graph& g);
 
   /// Reassembles a graph from its exact serialized parts — adjacency in
-  /// per-node insertion order plus the *accumulated* degree/volume bits
-  /// (which depend on arrival order and cannot be recomputed without
-  /// changing rounding). Validates symmetry of the edge count and
-  /// finiteness; aborts on malformed parts (callers — the snapshot
+  /// per-node insertion order plus the degree bits (which depend on row
+  /// order and, for the sharding layer's halo slices, on rows the slice
+  /// does not hold — so they are never recomputed here). Validates arc
+  /// symmetry: the total count, per-row head uniqueness, and that every
+  /// cross arc (u→v) is mirrored by (v→u) with bitwise-equal weight —
+  /// an asymmetric adjacency would corrupt later mutations that edit
+  /// both rows. Aborts on malformed parts (callers — the snapshot
   /// loader — checksum-verify first, so this is a programming-error
   /// guard, not an input validator).
   static DynamicGraph FromParts(std::vector<std::vector<Neighbor>> adjacency,
@@ -71,13 +91,12 @@ class DynamicGraph {
                                 std::int64_t num_edges, double total_volume);
 
   /// The exact serialized parts of the graph: adjacency in per-node
-  /// insertion order plus the accumulated degree/volume bits. A deep
-  /// copy — the inverse of `FromParts`, so
-  /// `FromParts(ExportParts(g))` round-trips bit-exactly for any
-  /// graph, including degenerate topologies (empty, isolated nodes,
-  /// self-loops). The sharding layer uses this to carve owner slices
-  /// without re-deriving degree bits, and the fuzz tests use it to pin
-  /// the round-trip contract.
+  /// insertion order plus the degree/volume bits. A deep copy — the
+  /// inverse of `FromParts`, so `FromParts(ExportParts(g))` round-trips
+  /// bit-exactly for any graph, including degenerate topologies (empty,
+  /// isolated nodes, self-loops). The sharding layer uses this to carve
+  /// owner slices without re-deriving degree bits, and the fuzz tests
+  /// use it to pin the round-trip contract.
   struct Parts {
     std::vector<std::vector<Neighbor>> adjacency;
     std::vector<double> degrees;
@@ -86,7 +105,7 @@ class DynamicGraph {
   };
   Parts ExportParts() const {
     return Parts{rep_->adjacency, rep_->degrees, rep_->num_edges,
-                 rep_->total_volume};
+                 TotalVolume()};
   }
 
   DynamicGraph(const DynamicGraph&) = default;
@@ -104,19 +123,41 @@ class DynamicGraph {
   /// Weighted degree (self-loops once).
   double Degree(NodeId u) const { return rep_->degrees[u]; }
 
-  double TotalVolume() const { return rep_->total_volume; }
+  /// The ascending-node-order sum of degrees — GraphBuilder's exact
+  /// accumulation order, recomputed on demand (O(n); volume is read on
+  /// cold paths only: snapshots, validation, tests). Bit-identical to
+  /// the frozen CSR volume whenever the degree bits match.
+  double TotalVolume() const;
 
   /// The neighbor list of u (insertion order; no duplicates).
   const std::vector<Neighbor>& Neighbors(NodeId u) const {
     return rep_->adjacency[u];
   }
 
-  /// Inserts undirected edge {u, v} with weight w > 0 (accumulating
-  /// onto an existing edge). O(deg) per endpoint (linear duplicate
-  /// scan — degrees in our workloads are small). If any snapshot or
-  /// copy still pins the current representation, it is cloned first
-  /// (the copy-on-write step, O(n + m) once per pinned generation).
+  /// The stored weight of edge {u, v}, or 0.0 when absent (also for
+  /// out-of-range endpoints — callers use this to pre-validate wire
+  /// mutations without risking the RemoveEdge abort contract). O(deg).
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Inserts undirected edge {u, v} with finite weight w > 0
+  /// (accumulating onto an existing edge). O(deg) per endpoint (linear
+  /// duplicate scan — degrees in our workloads are small). If any
+  /// snapshot or copy still pins the current representation, it is
+  /// cloned first (the copy-on-write step, O(n + m) once per pinned
+  /// generation).
   void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Removes weight from undirected edge {u, v}. `weight` = 0.0 (the
+  /// default) removes the edge entirely; a positive `weight` must not
+  /// exceed the stored weight — equal removes the edge, smaller
+  /// decrements it (one subtraction, applied to both mirrored arcs, so
+  /// they stay bitwise equal). Full removal erases the adjacency
+  /// entries in place, preserving the order of the surviving entries —
+  /// that, plus canonical row-sum accounting, is what makes
+  /// add-then-remove restore the prior graph bit-exactly. The edge
+  /// must exist (abort contract — wire callers pre-validate with
+  /// `EdgeWeight`). O(deg) per endpoint; copy-on-write like AddEdge.
+  void RemoveEdge(NodeId u, NodeId v, double weight = 0.0);
 
   /// Pins the current state as an immutable view tagged `epoch` (the
   /// caller's counter — the query engine passes its edit epoch). O(1).
@@ -124,7 +165,7 @@ class DynamicGraph {
   SnapshotView Snapshot(std::int64_t epoch = 0) const;
 
   /// True when this graph shares its representation with a snapshot or
-  /// copy (the next AddEdge will clone). Exposed for tests.
+  /// copy (the next mutation will clone). Exposed for tests.
   bool SharesRep() const { return rep_.use_count() > 1; }
 
   /// Freezes into an immutable CSR Graph.
@@ -136,7 +177,6 @@ class DynamicGraph {
     std::vector<std::vector<Neighbor>> adjacency;
     std::vector<double> degrees;
     std::int64_t num_edges = 0;
-    double total_volume = 0.0;
   };
 
   /// Clones the rep if any other graph/view still shares it.

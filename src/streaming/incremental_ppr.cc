@@ -63,8 +63,8 @@ std::int64_t IncrementalPersonalizedPageRank::PushUntilConverged() {
                           diagnostics_);
 }
 
-void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
-                                              double weight) {
+void IncrementalPersonalizedPageRank::ApplyEdit(NodeId u, NodeId v,
+                                                double weight, bool remove) {
   IMPREG_CHECK(u >= 0 && u < graph_.NumNodes());
   IMPREG_CHECK(v >= 0 && v < graph_.NumNodes());
   const double k = (1.0 - options_.gamma) / options_.gamma;
@@ -79,10 +79,16 @@ void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
   columns.push_back({u, graph_.Degree(u), graph_.Neighbors(u)});
   if (v != u) columns.push_back({v, graph_.Degree(v), graph_.Neighbors(v)});
 
-  graph_.AddEdge(u, v, weight);
+  if (remove) {
+    graph_.RemoveEdge(u, v, weight);
+  } else {
+    graph_.AddEdge(u, v, weight);
+  }
 
   // Repair the invariant: Δr = ((1−γ)/γ)(M' − M) p on the changed
-  // columns. Only columns with p ≠ 0 contribute.
+  // columns. Only columns with p ≠ 0 contribute. The sign of the edit
+  // never appears here — the new-minus-old column difference carries
+  // it, which is why removals reuse the insertion repair verbatim.
   std::int64_t repaired_columns = 0;
   for (const ColumnSnapshot& col : columns) {
     const double pc = p_[col.node];
@@ -90,9 +96,11 @@ void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
     ++repaired_columns;
     const double new_degree = graph_.Degree(col.node);
     // Add the new column…
-    for (const DynamicGraph::Neighbor& n : graph_.Neighbors(col.node)) {
-      r_[n.head] += k * pc * n.weight / new_degree;
-      Enqueue(n.head);
+    if (new_degree > 0.0) {
+      for (const DynamicGraph::Neighbor& n : graph_.Neighbors(col.node)) {
+        r_[n.head] += k * pc * n.weight / new_degree;
+        Enqueue(n.head);
+      }
     }
     // …and subtract the old one.
     if (col.old_degree > 0.0) {
@@ -104,11 +112,23 @@ void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
   }
   Enqueue(u);
   Enqueue(v);
-  IMPREG_METRIC_COUNT("solver.incremental_ppr.add_edges", 1);
+  IMPREG_METRIC_COUNT(remove ? "solver.incremental_ppr.remove_edges"
+                             : "solver.incremental_ppr.add_edges",
+                      1);
   IMPREG_METRIC_COUNT("solver.incremental_ppr.repaired_columns",
                       repaired_columns);
   last_edge_pushes_ = PushUntilConverged();
   total_pushes_ += last_edge_pushes_;
+}
+
+void IncrementalPersonalizedPageRank::AddEdge(NodeId u, NodeId v,
+                                              double weight) {
+  ApplyEdit(u, v, weight, /*remove=*/false);
+}
+
+void IncrementalPersonalizedPageRank::RemoveEdge(NodeId u, NodeId v,
+                                                 double weight) {
+  ApplyEdit(u, v, weight, /*remove=*/true);
 }
 
 }  // namespace impreg

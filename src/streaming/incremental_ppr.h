@@ -20,9 +20,12 @@
 ///   r = s + ((1−γ)/γ)·M p − (1/γ)·p,          M = A D^{-1},
 ///
 /// equivalently  PPR(s) = p + R_γ r. Push transfers residual into p
-/// without breaking the invariant; an edge insertion changes two
-/// columns of M, so the invariant is repaired with O(deg(u)+deg(v))
-/// residual updates, after which pushing restores ‖r/d‖∞ < ε.
+/// without breaking the invariant; an edge insertion *or removal*
+/// changes two columns of M, so the invariant is repaired with
+/// O(deg(u)+deg(v)) residual updates, after which pushing restores
+/// ‖r/d‖∞ < ε. The repair Δr = ((1−γ)/γ)(M' − M)p is sign-agnostic —
+/// the same column scatter serves positive and negative updates, which
+/// is why the push kernel carries signed residuals.
 ///
 /// The punchline for the paper's thesis: the *approximation state* (the
 /// truncated residual) is exactly what makes cheap dynamic updates
@@ -72,7 +75,8 @@ std::int64_t StandardFormPush(const DynamicGraph& g,
 Vector InvariantResidual(const DynamicGraph& g, const Vector& seed,
                          const Vector& p, double gamma);
 
-/// Maintains an ε-approximate PPR vector under edge insertions.
+/// Maintains an ε-approximate PPR vector under edge insertions and
+/// removals.
 class IncrementalPersonalizedPageRank {
  public:
   /// Starts from `initial` (copied) and a nonnegative seed vector with
@@ -82,6 +86,12 @@ class IncrementalPersonalizedPageRank {
 
   /// Inserts undirected edge {u, v} and repairs the estimate.
   void AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Removes (all of, or `weight` of — DynamicGraph::RemoveEdge
+  /// semantics) undirected edge {u, v} and repairs the estimate with
+  /// the same column scatter AddEdge uses, negated by the graph delta
+  /// itself. The edge must exist.
+  void RemoveEdge(NodeId u, NodeId v, double weight = 0.0);
 
   /// The current approximation p (entrywise within R_γ|r| of the true
   /// PPR on the current graph).
@@ -109,6 +119,10 @@ class IncrementalPersonalizedPageRank {
  private:
   void Enqueue(NodeId u);
   std::int64_t PushUntilConverged();
+  /// Shared edit path: snapshot the two affected columns, apply the
+  /// mutation (`remove` selects RemoveEdge vs AddEdge), scatter the
+  /// invariant repair, and push back under threshold.
+  void ApplyEdit(NodeId u, NodeId v, double weight, bool remove);
 
   DynamicGraph graph_;
   Vector seed_;

@@ -26,6 +26,12 @@
 ///
 /// Requirements on `G`: `NumNodes()`, `Degree(u)` (double), and
 /// `Neighbors(u)` returning a range of items with `.head`/`.weight`.
+///
+/// The kernel carries *signed* residuals and spreads nothing from
+/// zero-degree nodes, so it serves positive and negative updates
+/// alike: an edge-removal repair leaves negative residual mass (and
+/// possibly freshly isolated nodes) and the same drain loop restores
+/// ‖r/d‖∞ < ε.
 
 namespace impreg {
 

@@ -449,10 +449,12 @@ TEST(DeterminismTest, ObservabilityOnAndOffAreBitIdentical) {
 TEST(DeterminismTest, QueryEngineBatchIsThreadCountInvariantWithCacheOnAndOff) {
   // A mixed batch — push (duplicated, so dedup kicks in), two grouped
   // dense solves, a heat-kernel query and a nibble query — answered
-  // before and after an edge insertion. With the cache on, the second
-  // batch exercises the warm-restart path; with it off, everything is
-  // cold. In both configurations every response must be bit-identical
-  // at 1 and 8 threads.
+  // before and after an edge insertion, then again after the edge is
+  // removed (the surgical-invalidation delete path). With the cache
+  // on, the later batches exercise the warm-restart and
+  // region-retention paths; with it off, everything is cold. In both
+  // configurations every response must be bit-identical at 1 and 8
+  // threads.
   const Graph g = CavemanGraph(12, 10);
   std::vector<Query> batch;
   Query ppr;
@@ -496,6 +498,10 @@ TEST(DeterminismTest, QueryEngineBatchIsThreadCountInvariantWithCacheOnAndOff) {
       };
       absorb(engine.RunBatch(batch));
       engine.AddEdge(0, 61);
+      absorb(engine.RunBatch(batch));
+      engine.RemoveEdge(0, 61);
+      engine.AddEdge(25, 90, 0.5);
+      engine.RemoveEdge(25, 90, 0.25);  // Partial: weight 0.25 remains.
       absorb(engine.RunBatch(batch));
       return out;
     });

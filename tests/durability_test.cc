@@ -39,6 +39,7 @@
 #include "service/query_engine.h"
 #include "service/sharding/shard_manifest.h"
 #include "streaming/dynamic_graph.h"
+#include "util/crc32c.h"
 #include "util/fault.h"
 
 namespace impreg {
@@ -76,10 +77,30 @@ Graph BaseGraph() { return CavemanGraph(3, 8); }  // 24 nodes.
 
 // The edit history every crash scenario replays a prefix of. The repeat
 // of {0, 9} accumulates weight, so degree/volume bits depend on getting
-// the arrival order and the exact accumulated sums right.
+// the arrival order and the exact accumulated sums right — and the
+// trailing removes (one partial decrement of that accumulated weight,
+// one full removal) put every crash boundary after a delete into the
+// sweep too.
 std::vector<durability::WalRecord> Edits() {
   return {{0, 9, 1.0},  {8, 17, 0.5}, {1, 16, 2.0},
-          {2, 10, 1.0}, {0, 9, 0.25}, {5, 21, 1.5}};
+          {2, 10, 1.0}, {0, 9, 0.25}, {5, 21, 1.5},
+          {0, 9, 0.75, /*remove=*/true}, {8, 17, 0.0, /*remove=*/true}};
+}
+
+/// Applies one history entry to a bare graph (the replay ground truth).
+void ApplyEdit(DynamicGraph& g, const durability::WalRecord& e) {
+  if (e.remove) {
+    g.RemoveEdge(e.u, e.v, e.weight);
+  } else {
+    g.AddEdge(e.u, e.v, e.weight);
+  }
+}
+
+/// Appends one history entry through the type-matching WAL call.
+SolveStatus AppendEdit(durability::WriteAheadLog& wal,
+                       const durability::WalRecord& e) {
+  return e.remove ? wal.AppendRemoveEdge(e.u, e.v, e.weight)
+                  : wal.AppendAddEdge(e.u, e.v, e.weight);
 }
 
 /// The graph of a process that applied the first `k` edits and never
@@ -87,9 +108,7 @@ std::vector<durability::WalRecord> Edits() {
 DynamicGraph ReferenceGraph(std::int64_t k) {
   DynamicGraph g = DynamicGraph::FromGraph(BaseGraph());
   const auto edits = Edits();
-  for (std::int64_t i = 0; i < k; ++i) {
-    g.AddEdge(edits[i].u, edits[i].v, edits[i].weight);
-  }
+  for (std::int64_t i = 0; i < k; ++i) ApplyEdit(g, edits[i]);
   return g;
 }
 
@@ -99,7 +118,11 @@ std::unique_ptr<QueryEngine> ReferenceEngine(std::int64_t k,
       DynamicGraph::FromGraph(BaseGraph()), opt);
   const auto edits = Edits();
   for (std::int64_t i = 0; i < k; ++i) {
-    engine->AddEdge(edits[i].u, edits[i].v, edits[i].weight);
+    if (edits[i].remove) {
+      engine->RemoveEdge(edits[i].u, edits[i].v, edits[i].weight);
+    } else {
+      engine->AddEdge(edits[i].u, edits[i].v, edits[i].weight);
+    }
   }
   return engine;
 }
@@ -218,7 +241,7 @@ std::string WriteFullWal(const std::string& path) {
   durability::WriteAheadLog wal;
   EXPECT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
   for (const durability::WalRecord& e : Edits()) {
-    EXPECT_EQ(wal.AppendAddEdge(e.u, e.v, e.weight), SolveStatus::kConverged);
+    EXPECT_EQ(AppendEdit(wal, e), SolveStatus::kConverged);
   }
   wal.Close();
   return ReadFileBytes(path);
@@ -236,7 +259,7 @@ TEST(DurabilityTest, WalRoundTripIsBitwise) {
     ASSERT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
     ASSERT_TRUE(wal.is_open());
     for (const auto& e : edits) {
-      ASSERT_EQ(wal.AppendAddEdge(e.u, e.v, e.weight), SolveStatus::kConverged);
+      ASSERT_EQ(AppendEdit(wal, e), SolveStatus::kConverged);
     }
     EXPECT_EQ(wal.records_appended(),
               static_cast<std::int64_t>(edits.size()));
@@ -255,6 +278,7 @@ TEST(DurabilityTest, WalRoundTripIsBitwise) {
     EXPECT_EQ(read.entries[i].u, edits[i].u);
     EXPECT_EQ(read.entries[i].v, edits[i].v);
     EXPECT_EQ(Bits(read.entries[i].weight), Bits(edits[i].weight));
+    EXPECT_EQ(read.entries[i].remove, edits[i].remove) << "record " << i;
   }
 
   // Reopening an existing log verifies the header and keeps appending.
@@ -282,6 +306,12 @@ TEST(DurabilityTest, WalRoundTripIsBitwise) {
     EXPECT_EQ(wal.AppendAddEdge(0, 1, 0.0), SolveStatus::kInvalidInput);
     EXPECT_EQ(wal.AppendAddEdge(0, 1, -2.0), SolveStatus::kInvalidInput);
     EXPECT_EQ(wal.AppendAddEdge(-1, 1, 1.0), SolveStatus::kInvalidInput);
+    // RemoveEdge accepts the 0.0 remove-entirely sentinel but rejects
+    // negatives, non-finites and bad ids the same way.
+    EXPECT_EQ(wal.AppendRemoveEdge(0, 1, -0.5), SolveStatus::kInvalidInput);
+    EXPECT_EQ(wal.AppendRemoveEdge(0, 1, std::nan("")),
+              SolveStatus::kInvalidInput);
+    EXPECT_EQ(wal.AppendRemoveEdge(-1, 1, 0.0), SolveStatus::kInvalidInput);
     EXPECT_EQ(wal.records_appended(), 0);
     wal.Close();
     EXPECT_EQ(fs::file_size(path), size_before);
@@ -344,8 +374,7 @@ TEST(DurabilityTest, TornTailRepairThenResumeAppending) {
     durability::WriteAheadLog wal;
     ASSERT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
     for (int i = 0; i < 3; ++i) {
-      ASSERT_EQ(wal.AppendAddEdge(edits[i].u, edits[i].v, edits[i].weight),
-                SolveStatus::kConverged);
+      ASSERT_EQ(AppendEdit(wal, edits[i]), SolveStatus::kConverged);
     }
   }
   // Crash debris: garbage after the last intact record.
@@ -368,8 +397,7 @@ TEST(DurabilityTest, TornTailRepairThenResumeAppending) {
     durability::WriteAheadLog wal;
     ASSERT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
     for (std::size_t i = 3; i < edits.size(); ++i) {
-      ASSERT_EQ(wal.AppendAddEdge(edits[i].u, edits[i].v, edits[i].weight),
-                SolveStatus::kConverged);
+      ASSERT_EQ(AppendEdit(wal, edits[i]), SolveStatus::kConverged);
     }
   }
   const durability::WalReadResult resumed = durability::ReadWal(path);
@@ -378,6 +406,71 @@ TEST(DurabilityTest, TornTailRepairThenResumeAppending) {
   for (std::size_t i = 0; i < edits.size(); ++i) {
     EXPECT_EQ(resumed.entries[i].u, edits[i].u);
     EXPECT_EQ(Bits(resumed.entries[i].weight), Bits(edits[i].weight));
+    EXPECT_EQ(resumed.entries[i].remove, edits[i].remove);
+  }
+}
+
+TEST(DurabilityTest, Version1LogsStillReplayAndFutureVersionsAreRefused) {
+  // Compatibility pin: logs written before RemoveEdge existed carry
+  // header version 1 and only AddEdge frames. Patch a freshly written
+  // add-only log down to v1 (re-CRC the header) and require ReadWal,
+  // ReplayWal and reopen-for-append to treat it exactly like v2.
+  const fs::path dir = FreshDir("impreg_wal_v1");
+  const std::string path = (dir / "wal.log").string();
+  std::vector<durability::WalRecord> adds;
+  for (const auto& e : Edits()) {
+    if (!e.remove) adds.push_back(e);  // A v1 log cannot hold removes.
+  }
+  {
+    durability::WriteAheadLog wal;
+    ASSERT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
+    for (const auto& e : adds) {
+      ASSERT_EQ(wal.AppendAddEdge(e.u, e.v, e.weight),
+                SolveStatus::kConverged);
+    }
+    wal.Close();
+  }
+  const auto patch_version = [&](std::uint32_t version) {
+    std::string bytes = ReadFileBytes(path);
+    ASSERT_GE(static_cast<std::int64_t>(bytes.size()), kWalHeaderBytes);
+    bytes[8] = static_cast<char>(version);
+    bytes[9] = bytes[10] = bytes[11] = '\0';
+    const std::uint32_t crc =
+        Crc32c(reinterpret_cast<const std::uint8_t*>(bytes.data()), 12);
+    for (int i = 0; i < 4; ++i) {
+      bytes[12 + i] = static_cast<char>(crc >> (8 * i));
+    }
+    WriteFileBytes(path, bytes);
+  };
+
+  patch_version(1);
+  const durability::WalReadResult read = durability::ReadWal(path);
+  ASSERT_EQ(read.status, SolveStatus::kConverged) << read.detail;
+  ASSERT_EQ(read.entries.size(), adds.size());
+  for (std::size_t i = 0; i < adds.size(); ++i) {
+    EXPECT_EQ(read.entries[i].u, adds[i].u);
+    EXPECT_EQ(Bits(read.entries[i].weight), Bits(adds[i].weight));
+    EXPECT_FALSE(read.entries[i].remove);
+  }
+  DynamicGraph g = DynamicGraph::FromGraph(BaseGraph());
+  const durability::WalReplayResult replay =
+      durability::ReplayWal(read.entries, 0, &g);
+  EXPECT_EQ(replay.status, SolveStatus::kConverged);
+  EXPECT_EQ(replay.applied, static_cast<std::int64_t>(adds.size()));
+  {
+    // The pre-upgrade restart path: a v1 log reopens for append.
+    durability::WriteAheadLog wal;
+    EXPECT_EQ(wal.Open(path, {}), SolveStatus::kConverged);
+    wal.Close();
+  }
+
+  // An unknown future version is refused outright — no guessing at
+  // frames this build cannot understand.
+  patch_version(3);
+  EXPECT_EQ(durability::ReadWal(path).status, SolveStatus::kInvalidInput);
+  {
+    durability::WriteAheadLog wal;
+    EXPECT_EQ(wal.Open(path, {}), SolveStatus::kInvalidInput);
   }
 }
 
@@ -518,9 +611,9 @@ TEST(DurabilityTest, CorruptNewestSnapshotFallsBackToOlder) {
   EXPECT_EQ(report.status, SolveStatus::kBreakdown) << report.detail;
   EXPECT_EQ(report.snapshot_epoch, 2);
   EXPECT_EQ(report.snapshots_rejected, 1);
-  EXPECT_EQ(report.replayed, 4);
-  EXPECT_EQ(report.epoch, 6);
-  ExpectGraphsBitIdentical(recovered->graph(), ReferenceGraph(6));
+  EXPECT_EQ(report.replayed, 6);
+  EXPECT_EQ(report.epoch, 8);
+  ExpectGraphsBitIdentical(recovered->graph(), ReferenceGraph(8));
 }
 
 TEST(DurabilityTest, UnreadableWalHeaderIsFatalOnlyWithoutSnapshot) {
@@ -662,14 +755,14 @@ std::int64_t SimulateServeUntilFailure(const std::string& wal_path,
   }
   std::int64_t acknowledged = 0;
   for (const durability::WalRecord& e : Edits()) {
-    const SolveStatus s = wal.AppendAddEdge(e.u, e.v, e.weight);
+    const SolveStatus s = AppendEdit(wal, e);
     if (s != SolveStatus::kConverged) {
       // Write-ahead contract: the edit was never acknowledged and must
       // not land on the in-memory graph. Treat it as the crash.
       *first_failure = s;
       return acknowledged;
     }
-    g.AddEdge(e.u, e.v, e.weight);
+    ApplyEdit(g, e);
     ++acknowledged;
     if (acknowledged % 2 == 0 && !snap_dir.empty()) {
       const durability::SnapshotWriteResult w =
@@ -752,9 +845,10 @@ TEST(DurabilityChaosTest, EveryFaultSiteRecoversConsistently) {
     EXPECT_EQ(failure, SolveStatus::kInvalidInput);
     EXPECT_EQ(acked, num_edits);
     const auto listed = durability::ListSnapshots(snap_dir);
-    ASSERT_EQ(listed.size(), 2u);  // Epochs 6 and 2; no epoch-4 debris.
-    EXPECT_EQ(listed[0].first, 6);
-    EXPECT_EQ(listed[1].first, 2);
+    ASSERT_EQ(listed.size(), 3u);  // Epochs 8, 6, 2; no epoch-4 debris.
+    EXPECT_EQ(listed[0].first, 8);
+    EXPECT_EQ(listed[1].first, 6);
+    EXPECT_EQ(listed[2].first, 2);
     durability::RecoveryOptions ropts;
     ropts.wal_path = wal_path;
     ropts.snapshot_dir = snap_dir;
@@ -806,6 +900,53 @@ TEST(DurabilityChaosTest, EveryFaultSiteRecoversConsistently) {
     EXPECT_EQ(report.epoch, 1);
     ExpectRecoveryServesReference(ropts, report, *recovered, 1);
     // The log itself is intact: a clean recovery reaches the full epoch.
+    ExpectRecoveredMatchesReference(ropts, num_edits,
+                                    SolveStatus::kConverged);
+  }
+
+  {
+    // wal/append_remove: the first RemoveEdge append (edit 7) is
+    // poisoned and rejected before framing — the delete twin of
+    // wal/append. The log holds the 6 acknowledged edits and recovery
+    // is clean at that epoch.
+    SCOPED_TRACE("wal/append_remove");
+    const fs::path dir = FreshDir("impreg_chaos_append_remove");
+    const std::string wal_path = (dir / "wal.log").string();
+    fault::Arm("wal/append_remove", fault::FaultKind::kNaN,
+               /*trigger_hit=*/1);
+    SolveStatus failure;
+    const std::int64_t acked =
+        SimulateServeUntilFailure(wal_path, "", &failure);
+    EXPECT_GT(fault::InjectionCount(), 0);
+    fault::Disarm();
+    EXPECT_EQ(failure, SolveStatus::kInvalidInput);
+    EXPECT_EQ(acked, 6);
+    durability::RecoveryOptions ropts;
+    ropts.wal_path = wal_path;
+    ExpectRecoveredMatchesReference(ropts, 6, SolveStatus::kConverged);
+  }
+
+  {
+    // wal/replay_remove: a remove record that passed its CRC is
+    // poisoned at apply time. Replay keeps the 6-record good prefix —
+    // the graph never sees a poisoned delete — and, the injection gone,
+    // a second recovery replays the intact log to the full epoch.
+    SCOPED_TRACE("wal/replay_remove");
+    const fs::path dir = FreshDir("impreg_chaos_replay_remove");
+    const std::string wal_path = (dir / "wal.log").string();
+    WriteFullWal(wal_path);
+    durability::RecoveryOptions ropts;
+    ropts.wal_path = wal_path;
+    fault::Arm("wal/replay_remove", fault::FaultKind::kNaN,
+               /*trigger_hit=*/1);
+    std::unique_ptr<QueryEngine> recovered;
+    const durability::RecoveryReport report = durability::RecoverEngine(
+        DynamicGraph::FromGraph(BaseGraph()), {}, ropts, &recovered);
+    EXPECT_GT(fault::InjectionCount(), 0);
+    fault::Disarm();
+    EXPECT_EQ(report.status, SolveStatus::kBreakdown) << report.detail;
+    EXPECT_EQ(report.epoch, 6);
+    ExpectRecoveryServesReference(ropts, report, *recovered, 1);
     ExpectRecoveredMatchesReference(ropts, num_edits,
                                     SolveStatus::kConverged);
   }
@@ -924,10 +1065,19 @@ TEST(DurabilityTest, PinnedBatchIsIsolatedFromConcurrentIngest) {
       const DynamicGraph::SnapshotView view_b = b.PinSnapshot();
       EXPECT_EQ(view_a.epoch(), 0);
 
-      for (const auto& e : edits) a.AddEdge(e.u, e.v, e.weight);
+      const auto ingest = [&edits](QueryEngine& engine) {
+        for (const auto& e : edits) {
+          if (e.remove) {
+            engine.RemoveEdge(e.u, e.v, e.weight);
+          } else {
+            engine.AddEdge(e.u, e.v, e.weight);
+          }
+        }
+      };
+      ingest(a);
       const auto responses_a = a.RunBatchOn(view_a, batch);
       const auto responses_b = b.RunBatchOn(view_b, batch);
-      for (const auto& e : edits) b.AddEdge(e.u, e.v, e.weight);
+      ingest(b);
 
       // The pinned view answered at epoch 0 regardless of ingest
       // interleaving, and both engines end in the same state.
@@ -938,14 +1088,15 @@ TEST(DurabilityTest, PinnedBatchIsIsolatedFromConcurrentIngest) {
                                DynamicGraph::FromGraph(BaseGraph()));
 
       if (cache_on) {
-        // Entries cached through the old view carry the *snapshot*
-        // epoch in their keys — they can never masquerade as
-        // current-epoch answers.
+        // Entries cached through the old view are stamped with the
+        // *snapshot* epoch as per-entry validity (keys are epoch-free)
+        // — they can never masquerade as current-epoch answers, and a
+        // current-epoch lookup of the same key must miss or warm, not
+        // serve the stale bits.
         const auto keys_a = a.cache().KeysInInsertionOrder();
         EXPECT_EQ(keys_a, b.cache().KeysInInsertionOrder());
-        const std::string epoch0_key =
-            QueryEngine::CanonicalKey(batch[0], 0);
-        EXPECT_NE(std::find(keys_a.begin(), keys_a.end(), epoch0_key),
+        const std::string pinned_key = QueryEngine::CanonicalKey(batch[0]);
+        EXPECT_NE(std::find(keys_a.begin(), keys_a.end(), pinned_key),
                   keys_a.end());
         // A current-epoch batch still agrees bitwise between the two
         // interleavings (warm restarts included).

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/io.h"
+#include "service/wire.h"
 #include "util/rng.h"
 
 namespace impreg {
@@ -172,6 +173,73 @@ TEST(IoFuzzTest, CrlfVariantsParseIdenticallyAndErrorsKeepTheirLine) {
   const GraphParseResult bad_metis =
       ParseMetisOrError("3 2\r\n2\r\n1 x 3\r\n2\r\n");
   EXPECT_FALSE(bad_metis.ok());
+}
+
+TEST(IoFuzzTest, WireRequestsSurviveRandomBytesAndTokenSoup) {
+  // The JSONL request parser faces the same adversary as the graph
+  // parsers: arbitrary bytes must parse-or-error, never crash, and a
+  // false return must carry a non-empty error.
+  Rng rng(6);
+  for (int trial = 0; trial < 300; ++trial) {
+    QueryRequest request;
+    std::string error;
+    const std::string junk = trial % 2 == 0
+                                 ? RandomBytes(rng, 1 + trial % 200)
+                                 : RandomTokenSoup(rng, 1 + trial % 30);
+    if (!ParseQueryRequest(junk, &request, &error)) {
+      EXPECT_FALSE(error.empty()) << junk;
+    }
+  }
+}
+
+TEST(IoFuzzTest, WireEditWeightsAndIdsAreValidatedNotTruncated) {
+  QueryRequest request;
+  std::string error;
+
+  // Bad weights on both mutation ops: zero/negative on add, negative
+  // or non-finite on either — all must be parse errors that could
+  // never reach the engine's IMPREG_CHECK abort.
+  for (const char* bad :
+       {R"({"op": "add-edge", "u": 0, "v": 1, "weight": 0})",
+        R"({"op": "add-edge", "u": 0, "v": 1, "weight": -2})",
+        R"({"op": "add-edge", "u": 0, "v": 1, "weight": 1e999})",
+        R"({"op": "remove-edge", "u": 0, "v": 1, "weight": -0.5})",
+        R"({"op": "remove-edge", "u": 0, "v": 1, "weight": 1e999})"}) {
+    EXPECT_FALSE(ParseQueryRequest(bad, &request, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+
+  // Ids that do not fit NodeId (or are fractional) must error, never
+  // silently truncate into a different node.
+  for (const char* bad :
+       {R"({"op": "add-edge", "u": 3000000000, "v": 1})",
+        R"({"op": "add-edge", "u": 0.5, "v": 1})",
+        R"({"op": "remove-edge", "u": 0, "v": -3000000000})",
+        R"({"op": "remove-edge", "u": 1e999, "v": 1})",
+        R"({"method": "ppr", "seeds": [98765432109876]})",
+        R"({"method": "ppr", "seeds": [1.5]})"}) {
+    EXPECT_FALSE(ParseQueryRequest(bad, &request, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+
+  // The happy paths, including remove-edge's 0-weight default (the
+  // "remove entirely" sentinel add-edge must keep rejecting).
+  ASSERT_TRUE(ParseQueryRequest(R"({"op": "remove-edge", "u": 3, "v": 7})",
+                                &request, &error));
+  EXPECT_TRUE(request.is_remove_edge);
+  EXPECT_FALSE(request.is_add_edge);
+  EXPECT_EQ(request.u, 3);
+  EXPECT_EQ(request.v, 7);
+  EXPECT_EQ(request.weight, 0.0);
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"op": "remove-edge", "u": 3, "v": 7, "weight": 0.25})", &request,
+      &error));
+  EXPECT_EQ(request.weight, 0.25);
+  ASSERT_TRUE(ParseQueryRequest(
+      R"({"op": "add-edge", "u": 3, "v": 7, "weight": 0.5})", &request,
+      &error));
+  EXPECT_TRUE(request.is_add_edge);
+  EXPECT_FALSE(request.is_remove_edge);
 }
 
 TEST(IoFuzzTest, CorruptedValidFilesRejectOrReparse) {

@@ -111,6 +111,135 @@ TEST(ResultCacheTest, WarmIndexTracksLatestStatefulEntryAndEviction) {
   EXPECT_EQ(cache.WarmLookup("warm"), nullptr);
 }
 
+TEST(ResultCacheTest, ReplaceInPlaceDroppingStateClearsTheWarmSlot) {
+  ResultCache cache(4);
+  CachedResult stateful = MakeResult(1.0);
+  stateful.has_state = true;
+  stateful.p = {1.0};
+  stateful.r = {0.5};
+  cache.Insert("k", "warm", std::move(stateful));
+  ASSERT_NE(cache.WarmLookup("warm"), nullptr);
+
+  // Replacing the warm-slot holder with a stateless result must drop
+  // the warm registration — a stale pointer here would serve a (p, r)
+  // pair that no longer exists.
+  cache.Insert("k", "warm", MakeResult(2.0));
+  EXPECT_EQ(cache.WarmLookup("warm"), nullptr);
+  ASSERT_NE(cache.Lookup("k"), nullptr);
+  EXPECT_DOUBLE_EQ(cache.Lookup("k")->scores[0], 2.0);
+}
+
+TEST(ResultCacheTest, WarmSlotHandsOffBetweenEntriesSharingAKey) {
+  ResultCache cache(4);
+  CachedResult first = MakeResult(1.0);
+  first.has_state = true;
+  first.p = {1.0};
+  first.r = {0.5};
+  first.epoch = 0;
+  cache.Insert("k0", "warm", std::move(first));
+  CachedResult second = MakeResult(2.0);
+  second.has_state = true;
+  second.p = {2.0};
+  second.r = {0.25};
+  second.epoch = 1;
+  cache.Insert("k1", "warm", std::move(second));
+  ASSERT_NE(cache.WarmLookup("warm"), nullptr);
+  EXPECT_EQ(cache.WarmLookup("warm")->epoch, 1);
+
+  // Replacing the holder k1 with a stateless result (from an
+  // equal-or-newer epoch — older inserts are rejected outright) clears
+  // the slot — it does NOT silently hand back to k0, whose state may
+  // be older than what the caller last observed under this warm key.
+  CachedResult stateless = MakeResult(3.0);
+  stateless.epoch = 1;
+  cache.Insert("k1", "warm", std::move(stateless));
+  EXPECT_EQ(cache.WarmLookup("warm"), nullptr);
+  // k0's state still exists and can retake the slot on its next
+  // insertion.
+  CachedResult again = MakeResult(4.0);
+  again.has_state = true;
+  again.p = {4.0};
+  again.r = {0.125};
+  again.epoch = 2;
+  cache.Insert("k0", "warm", std::move(again));
+  ASSERT_NE(cache.WarmLookup("warm"), nullptr);
+  EXPECT_EQ(cache.WarmLookup("warm")->epoch, 2);
+}
+
+TEST(ResultCacheTest, RegionInvalidationDemotesStatefulEvictsStateless) {
+  ResultCache cache(8);
+  CachedResult stateless = MakeResult(1.0);
+  stateless.region.Reset();
+  stateless.region.Add(1);
+  cache.Insert("a", "", std::move(stateless));
+
+  CachedResult stateful = MakeResult(2.0);
+  stateful.has_state = true;
+  stateful.p = {1.0};
+  stateful.r = {0.5};
+  stateful.region.Reset();
+  stateful.region.Add(1);
+  stateful.region.Add(2);
+  cache.Insert("b", "warm-b", std::move(stateful));
+
+  CachedResult distant = MakeResult(3.0);
+  distant.region.Reset();
+  distant.region.Add(300);
+  cache.Insert("c", "", std::move(distant));
+
+  // An edit touching node 1: "a" has nothing to warm-restart → gone;
+  // "b" carries (p, r) → demoted but warm-servable; "c"'s region is
+  // disjoint → untouched, still an exact hit.
+  cache.InvalidateRegion(1, 1);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  ASSERT_NE(cache.WarmLookup("warm-b"), nullptr);
+  EXPECT_DOUBLE_EQ(cache.WarmLookup("warm-b")->scores[0], 2.0);
+  ASSERT_NE(cache.Lookup("c"), nullptr);
+  EXPECT_DOUBLE_EQ(cache.Lookup("c")->scores[0], 3.0);
+  EXPECT_EQ(cache.stats().region_evicted, 1);
+  EXPECT_EQ(cache.stats().region_demoted, 1);
+  EXPECT_EQ(cache.stats().region_retained, 1);
+  EXPECT_EQ(cache.ExactSize(), 1u);
+}
+
+TEST(ResultCacheTest, DefaultRegionIsConservativeWholeGraph) {
+  // A result whose region was never declared must behave like the old
+  // invalidate-the-world scheme: every edit hits it.
+  ResultCache cache(4);
+  cache.Insert("a", "", MakeResult(1.0));  // region.all == true.
+  cache.InvalidateRegion(500, 501);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.stats().region_evicted, 1);
+}
+
+TEST(ResultCacheTest, EpochBumpAccountingConsumesEachEpochOnce) {
+  ResultCache cache(8);
+  CachedResult e0a = MakeResult(1.0);
+  e0a.epoch = 0;
+  CachedResult e0b = MakeResult(2.0);
+  e0b.epoch = 0;
+  e0b.has_state = true;
+  e0b.p = {1.0};
+  e0b.r = {0.5};
+  CachedResult e1 = MakeResult(3.0);
+  e1.epoch = 1;
+  cache.Insert("a", "", std::move(e0a));
+  cache.Insert("b", "warm", std::move(e0b));
+  cache.Insert("c", "", std::move(e1));
+
+  cache.NoteEpochBump(0);
+  EXPECT_EQ(cache.stats().invalidated, 2);
+  EXPECT_EQ(cache.stats().warm_demoted, 1);
+  // The epoch-0 bucket was consumed: a second bump of the same epoch
+  // adds nothing (the counts are O(1) per bump, not a rescan).
+  cache.NoteEpochBump(0);
+  EXPECT_EQ(cache.stats().invalidated, 2);
+  EXPECT_EQ(cache.stats().warm_demoted, 1);
+  cache.NoteEpochBump(1);
+  EXPECT_EQ(cache.stats().invalidated, 3);
+}
+
 // —— QueryEngine behavior ————————————————————————————————————————
 
 Graph ServiceGraph() { return CavemanGraph(8, 10); }
@@ -211,19 +340,85 @@ TEST(QueryEngineTest, TighterEpsilonWarmRestartsFromCachedResidual) {
   EXPECT_LT(refined.work, cold.work);
 }
 
-TEST(QueryEngineTest, AddEdgeInvalidatesExactKeysViaTheEpoch) {
+TEST(QueryEngineTest, EditInsideTheRegionDemotesTheEntryToWarm) {
   QueryEngine engine(ServiceGraph());
   const Query query = PushQuery({0});
   EXPECT_EQ(engine.Run(query).source, QuerySource::kCold);
   EXPECT_EQ(engine.Run(query).source, QuerySource::kCached);
   const std::int64_t epoch_before = engine.Epoch();
+  // Nodes 1 and 2 sit in seed 0's clique — inside the cached entry's
+  // region fingerprint — so this edit demotes the exact entry.
   engine.AddEdge(1, 2);
   EXPECT_EQ(engine.Epoch(), epoch_before + 1);
-  // Exact key misses (different epoch); the push family warm-restarts
-  // instead of serving the stale answer.
+  // The key itself is epoch-free (per-entry validity replaced the old
+  // invalidate-the-world epoch suffix); the demoted entry exact-misses
+  // and the push family warm-restarts instead of serving stale scores.
   EXPECT_EQ(engine.Run(query).source, QuerySource::kWarm);
-  EXPECT_NE(QueryEngine::CanonicalKey(query, epoch_before),
-            QueryEngine::CanonicalKey(query, engine.Epoch()));
+}
+
+TEST(QueryEngineTest, SurgicalInvalidationRetainsEntriesOutsideTheRegion) {
+  // CavemanGraph(8, 10): cliques 0 (nodes 0–9) and 4 (nodes 40–49) sit
+  // on opposite sides of the ring. At ε = 1e-3 a push from clique 4
+  // never reads clique 0's rows, so an edit inside clique 0 must leave
+  // the clique-4 entry serving exact bits — this is the retention the
+  // surgical scheme exists for.
+  QueryEngine engine(ServiceGraph());
+  const Query near_query = PushQuery({0}, 1e-3);
+  const Query far_query = PushQuery({45}, 1e-3);
+  const QueryResponse far_cold = engine.Run(far_query);
+  ASSERT_EQ(far_cold.source, QuerySource::kCold);
+  ASSERT_EQ(engine.Run(near_query).source, QuerySource::kCold);
+
+  engine.AddEdge(1, 2);  // Inside clique 0, far from clique 4.
+
+  const QueryResponse far_after = engine.Run(far_query);
+  EXPECT_EQ(far_after.source, QuerySource::kCached);
+  EXPECT_EQ(far_after.scores, far_cold.scores);
+  EXPECT_GT(engine.cache().stats().region_retained, 0);
+  // The entry whose region the edit did touch was demoted, not served.
+  EXPECT_EQ(engine.Run(near_query).source, QuerySource::kWarm);
+  EXPECT_EQ(engine.cache().stats().region_demoted, 1);
+}
+
+TEST(QueryEngineTest, InvalidateAllBaselineRetiresDistantEntriesToo) {
+  // With surgical invalidation disabled the same sequence retires the
+  // clique-4 entry as well: the old invalidate-the-world contract,
+  // kept as the retention benchmark's baseline.
+  QueryEngine::Options options;
+  options.surgical_invalidation = false;
+  QueryEngine engine(ServiceGraph(), options);
+  const Query far_query = PushQuery({45}, 1e-3);
+  ASSERT_EQ(engine.Run(far_query).source, QuerySource::kCold);
+
+  engine.AddEdge(1, 2);
+
+  EXPECT_NE(engine.Run(far_query).source, QuerySource::kCached);
+  EXPECT_EQ(engine.cache().stats().region_retained, 0);
+}
+
+TEST(QueryEngineTest, RemoveEdgeUndoesAddEdgeBitwise) {
+  // The tentpole round-trip at the serving layer: add two edges, remove
+  // them, and a fresh query answers bit-identically (scores and work)
+  // to an engine that never saw the edits.
+  const Graph g = ServiceGraph();
+  QueryEngine edited(g);
+  ASSERT_EQ(edited.Run(PushQuery({0})).source, QuerySource::kCold);
+  edited.AddEdge(2, 55, 0.5);
+  edited.AddEdge(7, 63);
+  edited.RemoveEdge(2, 55);  // Full removal (weight 0.0 sentinel).
+  edited.RemoveEdge(7, 63, 1.0);  // Removing the full weight: same thing.
+  EXPECT_EQ(edited.Epoch(), 4);
+
+  QueryEngine untouched(g);
+  const Query probe = PushQuery({12});
+  const QueryResponse after = edited.Run(probe);
+  const QueryResponse fresh = untouched.Run(probe);
+  ASSERT_EQ(after.source, QuerySource::kCold);
+  ASSERT_EQ(after.scores.size(), fresh.scores.size());
+  for (std::size_t i = 0; i < fresh.scores.size(); ++i) {
+    EXPECT_EQ(after.scores[i], fresh.scores[i]) << "node " << i;
+  }
+  EXPECT_EQ(after.work, fresh.work);
 }
 
 TEST(QueryEngineTest, CacheCapacityBoundsRetainedEntries) {
@@ -344,11 +539,12 @@ TEST(QueryEngineTest, InvalidQueriesAreRejectedAndNeverCached) {
 TEST(QueryEngineTest, CanonicalKeyIsStableAcrossSeedOrderings) {
   Query a = PushQuery({5, 3, 5});
   Query b = PushQuery({3, 5});
-  EXPECT_EQ(QueryEngine::CanonicalKey(a, 7), QueryEngine::CanonicalKey(b, 7));
-  EXPECT_NE(QueryEngine::CanonicalKey(a, 7), QueryEngine::CanonicalKey(a, 8));
+  EXPECT_EQ(QueryEngine::CanonicalKey(a), QueryEngine::CanonicalKey(b));
   Query tighter = PushQuery({3, 5}, 1e-9);
-  EXPECT_NE(QueryEngine::CanonicalKey(b, 7),
-            QueryEngine::CanonicalKey(tighter, 7));
+  EXPECT_NE(QueryEngine::CanonicalKey(b), QueryEngine::CanonicalKey(tighter));
+  // Keys are deliberately epoch-free: entry validity lives on the
+  // entry (insert-epoch stamp + region fingerprint), not in the key.
+  EXPECT_EQ(QueryEngine::CanonicalKey(a).find("epoch="), std::string::npos);
 }
 
 // —— Wire format ————————————————————————————————————————————————

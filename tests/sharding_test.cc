@@ -122,9 +122,10 @@ std::vector<Query> MatrixBatch(NodeId n) {
 }
 
 // The tentpole matrix: shard counts {1, 2, 4, 8} × threads {1, 8} ×
-// cache {on, off} × all four methods, before and after a burst of
-// routed AddEdges, every response bitwise equal to the unsharded
-// engine in the same configuration.
+// cache {on, off} × all four methods — before a burst of routed
+// AddEdges, after it, and after routed RemoveEdges take the burst
+// back out (mixed partial and full removals) — every response bitwise
+// equal to the unsharded engine in the same configuration.
 void RunInvarianceMatrix(const Graph& g, const char* family) {
   SCOPED_TRACE(family);
   const NodeId n = g.NumNodes();
@@ -142,6 +143,12 @@ void RunInvarianceMatrix(const Graph& g, const char* family) {
           reference.RunBatch(batch);
       for (const auto& [u, v] : edits) reference.AddEdge(u, v, 1.0);
       const std::vector<QueryResponse> ref_after = reference.RunBatch(batch);
+      // Take the burst back out: a full removal where the burst created
+      // the edge, a partial decrement where it stacked onto an existing
+      // one — either way both engines route the same deletes.
+      for (const auto& [u, v] : edits) reference.RemoveEdge(u, v, 1.0);
+      const std::vector<QueryResponse> ref_removed =
+          reference.RunBatch(batch);
 
       for (const int k : {1, 2, 4, 8}) {
         const std::string context = std::string("cache=") +
@@ -162,6 +169,9 @@ void RunInvarianceMatrix(const Graph& g, const char* family) {
         for (const auto& [u, v] : edits) engine.AddEdge(u, v, 1.0);
         ExpectBatchBitwise(ref_after, engine.RunBatch(batch),
                            context + " post-edit");
+        for (const auto& [u, v] : edits) engine.RemoveEdge(u, v, 1.0);
+        ExpectBatchBitwise(ref_removed, engine.RunBatch(batch),
+                           context + " post-remove");
         if (k > 1) {
           // The sharded path really ran: rows were billed to shards.
           EXPECT_GT(engine.shards()->Totals().local_rows, 0) << context;
@@ -341,32 +351,72 @@ TEST(ShardingDegenerateTest, PlanClampsAndFallsBackValidly) {
   }
 }
 
-// —— Routing-epoch cache-key regression ———————————————————————————
+// —— Cache-key contract ———————————————————————————————————————————
 //
-// The pre-fix bug: batch dedup and the result cache keyed on
-// (method, params, epoch, seed fingerprint) only. Two engines at the
-// same graph epoch but different halo-routing states (the recovery
-// scenario: routing epochs reset on rebuild while restored cache
-// entries carry pre-crash keys) collided. The canonical key now
-// appends the routing epoch whenever it is nonzero.
+// History: the key once carried the graph epoch (invalidate-the-world)
+// and, after a recovery collision, the routing epoch too. Both are
+// gone — entry validity lives on the entry (insert-epoch stamp +
+// region fingerprint), and shard-count invariance means routing state
+// never changes answer bits, so neither belongs in the key. This pins
+// the key as a pure function of (method, parameters, seeds): identical
+// across epochs, routing states, and shard counts, which is exactly
+// what lets an entry survive an edit that misses its region.
 
-TEST(ShardingTest, RoutingEpochInCacheKey) {
+TEST(ShardingTest, CanonicalKeyIsEpochAndRoutingFree) {
   Query q;
   q.seeds = {3, 1};
-  // The pre-fix collision, pinned: the legacy 2-arg key cannot tell
-  // routing states apart...
-  EXPECT_EQ(QueryEngine::CanonicalKey(q, 7), QueryEngine::CanonicalKey(q, 7));
-  // ...and routing epoch 0 must stay byte-identical to it (unsharded
-  // keys — and every pre-sharding persisted key — are unchanged).
-  EXPECT_EQ(QueryEngine::CanonicalKey(q, 7, 0),
-            QueryEngine::CanonicalKey(q, 7));
-  // The fix: distinct routing epochs key distinctly.
-  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
-            QueryEngine::CanonicalKey(q, 7, 9));
-  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
-            QueryEngine::CanonicalKey(q, 7));
-  EXPECT_NE(QueryEngine::CanonicalKey(q, 7, 5),
-            QueryEngine::CanonicalKey(q, 8, 5));
+  const std::string key = QueryEngine::CanonicalKey(q);
+  EXPECT_EQ(key, QueryEngine::CanonicalKey(q));
+  EXPECT_EQ(key.find("epoch="), std::string::npos);
+  EXPECT_EQ(key.find("route="), std::string::npos);
+
+  // A sharded engine's cached pre-edit entry keeps serving after a
+  // routing-epoch bump when the edit misses its region — impossible
+  // under either of the removed key schemes, where any bump re-keyed
+  // the whole cache.
+  const Graph g = RingOfCliques(6, 15);
+  QueryEngine::Options options;
+  options.sharding.shards = 4;
+  QueryEngine engine(g, options);
+  ASSERT_NE(engine.shards(), nullptr);
+  Query probe;
+  // Clique-interior seed at a coarse ε: the push stays inside clique 0,
+  // so the read region is that clique plus its one-hop ring neighbors —
+  // leaving the rest of the ring genuinely untouched.
+  probe.seeds = {2};
+  probe.epsilon = 5e-2;
+  const QueryResponse cold = engine.Run(probe);
+  ASSERT_EQ(cold.source, QuerySource::kCold);
+
+  // Brand-new cross-shard pairs far from clique 0 bump routing. The
+  // region fingerprint is lossy (a far node can hash into the probe's
+  // buckets and over-evict — safe, but it would demote this entry), so
+  // try a handful of structurally-distant pairs: at least one must
+  // leave the pre-bump entry served as an exact cache hit, bitwise.
+  const std::vector<int>& owner = engine.shards()->plan().owner;
+  const std::int64_t routing_before = engine.RoutingEpoch();
+  bool retained = false;
+  int attempts = 0;
+  for (NodeId a = 50; a < g.NumNodes() && !retained && attempts < 6; ++a) {
+    for (NodeId b = a + 1; b < g.NumNodes(); ++b) {
+      if (owner[a] == owner[b] ||
+          engine.graph().EdgeWeight(a, b) != 0.0) {
+        continue;
+      }
+      ++attempts;
+      engine.AddEdge(a, b, 1.0);
+      const QueryResponse again = engine.Run(probe);
+      if (again.source == QuerySource::kCached) {
+        EXPECT_EQ(again.scores, cold.scores);
+        retained = true;
+      }
+      break;  // One pair per left endpoint.
+    }
+  }
+  ASSERT_GT(attempts, 0);
+  ASSERT_GT(engine.RoutingEpoch(), routing_before);
+  EXPECT_TRUE(retained)
+      << "no distant edit left the pre-bump entry exactly servable";
 }
 
 TEST(ShardingTest, RoutingEpochBumpsOnNewHaloMembershipOnly) {
@@ -377,11 +427,21 @@ TEST(ShardingTest, RoutingEpochBumpsOnNewHaloMembershipOnly) {
   ASSERT_NE(engine.shards(), nullptr);
   const std::vector<int>& owner = engine.shards()->plan().owner;
 
-  // A new cross-shard pair that is not yet adjacent: routing changes.
+  // A new cross-shard pair that is not yet adjacent — both endpoints
+  // shard-interior, so this edge will be each node's ONLY arc into the
+  // other shard (that makes the eventual full removal a guaranteed
+  // halo shrink).
+  const auto interior = [&](NodeId x) {
+    for (const Arc& arc : g.Neighbors(x)) {
+      if (owner[arc.head] != owner[x]) return false;
+    }
+    return true;
+  };
   NodeId u = -1, v = -1;
   for (NodeId a = 0; a < g.NumNodes() && u < 0; ++a) {
+    if (!interior(a)) continue;
     for (NodeId b = 0; b < g.NumNodes(); ++b) {
-      if (owner[a] != owner[b] && !g.HasEdge(a, b)) {
+      if (owner[a] != owner[b] && !g.HasEdge(a, b) && interior(b)) {
         u = a;
         v = b;
         break;
@@ -407,6 +467,15 @@ TEST(ShardingTest, RoutingEpochBumpsOnNewHaloMembershipOnly) {
   ASSERT_GE(a, 0);
   engine.AddEdge(a, b, 1.0);
   EXPECT_EQ(engine.RoutingEpoch(), after);
+
+  // The delete side mirrors the insert side exactly. A partial
+  // decrement (2.0 → 1.0) leaves membership alone...
+  engine.RemoveEdge(u, v, 1.0);
+  EXPECT_EQ(engine.RoutingEpoch(), after);
+  // ...and the full removal empties both mirrored halo rows — the
+  // replicas are dropped and routing bumps again (halo shrink).
+  engine.RemoveEdge(u, v);
+  EXPECT_GT(engine.RoutingEpoch(), after);
 }
 
 // —— Shard locality ———————————————————————————————————————————————

@@ -2,7 +2,10 @@
 #include "streaming/incremental_ppr.h"
 #include "streaming/montecarlo.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -15,6 +18,27 @@
 
 namespace impreg {
 namespace {
+
+std::uint64_t Bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+/// Bitwise equality of two serialized graphs: adjacency heads and
+/// weight bits in order, degree bits, edge count, volume bits.
+void ExpectPartsBitIdentical(const DynamicGraph::Parts& got,
+                             const DynamicGraph::Parts& want) {
+  ASSERT_EQ(got.adjacency.size(), want.adjacency.size());
+  for (std::size_t u = 0; u < want.adjacency.size(); ++u) {
+    SCOPED_TRACE("node " + std::to_string(u));
+    ASSERT_EQ(got.adjacency[u].size(), want.adjacency[u].size());
+    for (std::size_t i = 0; i < want.adjacency[u].size(); ++i) {
+      EXPECT_EQ(got.adjacency[u][i].head, want.adjacency[u][i].head);
+      EXPECT_EQ(Bits(got.adjacency[u][i].weight),
+                Bits(want.adjacency[u][i].weight));
+    }
+    EXPECT_EQ(Bits(got.degrees[u]), Bits(want.degrees[u]));
+  }
+  EXPECT_EQ(got.num_edges, want.num_edges);
+  EXPECT_EQ(Bits(got.total_volume), Bits(want.total_volume));
+}
 
 TEST(DynamicGraphTest, AddEdgeAccumulatesAndCounts) {
   DynamicGraph g(4);
@@ -45,6 +69,161 @@ TEST(DynamicGraphTest, RoundTripWithImmutableGraph) {
   for (NodeId u = 0; u < original.NumNodes(); ++u) {
     EXPECT_DOUBLE_EQ(back.Degree(u), original.Degree(u));
   }
+}
+
+TEST(DynamicGraphTest, RemoveEdgeDecrementsThenErases) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 2, 3.0);  // Self-loop.
+
+  // Partial removal decrements both mirrored arcs, keeps the edge.
+  g.RemoveEdge(0, 1, 0.5);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g.Degree(0), 1.5);
+  EXPECT_DOUBLE_EQ(g.Degree(1), 2.5);
+
+  // Removing exactly the stored weight erases the edge.
+  g.RemoveEdge(0, 1, 1.5);
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(g.Degree(0), 0.0);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+
+  // Self-loops decrement once (single arc) and erase like any edge.
+  g.RemoveEdge(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(g.Degree(2), 3.0);  // 1.0 cross + 2.0 loop.
+  EXPECT_DOUBLE_EQ(g.TotalVolume(), 4.0);
+  g.RemoveEdge(2, 2);  // Default weight 0.0 = remove entirely.
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_DOUBLE_EQ(g.Degree(2), 1.0);
+
+  // The abort contract: missing edges, over-removal, and bad weights
+  // are programming errors, not soft failures.
+  EXPECT_DEATH(g.RemoveEdge(0, 1), "no such edge");
+  EXPECT_DEATH(g.RemoveEdge(1, 2, 5.0), "exceeds the stored weight");
+  EXPECT_DEATH(g.RemoveEdge(1, 2, -1.0), "non-negative");
+}
+
+TEST(DynamicGraphTest, FullRemovalErasesInPlacePreservingSurvivorOrder) {
+  DynamicGraph g(5);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(0, 4, 0.5);
+  g.AddEdge(0, 2);
+  g.RemoveEdge(0, 1);
+  // Survivors keep their insertion positions — no swap-with-last.
+  ASSERT_EQ(g.Neighbors(0).size(), 3u);
+  EXPECT_EQ(g.Neighbors(0)[0].head, 3);
+  EXPECT_EQ(g.Neighbors(0)[1].head, 4);
+  EXPECT_EQ(g.Neighbors(0)[2].head, 2);
+  EXPECT_TRUE(g.Neighbors(1).empty());
+  // Degree re-folds over the surviving row.
+  EXPECT_DOUBLE_EQ(g.Degree(0), 2.5);
+}
+
+TEST(DynamicGraphTest, AddThenRemoveRestoresPriorBitsExactly) {
+  Rng rng(20);
+  DynamicGraph g = DynamicGraph::FromGraph(ErdosRenyi(30, 0.15, rng));
+  const DynamicGraph::Parts before = g.ExportParts();
+
+  // A non-edge to exercise the insert-then-full-remove round-trip.
+  NodeId a = -1, b = -1;
+  for (NodeId u = 0; u < g.NumNodes() && a < 0; ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      if (g.EdgeWeight(u, v) == 0.0) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0);
+
+  g.AddEdge(a, b, 0.7);
+  g.AddEdge(a, b, 0.05);   // Accumulate — full removal erases regardless.
+  g.AddEdge(a, a, 2.5);    // Self-loop round-trips too.
+  g.RemoveEdge(a, a);
+  g.RemoveEdge(a, b);
+  ExpectPartsBitIdentical(g.ExportParts(), before);
+}
+
+TEST(DynamicGraphTest, DeleteThenReAddIsBitIdenticalToNeverTouched) {
+  Rng rng(21);
+  DynamicGraph g = DynamicGraph::FromGraph(ErdosRenyi(30, 0.15, rng));
+  NodeId a = -1, b = -1;
+  for (NodeId u = 0; u < g.NumNodes() && a < 0; ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      if (g.EdgeWeight(u, v) == 0.0) {
+        a = u;
+        b = v;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(a, 0);
+  g.AddEdge(a, b, 1.25);
+  const DynamicGraph::Parts untouched = g.ExportParts();
+
+  // Full delete + re-add lands the entry back in the same (terminal)
+  // row positions, so every bit returns.
+  g.RemoveEdge(a, b);
+  g.AddEdge(a, b, 1.25);
+  ExpectPartsBitIdentical(g.ExportParts(), untouched);
+
+  // Partial decrement + matching re-accumulate also round-trips here
+  // (both mirrored arcs take the identical subtraction and addition).
+  g.RemoveEdge(a, b, 0.25);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(b, a), 1.0);
+  g.AddEdge(a, b, 0.25);
+  ExpectPartsBitIdentical(g.ExportParts(), untouched);
+}
+
+TEST(DynamicGraphTest, FromPartsValidatesPairwiseSymmetry) {
+  DynamicGraph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2);
+  const DynamicGraph::Parts parts = g.ExportParts();
+
+  // The honest round-trip is bit-exact.
+  ExpectPartsBitIdentical(
+      DynamicGraph::FromParts(parts.adjacency, parts.degrees,
+                              parts.num_edges, parts.total_volume)
+          .ExportParts(),
+      parts);
+
+  // Arc (0→1) without its mirror (1→0).
+  DynamicGraph::Parts missing = parts;
+  ASSERT_EQ(missing.adjacency[1][0].head, 0);
+  missing.adjacency[1].erase(missing.adjacency[1].begin());
+  EXPECT_DEATH(DynamicGraph::FromParts(missing.adjacency, missing.degrees,
+                                       missing.num_edges,
+                                       missing.total_volume),
+               "mirror");
+
+  // Mirrored arcs with different weight bits.
+  DynamicGraph::Parts skewed = parts;
+  ASSERT_EQ(skewed.adjacency[0][0].head, 1);
+  skewed.adjacency[0][0].weight = 2.5;
+  EXPECT_DEATH(DynamicGraph::FromParts(skewed.adjacency, skewed.degrees,
+                                       skewed.num_edges,
+                                       skewed.total_volume),
+               "different weights");
+
+  // A row listing the same head twice.
+  DynamicGraph::Parts dup = parts;
+  dup.adjacency[0].push_back({1, 2.0});
+  EXPECT_DEATH(DynamicGraph::FromParts(dup.adjacency, dup.degrees,
+                                       dup.num_edges, dup.total_volume),
+               "duplicate");
+
+  // A declared edge count that disagrees with the arcs present.
+  EXPECT_DEATH(DynamicGraph::FromParts(parts.adjacency, parts.degrees,
+                                       parts.num_edges + 1,
+                                       parts.total_volume),
+               "declared edge count");
 }
 
 class IncrementalPprTest : public testing::Test {
@@ -180,6 +359,77 @@ TEST_F(IncrementalPprTest, AddEdgeIncidentToSeedMatchesFromScratchPush) {
   EXPECT_LT(DistanceL1(inc.Scores(), ExactPpr(inc.graph(), seed,
                                               options.gamma)),
             options.epsilon * inc.graph().TotalVolume() + 1e-9);
+}
+
+TEST_F(IncrementalPprTest, RemoveEdgeMatchesFromScratchPush) {
+  // Deleting at the seed is the removal stress case — the mirror of
+  // AddEdgeIncidentToSeedMatchesFromScratchPush: the negative column
+  // scatter perturbs the largest residual mass.
+  Rng rng(14);
+  const Graph base = ErdosRenyi(40, 0.15, rng);
+  const DynamicGraph dynamic = DynamicGraph::FromGraph(base);
+  Vector seed(40, 0.0);
+  seed[7] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-8;
+  IncrementalPersonalizedPageRank inc(dynamic, seed, options);
+
+  ASSERT_FALSE(inc.graph().Neighbors(7).empty());
+  const NodeId gone = inc.graph().Neighbors(7)[0].head;
+  inc.RemoveEdge(7, gone);
+  EXPECT_DOUBLE_EQ(inc.graph().EdgeWeight(7, gone), 0.0);
+
+  // A partial decrement elsewhere exercises the weight-delta path.
+  ASSERT_FALSE(inc.graph().Neighbors(12).empty());
+  const NodeId thinned = inc.graph().Neighbors(12)[0].head;
+  inc.RemoveEdge(12, thinned, 0.25);
+
+  const double volume = inc.graph().TotalVolume();
+  const IncrementalPersonalizedPageRank fresh(inc.graph(), seed, options);
+  EXPECT_LT(DistanceL1(inc.Scores(), fresh.Scores()),
+            2.0 * options.epsilon * volume + 1e-9);
+  EXPECT_LT(DistanceL1(inc.Scores(),
+                       ExactPpr(inc.graph(), seed, options.gamma)),
+            options.epsilon * volume + 1e-9);
+  EXPECT_EQ(inc.diagnostics().status, SolveStatus::kConverged);
+}
+
+TEST_F(IncrementalPprTest, MixedEditsMatchFreshRebuildAfterEveryStep) {
+  // Property check over an interleaved add/remove stream, including
+  // full removals, a partial decrement, a self-loop's whole lifecycle,
+  // and a delete + re-add of the same endpoints.
+  DynamicGraph g(8);
+  Vector seed(8, 0.0);
+  seed[0] = 1.0;
+  IncrementalPprOptions options;
+  options.epsilon = 1e-10;
+  IncrementalPersonalizedPageRank inc(g, seed, options);
+  struct Edit {
+    NodeId u, v;
+    double weight;
+    bool remove;
+  };
+  const std::vector<Edit> stream = {
+      {0, 1, 1.0, false}, {1, 2, 1.0, false},  {2, 3, 2.0, false},
+      {3, 0, 1.0, false}, {0, 2, 1.0, false},  {1, 2, 0.0, true},
+      {4, 5, 1.0, false}, {5, 6, 1.0, false},  {6, 7, 1.0, false},
+      {7, 4, 1.0, false}, {3, 4, 1.0, false},  {2, 3, 0.5, true},
+      {0, 0, 1.0, false}, {0, 0, 0.0, true},   {3, 0, 0.0, true},
+      {1, 2, 0.5, false}};
+  for (const Edit& e : stream) {
+    if (e.remove) {
+      inc.RemoveEdge(e.u, e.v, e.weight);
+    } else {
+      inc.AddEdge(e.u, e.v, e.weight);
+    }
+    const Vector exact = ExactPpr(inc.graph(), seed, options.gamma);
+    ASSERT_LT(DistanceL1(inc.Scores(), exact), 1e-7)
+        << (e.remove ? "after removing {" : "after inserting {") << e.u
+        << "," << e.v << "}";
+  }
+  EXPECT_EQ(inc.graph().NumEdges(), 9);
+  EXPECT_DOUBLE_EQ(inc.graph().EdgeWeight(2, 3), 1.5);
+  EXPECT_DOUBLE_EQ(inc.graph().EdgeWeight(1, 2), 0.5);
 }
 
 TEST_F(IncrementalPprTest, HealthyRunReportsConverged) {

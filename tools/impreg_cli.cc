@@ -304,12 +304,12 @@ bool FlagValue(const char* arg, const char* name, std::string* out) {
 
 // Streams a JSONL request file into `engine`. Query lines are grouped
 // by the epoch they were issued at: each group pins a SnapshotView, so
-// an add-edge line never has to wait for (or flush) in-flight queries —
-// the group executes later against its pinned epoch and answers exactly
-// what it would have answered at issue time (snapshot-isolated serving;
-// docs/durability.md).
+// an edit line (add-edge or remove-edge) never has to wait for (or
+// flush) in-flight queries — the group executes later against its
+// pinned epoch and answers exactly what it would have answered at
+// issue time (snapshot-isolated serving; docs/durability.md).
 //
-// Durability (optional): with `wal` set, every add-edge is appended and
+// Durability (optional): with `wal` set, every edit is appended and
 // fsynced *before* it mutates the graph — write-ahead, so an
 // acknowledged edit survives a crash. With `snapshot_dir` set, a
 // snapshot is published every `snapshot_every` edits (and once at EOF),
@@ -373,27 +373,58 @@ int ServeRequestStream(QueryEngine& engine, const std::string& requests_path,
                    line_number, error.c_str());
       return kExitInput;
     }
-    if (request.is_add_edge) {
+    if (request.is_add_edge || request.is_remove_edge) {
+      const char* op = request.is_add_edge ? "add-edge" : "remove-edge";
       const NodeId n = engine.graph().NumNodes();
       if (request.u < 0 || request.u >= n || request.v < 0 ||
           request.v >= n) {
         std::fprintf(stderr,
-                     "impreg_cli: %s:%d: add-edge node out of range "
+                     "impreg_cli: %s:%d: %s node out of range "
                      "[0, %d)\n",
-                     requests_path.c_str(), line_number, n);
+                     requests_path.c_str(), line_number, op, n);
         return kExitInput;
+      }
+      if (request.is_remove_edge) {
+        // Pre-validate against the live graph so a bad request line is
+        // an input error at its file:line, never a trip of
+        // DynamicGraph::RemoveEdge's abort contract.
+        const double stored = engine.graph().EdgeWeight(request.u, request.v);
+        if (stored == 0.0) {
+          std::fprintf(stderr,
+                       "impreg_cli: %s:%d: remove-edge: no edge {%d, %d}\n",
+                       requests_path.c_str(), line_number, request.u,
+                       request.v);
+          return kExitInput;
+        }
+        if (request.weight > stored) {
+          std::fprintf(stderr,
+                       "impreg_cli: %s:%d: remove-edge weight %g exceeds "
+                       "stored weight %g\n",
+                       requests_path.c_str(), line_number, request.weight,
+                       stored);
+          return kExitInput;
+        }
       }
       if (wal != nullptr) {
         std::string detail;
-        if (wal->AppendAddEdge(request.u, request.v, request.weight,
-                               &detail) != SolveStatus::kConverged) {
+        const SolveStatus appended =
+            request.is_add_edge
+                ? wal->AppendAddEdge(request.u, request.v, request.weight,
+                                     &detail)
+                : wal->AppendRemoveEdge(request.u, request.v, request.weight,
+                                        &detail);
+        if (appended != SolveStatus::kConverged) {
           std::fprintf(stderr,
                        "impreg_cli: %s:%d: edit not acknowledged: %s\n",
                        requests_path.c_str(), line_number, detail.c_str());
           return kExitSolver;
         }
       }
-      engine.AddEdge(request.u, request.v, request.weight);
+      if (request.is_add_edge) {
+        engine.AddEdge(request.u, request.v, request.weight);
+      } else {
+        engine.RemoveEdge(request.u, request.v, request.weight);
+      }
       if (!snapshot_dir.empty() && snapshot_every > 0 &&
           ++edits_since_snapshot >= snapshot_every) {
         if (!snapshot_now()) return kExitSolver;

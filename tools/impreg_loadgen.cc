@@ -18,6 +18,7 @@
 // Usage:
 //   impreg_loadgen [--seed=1] [--requests=1024] [--nodes=512]
 //                  [--avg-degree=8] [--zipf=1.1] [--write-mix=0]
+//                  [--remove-fraction=0]
 //                  [--pattern=steady|burst|ramp] [--batch=16]
 //                  [--seeds-per-query=1] [--method=ppr]
 //                  [--epsilon=1e-4] [--max-work=0]
@@ -56,6 +57,7 @@ int Usage() {
       stderr,
       "usage: impreg_loadgen [flags]\n"
       "  workload:  --seed=1 --requests=1024 --zipf=1.1 --write-mix=0\n"
+      "             --remove-fraction=0 (of mutations, RemoveEdge share)\n"
       "             --pattern=steady|burst|ramp --batch=16\n"
       "             --seeds-per-query=1 --method=ppr|ppr-dense|heat-kernel|"
       "nibble\n"
@@ -113,6 +115,14 @@ int Run(int argc, char** argv) {
       workload.zipf_exponent = std::atof(v);
     } else if (FlagValue(arg, "--write-mix", &v)) {
       workload.write_fraction = std::atof(v);
+    } else if (FlagValue(arg, "--remove-fraction", &v)) {
+      workload.remove_fraction = std::atof(v);
+      if (!(workload.remove_fraction >= 0.0) ||
+          workload.remove_fraction > 1.0) {
+        std::fprintf(stderr,
+                     "impreg_loadgen: --remove-fraction must be in [0, 1]\n");
+        return kExitUsage;
+      }
     } else if (FlagValue(arg, "--pattern", &v)) {
       if (!ArrivalPatternFromName(v, &workload.pattern)) {
         std::fprintf(stderr, "impreg_loadgen: unknown pattern '%s'\n", v);
